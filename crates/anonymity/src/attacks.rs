@@ -1,0 +1,257 @@
+//! Attacks on k-anonymous releases: what footnote 3 of the paper warns
+//! about, executable.
+//!
+//! A release can be perfectly k-anonymous and still leak: when an
+//! equivalence class is *homogeneous* in a confidential attribute, an
+//! intruder who can place a respondent in that class (by quasi-identifier
+//! linkage — no re-identification needed!) learns the respondent's
+//! sensitive value with certainty. The probabilistic variant reports the
+//! intruder's posterior confidence per class and attribute.
+
+use std::collections::BTreeMap;
+use tdf_microdata::{Dataset, Value};
+
+/// One homogeneity finding: everyone in the class shares `value` on the
+/// confidential attribute `attribute`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomogeneityFinding {
+    /// The class's quasi-identifier key.
+    pub class_key: Vec<Value>,
+    /// Members of the class (row indices).
+    pub members: Vec<usize>,
+    /// Name of the leaked confidential attribute.
+    pub attribute: String,
+    /// The shared (leaked) value.
+    pub value: Value,
+}
+
+/// Runs the homogeneity attack: lists every (class, confidential
+/// attribute) pair whose value is constant within the class.
+pub fn homogeneity_attack(data: &Dataset) -> Vec<HomogeneityFinding> {
+    let conf = data.schema().confidential_indices();
+    let mut findings = Vec::new();
+    for (key, members) in data.quasi_identifier_groups() {
+        for &c in &conf {
+            let first = data.value(members[0], c);
+            if first.is_missing() {
+                continue;
+            }
+            if members.iter().all(|&i| data.value(i, c).group_eq(first)) {
+                findings.push(HomogeneityFinding {
+                    class_key: key.clone(),
+                    members: members.clone(),
+                    attribute: data.schema().attribute(c).name.clone(),
+                    value: first.clone(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Background-knowledge attack (the l-diversity motivation): an intruder
+/// who knows the target's value is *not* `excluded` learns the exact value
+/// whenever the target's class contains only one other distinct value.
+/// Returns the classes where that happens, with the value leaked to the
+/// intruder.
+pub fn background_knowledge_attack(
+    data: &Dataset,
+    conf_col: usize,
+    excluded: &Value,
+) -> Vec<HomogeneityFinding> {
+    let mut findings = Vec::new();
+    for (key, members) in data.quasi_identifier_groups() {
+        let mut remaining: Vec<&Value> = members
+            .iter()
+            .map(|&i| data.value(i, conf_col))
+            .filter(|v| !v.group_eq(excluded))
+            .collect();
+        remaining.sort();
+        remaining.dedup_by(|a, b| a.group_eq(b));
+        if remaining.len() == 1 && !remaining[0].is_missing() {
+            findings.push(HomogeneityFinding {
+                class_key: key.clone(),
+                members: members.clone(),
+                attribute: data.schema().attribute(conf_col).name.clone(),
+                value: remaining[0].clone(),
+            });
+        }
+    }
+    findings
+}
+
+/// The intruder's best posterior per class and confidential attribute:
+/// the frequency of the most common sensitive value inside the class.
+/// 1.0 = homogeneity (certain disclosure); 1/|class| = perfect diversity.
+pub fn attribute_disclosure_confidence(
+    data: &Dataset,
+    conf_col: usize,
+) -> Vec<(Vec<Value>, f64)> {
+    data.quasi_identifier_groups()
+        .into_iter()
+        .map(|(key, members)| {
+            let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
+            for &i in &members {
+                *counts.entry(data.value(i, conf_col).clone()).or_default() += 1;
+            }
+            let top = counts.values().copied().max().unwrap_or(0);
+            (key, top as f64 / members.len() as f64)
+        })
+        .collect()
+}
+
+/// Summary statistic for the scoring harness: the expected disclosure
+/// confidence over respondents (average of each record's class posterior).
+pub fn mean_disclosure_confidence(data: &Dataset, conf_col: usize) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for members in data.quasi_identifier_groups().into_values() {
+        let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
+        for &i in &members {
+            *counts.entry(data.value(i, conf_col).clone()).or_default() += 1;
+        }
+        // Per-record confidence × class size = the class's top count.
+        total += counts.values().copied().max().unwrap_or(0) as f64;
+    }
+    total / data.num_rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdf_microdata::patients;
+    use tdf_microdata::{AttributeDef, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttributeDef::continuous_qi("h"),
+            AttributeDef::boolean_confidential("s"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn detects_homogeneous_classes() {
+        let d = Dataset::with_rows(
+            schema(),
+            vec![
+                vec![1.0.into(), true.into()],
+                vec![1.0.into(), true.into()],
+                vec![1.0.into(), true.into()],
+                vec![2.0.into(), true.into()],
+                vec![2.0.into(), false.into()],
+            ],
+        )
+        .unwrap();
+        let findings = homogeneity_attack(&d);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].members, vec![0, 1, 2]);
+        assert_eq!(findings[0].attribute, "s");
+        assert_eq!(findings[0].value, Value::Bool(true));
+    }
+
+    #[test]
+    fn dataset1_has_no_homogeneous_class() {
+        // The paper's Dataset 1 is 2-sensitive: the attack finds nothing.
+        let findings = homogeneity_attack(&patients::dataset1());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn dataset2_trivially_homogeneous_because_singletons() {
+        // Every class of Dataset 2 is a singleton: total homogeneity — the
+        // attack view of "not k-anonymous at all".
+        let findings = homogeneity_attack(&patients::dataset2());
+        // 10 classes × 2 confidential attributes.
+        assert_eq!(findings.len(), 20);
+    }
+
+    #[test]
+    fn confidence_interpolates_between_diversity_and_homogeneity() {
+        let d = Dataset::with_rows(
+            schema(),
+            vec![
+                vec![1.0.into(), true.into()],
+                vec![1.0.into(), false.into()],
+                vec![2.0.into(), true.into()],
+                vec![2.0.into(), true.into()],
+                vec![2.0.into(), true.into()],
+                vec![2.0.into(), false.into()],
+            ],
+        )
+        .unwrap();
+        let per_class = attribute_disclosure_confidence(&d, 1);
+        let lookup: BTreeMap<String, f64> = per_class
+            .into_iter()
+            .map(|(k, c)| (format!("{}", k[0]), c))
+            .collect();
+        assert_eq!(lookup["1"], 0.5);
+        assert_eq!(lookup["2"], 0.75);
+        let mean = mean_disclosure_confidence(&d, 1);
+        // 2 records at 0.5 + 4 at 0.75 = 4/6 ≈ 0.667.
+        assert!((mean - (2.0 * 0.5 + 4.0 * 0.75) / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_sensitivity_enforcement_silences_the_attack() {
+        use crate::sensitive::enforce_p_sensitivity;
+        let d = Dataset::with_rows(
+            schema(),
+            vec![
+                vec![1.0.into(), true.into()],
+                vec![1.0.into(), true.into()],
+                vec![2.0.into(), false.into()],
+                vec![2.0.into(), true.into()],
+            ],
+        )
+        .unwrap();
+        assert_eq!(homogeneity_attack(&d).len(), 1);
+        let fixed = enforce_p_sensitivity(&d, 2).unwrap();
+        assert!(homogeneity_attack(&fixed.data).is_empty());
+    }
+
+    #[test]
+    fn background_knowledge_collapses_two_valued_classes() {
+        // Dataset 1 is 2-sensitive: the homogeneity attack fails, but an
+        // intruder who knows their target does NOT have AIDS learns
+        // nothing... while one who knows the target DOES is told the flag
+        // exactly — and for a 2-valued attribute, excluding either value
+        // determines the other for every class. The attack makes the
+        // footnote 3 "stronger property required" argument concrete.
+        let d = patients::dataset1();
+        let findings = background_knowledge_attack(&d, 3, &Value::Bool(true));
+        // All 3 classes have both values; excluding `true` leaves `false`.
+        assert_eq!(findings.len(), 3);
+        assert!(findings.iter().all(|f| f.value == Value::Bool(false)));
+    }
+
+    #[test]
+    fn background_knowledge_harmless_with_three_values() {
+        use tdf_microdata::{AttributeDef, AttributeKind, AttributeRole, Schema};
+        let schema = Schema::new(vec![
+            AttributeDef::continuous_qi("q"),
+            AttributeDef::new("d", AttributeKind::Nominal, AttributeRole::Confidential),
+        ])
+        .unwrap();
+        let d = Dataset::with_rows(
+            schema,
+            vec![
+                vec![1.0.into(), "flu".into()],
+                vec![1.0.into(), "asthma".into()],
+                vec![1.0.into(), "diabetes".into()],
+            ],
+        )
+        .unwrap();
+        // Excluding one value still leaves two candidates: no finding.
+        assert!(background_knowledge_attack(&d, 1, &"flu".into()).is_empty());
+    }
+
+    #[test]
+    fn empty_dataset_yields_nothing() {
+        let d = Dataset::new(schema());
+        assert!(homogeneity_attack(&d).is_empty());
+        assert_eq!(mean_disclosure_confidence(&d, 1), 0.0);
+    }
+}

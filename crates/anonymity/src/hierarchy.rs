@@ -1,0 +1,172 @@
+//! Generalization hierarchies for global recoding.
+//!
+//! A hierarchy maps an attribute value to coarser and coarser versions:
+//! level 0 is the value itself and the top level is full suppression
+//! (`"*"`). Numeric attributes use interval hierarchies whose bin width
+//! doubles per level; categorical attributes use explicit trees.
+
+use std::collections::BTreeMap;
+use tdf_microdata::Value;
+
+/// A value-generalization hierarchy.
+#[derive(Debug, Clone)]
+pub enum Hierarchy {
+    /// Numeric intervals: level `l` (1-based) buckets values into bins of
+    /// width `base_width · 2^(l−1)` aligned at `origin`; the top level
+    /// suppresses.
+    Interval {
+        /// Bin width at level 1.
+        base_width: f64,
+        /// Alignment origin of the bins.
+        origin: f64,
+        /// Number of interval levels before suppression; total levels are
+        /// `levels + 1` (the last being `"*"`).
+        levels: usize,
+    },
+    /// Explicit category tree.
+    Tree(TreeHierarchy),
+}
+
+/// A categorical hierarchy given by per-level ancestor maps.
+#[derive(Debug, Clone)]
+pub struct TreeHierarchy {
+    /// `maps[l]` sends an original value to its generalization at level
+    /// `l + 1`; values absent from a map generalize to `"*"`.
+    maps: Vec<BTreeMap<String, String>>,
+}
+
+impl TreeHierarchy {
+    /// Builds from `(leaf, ancestors)` pairs: `ancestors[l]` is the leaf's
+    /// generalization at level `l + 1`. All leaves must list the same
+    /// number of ancestors.
+    pub fn new(entries: &[(&str, &[&str])]) -> Self {
+        let depth = entries.first().map_or(0, |(_, a)| a.len());
+        assert!(
+            entries.iter().all(|(_, a)| a.len() == depth),
+            "all leaves must have the same ancestor depth"
+        );
+        let mut maps = vec![BTreeMap::new(); depth];
+        for (leaf, ancestors) in entries {
+            for (l, anc) in ancestors.iter().enumerate() {
+                maps[l].insert((*leaf).to_owned(), (*anc).to_owned());
+            }
+        }
+        Self { maps }
+    }
+
+    /// Number of tree levels before suppression.
+    pub fn depth(&self) -> usize {
+        self.maps.len()
+    }
+}
+
+impl Hierarchy {
+    /// Maximum generalization level (at which every value becomes `"*"`).
+    pub fn max_level(&self) -> usize {
+        match self {
+            Hierarchy::Interval { levels, .. } => levels + 1,
+            Hierarchy::Tree(t) => t.depth() + 1,
+        }
+    }
+
+    /// Generalizes `value` to `level`. Level 0 returns the value verbatim
+    /// (rendered as a string for uniformity at levels > 0); missing values
+    /// stay missing.
+    pub fn generalize(&self, value: &Value, level: usize) -> Value {
+        if value.is_missing() {
+            return Value::Missing;
+        }
+        if level == 0 {
+            return value.clone();
+        }
+        if level >= self.max_level() {
+            return Value::Str("*".to_owned());
+        }
+        match self {
+            Hierarchy::Interval { base_width, origin, .. } => {
+                let x = match value.as_f64() {
+                    Some(x) => x,
+                    None => return Value::Str("*".to_owned()),
+                };
+                let width = base_width * (1u64 << (level - 1)) as f64;
+                let bin = ((x - origin) / width).floor();
+                let lo = origin + bin * width;
+                let hi = lo + width;
+                Value::Str(format!("[{lo},{hi})"))
+            }
+            Hierarchy::Tree(t) => {
+                let s = match value {
+                    Value::Str(s) => s.clone(),
+                    other => other.to_string(),
+                };
+                match t.maps[level - 1].get(&s) {
+                    Some(anc) => Value::Str(anc.clone()),
+                    None => Value::Str("*".to_owned()),
+                }
+            }
+        }
+    }
+}
+
+/// A convenient interval hierarchy for ages: 5-year bins, then 10, 20, 40,
+/// then suppression.
+pub fn age_hierarchy() -> Hierarchy {
+    Hierarchy::Interval { base_width: 5.0, origin: 0.0, levels: 4 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_levels_double() {
+        let h = Hierarchy::Interval { base_width: 5.0, origin: 0.0, levels: 3 };
+        assert_eq!(h.max_level(), 4);
+        assert_eq!(h.generalize(&Value::Float(23.0), 0), Value::Float(23.0));
+        assert_eq!(h.generalize(&Value::Float(23.0), 1), Value::Str("[20,25)".into()));
+        assert_eq!(h.generalize(&Value::Float(23.0), 2), Value::Str("[20,30)".into()));
+        assert_eq!(h.generalize(&Value::Float(23.0), 3), Value::Str("[20,40)".into()));
+        assert_eq!(h.generalize(&Value::Float(23.0), 4), Value::Str("*".into()));
+        assert_eq!(h.generalize(&Value::Float(23.0), 99), Value::Str("*".into()));
+    }
+
+    #[test]
+    fn interval_respects_origin() {
+        let h = Hierarchy::Interval { base_width: 10.0, origin: 5.0, levels: 1 };
+        assert_eq!(h.generalize(&Value::Int(7), 1), Value::Str("[5,15)".into()));
+        assert_eq!(h.generalize(&Value::Int(4), 1), Value::Str("[-5,5)".into()));
+    }
+
+    #[test]
+    fn tree_generalization() {
+        let h = Hierarchy::Tree(TreeHierarchy::new(&[
+            ("flu", &["respiratory", "any"]),
+            ("asthma", &["respiratory", "any"]),
+            ("diabetes", &["metabolic", "any"]),
+        ]));
+        assert_eq!(h.max_level(), 3);
+        assert_eq!(
+            h.generalize(&Value::Str("flu".into()), 1),
+            Value::Str("respiratory".into())
+        );
+        assert_eq!(
+            h.generalize(&Value::Str("diabetes".into()), 2),
+            Value::Str("any".into())
+        );
+        assert_eq!(h.generalize(&Value::Str("flu".into()), 3), Value::Str("*".into()));
+        // Unknown leaves generalize safely to "*".
+        assert_eq!(h.generalize(&Value::Str("??".into()), 1), Value::Str("*".into()));
+    }
+
+    #[test]
+    fn missing_stays_missing() {
+        let h = age_hierarchy();
+        assert_eq!(h.generalize(&Value::Missing, 2), Value::Missing);
+    }
+
+    #[test]
+    #[should_panic(expected = "same ancestor depth")]
+    fn ragged_tree_panics() {
+        let _ = TreeHierarchy::new(&[("a", &["x", "y"]), ("b", &["x"])]);
+    }
+}

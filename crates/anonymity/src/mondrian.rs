@@ -1,0 +1,195 @@
+//! Mondrian multidimensional partitioning for numeric quasi-identifiers.
+//!
+//! Recursively splits the record set along the quasi-identifier dimension
+//! with the widest (normalized) range, at the median, as long as both sides
+//! keep at least `k` records; each final partition is then made uniform by
+//! replacing members' quasi-identifier values with the partition centroid.
+//! The result is k-anonymous by construction and numerically analysable
+//! (unlike interval recoding, the output stays numeric).
+
+use tdf_microdata::{Dataset, Value};
+
+/// Result of a Mondrian run.
+#[derive(Debug, Clone)]
+pub struct MondrianResult {
+    /// The anonymized dataset (same schema as the input).
+    pub data: Dataset,
+    /// Partition id per record (for inspection and tests).
+    pub partition_of: Vec<usize>,
+    /// Number of final partitions.
+    pub num_partitions: usize,
+}
+
+/// Runs strict Mondrian with parameter `k` on the numeric quasi-identifiers
+/// of `data`. Panics when `k` is zero; returns the dataset unchanged (one
+/// partition) when it has fewer than `2k` records.
+pub fn mondrian_anonymize(data: &Dataset, k: usize) -> MondrianResult {
+    assert!(k >= 1, "k must be at least 1");
+    let qi: Vec<usize> = data
+        .schema()
+        .quasi_identifier_indices()
+        .into_iter()
+        .filter(|&c| data.schema().attribute(c).kind.is_numeric())
+        .collect();
+
+    let mut partitions: Vec<Vec<usize>> = Vec::new();
+    let all: Vec<usize> = (0..data.num_rows()).collect();
+    split(data, &qi, k, all, &mut partitions);
+
+    let mut out = data.clone();
+    let mut partition_of = vec![0usize; data.num_rows()];
+    for (pid, members) in partitions.iter().enumerate() {
+        for &col in &qi {
+            let mean = members
+                .iter()
+                .filter_map(|&i| data.value(i, col).as_f64())
+                .sum::<f64>()
+                / members.len() as f64;
+            for &i in members {
+                out.set_value(i, col, Value::Float(mean)).expect("numeric column");
+            }
+        }
+        for &i in members {
+            partition_of[i] = pid;
+        }
+    }
+    let num_partitions = partitions.len();
+    MondrianResult { data: out, partition_of, num_partitions }
+}
+
+fn split(
+    data: &Dataset,
+    qi: &[usize],
+    k: usize,
+    members: Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if members.len() < 2 * k || qi.is_empty() {
+        out.push(members);
+        return;
+    }
+    // Pick the dimension with the widest normalized range.
+    let mut best: Option<(usize, f64)> = None;
+    for &col in qi {
+        let vals: Vec<f64> = members
+            .iter()
+            .filter_map(|&i| data.value(i, col).as_f64())
+            .collect();
+        if vals.is_empty() {
+            continue;
+        }
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let range = hi - lo;
+        if best.is_none_or(|(_, r)| range > r) {
+            best = Some((col, range));
+        }
+    }
+    let (col, range) = match best {
+        Some(b) => b,
+        None => {
+            out.push(members);
+            return;
+        }
+    };
+    if range <= 0.0 {
+        // All quasi-identifier values equal: nothing to split on.
+        out.push(members);
+        return;
+    }
+
+    // Median split on the chosen dimension.
+    let mut sorted = members.clone();
+    sorted.sort_by(|&a, &b| {
+        data.value(a, col)
+            .as_f64()
+            .unwrap_or(f64::NAN)
+            .total_cmp(&data.value(b, col).as_f64().unwrap_or(f64::NAN))
+    });
+    let mid = sorted.len() / 2;
+    let (left, right) = sorted.split_at(mid);
+    if left.len() < k || right.len() < k {
+        out.push(members);
+        return;
+    }
+    split(data, qi, k, left.to_vec(), out);
+    split(data, qi, k, right.to_vec(), out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{is_k_anonymous, k_anonymity_level};
+    use tdf_microdata::synth::{patients, PatientConfig};
+    use tdf_microdata::patients as table1;
+
+    #[test]
+    fn output_is_k_anonymous() {
+        let d = patients(&PatientConfig { n: 500, ..Default::default() });
+        for k in [2usize, 3, 5, 10] {
+            let r = mondrian_anonymize(&d, k);
+            assert!(
+                is_k_anonymous(&r.data, k),
+                "k = {k}, level = {:?}",
+                k_anonymity_level(&r.data)
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_have_at_least_k_members() {
+        let d = patients(&PatientConfig { n: 333, ..Default::default() });
+        let k = 7;
+        let r = mondrian_anonymize(&d, k);
+        let mut counts = vec![0usize; r.num_partitions];
+        for &p in &r.partition_of {
+            counts[p] += 1;
+        }
+        assert!(counts.iter().all(|&c| c >= k), "{counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 333);
+    }
+
+    #[test]
+    fn confidential_attributes_survive_unchanged() {
+        let d = table1::dataset2();
+        let r = mondrian_anonymize(&d, 3);
+        for i in 0..d.num_rows() {
+            assert_eq!(r.data.value(i, 2), d.value(i, 2));
+            assert_eq!(r.data.value(i, 3), d.value(i, 3));
+        }
+        assert!(is_k_anonymous(&r.data, 3));
+    }
+
+    #[test]
+    fn small_dataset_collapses_to_one_partition() {
+        let d = table1::dataset2();
+        let r = mondrian_anonymize(&d, 6); // 10 < 2·6
+        assert_eq!(r.num_partitions, 1);
+        assert!(is_k_anonymous(&r.data, 10));
+    }
+
+    #[test]
+    fn more_partitions_with_smaller_k() {
+        let d = patients(&PatientConfig { n: 400, ..Default::default() });
+        let r2 = mondrian_anonymize(&d, 2);
+        let r20 = mondrian_anonymize(&d, 20);
+        assert!(r2.num_partitions > r20.num_partitions);
+    }
+
+    #[test]
+    fn centroids_preserve_column_means() {
+        let d = patients(&PatientConfig { n: 256, ..Default::default() });
+        let r = mondrian_anonymize(&d, 4);
+        for col in [0usize, 1] {
+            let orig = tdf_microdata::stats::mean(&d.numeric_column(col)).unwrap();
+            let masked = tdf_microdata::stats::mean(&r.data.numeric_column(col)).unwrap();
+            assert!((orig - masked).abs() < 1e-6, "col {col}: {orig} vs {masked}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let _ = mondrian_anonymize(&table1::dataset1(), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Full-domain global recoding with minimal-lattice search.
+//!
+//! Every quasi-identifier attribute gets a generalization hierarchy; a
+//! *recoding vector* assigns one level per attribute and is applied to all
+//! records uniformly (full-domain). The Samarati-style search walks the
+//! lattice of vectors by total height and returns a minimum-height vector
+//! that achieves k-anonymity, optionally after suppressing up to
+//! `max_suppressed` outlier records.
+
+use crate::hierarchy::Hierarchy;
+use crate::model::k_anonymity_level;
+use tdf_microdata::{AttributeKind, AttributeDef, Dataset, Schema, Value};
+
+/// Outcome of a successful lattice search.
+#[derive(Debug, Clone)]
+pub struct RecodingResult {
+    /// Generalization level chosen per quasi-identifier (schema QI order).
+    pub levels: Vec<usize>,
+    /// The recoded (and possibly row-suppressed) dataset.
+    pub data: Dataset,
+    /// Number of records suppressed to reach k-anonymity.
+    pub suppressed_records: usize,
+    /// Original row indices that survived suppression, in release order.
+    pub kept_indices: Vec<usize>,
+}
+
+/// Applies a recoding vector to `data`.
+///
+/// Generalized quasi-identifier columns (level > 0) become nominal in the
+/// output schema, since intervals and ancestor categories are strings.
+pub fn apply_recoding(
+    data: &Dataset,
+    hierarchies: &[Hierarchy],
+    levels: &[usize],
+) -> Dataset {
+    let qi = data.schema().quasi_identifier_indices();
+    assert_eq!(hierarchies.len(), qi.len(), "one hierarchy per quasi-identifier");
+    assert_eq!(levels.len(), qi.len(), "one level per quasi-identifier");
+
+    let attrs: Vec<AttributeDef> = data
+        .schema()
+        .attributes()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            if let Some(j) = qi.iter().position(|&q| q == i) {
+                if levels[j] > 0 {
+                    return AttributeDef::new(a.name.clone(), AttributeKind::Nominal, a.role);
+                }
+            }
+            a.clone()
+        })
+        .collect();
+    let schema = Schema::new(attrs).expect("names unchanged, still unique");
+
+    let mut out = Dataset::new(schema);
+    for row in data.rows() {
+        let mut new_row: Vec<Value> = row.clone();
+        for (j, &col) in qi.iter().enumerate() {
+            new_row[col] = hierarchies[j].generalize(&row[col], levels[j]);
+        }
+        out.push_row(new_row).expect("recoded row fits recoded schema");
+    }
+    out
+}
+
+/// Removes whole records belonging to equivalence classes smaller than `k`.
+fn suppress_small_classes(data: &Dataset, k: usize) -> (Dataset, usize, Vec<usize>) {
+    let groups = data.quasi_identifier_groups();
+    let mut drop = vec![false; data.num_rows()];
+    for members in groups.values() {
+        if members.len() < k {
+            for &i in members {
+                drop[i] = true;
+            }
+        }
+    }
+    let mut out = Dataset::new(data.schema().clone());
+    let mut suppressed = 0usize;
+    let mut kept = Vec::new();
+    for (i, row) in data.rows().iter().enumerate() {
+        if drop[i] {
+            suppressed += 1;
+        } else {
+            out.push_row(row.clone()).expect("row already validated");
+            kept.push(i);
+        }
+    }
+    (out, suppressed, kept)
+}
+
+/// Enumerates all level vectors of total height `height`.
+fn vectors_of_height(maxes: &[usize], height: usize) -> Vec<Vec<usize>> {
+    fn rec(maxes: &[usize], height: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if maxes.is_empty() {
+            if height == 0 {
+                out.push(prefix.clone());
+            }
+            return;
+        }
+        let cap = maxes[0].min(height);
+        for l in 0..=cap {
+            prefix.push(l);
+            rec(&maxes[1..], height - l, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(maxes, height, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Finds a minimum-total-height recoding achieving `k`-anonymity with at
+/// most `max_suppressed` records suppressed. Returns `None` only when even
+/// full suppression of every quasi-identifier fails (impossible for
+/// non-empty data, since one class remains).
+pub fn minimal_recoding(
+    data: &Dataset,
+    hierarchies: &[Hierarchy],
+    k: usize,
+    max_suppressed: usize,
+) -> Option<RecodingResult> {
+    let maxes: Vec<usize> = hierarchies.iter().map(Hierarchy::max_level).collect();
+    let total: usize = maxes.iter().sum();
+    for height in 0..=total {
+        for levels in vectors_of_height(&maxes, height) {
+            let recoded = apply_recoding(data, hierarchies, &levels);
+            let (final_data, suppressed, kept_indices) = suppress_small_classes(&recoded, k);
+            if suppressed <= max_suppressed
+                && k_anonymity_level(&final_data).is_none_or(|l| l >= k)
+            {
+                return Some(RecodingResult {
+                    levels,
+                    data: final_data,
+                    suppressed_records: suppressed,
+                    kept_indices,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::is_k_anonymous;
+    use tdf_microdata::patients;
+
+    fn patient_hierarchies() -> Vec<Hierarchy> {
+        vec![
+            Hierarchy::Interval { base_width: 5.0, origin: 0.0, levels: 3 },
+            Hierarchy::Interval { base_width: 10.0, origin: 0.0, levels: 3 },
+        ]
+    }
+
+    #[test]
+    fn level_zero_recoding_is_identity_on_values() {
+        let d = patients::dataset2();
+        let r = apply_recoding(&d, &patient_hierarchies(), &[0, 0]);
+        assert_eq!(r.num_rows(), d.num_rows());
+        assert_eq!(r.value(0, 0), d.value(0, 0));
+    }
+
+    #[test]
+    fn recoding_makes_dataset2_k_anonymous() {
+        let d = patients::dataset2();
+        let result = minimal_recoding(&d, &patient_hierarchies(), 3, 0).unwrap();
+        assert!(is_k_anonymous(&result.data, 3));
+        assert_eq!(result.suppressed_records, 0);
+        assert_eq!(result.data.num_rows(), 10);
+        // Dataset 2 has unique keys, so at least one attribute must move.
+        assert!(result.levels.iter().sum::<usize>() >= 1);
+    }
+
+    #[test]
+    fn dataset1_needs_no_recoding_for_k3() {
+        let d = patients::dataset1();
+        let result = minimal_recoding(&d, &patient_hierarchies(), 3, 0).unwrap();
+        assert_eq!(result.levels, vec![0, 0]);
+        assert_eq!(result.data, d);
+    }
+
+    #[test]
+    fn suppression_budget_lowers_generalization() {
+        let d = patients::dataset2();
+        let strict = minimal_recoding(&d, &patient_hierarchies(), 3, 0).unwrap();
+        assert_eq!(strict.kept_indices, (0..10).collect::<Vec<_>>());
+        let relaxed = minimal_recoding(&d, &patient_hierarchies(), 3, 4).unwrap();
+        let strict_height: usize = strict.levels.iter().sum();
+        let relaxed_height: usize = relaxed.levels.iter().sum();
+        assert!(relaxed_height <= strict_height);
+        assert!(is_k_anonymous(&relaxed.data, 3));
+    }
+
+    #[test]
+    fn generalized_columns_become_nominal() {
+        let d = patients::dataset2();
+        let r = apply_recoding(&d, &patient_hierarchies(), &[1, 0]);
+        assert_eq!(r.schema().attribute(0).kind, AttributeKind::Nominal);
+        assert_eq!(r.schema().attribute(1).kind, AttributeKind::Continuous);
+        // Confidential attributes are untouched.
+        assert_eq!(r.value(0, 2), d.value(0, 2));
+    }
+
+    #[test]
+    fn vectors_of_height_enumerates_simplex() {
+        let v = vectors_of_height(&[2, 2], 2);
+        assert!(v.contains(&vec![0, 2]));
+        assert!(v.contains(&vec![1, 1]));
+        assert!(v.contains(&vec![2, 0]));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn full_suppression_always_succeeds() {
+        let d = patients::dataset2();
+        // Requiring k = 10 with zero suppression forces every key to "*".
+        let result = minimal_recoding(&d, &patient_hierarchies(), 10, 0).unwrap();
+        assert!(is_k_anonymous(&result.data, 10));
+    }
+}

@@ -1,0 +1,146 @@
+//! Greedy local suppression.
+//!
+//! Cell-level suppression replaces quasi-identifier values of offending
+//! records with [`Value::Missing`]. For k-anonymity purposes a suppressed
+//! cell is treated as its own value — so full-row QI suppression merges all
+//! fully-suppressed records into one equivalence class.
+//!
+//! The greedy strategy: while a class of size < k exists, suppress the
+//! quasi-identifier column whose suppression (across all offending records)
+//! merges the most records, and repeat. Falls back to suppressing the whole
+//! QI of irreducible outliers.
+
+use crate::model::k_anonymity_level;
+use tdf_microdata::{Dataset, Value};
+
+/// Statistics of a suppression run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuppressionResult {
+    /// The k-anonymized dataset (same schema; suppressed cells are Missing).
+    pub data: Dataset,
+    /// Total number of suppressed cells.
+    pub suppressed_cells: usize,
+}
+
+/// Suppresses quasi-identifier cells until `data` is `k`-anonymous.
+pub fn suppress_to_k_anonymity(data: &Dataset, k: usize) -> SuppressionResult {
+    assert!(k >= 1, "k must be at least 1");
+    let qi = data.schema().quasi_identifier_indices();
+    let mut out = data.clone();
+    let mut suppressed_cells = 0usize;
+
+    if qi.is_empty() || data.is_empty() {
+        return SuppressionResult { data: out, suppressed_cells };
+    }
+
+    // Round-robin over QI columns: suppress the next column of every record
+    // still in an under-sized class, re-check, repeat. Terminates because
+    // after all columns are suppressed every record shares one class.
+    for round in 0..qi.len() {
+        if k_anonymity_level(&out).is_none_or(|l| l >= k) {
+            break;
+        }
+        // Choose the column whose suppression yields the fewest remaining
+        // offending records.
+        let mut best: Option<(usize, usize)> = None; // (col, offenders after)
+        for &col in qi.iter().skip(round).chain(qi.iter().take(round)) {
+            let candidate = suppress_column_of_offenders(&out, k, col);
+            let offenders = count_offenders(&candidate.0, k);
+            if best.is_none_or(|(_, o)| offenders < o) {
+                best = Some((col, offenders));
+            }
+        }
+        if let Some((col, _)) = best {
+            let (next, cells) = suppress_column_of_offenders(&out, k, col);
+            out = next;
+            suppressed_cells += cells;
+        }
+    }
+    SuppressionResult { data: out, suppressed_cells }
+}
+
+fn count_offenders(data: &Dataset, k: usize) -> usize {
+    data.quasi_identifier_groups()
+        .values()
+        .filter(|g| g.len() < k)
+        .map(Vec::len)
+        .sum()
+}
+
+fn suppress_column_of_offenders(data: &Dataset, k: usize, col: usize) -> (Dataset, usize) {
+    let mut out = data.clone();
+    let mut cells = 0usize;
+    for members in data.quasi_identifier_groups().values() {
+        if members.len() < k {
+            for &i in members {
+                if !out.value(i, col).is_missing() {
+                    out.set_value(i, col, Value::Missing).expect("missing always fits");
+                    cells += 1;
+                }
+            }
+        }
+    }
+    (out, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::is_k_anonymous;
+    use tdf_microdata::patients;
+    use tdf_microdata::synth::{patients as synth_patients, PatientConfig};
+
+    #[test]
+    fn dataset1_needs_no_suppression() {
+        let d = patients::dataset1();
+        let r = suppress_to_k_anonymity(&d, 3);
+        assert_eq!(r.suppressed_cells, 0);
+        assert_eq!(r.data, d);
+    }
+
+    #[test]
+    fn dataset2_becomes_k_anonymous() {
+        let d = patients::dataset2();
+        let r = suppress_to_k_anonymity(&d, 3);
+        assert!(is_k_anonymous(&r.data, 3));
+        assert!(r.suppressed_cells > 0);
+        // No record is dropped, only cells masked.
+        assert_eq!(r.data.num_rows(), 10);
+    }
+
+    #[test]
+    fn confidential_cells_are_never_suppressed() {
+        let d = patients::dataset2();
+        let r = suppress_to_k_anonymity(&d, 5);
+        for i in 0..d.num_rows() {
+            assert_eq!(r.data.value(i, 2), d.value(i, 2));
+            assert_eq!(r.data.value(i, 3), d.value(i, 3));
+        }
+    }
+
+    #[test]
+    fn works_on_larger_population() {
+        let d = synth_patients(&PatientConfig { n: 300, ..Default::default() });
+        for k in [2usize, 5] {
+            let r = suppress_to_k_anonymity(&d, k);
+            assert!(is_k_anonymous(&r.data, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn extreme_k_suppresses_entire_qi() {
+        let d = patients::dataset2();
+        let r = suppress_to_k_anonymity(&d, 10);
+        assert!(is_k_anonymous(&r.data, 10));
+        // All ten records must now share the all-missing key.
+        assert_eq!(r.suppressed_cells, 20);
+    }
+
+    #[test]
+    fn empty_dataset_is_a_no_op() {
+        let d = Dataset::new(patients::patient_schema());
+        let r = suppress_to_k_anonymity(&d, 3);
+        assert_eq!(r.suppressed_cells, 0);
+        assert!(r.data.is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! MDAV vs fixed-size microaggregation, Mondrian vs recoding vs
+//! microaggregation for k-anonymity, and additive vs Shamir sharing.
+//! Criterion measures time; each iteration also computes the quality
+//! metric so `--verbose` output doubles as the quality table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdf_anonymity::hierarchy::Hierarchy;
+use tdf_anonymity::mondrian::mondrian_anonymize;
+use tdf_anonymity::recoding::minimal_recoding;
+use tdf_mathkit::Fp61;
+use tdf_microdata::rng::seeded;
+use tdf_microdata::synth::{patients, PatientConfig};
+use tdf_sdc::microaggregation::{fixed_microaggregate, mdav_microaggregate};
+use tdf_smc::sharing::{
+    additive_reconstruct, additive_share, shamir_reconstruct, shamir_share,
+};
+
+fn ablate_microagg(c: &mut Criterion) {
+    let data = patients(&PatientConfig { n: 300, ..Default::default() });
+    let qi = data.schema().quasi_identifier_indices();
+    let mut group = c.benchmark_group("ablate_microagg");
+    for k in [3usize, 10] {
+        group.bench_with_input(BenchmarkId::new("mdav", k), &k, |b, &k| {
+            b.iter(|| mdav_microaggregate(&data, &qi, k).unwrap().sse)
+        });
+        group.bench_with_input(BenchmarkId::new("fixed", k), &k, |b, &k| {
+            b.iter(|| fixed_microaggregate(&data, &qi, k).unwrap().sse)
+        });
+    }
+    group.finish();
+}
+
+fn ablate_kanon(c: &mut Criterion) {
+    let data = patients(&PatientConfig { n: 200, ..Default::default() });
+    let qi = data.schema().quasi_identifier_indices();
+    let hierarchies = vec![
+        Hierarchy::Interval { base_width: 5.0, origin: 0.0, levels: 3 },
+        Hierarchy::Interval { base_width: 10.0, origin: 0.0, levels: 3 },
+    ];
+    let mut group = c.benchmark_group("ablate_kanon");
+    group.sample_size(10);
+    group.bench_function("mondrian_k5", |b| b.iter(|| mondrian_anonymize(&data, 5)));
+    group.bench_function("microagg_k5", |b| {
+        b.iter(|| mdav_microaggregate(&data, &qi, 5).unwrap())
+    });
+    group.bench_function("recoding_k5", |b| {
+        b.iter(|| minimal_recoding(&data, &hierarchies, 5, 10).unwrap())
+    });
+    group.finish();
+}
+
+fn ablate_smc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_smc");
+    let secret = Fp61::new(123_456_789);
+    for parties in [3usize, 10] {
+        group.bench_with_input(BenchmarkId::new("additive", parties), &parties, |b, &k| {
+            b.iter(|| {
+                let mut rng = seeded(1);
+                additive_reconstruct(&additive_share(&mut rng, secret, k))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("shamir", parties), &parties, |b, &n| {
+            b.iter(|| {
+                let mut rng = seeded(1);
+                let shares = shamir_share(&mut rng, secret, n / 2 + 1, n);
+                shamir_reconstruct(&shares[..n / 2 + 1])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate_microagg, ablate_kanon, ablate_smc);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches: one group per reproduced table/figure, measuring the
+//! cost of regenerating each artefact (small parameterizations so `cargo
+//! bench` completes in minutes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdf_core::experiments::{all_experiments, tradeoff_sweep};
+use tdf_core::scoring::{score_technology, Scenario};
+use tdf_core::technology::TechnologyClass;
+use tdf_microdata::patients;
+use tdf_microdata::rng::seeded;
+use tdf_ppdm::sparsity::linkage_rate_at_dimension;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/kanon_analysis", |b| {
+        let d1 = patients::dataset1();
+        let d2 = patients::dataset2();
+        b.iter(|| {
+            let k1 = tdf_anonymity::k_anonymity_level(&d1);
+            let k2 = tdf_anonymity::k_anonymity_level(&d2);
+            let p1 = tdf_anonymity::p_sensitivity_level(&d1);
+            std::hint::black_box((k1, k2, p1))
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let scenario = Scenario { n: 120, pir_trials: 200, ..Default::default() };
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for tech in [
+        TechnologyClass::Sdc,
+        TechnologyClass::CryptoPpdm,
+        TechnologyClass::Pir,
+        TechnologyClass::GenericPpdmPlusPir,
+    ] {
+        group.bench_with_input(BenchmarkId::new("score", tech.name()), &tech, |b, &t| {
+            b.iter(|| score_technology(t, &scenario).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_independence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("independence");
+    group.sample_size(10);
+    group.bench_function("e1_to_e7", |b| b.iter(|| all_experiments().unwrap()));
+    group.finish();
+}
+
+fn bench_fig_tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_tradeoff");
+    group.sample_size(10);
+    group.bench_function("sweep_k3_n80", |b| {
+        b.iter(|| {
+            let mut rng = seeded(1);
+            tradeoff_sweep(true, &[3], 80, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig_sparsity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_sparsity");
+    group.sample_size(10);
+    for dims in [4usize, 32] {
+        group.bench_with_input(BenchmarkId::new("linkage", dims), &dims, |b, &d| {
+            b.iter(|| linkage_rate_at_dimension(120, d, 1.0, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_independence,
+    bench_fig_tradeoff,
+    bench_fig_sparsity
+);
+criterion_main!(benches);

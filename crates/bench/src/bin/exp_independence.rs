@@ -1,0 +1,54 @@
+//! Runs the §2–§4 independence experiments (E1–E7).
+//!
+//! Usage: `exp_independence [e1|e2|...|e7|all]` (default: all).
+
+use tdf_core::experiments::{self, ExperimentOutcome};
+
+fn print(outcome: &ExperimentOutcome) {
+    println!("=== {} ===", outcome.id);
+    println!("claim: {}", outcome.claim);
+    for fact in &outcome.facts {
+        println!("  measured: {fact}");
+    }
+    println!(
+        "verdict: {}",
+        if outcome.matches_paper { "MATCHES PAPER" } else { "DOES NOT MATCH" }
+    );
+    println!();
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let outcomes = match which.as_str() {
+        "e1" => vec![experiments::e1_respondent_without_owner()],
+        "e2" => vec![experiments::e2_masking_protects_both()],
+        "e3" => vec![experiments::e3_owner_without_respondent()],
+        "e4" => vec![experiments::e4_interactive_sdc()],
+        "e5" => vec![experiments::e5_pir_isolation_attack()],
+        "e6" => vec![experiments::e6_kanon_plus_pir()],
+        "e7" => vec![experiments::e7_crypto_vs_noncrypto()],
+        "all" => experiments::all_experiments()
+            .map(|v| v.into_iter().map(Ok).collect())
+            .unwrap_or_else(|e| vec![Err(e)]),
+        other => {
+            eprintln!("unknown experiment `{other}` (expected e1..e7 or all)");
+            std::process::exit(2);
+        }
+    };
+    let mut all_ok = true;
+    for outcome in outcomes {
+        match outcome {
+            Ok(o) => {
+                all_ok &= o.matches_paper;
+                print(&o);
+            }
+            Err(e) => {
+                eprintln!("experiment failed to run: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,59 @@
+//! **F8** (extension) — the §1 AOL anecdote quantified: how reliably does
+//! the owner's query log re-link users across a pseudonym rotation, as a
+//! function of how repetitive their interests are? Under PIR the log does
+//! not exist; this figure measures exactly what that removes.
+
+use rand::Rng;
+use tdf_bench::{f3, Series};
+use tdf_microdata::rng::seeded;
+use tdf_querydb::ast::{Aggregate, CmpOp, Predicate, Query};
+use tdf_querydb::profiling::{build_profiles, relink_rate};
+
+/// Builds a log where all users draw from a *shared* pool of 50 queries,
+/// but each user issues their personal signature query with probability
+/// `affinity` — the knob that turns anonymous traffic into a fingerprint.
+fn synth_log(users: u32, per_user: usize, affinity: f64, seed: u64) -> Vec<(u32, Query)> {
+    let mut rng = seeded(seed);
+    let pool = 50usize;
+    let query = |i: usize| Query {
+        aggregate: Aggregate::Count,
+        predicate: Predicate::cmp("height", CmpOp::Gt, i as f64),
+    };
+    let mut log = Vec::new();
+    for u in 0..users {
+        let signature = (u as usize * 7) % pool;
+        for _ in 0..per_user {
+            let q = if rng.gen::<f64>() < affinity {
+                query(signature)
+            } else {
+                query(rng.gen_range(0..pool))
+            };
+            log.push((u, q));
+        }
+    }
+    log
+}
+
+fn main() {
+    println!("F8 — query-log profiling (40 users, 60 queries each)\n");
+    let mut series =
+        Series::new("fig_profiling", &["affinity", "relink_rate", "mean_entropy_bits"]);
+    for &affinity in &[0.0f64, 0.1, 0.25, 0.5, 0.75, 0.95] {
+        let log = synth_log(40, 60, affinity, 0xA01 + (affinity * 100.0) as u64);
+        let rate = relink_rate(&log);
+        let profiles = build_profiles(&log);
+        let mean_entropy: f64 =
+            profiles.values().map(|p| p.entropy_bits()).sum::<f64>() / profiles.len() as f64;
+        println!(
+            "signature affinity {affinity:.2}: relink {rate:.2}, mean profile entropy {mean_entropy:.2} bits"
+        );
+        series.push(&[f3(affinity), f3(rate), f3(mean_entropy)]);
+    }
+    series.save().expect("results dir writable");
+    println!(
+        "\nReading: users with stable interests are re-linked across pseudonyms with\n\
+         near certainty — the AOL effect. The rate falls only when profiles drown in\n\
+         one-off queries. PIR removes the log entirely (leakage \u{2248} 0 bits: see\n\
+         `cargo run --example private_search`)."
+    );
+}

@@ -1,0 +1,28 @@
+//! **F2** — the sparsity re-identification curve of [11] (§2 "owner
+//! privacy without respondent privacy"): record-linkage success on
+//! noise-masked data as dimensionality grows, per noise level.
+
+use tdf_bench::{f3, Series};
+use tdf_ppdm::sparsity::sparsity_sweep;
+
+fn main() {
+    let dims = [2usize, 4, 8, 16, 32, 64];
+    let alphas = [0.5f64, 1.0, 2.0];
+    let n = 300;
+    println!("F2 — high-dimensional sparsity attack on noise addition (n = {n})\n");
+
+    let mut series = Series::new("fig_sparsity", &["alpha", "dims", "linkage_rate"]);
+    for &alpha in &alphas {
+        println!("noise alpha = {alpha}");
+        for (d, rate) in sparsity_sweep(n, &dims, alpha, 0x5BA1) {
+            println!("  d = {d:>3}: linkage {rate:.3}");
+            series.push(&[f3(alpha), d.to_string(), f3(rate)]);
+        }
+        println!();
+    }
+    series.save().expect("results dir writable");
+    println!(
+        "Reading: at fixed noise, linkage rises with dimension — the owner's\n\
+         distribution stays protected while respondents become re-identifiable."
+    );
+}

@@ -1,0 +1,96 @@
+//! Shared helpers for the table/figure report binaries.
+//!
+//! Every binary prints a human-readable report to stdout and, when the
+//! `TDF_RESULTS_DIR` environment variable is set, also writes a
+//! tab-separated file there for plotting.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A tab-separated series destined for a results file.
+pub struct Series {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Series {
+    /// Creates a series with the given column header.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Self {
+            name: name.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one data row (stringified cells).
+    pub fn push(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders as aligned text for stdout.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut s = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", h, w = widths[i]));
+        }
+        s.push('\n');
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Writes a TSV file under `TDF_RESULTS_DIR` when that variable is set.
+    pub fn save(&self) -> std::io::Result<()> {
+        let dir = match std::env::var_os("TDF_RESULTS_DIR") {
+            Some(d) => PathBuf::from(d),
+            None => return Ok(()),
+        };
+        std::fs::create_dir_all(&dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{}.tsv", self.name)))?;
+        writeln!(f, "{}", self.header.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats an `f64` to three decimals (report convention).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_renders_aligned() {
+        let mut s = Series::new("t", &["k", "value"]);
+        s.push(&["3".into(), "0.123".into()]);
+        s.push(&["25".into(), "0.9".into()]);
+        let out = s.render();
+        assert!(out.contains("value"));
+        assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut s = Series::new("t", &["a"]);
+        s.push(&["1".into(), "2".into()]);
+    }
+}

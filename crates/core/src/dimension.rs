@@ -1,0 +1,122 @@
+//! The three privacy dimensions and the paper's five-point grade scale.
+
+use std::fmt;
+
+/// Whose privacy a technology protects — the paper's central taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrivacyDimension {
+    /// Prevent re-identification of the people/organizations the records
+    /// describe (§1, item 1).
+    Respondent,
+    /// Prevent the data holder from having to give its dataset away
+    /// (§1, item 2).
+    Owner,
+    /// Keep the queries submitted by data users private (§1, item 3).
+    User,
+}
+
+impl PrivacyDimension {
+    /// All three, in the paper's order.
+    pub const ALL: [PrivacyDimension; 3] =
+        [PrivacyDimension::Respondent, PrivacyDimension::Owner, PrivacyDimension::User];
+}
+
+impl fmt::Display for PrivacyDimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrivacyDimension::Respondent => "respondent privacy",
+            PrivacyDimension::Owner => "owner privacy",
+            PrivacyDimension::User => "user privacy",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The qualitative scale of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Grade {
+    /// No protection.
+    None,
+    /// Weak protection.
+    Low,
+    /// Moderate protection.
+    Medium,
+    /// Strong-but-not-maximal protection.
+    MediumHigh,
+    /// Maximal protection in the class.
+    High,
+}
+
+impl Grade {
+    /// Maps a quantitative score in `[0, 1]` onto the paper's scale.
+    ///
+    /// Thresholds (documented in DESIGN.md §4): ≥ 0.95 high, ≥ 0.8
+    /// medium-high, ≥ 0.5 medium, ≥ 0.2 low, else none.
+    /// ```
+    /// use tdf_core::dimension::Grade;
+    /// assert_eq!(Grade::from_score(0.99), Grade::High);
+    /// assert_eq!(Grade::from_score(0.6), Grade::Medium);
+    /// assert_eq!(Grade::from_score(0.0), Grade::None);
+    /// ```
+    pub fn from_score(score: f64) -> Grade {
+        if score >= 0.95 {
+            Grade::High
+        } else if score >= 0.8 {
+            Grade::MediumHigh
+        } else if score >= 0.5 {
+            Grade::Medium
+        } else if score >= 0.2 {
+            Grade::Low
+        } else {
+            Grade::None
+        }
+    }
+
+    /// The paper's spelling of the grade.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Grade::None => "none",
+            Grade::Low => "low",
+            Grade::Medium => "medium",
+            Grade::MediumHigh => "medium-high",
+            Grade::High => "high",
+        }
+    }
+}
+
+impl fmt::Display for Grade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grade_thresholds() {
+        assert_eq!(Grade::from_score(1.0), Grade::High);
+        assert_eq!(Grade::from_score(0.95), Grade::High);
+        assert_eq!(Grade::from_score(0.9), Grade::MediumHigh);
+        assert_eq!(Grade::from_score(0.6), Grade::Medium);
+        assert_eq!(Grade::from_score(0.3), Grade::Low);
+        assert_eq!(Grade::from_score(0.0), Grade::None);
+        assert_eq!(Grade::from_score(-0.5), Grade::None);
+    }
+
+    #[test]
+    fn grades_are_totally_ordered() {
+        assert!(Grade::None < Grade::Low);
+        assert!(Grade::Low < Grade::Medium);
+        assert!(Grade::Medium < Grade::MediumHigh);
+        assert!(Grade::MediumHigh < Grade::High);
+    }
+
+    #[test]
+    fn display_matches_the_papers_vocabulary() {
+        assert_eq!(Grade::MediumHigh.to_string(), "medium-high");
+        assert_eq!(Grade::None.to_string(), "none");
+        assert_eq!(PrivacyDimension::Respondent.to_string(), "respondent privacy");
+    }
+}

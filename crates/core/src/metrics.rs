@@ -1,0 +1,195 @@
+//! Quantitative scores for the three dimensions.
+//!
+//! These replace the paper's §5 qualitative assessment ("based on the
+//! usual claims of each technology class") with measurements on concrete
+//! implementations — see DESIGN.md §4 for the definitions and EXPERIMENTS.md
+//! for the resulting matrix.
+
+use tdf_microdata::{Dataset, Result};
+use tdf_sdc::risk::{interval_disclosure_rate, record_linkage_rate};
+
+/// The three scores of one technology in one scenario, each in `[0, 1]`
+/// (1 = perfect protection).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreCard {
+    /// Respondent-privacy score: `1 − record linkage success`.
+    pub respondent: f64,
+    /// Owner-privacy score: `1 −` (normalized excess reconstruction).
+    pub owner: f64,
+    /// User-privacy score: `1 − leaked query bits / total query bits`.
+    pub user: f64,
+}
+
+/// Respondent-privacy score of a row-aligned release: one minus the
+/// expected linkage rate of an intruder who knows the quasi-identifiers.
+pub fn respondent_score(original: &Dataset, release: &Dataset) -> Result<f64> {
+    let qi = original.schema().quasi_identifier_indices();
+    Ok(1.0 - record_linkage_rate(original, release, &qi)?)
+}
+
+/// Fraction of cells an adversary gets within `tolerance · sd` by always
+/// guessing the column mean — the zero-information baseline the owner
+/// score normalizes against.
+pub fn baseline_disclosure(original: &Dataset, cols: &[usize], tolerance: f64) -> Result<f64> {
+    let mut guess = original.clone();
+    for &c in cols {
+        let xs = original.numeric_column(c);
+        let mean = tdf_microdata::stats::mean(&xs).unwrap_or(0.0);
+        for i in 0..guess.num_rows() {
+            guess.set_value(i, c, tdf_microdata::Value::Float(mean))?;
+        }
+    }
+    interval_disclosure_rate(original, &guess, cols, tolerance)
+}
+
+/// Owner-privacy score of a row-aligned release over the numeric columns
+/// `cols`: the release's cell-level disclosure, in excess of the
+/// guess-the-mean baseline, normalized to `[0, 1]` and inverted.
+///
+/// * Publishing the original ⇒ disclosure 1 ⇒ score 0.
+/// * Revealing nothing beyond aggregates ⇒ disclosure ≈ baseline ⇒ score ≈ 1.
+pub fn owner_score(
+    original: &Dataset,
+    release: &Dataset,
+    cols: &[usize],
+    tolerance: f64,
+) -> Result<f64> {
+    let disclosure = interval_disclosure_rate(original, release, cols, tolerance)?;
+    let baseline = baseline_disclosure(original, cols, tolerance)?;
+    let excess = ((disclosure - baseline) / (1.0 - baseline)).clamp(0.0, 1.0);
+    Ok(1.0 - excess)
+}
+
+/// User-privacy score from an information accounting of the access channel:
+/// `leaked_bits` of the `total_bits` that describe the query.
+///
+/// * A plaintext query log leaks everything: score 0.
+/// * Information-theoretic PIR leaks nothing: score 1.
+/// * A use-specific PPDM release leaks the query *class* while PIR hides
+///   the rest: score strictly between.
+pub fn user_score_from_bits(leaked_bits: f64, total_bits: f64) -> f64 {
+    assert!(total_bits > 0.0 && leaked_bits >= 0.0, "bit counts must be sane");
+    (1.0 - leaked_bits / total_bits).clamp(0.0, 1.0)
+}
+
+/// Empirical check that a PIR server's view is independent of the index:
+/// estimates, over `views` (one selection mask per trial, with the
+/// retrieved index), the mutual information in bits between the index and
+/// the mask bit at that index. ≈ 0 for a correct PIR scheme.
+pub fn empirical_mask_leakage_bits(views: &[(usize, Vec<bool>)]) -> f64 {
+    if views.is_empty() {
+        return 0.0;
+    }
+    // Joint distribution of (bit at the queried position).
+    let p_one = views.iter().filter(|(i, m)| m[*i]).count() as f64 / views.len() as f64;
+    // Marginal frequency of ones across all positions.
+    let (mut ones, mut total) = (0usize, 0usize);
+    for (_, m) in views {
+        ones += m.iter().filter(|&&b| b).count();
+        total += m.len();
+    }
+    let q_one = ones as f64 / total as f64;
+    // KL divergence of the conditional against the marginal — a one-bit
+    // statistic that is exactly the leakage an attacker could exploit by
+    // looking where the mask "points".
+    let kl = |p: f64, q: f64| -> f64 {
+        let mut acc = 0.0;
+        for (pi, qi) in [(p, q), (1.0 - p, 1.0 - q)] {
+            if pi > 0.0 && qi > 0.0 {
+                acc += pi * (pi / qi).log2();
+            }
+        }
+        acc
+    };
+    kl(p_one, q_one).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdf_microdata::rng::seeded;
+    use tdf_microdata::synth::{patients, PatientConfig};
+    use tdf_sdc::microaggregation::mdav_microaggregate;
+
+    fn data() -> Dataset {
+        patients(&PatientConfig { n: 300, ..Default::default() })
+    }
+
+    #[test]
+    fn identity_release_scores_zero_on_both_data_dimensions() {
+        let d = data();
+        assert!(respondent_score(&d, &d).unwrap() < 0.05);
+        assert!(owner_score(&d, &d, &[0, 1, 2], 0.1).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn k_anonymized_release_scores_high_respondent() {
+        let d = data();
+        let masked = mdav_microaggregate(&d, &[0, 1], 10).unwrap().data;
+        let s = respondent_score(&d, &masked).unwrap();
+        assert!(s > 0.85, "score {s}");
+    }
+
+    #[test]
+    fn mean_only_release_scores_full_owner_privacy() {
+        let d = data();
+        let mut release = d.clone();
+        for c in [0usize, 1, 2] {
+            let mean =
+                tdf_microdata::stats::mean(&d.numeric_column(c)).unwrap();
+            for i in 0..release.num_rows() {
+                release.set_value(i, c, tdf_microdata::Value::Float(mean)).unwrap();
+            }
+        }
+        let s = owner_score(&d, &release, &[0, 1, 2], 0.1).unwrap();
+        assert!(s > 0.99, "score {s}");
+    }
+
+    #[test]
+    fn baseline_disclosure_is_small_but_positive() {
+        let d = data();
+        let b = baseline_disclosure(&d, &[0, 1, 2], 0.1).unwrap();
+        assert!(b > 0.0 && b < 0.3, "baseline {b}");
+    }
+
+    #[test]
+    fn user_score_bit_accounting() {
+        assert_eq!(user_score_from_bits(0.0, 10.0), 1.0);
+        assert_eq!(user_score_from_bits(10.0, 10.0), 0.0);
+        assert!((user_score_from_bits(2.0, 10.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pir_masks_have_no_empirical_leakage() {
+        use rand::Rng;
+        let mut r = seeded(5);
+        let n = 32;
+        let views: Vec<(usize, Vec<bool>)> = (0..4000)
+            .map(|t| {
+                let idx = t % n;
+                // A uniformly random mask — what one PIR server sees.
+                let mask: Vec<bool> = (0..n).map(|_| r.gen()).collect();
+                (idx, mask)
+            })
+            .collect();
+        let leak = empirical_mask_leakage_bits(&views);
+        assert!(leak < 0.01, "leakage {leak}");
+    }
+
+    #[test]
+    fn plaintext_index_views_leak() {
+        // A "mask" that is exactly the unit vector of the index: the server
+        // sees the query in the clear.
+        let n = 32;
+        let views: Vec<(usize, Vec<bool>)> = (0..2000)
+            .map(|t| {
+                let idx = t % n;
+                let mut mask = vec![false; n];
+                mask[idx] = true;
+                (idx, mask)
+            })
+            .collect();
+        let leak = empirical_mask_leakage_bits(&views);
+        assert!(leak > 3.0, "unit-vector views must leak heavily: {leak}");
+    }
+}

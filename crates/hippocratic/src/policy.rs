@@ -1,0 +1,215 @@
+//! Purposes, policy rules and consent.
+
+use std::collections::BTreeSet;
+
+/// A declared processing purpose (the unit of hippocratic access control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Purpose {
+    /// Direct clinical care of the respondent.
+    Treatment,
+    /// Billing and insurance settlement.
+    Billing,
+    /// Medical research (usually on anonymized releases).
+    Research,
+    /// Marketing — the canonical purpose respondents refuse.
+    Marketing,
+}
+
+impl Purpose {
+    /// All purposes, for enumeration in tests and reports.
+    pub const ALL: [Purpose; 4] =
+        [Purpose::Treatment, Purpose::Billing, Purpose::Research, Purpose::Marketing];
+}
+
+/// One policy rule: for `purpose`, the named attributes may be disclosed,
+/// and records are kept for at most `retention_days` after collection.
+#[derive(Debug, Clone)]
+pub struct PolicyRule {
+    /// The purpose the rule governs.
+    pub purpose: Purpose,
+    /// Attributes disclosable for this purpose.
+    pub attributes: BTreeSet<String>,
+    /// Retention horizon in days.
+    pub retention_days: u32,
+}
+
+/// A full privacy policy: one rule per purpose (absent purpose = no access).
+#[derive(Debug, Clone, Default)]
+pub struct PrivacyPolicy {
+    rules: Vec<PolicyRule>,
+}
+
+impl PrivacyPolicy {
+    /// Empty policy (everything denied).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) the rule for a purpose.
+    pub fn allow(
+        mut self,
+        purpose: Purpose,
+        attributes: &[&str],
+        retention_days: u32,
+    ) -> Self {
+        self.rules.retain(|r| r.purpose != purpose);
+        self.rules.push(PolicyRule {
+            purpose,
+            attributes: attributes.iter().map(|s| (*s).to_owned()).collect(),
+            retention_days,
+        });
+        self
+    }
+
+    /// The rule for `purpose`, if any.
+    pub fn rule(&self, purpose: Purpose) -> Option<&PolicyRule> {
+        self.rules.iter().find(|r| r.purpose == purpose)
+    }
+
+    /// True when `attribute` is disclosable for `purpose`.
+    pub fn allows(&self, purpose: Purpose, attribute: &str) -> bool {
+        self.rule(purpose).is_some_and(|r| r.attributes.contains(attribute))
+    }
+
+    /// Parses the policy text format (one rule per line, `#` comments):
+    ///
+    /// ```text
+    /// purpose treatment: height, weight, blood_pressure; retention 3650
+    /// purpose billing:   blood_pressure; retention 365
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut policy = PrivacyPolicy::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("policy line {}: {msg}", lineno + 1);
+            let rest = line
+                .strip_prefix("purpose ")
+                .ok_or_else(|| err("expected `purpose <name>: ...`"))?;
+            let (name, rest) =
+                rest.split_once(':').ok_or_else(|| err("missing `:` after purpose name"))?;
+            let purpose = match name.trim().to_ascii_lowercase().as_str() {
+                "treatment" => Purpose::Treatment,
+                "billing" => Purpose::Billing,
+                "research" => Purpose::Research,
+                "marketing" => Purpose::Marketing,
+                other => return Err(err(&format!("unknown purpose `{other}`"))),
+            };
+            let (attrs_part, retention_part) = rest
+                .split_once(';')
+                .ok_or_else(|| err("missing `; retention <days>`"))?;
+            let attributes: Vec<&str> = attrs_part
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .collect();
+            if attributes.is_empty() {
+                return Err(err("rule lists no attributes"));
+            }
+            let retention: u32 = retention_part
+                .trim()
+                .strip_prefix("retention ")
+                .ok_or_else(|| err("expected `retention <days>`"))?
+                .trim()
+                .parse()
+                .map_err(|_| err("retention must be a number of days"))?;
+            policy = policy.allow(purpose, &attributes, retention);
+        }
+        Ok(policy)
+    }
+}
+
+/// Per-respondent consent: the set of purposes the respondent agreed to.
+#[derive(Debug, Clone, Default)]
+pub struct Consent {
+    purposes: BTreeSet<Purpose>,
+}
+
+impl Consent {
+    /// Consent to nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Consent to every purpose.
+    pub fn all() -> Self {
+        Self { purposes: Purpose::ALL.into_iter().collect() }
+    }
+
+    /// Consent to the listed purposes.
+    pub fn to(purposes: &[Purpose]) -> Self {
+        Self { purposes: purposes.iter().copied().collect() }
+    }
+
+    /// True when the respondent consented to `purpose`.
+    pub fn covers(&self, purpose: Purpose) -> bool {
+        self.purposes.contains(&purpose)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_rules_govern_attributes() {
+        let p = PrivacyPolicy::new()
+            .allow(Purpose::Treatment, &["height", "weight", "blood_pressure", "aids"], 3650)
+            .allow(Purpose::Billing, &["blood_pressure"], 365);
+        assert!(p.allows(Purpose::Treatment, "aids"));
+        assert!(!p.allows(Purpose::Billing, "aids"));
+        assert!(!p.allows(Purpose::Marketing, "height"));
+        assert_eq!(p.rule(Purpose::Billing).unwrap().retention_days, 365);
+    }
+
+    #[test]
+    fn allow_replaces_previous_rule() {
+        let p = PrivacyPolicy::new()
+            .allow(Purpose::Research, &["height"], 10)
+            .allow(Purpose::Research, &["weight"], 20);
+        assert!(!p.allows(Purpose::Research, "height"));
+        assert!(p.allows(Purpose::Research, "weight"));
+    }
+
+    #[test]
+    fn policy_text_format_round_trips() {
+        let text = "
+# hospital policy
+purpose treatment: height, weight, blood_pressure, aids; retention 3650
+purpose billing:   blood_pressure; retention 365
+purpose research:  height, weight; retention 1825
+";
+        let p = PrivacyPolicy::parse(text).unwrap();
+        assert!(p.allows(Purpose::Treatment, "aids"));
+        assert!(p.allows(Purpose::Billing, "blood_pressure"));
+        assert!(!p.allows(Purpose::Billing, "aids"));
+        assert!(!p.allows(Purpose::Marketing, "height"));
+        assert_eq!(p.rule(Purpose::Research).unwrap().retention_days, 1825);
+    }
+
+    #[test]
+    fn policy_parse_errors_carry_line_numbers() {
+        for (text, needle) in [
+            ("bogus line", "line 1"),
+            ("purpose treatment height; retention 10", "missing `:`"),
+            ("purpose lobbying: a; retention 10", "unknown purpose"),
+            ("purpose billing: ; retention 10", "no attributes"),
+            ("purpose billing: a", "retention"),
+            ("purpose billing: a; retention soon", "number of days"),
+        ] {
+            let e = PrivacyPolicy::parse(text).unwrap_err();
+            assert!(e.contains(needle), "{text}: {e}");
+        }
+    }
+
+    #[test]
+    fn consent_sets() {
+        let c = Consent::to(&[Purpose::Treatment, Purpose::Research]);
+        assert!(c.covers(Purpose::Treatment));
+        assert!(!c.covers(Purpose::Marketing));
+        assert!(Consent::all().covers(Purpose::Marketing));
+        assert!(!Consent::none().covers(Purpose::Treatment));
+    }
+}

@@ -1,0 +1,132 @@
+//! Barrett reduction: division-free modular reduction for a fixed modulus.
+//!
+//! For modulus `m` of `k` bits, precompute `μ = ⌊2^(2k) / m⌋`; then for any
+//! `x < m²`, `q = ⌊(x·μ) / 2^(2k)⌋` satisfies `x − q·m < 3m`, so at most two
+//! subtractions finish the reduction. This turns the inner loop of modular
+//! exponentiation from a Knuth division into two multiplications and a
+//! shift — the standard speed-up computational PIR key sizes need.
+
+use crate::biguint::BigUint;
+
+/// Precomputed reduction context for one modulus.
+#[derive(Debug, Clone)]
+pub struct Barrett {
+    modulus: BigUint,
+    mu: BigUint,
+    shift: usize,
+}
+
+impl Barrett {
+    /// Builds a context; panics on zero modulus.
+    pub fn new(modulus: BigUint) -> Self {
+        assert!(!modulus.is_zero(), "modulus must be nonzero");
+        let shift = 2 * modulus.bit_length();
+        let mu = BigUint::one().shl_bits(shift).div_rem(&modulus).0;
+        Self { modulus, mu, shift }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Reduces `x` modulo the modulus; `x` must be `< modulus²`
+    /// (guaranteed for products of reduced operands).
+    pub fn reduce(&self, x: &BigUint) -> BigUint {
+        debug_assert!(
+            x.bit_length() <= 2 * self.modulus.bit_length(),
+            "Barrett input out of range"
+        );
+        let q = x.mul_ref(&self.mu).shr_bits(self.shift);
+        let mut r = x.sub_ref(&q.mul_ref(&self.modulus));
+        while r.cmp_magnitude(&self.modulus) != std::cmp::Ordering::Less {
+            r = r.sub_ref(&self.modulus);
+        }
+        r
+    }
+
+    /// `(a · b) mod m` with both operands already reduced.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.reduce(&a.mul_ref(b))
+    }
+
+    /// `base^exp mod m` by square-and-multiply over Barrett reductions.
+    pub fn pow_mod(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if self.modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut b = base.rem_ref(&self.modulus);
+        for i in 0..exp.bit_length() {
+            if exp.bit(i) {
+                result = self.mul_mod(&result, &b);
+            }
+            b = self.mul_mod(&b, &b);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::{pow_mod, random_bits};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reduce_matches_rem_small() {
+        let m = BigUint::from_u64(1_000_003);
+        let b = Barrett::new(m.clone());
+        for x in [0u64, 1, 999_999, 1_000_003, 123_456_789] {
+            let xb = BigUint::from_u64(x).mul_ref(&BigUint::from_u64(7919));
+            assert_eq!(b.reduce(&xb), xb.rem_ref(&m), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_generic_pow_mod_on_big_moduli() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xBA77);
+        for bits in [64usize, 128, 257] {
+            let mut m = random_bits(&mut rng, bits);
+            if m.is_zero() {
+                m = BigUint::from_u64(97);
+            }
+            let barrett = Barrett::new(m.clone());
+            let base = random_bits(&mut rng, bits / 2 + 3);
+            let exp = random_bits(&mut rng, 48);
+            assert_eq!(
+                barrett.pow_mod(&base, &exp),
+                pow_mod(&base, &exp, &m),
+                "bits = {bits}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_modulus_panics() {
+        let _ = Barrett::new(BigUint::zero());
+    }
+
+    proptest! {
+        #[test]
+        fn reduce_matches_rem(x in any::<u128>(), m in 2u64..) {
+            let mb = BigUint::from_u64(m);
+            let barrett = Barrett::new(mb.clone());
+            // Keep x < m² as the contract requires.
+            let x = BigUint::from_u128(x % (m as u128 * m as u128));
+            prop_assert_eq!(barrett.reduce(&x), x.rem_ref(&mb));
+        }
+
+        #[test]
+        fn mul_mod_matches_u128(a in any::<u64>(), b in any::<u64>(), m in 2u64..) {
+            let mb = BigUint::from_u64(m);
+            let barrett = Barrett::new(mb.clone());
+            let ar = BigUint::from_u64(a % m);
+            let br = BigUint::from_u64(b % m);
+            let expected = (a % m) as u128 * (b % m) as u128 % m as u128;
+            prop_assert_eq!(barrett.mul_mod(&ar, &br).to_u128(), Some(expected));
+        }
+    }
+}

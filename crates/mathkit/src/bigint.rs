@@ -1,0 +1,275 @@
+//! Signed arbitrary-precision integers (sign + magnitude wrapper).
+
+use crate::biguint::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of a [`BigInt`]; zero is always [`Sign::Zero`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// A signed arbitrary-precision integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    negative: bool, // never true for zero
+    magnitude: BigUint,
+}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self { negative: false, magnitude: BigUint::zero() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Self { negative: false, magnitude: BigUint::one() }
+    }
+
+    /// Builds from a sign and magnitude.
+    pub fn from_biguint(negative: bool, magnitude: BigUint) -> Self {
+        let negative = negative && !magnitude.is_zero();
+        Self { negative, magnitude }
+    }
+
+    /// Builds from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        Self::from_biguint(v < 0, BigUint::from_u64(v.unsigned_abs()))
+    }
+
+    /// Builds from an `i128`.
+    pub fn from_i128(v: i128) -> Self {
+        Self::from_biguint(v < 0, BigUint::from_u128(v.unsigned_abs()))
+    }
+
+    /// The value as `i128`, if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.magnitude.to_u128()?;
+        if self.negative {
+            if m <= i128::MAX as u128 + 1 {
+                Some((m as i128).wrapping_neg())
+            } else {
+                None
+            }
+        } else if m <= i128::MAX as u128 {
+            Some(m as i128)
+        } else {
+            None
+        }
+    }
+
+    /// Magnitude (absolute value).
+    pub fn magnitude(&self) -> &BigUint {
+        &self.magnitude
+    }
+
+    /// Sign of the value.
+    pub fn sign(&self) -> Sign {
+        if self.magnitude.is_zero() {
+            Sign::Zero
+        } else if self.negative {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        }
+    }
+
+    /// True when zero.
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// True when strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Self { negative: false, magnitude: self.magnitude.clone() }
+    }
+
+    /// Sum.
+    pub fn add_ref(&self, other: &Self) -> Self {
+        if self.negative == other.negative {
+            Self::from_biguint(self.negative, self.magnitude.add_ref(&other.magnitude))
+        } else {
+            match self.magnitude.cmp_magnitude(&other.magnitude) {
+                Ordering::Equal => Self::zero(),
+                Ordering::Greater => Self::from_biguint(
+                    self.negative,
+                    self.magnitude.sub_ref(&other.magnitude),
+                ),
+                Ordering::Less => Self::from_biguint(
+                    other.negative,
+                    other.magnitude.sub_ref(&self.magnitude),
+                ),
+            }
+        }
+    }
+
+    /// Difference.
+    pub fn sub_ref(&self, other: &Self) -> Self {
+        self.add_ref(&other.neg_ref())
+    }
+
+    /// Product.
+    pub fn mul_ref(&self, other: &Self) -> Self {
+        Self::from_biguint(
+            self.negative != other.negative,
+            self.magnitude.mul_ref(&other.magnitude),
+        )
+    }
+
+    /// Negation.
+    pub fn neg_ref(&self) -> Self {
+        Self::from_biguint(!self.negative, self.magnitude.clone())
+    }
+
+    /// Truncated division (quotient rounds toward zero) with remainder of
+    /// the dividend's sign, like Rust's `/` and `%` on primitives.
+    pub fn div_rem(&self, other: &Self) -> (Self, Self) {
+        let (q, r) = self.magnitude.div_rem(&other.magnitude);
+        (
+            Self::from_biguint(self.negative != other.negative, q),
+            Self::from_biguint(self.negative, r),
+        )
+    }
+
+    /// Greatest common divisor (non-negative).
+    pub fn gcd(&self, other: &Self) -> Self {
+        Self::from_biguint(false, self.magnitude.gcd(&other.magnitude))
+    }
+
+    /// Comparison.
+    pub fn cmp_value(&self, other: &Self) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.magnitude.cmp_magnitude(&other.magnitude),
+            (true, true) => other.magnitude.cmp_magnitude(&self.magnitude),
+        }
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_value(other)
+    }
+}
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        self.add_ref(rhs)
+    }
+}
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self.sub_ref(rhs)
+    }
+}
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        self.mul_ref(rhs)
+    }
+}
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        self.neg_ref()
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.magnitude)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        Self::from_i64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn signs() {
+        assert_eq!(BigInt::from_i64(-5).sign(), Sign::Negative);
+        assert_eq!(BigInt::zero().sign(), Sign::Zero);
+        assert_eq!(BigInt::from_i64(5).sign(), Sign::Positive);
+        // Negative zero must normalize to zero.
+        assert_eq!(BigInt::from_biguint(true, BigUint::zero()).sign(), Sign::Zero);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BigInt::from_i64(-42).to_string(), "-42");
+        assert_eq!(BigInt::zero().to_string(), "0");
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+            let s = BigInt::from_i128(a).add_ref(&BigInt::from_i128(b));
+            prop_assert_eq!(s.to_i128(), Some(a + b));
+        }
+
+        #[test]
+        fn sub_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+            let d = BigInt::from_i128(a).sub_ref(&BigInt::from_i128(b));
+            prop_assert_eq!(d.to_i128(), Some(a - b));
+        }
+
+        #[test]
+        fn mul_matches_i128(a in -(1i128<<60)..(1i128<<60), b in -(1i128<<60)..(1i128<<60)) {
+            let p = BigInt::from_i128(a).mul_ref(&BigInt::from_i128(b));
+            prop_assert_eq!(p.to_i128(), Some(a * b));
+        }
+
+        #[test]
+        fn div_rem_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+            prop_assume!(b != 0);
+            let (q, r) = BigInt::from_i128(a).div_rem(&BigInt::from_i128(b));
+            prop_assert_eq!(q.to_i128(), Some(a / b));
+            prop_assert_eq!(r.to_i128(), Some(a % b));
+        }
+
+        #[test]
+        fn ordering_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(
+                BigInt::from_i64(a).cmp(&BigInt::from_i64(b)),
+                a.cmp(&b)
+            );
+        }
+    }
+}

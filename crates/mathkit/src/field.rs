@@ -1,0 +1,266 @@
+//! The prime field `F_p` with `p = 2^61 − 1` (a Mersenne prime).
+//!
+//! Secret sharing in `tdf-smc` works over this field: it is large enough to
+//! hold any aggregate the PPDM protocols compute (sums of millions of
+//! 32-bit values) and small enough that multiplication fits in `u128`.
+
+use rand::Rng;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus `2^61 − 1`.
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// An element of `F_{2^61−1}`, always kept reduced in `[0, P)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp61(u64);
+
+impl Fp61 {
+    /// Additive identity.
+    pub const ZERO: Fp61 = Fp61(0);
+    /// Multiplicative identity.
+    pub const ONE: Fp61 = Fp61(1);
+
+    /// Builds an element, reducing modulo `P`.
+    pub fn new(v: u64) -> Self {
+        Fp61(v % P)
+    }
+
+    /// Encodes a signed integer (two's-complement-style wraparound).
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Fp61::new(v as u64)
+        } else {
+            -Fp61::new(v.unsigned_abs())
+        }
+    }
+
+    /// Decodes an element into a signed integer, interpreting values above
+    /// `P/2` as negative (inverse of [`Fp61::from_i64`] for |v| < P/2).
+    pub fn to_i64(self) -> i64 {
+        if self.0 > P / 2 {
+            -((P - self.0) as i64)
+        } else {
+            self.0 as i64
+        }
+    }
+
+    /// Raw representative in `[0, P)`.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// `self^exp` by square-and-multiply.
+    pub fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = Fp61::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse; `None` for zero.
+    pub fn inverse(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            // Fermat: a^(p−2) = a^(−1).
+            Some(self.pow(P - 2))
+        }
+    }
+
+    /// Uniformly random field element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Rejection sampling over 61 bits keeps the distribution uniform.
+        loop {
+            let v = rng.gen::<u64>() >> 3;
+            if v < P {
+                return Fp61(v);
+            }
+        }
+    }
+
+    /// True when the element is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Fast reduction of a 122-bit product modulo the Mersenne prime.
+fn reduce128(x: u128) -> u64 {
+    let lo = (x & P as u128) as u64;
+    let hi = (x >> 61) as u64;
+    let mut s = lo + hi;
+    if s >= P {
+        s -= P;
+    }
+    // One more carry can appear when hi itself exceeded P.
+    if s >= P {
+        s -= P;
+    }
+    s
+}
+
+impl Add for Fp61 {
+    type Output = Fp61;
+    fn add(self, rhs: Fp61) -> Fp61 {
+        let s = self.0 + rhs.0;
+        Fp61(if s >= P { s - P } else { s })
+    }
+}
+impl AddAssign for Fp61 {
+    fn add_assign(&mut self, rhs: Fp61) {
+        *self = *self + rhs;
+    }
+}
+impl Sub for Fp61 {
+    type Output = Fp61;
+    fn sub(self, rhs: Fp61) -> Fp61 {
+        Fp61(if self.0 >= rhs.0 { self.0 - rhs.0 } else { self.0 + P - rhs.0 })
+    }
+}
+impl SubAssign for Fp61 {
+    fn sub_assign(&mut self, rhs: Fp61) {
+        *self = *self - rhs;
+    }
+}
+impl Mul for Fp61 {
+    type Output = Fp61;
+    fn mul(self, rhs: Fp61) -> Fp61 {
+        Fp61(reduce128(self.0 as u128 * rhs.0 as u128))
+    }
+}
+impl MulAssign for Fp61 {
+    fn mul_assign(&mut self, rhs: Fp61) {
+        *self = *self * rhs;
+    }
+}
+impl Neg for Fp61 {
+    type Output = Fp61;
+    fn neg(self) -> Fp61 {
+        if self.0 == 0 {
+            self
+        } else {
+            Fp61(P - self.0)
+        }
+    }
+}
+impl Div for Fp61 {
+    type Output = Fp61;
+    // Field division IS multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Fp61) -> Fp61 {
+        self * rhs.inverse().expect("division by zero in Fp61")
+    }
+}
+
+impl fmt::Debug for Fp61 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp61({})", self.0)
+    }
+}
+impl fmt::Display for Fp61 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Fp61 {
+    fn from(v: u64) -> Self {
+        Fp61::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identities() {
+        let a = Fp61::new(12345);
+        assert_eq!(a + Fp61::ZERO, a);
+        assert_eq!(a * Fp61::ONE, a);
+        assert_eq!(a - a, Fp61::ZERO);
+        assert_eq!(a + (-a), Fp61::ZERO);
+    }
+
+    #[test]
+    fn wraparound_reduction() {
+        assert_eq!(Fp61::new(P), Fp61::ZERO);
+        assert_eq!(Fp61::new(P + 5), Fp61::new(5));
+        let big = Fp61::new(P - 1);
+        assert_eq!(big + Fp61::new(2), Fp61::ONE);
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for v in [-1_000_000i64, -1, 0, 1, 987_654_321] {
+            assert_eq!(Fp61::from_i64(v).to_i64(), v);
+        }
+    }
+
+    #[test]
+    fn inverse_of_zero_is_none() {
+        assert!(Fp61::ZERO.inverse().is_none());
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let a = Fp61::random(&mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a * a.inverse().unwrap(), Fp61::ONE);
+        }
+    }
+
+    #[test]
+    fn random_is_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert!(Fp61::random(&mut rng).raw() < P);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn mul_matches_u128(a in 0..P, b in 0..P) {
+            let expected = (a as u128 * b as u128 % P as u128) as u64;
+            prop_assert_eq!((Fp61(a) * Fp61(b)).raw(), expected);
+        }
+
+        #[test]
+        fn add_matches_u128(a in 0..P, b in 0..P) {
+            let expected = ((a as u128 + b as u128) % P as u128) as u64;
+            prop_assert_eq!((Fp61(a) + Fp61(b)).raw(), expected);
+        }
+
+        #[test]
+        fn field_axioms(a in 0..P, b in 0..P, c in 0..P) {
+            let (a, b, c) = (Fp61(a), Fp61(b), Fp61(c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn pow_matches_repeated_mul(a in 0..P, e in 0u64..32) {
+            let a = Fp61(a);
+            let mut expected = Fp61::ONE;
+            for _ in 0..e {
+                expected *= a;
+            }
+            prop_assert_eq!(a.pow(e), expected);
+        }
+    }
+}

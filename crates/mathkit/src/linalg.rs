@@ -1,0 +1,301 @@
+//! Exact linear algebra over the rationals, plus GF(2) vector helpers.
+//!
+//! The rational Gaussian elimination is the core of the Chin–Ozsoyoglu
+//! query auditor (`tdf-querydb`): a SUM query over a set of records is a
+//! 0/1 row; a respondent's value is *compromised* exactly when its unit
+//! vector lies in the row space of the answered queries. The GF(2) helpers
+//! back XOR-based multi-server PIR (`tdf-pir`).
+
+// Index loops below walk several parallel arrays; iterators would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::rational::Rational;
+
+/// A dense matrix of rationals in reduced row-echelon form maintenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QMatrix {
+    cols: usize,
+    /// Rows kept in reduced row-echelon form; parallel `rhs` values.
+    rows: Vec<Vec<Rational>>,
+    rhs: Vec<Rational>,
+    /// `pivots[i]` = pivot column of row `i`, strictly increasing.
+    pivots: Vec<usize>,
+}
+
+impl QMatrix {
+    /// An empty system over `cols` unknowns.
+    pub fn new(cols: usize) -> Self {
+        Self { cols, rows: Vec::new(), rhs: Vec::new(), pivots: Vec::new() }
+    }
+
+    /// Number of unknowns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Current rank (number of independent rows absorbed).
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Reduces `row` against the current basis, returning the residual row
+    /// and residual right-hand side.
+    fn reduce(&self, mut row: Vec<Rational>, mut b: Rational) -> (Vec<Rational>, Rational) {
+        for (i, &p) in self.pivots.iter().enumerate() {
+            if !row[p].is_zero() {
+                let factor = row[p].clone();
+                for c in 0..self.cols {
+                    row[c] = row[c].sub_ref(&factor.mul_ref(&self.rows[i][c]));
+                }
+                b = b.sub_ref(&factor.mul_ref(&self.rhs[i]));
+            }
+        }
+        (row, b)
+    }
+
+    /// Absorbs the equation `row · x = b`.
+    ///
+    /// Returns `true` when the row was independent (rank grew), `false`
+    /// when it was linearly dependent on what is already known. Panics if
+    /// the equation is *inconsistent* with the current system — the auditor
+    /// never feeds inconsistent true answers.
+    pub fn absorb(&mut self, row: &[Rational], b: &Rational) -> bool {
+        self.absorb_inner(row, b, true)
+    }
+
+    /// Like [`QMatrix::absorb`] but ignores the right-hand side of
+    /// dependent rows instead of checking consistency. Used for pure
+    /// row-space reasoning where values are unknown or irrelevant.
+    pub fn absorb_row_space(&mut self, row: &[Rational]) -> bool {
+        self.absorb_inner(row, &Rational::zero(), false)
+    }
+
+    fn absorb_inner(&mut self, row: &[Rational], b: &Rational, check: bool) -> bool {
+        assert_eq!(row.len(), self.cols, "row arity mismatch");
+        let (mut row, b) = self.reduce(row.to_vec(), b.clone());
+        let pivot = match row.iter().position(|v| !v.is_zero()) {
+            Some(p) => p,
+            None => {
+                if check {
+                    assert!(
+                        b.is_zero(),
+                        "inconsistent equation absorbed into audit system"
+                    );
+                }
+                return false;
+            }
+        };
+        // Normalize so the pivot is 1.
+        let inv = row[pivot].clone();
+        for c in 0..self.cols {
+            row[c] = row[c].div_ref(&inv);
+        }
+        let b = b.div_ref(&inv);
+        // Back-substitute into existing rows to stay fully reduced.
+        for i in 0..self.rows.len() {
+            if !self.rows[i][pivot].is_zero() {
+                let factor = self.rows[i][pivot].clone();
+                for c in 0..self.cols {
+                    let delta = factor.mul_ref(&row[c]);
+                    self.rows[i][c] = self.rows[i][c].sub_ref(&delta);
+                }
+                self.rhs[i] = self.rhs[i].sub_ref(&factor.mul_ref(&b));
+            }
+        }
+        // Insert keeping pivot order.
+        let at = self.pivots.iter().position(|&p| p > pivot).unwrap_or(self.pivots.len());
+        self.rows.insert(at, row);
+        self.rhs.insert(at, b);
+        self.pivots.insert(at, pivot);
+        true
+    }
+
+    /// Would absorbing `row` make unknown `target` uniquely determined?
+    ///
+    /// Non-destructive: used by the auditor to *refuse* a query before
+    /// answering it.
+    pub fn would_determine(&self, row: &[Rational], target: usize) -> bool {
+        // Determinacy depends only on the row space, so the probe can use a
+        // dummy right-hand side.
+        let mut probe = self.clone();
+        probe.absorb_row_space(row);
+        probe.determined(target).is_some()
+    }
+
+    /// If unknown `target` is uniquely determined, returns its value.
+    pub fn determined(&self, target: usize) -> Option<Rational> {
+        for (i, &p) in self.pivots.iter().enumerate() {
+            if p == target {
+                // Determined iff the row is exactly the unit vector e_target.
+                let unit = self.rows[i]
+                    .iter()
+                    .enumerate()
+                    .all(|(c, v)| if c == target { !v.is_zero() } else { v.is_zero() });
+                if unit {
+                    return Some(self.rhs[i].clone());
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    /// All unknowns currently determined, as `(index, value)` pairs.
+    pub fn all_determined(&self) -> Vec<(usize, Rational)> {
+        (0..self.cols)
+            .filter_map(|t| self.determined(t).map(|v| (t, v)))
+            .collect()
+    }
+
+    /// True when `row` lies in the span of the absorbed rows.
+    pub fn spans(&self, row: &[Rational]) -> bool {
+        let (residual, _) = self.reduce(row.to_vec(), Rational::zero());
+        residual.iter().all(Rational::is_zero)
+    }
+}
+
+/// Solves the square system `a · x = b` exactly; `None` when singular.
+pub fn solve(a: &[Vec<Rational>], b: &[Rational]) -> Option<Vec<Rational>> {
+    let n = a.len();
+    assert!(a.iter().all(|r| r.len() == n) && b.len() == n, "square system expected");
+    let mut m = QMatrix::new(n);
+    for (row, rhs) in a.iter().zip(b) {
+        m.absorb(row, rhs);
+    }
+    if m.rank() != n {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for t in 0..n {
+        out.push(m.determined(t)?);
+    }
+    Some(out)
+}
+
+/// XOR of two equal-length bit vectors (GF(2) addition), used by PIR.
+pub fn xor_bits(a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "xor of unequal lengths");
+    a.iter().zip(b).map(|(x, y)| x ^ y).collect()
+}
+
+/// In-place XOR accumulate: `acc ^= v`.
+pub fn xor_into(acc: &mut [u8], v: &[u8]) {
+    assert_eq!(acc.len(), v.len(), "xor of unequal lengths");
+    for (a, b) in acc.iter_mut().zip(v) {
+        *a ^= b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: i64) -> Rational {
+        Rational::from_int(v)
+    }
+
+    fn row(vals: &[i64]) -> Vec<Rational> {
+        vals.iter().map(|&v| q(v)).collect()
+    }
+
+    #[test]
+    fn single_equation_determines_single_unknown() {
+        let mut m = QMatrix::new(3);
+        assert!(m.absorb(&row(&[0, 1, 0]), &q(42)));
+        assert_eq!(m.determined(1), Some(q(42)));
+        assert_eq!(m.determined(0), None);
+    }
+
+    #[test]
+    fn sum_queries_combine_into_disclosure() {
+        // x0+x1+x2 = 10, x1+x2 = 6  =>  x0 = 4 (a classic tracker pattern).
+        let mut m = QMatrix::new(3);
+        m.absorb(&row(&[1, 1, 1]), &q(10));
+        assert_eq!(m.determined(0), None);
+        m.absorb(&row(&[0, 1, 1]), &q(6));
+        assert_eq!(m.determined(0), Some(q(4)));
+        assert_eq!(m.determined(1), None);
+    }
+
+    #[test]
+    fn dependent_rows_do_not_grow_rank() {
+        let mut m = QMatrix::new(2);
+        assert!(m.absorb(&row(&[1, 1]), &q(5)));
+        assert!(!m.absorb(&row(&[2, 2]), &q(10)));
+        assert_eq!(m.rank(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn inconsistent_equation_panics() {
+        let mut m = QMatrix::new(2);
+        m.absorb(&row(&[1, 1]), &q(5));
+        m.absorb(&row(&[2, 2]), &q(11));
+    }
+
+    #[test]
+    fn would_determine_is_non_destructive() {
+        let mut m = QMatrix::new(3);
+        m.absorb(&row(&[1, 1, 1]), &q(10));
+        let rank_before = m.rank();
+        assert!(m.would_determine(&row(&[0, 1, 1]), 0));
+        assert_eq!(m.rank(), rank_before);
+        assert_eq!(m.determined(0), None);
+    }
+
+    #[test]
+    fn spans_detects_row_space_membership() {
+        let mut m = QMatrix::new(3);
+        m.absorb(&row(&[1, 1, 0]), &q(3));
+        m.absorb(&row(&[0, 1, 1]), &q(4));
+        assert!(m.spans(&row(&[1, 0, -1])));
+        assert!(!m.spans(&row(&[1, 0, 0])));
+    }
+
+    #[test]
+    fn solve_3x3() {
+        // x=1, y=2, z=3 from a full-rank system.
+        let a = vec![row(&[2, 1, 1]), row(&[1, 3, 2]), row(&[1, 0, 0])];
+        let b = vec![q(7), q(13), q(1)];
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x, vec![q(1), q(2), q(3)]);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = vec![row(&[1, 1]), row(&[2, 2])];
+        let b = vec![q(3), q(6)];
+        assert!(solve(&a, &b).is_none());
+    }
+
+    #[test]
+    fn solve_with_fractional_result() {
+        // 2x = 1 → x = 1/2.
+        let a = vec![row(&[2])];
+        let b = vec![q(1)];
+        assert_eq!(solve(&a, &b).unwrap(), vec![Rational::from_ratio(1, 2)]);
+    }
+
+    #[test]
+    fn xor_helpers() {
+        assert_eq!(xor_bits(&[0b1010], &[0b0110]), vec![0b1100]);
+        let mut acc = vec![0xFF, 0x00];
+        xor_into(&mut acc, &[0x0F, 0xF0]);
+        assert_eq!(acc, vec![0xF0, 0xF0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal")]
+    fn xor_length_mismatch_panics() {
+        let _ = xor_bits(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn all_determined_lists_unit_rows() {
+        let mut m = QMatrix::new(3);
+        m.absorb(&row(&[1, 0, 0]), &q(1));
+        m.absorb(&row(&[0, 0, 1]), &q(9));
+        let det = m.all_determined();
+        assert_eq!(det, vec![(0, q(1)), (2, q(9))]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Modular arithmetic on [`BigUint`]: the toolbox behind the
+//! Goldwasser–Micali encryption used by computational PIR and the
+//! commutative encryption used by secure set intersection.
+
+use crate::bigint::BigInt;
+use crate::biguint::BigUint;
+use rand::Rng;
+
+/// `(a + b) mod m`.
+pub fn add_mod(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    a.add_ref(b).rem_ref(m)
+}
+
+/// `(a * b) mod m`.
+pub fn mul_mod(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    a.mul_ref(b).rem_ref(m)
+}
+
+/// `base^exp mod m` by square-and-multiply; `m` must be nonzero.
+///
+/// Long exponents amortize a Barrett precomputation
+/// ([`crate::barrett::Barrett`]), replacing per-step divisions with
+/// multiplications; short exponents take the direct path.
+pub fn pow_mod(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+    assert!(!m.is_zero(), "modulus must be nonzero");
+    if m.is_one() {
+        return BigUint::zero();
+    }
+    if exp.bit_length() > 16 {
+        return crate::barrett::Barrett::new(m.clone()).pow_mod(base, exp);
+    }
+    let mut result = BigUint::one();
+    let mut b = base.rem_ref(m);
+    for i in 0..exp.bit_length() {
+        if exp.bit(i) {
+            result = mul_mod(&result, &b, m);
+        }
+        b = mul_mod(&b, &b, m);
+    }
+    result
+}
+
+/// Extended Euclid on signed integers: returns `(g, x, y)` with
+/// `a·x + b·y = g = gcd(a, b)`.
+pub fn extended_gcd(a: &BigInt, b: &BigInt) -> (BigInt, BigInt, BigInt) {
+    if b.is_zero() {
+        let sign_fix = if a.is_negative() { BigInt::from_i64(-1) } else { BigInt::one() };
+        return (a.abs(), sign_fix, BigInt::zero());
+    }
+    let (q, r) = a.div_rem(b);
+    let (g, x, y) = extended_gcd(b, &r);
+    // g = b·x + r·y = b·x + (a − q·b)·y = a·y + b·(x − q·y)
+    let new_y = x.sub_ref(&q.mul_ref(&y));
+    (g, y, new_y)
+}
+
+/// Multiplicative inverse of `a` modulo `m`, when `gcd(a, m) = 1`.
+pub fn inv_mod(a: &BigUint, m: &BigUint) -> Option<BigUint> {
+    if m.is_zero() || m.is_one() {
+        return None;
+    }
+    let ab = BigInt::from_biguint(false, a.rem_ref(m));
+    let mb = BigInt::from_biguint(false, m.clone());
+    let (g, x, _) = extended_gcd(&ab, &mb);
+    if !g.magnitude().is_one() {
+        return None;
+    }
+    // Bring x into [0, m).
+    let mut xi = x;
+    while xi.is_negative() {
+        xi = xi.add_ref(&mb);
+    }
+    Some(xi.magnitude().rem_ref(m))
+}
+
+/// Jacobi symbol `(a/n)` for odd positive `n`; returns −1, 0 or 1.
+pub fn jacobi(a: &BigUint, n: &BigUint) -> i32 {
+    assert!(!n.is_even() && !n.is_zero(), "Jacobi symbol needs odd positive n");
+    let mut a = a.rem_ref(n);
+    let mut n = n.clone();
+    let mut t = 1i32;
+    let three = BigUint::from_u64(3);
+    let four = BigUint::from_u64(4);
+    let five = BigUint::from_u64(5);
+    let eight = BigUint::from_u64(8);
+    while !a.is_zero() {
+        while a.is_even() {
+            a = a.shr_bits(1);
+            let r = n.rem_ref(&eight);
+            if r == three || r == five {
+                t = -t;
+            }
+        }
+        std::mem::swap(&mut a, &mut n);
+        if a.rem_ref(&four) == three && n.rem_ref(&four) == three {
+            t = -t;
+        }
+        a = a.rem_ref(&n);
+    }
+    if n.is_one() {
+        t
+    } else {
+        0
+    }
+}
+
+/// Uniform random value in `[0, bound)`; `bound` must be nonzero.
+pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bit_length();
+    loop {
+        let candidate = random_bits(rng, bits);
+        if candidate.cmp_magnitude(bound) == std::cmp::Ordering::Less {
+            return candidate;
+        }
+    }
+}
+
+/// Random value with at most `bits` bits.
+pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    let limbs = bits.div_ceil(64);
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+    let extra = limbs * 64 - bits;
+    if extra > 0 {
+        if let Some(top) = v.last_mut() {
+            *top >>= extra;
+        }
+    }
+    BigUint::from_limbs(v)
+}
+
+/// Uniform random unit modulo `m` (coprime with `m`).
+pub fn random_unit<R: Rng + ?Sized>(rng: &mut R, m: &BigUint) -> BigUint {
+    loop {
+        let candidate = random_below(rng, m);
+        if !candidate.is_zero() && candidate.gcd(m).is_one() {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn pow_mod_small_cases() {
+        assert_eq!(pow_mod(&big(2), &big(10), &big(1000)).to_u64(), Some(24));
+        assert_eq!(pow_mod(&big(5), &big(0), &big(7)).to_u64(), Some(1));
+        assert_eq!(pow_mod(&big(5), &big(3), &BigUint::one()).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // 2^(p-1) ≡ 1 mod p for prime p.
+        let p = big(1_000_000_007);
+        let r = pow_mod(&big(2), &big(1_000_000_006), &p);
+        assert!(r.is_one());
+    }
+
+    #[test]
+    fn inverse_works_and_detects_non_units() {
+        let m = big(101);
+        for a in 1..101u64 {
+            let inv = inv_mod(&big(a), &m).unwrap();
+            assert!(mul_mod(&big(a), &inv, &m).is_one(), "a = {a}");
+        }
+        assert!(inv_mod(&big(6), &big(9)).is_none());
+        assert!(inv_mod(&big(5), &BigUint::one()).is_none());
+    }
+
+    #[test]
+    fn jacobi_matches_legendre_for_small_prime() {
+        // For p = 11: squares are 1,3,4,5,9.
+        let p = big(11);
+        let squares = [1u64, 3, 4, 5, 9];
+        for a in 1..11u64 {
+            let expected = if squares.contains(&a) { 1 } else { -1 };
+            assert_eq!(jacobi(&big(a), &p), expected, "a = {a}");
+        }
+        assert_eq!(jacobi(&big(0), &p), 0);
+        assert_eq!(jacobi(&big(22), &p), 0);
+    }
+
+    #[test]
+    fn jacobi_is_multiplicative() {
+        let n = big(9907); // odd prime
+        for (a, b) in [(2u64, 3u64), (5, 7), (10, 13)] {
+            let lhs = jacobi(&big(a * b), &n);
+            let rhs = jacobi(&big(a), &n) * jacobi(&big(b), &n);
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let bound = BigUint::from_u128(1u128 << 90);
+        for _ in 0..100 {
+            let v = random_below(&mut rng, &bound);
+            assert!(v.cmp_magnitude(&bound) == std::cmp::Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn random_unit_is_coprime() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = big(100);
+        for _ in 0..50 {
+            let u = random_unit(&mut rng, &m);
+            assert!(u.gcd(&m).is_one());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn pow_mod_matches_u128(b in any::<u32>(), e in 0u32..64, m in 2u64..) {
+            let expected = {
+                let mut acc: u128 = 1;
+                for _ in 0..e {
+                    acc = acc * (b as u128 % m as u128) % m as u128;
+                }
+                acc
+            };
+            let got = pow_mod(&big(b as u64), &big(e as u64), &big(m));
+            prop_assert_eq!(got.to_u128(), Some(expected));
+        }
+
+        #[test]
+        fn extended_gcd_bezout(a in any::<i64>(), b in any::<i64>()) {
+            let ab = BigInt::from_i64(a);
+            let bb = BigInt::from_i64(b);
+            let (g, x, y) = extended_gcd(&ab, &bb);
+            let lhs = ab.mul_ref(&x).add_ref(&bb.mul_ref(&y));
+            prop_assert_eq!(lhs, g.clone());
+            if a != 0 || b != 0 {
+                prop_assert!(!g.is_zero());
+            }
+        }
+    }
+}

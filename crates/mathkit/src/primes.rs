@@ -1,0 +1,182 @@
+//! Primality testing and prime generation.
+//!
+//! Used by the computational-PIR key generation (Blum primes for
+//! Goldwasser–Micali) and the commutative encryption of secure set
+//! intersection (safe primes).
+
+use crate::biguint::BigUint;
+use crate::modular::{pow_mod, random_bits};
+use rand::Rng;
+
+/// Small primes used for trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// For the deterministic small range (< 3,317,044,064,679,887,385,961,981)
+/// the fixed witness set would suffice, but random bases keep the code
+/// simple and the error probability is ≤ 4^−rounds.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R) -> bool {
+    if n.cmp_magnitude(&BigUint::from_u64(2)) == std::cmp::Ordering::Less {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from_u64(p);
+        match n.cmp_magnitude(&pb) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Greater => {
+                if n.rem_ref(&pb).is_zero() {
+                    return false;
+                }
+            }
+        }
+    }
+    // Write n − 1 = d · 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n.sub_ref(&one);
+    let s = {
+        let mut s = 0usize;
+        let mut d = n_minus_1.clone();
+        while d.is_even() {
+            d = d.shr_bits(1);
+            s += 1;
+        }
+        s
+    };
+    let d = n_minus_1.shr_bits(s);
+
+    'witness: for _ in 0..rounds {
+        // Random base in [2, n − 2].
+        let a = loop {
+            let candidate = random_bits(rng, n.bit_length());
+            if candidate.cmp_magnitude(&BigUint::from_u64(2)) != std::cmp::Ordering::Less
+                && candidate.cmp_magnitude(&n_minus_1) == std::cmp::Ordering::Less
+            {
+                break candidate;
+            }
+        };
+        let mut x = pow_mod(&a, &d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = pow_mod(&x, &BigUint::from_u64(2), n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+pub fn random_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 8, "prime size must be at least 8 bits");
+    let top = BigUint::one().shl_bits(bits - 1);
+    loop {
+        // Force the top bit (exact size) and the bottom bit (odd).
+        let mut candidate = random_bits(rng, bits - 1).add_ref(&top);
+        if candidate.is_even() {
+            candidate = candidate.add_ref(&BigUint::one());
+        }
+        if is_probable_prime(&candidate, 20, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a Blum prime (`p ≡ 3 mod 4`) with exactly `bits` bits —
+/// the kind Goldwasser–Micali moduli are built from.
+pub fn random_blum_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    let four = BigUint::from_u64(4);
+    let three = BigUint::from_u64(3);
+    loop {
+        let p = random_prime(rng, bits);
+        if p.rem_ref(&four) == three {
+            return p;
+        }
+    }
+}
+
+/// Generates a safe prime `p = 2q + 1` (with `q` also prime) of `bits` bits.
+/// Slow for large sizes; used with modest parameters by secure set
+/// intersection tests.
+pub fn random_safe_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    loop {
+        let q = random_prime(rng, bits - 1);
+        let p = q.shl_bits(1).add_ref(&BigUint::one());
+        if is_probable_prime(&p, 20, rng) {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn small_primes_recognised() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 11, 97, 101, 7919, 1_000_000_007] {
+            assert!(is_probable_prime(&BigUint::from_u64(p), 10, &mut r), "{p}");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 6, 9, 15, 91, 561, 41041, 825_265] {
+            // 561, 41041, 825265 are Carmichael numbers.
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 10, &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn large_known_prime() {
+        let mut r = rng();
+        // 2^89 − 1 is a Mersenne prime.
+        let p = BigUint::one().shl_bits(89).sub_ref(&BigUint::one());
+        assert!(is_probable_prime(&p, 15, &mut r));
+        // 2^67 − 1 = 193707721 × 761838257287 is composite.
+        let c = BigUint::one().shl_bits(67).sub_ref(&BigUint::one());
+        assert!(!is_probable_prime(&c, 15, &mut r));
+    }
+
+    #[test]
+    fn random_prime_has_requested_size() {
+        let mut r = rng();
+        for bits in [16usize, 32, 64, 96] {
+            let p = random_prime(&mut r, bits);
+            assert_eq!(p.bit_length(), bits, "bits = {bits}");
+            assert!(!p.is_even());
+        }
+    }
+
+    #[test]
+    fn blum_prime_is_3_mod_4() {
+        let mut r = rng();
+        let p = random_blum_prime(&mut r, 48);
+        assert_eq!(p.rem_ref(&BigUint::from_u64(4)).to_u64(), Some(3));
+    }
+
+    #[test]
+    fn safe_prime_structure() {
+        let mut r = rng();
+        let p = random_safe_prime(&mut r, 24);
+        let q = p.sub_ref(&BigUint::one()).shr_bits(1);
+        assert!(is_probable_prime(&q, 10, &mut r));
+        assert!(is_probable_prime(&p, 10, &mut r));
+    }
+}

@@ -1,0 +1,253 @@
+//! Exact rational numbers over [`BigInt`].
+//!
+//! The Chin–Ozsoyoglu query auditor solves linear systems exactly — floating
+//! point would let rounding hide a disclosure — so it runs over these.
+
+use crate::bigint::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational; invariant: denominator positive, fraction reduced,
+/// zero is `0/1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt, // always positive
+}
+
+impl Rational {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Self { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Builds `num/den`; panics when `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut r = Self { num, den };
+        r.reduce();
+        r
+    }
+
+    /// Builds from an integer.
+    pub fn from_int(v: i64) -> Self {
+        Self { num: BigInt::from_i64(v), den: BigInt::one() }
+    }
+
+    /// Builds `p/q` from machine integers; panics when `q` is zero.
+    pub fn from_ratio(p: i64, q: i64) -> Self {
+        Self::new(BigInt::from_i64(p), BigInt::from_i64(q))
+    }
+
+    fn reduce(&mut self) {
+        if self.den.is_negative() {
+            self.num = self.num.neg_ref();
+            self.den = self.den.neg_ref();
+        }
+        if self.num.is_zero() {
+            self.den = BigInt::one();
+            return;
+        }
+        let g = self.num.gcd(&self.den);
+        if !g.magnitude().is_one() {
+            self.num = self.num.div_rem(&g).0;
+            self.den = self.den.div_rem(&g).0;
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numerator(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denominator(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// True when zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True when the value is a whole number.
+    pub fn is_integer(&self) -> bool {
+        self.den.magnitude().is_one()
+    }
+
+    /// Sum.
+    pub fn add_ref(&self, other: &Self) -> Self {
+        Self::new(
+            self.num.mul_ref(&other.den).add_ref(&other.num.mul_ref(&self.den)),
+            self.den.mul_ref(&other.den),
+        )
+    }
+
+    /// Difference.
+    pub fn sub_ref(&self, other: &Self) -> Self {
+        self.add_ref(&other.neg_ref())
+    }
+
+    /// Product.
+    pub fn mul_ref(&self, other: &Self) -> Self {
+        Self::new(self.num.mul_ref(&other.num), self.den.mul_ref(&other.den))
+    }
+
+    /// Quotient; panics when `other` is zero.
+    pub fn div_ref(&self, other: &Self) -> Self {
+        assert!(!other.is_zero(), "division by zero rational");
+        Self::new(self.num.mul_ref(&other.den), self.den.mul_ref(&other.num))
+    }
+
+    /// Negation.
+    pub fn neg_ref(&self) -> Self {
+        Self { num: self.num.neg_ref(), den: self.den.clone() }
+    }
+
+    /// Approximate `f64` value (for reporting only, never for auditing).
+    pub fn to_f64(&self) -> f64 {
+        // Good enough for reporting: go through decimal strings to avoid
+        // limb-level float assembly.
+        let n: f64 = self.num.to_string().parse().unwrap_or(f64::NAN);
+        let d: f64 = self.den.to_string().parse().unwrap_or(f64::NAN);
+        n / d
+    }
+
+    /// Comparison.
+    pub fn cmp_value(&self, other: &Self) -> Ordering {
+        self.num.mul_ref(&other.den).cmp_value(&other.num.mul_ref(&self.den))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_value(other)
+    }
+}
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        self.add_ref(rhs)
+    }
+}
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self.sub_ref(rhs)
+    }
+}
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        self.mul_ref(rhs)
+    }
+}
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        self.div_ref(rhs)
+    }
+}
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        self.neg_ref()
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduction_and_sign_normalisation() {
+        let r = Rational::from_ratio(6, -4);
+        assert_eq!(r.to_string(), "-3/2");
+        assert_eq!(Rational::from_ratio(0, -7), Rational::zero());
+        assert!(Rational::from_ratio(10, 5).is_integer());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::from_ratio(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_hand_cases() {
+        let a = Rational::from_ratio(1, 2);
+        let b = Rational::from_ratio(1, 3);
+        assert_eq!(a.add_ref(&b), Rational::from_ratio(5, 6));
+        assert_eq!(a.sub_ref(&b), Rational::from_ratio(1, 6));
+        assert_eq!(a.mul_ref(&b), Rational::from_ratio(1, 6));
+        assert_eq!(a.div_ref(&b), Rational::from_ratio(3, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::from_ratio(1, 3) < Rational::from_ratio(1, 2));
+        assert!(Rational::from_ratio(-1, 2) < Rational::zero());
+        assert_eq!(Rational::from_ratio(2, 4), Rational::from_ratio(1, 2));
+    }
+
+    #[test]
+    fn to_f64_approximates() {
+        assert!((Rational::from_ratio(1, 4).to_f64() - 0.25).abs() < 1e-12);
+        assert!((Rational::from_ratio(-7, 2).to_f64() + 3.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn field_ops_match_f64(a in -1000i64..1000, b in 1i64..1000,
+                               c in -1000i64..1000, d in 1i64..1000) {
+            let x = Rational::from_ratio(a, b);
+            let y = Rational::from_ratio(c, d);
+            let sum = x.add_ref(&y).to_f64();
+            prop_assert!((sum - (a as f64 / b as f64 + c as f64 / d as f64)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn add_sub_round_trip(a in -1000i64..1000, b in 1i64..1000,
+                              c in -1000i64..1000, d in 1i64..1000) {
+            let x = Rational::from_ratio(a, b);
+            let y = Rational::from_ratio(c, d);
+            prop_assert_eq!(x.add_ref(&y).sub_ref(&y), x);
+        }
+
+        #[test]
+        fn mul_div_round_trip(a in -1000i64..1000, b in 1i64..1000,
+                              c in 1i64..1000, d in 1i64..1000) {
+            let x = Rational::from_ratio(a, b);
+            let y = Rational::from_ratio(c, d);
+            prop_assert_eq!(x.mul_ref(&y).div_ref(&y), x);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Minimal CSV serialisation for datasets (no external dependency).
+//!
+//! The dialect is deliberately simple: comma separator, double-quote
+//! quoting with doubled quotes for escapes, `\n` record separator, a header
+//! row with attribute names. Types are recovered from the schema on parse.
+
+use crate::attribute::AttributeKind;
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Serialises a dataset to CSV text with a header row.
+pub fn to_csv(data: &Dataset) -> String {
+    let mut out = String::new();
+    let names = data.schema().names();
+    out.push_str(&names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in data.rows() {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Missing => String::new(),
+                Value::Str(s) => quote(s),
+                other => other.to_string(),
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Parses CSV text against a known schema. The header row must match the
+/// schema's attribute names in order.
+pub fn from_csv(schema: Schema, text: &str) -> Result<Dataset> {
+    let mut lines = split_records(text);
+    if lines.is_empty() {
+        return Err(Error::Csv { line: 0, message: "empty input".into() });
+    }
+    let header = parse_record(&lines.remove(0), 1)?;
+    let expected: Vec<&str> = schema.names();
+    if header.len() != expected.len() || header.iter().zip(&expected).any(|(a, b)| a != b) {
+        return Err(Error::Csv {
+            line: 1,
+            message: format!("header {:?} does not match schema {:?}", header, expected),
+        });
+    }
+    let mut data = Dataset::new(schema);
+    for (lineno, raw) in lines.iter().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let cells = parse_record(raw, lineno + 2)?;
+        if cells.len() != data.schema().len() {
+            return Err(Error::Csv {
+                line: lineno + 2,
+                message: format!(
+                    "expected {} cells, found {}",
+                    data.schema().len(),
+                    cells.len()
+                ),
+            });
+        }
+        let mut row = Vec::with_capacity(cells.len());
+        for (i, cell) in cells.iter().enumerate() {
+            row.push(parse_cell(cell, data.schema().attribute(i).kind, lineno + 2)?);
+        }
+        data.push_row(row).map_err(|e| Error::Csv {
+            line: lineno + 2,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(data)
+}
+
+fn parse_cell(cell: &str, kind: AttributeKind, line: usize) -> Result<Value> {
+    if cell.is_empty() || cell == "*" {
+        return Ok(Value::Missing);
+    }
+    let bad = |msg: String| Error::Csv { line, message: msg };
+    match kind {
+        AttributeKind::Continuous => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| bad(format!("`{cell}` is not a float"))),
+        AttributeKind::Integer => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| bad(format!("`{cell}` is not an integer"))),
+        AttributeKind::Nominal | AttributeKind::Ordinal => Ok(Value::Str(cell.to_owned())),
+        AttributeKind::Boolean => match cell {
+            "Y" | "y" | "true" | "1" => Ok(Value::Bool(true)),
+            "N" | "n" | "false" | "0" => Ok(Value::Bool(false)),
+            _ => Err(bad(format!("`{cell}` is not a Y/N boolean"))),
+        },
+    }
+}
+
+/// Splits text into records, honouring quoted newlines.
+fn split_records(text: &str) -> Vec<String> {
+    let mut records = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for ch in text.chars() {
+        match ch {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(ch);
+            }
+            '\n' if !in_quotes => {
+                records.push(std::mem::take(&mut current));
+            }
+            '\r' if !in_quotes => {}
+            _ => current.push(ch),
+        }
+    }
+    if !current.is_empty() {
+        records.push(current);
+    }
+    records
+}
+
+/// Splits one record into cells, handling quoting.
+fn parse_record(line: &str, lineno: usize) -> Result<Vec<String>> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            '"' => {
+                return Err(Error::Csv {
+                    line: lineno,
+                    message: "quote inside unquoted cell".into(),
+                })
+            }
+            ',' if !in_quotes => cells.push(std::mem::take(&mut cur)),
+            _ => cur.push(ch),
+        }
+    }
+    if in_quotes {
+        return Err(Error::Csv { line: lineno, message: "unterminated quote".into() });
+    }
+    cells.push(cur);
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttributeDef, AttributeKind, AttributeRole};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttributeDef::continuous_qi("height"),
+            AttributeDef::new("city", AttributeKind::Nominal, AttributeRole::QuasiIdentifier),
+            AttributeDef::boolean_confidential("aids"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = Dataset::with_rows(
+            schema(),
+            vec![
+                vec![175.5.into(), "Tarragona".into(), true.into()],
+                vec![Value::Missing, "Reus, North".into(), false.into()],
+            ],
+        )
+        .unwrap();
+        let text = to_csv(&d);
+        let back = from_csv(schema(), &text).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn quoted_cells_with_commas_and_quotes() {
+        let d = Dataset::with_rows(
+            schema(),
+            vec![vec![170.0.into(), "a \"quoted\", city".into(), false.into()]],
+        )
+        .unwrap();
+        let back = from_csv(schema(), &to_csv(&d)).unwrap();
+        assert_eq!(back.value(0, 1).as_str().unwrap(), "a \"quoted\", city");
+    }
+
+    #[test]
+    fn header_mismatch_is_an_error() {
+        let err = from_csv(schema(), "a,b,c\n1,2,Y\n").unwrap_err();
+        assert!(matches!(err, Error::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_boolean_reports_line() {
+        let err = from_csv(schema(), "height,city,aids\n170,Reus,maybe\n").unwrap_err();
+        match err {
+            Error::Csv { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("maybe"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_cells_parse_as_missing() {
+        let d = from_csv(schema(), "height,city,aids\n,Reus,N\n*,Valls,Y\n").unwrap();
+        assert!(d.value(0, 0).is_missing());
+        assert!(d.value(1, 0).is_missing());
+    }
+
+    #[test]
+    fn arity_mismatch_reports_line() {
+        let err = from_csv(schema(), "height,city,aids\n170,Reus\n").unwrap_err();
+        assert!(matches!(err, Error::Csv { line: 2, .. }));
+    }
+}

@@ -1,0 +1,356 @@
+//! The central [`Dataset`] type: a schema plus rows of values.
+
+use crate::attribute::AttributeRole;
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A microdata table: one record per respondent.
+///
+/// Rows are stored row-major; the row index is the *respondent identity* for
+/// the purposes of re-identification experiments (an attacker "re-identifies"
+/// a respondent when it correctly recovers a row index of the original
+/// dataset from released information).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Self { schema, rows: Vec::new() }
+    }
+
+    /// Creates a dataset and bulk-loads `rows`, validating each.
+    pub fn with_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Result<Self> {
+        let mut d = Self::new(schema);
+        for row in rows {
+            d.push_row(row)?;
+        }
+        Ok(d)
+    }
+
+    /// The dataset's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of attributes.
+    pub fn num_columns(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// True when the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a record after arity and type validation.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(Error::ArityMismatch { expected: self.schema.len(), got: row.len() });
+        }
+        for (i, v) in row.iter().enumerate() {
+            if !self.schema.value_fits(i, v) {
+                return Err(Error::TypeMismatch {
+                    attribute: self.schema.attribute(i).name.clone(),
+                    expected: "value compatible with attribute kind",
+                    got: v.type_name(),
+                });
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Borrow record `i`.
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.rows[i]
+    }
+
+    /// All records.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Mutable access to record `i` (used by in-place maskers).
+    pub fn row_mut(&mut self, i: usize) -> &mut [Value] {
+        &mut self.rows[i]
+    }
+
+    /// Cell at (`row`, `col`).
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        &self.rows[row][col]
+    }
+
+    /// Overwrites the cell at (`row`, `col`) after type validation.
+    pub fn set_value(&mut self, row: usize, col: usize, value: Value) -> Result<()> {
+        if !self.schema.value_fits(col, &value) {
+            return Err(Error::TypeMismatch {
+                attribute: self.schema.attribute(col).name.clone(),
+                expected: "value compatible with attribute kind",
+                got: value.type_name(),
+            });
+        }
+        self.rows[row][col] = value;
+        Ok(())
+    }
+
+    /// Column `col` as a vector of owned values.
+    pub fn column(&self, col: usize) -> Vec<Value> {
+        self.rows.iter().map(|r| r[col].clone()).collect()
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<Vec<Value>> {
+        Ok(self.column(self.schema.index_of(name)?))
+    }
+
+    /// Numeric view of a column; missing / non-numeric cells are skipped.
+    pub fn numeric_column(&self, col: usize) -> Vec<f64> {
+        self.rows.iter().filter_map(|r| r[col].as_f64()).collect()
+    }
+
+    /// Numeric view of a column, erroring if the attribute kind is not
+    /// numeric; missing cells become `None`.
+    pub fn numeric_column_checked(&self, col: usize) -> Result<Vec<Option<f64>>> {
+        if !self.schema.attribute(col).kind.is_numeric() {
+            return Err(Error::NotNumeric(self.schema.attribute(col).name.clone()));
+        }
+        Ok(self.rows.iter().map(|r| r[col].as_f64()).collect())
+    }
+
+    /// New dataset with only the given column indices.
+    pub fn project(&self, cols: &[usize]) -> Dataset {
+        let schema = self.schema.project(cols);
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+            .collect();
+        Dataset { schema, rows }
+    }
+
+    /// New dataset with the records for which `predicate` returns true.
+    pub fn filter(&self, predicate: impl Fn(&[Value]) -> bool) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            rows: self.rows.iter().filter(|r| predicate(r)).cloned().collect(),
+        }
+    }
+
+    /// Indices of the records matching `predicate` (the *query set* of the
+    /// inference-control literature).
+    pub fn matching_indices(&self, predicate: impl Fn(&[Value]) -> bool) -> Vec<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| predicate(r))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Groups record indices by their combination of values on `cols`.
+    ///
+    /// This is the *equivalence class* partition w.r.t. a quasi-identifier
+    /// set: the building block of every k-anonymity computation.
+    pub fn group_indices_by(&self, cols: &[usize]) -> BTreeMap<Vec<Value>, Vec<usize>> {
+        let mut groups: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+            groups.entry(key).or_default().push(i);
+        }
+        groups
+    }
+
+    /// Convenience: the quasi-identifier partition of this dataset.
+    pub fn quasi_identifier_groups(&self) -> BTreeMap<Vec<Value>, Vec<usize>> {
+        self.group_indices_by(&self.schema.quasi_identifier_indices())
+    }
+
+    /// Removes identifier columns, returning a projection without them
+    /// (step zero of every release pipeline).
+    pub fn drop_identifiers(&self) -> Dataset {
+        let keep: Vec<usize> = (0..self.schema.len())
+            .filter(|&i| self.schema.attribute(i).role != AttributeRole::Identifier)
+            .collect();
+        self.project(&keep)
+    }
+
+    /// Vertical merge of two datasets over the same schema.
+    pub fn union(&self, other: &Dataset) -> Result<Dataset> {
+        if self.schema != other.schema {
+            return Err(Error::SchemaMismatch);
+        }
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        Ok(Dataset { schema: self.schema.clone(), rows })
+    }
+
+    /// Splits the records into `parts` nearly-equal horizontal partitions
+    /// (used to distribute data among SMC parties).
+    pub fn horizontal_partition(&self, parts: usize) -> Vec<Dataset> {
+        assert!(parts > 0, "parts must be positive");
+        let mut out: Vec<Dataset> =
+            (0..parts).map(|_| Dataset::new(self.schema.clone())).collect();
+        for (i, row) in self.rows.iter().enumerate() {
+            out[i % parts].rows.push(row.clone());
+        }
+        out
+    }
+
+    /// Renders an ASCII table in the style of the paper's Table 1.
+    pub fn to_ascii_table(&self) -> String {
+        let names = self.schema.names();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut s = String::new();
+        for (i, n) in names.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", n, w = widths[i]));
+        }
+        s.push('\n');
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::AttributeDef;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttributeDef::continuous_qi("height"),
+            AttributeDef::continuous_qi("weight"),
+            AttributeDef::continuous_confidential("bp"),
+            AttributeDef::boolean_confidential("aids"),
+        ])
+        .unwrap()
+    }
+
+    fn sample() -> Dataset {
+        Dataset::with_rows(
+            schema(),
+            vec![
+                vec![175.0.into(), 80.0.into(), 135.0.into(), true.into()],
+                vec![175.0.into(), 80.0.into(), 128.0.into(), false.into()],
+                vec![180.0.into(), 95.0.into(), 140.0.into(), false.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_row_validates_arity() {
+        let mut d = Dataset::new(schema());
+        let err = d.push_row(vec![Value::Float(1.0)]).unwrap_err();
+        assert!(matches!(err, Error::ArityMismatch { expected: 4, got: 1 }));
+    }
+
+    #[test]
+    fn push_row_validates_types() {
+        let mut d = Dataset::new(schema());
+        let err = d
+            .push_row(vec![
+                "tall".into(),
+                80.0.into(),
+                135.0.into(),
+                true.into(),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, Error::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn grouping_by_quasi_identifiers() {
+        let d = sample();
+        let groups = d.quasi_identifier_groups();
+        assert_eq!(groups.len(), 2);
+        let g = groups
+            .get(&vec![Value::Float(175.0), Value::Float(80.0)])
+            .unwrap();
+        assert_eq!(g, &vec![0, 1]);
+    }
+
+    #[test]
+    fn projection_and_filter() {
+        let d = sample();
+        let p = d.project(&[0, 3]);
+        assert_eq!(p.num_columns(), 2);
+        assert_eq!(p.value(0, 1), &Value::Bool(true));
+        let f = d.filter(|r| r[3] == Value::Bool(false));
+        assert_eq!(f.num_rows(), 2);
+    }
+
+    #[test]
+    fn union_requires_same_schema() {
+        let d = sample();
+        let other = Dataset::new(Schema::new(vec![AttributeDef::continuous_qi("x")]).unwrap());
+        assert!(matches!(d.union(&other), Err(Error::SchemaMismatch)));
+        let u = d.union(&sample()).unwrap();
+        assert_eq!(u.num_rows(), 6);
+    }
+
+    #[test]
+    fn horizontal_partition_covers_all_rows() {
+        let d = sample();
+        let parts = d.horizontal_partition(2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts.iter().map(Dataset::num_rows).sum::<usize>(), 3);
+        assert_eq!(parts[0].num_rows(), 2);
+    }
+
+    #[test]
+    fn ascii_table_contains_headers_and_values() {
+        let t = sample().to_ascii_table();
+        assert!(t.contains("height"));
+        assert!(t.contains("135"));
+        assert!(t.contains('Y'));
+    }
+
+    #[test]
+    fn set_value_validates() {
+        let mut d = sample();
+        assert!(d.set_value(0, 0, Value::Missing).is_ok());
+        assert!(d.set_value(0, 3, Value::Int(1)).is_err());
+        assert!(d.value(0, 0).is_missing());
+    }
+
+    #[test]
+    fn matching_indices_is_query_set() {
+        let d = sample();
+        let idx = d.matching_indices(|r| r[1].as_f64().unwrap() > 90.0);
+        assert_eq!(idx, vec![2]);
+    }
+}

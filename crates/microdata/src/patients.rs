@@ -1,0 +1,172 @@
+//! The paper's Table 1 toy patient datasets, reconstructed.
+//!
+//! All records belong to a hypertension drug trial (so mere participation is
+//! sensitive, §2). Direct identifiers are already removed; *height* and
+//! *weight* are the key attributes; *systolic blood pressure* and *AIDS* are
+//! confidential.
+//!
+//! The numeric cell values of Table 1 are partially lost in the available
+//! scan of the paper, so the datasets below are reconstructed to satisfy
+//! **every** structural property the text relies on:
+//!
+//! * both datasets have 10 records (the scan preserves ten Y/N AIDS flags
+//!   per dataset: `Y N N N Y N N Y N N` and `N Y N N N Y N Y N N`);
+//! * **Dataset 1** "spontaneously satisfies k-anonymity for k = 3 with
+//!   respect to the key attributes (height, weight)" — every (height,
+//!   weight) combination appears at least 3 times;
+//! * **Dataset 2** "is no longer 3-anonymous with respect to (height,
+//!   weight)" — in fact every combination is unique;
+//! * Dataset 2 contains **exactly one** individual with height < 165 cm and
+//!   weight > 105 kg, whose systolic blood pressure is **146 mmHg** (the
+//!   target of the paper's two-query PIR isolation attack in §3);
+//! * all patients suffer hypertension, so systolic pressures sit in the
+//!   hypertensive range.
+
+use crate::attribute::AttributeDef;
+use crate::dataset::Dataset;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Name of the height attribute (cm).
+pub const HEIGHT: &str = "height";
+/// Name of the weight attribute (kg).
+pub const WEIGHT: &str = "weight";
+/// Name of the systolic blood-pressure attribute (mmHg).
+pub const BLOOD_PRESSURE: &str = "blood_pressure";
+/// Name of the AIDS flag attribute.
+pub const AIDS: &str = "aids";
+
+/// The schema shared by both Table 1 datasets.
+pub fn patient_schema() -> Schema {
+    Schema::new(vec![
+        AttributeDef::continuous_qi(HEIGHT),
+        AttributeDef::continuous_qi(WEIGHT),
+        AttributeDef::continuous_confidential(BLOOD_PRESSURE),
+        AttributeDef::boolean_confidential(AIDS),
+    ])
+    .expect("patient schema is valid")
+}
+
+fn row(h: f64, w: f64, bp: f64, aids: bool) -> Vec<Value> {
+    vec![h.into(), w.into(), bp.into(), aids.into()]
+}
+
+/// Table 1 (left): patient dataset no. 1 — spontaneously 3-anonymous
+/// w.r.t. (height, weight).
+pub fn dataset1() -> Dataset {
+    Dataset::with_rows(
+        patient_schema(),
+        vec![
+            row(175.0, 80.0, 135.0, true),
+            row(175.0, 80.0, 128.0, false),
+            row(175.0, 80.0, 131.0, false),
+            row(180.0, 95.0, 140.0, false),
+            row(180.0, 95.0, 138.0, true),
+            row(180.0, 95.0, 144.0, false),
+            row(170.0, 70.0, 130.0, false),
+            row(170.0, 70.0, 133.0, true),
+            row(170.0, 70.0, 129.0, false),
+            row(170.0, 70.0, 136.0, false),
+        ],
+    )
+    .expect("dataset 1 is well-formed")
+}
+
+/// Table 1 (right): patient dataset no. 2 — every (height, weight)
+/// combination unique; record 2 (0-indexed) is the small-and-heavy
+/// individual the §3 isolation attack re-identifies.
+pub fn dataset2() -> Dataset {
+    Dataset::with_rows(
+        patient_schema(),
+        vec![
+            row(170.0, 75.0, 132.0, false),
+            row(173.0, 82.0, 138.0, true),
+            row(160.0, 110.0, 146.0, false),
+            row(180.0, 95.0, 135.0, false),
+            row(168.0, 72.0, 128.0, false),
+            row(165.0, 90.0, 141.0, true),
+            row(182.0, 100.0, 137.0, false),
+            row(177.0, 85.0, 143.0, true),
+            row(171.0, 78.0, 130.0, false),
+            row(158.0, 64.0, 133.0, false),
+        ],
+    )
+    .expect("dataset 2 is well-formed")
+}
+
+/// Row index (in [`dataset2`]) of the unique individual with height < 165
+/// and weight > 105 — Mr./Mrs. X of the paper's §3 example.
+pub const DATASET2_ISOLATED_ROW: usize = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_datasets_have_ten_records() {
+        assert_eq!(dataset1().num_rows(), 10);
+        assert_eq!(dataset2().num_rows(), 10);
+    }
+
+    #[test]
+    fn dataset1_is_spontaneously_3_anonymous() {
+        let d = dataset1();
+        for (_, group) in d.quasi_identifier_groups() {
+            assert!(group.len() >= 3, "group smaller than 3: {group:?}");
+        }
+    }
+
+    #[test]
+    fn dataset2_has_all_unique_key_combinations() {
+        let d = dataset2();
+        let groups = d.quasi_identifier_groups();
+        assert_eq!(groups.len(), 10);
+        assert!(groups.values().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn dataset2_isolation_predicate_matches_exactly_one_record() {
+        let d = dataset2();
+        let idx = d.matching_indices(|r| {
+            r[0].as_f64().unwrap() < 165.0 && r[1].as_f64().unwrap() > 105.0
+        });
+        assert_eq!(idx, vec![DATASET2_ISOLATED_ROW]);
+        // ... and that record's blood pressure is 146, as in the paper.
+        assert_eq!(
+            d.value(DATASET2_ISOLATED_ROW, 2).as_f64().unwrap(),
+            146.0
+        );
+    }
+
+    #[test]
+    fn aids_flags_follow_the_scanned_sequences() {
+        let seq1: Vec<bool> = dataset1()
+            .rows()
+            .iter()
+            .map(|r| r[3].as_bool().unwrap())
+            .collect();
+        assert_eq!(
+            seq1,
+            vec![true, false, false, false, true, false, false, true, false, false]
+        );
+        let seq2: Vec<bool> = dataset2()
+            .rows()
+            .iter()
+            .map(|r| r[3].as_bool().unwrap())
+            .collect();
+        assert_eq!(
+            seq2,
+            vec![false, true, false, false, false, true, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn all_patients_are_hypertensive() {
+        for d in [dataset1(), dataset2()] {
+            for r in d.rows() {
+                let bp = r[2].as_f64().unwrap();
+                assert!((125.0..=150.0).contains(&bp), "bp {bp} out of trial range");
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Record-level sampling utilities.
+//!
+//! Release pipelines shuffle before publishing (so row order leaks
+//! nothing) and evaluation pipelines split into train/test; both need to
+//! track the permutation so risk metrics can stay row-aligned.
+
+use crate::dataset::Dataset;
+use crate::rng::permutation;
+use rand::Rng;
+
+/// A shuffled dataset together with the permutation that produced it:
+/// `shuffled.row(i) == original.row(order[i])`.
+#[derive(Debug, Clone)]
+pub struct Shuffled {
+    /// The shuffled dataset.
+    pub data: Dataset,
+    /// Original index of each shuffled row.
+    pub order: Vec<usize>,
+}
+
+/// Shuffles the records of `data` uniformly.
+pub fn shuffle<R: Rng + ?Sized>(data: &Dataset, rng: &mut R) -> Shuffled {
+    let order = permutation(rng, data.num_rows());
+    let mut out = Dataset::new(data.schema().clone());
+    for &i in &order {
+        out.push_row(data.row(i).to_vec()).expect("row already validated");
+    }
+    Shuffled { data: out, order }
+}
+
+/// Samples `k` records without replacement (k ≤ n), preserving original
+/// order; returns the sample and the chosen indices.
+pub fn sample_without_replacement<R: Rng + ?Sized>(
+    data: &Dataset,
+    k: usize,
+    rng: &mut R,
+) -> (Dataset, Vec<usize>) {
+    assert!(k <= data.num_rows(), "cannot sample {k} of {}", data.num_rows());
+    let mut chosen = permutation(rng, data.num_rows());
+    chosen.truncate(k);
+    chosen.sort_unstable();
+    let mut out = Dataset::new(data.schema().clone());
+    for &i in &chosen {
+        out.push_row(data.row(i).to_vec()).expect("row already validated");
+    }
+    (out, chosen)
+}
+
+/// Splits into train/test with the given test fraction (0 < f < 1).
+pub fn train_test_split<R: Rng + ?Sized>(
+    data: &Dataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..1.0).contains(&test_fraction) && test_fraction > 0.0,
+        "test fraction must be in (0, 1)"
+    );
+    let shuffled = shuffle(data, rng);
+    let n_test = ((data.num_rows() as f64) * test_fraction).round() as usize;
+    let mut test = Dataset::new(data.schema().clone());
+    let mut train = Dataset::new(data.schema().clone());
+    for (i, row) in shuffled.data.rows().iter().enumerate() {
+        if i < n_test {
+            test.push_row(row.clone()).expect("validated");
+        } else {
+            train.push_row(row.clone()).expect("validated");
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::synth::{patients, PatientConfig};
+
+    fn data() -> Dataset {
+        patients(&PatientConfig { n: 50, ..Default::default() })
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let d = data();
+        let s = shuffle(&d, &mut seeded(1));
+        assert_eq!(s.data.num_rows(), d.num_rows());
+        for (i, &orig) in s.order.iter().enumerate() {
+            assert_eq!(s.data.row(i), d.row(orig));
+        }
+        let mut sorted = s.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_actually_moves_rows() {
+        let d = data();
+        let s = shuffle(&d, &mut seeded(2));
+        assert_ne!(s.order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_without_replacement() {
+        let d = data();
+        let (sample, idx) = sample_without_replacement(&d, 10, &mut seeded(3));
+        assert_eq!(sample.num_rows(), 10);
+        assert_eq!(idx.len(), 10);
+        let mut dedup = idx.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "indices must be distinct");
+        for (j, &i) in idx.iter().enumerate() {
+            assert_eq!(sample.row(j), d.row(i));
+        }
+    }
+
+    #[test]
+    fn split_partitions_the_data() {
+        let d = data();
+        let (train, test) = train_test_split(&d, 0.2, &mut seeded(4));
+        assert_eq!(test.num_rows(), 10);
+        assert_eq!(train.num_rows(), 40);
+        assert_eq!(train.num_rows() + test.num_rows(), d.num_rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn bad_fraction_panics() {
+        let _ = train_test_split(&data(), 1.5, &mut seeded(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        let _ = sample_without_replacement(&data(), 51, &mut seeded(6));
+    }
+}

@@ -1,0 +1,181 @@
+//! Dataset schemas: ordered attribute definitions with role-based lookups.
+
+use crate::attribute::{AttributeDef, AttributeKind, AttributeRole};
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// An ordered list of attribute definitions.
+///
+/// Schemas are cheap to clone and are shared by an original dataset and all
+/// of its masked releases — masking never changes the schema, only the cell
+/// values (suppression writes [`crate::Value::Missing`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<AttributeDef>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new(attributes: Vec<AttributeDef>) -> Result<Self> {
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(Error::InvalidParameter(format!(
+                    "duplicate attribute name `{}`",
+                    a.name
+                )));
+            }
+        }
+        Ok(Self { attributes })
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// All attribute definitions, in column order.
+    pub fn attributes(&self) -> &[AttributeDef] {
+        &self.attributes
+    }
+
+    /// Column index of `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| Error::UnknownAttribute(name.to_owned()))
+    }
+
+    /// Attribute definition at `index`.
+    pub fn attribute(&self, index: usize) -> &AttributeDef {
+        &self.attributes[index]
+    }
+
+    /// Attribute definition by name.
+    pub fn attribute_by_name(&self, name: &str) -> Result<&AttributeDef> {
+        Ok(&self.attributes[self.index_of(name)?])
+    }
+
+    /// Column indices with the given role.
+    pub fn indices_with_role(&self, role: AttributeRole) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == role)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of the quasi-identifier (key) attributes.
+    pub fn quasi_identifier_indices(&self) -> Vec<usize> {
+        self.indices_with_role(AttributeRole::QuasiIdentifier)
+    }
+
+    /// Indices of confidential attributes.
+    pub fn confidential_indices(&self) -> Vec<usize> {
+        self.indices_with_role(AttributeRole::Confidential)
+    }
+
+    /// Indices of numeric attributes (continuous or integer kind).
+    pub fn numeric_indices(&self) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind.is_numeric())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Names of all attributes, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attributes.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// Sub-schema restricted to the given column indices (order preserved).
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            attributes: indices.iter().map(|&i| self.attributes[i].clone()).collect(),
+        }
+    }
+
+    /// True when the value's runtime type is acceptable for column `index`.
+    pub fn value_fits(&self, index: usize, value: &crate::Value) -> bool {
+        use crate::Value;
+        if value.is_missing() {
+            return true; // suppression is always representable
+        }
+        match self.attributes[index].kind {
+            AttributeKind::Continuous | AttributeKind::Integer => {
+                matches!(value, Value::Int(_) | Value::Float(_))
+            }
+            AttributeKind::Nominal | AttributeKind::Ordinal => {
+                matches!(value, Value::Str(_) | Value::Int(_))
+            }
+            AttributeKind::Boolean => matches!(value, Value::Bool(_)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn patient_schema() -> Schema {
+        Schema::new(vec![
+            AttributeDef::continuous_qi("height"),
+            AttributeDef::continuous_qi("weight"),
+            AttributeDef::continuous_confidential("blood_pressure"),
+            AttributeDef::boolean_confidential("aids"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn role_lookups() {
+        let s = patient_schema();
+        assert_eq!(s.quasi_identifier_indices(), vec![0, 1]);
+        assert_eq!(s.confidential_indices(), vec![2, 3]);
+        assert_eq!(s.numeric_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            AttributeDef::continuous_qi("x"),
+            AttributeDef::continuous_qi("x"),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn index_of_unknown_attribute() {
+        let s = patient_schema();
+        assert!(matches!(s.index_of("zip"), Err(Error::UnknownAttribute(_))));
+        assert_eq!(s.index_of("aids").unwrap(), 3);
+    }
+
+    #[test]
+    fn projection_keeps_order() {
+        let s = patient_schema();
+        let p = s.project(&[3, 0]);
+        assert_eq!(p.names(), vec!["aids", "height"]);
+    }
+
+    #[test]
+    fn value_fitting() {
+        let s = patient_schema();
+        assert!(s.value_fits(0, &Value::Float(175.0)));
+        assert!(s.value_fits(0, &Value::Int(175)));
+        assert!(!s.value_fits(0, &Value::Str("tall".into())));
+        assert!(s.value_fits(3, &Value::Bool(true)));
+        assert!(!s.value_fits(3, &Value::Int(1)));
+        assert!(s.value_fits(3, &Value::Missing));
+    }
+}

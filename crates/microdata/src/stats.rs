@@ -1,0 +1,215 @@
+//! Summary statistics used by masking methods and information-loss metrics.
+
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+
+/// Arithmetic mean of a slice; `None` when empty.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Sample variance (denominator n−1); `None` for fewer than two points.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Sample covariance between two equal-length slices.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let s: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    Some(s / (xs.len() - 1) as f64)
+}
+
+/// Pearson correlation; `None` when either side is constant.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let c = covariance(xs, ys)?;
+    let sx = std_dev(xs)?;
+    let sy = std_dev(ys)?;
+    if sx == 0.0 || sy == 0.0 {
+        None
+    } else {
+        Some(c / (sx * sy))
+    }
+}
+
+/// `q`-quantile (0 ≤ q ≤ 1) with linear interpolation; `None` when empty.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+}
+
+/// Median (0.5-quantile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Per-column means of the numeric columns `cols` of a dataset.
+pub fn column_means(data: &Dataset, cols: &[usize]) -> Result<Vec<f64>> {
+    if data.is_empty() {
+        return Err(Error::EmptyDataset);
+    }
+    cols.iter()
+        .map(|&c| {
+            mean(&data.numeric_column(c))
+                .ok_or_else(|| Error::NotNumeric(data.schema().attribute(c).name.clone()))
+        })
+        .collect()
+}
+
+/// Covariance matrix of the numeric columns `cols` (row-major, cols×cols).
+pub fn covariance_matrix(data: &Dataset, cols: &[usize]) -> Result<Vec<Vec<f64>>> {
+    if data.num_rows() < 2 {
+        return Err(Error::EmptyDataset);
+    }
+    let columns: Vec<Vec<f64>> = cols.iter().map(|&c| data.numeric_column(c)).collect();
+    let d = cols.len();
+    let mut m = vec![vec![0.0; d]; d];
+    for i in 0..d {
+        for j in i..d {
+            let c = covariance(&columns[i], &columns[j]).ok_or(Error::EmptyDataset)?;
+            m[i][j] = c;
+            m[j][i] = c;
+        }
+    }
+    Ok(m)
+}
+
+/// Equal-width histogram over `[lo, hi)` with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0 && hi > lo, "invalid histogram domain");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in xs {
+        let mut b = ((x - lo) / width).floor() as i64;
+        b = b.clamp(0, bins as i64 - 1);
+        counts[b as usize] += 1;
+    }
+    counts
+}
+
+/// Normalises a histogram to a probability distribution.
+pub fn to_distribution(counts: &[usize]) -> Vec<f64> {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+/// Total-variation distance between two distributions of equal length.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Shannon entropy in bits of a discrete distribution.
+pub fn entropy_bits(p: &[f64]) -> f64 {
+    p.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| -x * x.log2())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs).unwrap() - 5.0).abs() < EPS);
+        // Sample variance of this classic set is 32/7.
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < EPS);
+        assert!(mean(&[]).is_none());
+        assert!(variance(&[1.0]).is_none());
+    }
+
+    #[test]
+    fn covariance_and_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((correlation(&xs, &ys).unwrap() - 1.0).abs() < EPS);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&xs, &zs).unwrap() + 1.0).abs() < EPS);
+        assert!(correlation(&xs, &[5.0, 5.0, 5.0, 5.0]).is_none());
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert!((median(&xs).unwrap() - 2.5).abs() < EPS);
+        assert!((quantile(&xs, 0.0).unwrap() - 1.0).abs() < EPS);
+        assert!((quantile(&xs, 1.0).unwrap() - 4.0).abs() < EPS);
+        assert!(quantile(&[], 0.5).is_none());
+        assert!(quantile(&xs, 1.5).is_none());
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let xs = [-10.0, 0.1, 0.2, 0.9, 42.0];
+        let h = histogram(&xs, 0.0, 1.0, 2);
+        assert_eq!(h, vec![3, 2]);
+        assert_eq!(to_distribution(&h), vec![0.6, 0.4]);
+    }
+
+    #[test]
+    fn distribution_distances() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!((total_variation(&p, &q) - 0.5).abs() < EPS);
+        assert!((entropy_bits(&p) - 1.0).abs() < EPS);
+        assert!(entropy_bits(&q).abs() < EPS);
+    }
+
+    #[test]
+    fn covariance_matrix_is_symmetric() {
+        use crate::attribute::AttributeDef;
+        use crate::schema::Schema;
+        let schema = Schema::new(vec![
+            AttributeDef::continuous_qi("a"),
+            AttributeDef::continuous_qi("b"),
+        ])
+        .unwrap();
+        let d = Dataset::with_rows(
+            schema,
+            vec![
+                vec![1.0.into(), 10.0.into()],
+                vec![2.0.into(), 8.0.into()],
+                vec![3.0.into(), 9.0.into()],
+            ],
+        )
+        .unwrap();
+        let m = covariance_matrix(&d, &[0, 1]).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!((m[0][1] - m[1][0]).abs() < EPS);
+        assert!((m[0][0] - 1.0).abs() < EPS);
+    }
+}

@@ -1,0 +1,276 @@
+//! Synthetic population generators.
+//!
+//! The paper motivates its framework with healthcare and official-statistics
+//! scenarios; the generators here produce workloads with the same shape:
+//! a clinical *patient* population (continuous quasi-identifiers, sensitive
+//! payload), a *census*-style population (mixed categorical/numeric), market
+//! *transactions* for association-rule experiments, and a search-engine
+//! *query log* for user-privacy experiments (the AOL anecdote of §1).
+
+use crate::attribute::{AttributeDef, AttributeKind, AttributeRole};
+use crate::dataset::Dataset;
+use crate::rng;
+use crate::schema::Schema;
+use crate::value::Value;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for the synthetic patient population.
+#[derive(Debug, Clone)]
+pub struct PatientConfig {
+    /// Number of records.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Correlation between height and weight.
+    pub height_weight_rho: f64,
+    /// Prevalence of the AIDS flag.
+    pub aids_prevalence: f64,
+}
+
+impl Default for PatientConfig {
+    fn default() -> Self {
+        Self { n: 1000, seed: 0xD0_C7, height_weight_rho: 0.6, aids_prevalence: 0.08 }
+    }
+}
+
+/// Generates a patient population with the Table 1 schema
+/// (height, weight | blood pressure, AIDS).
+///
+/// Heights and weights are correlated normals; systolic blood pressure
+/// increases with weight (all patients are hypertensive, as in the paper's
+/// drug trial), so the confidential attribute is *learnable* from the keys —
+/// which is what makes disclosure both valuable and dangerous.
+pub fn patients(config: &PatientConfig) -> Dataset {
+    let mut r = rng::seeded(config.seed);
+    let mut d = Dataset::new(crate::patients::patient_schema());
+    for _ in 0..config.n {
+        let (zh, zw) = rng::correlated_normals(&mut r, config.height_weight_rho);
+        let height = (170.0 + 10.0 * zh).clamp(140.0, 210.0);
+        let weight = (78.0 + 14.0 * zw).clamp(40.0, 160.0);
+        let bp = 120.0 + 0.25 * (weight - 78.0) + rng::normal(&mut r, 12.0, 6.0);
+        let aids = r.gen::<f64>() < config.aids_prevalence;
+        d.push_row(vec![
+            Value::Float((height * 2.0).round() / 2.0),
+            Value::Float((weight * 2.0).round() / 2.0),
+            Value::Float(bp.round()),
+            Value::Bool(aids),
+        ])
+        .expect("generated row fits schema");
+    }
+    d
+}
+
+/// Schema of the census-style population.
+pub fn census_schema() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("age", AttributeKind::Integer, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("zip", AttributeKind::Nominal, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("education", AttributeKind::Ordinal, AttributeRole::QuasiIdentifier),
+        AttributeDef::new("income", AttributeKind::Continuous, AttributeRole::Confidential),
+        AttributeDef::new("disease", AttributeKind::Nominal, AttributeRole::Confidential),
+    ])
+    .expect("census schema is valid")
+}
+
+/// Education levels in ascending order (used by generalization hierarchies).
+pub const EDUCATION_LEVELS: [&str; 5] =
+    ["primary", "secondary", "bachelor", "master", "doctorate"];
+
+/// Diseases used as the sensitive categorical attribute.
+pub const DISEASES: [&str; 6] =
+    ["flu", "diabetes", "hypertension", "asthma", "cancer", "hepatitis"];
+
+/// Generates a census-style mixed population of `n` records.
+pub fn census(n: usize, seed: u64) -> Dataset {
+    let mut r = rng::seeded(seed);
+    let mut d = Dataset::new(census_schema());
+    let zips: Vec<String> = (0..20).map(|i| format!("43{:03}", i * 7 % 100)).collect();
+    for _ in 0..n {
+        let age = r.gen_range(18..=90i64);
+        let zip = zips.choose(&mut r).unwrap().clone();
+        let edu = *EDUCATION_LEVELS
+            .choose_weighted(&mut r, |e| match *e {
+                "primary" => 3.0,
+                "secondary" => 4.0,
+                "bachelor" => 3.0,
+                "master" => 1.5,
+                _ => 0.5,
+            })
+            .unwrap();
+        // Income grows with age and education, log-normal-ish noise.
+        let edu_rank = EDUCATION_LEVELS.iter().position(|e| *e == edu).unwrap() as f64;
+        let base = 14_000.0 + 450.0 * (age as f64 - 18.0) + 7_000.0 * edu_rank;
+        let income = base * (1.0 + 0.35 * rng::standard_normal(&mut r)).max(0.25);
+        let disease = *DISEASES.choose(&mut r).unwrap();
+        d.push_row(vec![
+            Value::Int(age),
+            Value::Str(zip),
+            Value::Str(edu.to_owned()),
+            Value::Float(income.round()),
+            Value::Str(disease.to_owned()),
+        ])
+        .expect("generated row fits schema");
+    }
+    d
+}
+
+/// A market-basket transaction: item ids present in the basket.
+pub type Transaction = Vec<u32>;
+
+/// Configuration for the transaction generator.
+#[derive(Debug, Clone)]
+pub struct TransactionConfig {
+    /// Number of transactions.
+    pub n: usize,
+    /// Item universe size.
+    pub num_items: u32,
+    /// Frequent itemsets planted into the data (with their incidence).
+    pub planted: Vec<(Vec<u32>, f64)>,
+    /// Background probability that any given item joins a basket.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TransactionConfig {
+    fn default() -> Self {
+        Self {
+            n: 2000,
+            num_items: 40,
+            planted: vec![
+                (vec![1, 2], 0.35),
+                (vec![3, 4, 5], 0.25),
+                (vec![1, 7], 0.20),
+            ],
+            noise: 0.03,
+            seed: 0xBA5_CE7,
+        }
+    }
+}
+
+/// Generates market-basket transactions with planted frequent itemsets.
+pub fn transactions(config: &TransactionConfig) -> Vec<Transaction> {
+    let mut r = rng::seeded(config.seed);
+    let mut out = Vec::with_capacity(config.n);
+    for _ in 0..config.n {
+        let mut basket: Vec<u32> = Vec::new();
+        for (items, p) in &config.planted {
+            if r.gen::<f64>() < *p {
+                basket.extend(items.iter().copied());
+            }
+        }
+        for item in 0..config.num_items {
+            if r.gen::<f64>() < config.noise {
+                basket.push(item);
+            }
+        }
+        basket.sort_unstable();
+        basket.dedup();
+        out.push(basket);
+    }
+    out
+}
+
+/// One entry of a synthetic search-engine query log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryLogEntry {
+    /// Pseudonymous user id.
+    pub user: u32,
+    /// Index of the query in the query universe.
+    pub query: usize,
+}
+
+/// Generates a query log of `n` entries over a universe of `universe`
+/// distinct queries issued by `users` users, with Zipf-like popularity
+/// (rank-`r` query has weight 1/r) — the workload of the §1 AOL anecdote.
+pub fn query_log(n: usize, universe: usize, users: u32, seed: u64) -> Vec<QueryLogEntry> {
+    assert!(universe > 0 && users > 0);
+    let mut r = rng::seeded(seed);
+    let weights: Vec<f64> = (1..=universe).map(|k| 1.0 / k as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut t = r.gen::<f64>() * total;
+        let mut q = 0;
+        for (i, w) in weights.iter().enumerate() {
+            t -= w;
+            if t <= 0.0 {
+                q = i;
+                break;
+            }
+        }
+        out.push(QueryLogEntry { user: r.gen_range(0..users), query: q });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn patients_have_plausible_marginals() {
+        let d = patients(&PatientConfig { n: 4000, ..Default::default() });
+        assert_eq!(d.num_rows(), 4000);
+        let h = d.numeric_column(0);
+        let w = d.numeric_column(1);
+        let mh = stats::mean(&h).unwrap();
+        assert!((mh - 170.0).abs() < 1.0, "mean height {mh}");
+        let rho = stats::correlation(&h, &w).unwrap();
+        assert!((rho - 0.6).abs() < 0.08, "height/weight rho {rho}");
+    }
+
+    #[test]
+    fn patients_generation_is_deterministic() {
+        let c = PatientConfig::default();
+        assert_eq!(patients(&c), patients(&c));
+    }
+
+    #[test]
+    fn blood_pressure_correlates_with_weight() {
+        let d = patients(&PatientConfig { n: 4000, ..Default::default() });
+        let w = d.numeric_column(1);
+        let bp = d.numeric_column(2);
+        let rho = stats::correlation(&w, &bp).unwrap();
+        assert!(rho > 0.2, "weight/bp rho {rho}");
+    }
+
+    #[test]
+    fn census_has_valid_categories() {
+        let d = census(500, 11);
+        assert_eq!(d.num_rows(), 500);
+        for row in d.rows() {
+            let age = row[0].as_i64().unwrap();
+            assert!((18..=90).contains(&age));
+            assert!(EDUCATION_LEVELS.contains(&row[2].as_str().unwrap()));
+            assert!(DISEASES.contains(&row[4].as_str().unwrap()));
+            assert!(row[3].as_f64().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn planted_itemsets_are_frequent() {
+        let cfg = TransactionConfig::default();
+        let txs = transactions(&cfg);
+        let support = |items: &[u32]| {
+            txs.iter().filter(|t| items.iter().all(|i| t.contains(i))).count() as f64
+                / txs.len() as f64
+        };
+        assert!(support(&[1, 2]) > 0.25, "support {}", support(&[1, 2]));
+        assert!(support(&[3, 4, 5]) > 0.15);
+        // A random pair of noise items must be rare.
+        assert!(support(&[20, 30]) < 0.05);
+    }
+
+    #[test]
+    fn query_log_is_zipfian() {
+        let log = query_log(20_000, 50, 100, 3);
+        assert_eq!(log.len(), 20_000);
+        let count = |q: usize| log.iter().filter(|e| e.query == q).count();
+        // Rank 0 should be much more popular than rank 30.
+        assert!(count(0) > 5 * count(30).max(1));
+        assert!(log.iter().all(|e| e.query < 50 && e.user < 100));
+    }
+}

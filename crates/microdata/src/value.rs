@@ -1,0 +1,256 @@
+//! The dynamically-typed cell value stored in a dataset.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell of a microdata table.
+///
+/// `Value` deliberately keeps the palette small: the statistical-disclosure
+/// literature distinguishes only continuous, integer, categorical and boolean
+/// attributes, plus missing values (which masking methods such as local
+/// suppression produce).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer (ages, counts, coded categories).
+    Int(i64),
+    /// Double-precision float (heights, incomes, blood pressures).
+    Float(f64),
+    /// Categorical / free-text value.
+    Str(String),
+    /// Boolean flag (e.g. the AIDS column of the paper's Table 1).
+    Bool(bool),
+    /// A suppressed or absent cell.
+    Missing,
+}
+
+impl Value {
+    /// Short name of the value's runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Bool(_) => "bool",
+            Value::Missing => "missing",
+        }
+    }
+
+    /// Numeric view of the value, if it has one. Integers and booleans are
+    /// widened; strings and missing cells have none.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Str(_) | Value::Missing => None,
+        }
+    }
+
+    /// Integer view (floats are accepted only when they are whole).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(x) if x.fract() == 0.0 && x.is_finite() => Some(*x as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// String view for categorical comparisons.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True when the cell is [`Value::Missing`].
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+
+    /// Total order used for grouping and sorting.
+    ///
+    /// Values of different types order by type tag; missing sorts last; NaN
+    /// floats sort after all finite floats so that sorting is total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Int(_) => 0,
+                Float(_) => 1,
+                Str(_) => 2,
+                Bool(_) => 3,
+                Missing => 4,
+            }
+        }
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Missing, Missing) => Ordering::Equal,
+            _ => tag(self).cmp(&tag(other)),
+        }
+    }
+
+    /// Equality for grouping purposes: `Int(3)` equals `Float(3.0)`, two
+    /// `Missing` cells are equal to each other, NaN equals NaN.
+    pub fn group_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.group_eq(other)
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            // Ints and whole floats must hash alike because they compare equal.
+            Value::Int(i) => {
+                state.write_u8(0);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(x) => {
+                state.write_u8(0);
+                x.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                state.write_u8(3);
+                b.hash(state);
+            }
+            Value::Missing => state.write_u8(4),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{}", if *b { "Y" } else { "N" }),
+            Value::Missing => write!(f, "*"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Missing.as_f64(), None);
+        assert_eq!(Value::Float(3.0).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.5).as_i64(), None);
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn missing_sorts_last() {
+        let mut vs = [Value::Missing, Value::Int(1), Value::Float(0.5)];
+        vs.sort();
+        assert!(vs[2].is_missing());
+        assert_eq!(vs[0], Value::Float(0.5));
+    }
+
+    #[test]
+    fn nan_is_self_equal_for_grouping() {
+        let nan = Value::Float(f64::NAN);
+        assert!(nan.group_eq(&Value::Float(f64::NAN)));
+        assert_eq!(hash_of(&nan), hash_of(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn display_matches_paper_conventions() {
+        assert_eq!(Value::Bool(true).to_string(), "Y");
+        assert_eq!(Value::Bool(false).to_string(), "N");
+        assert_eq!(Value::Missing.to_string(), "*");
+        assert_eq!(Value::Int(146).to_string(), "146");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Int(0).type_name(), "int");
+        assert_eq!(Value::Missing.type_name(), "missing");
+    }
+}

@@ -1,0 +1,61 @@
+//! Communication and computation accounting for PIR protocols.
+
+use std::ops::{Add, AddAssign};
+
+/// Cost of one PIR retrieval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostReport {
+    /// Bits sent from client to servers.
+    pub uplink_bits: u64,
+    /// Bits sent from servers to client.
+    pub downlink_bits: u64,
+    /// Record-level operations performed by all servers combined
+    /// (XORs of records or modular multiplications).
+    pub server_ops: u64,
+    /// Number of servers contacted.
+    pub servers: u32,
+}
+
+impl CostReport {
+    /// Total bits over the wire in both directions.
+    pub fn total_bits(&self) -> u64 {
+        self.uplink_bits + self.downlink_bits
+    }
+}
+
+impl Add for CostReport {
+    type Output = CostReport;
+    fn add(self, rhs: CostReport) -> CostReport {
+        CostReport {
+            uplink_bits: self.uplink_bits + rhs.uplink_bits,
+            downlink_bits: self.downlink_bits + rhs.downlink_bits,
+            server_ops: self.server_ops + rhs.server_ops,
+            servers: self.servers.max(rhs.servers),
+        }
+    }
+}
+
+impl AddAssign for CostReport {
+    fn add_assign(&mut self, rhs: CostReport) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_accumulation() {
+        let a = CostReport { uplink_bits: 10, downlink_bits: 20, server_ops: 5, servers: 2 };
+        let b = CostReport { uplink_bits: 1, downlink_bits: 2, server_ops: 3, servers: 1 };
+        let c = a + b;
+        assert_eq!(c.total_bits(), 33);
+        assert_eq!(c.server_ops, 8);
+        assert_eq!(c.servers, 2);
+        let mut acc = CostReport::default();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, c);
+    }
+}

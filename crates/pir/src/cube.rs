@@ -1,0 +1,199 @@
+//! The 2^d-server "cube" scheme of Chor–Goldreich–Kushilevitz–Sudan [8].
+//!
+//! The database is a d-dimensional cube `[s]^d` with `s = ⌈n^(1/d)⌉`. The
+//! client picks one random subset `S_j ⊆ [s]` per axis; the server indexed
+//! by bits `σ ∈ {0,1}^d` receives, per axis `j`, either `S_j` (σ_j = 0) or
+//! `S_j Δ {i_j}` (σ_j = 1), and answers with the XOR of all records in the
+//! sub-box it was given. XORing the 2^d answers cancels every record except
+//! the one at `(i_1, …, i_d)`.
+//!
+//! Uplink is `d·s` bits per server and the downlink a single record —
+//! total communication `O(2^d · d · n^{1/d})`, the classic trade of more
+//! servers for asymptotically less traffic. `d = 1` degenerates to the
+//! [`crate::linear`] two-server scheme.
+
+use crate::cost::CostReport;
+use crate::store::{Database, ServerView};
+use rand::Rng;
+
+/// Side length for a `d`-dimensional layout of `n` records.
+pub fn side(n: usize, d: u32) -> usize {
+    (n as f64).powf(1.0 / d as f64).ceil() as usize
+}
+
+/// Decomposes `index` into cube coordinates (little-endian axes).
+fn coords(index: usize, s: usize, d: u32) -> Vec<usize> {
+    let mut c = Vec::with_capacity(d as usize);
+    let mut rest = index;
+    for _ in 0..d {
+        c.push(rest % s);
+        rest /= s;
+    }
+    c
+}
+
+/// Retrieves record `index` with the `2^d`-server cube scheme.
+///
+/// Returns the record, one view per server, and the cost. Panics when
+/// `d = 0` or the index is out of range.
+pub fn retrieve<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &Database,
+    d: u32,
+    index: usize,
+) -> (Vec<u8>, Vec<ServerView>, CostReport) {
+    assert!(d >= 1, "cube dimension must be at least 1");
+    assert!(index < db.len(), "index out of range");
+    let s = side(db.len(), d);
+    let target = coords(index, s, d);
+
+    // One random subset per axis, as bit masks.
+    let base: Vec<Vec<bool>> =
+        (0..d).map(|_| (0..s).map(|_| rng.gen()).collect()).collect();
+
+    let servers = 1usize << d;
+    let mut acc = vec![0u8; db.record_size()];
+    let mut views = Vec::with_capacity(servers);
+    let mut server_ops = 0u64;
+
+    for sigma in 0..servers {
+        // This server's per-axis subsets.
+        let subsets: Vec<Vec<bool>> = (0..d as usize)
+            .map(|j| {
+                let mut sub = base[j].clone();
+                if sigma >> j & 1 == 1 {
+                    sub[target[j]] = !sub[target[j]];
+                }
+                sub
+            })
+            .collect();
+        // XOR of every record in the sub-box (positions beyond n are
+        // implicit zero padding).
+        let mut answer = vec![0u8; db.record_size()];
+        let mut stack = vec![(0usize, 0usize)]; // (axis, partial index)
+        while let Some((axis, partial)) = stack.pop() {
+            if axis == d as usize {
+                if partial < db.len() {
+                    for (a, b) in answer.iter_mut().zip(db.record(partial)) {
+                        *a ^= b;
+                    }
+                    server_ops += 1;
+                }
+                continue;
+            }
+            let stride = s.pow(axis as u32);
+            for (pos, &selected) in subsets[axis].iter().enumerate() {
+                if selected {
+                    stack.push((axis + 1, partial + pos * stride));
+                }
+            }
+        }
+        for (a, b) in acc.iter_mut().zip(&answer) {
+            *a ^= b;
+        }
+        // The server's whole view is its d subsets, flattened.
+        views.push(ServerView::Mask(subsets.into_iter().flatten().collect()));
+    }
+
+    let cost = CostReport {
+        uplink_bits: (servers * d as usize * s) as u64,
+        downlink_bits: (servers * db.record_size() * 8) as u64,
+        server_ops,
+        servers: servers as u32,
+    };
+    (acc, views, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xC0BE)
+    }
+
+    fn db(n: usize) -> Database {
+        Database::new((0..n).map(|i| vec![(i % 251) as u8, (i / 7) as u8]).collect())
+    }
+
+    #[test]
+    fn d1_matches_the_linear_scheme_semantics() {
+        let db = db(20);
+        let mut r = rng();
+        for i in 0..db.len() {
+            let (rec, views, cost) = retrieve(&mut r, &db, 1, i);
+            assert_eq!(rec, db.record(i), "index {i}");
+            assert_eq!(views.len(), 2);
+            assert_eq!(cost.servers, 2);
+        }
+    }
+
+    #[test]
+    fn d2_and_d3_retrieve_every_index() {
+        for d in [2u32, 3] {
+            // Include non-perfect-power sizes to exercise padding.
+            for n in [27usize, 30, 64, 100] {
+                let db = db(n);
+                let mut r = rng();
+                for i in (0..n).step_by(7) {
+                    let (rec, _, _) = retrieve(&mut r, &db, d, i);
+                    assert_eq!(rec, db.record(i), "d={d} n={n} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uplink_shrinks_with_dimension() {
+        let db = db(4096);
+        let mut r = rng();
+        let (_, _, c1) = retrieve(&mut r, &db, 1, 9);
+        let (_, _, c2) = retrieve(&mut r, &db, 2, 9);
+        let (_, _, c3) = retrieve(&mut r, &db, 3, 9);
+        // Per-server uplink: 4096, 2·64, 3·16.
+        assert!(c2.uplink_bits < c1.uplink_bits);
+        assert!(c3.uplink_bits < c2.uplink_bits);
+        assert_eq!(c3.servers, 8);
+    }
+
+    #[test]
+    fn single_server_view_is_uniform() {
+        let n = 16; // s = 4 at d = 2
+        let db = db(n);
+        let mut r = rng();
+        let trials = 3000;
+        let mut ones = vec![0usize; 8];
+        for t in 0..trials {
+            let (_, views, _) = retrieve(&mut r, &db, 2, t % n);
+            if let ServerView::Mask(m) = &views[0] {
+                for (p, &b) in m.iter().enumerate() {
+                    if b {
+                        ones[p] += 1;
+                    }
+                }
+            }
+        }
+        for &c in &ones {
+            let f = c as f64 / trials as f64;
+            assert!((f - 0.5).abs() < 0.05, "{f}");
+        }
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let s = 5;
+        for idx in [0usize, 4, 5, 24, 124] {
+            let c = coords(idx, s, 3);
+            let back = c[0] + c[1] * s + c[2] * s * s;
+            assert_eq!(back, idx);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_dimension_panics() {
+        let mut r = rng();
+        let _ = retrieve(&mut r, &db(4), 0, 0);
+    }
+}

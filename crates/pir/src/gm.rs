@@ -1,0 +1,139 @@
+//! Goldwasser–Micali encryption (quadratic residuosity).
+//!
+//! Semantically secure bit encryption with an XOR homomorphism:
+//! `E(a) · E(b) mod N` encrypts `a ⊕ b`. That homomorphism is what turns
+//! a database scan into single-server computational PIR ([`crate::cpir`]).
+
+use rand::Rng;
+use tdf_mathkit::modular::{jacobi, mul_mod, random_unit};
+use tdf_mathkit::primes::random_blum_prime;
+use tdf_mathkit::BigUint;
+
+/// Public key: the modulus `N = p·q` and a fixed pseudo-square `y`
+/// (Jacobi symbol +1, but a non-residue).
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    /// Modulus.
+    pub n: BigUint,
+    /// Pseudo-square used to encode 1-bits.
+    pub y: BigUint,
+}
+
+/// Private key: the factorisation of `N`.
+#[derive(Debug, Clone)]
+pub struct PrivateKey {
+    p: BigUint,
+    #[allow(dead_code)]
+    q: BigUint,
+}
+
+/// Generates a GM key pair with `bits`-bit primes (modulus ≈ 2·bits).
+pub fn keygen<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> (PublicKey, PrivateKey) {
+    let p = random_blum_prime(rng, bits);
+    let q = loop {
+        let q = random_blum_prime(rng, bits);
+        if q != p {
+            break q;
+        }
+    };
+    let n = p.mul_ref(&q);
+    // For Blum primes, −1 is a non-residue mod p and mod q, so N−1 has
+    // Jacobi symbol (+1)(+1)... careful: jacobi(−1, p) = (−1)^((p−1)/2) = −1
+    // for p ≡ 3 mod 4; hence jacobi(−1, N) = (−1)(−1) = +1 while −1 is a
+    // non-residue mod both factors: a canonical pseudo-square.
+    let y = n.sub_ref(&BigUint::one());
+    debug_assert_eq!(jacobi(&y, &n), 1);
+    (PublicKey { n, y }, PrivateKey { p, q })
+}
+
+/// Encrypts one bit: `E(b) = y^b · r² mod N` for random unit `r`.
+pub fn encrypt<R: Rng + ?Sized>(pk: &PublicKey, bit: bool, rng: &mut R) -> BigUint {
+    let r = random_unit(rng, &pk.n);
+    let r2 = mul_mod(&r, &r, &pk.n);
+    if bit {
+        mul_mod(&pk.y, &r2, &pk.n)
+    } else {
+        r2
+    }
+}
+
+/// Decrypts: the ciphertext encodes 1 iff it is a non-residue mod `p`
+/// (equivalently, its Legendre symbol mod `p` is −1).
+pub fn decrypt(sk: &PrivateKey, c: &BigUint) -> bool {
+    jacobi(c, &sk.p) == -1
+}
+
+/// Homomorphic XOR: multiply ciphertexts.
+pub fn xor_ciphertexts(pk: &PublicKey, a: &BigUint, b: &BigUint) -> BigUint {
+    mul_mod(a, b, &pk.n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let mut r = rng();
+        let (pk, sk) = keygen(&mut r, 64);
+        for _ in 0..20 {
+            for bit in [false, true] {
+                let c = encrypt(&pk, bit, &mut r);
+                assert_eq!(decrypt(&sk, &c), bit);
+            }
+        }
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let mut r = rng();
+        let (pk, _) = keygen(&mut r, 48);
+        let c1 = encrypt(&pk, true, &mut r);
+        let c2 = encrypt(&pk, true, &mut r);
+        assert_ne!(c1, c2, "semantic security requires randomized ciphertexts");
+    }
+
+    #[test]
+    fn all_ciphertexts_have_jacobi_plus_one() {
+        // An eavesdropper's best tool — the Jacobi symbol — is useless.
+        let mut r = rng();
+        let (pk, _) = keygen(&mut r, 48);
+        for bit in [false, true] {
+            for _ in 0..10 {
+                let c = encrypt(&pk, bit, &mut r);
+                assert_eq!(jacobi(&c, &pk.n), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_homomorphism() {
+        let mut r = rng();
+        let (pk, sk) = keygen(&mut r, 64);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let ca = encrypt(&pk, a, &mut r);
+            let cb = encrypt(&pk, b, &mut r);
+            let cx = xor_ciphertexts(&pk, &ca, &cb);
+            assert_eq!(decrypt(&sk, &cx), a ^ b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn long_homomorphic_chain() {
+        let mut r = rng();
+        let (pk, sk) = keygen(&mut r, 48);
+        let bits: Vec<bool> = (0..25).map(|i| i % 3 == 0).collect();
+        let expected = bits.iter().fold(false, |acc, &b| acc ^ b);
+        let mut acc = encrypt(&pk, false, &mut r);
+        for &b in &bits {
+            let c = encrypt(&pk, b, &mut r);
+            acc = xor_ciphertexts(&pk, &acc, &c);
+        }
+        assert_eq!(decrypt(&sk, &acc), expected);
+    }
+}

@@ -1,0 +1,173 @@
+//! The basic k-server XOR PIR of Chor–Goldreich–Kushilevitz–Sudan [8].
+//!
+//! The client secret-shares the unit selection vector `e_index` into `k`
+//! random bit-vectors whose XOR is `e_index`; server `j` receives share `j`
+//! and answers with the XOR of its selected records; the client XORs all
+//! answers to obtain the record. Any coalition of `k − 1` servers sees only
+//! uniformly random masks — information-theoretic user privacy, exactly the
+//! property §3 of the paper relies on.
+
+use crate::cost::CostReport;
+use crate::store::{Database, ServerView};
+use rand::Rng;
+
+/// A prepared query: one selection mask per server.
+#[derive(Debug, Clone)]
+pub struct Query {
+    shares: Vec<Vec<bool>>,
+}
+
+impl Query {
+    /// Builds a k-server query for `index` over a database of `n` records.
+    pub fn build<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize, index: usize) -> Self {
+        assert!(k >= 2, "need at least two non-colluding servers");
+        assert!(index < n, "index out of range");
+        let mut shares: Vec<Vec<bool>> =
+            (0..k - 1).map(|_| (0..n).map(|_| rng.gen::<bool>()).collect()).collect();
+        // Last share = XOR of the others, flipped at `index`.
+        let last: Vec<bool> = (0..n)
+            .map(|i| shares.iter().fold(i == index, |acc, s| acc ^ s[i]))
+            .collect();
+        shares.push(last);
+        Self { shares }
+    }
+
+    /// The mask destined for server `j` (this is the server's whole view).
+    pub fn share(&self, j: usize) -> &[bool] {
+        &self.shares[j]
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.shares.len()
+    }
+}
+
+/// Runs a full retrieval against `k` honest servers holding replicas of
+/// `db`. Returns the record, every server's view, and the cost.
+/// ```
+/// use tdf_pir::store::Database;
+/// use rand::SeedableRng;
+///
+/// let db = Database::new(vec![vec![1u8], vec![2], vec![3]]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let (record, views, cost) = tdf_pir::linear::retrieve(&mut rng, &db, 2, 1);
+/// assert_eq!(record, vec![2]);
+/// assert_eq!(cost.servers, 2); // neither server learned the index
+/// assert_eq!(views.len(), 2);
+/// ```
+pub fn retrieve<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &Database,
+    k: usize,
+    index: usize,
+) -> (Vec<u8>, Vec<ServerView>, CostReport) {
+    let q = Query::build(rng, db.len(), k, index);
+    let mut acc = vec![0u8; db.record_size()];
+    let mut views = Vec::with_capacity(k);
+    for j in 0..k {
+        let answer = db.xor_selected(q.share(j));
+        for (a, b) in acc.iter_mut().zip(&answer) {
+            *a ^= b;
+        }
+        views.push(ServerView::Mask(q.share(j).to_vec()));
+    }
+    let cost = CostReport {
+        uplink_bits: (k * db.len()) as u64,
+        downlink_bits: (k * db.record_size() * 8) as u64,
+        server_ops: q
+            .shares
+            .iter()
+            .map(|s| s.iter().filter(|&&b| b).count() as u64)
+            .sum(),
+        servers: k as u32,
+    };
+    (acc, views, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    fn db(n: usize) -> Database {
+        Database::new((0..n).map(|i| vec![i as u8, (i * 7) as u8, 0xAB]).collect())
+    }
+
+    #[test]
+    fn two_server_retrieval_is_correct_for_every_index() {
+        let db = db(33);
+        let mut r = rng();
+        for i in 0..db.len() {
+            let (rec, _, _) = retrieve(&mut r, &db, 2, i);
+            assert_eq!(rec, db.record(i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn many_server_retrieval_is_correct() {
+        let db = db(17);
+        let mut r = rng();
+        for k in [3usize, 4, 7] {
+            for i in [0, 8, 16] {
+                let (rec, views, cost) = retrieve(&mut r, &db, k, i);
+                assert_eq!(rec, db.record(i), "k={k} i={i}");
+                assert_eq!(views.len(), k);
+                assert_eq!(cost.servers, k as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn shares_xor_to_unit_vector() {
+        let mut r = rng();
+        let q = Query::build(&mut r, 20, 3, 13);
+        for pos in 0..20 {
+            let x = (0..3).fold(false, |acc, j| acc ^ q.share(j)[pos]);
+            assert_eq!(x, pos == 13);
+        }
+    }
+
+    #[test]
+    fn single_share_is_statistically_uniform() {
+        // Frequency of `true` at a fixed position across many queries for
+        // *different* indices must hover around 1/2: one server learns
+        // nothing about the index.
+        let mut r = rng();
+        let n = 16;
+        let trials = 4000;
+        let mut ones = vec![0usize; n];
+        for t in 0..trials {
+            let q = Query::build(&mut r, n, 2, t % n);
+            for (pos, &b) in q.share(0).iter().enumerate() {
+                if b {
+                    ones[pos] += 1;
+                }
+            }
+        }
+        for (pos, &c) in ones.iter().enumerate() {
+            let f = c as f64 / trials as f64;
+            assert!((f - 0.5).abs() < 0.05, "pos {pos}: {f}");
+        }
+    }
+
+    #[test]
+    fn uplink_cost_is_linear_in_n() {
+        let mut r = rng();
+        let (_, _, c1) = retrieve(&mut r, &db(100), 2, 0);
+        let (_, _, c2) = retrieve(&mut r, &db(200), 2, 0);
+        assert_eq!(c1.uplink_bits, 200);
+        assert_eq!(c2.uplink_bits, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_server_panics() {
+        let mut r = rng();
+        let _ = Query::build(&mut r, 8, 1, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The O(√n) two-server "square" scheme.
+//!
+//! The database is arranged as an `s × s` matrix of records (`s = ⌈√n⌉`).
+//! To fetch record `(r, c)` the client secret-shares the row selector
+//! `e_r` into two random masks; each server XORs, *per column*, the records
+//! of its selected rows and returns `s` column-aggregates. XORing the two
+//! answer vectors gives row `r` in full, from which the client reads
+//! column `c`. Uplink is `s` bits per server, downlink `s` records per
+//! server — total O(√n · record_size) instead of O(n).
+
+use crate::cost::CostReport;
+use crate::store::{Database, ServerView};
+use rand::Rng;
+
+/// Side length of the square layout for a database of `n` records.
+pub fn side(n: usize) -> usize {
+    (n as f64).sqrt().ceil() as usize
+}
+
+/// Retrieves record `index` with the two-server square scheme.
+pub fn retrieve<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &Database,
+    index: usize,
+) -> (Vec<u8>, [ServerView; 2], CostReport) {
+    assert!(index < db.len(), "index out of range");
+    let s = side(db.len());
+    let (row, col) = (index / s, index % s);
+
+    // Secret-share the row selector.
+    let mask_a: Vec<bool> = (0..s).map(|_| rng.gen()).collect();
+    let mask_b: Vec<bool> = (0..s).map(|r| mask_a[r] ^ (r == row)).collect();
+
+    let answer = |mask: &[bool]| -> Vec<Vec<u8>> {
+        // Per column: XOR of the records in selected rows.
+        (0..s)
+            .map(|c| {
+                let mut acc = vec![0u8; db.record_size()];
+                for (r, &sel) in mask.iter().enumerate() {
+                    if sel {
+                        let idx = r * s + c;
+                        if idx < db.len() {
+                            for (a, b) in acc.iter_mut().zip(db.record(idx)) {
+                                *a ^= b;
+                            }
+                        }
+                    }
+                }
+                acc
+            })
+            .collect()
+    };
+
+    let ans_a = answer(&mask_a);
+    let ans_b = answer(&mask_b);
+    let mut rec = vec![0u8; db.record_size()];
+    for (a, (x, y)) in rec.iter_mut().zip(ans_a[col].iter().zip(&ans_b[col])) {
+        *a = x ^ y;
+    }
+
+    let ops = (mask_a.iter().filter(|&&b| b).count() + mask_b.iter().filter(|&&b| b).count())
+        as u64
+        * s as u64;
+    let cost = CostReport {
+        uplink_bits: 2 * s as u64,
+        downlink_bits: 2 * (s * db.record_size() * 8) as u64,
+        server_ops: ops,
+        servers: 2,
+    };
+    (
+        rec,
+        [ServerView::SquareMask { rows: mask_a }, ServerView::SquareMask { rows: mask_b }],
+        cost,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(88)
+    }
+
+    fn db(n: usize) -> Database {
+        Database::new((0..n).map(|i| vec![(i % 251) as u8, (i / 251) as u8]).collect())
+    }
+
+    #[test]
+    fn retrieval_is_correct_for_every_index() {
+        // Include a non-square n to exercise the padded final row.
+        for n in [16usize, 20, 49, 50] {
+            let db = db(n);
+            let mut r = rng();
+            for i in 0..n {
+                let (rec, _, _) = retrieve(&mut r, &db, i);
+                assert_eq!(rec, db.record(i), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn communication_is_sublinear() {
+        let mut r = rng();
+        let (_, _, c_small) = retrieve(&mut r, &db(100), 0);
+        let (_, _, c_big) = retrieve(&mut r, &db(10_000), 0);
+        // n grew 100×; √n communication should grow ~10×.
+        let ratio = c_big.total_bits() as f64 / c_small.total_bits() as f64;
+        assert!((5.0..20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn square_beats_linear_uplink_for_large_n() {
+        let n = 4096;
+        let db = db(n);
+        let mut r = rng();
+        let (_, _, sq) = retrieve(&mut r, &db, 77);
+        let (_, _, lin) = crate::linear::retrieve(&mut r, &db, 2, 77);
+        assert!(sq.uplink_bits < lin.uplink_bits / 10);
+    }
+
+    #[test]
+    fn each_view_is_uniform_regardless_of_row() {
+        let n = 64; // s = 8
+        let db = db(n);
+        let mut r = rng();
+        let trials = 4000;
+        let mut ones = vec![0usize; 8];
+        for t in 0..trials {
+            let (_, [va, _], _) = retrieve(&mut r, &db, t % n);
+            if let ServerView::SquareMask { rows } = va {
+                for (p, &b) in rows.iter().enumerate() {
+                    if b {
+                        ones[p] += 1;
+                    }
+                }
+            }
+        }
+        for &c in &ones {
+            let f = c as f64 / trials as f64;
+            assert!((f - 0.5).abs() < 0.05, "{f}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The database model shared by all PIR schemes, plus the server *view* —
+//! everything a (curious) server observes during a retrieval, from which
+//! `tdf-core` computes empirical query leakage.
+
+use bytes::Bytes;
+
+/// A database of `n` fixed-size records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Database {
+    records: Vec<Bytes>,
+    record_size: usize,
+}
+
+impl Database {
+    /// Builds a database from equally-sized records.
+    pub fn new(records: Vec<Vec<u8>>) -> Self {
+        let record_size = records.first().map_or(0, Vec::len);
+        assert!(
+            records.iter().all(|r| r.len() == record_size),
+            "all records must have equal size"
+        );
+        Self { records: records.into_iter().map(Bytes::from).collect(), record_size }
+    }
+
+    /// Builds a database of single-bit records from a bit vector.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        Self::new(bits.iter().map(|&b| vec![u8::from(b)]).collect())
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Size of each record in bytes.
+    pub fn record_size(&self) -> usize {
+        self.record_size
+    }
+
+    /// Record `i`.
+    pub fn record(&self, i: usize) -> &[u8] {
+        &self.records[i]
+    }
+
+    /// XOR of the records selected by `mask` (one bool per record).
+    pub fn xor_selected(&self, mask: &[bool]) -> Vec<u8> {
+        assert_eq!(mask.len(), self.len(), "mask arity mismatch");
+        let mut acc = vec![0u8; self.record_size];
+        for (i, &selected) in mask.iter().enumerate() {
+            if selected {
+                for (a, b) in acc.iter_mut().zip(self.records[i].iter()) {
+                    *a ^= b;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// What one server observed during a retrieval: the raw query message it
+/// received. For information-theoretically private schemes this message is
+/// statistically independent of the retrieved index; `tdf-core::scoring`
+/// verifies that empirically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerView {
+    /// The server saw a plaintext index (no user privacy).
+    PlainIndex(usize),
+    /// The server saw a selection bit-vector (XOR schemes).
+    Mask(Vec<bool>),
+    /// The server saw a row-selector plus which of its own axes was used
+    /// (square scheme).
+    SquareMask {
+        /// Row-selection vector.
+        rows: Vec<bool>,
+    },
+    /// The server saw ciphertexts only (computational PIR).
+    Ciphertexts(usize),
+    /// The server saw a full-download request (trivial PIR).
+    FullDownload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let db = Database::new(vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.record_size(), 2);
+        assert_eq!(db.record(1), &[3, 4]);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal size")]
+    fn ragged_records_panic() {
+        let _ = Database::new(vec![vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn xor_selected_matches_manual() {
+        let db = Database::new(vec![vec![0b1100], vec![0b1010], vec![0b0001]]);
+        let x = db.xor_selected(&[true, true, false]);
+        assert_eq!(x, vec![0b0110]);
+        let all = db.xor_selected(&[true, true, true]);
+        assert_eq!(all, vec![0b0111]);
+        let none = db.xor_selected(&[false, false, false]);
+        assert_eq!(none, vec![0]);
+    }
+
+    #[test]
+    fn from_bits() {
+        let db = Database::from_bits(&[true, false, true]);
+        assert_eq!(db.record(0), &[1]);
+        assert_eq!(db.record(1), &[0]);
+        assert_eq!(db.record_size(), 1);
+    }
+}

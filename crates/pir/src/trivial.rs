@@ -1,0 +1,59 @@
+//! Trivial PIR: download the whole database.
+//!
+//! Perfectly private (the request carries no information at all) and the
+//! communication lower bound every non-trivial scheme is measured against.
+
+use crate::cost::CostReport;
+use crate::store::{Database, ServerView};
+
+/// Retrieves record `index` by downloading everything.
+///
+/// Returns the record, the server's view, and the cost.
+pub fn retrieve(db: &Database, index: usize) -> (Vec<u8>, ServerView, CostReport) {
+    assert!(index < db.len(), "index out of range");
+    let record = db.record(index).to_vec();
+    let cost = CostReport {
+        uplink_bits: 1,
+        downlink_bits: (db.len() * db.record_size() * 8) as u64,
+        server_ops: db.len() as u64,
+        servers: 1,
+    };
+    (record, ServerView::FullDownload, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrieves_correct_record() {
+        let db = Database::new(vec![vec![9], vec![8], vec![7]]);
+        for i in 0..3 {
+            let (rec, view, _) = retrieve(&db, i);
+            assert_eq!(rec, db.record(i));
+            assert_eq!(view, ServerView::FullDownload);
+        }
+    }
+
+    #[test]
+    fn cost_is_linear() {
+        let db = Database::new(vec![vec![0u8; 4]; 100]);
+        let (_, _, cost) = retrieve(&db, 5);
+        assert_eq!(cost.downlink_bits, 100 * 4 * 8);
+    }
+
+    #[test]
+    fn view_is_independent_of_index() {
+        let db = Database::new(vec![vec![1], vec![2]]);
+        let (_, v0, _) = retrieve(&db, 0);
+        let (_, v1, _) = retrieve(&db, 1);
+        assert_eq!(v0, v1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let db = Database::new(vec![vec![1]]);
+        let _ = retrieve(&db, 1);
+    }
+}

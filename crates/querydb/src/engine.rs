@@ -1,0 +1,136 @@
+//! Query evaluation over a microdata dataset.
+
+use crate::ast::{Aggregate, Query};
+use tdf_microdata::{Dataset, Error, Result};
+
+/// The evaluation of one query: its query set and exact aggregate value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Row indices matching the predicate (the *query set* of the
+    /// inference-control literature).
+    pub query_set: Vec<usize>,
+    /// The exact aggregate over the query set. `None` when the aggregate
+    /// is undefined (e.g. AVG over an empty set).
+    pub value: Option<f64>,
+}
+
+/// Evaluates `query` against `data`, exactly and without any protection.
+pub fn evaluate(data: &Dataset, query: &Query) -> Result<Evaluation> {
+    // Resolve the aggregate attribute early so bad queries fail loudly.
+    let agg_col = match query.aggregate.attribute() {
+        Some(name) => {
+            let idx = data.schema().index_of(name)?;
+            if !data.schema().attribute(idx).kind.is_numeric() {
+                return Err(Error::NotNumeric(name.to_owned()));
+            }
+            Some(idx)
+        }
+        None => None,
+    };
+
+    let mut query_set = Vec::new();
+    for i in 0..data.num_rows() {
+        if query.predicate.matches(data, data.row(i))? {
+            query_set.push(i);
+        }
+    }
+
+    let values = || -> Vec<f64> {
+        let col = agg_col.expect("aggregate reads an attribute");
+        query_set
+            .iter()
+            .filter_map(|&i| data.value(i, col).as_f64())
+            .collect()
+    };
+
+    let value = match &query.aggregate {
+        Aggregate::Count => Some(query_set.len() as f64),
+        Aggregate::Sum(_) => Some(values().iter().sum()),
+        Aggregate::Avg(_) => {
+            let v = values();
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.iter().sum::<f64>() / v.len() as f64)
+            }
+        }
+        Aggregate::Min(_) => values().into_iter().min_by(f64::total_cmp),
+        Aggregate::Max(_) => values().into_iter().max_by(f64::total_cmp),
+    };
+    Ok(Evaluation { query_set, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use tdf_microdata::patients;
+
+    #[test]
+    fn the_papers_isolation_queries_return_1_and_146() {
+        // §3: "The first query tells the user that there is only one
+        // individual in the dataset smaller than 165 cm and heavier than
+        // 105 kg ... the average blood pressure 146 returned by the second
+        // query corresponds to that single individual."
+        let d = patients::dataset2();
+        let count = evaluate(
+            &d,
+            &parse("SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(count.value, Some(1.0));
+        let avg = evaluate(
+            &d,
+            &parse("SELECT AVG(blood_pressure) FROM t WHERE height < 165 AND weight > 105")
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(avg.value, Some(146.0));
+        assert_eq!(avg.query_set, vec![patients::DATASET2_ISOLATED_ROW]);
+    }
+
+    #[test]
+    fn aggregates_on_dataset1() {
+        let d = patients::dataset1();
+        let count = evaluate(&d, &parse("SELECT COUNT(*) FROM t").unwrap()).unwrap();
+        assert_eq!(count.value, Some(10.0));
+        let min = evaluate(&d, &parse("SELECT MIN(blood_pressure) FROM t").unwrap()).unwrap();
+        assert_eq!(min.value, Some(128.0));
+        let max = evaluate(&d, &parse("SELECT MAX(weight) FROM t").unwrap()).unwrap();
+        assert_eq!(max.value, Some(95.0));
+        let sum = evaluate(
+            &d,
+            &parse("SELECT SUM(weight) FROM t WHERE height = 170").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(sum.value, Some(280.0));
+    }
+
+    #[test]
+    fn empty_query_set_semantics() {
+        let d = patients::dataset1();
+        let q = parse("SELECT AVG(weight) FROM t WHERE height > 999").unwrap();
+        let e = evaluate(&d, &q).unwrap();
+        assert!(e.query_set.is_empty());
+        assert_eq!(e.value, None);
+        let c = evaluate(&d, &parse("SELECT COUNT(*) FROM t WHERE height > 999").unwrap())
+            .unwrap();
+        assert_eq!(c.value, Some(0.0));
+    }
+
+    #[test]
+    fn non_numeric_aggregate_is_rejected() {
+        let d = patients::dataset1();
+        let q = parse("SELECT SUM(aids) FROM t").unwrap();
+        assert!(evaluate(&d, &q).is_err());
+    }
+
+    #[test]
+    fn unknown_attribute_is_rejected() {
+        let d = patients::dataset1();
+        let q = parse("SELECT SUM(salary) FROM t").unwrap();
+        assert!(evaluate(&d, &q).is_err());
+        let q2 = parse("SELECT COUNT(*) FROM t WHERE salary > 3").unwrap();
+        assert!(evaluate(&d, &q2).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! Recursive-descent parser for the mini statistical query language.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := SELECT agg FROM ident (WHERE pred)?
+//! agg     := COUNT '(' '*' ')' | (SUM|AVG|MIN|MAX) '(' ident ')'
+//! pred    := conj (OR conj)*
+//! conj    := unary (AND unary)*
+//! unary   := NOT unary | '(' pred ')' | cmp
+//! cmp     := ident op literal
+//!          | ident BETWEEN literal AND literal
+//!          | ident IN '(' literal (',' literal)* ')'
+//! op      := '<' | '<=' | '>' | '>=' | '=' | '!='
+//! literal := number | 'Y' | 'N' | quoted string | bareword
+//! ```
+
+use crate::ast::{Aggregate, CmpOp, Predicate, Query};
+use tdf_microdata::{Error, Result, Value};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LParen,
+    RParen,
+    Star,
+    Comma,
+}
+
+fn err(msg: impl Into<String>) -> Error {
+    Error::InvalidParameter(format!("query parse error: {}", msg.into()))
+}
+
+fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Star);
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Le);
+                } else {
+                    tokens.push(Token::Lt);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Ge);
+                } else {
+                    tokens.push(Token::Gt);
+                }
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token::Eq);
+            }
+            '!' => {
+                chars.next();
+                if chars.next() == Some('=') {
+                    tokens.push(Token::Ne);
+                } else {
+                    return Err(err("expected `=` after `!`"));
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some(ch) if ch == quote => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(err("unterminated string literal")),
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' | '-' | '.' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Number(
+                    s.parse().map_err(|_| err(format!("bad number `{s}`")))?,
+                ));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(err(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<()> {
+        match self.next() {
+            Some(tok) if tok == t => Ok(()),
+            other => Err(err(format!("expected {t:?}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn aggregate(&mut self) -> Result<Aggregate> {
+        let name = self.ident()?;
+        self.expect(Token::LParen)?;
+        let agg = if name.eq_ignore_ascii_case("count") {
+            self.expect(Token::Star)?;
+            Aggregate::Count
+        } else {
+            let attr = self.ident()?;
+            match name.to_ascii_lowercase().as_str() {
+                "sum" => Aggregate::Sum(attr),
+                "avg" => Aggregate::Avg(attr),
+                "min" => Aggregate::Min(attr),
+                "max" => Aggregate::Max(attr),
+                other => return Err(err(format!("unknown aggregate `{other}`"))),
+            }
+        };
+        self.expect(Token::RParen)?;
+        Ok(agg)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let mut left = self.conjunction()?;
+        while self.keyword_is("or") {
+            self.next();
+            let right = self.conjunction()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn conjunction(&mut self) -> Result<Predicate> {
+        let mut left = self.unary()?;
+        while self.keyword_is("and") {
+            self.next();
+            let right = self.unary()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Predicate> {
+        if self.keyword_is("not") {
+            self.next();
+            return Ok(self.unary()?.not());
+        }
+        if self.peek() == Some(&Token::LParen) {
+            self.next();
+            let p = self.predicate()?;
+            self.expect(Token::RParen)?;
+            return Ok(p);
+        }
+        self.comparison()
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next() {
+            Some(Token::Number(x)) => Ok(Value::Float(x)),
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("y") || s.eq_ignore_ascii_case("true") => {
+                Ok(Value::Bool(true))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("n") || s.eq_ignore_ascii_case("false") => {
+                Ok(Value::Bool(false))
+            }
+            Some(Token::Ident(s)) => Ok(Value::Str(s)),
+            other => Err(err(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Predicate> {
+        let attribute = self.ident()?;
+        if self.keyword_is("between") {
+            // attr BETWEEN lo AND hi  (inclusive on both ends)
+            self.next();
+            let lo = self.literal()?;
+            self.expect_keyword("and")?;
+            let hi = self.literal()?;
+            return Ok(Predicate::between(attribute, lo, hi));
+        }
+        if self.keyword_is("in") {
+            self.next();
+            self.expect(Token::LParen)?;
+            let mut values = vec![self.literal()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.next();
+                values.push(self.literal()?);
+            }
+            self.expect(Token::RParen)?;
+            return Ok(Predicate::In { attribute, values });
+        }
+        let op = match self.next() {
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            other => return Err(err(format!("expected comparison operator, found {other:?}"))),
+        };
+        let literal = self.literal()?;
+        Ok(Predicate::Cmp { attribute, op, literal })
+    }
+}
+
+/// Parses one query.
+/// ```
+/// use tdf_querydb::parser::parse;
+///
+/// let q = parse("SELECT AVG(blood_pressure) FROM t \
+///                WHERE height < 165 AND weight > 105").unwrap();
+/// assert_eq!(q.aggregate.attribute(), Some("blood_pressure"));
+/// ```
+pub fn parse(input: &str) -> Result<Query> {
+    let mut p = Parser { tokens: lex(input)?, pos: 0 };
+    p.expect_keyword("select")?;
+    let aggregate = p.aggregate()?;
+    p.expect_keyword("from")?;
+    let _table = p.ident()?;
+    let predicate = if p.keyword_is("where") {
+        p.next();
+        p.predicate()?
+    } else {
+        Predicate::True
+    };
+    if p.peek().is_some() {
+        return Err(err(format!("trailing tokens after query: {:?}", p.peek())));
+    }
+    Ok(Query { aggregate, predicate })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_two_attack_queries() {
+        // Verbatim from §3 of the paper (modulo the table name).
+        let q1 = parse("SELECT COUNT(*) FROM Dataset2 WHERE height < 165 AND weight > 105")
+            .unwrap();
+        assert_eq!(q1.aggregate, Aggregate::Count);
+        let q2 = parse(
+            "SELECT AVG(blood_pressure) FROM Dataset2 WHERE height < 165 AND weight > 105",
+        )
+        .unwrap();
+        assert_eq!(q2.aggregate, Aggregate::Avg("blood_pressure".into()));
+        assert_eq!(q1.predicate, q2.predicate);
+    }
+
+    #[test]
+    fn parses_all_aggregates() {
+        for (src, want) in [
+            ("SELECT COUNT(*) FROM t", Aggregate::Count),
+            ("SELECT SUM(x) FROM t", Aggregate::Sum("x".into())),
+            ("select avg(x) from t", Aggregate::Avg("x".into())),
+            ("SELECT MIN(x) FROM t", Aggregate::Min("x".into())),
+            ("SELECT MAX(x) FROM t", Aggregate::Max("x".into())),
+        ] {
+            assert_eq!(parse(src).unwrap().aggregate, want, "{src}");
+        }
+    }
+
+    #[test]
+    fn operator_precedence_and_parens() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        // AND binds tighter: a=1 OR (b=2 AND c=3).
+        match q.predicate {
+            Predicate::Or(_, rhs) => match *rhs {
+                Predicate::And(_, _) => {}
+                other => panic!("expected AND on the right, got {other:?}"),
+            },
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+        let q2 = parse("SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
+        assert!(matches!(q2.predicate, Predicate::And(_, _)));
+    }
+
+    #[test]
+    fn not_and_boolean_literals() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE NOT aids = Y").unwrap();
+        assert!(matches!(q.predicate, Predicate::Not(_)));
+        let q2 = parse("SELECT COUNT(*) FROM t WHERE aids = N").unwrap();
+        assert_eq!(
+            q2.predicate,
+            Predicate::Cmp {
+                attribute: "aids".into(),
+                op: CmpOp::Eq,
+                literal: Value::Bool(false)
+            }
+        );
+    }
+
+    #[test]
+    fn string_literals_and_negative_numbers() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE city = 'Tarragona' AND delta > -2.5").unwrap();
+        let s = q.predicate.to_string();
+        assert!(s.contains("Tarragona"));
+        assert!(s.contains("-2.5"));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT COUNT(*) FROM").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a ! 1").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a = 'unclosed").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t extra junk").is_err());
+        assert!(parse("SELECT MEDIAN(x) FROM t").is_err());
+    }
+
+    #[test]
+    fn between_desugars_to_inclusive_range() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE height BETWEEN 160 AND 170").unwrap();
+        assert_eq!(
+            q.predicate,
+            Predicate::between("height", 160.0, 170.0)
+        );
+        // Inclusivity check through evaluation-free structure:
+        let s = q.predicate.to_string();
+        assert!(s.contains(">= 160") && s.contains("<= 170"), "{s}");
+    }
+
+    #[test]
+    fn in_lists_parse_and_display() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE city IN ('Reus', 'Valls') AND age IN (18, 21)")
+            .unwrap();
+        let s = q.predicate.to_string();
+        assert!(s.contains("city IN ('Reus', 'Valls')"), "{s}");
+        assert!(s.contains("age IN (18, 21)"), "{s}");
+        // Round-trips through the parser.
+        let q2 = parse(&format!("SELECT COUNT(*) FROM t WHERE {s}")).unwrap();
+        assert_eq!(q.predicate, q2.predicate);
+    }
+
+    #[test]
+    fn in_and_between_error_cases() {
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a IN ()").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a IN (1,").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a BETWEEN 1").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a BETWEEN 1 OR 2").is_err());
+    }
+
+    #[test]
+    fn missing_where_is_true_predicate() {
+        let q = parse("SELECT SUM(income) FROM census").unwrap();
+        assert_eq!(q.predicate, Predicate::True);
+    }
+}

@@ -1,0 +1,99 @@
+//! The statistical-database front-end: evaluation + policy + query log.
+
+use crate::ast::Query;
+use crate::control::{Answer, ControlPolicy};
+use crate::engine::evaluate;
+use crate::parser::parse;
+use tdf_microdata::{Dataset, Result};
+
+/// An interactively queryable statistical database.
+///
+/// Every submitted query is appended to [`StatDb::query_log`] before being
+/// answered — modelling the paper's observation that "all SDC methods for
+/// interactive statistical databases assume that the data owner operating
+/// the database exactly knows the queries submitted by users" (§3). The log
+/// *is* the user-privacy leak.
+#[derive(Debug)]
+pub struct StatDb {
+    data: Dataset,
+    policy: ControlPolicy,
+    log: Vec<(Query, Answer)>,
+}
+
+impl StatDb {
+    /// Opens a database over `data` with the given policy.
+    pub fn new(data: Dataset, policy: ControlPolicy) -> Self {
+        Self { data, policy, log: Vec::new() }
+    }
+
+    /// The underlying data (the owner's view).
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Submits a parsed query.
+    pub fn query(&mut self, query: Query) -> Result<Answer> {
+        let eval = evaluate(&self.data, &query)?;
+        let answer = self.policy.apply(&self.data, &query, &eval);
+        self.log.push((query, answer.clone()));
+        Ok(answer)
+    }
+
+    /// Submits a query in the mini-SQL syntax.
+    pub fn query_str(&mut self, src: &str) -> Result<Answer> {
+        self.query(parse(src)?)
+    }
+
+    /// The owner's complete record of what every user asked.
+    pub fn query_log(&self) -> &[(Query, Answer)] {
+        &self.log
+    }
+
+    /// Number of refused queries so far.
+    pub fn refusals(&self) -> usize {
+        self.log.iter().filter(|(_, a)| a.is_refused()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdf_microdata::patients;
+
+    #[test]
+    fn logs_every_query_including_refused_ones() {
+        let mut db = StatDb::new(
+            patients::dataset2(),
+            ControlPolicy::SizeRestriction { min_size: 2 },
+        );
+        db.query_str("SELECT COUNT(*) FROM t WHERE aids = Y").unwrap();
+        db.query_str("SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105").unwrap();
+        assert_eq!(db.query_log().len(), 2);
+        assert_eq!(db.refusals(), 1);
+        // The owner sees the full predicate of the refused query too.
+        let (q, a) = &db.query_log()[1];
+        assert!(q.to_string().contains("height < 165"));
+        assert!(a.is_refused());
+    }
+
+    #[test]
+    fn parse_errors_do_not_pollute_the_log() {
+        let mut db = StatDb::new(patients::dataset1(), ControlPolicy::None);
+        assert!(db.query_str("SELEKT lol").is_err());
+        assert!(db.query_log().is_empty());
+    }
+
+    #[test]
+    fn full_paper_attack_runs_without_control() {
+        // §3 end-to-end with no protection: two queries, full disclosure.
+        let mut db = StatDb::new(patients::dataset2(), ControlPolicy::None);
+        let c = db
+            .query_str("SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105")
+            .unwrap();
+        assert_eq!(c.point(), Some(1.0));
+        let avg = db
+            .query_str("SELECT AVG(blood_pressure) FROM t WHERE height < 165 AND weight > 105")
+            .unwrap();
+        assert_eq!(avg.point(), Some(146.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Top/bottom coding and rounding — the simplest SDC maskers.
+
+use tdf_microdata::stats::quantile;
+use tdf_microdata::{Dataset, Error, Result, Value};
+
+/// Replaces values above the `upper_q` quantile with that quantile and
+/// values below the `lower_q` quantile with that quantile (top/bottom
+/// coding). Quantiles must satisfy `0 ≤ lower_q < upper_q ≤ 1`.
+pub fn top_bottom_code(
+    data: &Dataset,
+    col: usize,
+    lower_q: f64,
+    upper_q: f64,
+) -> Result<Dataset> {
+    if !(0.0..=1.0).contains(&lower_q) || !(0.0..=1.0).contains(&upper_q) || lower_q >= upper_q {
+        return Err(Error::InvalidParameter("need 0 <= lower_q < upper_q <= 1".into()));
+    }
+    if !data.schema().attribute(col).kind.is_numeric() {
+        return Err(Error::NotNumeric(data.schema().attribute(col).name.clone()));
+    }
+    let xs = data.numeric_column(col);
+    if xs.is_empty() {
+        return Ok(data.clone());
+    }
+    let lo = quantile(&xs, lower_q).expect("non-empty column");
+    let hi = quantile(&xs, upper_q).expect("non-empty column");
+    let mut out = data.clone();
+    for i in 0..data.num_rows() {
+        if let Some(x) = data.value(i, col).as_f64() {
+            let clamped = x.clamp(lo, hi);
+            if clamped != x {
+                out.set_value(i, col, Value::Float(clamped))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Rounds a numeric column to the nearest multiple of `base` (> 0).
+pub fn round_to_base(data: &Dataset, col: usize, base: f64) -> Result<Dataset> {
+    if base <= 0.0 {
+        return Err(Error::InvalidParameter("rounding base must be positive".into()));
+    }
+    if !data.schema().attribute(col).kind.is_numeric() {
+        return Err(Error::NotNumeric(data.schema().attribute(col).name.clone()));
+    }
+    let mut out = data.clone();
+    for i in 0..data.num_rows() {
+        if let Some(x) = data.value(i, col).as_f64() {
+            out.set_value(i, col, Value::Float((x / base).round() * base))?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdf_microdata::synth::{patients, PatientConfig};
+
+    #[test]
+    fn top_bottom_coding_clamps_tails() {
+        let d = patients(&PatientConfig { n: 1000, ..Default::default() });
+        let coded = top_bottom_code(&d, 0, 0.05, 0.95).unwrap();
+        let xs = coded.numeric_column(0);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let orig = d.numeric_column(0);
+        let olo = orig.iter().cloned().fold(f64::INFINITY, f64::min);
+        let ohi = orig.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo > olo && hi < ohi, "tails must shrink: [{lo},{hi}] vs [{olo},{ohi}]");
+        // Interior values are untouched.
+        let changed = orig.iter().zip(&xs).filter(|(a, b)| a != b).count();
+        assert!(changed > 0 && changed < d.num_rows() / 5, "changed {changed}");
+    }
+
+    #[test]
+    fn rounding_quantises() {
+        let d = patients(&PatientConfig { n: 100, ..Default::default() });
+        let rounded = round_to_base(&d, 2, 10.0).unwrap();
+        for x in rounded.numeric_column(2) {
+            assert!((x / 10.0 - (x / 10.0).round()).abs() < 1e-9, "{x}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let d = patients(&PatientConfig { n: 10, ..Default::default() });
+        assert!(top_bottom_code(&d, 0, 0.9, 0.1).is_err());
+        assert!(top_bottom_code(&d, 3, 0.1, 0.9).is_err());
+        assert!(round_to_base(&d, 0, 0.0).is_err());
+        assert!(round_to_base(&d, 3, 5.0).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_passthrough() {
+        let d = Dataset::new(tdf_microdata::patients::patient_schema());
+        assert!(top_bottom_code(&d, 0, 0.1, 0.9).unwrap().is_empty());
+        assert!(round_to_base(&d, 0, 5.0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! # tdf-sdc
+//!
+//! Statistical disclosure control (SDC) — the toolbox of the respondent-
+//! privacy dimension, after the *Handbook on Statistical Disclosure
+//! Control* [17] and Willenborg–DeWaal [26].
+//!
+//! Masking methods (each takes an original dataset and returns a protected
+//! release):
+//!
+//! * [`microaggregation`] — MDAV and fixed-size heuristics; with group size
+//!   `k` applied to the quasi-identifiers this *guarantees k-anonymity*
+//!   (Domingo-Ferrer–Torra [12]) and coincides with the condensation
+//!   approach to PPDM (Aggarwal–Yu [1]);
+//! * [`noise`] — uncorrelated and correlated additive Gaussian noise
+//!   (the masking of Agrawal–Srikant [5] and of hippocratic databases);
+//! * [`swapping`] — rank swapping;
+//! * [`pram`] — post-randomization of categorical attributes;
+//! * [`coding`] — top/bottom coding and rounding;
+//! * [`tables`] — tabular protection: frequency tables with primary and
+//!   complementary cell suppression, audited by exact linear algebra.
+//!
+//! Metrics:
+//!
+//! * [`risk`] — disclosure risk: distance-based record linkage, interval
+//!   disclosure, uniqueness;
+//! * [`utility`] — information loss: IL1s, moment/covariance preservation.
+//!
+//! The same masked release scores on *both* of the paper's first two
+//! dimensions: record linkage measures respondent risk, while the owner's
+//! exposure is the fraction of original values an adversary can reconstruct
+//! from the release (see `tdf-core::scoring`).
+
+pub mod coding;
+pub mod microaggregation;
+pub mod noise;
+pub mod pram;
+pub mod risk;
+pub mod swapping;
+pub mod tables;
+pub mod utility;
+
+pub use microaggregation::{mdav_microaggregate, fixed_microaggregate, MicroaggregationResult};
+pub use noise::{add_noise, add_correlated_noise, NoiseConfig};
+pub use risk::{record_linkage_rate, interval_disclosure_rate, uniqueness_rate};
+pub use utility::{il1s, UtilityReport};

@@ -1,0 +1,246 @@
+//! Additive noise masking.
+//!
+//! Uncorrelated noise adds independent Gaussian noise with per-column
+//! standard deviation `alpha · sd(column)` — the masking of
+//! Agrawal–Srikant [5]. Correlated noise draws the noise vector from a
+//! Gaussian with covariance `alpha² · Σ`, where `Σ` is the data covariance
+//! matrix, so that the masked data preserve the correlation structure
+//! (at the cost of the vulnerabilities [11] exposes — see
+//! `tdf-ppdm::sparsity`).
+
+use rand::Rng;
+use tdf_microdata::rng::standard_normal;
+use tdf_microdata::stats;
+use tdf_microdata::{Dataset, Error, Result, Value};
+
+/// Noise parameters.
+#[derive(Debug, Clone)]
+pub struct NoiseConfig {
+    /// Noise amplitude relative to each column's standard deviation.
+    pub alpha: f64,
+    /// Columns to perturb (must be numeric).
+    pub cols: Vec<usize>,
+}
+
+impl NoiseConfig {
+    /// Noise on the given columns with relative amplitude `alpha`.
+    pub fn new(alpha: f64, cols: Vec<usize>) -> Self {
+        Self { alpha, cols }
+    }
+}
+
+/// Masks `data` with independent (uncorrelated) Gaussian noise.
+pub fn add_noise<R: Rng + ?Sized>(
+    data: &Dataset,
+    config: &NoiseConfig,
+    rng: &mut R,
+) -> Result<Dataset> {
+    validate(data, config)?;
+    let sds: Vec<f64> = config
+        .cols
+        .iter()
+        .map(|&c| stats::std_dev(&data.numeric_column(c)).unwrap_or(0.0))
+        .collect();
+    let mut out = data.clone();
+    for i in 0..data.num_rows() {
+        for (j, &c) in config.cols.iter().enumerate() {
+            if let Some(x) = data.value(i, c).as_f64() {
+                let noisy = x + config.alpha * sds[j] * standard_normal(rng);
+                out.set_value(i, c, Value::Float(noisy))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Masks `data` with *variance-preserving* noise: each perturbed column is
+/// rescaled around its mean by `1/√(1 + alpha²)` after noise addition, so
+/// means and variances of the release match the original exactly in
+/// expectation (the unbiased variant recommended by the SDC handbooks when
+/// analysts will compute second moments from the release).
+pub fn add_unbiased_noise<R: Rng + ?Sized>(
+    data: &Dataset,
+    config: &NoiseConfig,
+    rng: &mut R,
+) -> Result<Dataset> {
+    validate(data, config)?;
+    let scale = 1.0 / (1.0 + config.alpha * config.alpha).sqrt();
+    let mut out = add_noise(data, config, rng)?;
+    for &c in &config.cols {
+        let mean = stats::mean(&data.numeric_column(c)).unwrap_or(0.0);
+        for i in 0..out.num_rows() {
+            if let Some(x) = out.value(i, c).as_f64() {
+                out.set_value(i, c, Value::Float(mean + (x - mean) * scale))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Masks `data` with correlated Gaussian noise whose covariance is
+/// `alpha² · Σ(data)`, preserving the covariance structure up to a known
+/// scale factor `1 + alpha²`.
+pub fn add_correlated_noise<R: Rng + ?Sized>(
+    data: &Dataset,
+    config: &NoiseConfig,
+    rng: &mut R,
+) -> Result<Dataset> {
+    validate(data, config)?;
+    if data.num_rows() < 2 {
+        return Err(Error::EmptyDataset);
+    }
+    let sigma = stats::covariance_matrix(data, &config.cols)?;
+    let chol = cholesky(&sigma).ok_or_else(|| {
+        Error::InvalidParameter("covariance matrix is not positive definite".into())
+    })?;
+    let d = config.cols.len();
+    let mut out = data.clone();
+    for i in 0..data.num_rows() {
+        let z: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
+        // noise = alpha · L · z has covariance alpha²·Σ.
+        for (j, &c) in config.cols.iter().enumerate() {
+            if let Some(x) = data.value(i, c).as_f64() {
+                let n: f64 = (0..=j).map(|t| chol[j][t] * z[t]).sum();
+                out.set_value(i, c, Value::Float(x + config.alpha * n))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn validate(data: &Dataset, config: &NoiseConfig) -> Result<()> {
+    if config.alpha < 0.0 {
+        return Err(Error::InvalidParameter("alpha must be non-negative".into()));
+    }
+    for &c in &config.cols {
+        if !data.schema().attribute(c).kind.is_numeric() {
+            return Err(Error::NotNumeric(data.schema().attribute(c).name.clone()));
+        }
+    }
+    Ok(())
+}
+
+/// Cholesky factorisation of a symmetric positive-definite matrix;
+/// returns the lower-triangular factor `L` with `L·Lᵀ = m`.
+fn cholesky(m: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = m.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let s: f64 = (0..j).map(|t| l[i][t] * l[j][t]).sum();
+            if i == j {
+                let v = m[i][i] - s;
+                if v <= 0.0 {
+                    return None;
+                }
+                l[i][j] = v.sqrt();
+            } else {
+                l[i][j] = (m[i][j] - s) / l[j][j];
+            }
+        }
+    }
+    Some(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdf_microdata::rng::seeded;
+    use tdf_microdata::synth::{patients, PatientConfig};
+
+    fn data() -> Dataset {
+        patients(&PatientConfig { n: 3000, ..Default::default() })
+    }
+
+    #[test]
+    fn uncorrelated_noise_preserves_means_and_scales_variance() {
+        let d = data();
+        let cfg = NoiseConfig::new(0.5, vec![0, 1]);
+        let masked = add_noise(&d, &cfg, &mut seeded(1)).unwrap();
+        for c in [0usize, 1] {
+            let m0 = stats::mean(&d.numeric_column(c)).unwrap();
+            let m1 = stats::mean(&masked.numeric_column(c)).unwrap();
+            assert!((m0 - m1).abs() / m0 < 0.01, "col {c} mean drift");
+            let v0 = stats::variance(&d.numeric_column(c)).unwrap();
+            let v1 = stats::variance(&masked.numeric_column(c)).unwrap();
+            // Var(X + alpha·sd·Z) = (1 + alpha²)·Var(X) = 1.25·Var(X).
+            assert!((v1 / v0 - 1.25).abs() < 0.08, "col {c}: ratio {}", v1 / v0);
+        }
+    }
+
+    #[test]
+    fn zero_alpha_is_identity() {
+        let d = data();
+        let cfg = NoiseConfig::new(0.0, vec![0, 1]);
+        let masked = add_noise(&d, &cfg, &mut seeded(2)).unwrap();
+        assert_eq!(masked, d);
+    }
+
+    #[test]
+    fn correlated_noise_preserves_correlations() {
+        let d = data();
+        let cfg = NoiseConfig::new(1.0, vec![0, 1, 2]);
+        let masked = add_correlated_noise(&d, &cfg, &mut seeded(3)).unwrap();
+        let rho0 = stats::correlation(&d.numeric_column(0), &d.numeric_column(1)).unwrap();
+        let rho1 =
+            stats::correlation(&masked.numeric_column(0), &masked.numeric_column(1)).unwrap();
+        assert!((rho0 - rho1).abs() < 0.05, "rho {rho0} vs {rho1}");
+    }
+
+    #[test]
+    fn uncorrelated_noise_dilutes_correlations() {
+        let d = data();
+        let cfg = NoiseConfig::new(2.0, vec![0, 1]);
+        let masked = add_noise(&d, &cfg, &mut seeded(4)).unwrap();
+        let rho0 = stats::correlation(&d.numeric_column(0), &d.numeric_column(1)).unwrap();
+        let rho1 =
+            stats::correlation(&masked.numeric_column(0), &masked.numeric_column(1)).unwrap();
+        // With alpha = 2 the correlation shrinks by 1/(1+alpha²) = 1/5.
+        assert!(rho1.abs() < rho0.abs() * 0.5, "rho {rho0} vs {rho1}");
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let d = data();
+        assert!(add_noise(&d, &NoiseConfig::new(-1.0, vec![0]), &mut seeded(5)).is_err());
+        assert!(add_noise(&d, &NoiseConfig::new(0.1, vec![3]), &mut seeded(5)).is_err());
+    }
+
+    #[test]
+    fn unbiased_noise_preserves_variance() {
+        let d = data();
+        let cfg = NoiseConfig::new(1.0, vec![0, 1]);
+        let masked = add_unbiased_noise(&d, &cfg, &mut seeded(9)).unwrap();
+        for c in [0usize, 1] {
+            let v0 = stats::variance(&d.numeric_column(c)).unwrap();
+            let v1 = stats::variance(&masked.numeric_column(c)).unwrap();
+            assert!((v1 / v0 - 1.0).abs() < 0.05, "col {c}: ratio {}", v1 / v0);
+            let m0 = stats::mean(&d.numeric_column(c)).unwrap();
+            let m1 = stats::mean(&masked.numeric_column(c)).unwrap();
+            assert!((m0 - m1).abs() / m0 < 0.01);
+        }
+        // Values still move substantially (privacy is not free).
+        let changed = (0..d.num_rows())
+            .filter(|&i| d.value(i, 0) != masked.value(i, 0))
+            .count();
+        assert!(changed > d.num_rows() * 9 / 10);
+    }
+
+    #[test]
+    fn cholesky_round_trips() {
+        let m = vec![
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ];
+        let l = cholesky(&m).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let recon: f64 = (0..3).map(|t| l[i][t] * l[j][t]).sum();
+                assert!((recon - m[i][j]).abs() < 1e-9);
+            }
+        }
+        // Non-PD matrix is rejected.
+        assert!(cholesky(&[vec![1.0, 2.0], vec![2.0, 1.0]]).is_none());
+    }
+}

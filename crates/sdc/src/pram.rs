@@ -1,0 +1,231 @@
+//! PRAM — post-randomization of categorical attributes.
+//!
+//! Each categorical value is re-sampled according to a Markov transition
+//! matrix: with probability `1 − flip` it stays, otherwise it moves to a
+//! uniformly random other category. This is the categorical analogue of
+//! noise addition, and the masking mechanism underlying randomized-response
+//! PPDM (see `tdf-ppdm::randomized_response` for the owner-side variant).
+
+use rand::Rng;
+use std::collections::BTreeSet;
+use tdf_microdata::{AttributeKind, Dataset, Error, Result, Value};
+
+/// Applies PRAM with the given `flip` probability to categorical/boolean
+/// column `col`.
+pub fn pram<R: Rng + ?Sized>(
+    data: &Dataset,
+    col: usize,
+    flip: f64,
+    rng: &mut R,
+) -> Result<Dataset> {
+    if !(0.0..=1.0).contains(&flip) {
+        return Err(Error::InvalidParameter("flip must be in [0, 1]".into()));
+    }
+    let kind = data.schema().attribute(col).kind;
+    match kind {
+        AttributeKind::Nominal | AttributeKind::Ordinal | AttributeKind::Boolean => {}
+        _ => return Err(Error::NotNumeric(format!(
+            "PRAM applies to categorical attributes, `{}` is numeric",
+            data.schema().attribute(col).name
+        ))),
+    }
+
+    // Category domain observed in the data.
+    let domain: Vec<Value> = {
+        let mut set = BTreeSet::new();
+        for i in 0..data.num_rows() {
+            if !data.value(i, col).is_missing() {
+                set.insert(data.value(i, col).clone());
+            }
+        }
+        set.into_iter().collect()
+    };
+    let mut out = data.clone();
+    if domain.len() < 2 {
+        return Ok(out);
+    }
+    for i in 0..data.num_rows() {
+        if data.value(i, col).is_missing() {
+            continue;
+        }
+        if rng.gen::<f64>() < flip {
+            // Uniform among the *other* categories.
+            let cur = data.value(i, col);
+            let others: Vec<&Value> = domain.iter().filter(|v| !v.group_eq(cur)).collect();
+            let pick = others[rng.gen_range(0..others.len())].clone();
+            out.set_value(i, col, pick)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Applies *invariant* PRAM: a transition matrix whose stationary
+/// distribution is the data's own category distribution, so expected
+/// category frequencies are unchanged and no unbiasing step is needed.
+/// With probability `1 − flip` a value is kept; otherwise it is re-drawn
+/// from the empirical marginal distribution π (possibly landing on itself)
+/// — the kernel `M = (1−flip)·I + flip·1πᵀ`, whose stationary vector is π.
+pub fn invariant_pram<R: Rng + ?Sized>(
+    data: &Dataset,
+    col: usize,
+    flip: f64,
+    rng: &mut R,
+) -> Result<Dataset> {
+    if !(0.0..=1.0).contains(&flip) {
+        return Err(Error::InvalidParameter("flip must be in [0, 1]".into()));
+    }
+    let kind = data.schema().attribute(col).kind;
+    match kind {
+        AttributeKind::Nominal | AttributeKind::Ordinal | AttributeKind::Boolean => {}
+        _ => {
+            return Err(Error::NotNumeric(format!(
+                "PRAM applies to categorical attributes, `{}` is numeric",
+                data.schema().attribute(col).name
+            )))
+        }
+    }
+    // Empirical category distribution.
+    let mut counts: std::collections::BTreeMap<Value, usize> = std::collections::BTreeMap::new();
+    for i in 0..data.num_rows() {
+        if !data.value(i, col).is_missing() {
+            *counts.entry(data.value(i, col).clone()).or_default() += 1;
+        }
+    }
+    let domain: Vec<(Value, usize)> = counts.into_iter().collect();
+    let mut out = data.clone();
+    if domain.len() < 2 {
+        return Ok(out);
+    }
+    for i in 0..data.num_rows() {
+        if data.value(i, col).is_missing() || rng.gen::<f64>() >= flip {
+            continue;
+        }
+        // Re-draw from the marginal distribution (including possibly the
+        // same category): exactly the invariant Markov kernel
+        // M = (1−flip)·I + flip·1πᵀ, whose stationary vector is π.
+        let total: usize = domain.iter().map(|(_, c)| *c).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (v, c) in &domain {
+            if pick < *c {
+                out.set_value(i, col, v.clone())?;
+                break;
+            }
+            pick -= *c;
+        }
+    }
+    Ok(out)
+}
+
+/// Estimates the true frequency of `value` in the original data from its
+/// frequency in PRAM-masked data, inverting the transition matrix:
+/// for `c` categories, `observed = true·(1−flip) + (1−true)·flip/(c−1)`.
+pub fn unbias_frequency(observed: f64, flip: f64, categories: usize) -> f64 {
+    assert!(categories >= 2, "need at least two categories");
+    let q = flip / (categories as f64 - 1.0);
+    // observed = t(1−flip) + (1−t)q  =>  t = (observed − q) / (1 − flip − q)
+    let denom = 1.0 - flip - q;
+    if denom.abs() < 1e-12 {
+        return f64::NAN; // flip so large the channel is non-invertible
+    }
+    (observed - q) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdf_microdata::rng::seeded;
+    use tdf_microdata::synth::census;
+
+    #[test]
+    fn flip_zero_is_identity() {
+        let d = census(200, 1);
+        let masked = pram(&d, 4, 0.0, &mut seeded(1)).unwrap();
+        assert_eq!(masked, d);
+    }
+
+    #[test]
+    fn flip_changes_roughly_the_requested_fraction() {
+        let d = census(2000, 2);
+        let masked = pram(&d, 4, 0.3, &mut seeded(2)).unwrap();
+        let changed = (0..d.num_rows())
+            .filter(|&i| d.value(i, 4) != masked.value(i, 4))
+            .count() as f64
+            / d.num_rows() as f64;
+        assert!((changed - 0.3).abs() < 0.05, "changed {changed}");
+    }
+
+    #[test]
+    fn domain_is_preserved() {
+        let d = census(500, 3);
+        let masked = pram(&d, 4, 0.5, &mut seeded(3)).unwrap();
+        let orig: BTreeSet<Value> = (0..d.num_rows()).map(|i| d.value(i, 4).clone()).collect();
+        for i in 0..masked.num_rows() {
+            assert!(orig.contains(masked.value(i, 4)));
+        }
+    }
+
+    #[test]
+    fn frequency_unbiasing_recovers_truth() {
+        let d = census(8000, 4);
+        let col = 4;
+        let flip = 0.4;
+        let masked = pram(&d, col, flip, &mut seeded(4)).unwrap();
+        let count = |data: &Dataset, v: &str| {
+            data.matching_indices(|r| r[col].as_str() == Some(v)).len() as f64
+                / data.num_rows() as f64
+        };
+        let truth = count(&d, "cancer");
+        let observed = count(&masked, "cancer");
+        let estimated = unbias_frequency(observed, flip, tdf_microdata::synth::DISEASES.len());
+        assert!(
+            (estimated - truth).abs() < 0.02,
+            "truth {truth}, observed {observed}, estimated {estimated}"
+        );
+        // The raw observed frequency is biased toward uniform.
+        assert!((observed - truth).abs() > (estimated - truth).abs());
+    }
+
+    #[test]
+    fn invariant_pram_preserves_marginals() {
+        let d = census(6000, 7);
+        let col = 4;
+        let masked = invariant_pram(&d, col, 0.6, &mut seeded(8)).unwrap();
+        for disease in tdf_microdata::synth::DISEASES {
+            let f0 = d.matching_indices(|r| r[col].as_str() == Some(disease)).len() as f64
+                / d.num_rows() as f64;
+            let f1 = masked.matching_indices(|r| r[col].as_str() == Some(disease)).len() as f64
+                / masked.num_rows() as f64;
+            assert!((f0 - f1).abs() < 0.02, "{disease}: {f0} vs {f1}");
+        }
+        // And still changes plenty of cells.
+        let changed = (0..d.num_rows())
+            .filter(|&i| d.value(i, col) != masked.value(i, col))
+            .count() as f64
+            / d.num_rows() as f64;
+        assert!(changed > 0.35, "changed {changed}");
+    }
+
+    #[test]
+    fn invariant_pram_flip_zero_is_identity() {
+        let d = census(100, 9);
+        assert_eq!(invariant_pram(&d, 4, 0.0, &mut seeded(1)).unwrap(), d);
+    }
+
+    #[test]
+    fn rejects_numeric_columns_and_bad_flip() {
+        let d = census(10, 5);
+        assert!(pram(&d, 0, 0.2, &mut seeded(5)).is_err()); // age is numeric
+        assert!(pram(&d, 4, 1.5, &mut seeded(5)).is_err());
+    }
+
+    #[test]
+    fn boolean_columns_work() {
+        use tdf_microdata::patients;
+        let d = patients::dataset1();
+        let masked = pram(&d, 3, 1.0, &mut seeded(6)).unwrap();
+        // flip = 1 with two categories inverts every flag.
+        for i in 0..d.num_rows() {
+            assert_ne!(d.value(i, 3), masked.value(i, 3));
+        }
+    }
+}

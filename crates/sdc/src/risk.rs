@@ -1,0 +1,252 @@
+//! Disclosure-risk metrics.
+//!
+//! These quantify *respondent privacy* empirically, replacing the paper's
+//! qualitative grades (§5): the central measure is distance-based record
+//! linkage — the success rate of an intruder who knows the respondents'
+//! quasi-identifier values and links them to the closest record of the
+//! masked release.
+
+use tdf_microdata::distance::{sq_euclidean, Standardizer};
+use tdf_microdata::{Dataset, Error, Result};
+
+/// Expected fraction of respondents an intruder re-identifies by linking
+/// each original record to the nearest masked record (standardized
+/// Euclidean distance on `qi_cols`). Ties are broken uniformly at random,
+/// so a k-anonymous group contributes `1/|group|` per member — which is
+/// exactly the re-identification probability k-anonymity promises.
+///
+/// `original` and `masked` must be row-aligned (record `i` of both refers
+/// to the same respondent).
+pub fn record_linkage_rate(original: &Dataset, masked: &Dataset, qi_cols: &[usize]) -> Result<f64> {
+    if original.num_rows() != masked.num_rows() {
+        return Err(Error::SchemaMismatch);
+    }
+    if original.is_empty() {
+        return Err(Error::EmptyDataset);
+    }
+    // Standardize with the *original* data's scale: that is the intruder's
+    // external knowledge.
+    let std = Standardizer::fit(original, qi_cols);
+    let masked_pts: Vec<Vec<f64>> =
+        (0..masked.num_rows()).map(|i| std.transform(masked.row(i))).collect();
+
+    let mut expected_hits = 0.0;
+    for i in 0..original.num_rows() {
+        let target = std.transform(original.row(i));
+        let mut best = f64::INFINITY;
+        let mut ties: Vec<usize> = Vec::new();
+        for (j, p) in masked_pts.iter().enumerate() {
+            let d = sq_euclidean(&target, p);
+            if d < best - 1e-12 {
+                best = d;
+                ties.clear();
+                ties.push(j);
+            } else if (d - best).abs() <= 1e-12 {
+                ties.push(j);
+            }
+        }
+        if ties.contains(&i) {
+            expected_hits += 1.0 / ties.len() as f64;
+        }
+    }
+    Ok(expected_hits / original.num_rows() as f64)
+}
+
+/// Mixed-type record linkage: like [`record_linkage_rate`] but using the
+/// Gower-style distance of [`tdf_microdata::distance::mixed_distance`], so
+/// categorical and boolean quasi-identifiers (census zip codes, education
+/// levels) contribute 0/1 mismatch terms, and suppressed cells count as a
+/// full mismatch. Both datasets must share the original's schema and row
+/// alignment; for recoded releases, generalize the intruder's copy of the
+/// original with the same hierarchy before calling.
+pub fn record_linkage_rate_mixed(
+    original: &Dataset,
+    masked: &Dataset,
+    qi_cols: &[usize],
+) -> Result<f64> {
+    use tdf_microdata::distance::mixed_distance;
+    if original.num_rows() != masked.num_rows() {
+        return Err(Error::SchemaMismatch);
+    }
+    if original.is_empty() {
+        return Err(Error::EmptyDataset);
+    }
+    let numeric_qi: Vec<usize> = qi_cols
+        .iter()
+        .copied()
+        .filter(|&c| original.schema().attribute(c).kind.is_numeric())
+        .collect();
+    let std = Standardizer::fit(original, &numeric_qi);
+
+    let mut expected_hits = 0.0;
+    for i in 0..original.num_rows() {
+        let target = original.row(i);
+        let mut best = f64::INFINITY;
+        let mut ties: Vec<usize> = Vec::new();
+        for j in 0..masked.num_rows() {
+            let d = mixed_distance(&std, original, target, masked.row(j), qi_cols);
+            if d < best - 1e-12 {
+                best = d;
+                ties.clear();
+                ties.push(j);
+            } else if (d - best).abs() <= 1e-12 {
+                ties.push(j);
+            }
+        }
+        if ties.contains(&i) {
+            expected_hits += 1.0 / ties.len() as f64;
+        }
+    }
+    Ok(expected_hits / original.num_rows() as f64)
+}
+
+/// Interval disclosure: the fraction of masked numeric cells (over `cols`)
+/// lying within `fraction` of the original column's standard deviation of
+/// their true value. High values mean the release still pins confidential
+/// magnitudes down tightly.
+pub fn interval_disclosure_rate(
+    original: &Dataset,
+    masked: &Dataset,
+    cols: &[usize],
+    fraction: f64,
+) -> Result<f64> {
+    if original.num_rows() != masked.num_rows() {
+        return Err(Error::SchemaMismatch);
+    }
+    if original.is_empty() || cols.is_empty() {
+        return Err(Error::EmptyDataset);
+    }
+    let mut within = 0usize;
+    let mut total = 0usize;
+    for &c in cols {
+        let sd = tdf_microdata::stats::std_dev(&original.numeric_column(c)).unwrap_or(0.0);
+        let tol = fraction * if sd > 0.0 { sd } else { 1.0 };
+        for i in 0..original.num_rows() {
+            if let (Some(x), Some(y)) =
+                (original.value(i, c).as_f64(), masked.value(i, c).as_f64())
+            {
+                total += 1;
+                if (x - y).abs() <= tol {
+                    within += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        return Err(Error::EmptyDataset);
+    }
+    Ok(within as f64 / total as f64)
+}
+
+/// Fraction of records that are *sample-unique* on the quasi-identifiers —
+/// the simplest uniqueness-based risk measure.
+pub fn uniqueness_rate(data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let unique: usize = data
+        .quasi_identifier_groups()
+        .values()
+        .filter(|g| g.len() == 1)
+        .count();
+    unique as f64 / data.num_rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microaggregation::mdav_microaggregate;
+    use crate::noise::{add_noise, NoiseConfig};
+    use tdf_microdata::patients;
+    use tdf_microdata::rng::seeded;
+    use tdf_microdata::synth::{patients as synth, PatientConfig};
+
+    #[test]
+    fn unmasked_release_links_perfectly() {
+        let d = patients::dataset2();
+        let rate = record_linkage_rate(&d, &d, &[0, 1]).unwrap();
+        assert!((rate - 1.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn k_anonymous_release_links_at_one_over_k() {
+        let d = patients::dataset2();
+        let masked = mdav_microaggregate(&d, &[0, 1], 3).unwrap().data;
+        let rate = record_linkage_rate(&d, &masked, &[0, 1]).unwrap();
+        // Groups of size in [3, 5] ⇒ rate in [1/5, 1/3].
+        assert!(rate <= 1.0 / 3.0 + 1e-9, "rate {rate}");
+        assert!(rate >= 1.0 / 5.0 - 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn dataset1_spontaneous_anonymity_already_protects() {
+        // The paper's §2: Dataset 1 is publishable for respondents as-is.
+        let d = patients::dataset1();
+        let rate = record_linkage_rate(&d, &d, &[0, 1]).unwrap();
+        assert!(rate <= 1.0 / 3.0 + 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn noise_reduces_linkage_monotonically_in_alpha() {
+        let d = synth(&PatientConfig { n: 400, ..Default::default() });
+        let mut prev = 1.1;
+        for alpha in [0.0, 0.2, 1.0, 4.0] {
+            let masked =
+                add_noise(&d, &NoiseConfig::new(alpha, vec![0, 1]), &mut seeded(42)).unwrap();
+            let rate = record_linkage_rate(&d, &masked, &[0, 1]).unwrap();
+            assert!(rate <= prev + 0.05, "alpha {alpha}: rate {rate} vs prev {prev}");
+            prev = rate;
+        }
+    }
+
+    #[test]
+    fn interval_disclosure_decreases_with_noise() {
+        let d = synth(&PatientConfig { n: 300, ..Default::default() });
+        let weak = add_noise(&d, &NoiseConfig::new(0.05, vec![2]), &mut seeded(1)).unwrap();
+        let strong = add_noise(&d, &NoiseConfig::new(2.0, vec![2]), &mut seeded(1)).unwrap();
+        let r_weak = interval_disclosure_rate(&d, &weak, &[2], 0.1).unwrap();
+        let r_strong = interval_disclosure_rate(&d, &strong, &[2], 0.1).unwrap();
+        assert!(r_weak > 0.8, "weak noise leaves values close: {r_weak}");
+        assert!(r_strong < 0.3, "strong noise spreads values: {r_strong}");
+    }
+
+    #[test]
+    fn mixed_linkage_on_census_categories() {
+        use crate::pram::pram;
+        use tdf_microdata::synth::census;
+        let d = census(300, 5);
+        let qi = d.schema().quasi_identifier_indices(); // age, zip, education
+        // Unmasked: near-perfect linkage (ties only where full QI repeats).
+        let raw = record_linkage_rate_mixed(&d, &d, &qi).unwrap();
+        assert!(raw > 0.9, "raw {raw}");
+        // PRAM the zip code hard: linkage must drop.
+        let zip_col = d.schema().index_of("zip").unwrap();
+        let masked = pram(&d, zip_col, 0.8, &mut seeded(4)).unwrap();
+        let after = record_linkage_rate_mixed(&d, &masked, &qi).unwrap();
+        assert!(after < raw - 0.1, "raw {raw} vs masked {after}");
+    }
+
+    #[test]
+    fn mixed_linkage_handles_suppressed_cells() {
+        use crate::risk::record_linkage_rate_mixed;
+        let d = patients::dataset2();
+        let sup = tdf_anonymity::suppress_to_k_anonymity(&d, 3).data;
+        let rate = record_linkage_rate_mixed(&d, &sup, &[0, 1]).unwrap();
+        let raw = record_linkage_rate_mixed(&d, &d, &[0, 1]).unwrap();
+        assert!(rate < raw, "suppression must reduce linkage: {rate} vs {raw}");
+    }
+
+    #[test]
+    fn uniqueness_rates_of_the_paper_datasets() {
+        assert_eq!(uniqueness_rate(&patients::dataset1()), 0.0);
+        assert_eq!(uniqueness_rate(&patients::dataset2()), 1.0);
+    }
+
+    #[test]
+    fn row_misalignment_is_an_error() {
+        let d = patients::dataset1();
+        let shorter = d.filter(|r| r[3].as_bool() == Some(false));
+        assert!(record_linkage_rate(&d, &shorter, &[0, 1]).is_err());
+        assert!(interval_disclosure_rate(&d, &shorter, &[2], 0.1).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Rank swapping and random swapping.
+//!
+//! Rank swapping sorts a column, then swaps each value with a partner
+//! chosen uniformly within a window of `p` percent of the records — values
+//! keep their approximate magnitude but detach from their records, breaking
+//! linkage while roughly preserving marginal distributions.
+
+use rand::Rng;
+use tdf_microdata::{Dataset, Error, Result};
+
+/// Rank-swaps the given numeric `cols` of `data` with window `p_percent`
+/// (0 < p ≤ 100) of the record count.
+pub fn rank_swap<R: Rng + ?Sized>(
+    data: &Dataset,
+    cols: &[usize],
+    p_percent: f64,
+    rng: &mut R,
+) -> Result<Dataset> {
+    if !(0.0..=100.0).contains(&p_percent) || p_percent <= 0.0 {
+        return Err(Error::InvalidParameter("p_percent must be in (0, 100]".into()));
+    }
+    for &c in cols {
+        if !data.schema().attribute(c).kind.is_numeric() {
+            return Err(Error::NotNumeric(data.schema().attribute(c).name.clone()));
+        }
+    }
+    let n = data.num_rows();
+    let mut out = data.clone();
+    if n < 2 {
+        return Ok(out);
+    }
+    let window = ((p_percent / 100.0 * n as f64).round() as usize).max(1);
+
+    for &c in cols {
+        // Ranks of records by value on column c.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            data.value(a, c)
+                .as_f64()
+                .unwrap_or(f64::NAN)
+                .total_cmp(&data.value(b, c).as_f64().unwrap_or(f64::NAN))
+        });
+        let mut swapped = vec![false; n];
+        for r in 0..n {
+            if swapped[r] {
+                continue;
+            }
+            let hi = (r + window).min(n - 1);
+            // Candidate partners: un-swapped ranks in (r, hi].
+            let candidates: Vec<usize> = (r + 1..=hi).filter(|&t| !swapped[t]).collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let partner = candidates[rng.gen_range(0..candidates.len())];
+            let (i, j) = (order[r], order[partner]);
+            let vi = data.value(i, c).clone();
+            let vj = data.value(j, c).clone();
+            out.set_value(i, c, vj)?;
+            out.set_value(j, c, vi)?;
+            swapped[r] = true;
+            swapped[partner] = true;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdf_microdata::rng::seeded;
+    use tdf_microdata::stats;
+    use tdf_microdata::synth::{patients, PatientConfig};
+
+    fn data() -> Dataset {
+        patients(&PatientConfig { n: 500, ..Default::default() })
+    }
+
+    #[test]
+    fn marginal_distribution_is_exactly_preserved() {
+        let d = data();
+        let masked = rank_swap(&d, &[0, 1], 5.0, &mut seeded(7)).unwrap();
+        for c in [0usize, 1] {
+            let mut orig = d.numeric_column(c);
+            let mut got = masked.numeric_column(c);
+            orig.sort_by(f64::total_cmp);
+            got.sort_by(f64::total_cmp);
+            assert_eq!(orig, got, "column {c} is a permutation");
+        }
+    }
+
+    #[test]
+    fn small_window_limits_value_displacement() {
+        let d = data();
+        let masked = rank_swap(&d, &[0], 2.0, &mut seeded(8)).unwrap();
+        // With a 2% window on 500 records (10 ranks), each value moves by
+        // at most ~10 order statistics; displacement in value must be small
+        // relative to the column's range.
+        let orig = d.numeric_column(0);
+        let got = masked.numeric_column(0);
+        let range = orig.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - orig.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_shift = orig
+            .iter()
+            .zip(&got)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(max_shift < range * 0.25, "max shift {max_shift}, range {range}");
+    }
+
+    #[test]
+    fn most_records_change_value() {
+        let d = data();
+        let masked = rank_swap(&d, &[0], 10.0, &mut seeded(9)).unwrap();
+        let changed = (0..d.num_rows())
+            .filter(|&i| d.value(i, 0) != masked.value(i, 0))
+            .count();
+        // Ties may stay equal; the overwhelming majority must move.
+        assert!(changed > d.num_rows() / 2, "changed {changed}");
+    }
+
+    #[test]
+    fn correlations_are_diluted_with_wide_window() {
+        let d = data();
+        let masked = rank_swap(&d, &[0], 100.0, &mut seeded(10)).unwrap();
+        let rho0 = stats::correlation(&d.numeric_column(0), &d.numeric_column(1)).unwrap();
+        let rho1 =
+            stats::correlation(&masked.numeric_column(0), &masked.numeric_column(1)).unwrap();
+        assert!(rho1.abs() < rho0.abs(), "{rho0} vs {rho1}");
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let d = data();
+        assert!(rank_swap(&d, &[0], 0.0, &mut seeded(11)).is_err());
+        assert!(rank_swap(&d, &[0], 101.0, &mut seeded(11)).is_err());
+        assert!(rank_swap(&d, &[3], 5.0, &mut seeded(11)).is_err());
+    }
+
+    #[test]
+    fn tiny_datasets_are_returned_unchanged() {
+        use tdf_microdata::patients::patient_schema;
+        let mut d = Dataset::new(patient_schema());
+        d.push_row(vec![170.0.into(), 70.0.into(), 130.0.into(), false.into()]).unwrap();
+        let masked = rank_swap(&d, &[0], 10.0, &mut seeded(12)).unwrap();
+        assert_eq!(masked, d);
+    }
+}

@@ -1,0 +1,164 @@
+//! Information-loss (utility) metrics.
+//!
+//! §6 of the paper calls for investigating "the impact on data utility of
+//! offering the three dimensions of privacy"; these metrics are what the
+//! `fig_tradeoff` experiment plots against disclosure risk.
+
+use tdf_microdata::stats;
+use tdf_microdata::{Dataset, Error, Result};
+
+/// IL1s information loss: the mean over perturbed numeric cells of
+/// `|x − x'| / (√2 · sd(column))` — the standardized per-cell distortion
+/// used throughout the SDC literature. 0 = identical release.
+pub fn il1s(original: &Dataset, masked: &Dataset, cols: &[usize]) -> Result<f64> {
+    if original.num_rows() != masked.num_rows() {
+        return Err(Error::SchemaMismatch);
+    }
+    if original.is_empty() || cols.is_empty() {
+        return Err(Error::EmptyDataset);
+    }
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for &c in cols {
+        let sd = stats::std_dev(&original.numeric_column(c)).unwrap_or(1.0);
+        let denom = std::f64::consts::SQRT_2 * if sd > 0.0 { sd } else { 1.0 };
+        for i in 0..original.num_rows() {
+            match (original.value(i, c).as_f64(), masked.value(i, c).as_f64()) {
+                (Some(x), Some(y)) => {
+                    acc += (x - y).abs() / denom;
+                    count += 1;
+                }
+                (Some(_), None) => {
+                    // Suppressed cell: maximal unit loss.
+                    acc += 1.0;
+                    count += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if count == 0 {
+        return Err(Error::EmptyDataset);
+    }
+    Ok(acc / count as f64)
+}
+
+/// Aggregate utility comparison between an original dataset and a release.
+#[derive(Debug, Clone)]
+pub struct UtilityReport {
+    /// IL1s over the compared columns.
+    pub il1s: f64,
+    /// Maximum relative drift of column means.
+    pub max_mean_drift: f64,
+    /// Maximum relative drift of column variances.
+    pub max_variance_drift: f64,
+    /// Maximum absolute difference of pairwise correlations.
+    pub max_correlation_drift: f64,
+}
+
+/// Computes a [`UtilityReport`] over the numeric columns `cols`.
+pub fn utility_report(original: &Dataset, masked: &Dataset, cols: &[usize]) -> Result<UtilityReport> {
+    let il = il1s(original, masked, cols)?;
+    let mut max_mean = 0.0f64;
+    let mut max_var = 0.0f64;
+    for &c in cols {
+        let xo = original.numeric_column(c);
+        let xm = masked.numeric_column(c);
+        let mo = stats::mean(&xo).ok_or(Error::EmptyDataset)?;
+        let mm = stats::mean(&xm).unwrap_or(mo);
+        let denom = if mo.abs() > 1e-12 { mo.abs() } else { 1.0 };
+        max_mean = max_mean.max((mo - mm).abs() / denom);
+        if let (Some(vo), Some(vm)) = (stats::variance(&xo), stats::variance(&xm)) {
+            let denom = if vo.abs() > 1e-12 { vo } else { 1.0 };
+            max_var = max_var.max((vo - vm).abs() / denom);
+        }
+    }
+    let mut max_corr = 0.0f64;
+    for (ai, &a) in cols.iter().enumerate() {
+        for &b in cols.iter().skip(ai + 1) {
+            let co = stats::correlation(&original.numeric_column(a), &original.numeric_column(b));
+            let cm = stats::correlation(&masked.numeric_column(a), &masked.numeric_column(b));
+            if let (Some(co), Some(cm)) = (co, cm) {
+                max_corr = max_corr.max((co - cm).abs());
+            }
+        }
+    }
+    Ok(UtilityReport {
+        il1s: il,
+        max_mean_drift: max_mean,
+        max_variance_drift: max_var,
+        max_correlation_drift: max_corr,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microaggregation::mdav_microaggregate;
+    use crate::noise::{add_noise, NoiseConfig};
+    use tdf_microdata::rng::seeded;
+    use tdf_microdata::synth::{patients, PatientConfig};
+    use tdf_microdata::Value;
+
+    fn data() -> Dataset {
+        patients(&PatientConfig { n: 500, ..Default::default() })
+    }
+
+    #[test]
+    fn identity_release_has_zero_loss() {
+        let d = data();
+        let r = utility_report(&d, &d, &[0, 1, 2]).unwrap();
+        assert_eq!(r.il1s, 0.0);
+        assert_eq!(r.max_mean_drift, 0.0);
+        assert_eq!(r.max_variance_drift, 0.0);
+        assert_eq!(r.max_correlation_drift, 0.0);
+    }
+
+    #[test]
+    fn il1s_grows_with_noise() {
+        let d = data();
+        let mut prev = -1.0;
+        for alpha in [0.1, 0.5, 1.5] {
+            let masked =
+                add_noise(&d, &NoiseConfig::new(alpha, vec![0, 1]), &mut seeded(7)).unwrap();
+            let il = il1s(&d, &masked, &[0, 1]).unwrap();
+            assert!(il > prev, "alpha {alpha}: {il} vs {prev}");
+            prev = il;
+        }
+    }
+
+    #[test]
+    fn il1s_grows_with_k_for_microaggregation() {
+        let d = data();
+        let il3 = il1s(&d, &mdav_microaggregate(&d, &[0, 1], 3).unwrap().data, &[0, 1]).unwrap();
+        let il25 = il1s(&d, &mdav_microaggregate(&d, &[0, 1], 25).unwrap().data, &[0, 1]).unwrap();
+        assert!(il3 < il25, "{il3} vs {il25}");
+    }
+
+    #[test]
+    fn suppressed_cells_cost_unit_loss() {
+        let d = data();
+        let mut masked = d.clone();
+        masked.set_value(0, 0, Value::Missing).unwrap();
+        let il_full = il1s(&d, &masked, &[0]).unwrap();
+        assert!(il_full > 0.0 && il_full <= 1.0 / d.num_rows() as f64 + 1e-12);
+    }
+
+    #[test]
+    fn microaggregation_preserves_means_in_report() {
+        let d = data();
+        let masked = mdav_microaggregate(&d, &[0, 1], 5).unwrap().data;
+        let r = utility_report(&d, &masked, &[0, 1]).unwrap();
+        assert!(r.max_mean_drift < 1e-9, "means exact: {}", r.max_mean_drift);
+        assert!(r.il1s > 0.0);
+    }
+
+    #[test]
+    fn errors_on_mismatched_or_empty_inputs() {
+        let d = data();
+        let empty = Dataset::new(d.schema().clone());
+        assert!(il1s(&d, &empty, &[0]).is_err());
+        assert!(il1s(&empty, &empty, &[0]).is_err());
+        assert!(il1s(&d, &d, &[]).is_err());
+    }
+}

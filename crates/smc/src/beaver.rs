@@ -1,0 +1,142 @@
+//! Beaver-triple multiplication of additively shared values.
+//!
+//! A trusted dealer (played by the commodity server) distributes shares of
+//! a random triple `(a, b, c)` with `c = a·b`. To multiply shared `x` and
+//! `y`, the parties open `d = x − a` and `e = y − b` (both uniform, leaking
+//! nothing) and locally compute shares of
+//! `x·y = c + d·b + e·a + d·e`.
+//!
+//! With bits this yields secure AND, the gate from which any boolean
+//! analysis can be assembled — included to show the generality claimed for
+//! crypto PPDM in §4 of the paper.
+
+use crate::sharing::{additive_reconstruct, additive_share};
+use rand::Rng;
+use tdf_mathkit::Fp61;
+
+/// Shares of one Beaver triple for `k` parties.
+#[derive(Debug, Clone)]
+pub struct TripleShares {
+    /// Per-party shares of `a`.
+    pub a: Vec<Fp61>,
+    /// Per-party shares of `b`.
+    pub b: Vec<Fp61>,
+    /// Per-party shares of `c = a·b`.
+    pub c: Vec<Fp61>,
+}
+
+/// Dealer: samples a triple and shares it among `k` parties.
+pub fn deal_triple<R: Rng + ?Sized>(rng: &mut R, k: usize) -> TripleShares {
+    let a = Fp61::random(rng);
+    let b = Fp61::random(rng);
+    let c = a * b;
+    TripleShares {
+        a: additive_share(rng, a, k),
+        b: additive_share(rng, b, k),
+        c: additive_share(rng, c, k),
+    }
+}
+
+/// Multiplies two additively shared values using one dealt triple.
+/// `x_shares` and `y_shares` are per-party shares; returns per-party shares
+/// of the product.
+pub fn beaver_multiply(
+    triple: &TripleShares,
+    x_shares: &[Fp61],
+    y_shares: &[Fp61],
+) -> Vec<Fp61> {
+    let k = x_shares.len();
+    assert_eq!(y_shares.len(), k, "share vectors must align");
+    assert_eq!(triple.a.len(), k, "triple dealt for a different party count");
+
+    // Parties open d = x − a and e = y − b (public values).
+    let d = additive_reconstruct(
+        &x_shares.iter().zip(&triple.a).map(|(&x, &a)| x - a).collect::<Vec<_>>(),
+    );
+    let e = additive_reconstruct(
+        &y_shares.iter().zip(&triple.b).map(|(&y, &b)| y - b).collect::<Vec<_>>(),
+    );
+
+    // Share_i(xy) = c_i + d·b_i + e·a_i (+ d·e for exactly one party).
+    (0..k)
+        .map(|i| {
+            let mut s = triple.c[i] + d * triple.b[i] + e * triple.a[i];
+            if i == 0 {
+                s += d * e;
+            }
+            s
+        })
+        .collect()
+}
+
+/// Secure AND of two shared bits (bits are 0/1 field elements).
+pub fn secure_and(triple: &TripleShares, x_shares: &[Fp61], y_shares: &[Fp61]) -> Vec<Fp61> {
+    beaver_multiply(triple, x_shares, y_shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use tdf_mathkit::field::P;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5150)
+    }
+
+    #[test]
+    fn multiplies_shared_values() {
+        let mut r = rng();
+        let k = 3;
+        let triple = deal_triple(&mut r, k);
+        let xs = additive_share(&mut r, Fp61::new(6), k);
+        let ys = additive_share(&mut r, Fp61::new(7), k);
+        let prod = beaver_multiply(&triple, &xs, &ys);
+        assert_eq!(additive_reconstruct(&prod), Fp61::new(42));
+    }
+
+    #[test]
+    fn and_truth_table() {
+        let mut r = rng();
+        for (a, b) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            let triple = deal_triple(&mut r, 2);
+            let xs = additive_share(&mut r, Fp61::new(a), 2);
+            let ys = additive_share(&mut r, Fp61::new(b), 2);
+            let out = secure_and(&triple, &xs, &ys);
+            assert_eq!(additive_reconstruct(&out), Fp61::new(a & b), "{a} AND {b}");
+        }
+    }
+
+    #[test]
+    fn triples_are_consistent() {
+        let mut r = rng();
+        let t = deal_triple(&mut r, 4);
+        let a = additive_reconstruct(&t.a);
+        let b = additive_reconstruct(&t.b);
+        let c = additive_reconstruct(&t.c);
+        assert_eq!(c, a * b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different party count")]
+    fn mismatched_triple_panics() {
+        let mut r = rng();
+        let t = deal_triple(&mut r, 2);
+        let xs = additive_share(&mut r, Fp61::new(1), 3);
+        let ys = additive_share(&mut r, Fp61::new(1), 3);
+        let _ = beaver_multiply(&t, &xs, &ys);
+    }
+
+    proptest! {
+        #[test]
+        fn multiplication_matches_field(x in 0..P, y in 0..P, k in 2usize..6) {
+            let mut r = rng();
+            let t = deal_triple(&mut r, k);
+            let xs = additive_share(&mut r, Fp61::new(x), k);
+            let ys = additive_share(&mut r, Fp61::new(y), k);
+            let prod = beaver_multiply(&t, &xs, &ys);
+            prop_assert_eq!(additive_reconstruct(&prod), Fp61::new(x) * Fp61::new(y));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Secure comparison (Yao's millionaires) and secure arg-max.
+//!
+//! Two protocols, with explicitly different trust models:
+//!
+//! * [`masked_compare`] — a lightweight helper-assisted protocol: Alice
+//!   and Bob share a random mask `r` (dealt by the commodity server from
+//!   [`crate::scalar_product`]'s model), send `x + r` and `y + r` to the
+//!   helper, who announces only the comparison bit. The helper learns the
+//!   *difference* ordering but neither value; the parties learn one bit.
+//!   This is the model used by lightweight PPDM deployments.
+//! * [`shared_compare`] — comparison of two *additively shared* values
+//!   over a bounded domain `[0, 2^L)`: the dealer shares a random pad
+//!   `r < 2^L` and the parties open only `(x − y + 2^L) + r`. The opened
+//!   value hides `x − y` statistically up to the pad's edge effects (a
+//!   strict one-time pad would need bit-decomposition comparison, which
+//!   trades ~L Beaver rounds for that last bit of leakage — see
+//!   [`crate::beaver`] for the gate it would be built from). Used to pick
+//!   the best split securely in distributed mining.
+
+use crate::sharing::{additive_reconstruct, additive_share};
+use crate::transcript::Transcript;
+use rand::Rng;
+use tdf_mathkit::field::P;
+use tdf_mathkit::Fp61;
+
+/// Helper-assisted millionaires: returns `x >= y` plus the transcript.
+///
+/// Trust model: the helper (party 2) must not collude with either
+/// millionaire; it observes `x + r` and `y + r` only.
+pub fn masked_compare<R: Rng + ?Sized>(rng: &mut R, x: u64, y: u64) -> (bool, Transcript) {
+    assert!(x < P / 4 && y < P / 4, "inputs must stay clear of field wraparound");
+    let mut t = Transcript::new();
+    // The dealer hands both parties the same mask (party 3 = dealer).
+    let r = Fp61::random(rng).raw() % (P / 2); // keep x+r, y+r below P
+    t.send(3, 0, "shared_mask", vec![r]);
+    t.send(3, 1, "shared_mask", vec![r]);
+    let xm = x + r;
+    let ym = y + r;
+    t.send(0, 2, "masked_x", vec![xm]);
+    t.send(1, 2, "masked_y", vec![ym]);
+    let bit = xm >= ym;
+    t.send(2, 0, "comparison_bit", vec![u64::from(bit)]);
+    t.send(2, 1, "comparison_bit", vec![u64::from(bit)]);
+    (bit, t)
+}
+
+/// Comparison of additively shared values on a bounded domain.
+///
+/// `x_shares` and `y_shares` are sharings of `x, y ∈ [0, 2^L)` with
+/// `L ≤ 59`. The parties jointly open only `z = (x − y + 2^L) + r mod P`
+/// for a dealer-provided random `r < 2^L` — from which, together with the
+/// dealer's private knowledge of `r`, the strict *carry* bit of the
+/// bounded difference is recovered and broadcast. Returns `x >= y`.
+pub fn shared_compare<R: Rng + ?Sized>(
+    rng: &mut R,
+    x_shares: &[Fp61],
+    y_shares: &[Fp61],
+    domain_bits: u32,
+) -> bool {
+    assert!(domain_bits <= 59, "domain must fit the field with headroom");
+    let k = x_shares.len();
+    assert_eq!(y_shares.len(), k, "share vectors must align");
+    let two_l = 1u64 << domain_bits;
+
+    // Dealer: shares of r < 2^L.
+    let r = rng.gen_range(0..two_l);
+    let r_shares = additive_share(rng, Fp61::new(r), k);
+
+    // Parties locally compute shares of d = x − y + 2^L + r and open d.
+    let offset = Fp61::new(two_l);
+    let opened = additive_reconstruct(
+        &(0..k)
+            .map(|i| {
+                let mut s = x_shares[i] - y_shares[i] + r_shares[i];
+                if i == 0 {
+                    s += offset;
+                }
+                s
+            })
+            .collect::<Vec<_>>(),
+    );
+    // d = (x − y + 2^L) + r with both addends < 2^(L+1): no field wrap.
+    // x >= y  ⇔  x − y + 2^L >= 2^L  ⇔  d − r >= 2^L.
+    opened.raw() - r >= two_l
+}
+
+/// Secure arg-max over additively shared values (tournament of
+/// [`shared_compare`] calls): returns the index of the maximum.
+pub fn shared_argmax<R: Rng + ?Sized>(
+    rng: &mut R,
+    shared_values: &[Vec<Fp61>],
+    domain_bits: u32,
+) -> usize {
+    assert!(!shared_values.is_empty(), "need at least one candidate");
+    let mut best = 0usize;
+    for i in 1..shared_values.len() {
+        if !shared_compare(rng, &shared_values[best], &shared_values[i], domain_bits) {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x3117)
+    }
+
+    #[test]
+    fn masked_compare_is_correct() {
+        let mut r = rng();
+        assert!(masked_compare(&mut r, 10, 3).0);
+        assert!(!masked_compare(&mut r, 3, 10).0);
+        assert!(masked_compare(&mut r, 7, 7).0);
+    }
+
+    #[test]
+    fn helper_never_sees_raw_values() {
+        let mut r = rng();
+        let (x, y) = (123_456u64, 654_321u64);
+        let (_, t) = masked_compare(&mut r, x, y);
+        assert!(!t.party_saw_value(2, x));
+        assert!(!t.party_saw_value(2, y));
+        // The millionaires see only the mask and the bit.
+        assert!(!t.party_saw_value(0, y));
+        assert!(!t.party_saw_value(1, x));
+    }
+
+    #[test]
+    fn shared_compare_hand_cases() {
+        let mut r = rng();
+        for (x, y, expect) in [(5u64, 3u64, true), (3, 5, false), (9, 9, true), (0, 0, true)] {
+            let xs = additive_share(&mut r, Fp61::new(x), 3);
+            let ys = additive_share(&mut r, Fp61::new(y), 3);
+            assert_eq!(shared_compare(&mut r, &xs, &ys, 16), expect, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn shared_argmax_finds_the_winner() {
+        let mut r = rng();
+        let values = [17u64, 99, 4, 99, 56];
+        let shared: Vec<Vec<Fp61>> = values
+            .iter()
+            .map(|&v| additive_share(&mut r, Fp61::new(v), 2))
+            .collect();
+        let best = shared_argmax(&mut r, &shared, 16);
+        // Ties break toward the earlier index (stable tournament).
+        assert_eq!(best, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn shared_compare_matches_plain(x in 0u64..1_000_000, y in 0u64..1_000_000,
+                                        parties in 2usize..6) {
+            let mut r = rng();
+            let xs = additive_share(&mut r, Fp61::new(x), parties);
+            let ys = additive_share(&mut r, Fp61::new(y), parties);
+            prop_assert_eq!(shared_compare(&mut r, &xs, &ys, 30), x >= y);
+        }
+
+        #[test]
+        fn masked_compare_matches_plain(x in 0u64..1_000_000_000, y in 0u64..1_000_000_000) {
+            let mut r = rng();
+            prop_assert_eq!(masked_compare(&mut r, x, y).0, x >= y);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Distributed ID3 over horizontally partitioned data.
+//!
+//! Each party holds a horizontal slice of a categorical training set (the
+//! setting of Lindell–Pinkas [18, 19]). The tree is grown jointly: at every
+//! node, the per-(attribute, value, class) counts needed for the
+//! information-gain computation are obtained with *secure sums* over the
+//! parties' local counts, so no party reveals its records — only the
+//! aggregate counts that the final tree itself discloses.
+//!
+//! The transcript of every secure sum is retained, so tests can verify
+//! that inter-party traffic consists of masked field elements only.
+
+use crate::secure_sum::sharing_secure_sum;
+use crate::transcript::Transcript;
+use rand::Rng;
+use tdf_mathkit::Fp61;
+
+/// A categorical training set slice: `rows[i]` holds the attribute values
+/// (category indices) of record `i`; `labels[i]` its class.
+#[derive(Debug, Clone, Default)]
+pub struct PartySlice {
+    /// Attribute values per record.
+    pub rows: Vec<Vec<usize>>,
+    /// Class labels per record.
+    pub labels: Vec<usize>,
+}
+
+impl PartySlice {
+    /// Number of local records.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A learned decision tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tree {
+    /// Leaf predicting a class.
+    Leaf(usize),
+    /// Internal node splitting on an attribute.
+    Node {
+        /// Attribute index tested at this node.
+        attribute: usize,
+        /// One subtree per attribute value.
+        children: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// Classifies a record.
+    pub fn classify(&self, row: &[usize]) -> usize {
+        match self {
+            Tree::Leaf(c) => *c,
+            Tree::Node { attribute, children } => {
+                let v = row[*attribute].min(children.len() - 1);
+                children[v].classify(row)
+            }
+        }
+    }
+
+    /// Number of nodes (leaves + internal).
+    pub fn size(&self) -> usize {
+        match self {
+            Tree::Leaf(_) => 1,
+            Tree::Node { children, .. } => 1 + children.iter().map(Tree::size).sum::<usize>(),
+        }
+    }
+}
+
+/// Shape of the training data: category count per attribute, class count.
+#[derive(Debug, Clone)]
+pub struct DataShape {
+    /// Number of categories of each attribute.
+    pub attribute_cardinalities: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+/// Result of a distributed ID3 run.
+#[derive(Debug)]
+pub struct Id3Result {
+    /// The jointly learned tree.
+    pub tree: Tree,
+    /// Transcripts of every secure sum executed.
+    pub transcripts: Vec<Transcript>,
+    /// Number of secure-sum invocations (communication-round proxy).
+    pub secure_sums: usize,
+}
+
+/// Grows an ID3 tree over the union of the parties' slices, using secure
+/// sums for every count. `max_depth` bounds recursion.
+pub fn distributed_id3<R: Rng + ?Sized>(
+    rng: &mut R,
+    parties: &[PartySlice],
+    shape: &DataShape,
+    max_depth: usize,
+) -> Id3Result {
+    assert!(parties.len() >= 2, "distributed ID3 needs at least two parties");
+    let mut ctx = Ctx { transcripts: Vec::new(), secure_sums: 0 };
+    // Active-record masks per party (records matching the current branch).
+    let masks: Vec<Vec<bool>> = parties.iter().map(|p| vec![true; p.len()]).collect();
+    let attrs: Vec<usize> = (0..shape.attribute_cardinalities.len()).collect();
+    let tree = grow(rng, parties, shape, &masks, &attrs, max_depth, &mut ctx);
+    Id3Result { tree, transcripts: ctx.transcripts, secure_sums: ctx.secure_sums }
+}
+
+struct Ctx {
+    transcripts: Vec<Transcript>,
+    secure_sums: usize,
+}
+
+/// Secure sum of one local count per party.
+fn count_securely<R: Rng + ?Sized>(rng: &mut R, locals: &[u64], ctx: &mut Ctx) -> u64 {
+    let inputs: Vec<Fp61> = locals.iter().map(|&v| Fp61::new(v)).collect();
+    let (sum, t) = sharing_secure_sum(rng, &inputs);
+    ctx.transcripts.push(t);
+    ctx.secure_sums += 1;
+    sum.raw()
+}
+
+fn class_counts<R: Rng + ?Sized>(
+    rng: &mut R,
+    parties: &[PartySlice],
+    masks: &[Vec<bool>],
+    num_classes: usize,
+    ctx: &mut Ctx,
+) -> Vec<u64> {
+    (0..num_classes)
+        .map(|c| {
+            let locals: Vec<u64> = parties
+                .iter()
+                .zip(masks)
+                .map(|(p, m)| {
+                    p.labels
+                        .iter()
+                        .zip(m)
+                        .filter(|(&l, &active)| active && l == c)
+                        .count() as u64
+                })
+                .collect();
+            count_securely(rng, &locals, ctx)
+        })
+        .collect()
+}
+
+fn entropy(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow<R: Rng + ?Sized>(
+    rng: &mut R,
+    parties: &[PartySlice],
+    shape: &DataShape,
+    masks: &[Vec<bool>],
+    attrs: &[usize],
+    depth: usize,
+    ctx: &mut Ctx,
+) -> Tree {
+    let counts = class_counts(rng, parties, masks, shape.num_classes, ctx);
+    let total: u64 = counts.iter().sum();
+    let majority = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    if total == 0 || depth == 0 || attrs.is_empty() || counts.iter().filter(|&&c| c > 0).count() <= 1
+    {
+        return Tree::Leaf(majority);
+    }
+
+    // Pick the attribute with maximal information gain, all counts via
+    // secure sums.
+    let base_entropy = entropy(&counts);
+    let mut best: Option<(usize, f64)> = None;
+    for &a in attrs {
+        let card = shape.attribute_cardinalities[a];
+        let mut remainder = 0.0;
+        for v in 0..card {
+            let per_class: Vec<u64> = (0..shape.num_classes)
+                .map(|c| {
+                    let locals: Vec<u64> = parties
+                        .iter()
+                        .zip(masks)
+                        .map(|(p, m)| {
+                            p.rows
+                                .iter()
+                                .zip(&p.labels)
+                                .zip(m)
+                                .filter(|((row, &l), &active)| active && row[a] == v && l == c)
+                                .count() as u64
+                        })
+                        .collect();
+                    count_securely(rng, &locals, ctx)
+                })
+                .collect();
+            let subtotal: u64 = per_class.iter().sum();
+            remainder += subtotal as f64 / total as f64 * entropy(&per_class);
+        }
+        let gain = base_entropy - remainder;
+        if best.is_none_or(|(_, g)| gain > g) {
+            best = Some((a, gain));
+        }
+    }
+    let (attribute, gain) = best.expect("attrs non-empty");
+    if gain <= 1e-12 {
+        return Tree::Leaf(majority);
+    }
+
+    let remaining: Vec<usize> = attrs.iter().copied().filter(|&a| a != attribute).collect();
+    let children = (0..shape.attribute_cardinalities[attribute])
+        .map(|v| {
+            let child_masks: Vec<Vec<bool>> = parties
+                .iter()
+                .zip(masks)
+                .map(|(p, m)| {
+                    p.rows
+                        .iter()
+                        .zip(m)
+                        .map(|(row, &active)| active && row[attribute] == v)
+                        .collect()
+                })
+                .collect();
+            grow(rng, parties, shape, &child_masks, &remaining, depth - 1, ctx)
+        })
+        .collect();
+    Tree::Node { attribute, children }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1234)
+    }
+
+    /// The classic "play tennis" toy set, split across two parties.
+    /// Attributes: outlook (0-2), temperature (0-2), humidity (0-1),
+    /// wind (0-1). Class: play (0/1).
+    fn tennis() -> (Vec<PartySlice>, DataShape) {
+        let rows: Vec<(Vec<usize>, usize)> = vec![
+            (vec![0, 2, 1, 0], 0),
+            (vec![0, 2, 1, 1], 0),
+            (vec![1, 2, 1, 0], 1),
+            (vec![2, 1, 1, 0], 1),
+            (vec![2, 0, 0, 0], 1),
+            (vec![2, 0, 0, 1], 0),
+            (vec![1, 0, 0, 1], 1),
+            (vec![0, 1, 1, 0], 0),
+            (vec![0, 0, 0, 0], 1),
+            (vec![2, 1, 0, 0], 1),
+            (vec![0, 1, 0, 1], 1),
+            (vec![1, 1, 1, 1], 1),
+            (vec![1, 2, 0, 0], 1),
+            (vec![2, 1, 1, 1], 0),
+        ];
+        let mut a = PartySlice::default();
+        let mut b = PartySlice::default();
+        for (i, (row, label)) in rows.into_iter().enumerate() {
+            let slice = if i % 2 == 0 { &mut a } else { &mut b };
+            slice.rows.push(row);
+            slice.labels.push(label);
+        }
+        (
+            vec![a, b],
+            DataShape { attribute_cardinalities: vec![3, 3, 2, 2], num_classes: 2 },
+        )
+    }
+
+    #[test]
+    fn learns_a_consistent_tree_on_tennis() {
+        let (parties, shape) = tennis();
+        let mut r = rng();
+        let result = distributed_id3(&mut r, &parties, &shape, 4);
+        // The learned tree must classify every training record correctly
+        // (ID3 is consistent on noise-free data with enough depth).
+        for p in &parties {
+            for (row, &label) in p.rows.iter().zip(&p.labels) {
+                assert_eq!(result.tree.classify(row), label, "row {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn root_split_is_outlook_like_centralized_id3() {
+        let (parties, shape) = tennis();
+        let mut r = rng();
+        let result = distributed_id3(&mut r, &parties, &shape, 4);
+        match &result.tree {
+            Tree::Node { attribute, .. } => assert_eq!(*attribute, 0, "ID3 splits tennis on outlook"),
+            Tree::Leaf(_) => panic!("expected an internal root"),
+        }
+    }
+
+    #[test]
+    fn only_masked_aggregates_cross_party_lines() {
+        let (parties, shape) = tennis();
+        let mut r = rng();
+        let result = distributed_id3(&mut r, &parties, &shape, 3);
+        assert!(result.secure_sums > 0);
+        // Every inter-party message is a share or partial sum of a secure
+        // sum; no message carries a record (records are vectors, messages
+        // are single field elements).
+        for t in &result.transcripts {
+            for m in t.messages() {
+                assert_eq!(m.payload.len(), 1);
+                assert!(m.tag == "input_share" || m.tag == "partial_sum");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_zero_returns_majority_leaf() {
+        let (parties, shape) = tennis();
+        let mut r = rng();
+        let result = distributed_id3(&mut r, &parties, &shape, 0);
+        assert_eq!(result.tree, Tree::Leaf(1)); // 9 of 14 play
+    }
+
+    #[test]
+    fn matches_centralized_accuracy() {
+        // Merging both slices and training "centrally" (one party holding
+        // all + a dummy empty party) yields the same training accuracy.
+        let (parties, shape) = tennis();
+        let mut merged = PartySlice::default();
+        for p in &parties {
+            merged.rows.extend(p.rows.iter().cloned());
+            merged.labels.extend(p.labels.iter().cloned());
+        }
+        let central = vec![merged.clone(), PartySlice::default()];
+        let mut r = rng();
+        let distributed = distributed_id3(&mut r, &parties, &shape, 4);
+        let centralized = distributed_id3(&mut r, &central, &shape, 4);
+        for (row, &label) in merged.rows.iter().zip(&merged.labels) {
+            assert_eq!(distributed.tree.classify(row), label);
+            assert_eq!(centralized.tree.classify(row), label);
+        }
+    }
+
+    #[test]
+    fn tree_size_is_bounded() {
+        let (parties, shape) = tennis();
+        let mut r = rng();
+        let result = distributed_id3(&mut r, &parties, &shape, 4);
+        assert!(result.tree.size() < 40, "size {}", result.tree.size());
+    }
+}

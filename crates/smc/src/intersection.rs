@@ -1,0 +1,175 @@
+//! Secure set intersection via commutative encryption.
+//!
+//! Pohlig–Hellman style: over a safe prime `p = 2q + 1`, each party picks a
+//! secret exponent `e` coprime with `p − 1` and "encrypts" an element `x`
+//! as `h(x)^e mod p` (with `h` mapping into the quadratic-residue subgroup
+//! so exponents are invertible). Exponentiation commutes:
+//! `(x^{e_a})^{e_b} = (x^{e_b})^{e_a}` — so after a double-encryption
+//! exchange the parties can match elements present in both sets without
+//! revealing the rest. This is the canonical crypto-PPDM join used for
+//! privacy-preserving record matching across owners.
+
+use rand::Rng;
+use tdf_mathkit::modular::{pow_mod, random_below};
+use tdf_mathkit::primes::random_safe_prime;
+use tdf_mathkit::BigUint;
+
+/// Shared group parameters (public).
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Safe prime modulus.
+    pub p: BigUint,
+    /// Subgroup order `q = (p − 1) / 2`.
+    pub q: BigUint,
+}
+
+impl Group {
+    /// Generates a fresh group with a `bits`-bit safe prime.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        let p = random_safe_prime(rng, bits);
+        let q = p.sub_ref(&BigUint::one()).shr_bits(1);
+        Self { p, q }
+    }
+
+    /// Hashes an element into the quadratic-residue subgroup: square the
+    /// (salted) value mod p. Squaring guarantees membership in the order-q
+    /// subgroup, where every exponent in [1, q) is invertible.
+    pub fn hash_to_group(&self, element: u64) -> BigUint {
+        // Simple injective-ish encoding followed by squaring; adequate for
+        // the semi-honest model this crate targets.
+        let v = BigUint::from_u128(element as u128 + 0x9E3779B97F4A7C15u128);
+        let v = v.rem_ref(&self.p);
+        pow_mod(&v, &BigUint::from_u64(2), &self.p)
+    }
+}
+
+/// A party's secret exponent.
+#[derive(Debug, Clone)]
+pub struct SecretExponent(BigUint);
+
+impl SecretExponent {
+    /// Samples an exponent in `[1, q)`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, group: &Group) -> Self {
+        loop {
+            let e = random_below(rng, &group.q);
+            if !e.is_zero() {
+                return Self(e);
+            }
+        }
+    }
+
+    /// Applies the commutative encryption `v ↦ v^e mod p`.
+    pub fn encrypt(&self, group: &Group, v: &BigUint) -> BigUint {
+        pow_mod(v, &self.0, &group.p)
+    }
+}
+
+/// Computes the intersection of two private `u64` sets. Returns the values
+/// in `set_a ∩ set_b` (as party A learns them). Neither party learns the
+/// other's non-matching elements — only their count.
+pub fn secure_intersection<R: Rng + ?Sized>(
+    rng: &mut R,
+    group: &Group,
+    set_a: &[u64],
+    set_b: &[u64],
+) -> Vec<u64> {
+    let ea = SecretExponent::sample(rng, group);
+    let eb = SecretExponent::sample(rng, group);
+
+    // A -> B: A's singly-encrypted elements; B returns them doubly
+    // encrypted *in the same order*, so A can map back to plaintexts.
+    let a_single: Vec<BigUint> =
+        set_a.iter().map(|&x| ea.encrypt(group, &group.hash_to_group(x))).collect();
+    let a_double: Vec<BigUint> = a_single.iter().map(|c| eb.encrypt(group, c)).collect();
+
+    // B -> A: B's singly-encrypted elements (shuffled in a real deployment);
+    // A doubly encrypts them.
+    let b_single: Vec<BigUint> =
+        set_b.iter().map(|&x| eb.encrypt(group, &group.hash_to_group(x))).collect();
+    let b_double: Vec<BigUint> = b_single.iter().map(|c| ea.encrypt(group, c)).collect();
+
+    // Matching double encryptions = common elements (commutativity).
+    set_a
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| b_double.iter().any(|d| *d == a_double[*i]))
+        .map(|(_, &x)| x)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(3141)
+    }
+
+    fn group(r: &mut rand::rngs::StdRng) -> Group {
+        Group::generate(r, 40)
+    }
+
+    #[test]
+    fn finds_the_exact_intersection() {
+        let mut r = rng();
+        let g = group(&mut r);
+        let a = [1u64, 2, 3, 42, 100];
+        let b = [42u64, 5, 100, 7];
+        let mut got = secure_intersection(&mut r, &g, &a, &b);
+        got.sort_unstable();
+        assert_eq!(got, vec![42, 100]);
+    }
+
+    #[test]
+    fn disjoint_sets_yield_nothing() {
+        let mut r = rng();
+        let g = group(&mut r);
+        assert!(secure_intersection(&mut r, &g, &[1, 2], &[3, 4]).is_empty());
+    }
+
+    #[test]
+    fn identical_sets_yield_everything() {
+        let mut r = rng();
+        let g = group(&mut r);
+        let s = [9u64, 8, 7];
+        let mut got = secure_intersection(&mut r, &g, &s, &s);
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut r = rng();
+        let g = group(&mut r);
+        assert!(secure_intersection(&mut r, &g, &[], &[1]).is_empty());
+        assert!(secure_intersection(&mut r, &g, &[1], &[]).is_empty());
+    }
+
+    #[test]
+    fn commutativity_of_encryption() {
+        let mut r = rng();
+        let g = group(&mut r);
+        let ea = SecretExponent::sample(&mut r, &g);
+        let eb = SecretExponent::sample(&mut r, &g);
+        let v = g.hash_to_group(12345);
+        let ab = eb.encrypt(&g, &ea.encrypt(&g, &v));
+        let ba = ea.encrypt(&g, &eb.encrypt(&g, &v));
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn encryption_hides_values() {
+        // Singly-encrypted elements of distinct plaintexts are distinct and
+        // not equal to the group hashes themselves.
+        let mut r = rng();
+        let g = group(&mut r);
+        let e = SecretExponent::sample(&mut r, &g);
+        let h1 = g.hash_to_group(1);
+        let h2 = g.hash_to_group(2);
+        let c1 = e.encrypt(&g, &h1);
+        let c2 = e.encrypt(&g, &h2);
+        assert_ne!(c1, c2);
+        assert_ne!(c1, h1);
+    }
+}

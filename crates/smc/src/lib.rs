@@ -1,0 +1,48 @@
+//! # tdf-smc
+//!
+//! Secure multiparty computation — the substrate of *cryptographic PPDM*
+//! (Lindell–Pinkas [18, 19]), the owner-privacy technology the paper scores
+//! highest on its second dimension (§4, §5).
+//!
+//! Two or more data owners jointly compute an analysis over the union of
+//! their databases revealing nothing but the result. The crate provides:
+//!
+//! * [`sharing`] — additive and Shamir secret sharing over the 61-bit
+//!   Mersenne field of `tdf-mathkit`;
+//! * [`transcript`] — a message recorder: every protocol run yields the
+//!   exact bytes each party saw, which is how `tdf-core::scoring` measures
+//!   owner-privacy leakage empirically;
+//! * [`secure_sum`] — ring- and sharing-based secure sum (with a threaded
+//!   crossbeam driver demonstrating genuinely concurrent parties);
+//! * [`scalar_product`] — the Du–Atallah commodity-server secure scalar
+//!   product;
+//! * [`beaver`] — dealer-assisted Beaver-triple multiplication of shared
+//!   values (secure AND on bits);
+//! * [`comparison`] — Yao's-millionaires-style secure comparison and
+//!   secure arg-max over shared values;
+//! * [`ot`] — 1-out-of-2 oblivious transfer (Bellare–Micali), the
+//!   primitive the general Lindell–Pinkas construction reduces to;
+//! * [`intersection`] — secure set intersection via commutative
+//!   (Pohlig–Hellman style) exponentiation;
+//! * [`id3`] — distributed ID3 over horizontally partitioned data, where
+//!   parties exchange only secure-sum aggregates, never records;
+//! * [`vertical`] — joint covariance/correlation over *vertically*
+//!   partitioned data via secure scalar products.
+//!
+//! As §4 of the paper stresses: all parties know exactly what analysis is
+//! being run — crypto PPDM provides owner privacy but *no user privacy*.
+//! The transcripts make that observable.
+
+pub mod beaver;
+pub mod comparison;
+pub mod id3;
+pub mod intersection;
+pub mod ot;
+pub mod scalar_product;
+pub mod secure_sum;
+pub mod sharing;
+pub mod transcript;
+pub mod vertical;
+
+pub use sharing::{additive_share, additive_reconstruct, shamir_share, shamir_reconstruct};
+pub use transcript::{Message, Transcript};

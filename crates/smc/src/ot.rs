@@ -1,0 +1,234 @@
+//! 1-out-of-2 oblivious transfer (Bellare–Micali style, over the
+//! safe-prime group of [`crate::intersection`]).
+//!
+//! OT is the primitive general secure computation (Yao circuits, the
+//! Lindell–Pinkas construction the paper cites) reduces to: the sender
+//! holds two messages, the receiver learns exactly the one it chose, the
+//! sender never learns which.
+//!
+//! Protocol (semi-honest): public group ⟨g⟩ of prime order q and a public
+//! random point `c` with unknown discrete log. The receiver with choice
+//! bit `b` picks secret `k` and publishes `pk_b = g^k`,
+//! `pk_{1−b} = c · g^{−k}` (so `pk_0 · pk_1 = c` — checkable by the
+//! sender). The sender ElGamal-encrypts `m_i` under `pk_i`; the receiver
+//! can decrypt only the ciphertext under `pk_b`, since the other secret
+//! key would be `dlog(c) − k`, which it cannot know.
+
+use crate::intersection::Group;
+use rand::Rng;
+use tdf_mathkit::modular::{inv_mod, mul_mod, pow_mod, random_below};
+use tdf_mathkit::BigUint;
+
+/// Public parameters: the group, a generator of the order-q subgroup, and
+/// the "nothing-up-my-sleeve" point `c`.
+#[derive(Debug, Clone)]
+pub struct OtParams {
+    /// Safe-prime group.
+    pub group: Group,
+    /// Generator of the quadratic-residue subgroup.
+    pub g: BigUint,
+    /// Public point with unknown discrete log (sampled by squaring a
+    /// random element, mirroring [`Group::hash_to_group`]).
+    pub c: BigUint,
+}
+
+impl OtParams {
+    /// Generates parameters with a `bits`-bit safe prime.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        let group = Group::generate(rng, bits);
+        // Any square generates the order-q subgroup (q prime), except 1.
+        let g = loop {
+            let r = random_below(rng, &group.p);
+            let g = mul_mod(&r, &r, &group.p);
+            if !g.is_one() && !g.is_zero() {
+                break g;
+            }
+        };
+        let c = loop {
+            let r = random_below(rng, &group.p);
+            let c = mul_mod(&r, &r, &group.p);
+            if !c.is_one() && !c.is_zero() && c != g {
+                break c;
+            }
+        };
+        Self { group, g, c }
+    }
+}
+
+/// The receiver's first message: two public keys with `pk0 · pk1 = c`.
+#[derive(Debug, Clone)]
+pub struct ReceiverMessage {
+    /// Key for message 0.
+    pub pk0: BigUint,
+    /// Key for message 1.
+    pub pk1: BigUint,
+}
+
+/// Receiver state kept between rounds.
+#[derive(Debug)]
+pub struct Receiver {
+    choice: bool,
+    k: BigUint,
+}
+
+impl Receiver {
+    /// Round 1: commit to the choice bit.
+    pub fn choose<R: Rng + ?Sized>(
+        rng: &mut R,
+        params: &OtParams,
+        choice: bool,
+    ) -> (Receiver, ReceiverMessage) {
+        let k = random_below(rng, &params.group.q);
+        let gk = pow_mod(&params.g, &k, &params.group.p);
+        let other = mul_mod(
+            &params.c,
+            &inv_mod(&gk, &params.group.p).expect("group element is invertible"),
+            &params.group.p,
+        );
+        let (pk0, pk1) = if choice { (other, gk) } else { (gk, other) };
+        (Receiver { choice, k }, ReceiverMessage { pk0, pk1 })
+    }
+
+    /// Round 3: decrypt the chosen ciphertext.
+    pub fn receive(&self, params: &OtParams, sender: &SenderMessage) -> u64 {
+        let (a, blinded) = if self.choice {
+            (&sender.a1, sender.blinded1)
+        } else {
+            (&sender.a0, sender.blinded0)
+        };
+        // Shared secret a^k; the pad is its low 64 bits.
+        let s = pow_mod(a, &self.k, &params.group.p);
+        blinded ^ pad64(&s)
+    }
+}
+
+/// The sender's reply: two ElGamal-style ciphertexts (ephemeral points and
+/// XOR-padded 64-bit payloads).
+#[derive(Debug, Clone)]
+pub struct SenderMessage {
+    /// Ephemeral point for message 0.
+    pub a0: BigUint,
+    /// Padded message 0.
+    pub blinded0: u64,
+    /// Ephemeral point for message 1.
+    pub a1: BigUint,
+    /// Padded message 1.
+    pub blinded1: u64,
+}
+
+fn pad64(v: &BigUint) -> u64 {
+    // Low 64 bits of the shared point; adequate as a pad in the
+    // semi-honest, experiment-sized setting of this crate.
+    v.to_bytes_be()
+        .iter()
+        .rev()
+        .take(8)
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (b as u64) << (8 * i))
+}
+
+/// Round 2: the sender answers a receiver commitment with both messages
+/// encrypted. Panics if the receiver's keys are malformed (pk0·pk1 ≠ c).
+pub fn send<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &OtParams,
+    msg: &ReceiverMessage,
+    m0: u64,
+    m1: u64,
+) -> SenderMessage {
+    assert_eq!(
+        mul_mod(&msg.pk0, &msg.pk1, &params.group.p),
+        params.c.rem_ref(&params.group.p),
+        "receiver keys must multiply to c"
+    );
+    let mut encrypt = |pk: &BigUint, m: u64| -> (BigUint, u64) {
+        let r = random_below(rng, &params.group.q);
+        let a = pow_mod(&params.g, &r, &params.group.p);
+        let s = pow_mod(pk, &r, &params.group.p);
+        (a, m ^ pad64(&s))
+    };
+    let (a0, blinded0) = encrypt(&msg.pk0, m0);
+    let (a1, blinded1) = encrypt(&msg.pk1, m1);
+    SenderMessage { a0, blinded0, a1, blinded1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x07)
+    }
+
+    fn params(r: &mut rand::rngs::StdRng) -> OtParams {
+        OtParams::generate(r, 40)
+    }
+
+    #[test]
+    fn receiver_gets_exactly_the_chosen_message() {
+        let mut r = rng();
+        let p = params(&mut r);
+        for choice in [false, true] {
+            let (recv, commit) = Receiver::choose(&mut r, &p, choice);
+            let reply = send(&mut r, &p, &commit, 0xAAAA_BBBB, 0x1111_2222);
+            let got = recv.receive(&p, &reply);
+            let want = if choice { 0x1111_2222 } else { 0xAAAA_BBBB };
+            assert_eq!(got, want, "choice {choice}");
+        }
+    }
+
+    #[test]
+    fn unchosen_message_stays_hidden() {
+        // Decrypting the wrong slot with the receiver's key yields junk.
+        let mut r = rng();
+        let p = params(&mut r);
+        let (recv, commit) = Receiver::choose(&mut r, &p, false);
+        let reply = send(&mut r, &p, &commit, 7, 0xDEAD_BEEF);
+        // Forge a receiver that tries the other slot with the same k.
+        let evil = Receiver { choice: true, k: recv.k.clone() };
+        let leaked = evil.receive(&p, &reply);
+        assert_ne!(leaked, 0xDEAD_BEEF, "the pad for slot 1 must not match");
+        // The honest path still works.
+        assert_eq!(recv.receive(&p, &reply), 7);
+    }
+
+    #[test]
+    fn sender_cannot_tell_choices_apart_structurally() {
+        // Both commitments satisfy the same public relation pk0·pk1 = c;
+        // nothing else about the choice is sent.
+        let mut r = rng();
+        let p = params(&mut r);
+        for choice in [false, true] {
+            let (_, commit) = Receiver::choose(&mut r, &p, choice);
+            assert_eq!(
+                mul_mod(&commit.pk0, &commit.pk1, &p.group.p),
+                p.c.rem_ref(&p.group.p)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiply to c")]
+    fn malformed_receiver_keys_are_rejected() {
+        let mut r = rng();
+        let p = params(&mut r);
+        let bogus = ReceiverMessage {
+            pk0: BigUint::from_u64(4),
+            pk1: BigUint::from_u64(9),
+        };
+        let _ = send(&mut r, &p, &bogus, 1, 2);
+    }
+
+    #[test]
+    fn many_transfers_with_fresh_randomness() {
+        let mut r = rng();
+        let p = params(&mut r);
+        for i in 0..10u64 {
+            let choice = i % 3 == 0;
+            let (recv, commit) = Receiver::choose(&mut r, &p, choice);
+            let reply = send(&mut r, &p, &commit, i, i + 1000);
+            assert_eq!(recv.receive(&p, &reply), if choice { i + 1000 } else { i });
+        }
+    }
+}

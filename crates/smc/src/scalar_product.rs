@@ -1,0 +1,143 @@
+//! Du–Atallah secure scalar product with a commodity server.
+//!
+//! Alice holds vector `x`, Bob holds vector `y`; they want `x · y` without
+//! revealing their vectors. A semi-honest *commodity server* (who never
+//! sees any data-dependent message) deals correlated randomness:
+//! `Ra, ra` to Alice and `Rb, rb` to Bob with `ra + rb = Ra · Rb`.
+//! Alice sends `x + Ra`, Bob sends `y + Rb`; Bob computes
+//! `u = (x + Ra) · y + rb` and sends it to Alice, who outputs
+//! `u − Ra · (y + Rb) + ra = x · y`.
+//!
+//! This is the workhorse of vertically-partitioned non-interactive PPDM
+//! (correlations, covariance matrices, classifier dot products).
+
+use crate::transcript::Transcript;
+use rand::Rng;
+use tdf_mathkit::Fp61;
+
+/// Party ids used in transcripts.
+pub const ALICE: usize = 0;
+/// Bob's id.
+pub const BOB: usize = 1;
+/// The commodity (randomness) server's id.
+pub const COMMODITY: usize = 2;
+
+fn dot(a: &[Fp61], b: &[Fp61]) -> Fp61 {
+    a.iter().zip(b).fold(Fp61::ZERO, |acc, (&x, &y)| acc + x * y)
+}
+
+/// Runs the protocol; returns `x · y` (as learned by Alice) and the
+/// transcript.
+pub fn secure_scalar_product<R: Rng + ?Sized>(
+    rng: &mut R,
+    x: &[Fp61],
+    y: &[Fp61],
+) -> (Fp61, Transcript) {
+    assert_eq!(x.len(), y.len(), "vectors must have equal length");
+    let d = x.len();
+    let mut t = Transcript::new();
+
+    // Commodity server deals correlated randomness.
+    let ra_vec: Vec<Fp61> = (0..d).map(|_| Fp61::random(rng)).collect();
+    let rb_vec: Vec<Fp61> = (0..d).map(|_| Fp61::random(rng)).collect();
+    let ra = Fp61::random(rng);
+    let rb = dot(&ra_vec, &rb_vec) - ra;
+    t.send(COMMODITY, ALICE, "commodity_ra", ra_vec.iter().map(|v| v.raw()).chain([ra.raw()]).collect());
+    t.send(COMMODITY, BOB, "commodity_rb", rb_vec.iter().map(|v| v.raw()).chain([rb.raw()]).collect());
+
+    // Alice -> Bob: x + Ra.
+    let x_masked: Vec<Fp61> = x.iter().zip(&ra_vec).map(|(&a, &m)| a + m).collect();
+    t.send(ALICE, BOB, "x_masked", x_masked.iter().map(|v| v.raw()).collect());
+
+    // Bob -> Alice: y + Rb and u = (x + Ra)·y + rb.
+    let y_masked: Vec<Fp61> = y.iter().zip(&rb_vec).map(|(&a, &m)| a + m).collect();
+    let u = dot(&x_masked, y) + rb;
+    t.send(BOB, ALICE, "y_masked", y_masked.iter().map(|v| v.raw()).collect());
+    t.send(BOB, ALICE, "u", vec![u.raw()]);
+
+    // Alice outputs x·y.
+    let result = u - dot(&ra_vec, &y_masked) + ra;
+    (result, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use tdf_mathkit::field::P;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(21)
+    }
+
+    fn v(vals: &[u64]) -> Vec<Fp61> {
+        vals.iter().map(|&x| Fp61::new(x)).collect()
+    }
+
+    #[test]
+    fn computes_the_scalar_product() {
+        let mut r = rng();
+        let (got, _) = secure_scalar_product(&mut r, &v(&[1, 2, 3]), &v(&[4, 5, 6]));
+        assert_eq!(got, Fp61::new(32));
+    }
+
+    #[test]
+    fn bob_never_sees_raw_x() {
+        let mut r = rng();
+        let x = v(&[1_000_001, 1_000_002, 1_000_003]);
+        let y = v(&[7, 8, 9]);
+        let (_, t) = secure_scalar_product(&mut r, &x, &y);
+        for xi in &x {
+            assert!(!t.party_saw_value(BOB, xi.raw()), "Bob saw {xi}");
+        }
+    }
+
+    #[test]
+    fn alice_never_sees_raw_y() {
+        let mut r = rng();
+        let x = v(&[3, 1, 4]);
+        let y = v(&[2_000_001, 2_000_002, 2_000_003]);
+        let (_, t) = secure_scalar_product(&mut r, &x, &y);
+        for yi in &y {
+            assert!(!t.party_saw_value(ALICE, yi.raw()), "Alice saw {yi}");
+        }
+    }
+
+    #[test]
+    fn commodity_server_receives_nothing() {
+        let mut r = rng();
+        let (_, t) = secure_scalar_product(&mut r, &v(&[1, 2]), &v(&[3, 4]));
+        assert!(t.view_of(COMMODITY).is_empty());
+    }
+
+    #[test]
+    fn works_with_signed_encodings() {
+        let mut r = rng();
+        let x = vec![Fp61::from_i64(-2), Fp61::from_i64(5)];
+        let y = vec![Fp61::from_i64(3), Fp61::from_i64(-1)];
+        let (got, _) = secure_scalar_product(&mut r, &x, &y);
+        assert_eq!(got.to_i64(), -11);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        let mut r = rng();
+        let _ = secure_scalar_product(&mut r, &v(&[1]), &v(&[1, 2]));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_plain_dot_product(xs in proptest::collection::vec(0..P, 1..6),
+                                     ys in proptest::collection::vec(0..P, 1..6)) {
+            let d = xs.len().min(ys.len());
+            let x: Vec<Fp61> = xs[..d].iter().map(|&v| Fp61::new(v)).collect();
+            let y: Vec<Fp61> = ys[..d].iter().map(|&v| Fp61::new(v)).collect();
+            let expected = x.iter().zip(&y).fold(Fp61::ZERO, |a, (&p, &q)| a + p * q);
+            let mut r = rng();
+            let (got, _) = secure_scalar_product(&mut r, &x, &y);
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

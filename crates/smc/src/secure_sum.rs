@@ -1,0 +1,202 @@
+//! Secure sum: k parties compute the sum of their private values so that
+//! no party (and no coalition smaller than k−1) learns another's input.
+//!
+//! Two classic realisations, plus a threaded driver:
+//!
+//! * **ring protocol** — party 0 adds a random mask to its value and passes
+//!   the running total around the ring; the last hop returns to party 0,
+//!   who removes the mask and announces the sum;
+//! * **sharing protocol** — every party additively shares its value among
+//!   all parties; each party sums the shares it received; the share-sums
+//!   are announced and added.
+
+use crate::sharing::{additive_reconstruct, additive_share};
+use crate::transcript::Transcript;
+use rand::Rng;
+use tdf_mathkit::Fp61;
+
+/// Ring-based secure sum. Returns the sum and the full transcript.
+pub fn ring_secure_sum<R: Rng + ?Sized>(rng: &mut R, inputs: &[Fp61]) -> (Fp61, Transcript) {
+    assert!(inputs.len() >= 3, "ring secure sum needs at least 3 parties");
+    let k = inputs.len();
+    let mut t = Transcript::new();
+    let mask = Fp61::random(rng);
+    let mut running = inputs[0] + mask;
+    t.send(0, 1, "masked_partial_sum", vec![running.raw()]);
+    for (p, &input) in inputs.iter().enumerate().skip(1) {
+        running += input;
+        let next = (p + 1) % k;
+        t.send(p, next, "masked_partial_sum", vec![running.raw()]);
+    }
+    let total = running - mask;
+    // Party 0 announces the result to everyone.
+    for p in 1..k {
+        t.send(0, p, "result", vec![total.raw()]);
+    }
+    (total, t)
+}
+
+/// Sharing-based secure sum (secure against any coalition of < k−1
+/// parties). Returns the sum and the transcript.
+/// ```
+/// use tdf_mathkit::Fp61;
+/// use tdf_smc::secure_sum::sharing_secure_sum;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let inputs = [10u64, 20, 30].map(Fp61::new);
+/// let (sum, transcript) = sharing_secure_sum(&mut rng, &inputs);
+/// assert_eq!(sum, Fp61::new(60));
+/// assert!(!transcript.party_saw_value(1, 10)); // party 1 never saw party 0's input
+/// ```
+pub fn sharing_secure_sum<R: Rng + ?Sized>(rng: &mut R, inputs: &[Fp61]) -> (Fp61, Transcript) {
+    let k = inputs.len();
+    assert!(k >= 2, "need at least 2 parties");
+    let mut t = Transcript::new();
+    // shares[j][p] = share of party j's input destined for party p.
+    let shares: Vec<Vec<Fp61>> =
+        inputs.iter().map(|&v| additive_share(rng, v, k)).collect();
+    for (j, sh) in shares.iter().enumerate() {
+        for (p, &s) in sh.iter().enumerate() {
+            if p != j {
+                t.send(j, p, "input_share", vec![s.raw()]);
+            }
+        }
+    }
+    // Each party sums the shares it holds and broadcasts the partial sum.
+    let partials: Vec<Fp61> = (0..k)
+        .map(|p| shares.iter().map(|sh| sh[p]).fold(Fp61::ZERO, |a, b| a + b))
+        .collect();
+    for (p, &s) in partials.iter().enumerate() {
+        for q in 0..k {
+            if q != p {
+                t.send(p, q, "partial_sum", vec![s.raw()]);
+            }
+        }
+    }
+    (additive_reconstruct(&partials), t)
+}
+
+/// Threaded sharing-based secure sum: each party is a real OS thread, and
+/// shares travel over crossbeam channels — a structural demonstration that
+/// the protocol needs no shared memory or coordinator.
+pub fn threaded_secure_sum(inputs: &[u64], seed: u64) -> Fp61 {
+    use crossbeam::channel::{unbounded, Receiver, Sender};
+    use rand::SeedableRng;
+
+    let k = inputs.len();
+    assert!(k >= 2, "need at least 2 parties");
+    let mut senders: Vec<Vec<Sender<Fp61>>> = Vec::with_capacity(k);
+    let mut receivers: Vec<Vec<Receiver<Fp61>>> = (0..k).map(|_| Vec::new()).collect();
+    for _ in 0..k {
+        let mut row = Vec::with_capacity(k);
+        for r in receivers.iter_mut() {
+            let (s, rcv) = unbounded();
+            row.push(s);
+            r.push(rcv);
+        }
+        senders.push(row);
+    }
+
+    let partials = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        for (p, (&value, (outs, ins))) in inputs
+            .iter()
+            .zip(senders.into_iter().zip(receivers))
+            .enumerate()
+        {
+            handles.push(scope.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ p as u64);
+                let shares = additive_share(&mut rng, Fp61::new(value), k);
+                for (q, out) in outs.iter().enumerate() {
+                    out.send(shares[q]).expect("channel open");
+                }
+                drop(outs);
+                let mut acc = Fp61::ZERO;
+                for rx in &ins {
+                    acc += rx.recv().expect("one share from each party");
+                }
+                acc
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("party thread")).collect::<Vec<_>>()
+    });
+    additive_reconstruct(&partials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    fn inputs(vals: &[u64]) -> Vec<Fp61> {
+        vals.iter().map(|&v| Fp61::new(v)).collect()
+    }
+
+    #[test]
+    fn ring_sum_is_correct() {
+        let mut r = rng();
+        let (sum, _) = ring_secure_sum(&mut r, &inputs(&[10, 20, 30, 40]));
+        assert_eq!(sum, Fp61::new(100));
+    }
+
+    #[test]
+    fn ring_intermediate_values_hide_inputs() {
+        // Party 1 sees only mask + x0: without the mask it cannot recover
+        // x0. We check the transcript never carries a raw input.
+        let mut r = rng();
+        let vals = [111u64, 222, 333];
+        let (_, t) = ring_secure_sum(&mut r, &inputs(&vals));
+        // The running sums are masked; only the final result (666) is
+        // intentionally public. A raw input appearing would be a
+        // (probability ~2^-61) accident or a bug.
+        for p in 0..3 {
+            for &v in &vals {
+                assert!(!t.party_saw_value(p, v), "party {p} saw raw input {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_sum_is_correct_and_more_robust() {
+        let mut r = rng();
+        let (sum, t) = sharing_secure_sum(&mut r, &inputs(&[5, 7, 11, 13]));
+        assert_eq!(sum, Fp61::new(36));
+        // k(k−1) share messages + k(k−1) partial-sum broadcasts.
+        assert_eq!(t.len(), 2 * 4 * 3);
+    }
+
+    #[test]
+    fn sharing_sum_handles_two_parties() {
+        let mut r = rng();
+        let (sum, _) = sharing_secure_sum(&mut r, &inputs(&[1, 2]));
+        assert_eq!(sum, Fp61::new(3));
+    }
+
+    #[test]
+    fn sums_wrap_in_the_field_like_signed_integers() {
+        // Negative encodings survive the protocol.
+        let mut r = rng();
+        let vals = vec![Fp61::from_i64(-5), Fp61::from_i64(3), Fp61::from_i64(-1)];
+        let (sum, _) = ring_secure_sum(&mut r, &vals);
+        assert_eq!(sum.to_i64(), -3);
+    }
+
+    #[test]
+    fn threaded_driver_agrees_with_single_threaded() {
+        let vals = [17u64, 29, 31, 43, 59];
+        let sum = threaded_secure_sum(&vals, 777);
+        assert_eq!(sum, Fp61::new(179));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn ring_needs_three_parties() {
+        let mut r = rng();
+        let _ = ring_secure_sum(&mut r, &inputs(&[1, 2]));
+    }
+}

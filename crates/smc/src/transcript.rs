@@ -1,0 +1,118 @@
+//! Protocol transcripts: who sent what to whom.
+//!
+//! Owner privacy is an *observable* property here: after a protocol run,
+//! the transcript contains every message each party received, so a test
+//! (or the scoring harness) can check that no party saw anything beyond
+//! uniformly-masked field elements and the final result.
+
+use std::fmt;
+
+/// Identifier of a protocol participant. The dealer / commodity server is
+/// conventionally the highest id.
+pub type PartyId = usize;
+
+/// One recorded message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Sender.
+    pub from: PartyId,
+    /// Receiver.
+    pub to: PartyId,
+    /// Protocol-level tag (e.g. `"masked_partial_sum"`).
+    pub tag: &'static str,
+    /// Payload rendered as field elements / integers for inspection.
+    pub payload: Vec<u64>,
+}
+
+/// An append-only record of a protocol execution.
+#[derive(Debug, Clone, Default)]
+pub struct Transcript {
+    messages: Vec<Message>,
+}
+
+impl Transcript {
+    /// Empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a message.
+    pub fn send(&mut self, from: PartyId, to: PartyId, tag: &'static str, payload: Vec<u64>) {
+        self.messages.push(Message { from, to, tag, payload });
+    }
+
+    /// All messages, in order.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Messages received by `party` — its entire protocol view.
+    pub fn view_of(&self, party: PartyId) -> Vec<&Message> {
+        self.messages.iter().filter(|m| m.to == party).collect()
+    }
+
+    /// Total payload words exchanged (communication cost proxy).
+    pub fn total_words(&self) -> usize {
+        self.messages.iter().map(|m| m.payload.len()).sum()
+    }
+
+    /// Number of messages exchanged.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True when no messages were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// True when some message received by `party` contains `value` in the
+    /// clear — the smoking gun of an owner-privacy breach.
+    pub fn party_saw_value(&self, party: PartyId, value: u64) -> bool {
+        self.view_of(party).iter().any(|m| m.payload.contains(&value))
+    }
+}
+
+impl fmt::Display for Transcript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for m in &self.messages {
+            writeln!(f, "P{} -> P{} [{}]: {} words", m.from, m.to, m.tag, m.payload.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_partition_messages() {
+        let mut t = Transcript::new();
+        t.send(0, 1, "a", vec![10]);
+        t.send(1, 2, "b", vec![20, 21]);
+        t.send(0, 2, "c", vec![]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.view_of(2).len(), 2);
+        assert_eq!(t.view_of(0).len(), 0);
+        assert_eq!(t.total_words(), 3);
+    }
+
+    #[test]
+    fn value_spotting() {
+        let mut t = Transcript::new();
+        t.send(0, 1, "x", vec![99]);
+        assert!(t.party_saw_value(1, 99));
+        assert!(!t.party_saw_value(1, 98));
+        assert!(!t.party_saw_value(0, 99));
+    }
+
+    #[test]
+    fn display_lists_messages() {
+        let mut t = Transcript::new();
+        t.send(0, 1, "masked", vec![1, 2, 3]);
+        let s = t.to_string();
+        assert!(s.contains("P0 -> P1"));
+        assert!(s.contains("3 words"));
+    }
+}

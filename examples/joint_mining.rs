@@ -1,0 +1,86 @@
+//! Owner-privacy scenario (the paper's §1 "co-operative market analysis"):
+//! two pharmaceutical companies jointly mine their trial databases with
+//! cryptographic PPDM — secure sums, a secure scalar product, a private
+//! set intersection of shared trial participants, and a jointly learned
+//! decision tree — without either company disclosing a single record.
+//!
+//! ```sh
+//! cargo run --example joint_mining
+//! ```
+
+use dbpriv::mathkit::Fp61;
+use dbpriv::microdata::rng::seeded;
+use dbpriv::smc::id3::{distributed_id3, DataShape, PartySlice};
+use dbpriv::smc::intersection::{secure_intersection, Group};
+use dbpriv::smc::scalar_product::secure_scalar_product;
+use dbpriv::smc::secure_sum::sharing_secure_sum;
+
+fn main() {
+    let mut rng = seeded(0x90E);
+
+    // --- 1. Joint aggregate: total hypertensive patients across owners. --
+    let counts = [412u64, 277, 391]; // three hospitals' private counts
+    let inputs: Vec<Fp61> = counts.iter().map(|&c| Fp61::new(c)).collect();
+    let (total, transcript) = sharing_secure_sum(&mut rng, &inputs);
+    println!("secure sum of private patient counts: {total}");
+    for (p, &c) in counts.iter().enumerate() {
+        assert!(
+            !transcript.party_saw_value((p + 1) % counts.len(), c),
+            "no party may see another's count"
+        );
+    }
+    println!("  transcript: {} messages, none carrying a raw input\n", transcript.len());
+
+    // --- 2. Vertically partitioned correlation via scalar product. -------
+    // Company A holds dosage deviations, company B holds response
+    // deviations for the same (aligned) patients; x·y is the covariance
+    // numerator neither could compute alone.
+    let dosage: Vec<Fp61> = [3i64, -1, 4, 1, -5, 9, -2, 6].iter().map(|&v| Fp61::from_i64(v)).collect();
+    let response: Vec<Fp61> = [2i64, 7, -1, 8, 2, -8, 1, 8].iter().map(|&v| Fp61::from_i64(v)).collect();
+    let (dot, t2) = secure_scalar_product(&mut rng, &dosage, &response);
+    println!("secure scalar product (covariance numerator): {}", dot.to_i64());
+    println!("  commodity server received {} messages (none)\n", t2.view_of(2).len());
+
+    // --- 3. Which patients are enrolled in both trials? ------------------
+    let group = Group::generate(&mut rng, 40);
+    let trial_a = [1001u64, 1002, 1003, 1004, 1005];
+    let trial_b = [1003u64, 1005, 1007, 1009];
+    let mut overlap = secure_intersection(&mut rng, &group, &trial_a, &trial_b);
+    overlap.sort_unstable();
+    println!("private set intersection of enrolments: {overlap:?}");
+    println!("  (neither company learned the other's non-shared patients)\n");
+
+    // --- 4. A jointly learned classifier over horizontal partitions. -----
+    // Attributes: age-band (0-2), overweight (0/1); class: responded (0/1).
+    let mut a = PartySlice::default();
+    let mut b = PartySlice::default();
+    for i in 0..60usize {
+        let age_band = i % 3;
+        let overweight = usize::from(i % 4 == 0);
+        let responded = usize::from(age_band < 2 && overweight == 0);
+        let slice = if i % 2 == 0 { &mut a } else { &mut b };
+        slice.rows.push(vec![age_band, overweight]);
+        slice.labels.push(responded);
+    }
+    let shape = DataShape { attribute_cardinalities: vec![3, 2], num_classes: 2 };
+    let result = distributed_id3(&mut rng, &[a.clone(), b.clone()], &shape, 3);
+    let mut correct = 0usize;
+    let mut total_rows = 0usize;
+    for slice in [&a, &b] {
+        for (row, &label) in slice.rows.iter().zip(&slice.labels) {
+            total_rows += 1;
+            if result.tree.classify(row) == label {
+                correct += 1;
+            }
+        }
+    }
+    println!(
+        "distributed ID3: tree of {} nodes, training accuracy {}/{}, {} secure sums, zero records exchanged",
+        result.tree.size(),
+        correct,
+        total_rows,
+        result.secure_sums
+    );
+    println!("\nAs §4 of the paper notes: the parties all know WHAT was computed —");
+    println!("crypto PPDM gives owner privacy, never user privacy.");
+}

@@ -1,0 +1,28 @@
+//! # dbpriv — the three-dimensional database-privacy toolkit
+//!
+//! Facade crate re-exporting every subsystem of the `tdf` workspace, which
+//! reproduces Josep Domingo-Ferrer, *A Three-Dimensional Conceptual
+//! Framework for Database Privacy* (SDM@VLDB 2007).
+//!
+//! The three dimensions, and where to find their technologies:
+//!
+//! * **Respondent privacy** — [`anonymity`] (k-anonymity & friends) and
+//!   [`sdc`] (masking, risk and utility metrics);
+//! * **Owner privacy** — [`ppdm`] (non-cryptographic privacy-preserving
+//!   data mining) and [`smc`] (cryptographic PPDM / secure multiparty
+//!   computation);
+//! * **User privacy** — [`pir`] (private information retrieval).
+//!
+//! The framework itself — dimensions, metrics, technology scoring, and the
+//! composition pipelines of §6 of the paper — lives in [`core`].
+
+pub use tdf_anonymity as anonymity;
+pub use tdf_core as core;
+pub use tdf_hippocratic as hippocratic;
+pub use tdf_mathkit as mathkit;
+pub use tdf_microdata as microdata;
+pub use tdf_pir as pir;
+pub use tdf_ppdm as ppdm;
+pub use tdf_querydb as querydb;
+pub use tdf_sdc as sdc;
+pub use tdf_smc as smc;

@@ -1,0 +1,98 @@
+//! End-to-end assertions of every claim the paper makes, via the `dbpriv`
+//! facade — the executable summary of EXPERIMENTS.md.
+
+use dbpriv::anonymity::{is_k_anonymous, k_anonymity_level, p_sensitivity_level};
+use dbpriv::core::dimension::Grade;
+use dbpriv::core::experiments;
+use dbpriv::core::scoring::{scoring_table, Scenario};
+use dbpriv::core::technology::TechnologyClass;
+use dbpriv::microdata::patients;
+
+#[test]
+fn table1_left_dataset_is_spontaneously_3_anonymous() {
+    let d1 = patients::dataset1();
+    assert_eq!(k_anonymity_level(&d1), Some(3));
+    assert!(is_k_anonymous(&d1, 3));
+    // Footnote 3: p-sensitivity matters too; Dataset 1 is 2-sensitive.
+    assert_eq!(p_sensitivity_level(&d1), Some(2));
+}
+
+#[test]
+fn table1_right_dataset_isolates_mr_x() {
+    let d2 = patients::dataset2();
+    assert_eq!(k_anonymity_level(&d2), Some(1));
+    let hits = d2.matching_indices(|r| {
+        r[0].as_f64().unwrap() < 165.0 && r[1].as_f64().unwrap() > 105.0
+    });
+    assert_eq!(hits.len(), 1);
+    assert_eq!(d2.value(hits[0], 2).as_f64(), Some(146.0));
+}
+
+#[test]
+fn sections_2_to_4_independence_experiments_all_match() {
+    for outcome in experiments::all_experiments().unwrap() {
+        assert!(outcome.matches_paper, "{}: {:?}", outcome.id, outcome.facts);
+    }
+}
+
+#[test]
+fn table2_structural_claims_hold_empirically() {
+    let rows = scoring_table(&Scenario { n: 200, pir_trials: 400, ..Default::default() })
+        .unwrap();
+    let get = |t: TechnologyClass| rows.iter().find(|r| r.technology == t).unwrap();
+
+    // PIR: high user privacy, none for respondents/owners.
+    let pir = get(TechnologyClass::Pir);
+    assert_eq!(pir.measured[2], Grade::High);
+    assert_eq!(pir.measured[0], Grade::None);
+    assert_eq!(pir.measured[1], Grade::None);
+
+    // Crypto PPDM: the owner-privacy champion, zero user privacy.
+    let crypto = get(TechnologyClass::CryptoPpdm);
+    assert_eq!(crypto.measured[0], Grade::High);
+    assert_eq!(crypto.measured[1], Grade::High);
+    assert_eq!(crypto.measured[2], Grade::None);
+
+    // Non-PIR rows all have user grade none; PIR rows all above none.
+    for r in &rows {
+        if r.technology.has_pir() {
+            assert!(r.measured[2] > Grade::None, "{}", r.technology);
+        } else {
+            assert_eq!(r.measured[2], Grade::None, "{}", r.technology);
+        }
+    }
+
+    // §5: generic PPDM composes with PIR better than use-specific.
+    assert!(
+        get(TechnologyClass::GenericPpdmPlusPir).scores.user
+            > get(TechnologyClass::UseSpecificPpdmPlusPir).scores.user
+    );
+}
+
+#[test]
+fn section6_recipe_satisfies_all_three_dimensions() {
+    use dbpriv::core::pipeline::{DeploymentConfig, ThreeDimensionalDb};
+    use dbpriv::core::metrics::{owner_score, respondent_score};
+    use dbpriv::microdata::rng::seeded;
+    use dbpriv::microdata::synth::{patients as synth, PatientConfig};
+
+    let data = synth(&PatientConfig { n: 200, ..Default::default() });
+    let numeric = data.schema().numeric_indices();
+    let mut db = ThreeDimensionalDb::deploy(
+        data.clone(),
+        DeploymentConfig { k: Some(10), pir: true },
+    )
+    .unwrap();
+
+    // Respondent: the served release is 10-anonymous.
+    assert!(is_k_anonymous(db.released(), 10));
+    assert!(respondent_score(&data, db.released()).unwrap() > 0.85);
+    // Owner: quasi-identifiers are aggregated (partial protection — the
+    // recipe trades owner exposure of confidential values for utility).
+    assert!(owner_score(&data, db.released(), &numeric, 0.1).unwrap() > 0.2);
+    // User: a query leaves no plaintext trace.
+    let q = dbpriv::querydb::parser::parse("SELECT COUNT(*) FROM t WHERE weight > 100").unwrap();
+    let mut rng = seeded(3);
+    db.private_query(&mut rng, &q).unwrap();
+    assert!(db.plain_access_log().is_empty());
+}
