@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# The offline CI gate. Everything here must pass with NO network and an
+# empty cargo registry: the workspace is hermetic (in-tree path
+# dependencies only), and this script is the enforcement point.
+#
+# Usage: ci/check.sh [--quick]
+#   --quick   skip the release build and the bench smoke run
+#
+# Environment:
+#   CARGO       cargo binary (default: cargo)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CARGO="${CARGO:-cargo}"
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "hermetic manifests (no registry dependencies)"
+# Fast shell-level mirror of tests/hermetic_guard.rs: inside any
+# *dependencies* table, every entry must be a path or workspace dep.
+bad=$(awk '
+  /^\[/ { dep = ($0 ~ /dependencies\]$/); next }
+  dep && /=/ && !/^[[:space:]]*#/ && !/path[[:space:]]*=/ && !/workspace[[:space:]]*=[[:space:]]*true/ {
+    print FILENAME ":" FNR ": " $0
+  }
+' Cargo.toml crates/*/Cargo.toml)
+if [[ -n "$bad" ]]; then
+  echo "registry (non-path) dependencies are banned:" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+echo "ok"
+
+step "cargo fmt --check"
+"$CARGO" fmt --all --check
+
+step "cargo clippy (offline, -D warnings)"
+"$CARGO" clippy --workspace --all-targets --offline -- -D warnings
+
+if [[ "$QUICK" -eq 0 ]]; then
+  step "cargo build --release --offline"
+  "$CARGO" build --release --offline
+fi
+
+step "cargo test --offline"
+"$CARGO" test --workspace -q --offline
+
+if [[ "$QUICK" -eq 0 ]]; then
+  step "bench smoke run (tiny sample counts; validates BENCH_*.json)"
+  rm -f crates/bench/BENCH_*.json
+  TDF_BENCH_SAMPLES=3 TDF_BENCH_SAMPLE_MS=2 TDF_BENCH_WARMUP_MS=5 \
+    "$CARGO" bench --offline -p tdf-bench >/dev/null
+  for suite in substrates ablations experiments; do
+    json="crates/bench/BENCH_${suite}.json"
+    [[ -s "$json" ]] || { echo "missing $json" >&2; exit 1; }
+    grep -q '"median_ns"' "$json" || { echo "$json lacks median_ns" >&2; exit 1; }
+    grep -q '"p95_ns"' "$json" || { echo "$json lacks p95_ns" >&2; exit 1; }
+  done
+  rm -f crates/bench/BENCH_*.json
+  echo "ok"
+fi
+
+step "all checks passed"

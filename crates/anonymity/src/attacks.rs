@@ -83,10 +83,7 @@ pub fn background_knowledge_attack(
 /// The intruder's best posterior per class and confidential attribute:
 /// the frequency of the most common sensitive value inside the class.
 /// 1.0 = homogeneity (certain disclosure); 1/|class| = perfect diversity.
-pub fn attribute_disclosure_confidence(
-    data: &Dataset,
-    conf_col: usize,
-) -> Vec<(Vec<Value>, f64)> {
+pub fn attribute_disclosure_confidence(data: &Dataset, conf_col: usize) -> Vec<(Vec<Value>, f64)> {
     data.quasi_identifier_groups()
         .into_iter()
         .map(|(key, members)| {

@@ -83,7 +83,9 @@ impl Hierarchy {
             return Value::Str("*".to_owned());
         }
         match self {
-            Hierarchy::Interval { base_width, origin, .. } => {
+            Hierarchy::Interval {
+                base_width, origin, ..
+            } => {
                 let x = match value.as_f64() {
                     Some(x) => x,
                     None => return Value::Str("*".to_owned()),
@@ -111,7 +113,11 @@ impl Hierarchy {
 /// A convenient interval hierarchy for ages: 5-year bins, then 10, 20, 40,
 /// then suppression.
 pub fn age_hierarchy() -> Hierarchy {
-    Hierarchy::Interval { base_width: 5.0, origin: 0.0, levels: 4 }
+    Hierarchy::Interval {
+        base_width: 5.0,
+        origin: 0.0,
+        levels: 4,
+    }
 }
 
 #[cfg(test)]
@@ -120,19 +126,39 @@ mod tests {
 
     #[test]
     fn interval_levels_double() {
-        let h = Hierarchy::Interval { base_width: 5.0, origin: 0.0, levels: 3 };
+        let h = Hierarchy::Interval {
+            base_width: 5.0,
+            origin: 0.0,
+            levels: 3,
+        };
         assert_eq!(h.max_level(), 4);
         assert_eq!(h.generalize(&Value::Float(23.0), 0), Value::Float(23.0));
-        assert_eq!(h.generalize(&Value::Float(23.0), 1), Value::Str("[20,25)".into()));
-        assert_eq!(h.generalize(&Value::Float(23.0), 2), Value::Str("[20,30)".into()));
-        assert_eq!(h.generalize(&Value::Float(23.0), 3), Value::Str("[20,40)".into()));
+        assert_eq!(
+            h.generalize(&Value::Float(23.0), 1),
+            Value::Str("[20,25)".into())
+        );
+        assert_eq!(
+            h.generalize(&Value::Float(23.0), 2),
+            Value::Str("[20,30)".into())
+        );
+        assert_eq!(
+            h.generalize(&Value::Float(23.0), 3),
+            Value::Str("[20,40)".into())
+        );
         assert_eq!(h.generalize(&Value::Float(23.0), 4), Value::Str("*".into()));
-        assert_eq!(h.generalize(&Value::Float(23.0), 99), Value::Str("*".into()));
+        assert_eq!(
+            h.generalize(&Value::Float(23.0), 99),
+            Value::Str("*".into())
+        );
     }
 
     #[test]
     fn interval_respects_origin() {
-        let h = Hierarchy::Interval { base_width: 10.0, origin: 5.0, levels: 1 };
+        let h = Hierarchy::Interval {
+            base_width: 10.0,
+            origin: 5.0,
+            levels: 1,
+        };
         assert_eq!(h.generalize(&Value::Int(7), 1), Value::Str("[5,15)".into()));
         assert_eq!(h.generalize(&Value::Int(4), 1), Value::Str("[-5,5)".into()));
     }
@@ -153,9 +179,15 @@ mod tests {
             h.generalize(&Value::Str("diabetes".into()), 2),
             Value::Str("any".into())
         );
-        assert_eq!(h.generalize(&Value::Str("flu".into()), 3), Value::Str("*".into()));
+        assert_eq!(
+            h.generalize(&Value::Str("flu".into()), 3),
+            Value::Str("*".into())
+        );
         // Unknown leaves generalize safely to "*".
-        assert_eq!(h.generalize(&Value::Str("??".into()), 1), Value::Str("*".into()));
+        assert_eq!(
+            h.generalize(&Value::Str("??".into()), 1),
+            Value::Str("*".into())
+        );
     }
 
     #[test]

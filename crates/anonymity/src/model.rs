@@ -32,7 +32,11 @@ pub fn equivalence_classes(data: &Dataset) -> Vec<EquivalenceClassSummary> {
                         .len()
                 })
                 .collect();
-            EquivalenceClassSummary { key, members, distinct_confidential }
+            EquivalenceClassSummary {
+                key,
+                members,
+                distinct_confidential,
+            }
         })
         .collect()
 }
@@ -40,10 +44,7 @@ pub fn equivalence_classes(data: &Dataset) -> Vec<EquivalenceClassSummary> {
 /// The k-anonymity level of a dataset: the size of its smallest
 /// equivalence class. `None` for an empty dataset (vacuously anonymous).
 pub fn k_anonymity_level(data: &Dataset) -> Option<usize> {
-    data.quasi_identifier_groups()
-        .values()
-        .map(Vec::len)
-        .min()
+    data.quasi_identifier_groups().values().map(Vec::len).min()
 }
 
 /// True when every equivalence class has at least `k` members.
@@ -115,7 +116,9 @@ pub fn entropy_l_diversity_level(data: &Dataset, conf_col: usize) -> Option<f64>
                 .sum();
             entropy.exp2()
         })
-        .fold(None, |acc: Option<f64>, l| Some(acc.map_or(l, |a| a.min(l))))
+        .fold(None, |acc: Option<f64>, l| {
+            Some(acc.map_or(l, |a| a.min(l)))
+        })
 }
 
 /// t-closeness of a *numeric* confidential attribute: the maximum, over
@@ -164,7 +167,9 @@ pub fn t_closeness_numeric(data: &Dataset, conf_col: usize) -> Option<f64> {
     data.quasi_identifier_groups()
         .values()
         .map(|members| emd(members))
-        .fold(None, |acc: Option<f64>, d| Some(acc.map_or(d, |a| a.max(d))))
+        .fold(None, |acc: Option<f64>, d| {
+            Some(acc.map_or(d, |a| a.max(d)))
+        })
 }
 
 /// t-closeness of a categorical/boolean confidential attribute: the maximum,
@@ -192,7 +197,10 @@ pub fn t_closeness(data: &Dataset, conf_col: usize) -> Option<f64> {
                 .expect("value in domain");
             counts[pos] += 1;
         }
-        counts.iter().map(|&c| c as f64 / members.len() as f64).collect()
+        counts
+            .iter()
+            .map(|&c| c as f64 / members.len() as f64)
+            .collect()
     };
     let all: Vec<usize> = (0..data.num_rows()).collect();
     let global = dist(&all);
@@ -206,7 +214,9 @@ pub fn t_closeness(data: &Dataset, conf_col: usize) -> Option<f64> {
                 .map(|(a, b)| (a - b).abs())
                 .sum::<f64>()
         })
-        .fold(None, |acc: Option<f64>, d| Some(acc.map_or(d, |a| a.max(d))))
+        .fold(None, |acc: Option<f64>, d| {
+            Some(acc.map_or(d, |a| a.max(d)))
+        })
 }
 
 #[cfg(test)]

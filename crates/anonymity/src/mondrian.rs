@@ -46,7 +46,8 @@ pub fn mondrian_anonymize(data: &Dataset, k: usize) -> MondrianResult {
                 .sum::<f64>()
                 / members.len() as f64;
             for &i in members {
-                out.set_value(i, col, Value::Float(mean)).expect("numeric column");
+                out.set_value(i, col, Value::Float(mean))
+                    .expect("numeric column");
             }
         }
         for &i in members {
@@ -54,16 +55,14 @@ pub fn mondrian_anonymize(data: &Dataset, k: usize) -> MondrianResult {
         }
     }
     let num_partitions = partitions.len();
-    MondrianResult { data: out, partition_of, num_partitions }
+    MondrianResult {
+        data: out,
+        partition_of,
+        num_partitions,
+    }
 }
 
-fn split(
-    data: &Dataset,
-    qi: &[usize],
-    k: usize,
-    members: Vec<usize>,
-    out: &mut Vec<Vec<usize>>,
-) {
+fn split(data: &Dataset, qi: &[usize], k: usize, members: Vec<usize>, out: &mut Vec<Vec<usize>>) {
     if members.len() < 2 * k || qi.is_empty() {
         out.push(members);
         return;
@@ -120,12 +119,15 @@ fn split(
 mod tests {
     use super::*;
     use crate::model::{is_k_anonymous, k_anonymity_level};
-    use tdf_microdata::synth::{patients, PatientConfig};
     use tdf_microdata::patients as table1;
+    use tdf_microdata::synth::{patients, PatientConfig};
 
     #[test]
     fn output_is_k_anonymous() {
-        let d = patients(&PatientConfig { n: 500, ..Default::default() });
+        let d = patients(&PatientConfig {
+            n: 500,
+            ..Default::default()
+        });
         for k in [2usize, 3, 5, 10] {
             let r = mondrian_anonymize(&d, k);
             assert!(
@@ -138,7 +140,10 @@ mod tests {
 
     #[test]
     fn partitions_have_at_least_k_members() {
-        let d = patients(&PatientConfig { n: 333, ..Default::default() });
+        let d = patients(&PatientConfig {
+            n: 333,
+            ..Default::default()
+        });
         let k = 7;
         let r = mondrian_anonymize(&d, k);
         let mut counts = vec![0usize; r.num_partitions];
@@ -170,7 +175,10 @@ mod tests {
 
     #[test]
     fn more_partitions_with_smaller_k() {
-        let d = patients(&PatientConfig { n: 400, ..Default::default() });
+        let d = patients(&PatientConfig {
+            n: 400,
+            ..Default::default()
+        });
         let r2 = mondrian_anonymize(&d, 2);
         let r20 = mondrian_anonymize(&d, 20);
         assert!(r2.num_partitions > r20.num_partitions);
@@ -178,12 +186,18 @@ mod tests {
 
     #[test]
     fn centroids_preserve_column_means() {
-        let d = patients(&PatientConfig { n: 256, ..Default::default() });
+        let d = patients(&PatientConfig {
+            n: 256,
+            ..Default::default()
+        });
         let r = mondrian_anonymize(&d, 4);
         for col in [0usize, 1] {
             let orig = tdf_microdata::stats::mean(&d.numeric_column(col)).unwrap();
             let masked = tdf_microdata::stats::mean(&r.data.numeric_column(col)).unwrap();
-            assert!((orig - masked).abs() < 1e-6, "col {col}: {orig} vs {masked}");
+            assert!(
+                (orig - masked).abs() < 1e-6,
+                "col {col}: {orig} vs {masked}"
+            );
         }
     }
 

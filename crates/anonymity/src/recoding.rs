@@ -9,7 +9,7 @@
 
 use crate::hierarchy::Hierarchy;
 use crate::model::k_anonymity_level;
-use tdf_microdata::{AttributeKind, AttributeDef, Dataset, Schema, Value};
+use tdf_microdata::{AttributeDef, AttributeKind, Dataset, Schema, Value};
 
 /// Outcome of a successful lattice search.
 #[derive(Debug, Clone)]
@@ -28,13 +28,13 @@ pub struct RecodingResult {
 ///
 /// Generalized quasi-identifier columns (level > 0) become nominal in the
 /// output schema, since intervals and ancestor categories are strings.
-pub fn apply_recoding(
-    data: &Dataset,
-    hierarchies: &[Hierarchy],
-    levels: &[usize],
-) -> Dataset {
+pub fn apply_recoding(data: &Dataset, hierarchies: &[Hierarchy], levels: &[usize]) -> Dataset {
     let qi = data.schema().quasi_identifier_indices();
-    assert_eq!(hierarchies.len(), qi.len(), "one hierarchy per quasi-identifier");
+    assert_eq!(
+        hierarchies.len(),
+        qi.len(),
+        "one hierarchy per quasi-identifier"
+    );
     assert_eq!(levels.len(), qi.len(), "one level per quasi-identifier");
 
     let attrs: Vec<AttributeDef> = data
@@ -59,7 +59,8 @@ pub fn apply_recoding(
         for (j, &col) in qi.iter().enumerate() {
             new_row[col] = hierarchies[j].generalize(&row[col], levels[j]);
         }
-        out.push_row(new_row).expect("recoded row fits recoded schema");
+        out.push_row(new_row)
+            .expect("recoded row fits recoded schema");
     }
     out
 }
@@ -126,8 +127,7 @@ pub fn minimal_recoding(
         for levels in vectors_of_height(&maxes, height) {
             let recoded = apply_recoding(data, hierarchies, &levels);
             let (final_data, suppressed, kept_indices) = suppress_small_classes(&recoded, k);
-            if suppressed <= max_suppressed
-                && k_anonymity_level(&final_data).is_none_or(|l| l >= k)
+            if suppressed <= max_suppressed && k_anonymity_level(&final_data).is_none_or(|l| l >= k)
             {
                 return Some(RecodingResult {
                     levels,
@@ -149,8 +149,16 @@ mod tests {
 
     fn patient_hierarchies() -> Vec<Hierarchy> {
         vec![
-            Hierarchy::Interval { base_width: 5.0, origin: 0.0, levels: 3 },
-            Hierarchy::Interval { base_width: 10.0, origin: 0.0, levels: 3 },
+            Hierarchy::Interval {
+                base_width: 5.0,
+                origin: 0.0,
+                levels: 3,
+            },
+            Hierarchy::Interval {
+                base_width: 10.0,
+                origin: 0.0,
+                levels: 3,
+            },
         ]
     }
 

@@ -68,7 +68,10 @@ pub fn enforce_p_sensitivity(data: &Dataset, p: usize) -> Result<PSensitiveResul
     }
     let all: Vec<usize> = (0..data.num_rows()).collect();
     if data.is_empty() {
-        return Ok(PSensitiveResult { data: data.clone(), merges: 0 });
+        return Ok(PSensitiveResult {
+            data: data.clone(),
+            merges: 0,
+        });
     }
     if class_diversity(data, &all, &conf) < p {
         return Err(Error::InvalidParameter(format!(
@@ -83,8 +86,7 @@ pub fn enforce_p_sensitivity(data: &Dataset, p: usize) -> Result<PSensitiveResul
         .collect();
 
     // Start from the current equivalence classes.
-    let mut classes: Vec<Vec<usize>> =
-        data.quasi_identifier_groups().into_values().collect();
+    let mut classes: Vec<Vec<usize>> = data.quasi_identifier_groups().into_values().collect();
     let mut merges = 0usize;
 
     loop {
@@ -116,7 +118,11 @@ pub fn enforce_p_sensitivity(data: &Dataset, p: usize) -> Result<PSensitiveResul
             .expect("at least two classes");
         let absorbed = classes.remove(nearest);
         // Removing `nearest` shifts `offender` down when it sat above it.
-        let keep_idx = if nearest > offender { offender } else { offender - 1 };
+        let keep_idx = if nearest > offender {
+            offender
+        } else {
+            offender - 1
+        };
         classes[keep_idx].extend(absorbed);
         merges += 1;
     }
@@ -197,7 +203,10 @@ mod tests {
         use tdf_microdata::synth::{patients, PatientConfig};
         use tdf_sdc_shim::mdav;
         // Microaggregate first, then enforce sensitivity on the AIDS flag.
-        let data = patients(&PatientConfig { n: 120, ..Default::default() });
+        let data = patients(&PatientConfig {
+            n: 120,
+            ..Default::default()
+        });
         let masked = mdav(&data, 4);
         let fixed = enforce_p_sensitivity(&masked, 2).unwrap();
         assert!(p_sensitivity_level(&fixed.data).unwrap() >= 2);
@@ -220,7 +229,11 @@ mod tests {
             let mut out = data.clone();
             let mut i = 0;
             while i < order.len() {
-                let take = if order.len() - i < 2 * k { order.len() - i } else { k };
+                let take = if order.len() - i < 2 * k {
+                    order.len() - i
+                } else {
+                    k
+                };
                 let members = &order[i..i + take];
                 for col in [0usize, 1] {
                     let mean = members

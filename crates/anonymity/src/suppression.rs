@@ -30,7 +30,10 @@ pub fn suppress_to_k_anonymity(data: &Dataset, k: usize) -> SuppressionResult {
     let mut suppressed_cells = 0usize;
 
     if qi.is_empty() || data.is_empty() {
-        return SuppressionResult { data: out, suppressed_cells };
+        return SuppressionResult {
+            data: out,
+            suppressed_cells,
+        };
     }
 
     // Round-robin over QI columns: suppress the next column of every record
@@ -56,7 +59,10 @@ pub fn suppress_to_k_anonymity(data: &Dataset, k: usize) -> SuppressionResult {
             suppressed_cells += cells;
         }
     }
-    SuppressionResult { data: out, suppressed_cells }
+    SuppressionResult {
+        data: out,
+        suppressed_cells,
+    }
 }
 
 fn count_offenders(data: &Dataset, k: usize) -> usize {
@@ -74,7 +80,8 @@ fn suppress_column_of_offenders(data: &Dataset, k: usize, col: usize) -> (Datase
         if members.len() < k {
             for &i in members {
                 if !out.value(i, col).is_missing() {
-                    out.set_value(i, col, Value::Missing).expect("missing always fits");
+                    out.set_value(i, col, Value::Missing)
+                        .expect("missing always fits");
                     cells += 1;
                 }
             }
@@ -120,7 +127,10 @@ mod tests {
 
     #[test]
     fn works_on_larger_population() {
-        let d = synth_patients(&PatientConfig { n: 300, ..Default::default() });
+        let d = synth_patients(&PatientConfig {
+            n: 300,
+            ..Default::default()
+        });
         for k in [2usize, 5] {
             let r = suppress_to_k_anonymity(&d, k);
             assert!(is_k_anonymous(&r.data, k), "k = {k}");

@@ -1,75 +1,89 @@
 //! Ablation benches for the design choices DESIGN.md §5 calls out:
 //! MDAV vs fixed-size microaggregation, Mondrian vs recoding vs
 //! microaggregation for k-anonymity, and additive vs Shamir sharing.
-//! Criterion measures time; each iteration also computes the quality
-//! metric so `--verbose` output doubles as the quality table.
+//! The harness measures time; each iteration also computes the quality
+//! metric so the reports double as the quality table. Emits
+//! `BENCH_ablations.json` — the Mondrian and microaggregation entries
+//! are the canonical hot-path baselines for future perf PRs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tdf_anonymity::hierarchy::Hierarchy;
 use tdf_anonymity::mondrian::mondrian_anonymize;
 use tdf_anonymity::recoding::minimal_recoding;
+use tdf_bench::harness::Harness;
 use tdf_mathkit::Fp61;
 use tdf_microdata::rng::seeded;
 use tdf_microdata::synth::{patients, PatientConfig};
 use tdf_sdc::microaggregation::{fixed_microaggregate, mdav_microaggregate};
-use tdf_smc::sharing::{
-    additive_reconstruct, additive_share, shamir_reconstruct, shamir_share,
-};
+use tdf_smc::sharing::{additive_reconstruct, additive_share, shamir_reconstruct, shamir_share};
 
-fn ablate_microagg(c: &mut Criterion) {
-    let data = patients(&PatientConfig { n: 300, ..Default::default() });
-    let qi = data.schema().quasi_identifier_indices();
-    let mut group = c.benchmark_group("ablate_microagg");
-    for k in [3usize, 10] {
-        group.bench_with_input(BenchmarkId::new("mdav", k), &k, |b, &k| {
-            b.iter(|| mdav_microaggregate(&data, &qi, k).unwrap().sse)
-        });
-        group.bench_with_input(BenchmarkId::new("fixed", k), &k, |b, &k| {
-            b.iter(|| fixed_microaggregate(&data, &qi, k).unwrap().sse)
-        });
-    }
-    group.finish();
+fn seed() -> u64 {
+    tdf_bench::seed_from_env(0xD0_C7)
 }
 
-fn ablate_kanon(c: &mut Criterion) {
-    let data = patients(&PatientConfig { n: 200, ..Default::default() });
+fn ablate_microagg(h: &mut Harness) {
+    let data = patients(&PatientConfig {
+        n: 300,
+        seed: seed(),
+        ..Default::default()
+    });
+    let qi = data.schema().quasi_identifier_indices();
+    for k in [3usize, 10] {
+        h.bench(&format!("ablate_microagg/mdav_k{k}"), || {
+            mdav_microaggregate(&data, &qi, k).unwrap().sse
+        });
+        h.bench(&format!("ablate_microagg/fixed_k{k}"), || {
+            fixed_microaggregate(&data, &qi, k).unwrap().sse
+        });
+    }
+}
+
+fn ablate_kanon(h: &mut Harness) {
+    let data = patients(&PatientConfig {
+        n: 200,
+        seed: seed(),
+        ..Default::default()
+    });
     let qi = data.schema().quasi_identifier_indices();
     let hierarchies = vec![
-        Hierarchy::Interval { base_width: 5.0, origin: 0.0, levels: 3 },
-        Hierarchy::Interval { base_width: 10.0, origin: 0.0, levels: 3 },
+        Hierarchy::Interval {
+            base_width: 5.0,
+            origin: 0.0,
+            levels: 3,
+        },
+        Hierarchy::Interval {
+            base_width: 10.0,
+            origin: 0.0,
+            levels: 3,
+        },
     ];
-    let mut group = c.benchmark_group("ablate_kanon");
-    group.sample_size(10);
-    group.bench_function("mondrian_k5", |b| b.iter(|| mondrian_anonymize(&data, 5)));
-    group.bench_function("microagg_k5", |b| {
-        b.iter(|| mdav_microaggregate(&data, &qi, 5).unwrap())
+    h.bench("ablate_kanon/mondrian_k5", || mondrian_anonymize(&data, 5));
+    h.bench("ablate_kanon/microagg_k5", || {
+        mdav_microaggregate(&data, &qi, 5).unwrap()
     });
-    group.bench_function("recoding_k5", |b| {
-        b.iter(|| minimal_recoding(&data, &hierarchies, 5, 10).unwrap())
+    h.bench("ablate_kanon/recoding_k5", || {
+        minimal_recoding(&data, &hierarchies, 5, 10).unwrap()
     });
-    group.finish();
 }
 
-fn ablate_smc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate_smc");
+fn ablate_smc(h: &mut Harness) {
     let secret = Fp61::new(123_456_789);
     for parties in [3usize, 10] {
-        group.bench_with_input(BenchmarkId::new("additive", parties), &parties, |b, &k| {
-            b.iter(|| {
-                let mut rng = seeded(1);
-                additive_reconstruct(&additive_share(&mut rng, secret, k))
-            })
+        h.bench(&format!("ablate_smc/additive_{parties}party"), || {
+            let mut rng = seeded(seed());
+            additive_reconstruct(&additive_share(&mut rng, secret, parties))
         });
-        group.bench_with_input(BenchmarkId::new("shamir", parties), &parties, |b, &n| {
-            b.iter(|| {
-                let mut rng = seeded(1);
-                let shares = shamir_share(&mut rng, secret, n / 2 + 1, n);
-                shamir_reconstruct(&shares[..n / 2 + 1])
-            })
+        h.bench(&format!("ablate_smc/shamir_{parties}party"), || {
+            let mut rng = seeded(seed());
+            let shares = shamir_share(&mut rng, secret, parties / 2 + 1, parties);
+            shamir_reconstruct(&shares[..parties / 2 + 1])
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, ablate_microagg, ablate_kanon, ablate_smc);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("ablations");
+    ablate_microagg(&mut h);
+    ablate_kanon(&mut h);
+    ablate_smc(&mut h);
+    h.finish().expect("write BENCH_ablations.json");
+}

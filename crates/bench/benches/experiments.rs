@@ -1,8 +1,8 @@
-//! Criterion benches: one group per reproduced table/figure, measuring the
-//! cost of regenerating each artefact (small parameterizations so `cargo
-//! bench` completes in minutes).
+//! End-to-end benches: one entry per reproduced table/figure, measuring
+//! the cost of regenerating each artefact (small parameterizations so the
+//! suite completes in minutes). Emits `BENCH_experiments.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdf_bench::harness::Harness;
 use tdf_core::experiments::{all_experiments, tradeoff_sweep};
 use tdf_core::scoring::{score_technology, Scenario};
 use tdf_core::technology::TechnologyClass;
@@ -10,72 +10,47 @@ use tdf_microdata::patients;
 use tdf_microdata::rng::seeded;
 use tdf_ppdm::sparsity::linkage_rate_at_dimension;
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1/kanon_analysis", |b| {
-        let d1 = patients::dataset1();
-        let d2 = patients::dataset2();
-        b.iter(|| {
-            let k1 = tdf_anonymity::k_anonymity_level(&d1);
-            let k2 = tdf_anonymity::k_anonymity_level(&d2);
-            let p1 = tdf_anonymity::p_sensitivity_level(&d1);
-            std::hint::black_box((k1, k2, p1))
-        })
-    });
-}
+fn main() {
+    let mut h = Harness::new("experiments");
+    let seed = tdf_bench::seed_from_env(1);
 
-fn bench_table2(c: &mut Criterion) {
-    let scenario = Scenario { n: 120, pir_trials: 200, ..Default::default() };
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
+    let d1 = patients::dataset1();
+    let d2 = patients::dataset2();
+    h.bench("table1/kanon_analysis", || {
+        let k1 = tdf_anonymity::k_anonymity_level(&d1);
+        let k2 = tdf_anonymity::k_anonymity_level(&d2);
+        let p1 = tdf_anonymity::p_sensitivity_level(&d1);
+        (k1, k2, p1)
+    });
+
+    let scenario = Scenario {
+        n: 120,
+        pir_trials: 200,
+        ..Default::default()
+    };
     for tech in [
         TechnologyClass::Sdc,
         TechnologyClass::CryptoPpdm,
         TechnologyClass::Pir,
         TechnologyClass::GenericPpdmPlusPir,
     ] {
-        group.bench_with_input(BenchmarkId::new("score", tech.name()), &tech, |b, &t| {
-            b.iter(|| score_technology(t, &scenario).unwrap())
+        h.bench(&format!("table2/score_{}", tech.name()), || {
+            score_technology(tech, &scenario).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_independence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("independence");
-    group.sample_size(10);
-    group.bench_function("e1_to_e7", |b| b.iter(|| all_experiments().unwrap()));
-    group.finish();
-}
+    h.bench("independence/e1_to_e7", || all_experiments().unwrap());
 
-fn bench_fig_tradeoff(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig_tradeoff");
-    group.sample_size(10);
-    group.bench_function("sweep_k3_n80", |b| {
-        b.iter(|| {
-            let mut rng = seeded(1);
-            tradeoff_sweep(true, &[3], 80, &mut rng).unwrap()
-        })
+    h.bench("fig_tradeoff/sweep_k3_n80", || {
+        let mut rng = seeded(seed);
+        tradeoff_sweep(true, &[3], 80, &mut rng).unwrap()
     });
-    group.finish();
-}
 
-fn bench_fig_sparsity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig_sparsity");
-    group.sample_size(10);
     for dims in [4usize, 32] {
-        group.bench_with_input(BenchmarkId::new("linkage", dims), &dims, |b, &d| {
-            b.iter(|| linkage_rate_at_dimension(120, d, 1.0, 7))
+        h.bench(&format!("fig_sparsity/linkage_d{dims}"), || {
+            linkage_rate_at_dimension(120, dims, 1.0, 7)
         });
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_table2,
-    bench_independence,
-    bench_fig_tradeoff,
-    bench_fig_sparsity
-);
-criterion_main!(benches);
+    h.finish().expect("write BENCH_experiments.json");
+}

@@ -1,9 +1,11 @@
 //! Performance benches for the substrates: big-integer modular
 //! exponentiation, the Mersenne field, PIR retrieval per scheme, Apriori,
-//! the query auditor, and secure protocols.
+//! the query auditor, and secure protocols. Emits `BENCH_substrates.json`
+//! with median/p95 per benchmark — the baseline future perf PRs diff
+//! against.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
+use rngkit::SeedableRng;
+use tdf_bench::harness::Harness;
 use tdf_mathkit::modular::pow_mod;
 use tdf_mathkit::primes::random_prime;
 use tdf_mathkit::{BigUint, Fp61};
@@ -16,102 +18,96 @@ use tdf_querydb::statdb::StatDb;
 use tdf_smc::scalar_product::secure_scalar_product;
 use tdf_smc::secure_sum::sharing_secure_sum;
 
-fn rng() -> rand::rngs::StdRng {
-    rand::rngs::StdRng::seed_from_u64(0xBE7C)
+fn rng() -> rngkit::rngs::StdRng {
+    rngkit::rngs::StdRng::seed_from_u64(tdf_bench::seed_from_env(0xBE7C))
 }
 
-fn bench_bigint(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mathkit");
+fn bench_bigint(h: &mut Harness) {
     let mut r = rng();
     for bits in [128usize, 256, 512] {
         let m = random_prime(&mut r, bits);
         let base = BigUint::from_u64(0xDEAD_BEEF);
         let exp = m.sub_ref(&BigUint::one());
-        group.bench_with_input(BenchmarkId::new("pow_mod", bits), &bits, |b, _| {
-            b.iter(|| pow_mod(&base, &exp, &m))
+        h.bench(&format!("mathkit/pow_mod_{bits}"), || {
+            pow_mod(&base, &exp, &m)
         });
     }
-    group.bench_function("fp61_mul_chain", |b| {
+    h.bench("mathkit/fp61_mul_chain", || {
         let x = Fp61::new(0x1234_5678_9ABC);
-        b.iter(|| {
-            let mut acc = Fp61::ONE;
-            for _ in 0..1000 {
-                acc *= x;
-            }
-            acc
-        })
+        let mut acc = Fp61::ONE;
+        for _ in 0..1000 {
+            acc *= x;
+        }
+        acc
     });
-    group.finish();
 }
 
-fn bench_pir(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pir");
+fn bench_pir(h: &mut Harness) {
     let n = 4096;
     let db = Database::new((0..n).map(|i| vec![(i % 251) as u8; 16]).collect());
     let bits = Database::from_bits(&(0..n).map(|i| i % 7 == 0).collect::<Vec<_>>());
     let mut r = rng();
-    group.bench_function("linear_2server_n4096", |b| {
-        b.iter(|| linear::retrieve(&mut r, &db, 2, 1000))
+    h.bench("pir/linear_2server_n4096", || {
+        linear::retrieve(&mut r, &db, 2, 1000)
     });
-    group.bench_function("square_2server_n4096", |b| {
-        b.iter(|| square::retrieve(&mut r, &db, 1000))
+    let mut r = rng();
+    h.bench("pir/square_2server_n4096", || {
+        square::retrieve(&mut r, &db, 1000)
     });
-    group.bench_function("cube_8server_d3_n4096", |b| {
-        b.iter(|| cube::retrieve(&mut r, &db, 3, 1000))
+    let mut r = rng();
+    h.bench("pir/cube_8server_d3_n4096", || {
+        cube::retrieve(&mut r, &db, 3, 1000)
     });
+    let mut r = rng();
     let client = cpir::Client::new(&mut r, 96);
-    group.sample_size(10);
-    group.bench_function("cpir_bit_n4096", |b| {
-        b.iter(|| cpir::retrieve_bit(&mut r, &client, &bits, 1000))
+    h.bench("pir/cpir_bit_n4096", || {
+        cpir::retrieve_bit(&mut r, &client, &bits, 1000)
     });
-    group.finish();
 }
 
-fn bench_mining(c: &mut Criterion) {
+fn bench_mining(h: &mut Harness) {
     let txs = transactions(&TransactionConfig::default());
-    let mut group = c.benchmark_group("mining");
-    group.sample_size(20);
-    group.bench_function("apriori_2000tx", |b| b.iter(|| apriori(&txs, 0.1)));
-    group.finish();
+    h.bench("mining/apriori_2000tx", || apriori(&txs, 0.1));
 }
 
-fn bench_auditor(c: &mut Criterion) {
+fn bench_auditor(h: &mut Harness) {
     let data = tdf_microdata::synth::patients(&tdf_microdata::synth::PatientConfig {
         n: 60,
         ..Default::default()
     });
-    let mut group = c.benchmark_group("querydb");
-    group.sample_size(10);
-    group.bench_function("audited_sum_stream_n60", |b| {
-        b.iter(|| {
-            let mut db = StatDb::new(
-                data.clone(),
-                ControlPolicy::Audit(Auditor::new("blood_pressure", data.num_rows())),
-            );
-            for t in [80.0f64, 85.0, 90.0, 95.0] {
-                let q = format!("SELECT SUM(blood_pressure) FROM t WHERE weight > {t}");
-                db.query_str(&q).unwrap();
-            }
-            db.refusals()
-        })
+    h.bench("querydb/audited_sum_stream_n60", || {
+        let mut db = StatDb::new(
+            data.clone(),
+            ControlPolicy::Audit(Auditor::new("blood_pressure", data.num_rows())),
+        );
+        for t in [80.0f64, 85.0, 90.0, 95.0] {
+            let q = format!("SELECT SUM(blood_pressure) FROM t WHERE weight > {t}");
+            db.query_str(&q).unwrap();
+        }
+        db.refusals()
     });
-    group.finish();
 }
 
-fn bench_smc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("smc");
+fn bench_smc(h: &mut Harness) {
     let mut r = rng();
     let inputs: Vec<Fp61> = (0..10u64).map(Fp61::new).collect();
-    group.bench_function("secure_sum_10party", |b| {
-        b.iter(|| sharing_secure_sum(&mut r, &inputs))
+    h.bench("smc/secure_sum_10party", || {
+        sharing_secure_sum(&mut r, &inputs)
     });
+    let mut r = rng();
     let x: Vec<Fp61> = (0..64u64).map(Fp61::new).collect();
     let y: Vec<Fp61> = (0..64u64).map(|v| Fp61::new(v * 3)).collect();
-    group.bench_function("scalar_product_d64", |b| {
-        b.iter(|| secure_scalar_product(&mut r, &x, &y))
+    h.bench("smc/scalar_product_d64", || {
+        secure_scalar_product(&mut r, &x, &y)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_bigint, bench_pir, bench_mining, bench_auditor, bench_smc);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("substrates");
+    bench_bigint(&mut h);
+    bench_pir(&mut h);
+    bench_mining(&mut h);
+    bench_auditor(&mut h);
+    bench_smc(&mut h);
+    h.finish().expect("write BENCH_substrates.json");
+}

@@ -15,15 +15,29 @@ use tdf_sdc::risk::record_linkage_rate;
 use tdf_sdc::utility::il1s;
 
 fn main() {
-    let data = patients(&PatientConfig { n: 400, ..Default::default() });
+    let data = patients(&PatientConfig {
+        n: 400,
+        seed: tdf_bench::seed_from_env(0xD0_C7),
+        ..Default::default()
+    });
     let qi = data.schema().quasi_identifier_indices();
     let hierarchies = vec![
-        Hierarchy::Interval { base_width: 5.0, origin: 0.0, levels: 4 },
-        Hierarchy::Interval { base_width: 10.0, origin: 0.0, levels: 4 },
+        Hierarchy::Interval {
+            base_width: 5.0,
+            origin: 0.0,
+            levels: 4,
+        },
+        Hierarchy::Interval {
+            base_width: 10.0,
+            origin: 0.0,
+            levels: 4,
+        },
     ];
-    println!("Ablation — three k-anonymizers on n = {}:\n", data.num_rows());
-    let mut series =
-        Series::new("ablate_kanon", &["method", "k", "linkage", "il1s", "note"]);
+    println!(
+        "Ablation — three k-anonymizers on n = {}:\n",
+        data.num_rows()
+    );
+    let mut series = Series::new("ablate_kanon", &["method", "k", "linkage", "il1s", "note"]);
 
     for k in [3usize, 5, 10, 25] {
         let mdav = mdav_microaggregate(&data, &qi, k).unwrap().data;
@@ -41,8 +55,17 @@ fn main() {
                 "k={k:<3} {name:<9} linkage {linkage:.3} (bound {:.3})  IL1s {loss:.3}",
                 1.0 / k as f64
             );
-            assert!(linkage <= 1.0 / k as f64 + 1e-9, "{name} violated the k-bound");
-            series.push(&[name.to_owned(), k.to_string(), f3(linkage), f3(loss), note.clone()]);
+            assert!(
+                linkage <= 1.0 / k as f64 + 1e-9,
+                "{name} violated the k-bound"
+            );
+            series.push(&[
+                name.to_owned(),
+                k.to_string(),
+                f3(linkage),
+                f3(loss),
+                note.clone(),
+            ]);
         }
         // Recoding releases interval strings: report generalization height
         // and suppression instead of IL1s.

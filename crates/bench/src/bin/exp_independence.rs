@@ -12,7 +12,11 @@ fn print(outcome: &ExperimentOutcome) {
     }
     println!(
         "verdict: {}",
-        if outcome.matches_paper { "MATCHES PAPER" } else { "DOES NOT MATCH" }
+        if outcome.matches_paper {
+            "MATCHES PAPER"
+        } else {
+            "DOES NOT MATCH"
+        }
     );
     println!();
 }

@@ -2,7 +2,7 @@
 //! scheme: trivial download, 2-server linear XOR [8], 2-server square
 //! (O(√n)), and single-server computational PIR (Goldwasser–Micali).
 
-use rand::SeedableRng;
+use rngkit::SeedableRng;
 use tdf_bench::Series;
 use tdf_pir::store::Database;
 use tdf_pir::{cpir, cube, linear, square, trivial};
@@ -11,12 +11,19 @@ fn main() {
     let sizes = [64usize, 256, 1024, 4096, 16384];
     let record_size = 32;
     println!("F3 — PIR cost vs database size (record size {record_size} B)\n");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1C0);
+    let mut rng = rngkit::rngs::StdRng::seed_from_u64(tdf_bench::seed_from_env(0xF1C0));
     let cpir_client = cpir::Client::new(&mut rng, 96);
 
     let mut series = Series::new(
         "fig_pir_cost",
-        &["scheme", "n", "uplink_bits", "downlink_bits", "total_bits", "server_ops"],
+        &[
+            "scheme",
+            "n",
+            "uplink_bits",
+            "downlink_bits",
+            "total_bits",
+            "server_ops",
+        ],
     );
     for &n in &sizes {
         let db = Database::new((0..n).map(|i| vec![(i % 251) as u8; record_size]).collect());

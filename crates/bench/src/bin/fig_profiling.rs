@@ -3,7 +3,7 @@
 //! function of how repetitive their interests are? Under PIR the log does
 //! not exist; this figure measures exactly what that removes.
 
-use rand::Rng;
+use rngkit::Rng;
 use tdf_bench::{f3, Series};
 use tdf_microdata::rng::seeded;
 use tdf_querydb::ast::{Aggregate, CmpOp, Predicate, Query};
@@ -35,11 +35,14 @@ fn synth_log(users: u32, per_user: usize, affinity: f64, seed: u64) -> Vec<(u32,
 }
 
 fn main() {
+    let base_seed = tdf_bench::seed_from_env(0xA01);
     println!("F8 — query-log profiling (40 users, 60 queries each)\n");
-    let mut series =
-        Series::new("fig_profiling", &["affinity", "relink_rate", "mean_entropy_bits"]);
+    let mut series = Series::new(
+        "fig_profiling",
+        &["affinity", "relink_rate", "mean_entropy_bits"],
+    );
     for &affinity in &[0.0f64, 0.1, 0.25, 0.5, 0.75, 0.95] {
-        let log = synth_log(40, 60, affinity, 0xA01 + (affinity * 100.0) as u64);
+        let log = synth_log(40, 60, affinity, base_seed + (affinity * 100.0) as u64);
         let rate = relink_rate(&log);
         let profiles = build_profiles(&log);
         let mean_entropy: f64 =

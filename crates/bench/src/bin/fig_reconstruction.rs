@@ -35,18 +35,26 @@ fn main() {
     let sigmas = [0.25f64, 0.5, 1.0, 2.0, 4.0];
     println!("F4 — Agrawal–Srikant reconstruction vs noise level (n = {n})\n");
 
-    let (train_rows, train_labels) = population(n, 1);
-    let (test_rows, test_labels) = population(1000, 2);
+    let seed = tdf_bench::seed_from_env(1);
+    let (train_rows, train_labels) = population(n, seed);
+    let (test_rows, test_labels) = population(1000, seed.wrapping_add(1));
     let baseline = HistogramBayes::train(&train_rows, &train_labels, 2, lo, hi, bins)
         .accuracy(&test_rows, &test_labels);
     println!("classifier accuracy on ORIGINAL data: {baseline:.3}\n");
 
     let mut series = Series::new(
         "fig_reconstruction",
-        &["sigma", "tv_noisy", "tv_reconstructed", "acc_original", "acc_noisy", "acc_reconstructed"],
+        &[
+            "sigma",
+            "tv_noisy",
+            "tv_reconstructed",
+            "acc_original",
+            "acc_noisy",
+            "acc_reconstructed",
+        ],
     );
     for &sigma in &sigmas {
-        let mut rng = seeded(42 ^ sigma.to_bits());
+        let mut rng = seeded(seed.wrapping_mul(42) ^ sigma.to_bits());
         // Column-level fidelity on attribute 0 of class 0.
         let xs: Vec<f64> = train_rows
             .iter()
@@ -67,7 +75,9 @@ fn main() {
             let mut out = Vec::with_capacity(train_rows.len());
             for row in &train_rows {
                 out.push(
-                    row.iter().map(|&x| x + sigma * standard_normal(&mut rng)).collect(),
+                    row.iter()
+                        .map(|&x| x + sigma * standard_normal(&mut rng))
+                        .collect(),
                 );
             }
             out
@@ -85,8 +95,7 @@ fn main() {
             priors.push(members.len() as f64 / train_rows.len() as f64);
             let per_attr: Vec<Vec<f64>> = (0..2)
                 .map(|a| {
-                    let noisy: Vec<f64> =
-                        members.iter().map(|&i| noisy_rows[i][a]).collect();
+                    let noisy: Vec<f64> = members.iter().map(|&i| noisy_rows[i][a]).collect();
                     reconstruct_distribution(&noisy, sigma, lo, hi, bins, 200).density
                 })
                 .collect();

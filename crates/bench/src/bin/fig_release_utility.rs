@@ -16,32 +16,45 @@ fn to_rows(data: &Dataset) -> (Vec<Vec<f64>>, Vec<usize>) {
     let mut rows = Vec::with_capacity(data.num_rows());
     let mut labels = Vec::with_capacity(data.num_rows());
     for r in data.rows() {
-        rows.push(vec![r[0].as_f64().unwrap_or(0.0), r[1].as_f64().unwrap_or(0.0)]);
+        rows.push(vec![
+            r[0].as_f64().unwrap_or(0.0),
+            r[1].as_f64().unwrap_or(0.0),
+        ]);
         labels.push(usize::from(r[2].as_f64().unwrap_or(0.0) > 140.0));
     }
     (rows, labels)
 }
 
 fn main() {
-    let scenario = Scenario { n: 2000, ..Default::default() };
+    let scenario = Scenario {
+        n: 2000,
+        seed: tdf_bench::seed_from_env(0x7D_F2007),
+        ..Default::default()
+    };
     // Standardize features into a common binning domain.
     let (lo, hi, bins) = (40.0f64, 220.0f64, 36usize);
-    let test = patients(&PatientConfig { n: 800, seed: scenario.seed ^ 0xE57, ..Default::default() });
+    let test = patients(&PatientConfig {
+        n: 800,
+        seed: scenario.seed ^ 0xE57,
+        ..Default::default()
+    });
     let (test_rows, test_labels) = to_rows(&test);
 
     println!(
         "F7 — classifier utility of each release (train n = {}, test n = 800)\n",
         scenario.n
     );
-    let mut series =
-        Series::new("fig_release_utility", &["technology", "bayes_accuracy", "tree_accuracy"]);
+    let mut series = Series::new(
+        "fig_release_utility",
+        &["technology", "bayes_accuracy", "tree_accuracy"],
+    );
 
     let tree_cfg = TreeConfig::default();
     let eval = |rows: &[Vec<f64>], labels: &[usize]| -> (f64, f64) {
-        let bayes = HistogramBayes::train(rows, labels, 2, lo, hi, bins)
-            .accuracy(&test_rows, &test_labels);
-        let tree = DecisionTree::train(rows, labels, 2, &tree_cfg)
-            .accuracy(&test_rows, &test_labels);
+        let bayes =
+            HistogramBayes::train(rows, labels, 2, lo, hi, bins).accuracy(&test_rows, &test_labels);
+        let tree =
+            DecisionTree::train(rows, labels, 2, &tree_cfg).accuracy(&test_rows, &test_labels);
         (bayes, tree)
     };
 

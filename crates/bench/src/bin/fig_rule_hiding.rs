@@ -3,11 +3,14 @@
 //! as the set of rules to hide grows.
 
 use tdf_bench::Series;
-use tdf_ppdm::rules::{generate_rules, hide_rules, Itemset};
 use tdf_microdata::synth::{transactions, TransactionConfig};
+use tdf_ppdm::rules::{generate_rules, hide_rules, Itemset};
 
 fn main() {
-    let txs = transactions(&TransactionConfig::default());
+    let txs = transactions(&TransactionConfig {
+        seed: tdf_bench::seed_from_env(0xBA5_CE7),
+        ..Default::default()
+    });
     let (min_support, min_confidence) = (0.08, 0.4);
     let before = generate_rules(&txs, min_support, min_confidence);
     println!(
@@ -27,7 +30,14 @@ fn main() {
 
     let mut series = Series::new(
         "fig_rule_hiding",
-        &["hidden_rules", "deletions", "still_visible", "lost_rules", "ghost_rules", "remaining_rules"],
+        &[
+            "hidden_rules",
+            "deletions",
+            "still_visible",
+            "lost_rules",
+            "ghost_rules",
+            "remaining_rules",
+        ],
     );
     for take in 0..=sensitive_pool.len() {
         let sensitive = &sensitive_pool[..take];

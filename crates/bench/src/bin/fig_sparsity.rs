@@ -9,12 +9,13 @@ fn main() {
     let dims = [2usize, 4, 8, 16, 32, 64];
     let alphas = [0.5f64, 1.0, 2.0];
     let n = 300;
+    let seed = tdf_bench::seed_from_env(0x5BA1);
     println!("F2 — high-dimensional sparsity attack on noise addition (n = {n})\n");
 
     let mut series = Series::new("fig_sparsity", &["alpha", "dims", "linkage_rate"]);
     for &alpha in &alphas {
         println!("noise alpha = {alpha}");
-        for (d, rate) in sparsity_sweep(n, &dims, alpha, 0x5BA1) {
+        for (d, rate) in sparsity_sweep(n, &dims, alpha, seed) {
             println!("  d = {d:>3}: linkage {rate:.3}");
             series.push(&[f3(alpha), d.to_string(), f3(rate)]);
         }

@@ -18,8 +18,8 @@ fn targets(data: &Dataset, max: usize) -> Vec<(usize, Predicate)> {
         if members.len() == 1 && out.len() < max {
             let h = key[0].as_f64().unwrap();
             let w = key[1].as_f64().unwrap();
-            let pred = Predicate::cmp("height", CmpOp::Eq, h)
-                .and(Predicate::cmp("weight", CmpOp::Eq, w));
+            let pred =
+                Predicate::cmp("height", CmpOp::Eq, h).and(Predicate::cmp("weight", CmpOp::Eq, w));
             out.push((members[0], pred));
         }
     }
@@ -27,7 +27,11 @@ fn targets(data: &Dataset, max: usize) -> Vec<(usize, Predicate)> {
 }
 
 fn main() {
-    let data = patients(&PatientConfig { n: 150, ..Default::default() });
+    let data = patients(&PatientConfig {
+        n: 150,
+        seed: tdf_bench::seed_from_env(0xD0_C7),
+        ..Default::default()
+    });
     let tracker = Predicate::cmp("aids", CmpOp::Eq, false);
     let victims = targets(&data, 20);
     println!(
@@ -39,14 +43,28 @@ fn main() {
 
     let regimes: Vec<(String, Box<dyn Fn() -> ControlPolicy>)> = vec![
         ("no control".to_owned(), Box::new(|| ControlPolicy::None)),
-        ("size>=3".to_owned(), Box::new(|| ControlPolicy::SizeRestriction { min_size: 3 })),
-        ("size>=10".to_owned(), Box::new(|| ControlPolicy::SizeRestriction { min_size: 10 })),
-        ("size>=25".to_owned(), Box::new(|| ControlPolicy::SizeRestriction { min_size: 25 })),
-        ("noise sd=5".to_owned(), Box::new(|| ControlPolicy::noise(5.0, 0xF6))),
+        (
+            "size>=3".to_owned(),
+            Box::new(|| ControlPolicy::SizeRestriction { min_size: 3 }),
+        ),
+        (
+            "size>=10".to_owned(),
+            Box::new(|| ControlPolicy::SizeRestriction { min_size: 10 }),
+        ),
+        (
+            "size>=25".to_owned(),
+            Box::new(|| ControlPolicy::SizeRestriction { min_size: 25 }),
+        ),
+        (
+            "noise sd=5".to_owned(),
+            Box::new(|| ControlPolicy::noise(5.0, 0xF6)),
+        ),
     ];
 
-    let mut series =
-        Series::new("fig_tracker", &["regime", "exact_disclosures", "targets", "success_rate"]);
+    let mut series = Series::new(
+        "fig_tracker",
+        &["regime", "exact_disclosures", "targets", "success_rate"],
+    );
     for (name, make_policy) in &regimes {
         let mut exact = 0usize;
         for (victim, pred) in &victims {
@@ -61,15 +79,26 @@ fn main() {
             }
         }
         let rate = exact as f64 / victims.len() as f64;
-        println!("{name:<12} exact disclosures: {exact}/{} ({rate:.2})", victims.len());
-        series.push(&[name.clone(), exact.to_string(), victims.len().to_string(), f3(rate)]);
+        println!(
+            "{name:<12} exact disclosures: {exact}/{} ({rate:.2})",
+            victims.len()
+        );
+        series.push(&[
+            name.clone(),
+            exact.to_string(),
+            victims.len().to_string(),
+            f3(rate),
+        ]);
     }
 
     // DP regime: Laplace answers from a fresh budget per victim.
     let mut exact = 0usize;
     for (victim, pred) in &victims {
-        let mut dp = tdf_querydb::dp::DpPolicy::new(0.5, 100.0, 0xD9)
-            .with_range("blood_pressure", 100.0, 180.0);
+        let mut dp = tdf_querydb::dp::DpPolicy::new(0.5, 100.0, 0xD9).with_range(
+            "blood_pressure",
+            100.0,
+            180.0,
+        );
         let truth = data.value(*victim, 2).as_f64().unwrap();
         // Drive the tracker by hand against the DP policy.
         let mut answer = |src: &str| -> Option<f64> {
@@ -94,8 +123,17 @@ fn main() {
         }
     }
     let rate = exact as f64 / victims.len() as f64;
-    println!("{:<12} exact disclosures: {exact}/{} ({rate:.2})", "dp eps=0.5", victims.len());
-    series.push(&["dp_eps0.5".to_owned(), exact.to_string(), victims.len().to_string(), f3(rate)]);
+    println!(
+        "{:<12} exact disclosures: {exact}/{} ({rate:.2})",
+        "dp eps=0.5",
+        victims.len()
+    );
+    series.push(&[
+        "dp_eps0.5".to_owned(),
+        exact.to_string(),
+        victims.len().to_string(),
+        f3(rate),
+    ]);
 
     // Auditing regime (stateful per attack, constructed fresh each victim).
     let mut exact = 0usize;
@@ -114,8 +152,17 @@ fn main() {
         }
     }
     let rate = exact as f64 / victims.len() as f64;
-    println!("{:<12} exact disclosures: {exact}/{} ({rate:.2})", "auditing", victims.len());
-    series.push(&["auditing".to_owned(), exact.to_string(), victims.len().to_string(), f3(rate)]);
+    println!(
+        "{:<12} exact disclosures: {exact}/{} ({rate:.2})",
+        "auditing",
+        victims.len()
+    );
+    series.push(&[
+        "auditing".to_owned(),
+        exact.to_string(),
+        victims.len().to_string(),
+        f3(rate),
+    ]);
     series.save().expect("results dir writable");
 
     println!(

@@ -11,15 +11,24 @@ use tdf_microdata::rng::seeded;
 fn main() {
     let ks = [1usize, 2, 3, 5, 10, 15, 25, 50];
     let n = 300;
-    let mut rng = seeded(0xF16);
+    let mut rng = seeded(tdf_bench::seed_from_env(0xF16));
     println!("F1 — three-dimensional deployment sweep (n = {n})\n");
 
-    for (label, pir) in [("k-anonymized + PIR (all three dimensions)", true),
-                          ("k-anonymized, plaintext access (respondent+owner only)", false)] {
+    for (label, pir) in [
+        ("k-anonymized + PIR (all three dimensions)", true),
+        (
+            "k-anonymized, plaintext access (respondent+owner only)",
+            false,
+        ),
+    ] {
         let points = tradeoff_sweep(pir, &ks, n, &mut rng).expect("sweep runs");
         println!("--- {label} ---");
         let mut series = Series::new(
-            if pir { "fig_tradeoff_pir" } else { "fig_tradeoff_plain" },
+            if pir {
+                "fig_tradeoff_pir"
+            } else {
+                "fig_tradeoff_plain"
+            },
             &["k", "respondent", "owner", "user", "il1s", "bits_per_query"],
         );
         for p in &points {

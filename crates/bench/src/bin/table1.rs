@@ -19,7 +19,11 @@ fn analyze(name: &str, data: &tdf_microdata::Dataset) {
     for class in equivalence_classes(data) {
         println!(
             "  key {:?}: {} member(s), distinct confidential values {:?}",
-            class.key.iter().map(ToString::to_string).collect::<Vec<_>>(),
+            class
+                .key
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>(),
             class.members.len(),
             class.distinct_confidential
         );
@@ -43,9 +47,8 @@ fn main() {
         "  Dataset 2 not 3-anonymous (all keys unique): {}",
         k_anonymity_level(&d2) == Some(1)
     );
-    let isolated = d2.matching_indices(|r| {
-        r[0].as_f64().unwrap() < 165.0 && r[1].as_f64().unwrap() > 105.0
-    });
+    let isolated =
+        d2.matching_indices(|r| r[0].as_f64().unwrap() < 165.0 && r[1].as_f64().unwrap() > 105.0);
     println!(
         "  exactly one record with height<165 & weight>105, blood pressure 146: {}",
         isolated == vec![patients::DATASET2_ISOLATED_ROW]

@@ -7,7 +7,10 @@ use tdf_core::report::{render_scores, render_table2};
 use tdf_core::scoring::{scoring_table, Scenario};
 
 fn main() {
-    let scenario = Scenario::default();
+    let scenario = Scenario {
+        seed: tdf_bench::seed_from_env(0x7D_F2007),
+        ..Default::default()
+    };
     println!(
         "Table 2 — technology scoring on a synthetic patient population \
          (n = {}, seed = {:#x})\n",
@@ -19,7 +22,15 @@ fn main() {
 
     let mut series = Series::new(
         "table2",
-        &["technology", "respondent", "owner", "user", "paper_respondent", "paper_owner", "paper_user"],
+        &[
+            "technology",
+            "respondent",
+            "owner",
+            "user",
+            "paper_respondent",
+            "paper_owner",
+            "paper_user",
+        ],
     );
     let mut matches = 0usize;
     for r in &rows {

@@ -1,0 +1,267 @@
+//! In-tree micro-benchmark harness (the `criterion` replacement).
+//!
+//! Each benchmark id is measured as `samples` timed samples of
+//! `iters_per_sample` closure invocations; the per-iteration wall time of
+//! every sample feeds the summary statistics (min / mean / median / p95 /
+//! max). The iteration count is auto-calibrated during warmup so a sample
+//! lasts long enough for the clock to resolve even nanosecond-scale
+//! bodies.
+//!
+//! On [`Harness::finish`] a suite prints an aligned table to stdout and
+//! writes `BENCH_<suite>.json` (to `TDF_RESULTS_DIR` when set, else the
+//! working directory). The JSON is the baseline artefact future perf PRs
+//! diff against.
+//!
+//! Environment knobs (all optional):
+//!
+//! | variable              | default | meaning                          |
+//! |-----------------------|---------|----------------------------------|
+//! | `TDF_BENCH_SAMPLES`   | 30      | timed samples per benchmark      |
+//! | `TDF_BENCH_SAMPLE_MS` | 20      | target duration of one sample    |
+//! | `TDF_BENCH_WARMUP_MS` | 100     | warmup (and calibration) time    |
+//!
+//! CI smoke runs set small values so `cargo test --benches`-style
+//! executions finish in seconds; local perf work uses the defaults.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Summary statistics for one benchmark id (per-iteration nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark identifier, e.g. `pir/linear_2server_n4096`.
+    pub id: String,
+    /// Closure invocations per timed sample (calibrated).
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Mean over samples, ns per iteration.
+    pub mean_ns: f64,
+    /// Median over samples, ns per iteration.
+    pub median_ns: f64,
+    /// 95th percentile over samples, ns per iteration.
+    pub p95_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+}
+
+/// Percentile over a sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A benchmark suite: measure with [`bench`](Harness::bench), then
+/// [`finish`](Harness::finish) to report and persist.
+pub struct Harness {
+    suite: String,
+    samples: usize,
+    sample_ns: u64,
+    warmup_ns: u64,
+    results: Vec<Summary>,
+}
+
+impl Harness {
+    /// Creates a suite named `suite` (drives the `BENCH_<suite>.json`
+    /// file name), reading the `TDF_BENCH_*` environment knobs.
+    pub fn new(suite: &str) -> Self {
+        Self {
+            suite: suite.to_owned(),
+            samples: env_u64("TDF_BENCH_SAMPLES", 30).max(1) as usize,
+            sample_ns: env_u64("TDF_BENCH_SAMPLE_MS", 20) * 1_000_000,
+            warmup_ns: env_u64("TDF_BENCH_WARMUP_MS", 100) * 1_000_000,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures `f`, recording per-iteration times under `id`. The
+    /// closure's return value is passed through [`black_box`] so the
+    /// optimiser cannot delete the measured work.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, id: &str, mut f: F) {
+        // Warmup and calibration: run until the warmup budget is spent,
+        // counting how many iterations fit.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_start.elapsed().as_nanos() as u64 >= self.warmup_ns {
+                break;
+            }
+        }
+        let per_iter_ns = (warmup_start.elapsed().as_nanos() as u64 / warmup_iters.max(1)).max(1);
+        let iters_per_sample = (self.sample_ns / per_iter_ns).clamp(1, 1_000_000_000);
+
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            times.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        let summary = Summary {
+            id: id.to_owned(),
+            iters_per_sample,
+            samples: times.len(),
+            min_ns: times[0],
+            mean_ns: times.iter().sum::<f64>() / times.len() as f64,
+            median_ns: percentile(&times, 0.5),
+            p95_ns: percentile(&times, 0.95),
+            max_ns: *times.last().expect("samples >= 1"),
+        };
+        eprintln!(
+            "{:<44} median {:>12}  p95 {:>12}",
+            format!("{}/{}", self.suite, id),
+            fmt_ns(summary.median_ns),
+            fmt_ns(summary.p95_ns),
+        );
+        self.results.push(summary);
+    }
+
+    /// Prints the suite table and writes `BENCH_<suite>.json`; returns
+    /// the path written.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "\n== {} ==\n{:<40} {:>12} {:>12} {:>12} {:>8}\n",
+            self.suite, "benchmark", "median", "p95", "min", "iters"
+        ));
+        for s in &self.results {
+            out.push_str(&format!(
+                "{:<40} {:>12} {:>12} {:>12} {:>8}\n",
+                s.id,
+                fmt_ns(s.median_ns),
+                fmt_ns(s.p95_ns),
+                fmt_ns(s.min_ns),
+                s.iters_per_sample
+            ));
+        }
+        println!("{out}");
+
+        let dir = std::env::var_os("TDF_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.suite));
+        std::fs::write(&path, self.to_json())?;
+        println!("wrote {}", path.display());
+        Ok(path)
+    }
+
+    /// The suite's JSON document (stable key order, one result per entry).
+    pub fn to_json(&self) -> String {
+        let mut json = format!("{{\"suite\":\"{}\",\"results\":[", self.suite);
+        for (i, s) in self.results.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"id\":\"{}\",\"iters_per_sample\":{},\"samples\":{},\
+                 \"min_ns\":{:.1},\"mean_ns\":{:.1},\"median_ns\":{:.1},\
+                 \"p95_ns\":{:.1},\"max_ns\":{:.1}}}",
+                s.id,
+                s.iters_per_sample,
+                s.samples,
+                s.min_ns,
+                s.mean_ns,
+                s.median_ns,
+                s.p95_ns,
+                s.max_ns
+            ));
+        }
+        json.push_str("]}");
+        json
+    }
+
+    /// Results recorded so far (for tests).
+    pub fn results(&self) -> &[Summary] {
+        &self.results
+    }
+}
+
+/// Human formatting: ns with unit scaling.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_harness() -> Harness {
+        Harness {
+            suite: "probe".into(),
+            samples: 5,
+            sample_ns: 50_000,
+            warmup_ns: 50_000,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn bench_records_ordered_statistics() {
+        let mut h = tiny_harness();
+        h.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        let s = &h.results()[0];
+        assert_eq!(s.samples, 5);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p95_ns);
+        assert!(s.p95_ns <= s.max_ns);
+        assert!(s.min_ns > 0.0);
+    }
+
+    #[test]
+    fn json_contains_median_and_p95() {
+        let mut h = tiny_harness();
+        h.bench("noop", || 1u64);
+        let json = h.to_json();
+        assert!(json.contains("\"suite\":\"probe\""));
+        assert!(json.contains("\"median_ns\""));
+        assert!(json.contains("\"p95_ns\""));
+        assert!(json.contains("\"id\":\"noop\""));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&xs, 0.5), 5.0);
+        assert_eq!(percentile(&xs, 0.95), 10.0);
+        assert_eq!(percentile(&xs, 1.0), 10.0);
+        assert_eq!(percentile(&[42.0], 0.5), 42.0);
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(950.0), "950 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00 s");
+    }
+}

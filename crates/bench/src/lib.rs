@@ -1,11 +1,45 @@
-//! Shared helpers for the table/figure report binaries.
+//! Shared helpers for the table/figure report binaries, plus the in-tree
+//! micro-benchmark harness (the workspace's `criterion` replacement).
 //!
 //! Every binary prints a human-readable report to stdout and, when the
 //! `TDF_RESULTS_DIR` environment variable is set, also writes a
 //! tab-separated file there for plotting.
 
+pub mod harness;
+
 use std::io::Write;
 use std::path::PathBuf;
+
+/// Reads the global experiment seed from the `TDF_SEED` environment
+/// variable (decimal or `0x`-prefixed hex), falling back to the binary's
+/// canonical default. Every figure/table binary routes its seed through
+/// this, so
+///
+/// ```sh
+/// TDF_SEED=123 cargo run --release --bin table2
+/// ```
+///
+/// reproduces (or intentionally varies) any artefact from the command
+/// line. With the variable unset, outputs are bit-identical to the
+/// committed defaults.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var("TDF_SEED") {
+        Ok(text) => {
+            let text = text.trim();
+            let parsed =
+                if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                    u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+                } else {
+                    text.replace('_', "").parse().ok()
+                };
+            parsed.unwrap_or_else(|| {
+                eprintln!("warning: unparsable TDF_SEED `{text}`, using default {default}");
+                default
+            })
+        }
+        Err(_) => default,
+    }
+}
 
 /// A tab-separated series destined for a results file.
 pub struct Series {

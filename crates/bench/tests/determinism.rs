@@ -1,0 +1,52 @@
+//! The `TDF_SEED` contract: every report binary routes its randomness
+//! through `tdf_bench::seed_from_env`, so a fixed seed must reproduce a
+//! bit-identical report, and (for binaries that consume randomness) a
+//! different seed must change it.
+
+use std::process::Command;
+
+fn run(bin: &str, seed: &str) -> String {
+    let out = Command::new(bin)
+        .env("TDF_SEED", seed)
+        .env_remove("TDF_RESULTS_DIR")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{bin} failed: {:?}", out);
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn same_seed_reproduces_report_bit_identically() {
+    let bin = env!("CARGO_BIN_EXE_fig_profiling");
+    let a = run(bin, "12345");
+    let b = run(bin, "12345");
+    assert_eq!(a, b, "two runs with the same TDF_SEED must match exactly");
+}
+
+#[test]
+fn different_seed_changes_the_report() {
+    let bin = env!("CARGO_BIN_EXE_fig_profiling");
+    let a = run(bin, "12345");
+    let b = run(bin, "54321");
+    assert_ne!(
+        a, b,
+        "different TDF_SEED values must change the synthetic log"
+    );
+}
+
+#[test]
+fn unset_seed_equals_canonical_default() {
+    let bin = env!("CARGO_BIN_EXE_fig_sparsity");
+    let with_default = run(bin, "0x5BA1");
+    let out = Command::new(bin)
+        .env_remove("TDF_SEED")
+        .env_remove("TDF_RESULTS_DIR")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let unset = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert_eq!(
+        with_default, unset,
+        "unset TDF_SEED must equal the default seed"
+    );
+}

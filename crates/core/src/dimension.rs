@@ -17,8 +17,11 @@ pub enum PrivacyDimension {
 
 impl PrivacyDimension {
     /// All three, in the paper's order.
-    pub const ALL: [PrivacyDimension; 3] =
-        [PrivacyDimension::Respondent, PrivacyDimension::Owner, PrivacyDimension::User];
+    pub const ALL: [PrivacyDimension; 3] = [
+        PrivacyDimension::Respondent,
+        PrivacyDimension::Owner,
+        PrivacyDimension::User,
+    ];
 }
 
 impl fmt::Display for PrivacyDimension {
@@ -117,6 +120,9 @@ mod tests {
     fn display_matches_the_papers_vocabulary() {
         assert_eq!(Grade::MediumHigh.to_string(), "medium-high");
         assert_eq!(Grade::None.to_string(), "none");
-        assert_eq!(PrivacyDimension::Respondent.to_string(), "respondent privacy");
+        assert_eq!(
+            PrivacyDimension::Respondent.to_string(),
+            "respondent privacy"
+        );
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::metrics::{owner_score, respondent_score};
 use crate::pipeline::{DeploymentConfig, ThreeDimensionalDb};
-use rand::Rng;
+use rngkit::Rng;
 use tdf_microdata::patients;
 use tdf_microdata::rng::seeded;
 use tdf_microdata::synth::{patients as synth_patients, PatientConfig};
@@ -59,7 +59,10 @@ pub fn e1_respondent_without_owner() -> Result<ExperimentOutcome> {
 /// condensation [1]) protects both while keeping the data analytically
 /// useful.
 pub fn e2_masking_protects_both() -> Result<ExperimentOutcome> {
-    let d = synth_patients(&PatientConfig { n: 400, ..Default::default() });
+    let d = synth_patients(&PatientConfig {
+        n: 400,
+        ..Default::default()
+    });
     let numeric = d.schema().numeric_indices();
     let mut rng = seeded(2);
     let masked = tdf_ppdm::condensation::condense(&d, &numeric, 5, &mut rng)?;
@@ -73,7 +76,10 @@ pub fn e2_masking_protects_both() -> Result<ExperimentOutcome> {
         facts: vec![
             format!("respondent score: {respondent:.3}"),
             format!("owner score: {owner:.3}"),
-            format!("max correlation drift: {:.3}", utility.max_correlation_drift),
+            format!(
+                "max correlation drift: {:.3}",
+                utility.max_correlation_drift
+            ),
             format!("IL1s information loss: {:.3}", utility.il1s),
         ],
         matches_paper: ok,
@@ -108,8 +114,8 @@ pub fn e3_owner_without_respondent() -> Result<ExperimentOutcome> {
 /// The size filter is defeated by the tracker [22]; exact auditing [7]
 /// stops it; either way the owner logs every query — zero user privacy.
 pub fn e4_interactive_sdc() -> Result<ExperimentOutcome> {
-    let target = Predicate::cmp("height", CmpOp::Lt, 165.0)
-        .and(Predicate::cmp("weight", CmpOp::Gt, 105.0));
+    let target =
+        Predicate::cmp("height", CmpOp::Lt, 165.0).and(Predicate::cmp("weight", CmpOp::Gt, 105.0));
     let tracker = Predicate::cmp("aids", CmpOp::Eq, false);
 
     let mut size_db = StatDb::new(
@@ -145,9 +151,8 @@ pub fn e5_pir_isolation_attack() -> Result<ExperimentOutcome> {
         DeploymentConfig { k: None, pir: true },
     )?;
     let mut rng = seeded(5);
-    let count_q = tdf_querydb::parser::parse(
-        "SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105",
-    )?;
+    let count_q =
+        tdf_querydb::parser::parse("SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105")?;
     let avg_q = tdf_querydb::parser::parse(
         "SELECT AVG(blood_pressure) FROM t WHERE height < 165 AND weight > 105",
     )?;
@@ -173,19 +178,22 @@ pub fn e6_kanon_plus_pir() -> Result<ExperimentOutcome> {
     let original = patients::dataset2();
     let mut db = ThreeDimensionalDb::deploy(
         original.clone(),
-        DeploymentConfig { k: Some(3), pir: true },
+        DeploymentConfig {
+            k: Some(3),
+            pir: true,
+        },
     )?;
     let mut rng = seeded(6);
-    let count_q = tdf_querydb::parser::parse(
-        "SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105",
-    )?;
+    let count_q =
+        tdf_querydb::parser::parse("SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105")?;
     let count = db.private_query(&mut rng, &count_q)?;
     let respondent = respondent_score(&original, db.released())?;
     let isolating = count == Some(1.0);
     let ok = !isolating && respondent >= 1.0 - 1.0 / 3.0 - 1e-9;
     Ok(ExperimentOutcome {
         id: "E6",
-        claim: "k-anonymous records + PIR: no query can isolate a respondent, and queries stay private",
+        claim:
+            "k-anonymous records + PIR: no query can isolate a respondent, and queries stay private",
         facts: vec![
             format!("isolating COUNT now returns {count:?} (was 1 on the raw data)"),
             format!("respondent score of the PIR-served release: {respondent:.3}"),
@@ -202,9 +210,7 @@ pub fn e7_crypto_vs_noncrypto() -> Result<ExperimentOutcome> {
     let mut rng = seeded(7);
     let inputs = [1234u64, 5678, 9012];
     let (sum, transcript) = sharing_secure_sum(&mut rng, &inputs.map(tdf_mathkit::Fp61::new));
-    let inputs_hidden = (0..3).all(|p| {
-        inputs.iter().all(|&v| !transcript.party_saw_value(p, v))
-    });
+    let inputs_hidden = (0..3).all(|p| inputs.iter().all(|&v| !transcript.party_saw_value(p, v)));
 
     let (parties, shape) = toy_partition();
     let id3 = distributed_id3(&mut rng, &parties, &shape, 3);
@@ -240,7 +246,13 @@ fn toy_partition() -> (Vec<PartySlice>, DataShape) {
         slice.rows.push(row);
         slice.labels.push(label);
     }
-    (vec![a, b], DataShape { attribute_cardinalities: vec![3, 2], num_classes: 2 })
+    (
+        vec![a, b],
+        DataShape {
+            attribute_cardinalities: vec![3, 2],
+            num_classes: 2,
+        },
+    )
 }
 
 /// Runs every independence experiment.
@@ -281,13 +293,19 @@ pub fn tradeoff_sweep<R: Rng + ?Sized>(
     n: usize,
     rng: &mut R,
 ) -> Result<Vec<TradeoffPoint>> {
-    let data = synth_patients(&PatientConfig { n, ..Default::default() });
+    let data = synth_patients(&PatientConfig {
+        n,
+        ..Default::default()
+    });
     let numeric = data.schema().numeric_indices();
     let mut out = Vec::with_capacity(ks.len());
     for &k in ks {
         let mut db = ThreeDimensionalDb::deploy(
             data.clone(),
-            DeploymentConfig { k: if k > 1 { Some(k) } else { None }, pir: config_pir },
+            DeploymentConfig {
+                k: if k > 1 { Some(k) } else { None },
+                pir: config_pir,
+            },
         )?;
         let q = tdf_querydb::parser::parse("SELECT AVG(blood_pressure) FROM t WHERE weight > 90")?;
         let before = db.cost();

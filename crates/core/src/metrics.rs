@@ -68,7 +68,10 @@ pub fn owner_score(
 /// * A use-specific PPDM release leaks the query *class* while PIR hides
 ///   the rest: score strictly between.
 pub fn user_score_from_bits(leaked_bits: f64, total_bits: f64) -> f64 {
-    assert!(total_bits > 0.0 && leaked_bits >= 0.0, "bit counts must be sane");
+    assert!(
+        total_bits > 0.0 && leaked_bits >= 0.0,
+        "bit counts must be sane"
+    );
     (1.0 - leaked_bits / total_bits).clamp(0.0, 1.0)
 }
 
@@ -112,7 +115,10 @@ mod tests {
     use tdf_sdc::microaggregation::mdav_microaggregate;
 
     fn data() -> Dataset {
-        patients(&PatientConfig { n: 300, ..Default::default() })
+        patients(&PatientConfig {
+            n: 300,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -135,10 +141,11 @@ mod tests {
         let d = data();
         let mut release = d.clone();
         for c in [0usize, 1, 2] {
-            let mean =
-                tdf_microdata::stats::mean(&d.numeric_column(c)).unwrap();
+            let mean = tdf_microdata::stats::mean(&d.numeric_column(c)).unwrap();
             for i in 0..release.num_rows() {
-                release.set_value(i, c, tdf_microdata::Value::Float(mean)).unwrap();
+                release
+                    .set_value(i, c, tdf_microdata::Value::Float(mean))
+                    .unwrap();
             }
         }
         let s = owner_score(&d, &release, &[0, 1, 2], 0.1).unwrap();
@@ -161,7 +168,7 @@ mod tests {
 
     #[test]
     fn pir_masks_have_no_empirical_leakage() {
-        use rand::Rng;
+        use rngkit::Rng;
         let mut r = seeded(5);
         let n = 32;
         let views: Vec<(usize, Vec<bool>)> = (0..4000)

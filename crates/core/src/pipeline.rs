@@ -13,9 +13,9 @@
 //! those query types": any per-record query type reduces to `n` record
 //! retrievals, which is what we account.)
 
-use parking_lot::RwLock;
-use rand::Rng;
+use rngkit::Rng;
 use std::sync::Arc;
+use std::sync::RwLock;
 use tdf_microdata::{AttributeKind, Dataset, Error, Result, Value};
 use tdf_pir::cost::CostReport;
 use tdf_pir::store::Database;
@@ -83,7 +83,11 @@ pub fn decode_record(data_schema: &tdf_microdata::Schema, rec: &[u8]) -> Result<
                     .try_into()
                     .expect("slice of length 8");
                 let x = f64::from_be_bytes(bytes);
-                row.push(if x.is_nan() { Value::Missing } else { Value::Float(x) });
+                row.push(if x.is_nan() {
+                    Value::Missing
+                } else {
+                    Value::Float(x)
+                });
                 pos += 8;
             }
             _ => {
@@ -168,7 +172,7 @@ impl ThreeDimensionalDb {
     /// Privately fetches record `i` (two-server linear PIR), or reads it
     /// in the clear when the deployment has no PIR layer.
     pub fn fetch<R: Rng + ?Sized>(&mut self, rng: &mut R, index: usize) -> Result<Vec<Value>> {
-        let store = self.store.read();
+        let store = self.store.read().expect("store lock");
         let rec = if self.config.pir {
             let (rec, _views, cost) = tdf_pir::linear::retrieve(rng, &store, 2, index);
             self.cost += cost;
@@ -190,8 +194,12 @@ impl ThreeDimensionalDb {
     /// Evaluates a statistical query entirely client-side over privately
     /// fetched records. Under PIR the servers learn only that *some* full
     /// scan happened — never the predicate or the aggregate.
-    pub fn private_query<R: Rng + ?Sized>(&mut self, rng: &mut R, query: &Query) -> Result<Option<f64>> {
-        let n = self.store.read().len();
+    pub fn private_query<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        query: &Query,
+    ) -> Result<Option<f64>> {
+        let n = self.store.read().expect("store lock").len();
         let mut values = Vec::new();
         let mut count = 0usize;
         for i in 0..n {
@@ -262,9 +270,14 @@ mod tests {
     #[test]
     fn deployment_masks_and_serves() {
         let d = patients::dataset2();
-        let mut db =
-            ThreeDimensionalDb::deploy(d.clone(), DeploymentConfig { k: Some(3), pir: true })
-                .unwrap();
+        let mut db = ThreeDimensionalDb::deploy(
+            d.clone(),
+            DeploymentConfig {
+                k: Some(3),
+                pir: true,
+            },
+        )
+        .unwrap();
         assert!(is_k_anonymous(db.released(), 3));
         let mut r = seeded(1);
         let row = db.fetch(&mut r, 0).unwrap();
@@ -277,8 +290,7 @@ mod tests {
     fn private_query_matches_plain_evaluation_on_release() {
         let d = patients::dataset1();
         let mut db =
-            ThreeDimensionalDb::deploy(d.clone(), DeploymentConfig { k: None, pir: true })
-                .unwrap();
+            ThreeDimensionalDb::deploy(d.clone(), DeploymentConfig { k: None, pir: true }).unwrap();
         let mut r = seeded(2);
         let q = parse("SELECT AVG(blood_pressure) FROM t WHERE height = 170").unwrap();
         let got = db.private_query(&mut r, &q).unwrap().unwrap();
@@ -293,8 +305,14 @@ mod tests {
         // E6 in miniature: Dataset 2 masked to 3-anonymity + PIR. The two
         // §3 queries still *run* (user privacy!), but no longer isolate.
         let d = patients::dataset2();
-        let mut db =
-            ThreeDimensionalDb::deploy(d, DeploymentConfig { k: Some(3), pir: true }).unwrap();
+        let mut db = ThreeDimensionalDb::deploy(
+            d,
+            DeploymentConfig {
+                k: Some(3),
+                pir: true,
+            },
+        )
+        .unwrap();
         let mut r = seeded(3);
         let count = db
             .private_query(
@@ -309,8 +327,14 @@ mod tests {
     #[test]
     fn plaintext_deployment_logs_accesses() {
         let d = patients::dataset1();
-        let mut db =
-            ThreeDimensionalDb::deploy(d, DeploymentConfig { k: Some(3), pir: false }).unwrap();
+        let mut db = ThreeDimensionalDb::deploy(
+            d,
+            DeploymentConfig {
+                k: Some(3),
+                pir: false,
+            },
+        )
+        .unwrap();
         let mut r = seeded(4);
         db.fetch(&mut r, 7).unwrap();
         db.fetch(&mut r, 2).unwrap();
@@ -320,10 +344,16 @@ mod tests {
     #[test]
     fn pir_costs_more_than_plaintext() {
         let d = patients::dataset1();
-        let mut pir_db = ThreeDimensionalDb::deploy(d.clone(), DeploymentConfig { k: None, pir: true })
-            .unwrap();
-        let mut plain_db =
-            ThreeDimensionalDb::deploy(d, DeploymentConfig { k: None, pir: false }).unwrap();
+        let mut pir_db =
+            ThreeDimensionalDb::deploy(d.clone(), DeploymentConfig { k: None, pir: true }).unwrap();
+        let mut plain_db = ThreeDimensionalDb::deploy(
+            d,
+            DeploymentConfig {
+                k: None,
+                pir: false,
+            },
+        )
+        .unwrap();
         let mut r = seeded(5);
         pir_db.fetch(&mut r, 0).unwrap();
         plain_db.fetch(&mut r, 0).unwrap();

@@ -77,8 +77,12 @@ mod tests {
 
     #[test]
     fn json_rendering_is_well_formed() {
-        let rows = scoring_table(&Scenario { n: 100, pir_trials: 100, ..Default::default() })
-            .unwrap();
+        let rows = scoring_table(&Scenario {
+            n: 100,
+            pir_trials: 100,
+            ..Default::default()
+        })
+        .unwrap();
         let json = render_json(&rows);
         // Structural sanity without a JSON parser: balanced brackets and
         // one object per row.
@@ -91,8 +95,12 @@ mod tests {
 
     #[test]
     fn rendering_contains_all_rows_and_grades() {
-        let rows = scoring_table(&Scenario { n: 120, pir_trials: 200, ..Default::default() })
-            .unwrap();
+        let rows = scoring_table(&Scenario {
+            n: 120,
+            pir_trials: 200,
+            ..Default::default()
+        })
+        .unwrap();
         let t2 = render_table2(&rows);
         assert!(t2.contains("SDC + PIR"));
         assert!(t2.contains("Crypto PPDM"));

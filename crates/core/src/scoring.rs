@@ -12,7 +12,7 @@ use crate::metrics::{
     empirical_mask_leakage_bits, owner_score, respondent_score, user_score_from_bits, ScoreCard,
 };
 use crate::technology::TechnologyClass;
-use rand::Rng;
+use rngkit::Rng;
 use tdf_microdata::rng::seeded;
 use tdf_microdata::stats;
 use tdf_microdata::synth::{patients, PatientConfig};
@@ -66,7 +66,11 @@ impl Default for Scenario {
 impl Scenario {
     /// The scenario's population.
     pub fn population(&self) -> Dataset {
-        patients(&PatientConfig { n: self.n, seed: self.seed, ..Default::default() })
+        patients(&PatientConfig {
+            n: self.n,
+            seed: self.seed,
+            ..Default::default()
+        })
     }
 }
 
@@ -93,7 +97,11 @@ pub fn release_for(tech: TechnologyClass, scenario: &Scenario) -> Result<Option<
         TechnologyClass::UseSpecificNonCryptoPpdm | TechnologyClass::UseSpecificPpdmPlusPir => {
             // Agrawal–Srikant noise on every numeric attribute: tuned for
             // one mining task (distribution reconstruction / classifiers).
-            Some(add_noise(&data, &NoiseConfig::new(scenario.noise_alpha, numeric), &mut rng)?)
+            Some(add_noise(
+                &data,
+                &NoiseConfig::new(scenario.noise_alpha, numeric),
+                &mut rng,
+            )?)
         }
         TechnologyClass::GenericNonCryptoPpdm | TechnologyClass::GenericPpdmPlusPir => {
             // Condensation: k-anonymous synthetic data supporting broad
@@ -171,7 +179,11 @@ pub fn score_technology(tech: TechnologyClass, scenario: &Scenario) -> Result<Sc
         }
     };
     let user = measure_user_score(tech, scenario, &mut rng);
-    Ok(ScoreCard { respondent, owner, user })
+    Ok(ScoreCard {
+        respondent,
+        owner,
+        user,
+    })
 }
 
 /// One row of the regenerated Table 2.
@@ -222,32 +234,50 @@ mod tests {
     #[test]
     fn pir_row_matches_the_paper_exactly() {
         let r = row(TechnologyClass::Pir);
-        assert_eq!(r.measured, [Grade::None, Grade::None, Grade::High], "{:?}", r.scores);
+        assert_eq!(
+            r.measured,
+            [Grade::None, Grade::None, Grade::High],
+            "{:?}",
+            r.scores
+        );
     }
 
     #[test]
     fn crypto_ppdm_row_matches_the_paper_exactly() {
         let r = row(TechnologyClass::CryptoPpdm);
-        assert_eq!(r.measured, [Grade::High, Grade::High, Grade::None], "{:?}", r.scores);
+        assert_eq!(
+            r.measured,
+            [Grade::High, Grade::High, Grade::None],
+            "{:?}",
+            r.scores
+        );
     }
 
     #[test]
     fn user_column_matches_the_paper_in_every_row() {
         for r in table() {
-            assert_eq!(r.measured[2], r.paper[2], "{}: {:?}", r.technology, r.scores);
+            assert_eq!(
+                r.measured[2], r.paper[2],
+                "{}: {:?}",
+                r.technology, r.scores
+            );
         }
     }
 
     #[test]
     fn pir_composition_never_changes_data_scores() {
         let t = table();
-        let get = |tech: TechnologyClass| {
-            t.iter().find(|r| r.technology == tech).unwrap().scores
-        };
+        let get = |tech: TechnologyClass| t.iter().find(|r| r.technology == tech).unwrap().scores;
         for (base, combo) in [
             (TechnologyClass::Sdc, TechnologyClass::SdcPlusPir),
-            (TechnologyClass::UseSpecificNonCryptoPpdm, TechnologyClass::UseSpecificPpdmPlusPir),
-            (TechnologyClass::GenericNonCryptoPpdm, TechnologyClass::GenericPpdmPlusPir),
+            (
+                TechnologyClass::UseSpecificNonCryptoPpdm,
+                TechnologyClass::UseSpecificPpdmPlusPir,
+            ),
+            (
+                TechnologyClass::GenericNonCryptoPpdm,
+                TechnologyClass::GenericPpdmPlusPir,
+            ),
         ] {
             let b = get(base);
             let c = get(combo);
@@ -266,7 +296,12 @@ mod tests {
             .scores
             .owner;
         for r in &t {
-            assert!(r.scores.owner <= crypto + 1e-9, "{}: {}", r.technology, r.scores.owner);
+            assert!(
+                r.scores.owner <= crypto + 1e-9,
+                "{}: {}",
+                r.technology,
+                r.scores.owner
+            );
         }
     }
 
@@ -284,7 +319,12 @@ mod tests {
             use_specific.owner,
             sdc.owner
         );
-        assert!(generic.owner > sdc.owner, "generic {} vs SDC {}", generic.owner, sdc.owner);
+        assert!(
+            generic.owner > sdc.owner,
+            "generic {} vs SDC {}",
+            generic.owner,
+            sdc.owner
+        );
     }
 
     #[test]
@@ -323,7 +363,10 @@ mod tests {
                 }
             }
         }
-        assert!(matches >= 20, "only {matches}/24 cells match: {deviations:?}");
+        assert!(
+            matches >= 20,
+            "only {matches}/24 cells match: {deviations:?}"
+        );
     }
 
     #[test]
@@ -339,6 +382,9 @@ mod tests {
         // in view of attaining high user privacy".
         let generic = row(TechnologyClass::GenericPpdmPlusPir).scores.user;
         let specific = row(TechnologyClass::UseSpecificPpdmPlusPir).scores.user;
-        assert!(generic > specific + 0.1, "generic {generic} vs specific {specific}");
+        assert!(
+            generic > specific + 0.1,
+            "generic {generic} vs specific {specific}"
+        );
     }
 }

@@ -126,7 +126,10 @@ mod tests {
                 TechnologyClass::UseSpecificNonCryptoPpdm,
                 TechnologyClass::UseSpecificPpdmPlusPir,
             ),
-            (TechnologyClass::GenericNonCryptoPpdm, TechnologyClass::GenericPpdmPlusPir),
+            (
+                TechnologyClass::GenericNonCryptoPpdm,
+                TechnologyClass::GenericPpdmPlusPir,
+            ),
         ];
         for (base, combo) in pairs {
             assert_eq!(base.paper_grades()[0], combo.paper_grades()[0]);

@@ -1,7 +1,7 @@
 //! The hippocratic database: purpose-bound access with an audit trail.
 
 use crate::policy::{Consent, PrivacyPolicy, Purpose};
-use rand::Rng;
+use rngkit::Rng;
 use tdf_anonymity::is_k_anonymous;
 use tdf_microdata::{Dataset, Error, Result, Value};
 use tdf_sdc::microaggregation::mdav_microaggregate;
@@ -46,7 +46,13 @@ impl HippocraticDb {
                 "consent and age vectors must align with records".into(),
             ));
         }
-        Ok(Self { data, policy, consent, age_days, audit: Vec::new() })
+        Ok(Self {
+            data,
+            policy,
+            consent,
+            age_days,
+            audit: Vec::new(),
+        })
     }
 
     /// The audit trail of every access ever made.
@@ -87,8 +93,7 @@ impl HippocraticDb {
             }
             out.push_row(row)?;
         }
-        let served = attributes.iter().any(|a| self.policy.allows(purpose, a))
-            && !rows.is_empty();
+        let served = attributes.iter().any(|a| self.policy.allows(purpose, a)) && !rows.is_empty();
         self.audit.push(AccessRecord {
             purpose,
             attributes: attributes.iter().map(|s| (*s).to_owned()).collect(),
@@ -127,12 +132,22 @@ impl HippocraticDb {
         let released = if numeric_conf.is_empty() || noise_alpha == 0.0 {
             anonymized
         } else {
-            add_noise(&anonymized, &NoiseConfig::new(noise_alpha, numeric_conf), rng)?
+            add_noise(
+                &anonymized,
+                &NoiseConfig::new(noise_alpha, numeric_conf),
+                rng,
+            )?
         };
         debug_assert!(is_k_anonymous(&released, k));
         self.audit.push(AccessRecord {
             purpose: Purpose::Research,
-            attributes: self.data.schema().names().iter().map(|s| (*s).to_owned()).collect(),
+            attributes: self
+                .data
+                .schema()
+                .names()
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
             records_disclosed: released.num_rows(),
             served: true,
         });
@@ -149,9 +164,17 @@ mod tests {
 
     fn policy() -> PrivacyPolicy {
         PrivacyPolicy::new()
-            .allow(Purpose::Treatment, &["height", "weight", "blood_pressure", "aids"], 3650)
+            .allow(
+                Purpose::Treatment,
+                &["height", "weight", "blood_pressure", "aids"],
+                3650,
+            )
             .allow(Purpose::Billing, &["blood_pressure"], 365)
-            .allow(Purpose::Research, &["height", "weight", "blood_pressure", "aids"], 1825)
+            .allow(
+                Purpose::Research,
+                &["height", "weight", "blood_pressure", "aids"],
+                1825,
+            )
     }
 
     fn db_with(consents: Vec<Consent>, ages: Vec<u32>) -> HippocraticDb {
@@ -173,11 +196,16 @@ mod tests {
     #[test]
     fn billing_gets_unauthorized_columns_suppressed() {
         let mut db = all_consent_db();
-        let out = db.access(Purpose::Billing, &["blood_pressure", "aids"]).unwrap();
+        let out = db
+            .access(Purpose::Billing, &["blood_pressure", "aids"])
+            .unwrap();
         assert_eq!(out.num_rows(), 10);
         for i in 0..out.num_rows() {
             assert!(!out.value(i, 0).is_missing(), "blood_pressure allowed");
-            assert!(out.value(i, 1).is_missing(), "aids must be suppressed for billing");
+            assert!(
+                out.value(i, 1).is_missing(),
+                "aids must be suppressed for billing"
+            );
         }
     }
 
@@ -204,8 +232,18 @@ mod tests {
         let mut ages = vec![0u32; 10];
         ages[3] = 400; // beyond billing's 365, within treatment's 3650
         let mut db = db_with(vec![Consent::all(); 10], ages);
-        assert_eq!(db.access(Purpose::Billing, &["blood_pressure"]).unwrap().num_rows(), 9);
-        assert_eq!(db.access(Purpose::Treatment, &["height"]).unwrap().num_rows(), 10);
+        assert_eq!(
+            db.access(Purpose::Billing, &["blood_pressure"])
+                .unwrap()
+                .num_rows(),
+            9
+        );
+        assert_eq!(
+            db.access(Purpose::Treatment, &["height"])
+                .unwrap()
+                .num_rows(),
+            10
+        );
     }
 
     #[test]
@@ -223,15 +261,14 @@ mod tests {
 
     #[test]
     fn research_release_is_k_anonymous_and_masked() {
-        let data = synth(&PatientConfig { n: 200, ..Default::default() });
+        let data = synth(&PatientConfig {
+            n: 200,
+            ..Default::default()
+        });
         let n = data.num_rows();
-        let mut db = HippocraticDb::new(
-            data.clone(),
-            policy(),
-            vec![Consent::all(); n],
-            vec![0; n],
-        )
-        .unwrap();
+        let mut db =
+            HippocraticDb::new(data.clone(), policy(), vec![Consent::all(); n], vec![0; n])
+                .unwrap();
         let released = db.research_release(5, 0.3, &mut seeded(1)).unwrap();
         assert!(is_k_anonymous(&released, 5));
         // Confidential blood pressures are perturbed.
@@ -249,7 +286,12 @@ mod tests {
 
     #[test]
     fn misaligned_vectors_rejected() {
-        let r = HippocraticDb::new(patients::dataset1(), policy(), vec![Consent::all(); 3], vec![0; 10]);
+        let r = HippocraticDb::new(
+            patients::dataset1(),
+            policy(),
+            vec![Consent::all(); 3],
+            vec![0; 10],
+        );
         assert!(r.is_err());
     }
 

@@ -17,8 +17,12 @@ pub enum Purpose {
 
 impl Purpose {
     /// All purposes, for enumeration in tests and reports.
-    pub const ALL: [Purpose; 4] =
-        [Purpose::Treatment, Purpose::Billing, Purpose::Research, Purpose::Marketing];
+    pub const ALL: [Purpose; 4] = [
+        Purpose::Treatment,
+        Purpose::Billing,
+        Purpose::Research,
+        Purpose::Marketing,
+    ];
 }
 
 /// One policy rule: for `purpose`, the named attributes may be disclosed,
@@ -46,12 +50,7 @@ impl PrivacyPolicy {
     }
 
     /// Adds (or replaces) the rule for a purpose.
-    pub fn allow(
-        mut self,
-        purpose: Purpose,
-        attributes: &[&str],
-        retention_days: u32,
-    ) -> Self {
+    pub fn allow(mut self, purpose: Purpose, attributes: &[&str], retention_days: u32) -> Self {
         self.rules.retain(|r| r.purpose != purpose);
         self.rules.push(PolicyRule {
             purpose,
@@ -68,7 +67,8 @@ impl PrivacyPolicy {
 
     /// True when `attribute` is disclosable for `purpose`.
     pub fn allows(&self, purpose: Purpose, attribute: &str) -> bool {
-        self.rule(purpose).is_some_and(|r| r.attributes.contains(attribute))
+        self.rule(purpose)
+            .is_some_and(|r| r.attributes.contains(attribute))
     }
 
     /// Parses the policy text format (one rule per line, `#` comments):
@@ -88,8 +88,9 @@ impl PrivacyPolicy {
             let rest = line
                 .strip_prefix("purpose ")
                 .ok_or_else(|| err("expected `purpose <name>: ...`"))?;
-            let (name, rest) =
-                rest.split_once(':').ok_or_else(|| err("missing `:` after purpose name"))?;
+            let (name, rest) = rest
+                .split_once(':')
+                .ok_or_else(|| err("missing `:` after purpose name"))?;
             let purpose = match name.trim().to_ascii_lowercase().as_str() {
                 "treatment" => Purpose::Treatment,
                 "billing" => Purpose::Billing,
@@ -135,12 +136,16 @@ impl Consent {
 
     /// Consent to every purpose.
     pub fn all() -> Self {
-        Self { purposes: Purpose::ALL.into_iter().collect() }
+        Self {
+            purposes: Purpose::ALL.into_iter().collect(),
+        }
     }
 
     /// Consent to the listed purposes.
     pub fn to(purposes: &[Purpose]) -> Self {
-        Self { purposes: purposes.iter().copied().collect() }
+        Self {
+            purposes: purposes.iter().copied().collect(),
+        }
     }
 
     /// True when the respondent consented to `purpose`.
@@ -156,7 +161,11 @@ mod tests {
     #[test]
     fn policy_rules_govern_attributes() {
         let p = PrivacyPolicy::new()
-            .allow(Purpose::Treatment, &["height", "weight", "blood_pressure", "aids"], 3650)
+            .allow(
+                Purpose::Treatment,
+                &["height", "weight", "blood_pressure", "aids"],
+                3650,
+            )
             .allow(Purpose::Billing, &["blood_pressure"], 365);
         assert!(p.allows(Purpose::Treatment, "aids"));
         assert!(!p.allows(Purpose::Billing, "aids"));

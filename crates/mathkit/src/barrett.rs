@@ -71,8 +71,8 @@ impl Barrett {
 mod tests {
     use super::*;
     use crate::modular::{pow_mod, random_bits};
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use check::prelude::*;
+    use rngkit::SeedableRng;
 
     #[test]
     fn reduce_matches_rem_small() {
@@ -86,7 +86,7 @@ mod tests {
 
     #[test]
     fn pow_matches_generic_pow_mod_on_big_moduli() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xBA77);
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(0xBA77);
         for bits in [64usize, 128, 257] {
             let mut m = random_bits(&mut rng, bits);
             if m.is_zero() {
@@ -109,7 +109,7 @@ mod tests {
         let _ = Barrett::new(BigUint::zero());
     }
 
-    proptest! {
+    props! {
         #[test]
         fn reduce_matches_rem(x in any::<u128>(), m in 2u64..) {
             let mb = BigUint::from_u64(m);

@@ -26,18 +26,27 @@ pub struct BigInt {
 impl BigInt {
     /// Zero.
     pub fn zero() -> Self {
-        Self { negative: false, magnitude: BigUint::zero() }
+        Self {
+            negative: false,
+            magnitude: BigUint::zero(),
+        }
     }
 
     /// One.
     pub fn one() -> Self {
-        Self { negative: false, magnitude: BigUint::one() }
+        Self {
+            negative: false,
+            magnitude: BigUint::one(),
+        }
     }
 
     /// Builds from a sign and magnitude.
     pub fn from_biguint(negative: bool, magnitude: BigUint) -> Self {
         let negative = negative && !magnitude.is_zero();
-        Self { negative, magnitude }
+        Self {
+            negative,
+            magnitude,
+        }
     }
 
     /// Builds from an `i64`.
@@ -94,7 +103,10 @@ impl BigInt {
 
     /// Absolute value.
     pub fn abs(&self) -> Self {
-        Self { negative: false, magnitude: self.magnitude.clone() }
+        Self {
+            negative: false,
+            magnitude: self.magnitude.clone(),
+        }
     }
 
     /// Sum.
@@ -104,14 +116,12 @@ impl BigInt {
         } else {
             match self.magnitude.cmp_magnitude(&other.magnitude) {
                 Ordering::Equal => Self::zero(),
-                Ordering::Greater => Self::from_biguint(
-                    self.negative,
-                    self.magnitude.sub_ref(&other.magnitude),
-                ),
-                Ordering::Less => Self::from_biguint(
-                    other.negative,
-                    other.magnitude.sub_ref(&self.magnitude),
-                ),
+                Ordering::Greater => {
+                    Self::from_biguint(self.negative, self.magnitude.sub_ref(&other.magnitude))
+                }
+                Ordering::Less => {
+                    Self::from_biguint(other.negative, other.magnitude.sub_ref(&self.magnitude))
+                }
             }
         }
     }
@@ -220,7 +230,7 @@ impl From<i64> for BigInt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::prelude::*;
 
     #[test]
     fn signs() {
@@ -228,7 +238,10 @@ mod tests {
         assert_eq!(BigInt::zero().sign(), Sign::Zero);
         assert_eq!(BigInt::from_i64(5).sign(), Sign::Positive);
         // Negative zero must normalize to zero.
-        assert_eq!(BigInt::from_biguint(true, BigUint::zero()).sign(), Sign::Zero);
+        assert_eq!(
+            BigInt::from_biguint(true, BigUint::zero()).sign(),
+            Sign::Zero
+        );
     }
 
     #[test]
@@ -237,7 +250,7 @@ mod tests {
         assert_eq!(BigInt::zero().to_string(), "0");
     }
 
-    proptest! {
+    props! {
         #[test]
         fn add_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
             let s = BigInt::from_i128(a).add_ref(&BigInt::from_i128(b));

@@ -43,7 +43,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut s = Self { limbs: vec![lo, hi] };
+        let mut s = Self {
+            limbs: vec![lo, hi],
+        };
         s.normalize();
         s
     }
@@ -222,7 +224,11 @@ impl BigUint {
         let (b1, b0) = split(other);
         let z0 = a0.mul_ref(&b0);
         let z2 = a1.mul_ref(&b1);
-        let z1 = a0.add_ref(&a1).mul_ref(&b0.add_ref(&b1)).sub_ref(&z0).sub_ref(&z2);
+        let z1 = a0
+            .add_ref(&a1)
+            .mul_ref(&b0.add_ref(&b1))
+            .sub_ref(&z0)
+            .sub_ref(&z2);
         z2.shl_bits(2 * m * 64)
             .add_ref(&z1.shl_bits(m * 64))
             .add_ref(&z0)
@@ -288,7 +294,11 @@ impl BigUint {
         } else {
             for i in 0..src.len() {
                 let lo = src[i] >> bit_shift;
-                let hi = if i + 1 < src.len() { src[i + 1] << (64 - bit_shift) } else { 0 };
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
                 out.push(lo | hi);
             }
         }
@@ -339,9 +349,7 @@ impl BigUint {
             let top = (u[j + n] as u128) << 64 | u[j + n - 1] as u128;
             let mut qhat = top / v[n - 1] as u128;
             let mut rhat = top % v[n - 1] as u128;
-            while qhat >= b
-                || qhat * v[n - 2] as u128 > (rhat << 64 | u[j + n - 2] as u128)
-            {
+            while qhat >= b || qhat * v[n - 2] as u128 > (rhat << 64 | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v[n - 1] as u128;
                 if rhat >= b {
@@ -412,7 +420,9 @@ impl BigUint {
         let mut acc = Self::zero();
         let ten = Self::from_u64(10);
         for b in s.bytes() {
-            acc = acc.mul_ref(&ten).add_ref(&Self::from_u64((b - b'0') as u64));
+            acc = acc
+                .mul_ref(&ten)
+                .add_ref(&Self::from_u64((b - b'0') as u64));
         }
         Some(acc)
     }
@@ -514,7 +524,7 @@ impl From<u128> for BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::prelude::*;
 
     #[test]
     fn construction_and_views() {
@@ -595,7 +605,7 @@ mod tests {
         assert_eq!(BigUint::zero().gcd(&BigUint::from_u64(5)).to_u64(), Some(5));
     }
 
-    proptest! {
+    props! {
         #[test]
         fn add_matches_u128(a in any::<u64>() , b in any::<u64>()) {
             let s = BigUint::from_u64(a).add_ref(&BigUint::from_u64(b));
@@ -623,8 +633,8 @@ mod tests {
         }
 
         #[test]
-        fn multi_limb_div_identity(a in proptest::collection::vec(any::<u64>(), 1..8),
-                                   b in proptest::collection::vec(any::<u64>(), 1..5)) {
+        fn multi_limb_div_identity(a in vec(any::<u64>(), 1..8),
+                                   b in vec(any::<u64>(), 1..5)) {
             let a = BigUint::from_limbs(a);
             let b = BigUint::from_limbs(b);
             prop_assume!(!b.is_zero());
@@ -634,27 +644,27 @@ mod tests {
         }
 
         #[test]
-        fn karatsuba_matches_schoolbook(a in proptest::collection::vec(any::<u64>(), 20..60),
-                                        b in proptest::collection::vec(any::<u64>(), 20..60)) {
+        fn karatsuba_matches_schoolbook(a in vec(any::<u64>(), 20..60),
+                                        b in vec(any::<u64>(), 20..60)) {
             let x = BigUint::from_limbs(a);
             let y = BigUint::from_limbs(b);
             prop_assert_eq!(x.mul_karatsuba(&y), x.mul_schoolbook(&y));
         }
 
         #[test]
-        fn decimal_round_trips(a in proptest::collection::vec(any::<u64>(), 0..5)) {
+        fn decimal_round_trips(a in vec(any::<u64>(), 0..5)) {
             let v = BigUint::from_limbs(a);
             prop_assert_eq!(BigUint::from_decimal(&v.to_decimal()).unwrap(), v);
         }
 
         #[test]
-        fn bytes_round_trips(a in proptest::collection::vec(any::<u64>(), 0..5)) {
+        fn bytes_round_trips(a in vec(any::<u64>(), 0..5)) {
             let v = BigUint::from_limbs(a);
             prop_assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
         }
 
         #[test]
-        fn shift_round_trips(a in proptest::collection::vec(any::<u64>(), 0..4),
+        fn shift_round_trips(a in vec(any::<u64>(), 0..4),
                              s in 0usize..200) {
             let v = BigUint::from_limbs(a);
             prop_assert_eq!(v.shl_bits(s).shr_bits(s), v);

@@ -4,7 +4,7 @@
 //! hold any aggregate the PPDM protocols compute (sums of millions of
 //! 32-bit values) and small enough that multiplication fits in `u128`.
 
-use rand::Rng;
+use rngkit::Rng;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
@@ -121,7 +121,11 @@ impl AddAssign for Fp61 {
 impl Sub for Fp61 {
     type Output = Fp61;
     fn sub(self, rhs: Fp61) -> Fp61 {
-        Fp61(if self.0 >= rhs.0 { self.0 - rhs.0 } else { self.0 + P - rhs.0 })
+        Fp61(if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + P - rhs.0
+        })
     }
 }
 impl SubAssign for Fp61 {
@@ -179,8 +183,8 @@ impl From<u64> for Fp61 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use check::prelude::*;
+    use rngkit::SeedableRng;
 
     #[test]
     fn identities() {
@@ -213,7 +217,7 @@ mod tests {
 
     #[test]
     fn fermat_inverse() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(5);
         for _ in 0..100 {
             let a = Fp61::random(&mut rng);
             if a.is_zero() {
@@ -225,13 +229,13 @@ mod tests {
 
     #[test]
     fn random_is_in_range() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(6);
         for _ in 0..1000 {
             assert!(Fp61::random(&mut rng).raw() < P);
         }
     }
 
-    proptest! {
+    props! {
         #[test]
         fn mul_matches_u128(a in 0..P, b in 0..P) {
             let expected = (a as u128 * b as u128 % P as u128) as u64;

@@ -25,7 +25,12 @@ pub struct QMatrix {
 impl QMatrix {
     /// An empty system over `cols` unknowns.
     pub fn new(cols: usize) -> Self {
-        Self { cols, rows: Vec::new(), rhs: Vec::new(), pivots: Vec::new() }
+        Self {
+            cols,
+            rows: Vec::new(),
+            rhs: Vec::new(),
+            pivots: Vec::new(),
+        }
     }
 
     /// Number of unknowns.
@@ -103,7 +108,11 @@ impl QMatrix {
             }
         }
         // Insert keeping pivot order.
-        let at = self.pivots.iter().position(|&p| p > pivot).unwrap_or(self.pivots.len());
+        let at = self
+            .pivots
+            .iter()
+            .position(|&p| p > pivot)
+            .unwrap_or(self.pivots.len());
         self.rows.insert(at, row);
         self.rhs.insert(at, b);
         self.pivots.insert(at, pivot);
@@ -127,10 +136,13 @@ impl QMatrix {
         for (i, &p) in self.pivots.iter().enumerate() {
             if p == target {
                 // Determined iff the row is exactly the unit vector e_target.
-                let unit = self.rows[i]
-                    .iter()
-                    .enumerate()
-                    .all(|(c, v)| if c == target { !v.is_zero() } else { v.is_zero() });
+                let unit = self.rows[i].iter().enumerate().all(|(c, v)| {
+                    if c == target {
+                        !v.is_zero()
+                    } else {
+                        v.is_zero()
+                    }
+                });
                 if unit {
                     return Some(self.rhs[i].clone());
                 }
@@ -157,7 +169,10 @@ impl QMatrix {
 /// Solves the square system `a · x = b` exactly; `None` when singular.
 pub fn solve(a: &[Vec<Rational>], b: &[Rational]) -> Option<Vec<Rational>> {
     let n = a.len();
-    assert!(a.iter().all(|r| r.len() == n) && b.len() == n, "square system expected");
+    assert!(
+        a.iter().all(|r| r.len() == n) && b.len() == n,
+        "square system expected"
+    );
     let mut m = QMatrix::new(n);
     for (row, rhs) in a.iter().zip(b) {
         m.absorb(row, rhs);

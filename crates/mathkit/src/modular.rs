@@ -4,7 +4,7 @@
 
 use crate::bigint::BigInt;
 use crate::biguint::BigUint;
-use rand::Rng;
+use rngkit::Rng;
 
 /// `(a + b) mod m`.
 pub fn add_mod(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
@@ -44,7 +44,11 @@ pub fn pow_mod(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
 /// `a·x + b·y = g = gcd(a, b)`.
 pub fn extended_gcd(a: &BigInt, b: &BigInt) -> (BigInt, BigInt, BigInt) {
     if b.is_zero() {
-        let sign_fix = if a.is_negative() { BigInt::from_i64(-1) } else { BigInt::one() };
+        let sign_fix = if a.is_negative() {
+            BigInt::from_i64(-1)
+        } else {
+            BigInt::one()
+        };
         return (a.abs(), sign_fix, BigInt::zero());
     }
     let (q, r) = a.div_rem(b);
@@ -75,7 +79,10 @@ pub fn inv_mod(a: &BigUint, m: &BigUint) -> Option<BigUint> {
 
 /// Jacobi symbol `(a/n)` for odd positive `n`; returns −1, 0 or 1.
 pub fn jacobi(a: &BigUint, n: &BigUint) -> i32 {
-    assert!(!n.is_even() && !n.is_zero(), "Jacobi symbol needs odd positive n");
+    assert!(
+        !n.is_even() && !n.is_zero(),
+        "Jacobi symbol needs odd positive n"
+    );
     let mut a = a.rem_ref(n);
     let mut n = n.clone();
     let mut t = 1i32;
@@ -142,8 +149,8 @@ pub fn random_unit<R: Rng + ?Sized>(rng: &mut R, m: &BigUint) -> BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use check::prelude::*;
+    use rngkit::SeedableRng;
 
     fn big(v: u64) -> BigUint {
         BigUint::from_u64(v)
@@ -200,7 +207,7 @@ mod tests {
 
     #[test]
     fn random_below_respects_bound() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(1);
         let bound = BigUint::from_u128(1u128 << 90);
         for _ in 0..100 {
             let v = random_below(&mut rng, &bound);
@@ -210,7 +217,7 @@ mod tests {
 
     #[test]
     fn random_unit_is_coprime() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(2);
         let m = big(100);
         for _ in 0..50 {
             let u = random_unit(&mut rng, &m);
@@ -218,7 +225,7 @@ mod tests {
         }
     }
 
-    proptest! {
+    props! {
         #[test]
         fn pow_mod_matches_u128(b in any::<u32>(), e in 0u32..64, m in 2u64..) {
             let expected = {

@@ -19,12 +19,18 @@ pub struct Rational {
 impl Rational {
     /// Zero.
     pub fn zero() -> Self {
-        Self { num: BigInt::zero(), den: BigInt::one() }
+        Self {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// One.
     pub fn one() -> Self {
-        Self { num: BigInt::one(), den: BigInt::one() }
+        Self {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Builds `num/den`; panics when `den` is zero.
@@ -37,7 +43,10 @@ impl Rational {
 
     /// Builds from an integer.
     pub fn from_int(v: i64) -> Self {
-        Self { num: BigInt::from_i64(v), den: BigInt::one() }
+        Self {
+            num: BigInt::from_i64(v),
+            den: BigInt::one(),
+        }
     }
 
     /// Builds `p/q` from machine integers; panics when `q` is zero.
@@ -84,7 +93,9 @@ impl Rational {
     /// Sum.
     pub fn add_ref(&self, other: &Self) -> Self {
         Self::new(
-            self.num.mul_ref(&other.den).add_ref(&other.num.mul_ref(&self.den)),
+            self.num
+                .mul_ref(&other.den)
+                .add_ref(&other.num.mul_ref(&self.den)),
             self.den.mul_ref(&other.den),
         )
     }
@@ -107,7 +118,10 @@ impl Rational {
 
     /// Negation.
     pub fn neg_ref(&self) -> Self {
-        Self { num: self.num.neg_ref(), den: self.den.clone() }
+        Self {
+            num: self.num.neg_ref(),
+            den: self.den.clone(),
+        }
     }
 
     /// Approximate `f64` value (for reporting only, never for auditing).
@@ -121,7 +135,9 @@ impl Rational {
 
     /// Comparison.
     pub fn cmp_value(&self, other: &Self) -> Ordering {
-        self.num.mul_ref(&other.den).cmp_value(&other.num.mul_ref(&self.den))
+        self.num
+            .mul_ref(&other.den)
+            .cmp_value(&other.num.mul_ref(&self.den))
     }
 }
 
@@ -185,7 +201,7 @@ impl fmt::Display for Rational {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::prelude::*;
 
     #[test]
     fn reduction_and_sign_normalisation() {
@@ -224,7 +240,7 @@ mod tests {
         assert!((Rational::from_ratio(-7, 2).to_f64() + 3.5).abs() < 1e-12);
     }
 
-    proptest! {
+    props! {
         #[test]
         fn field_ops_match_f64(a in -1000i64..1000, b in 1i64..1000,
                                c in -1000i64..1000, d in 1i64..1000) {

@@ -1,9 +1,7 @@
 //! Attribute definitions: kind (statistical type) and disclosure role.
 
-use serde::{Deserialize, Serialize};
-
 /// Statistical type of an attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttributeKind {
     /// Real-valued (height in cm, income in EUR).
     Continuous,
@@ -27,7 +25,7 @@ impl AttributeKind {
 
 /// Disclosure role of an attribute, following the taxonomy of §2 of the
 /// paper (after Dalenius [9] and Samarati [20]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttributeRole {
     /// Directly identifies the respondent; removed before any processing.
     Identifier,
@@ -42,7 +40,7 @@ pub enum AttributeRole {
 }
 
 /// One column of a microdata schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttributeDef {
     /// Column name, unique within a schema.
     pub name: String,
@@ -55,12 +53,20 @@ pub struct AttributeDef {
 impl AttributeDef {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, kind: AttributeKind, role: AttributeRole) -> Self {
-        Self { name: name.into(), kind, role }
+        Self {
+            name: name.into(),
+            kind,
+            role,
+        }
     }
 
     /// A continuous quasi-identifier (the most common case in this repo).
     pub fn continuous_qi(name: impl Into<String>) -> Self {
-        Self::new(name, AttributeKind::Continuous, AttributeRole::QuasiIdentifier)
+        Self::new(
+            name,
+            AttributeKind::Continuous,
+            AttributeRole::QuasiIdentifier,
+        )
     }
 
     /// A continuous confidential attribute.

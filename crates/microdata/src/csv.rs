@@ -44,7 +44,10 @@ fn quote(s: &str) -> String {
 pub fn from_csv(schema: Schema, text: &str) -> Result<Dataset> {
     let mut lines = split_records(text);
     if lines.is_empty() {
-        return Err(Error::Csv { line: 0, message: "empty input".into() });
+        return Err(Error::Csv {
+            line: 0,
+            message: "empty input".into(),
+        });
     }
     let header = parse_record(&lines.remove(0), 1)?;
     let expected: Vec<&str> = schema.names();
@@ -72,7 +75,11 @@ pub fn from_csv(schema: Schema, text: &str) -> Result<Dataset> {
         }
         let mut row = Vec::with_capacity(cells.len());
         for (i, cell) in cells.iter().enumerate() {
-            row.push(parse_cell(cell, data.schema().attribute(i).kind, lineno + 2)?);
+            row.push(parse_cell(
+                cell,
+                data.schema().attribute(i).kind,
+                lineno + 2,
+            )?);
         }
         data.push_row(row).map_err(|e| Error::Csv {
             line: lineno + 2,
@@ -157,7 +164,10 @@ fn parse_record(line: &str, lineno: usize) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(Error::Csv { line: lineno, message: "unterminated quote".into() });
+        return Err(Error::Csv {
+            line: lineno,
+            message: "unterminated quote".into(),
+        });
     }
     cells.push(cur);
     Ok(cells)
@@ -171,7 +181,11 @@ mod tests {
     fn schema() -> Schema {
         Schema::new(vec![
             AttributeDef::continuous_qi("height"),
-            AttributeDef::new("city", AttributeKind::Nominal, AttributeRole::QuasiIdentifier),
+            AttributeDef::new(
+                "city",
+                AttributeKind::Nominal,
+                AttributeRole::QuasiIdentifier,
+            ),
             AttributeDef::boolean_confidential("aids"),
         ])
         .unwrap()
@@ -196,7 +210,11 @@ mod tests {
     fn quoted_cells_with_commas_and_quotes() {
         let d = Dataset::with_rows(
             schema(),
-            vec![vec![170.0.into(), "a \"quoted\", city".into(), false.into()]],
+            vec![vec![
+                170.0.into(),
+                "a \"quoted\", city".into(),
+                false.into(),
+            ]],
         )
         .unwrap();
         let back = from_csv(schema(), &to_csv(&d)).unwrap();

@@ -4,7 +4,6 @@ use crate::attribute::AttributeRole;
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -14,7 +13,7 @@ use std::fmt;
 /// the purposes of re-identification experiments (an attacker "re-identifies"
 /// a respondent when it correctly recovers a row index of the original
 /// dataset from released information).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     schema: Schema,
     rows: Vec<Vec<Value>>,
@@ -23,7 +22,10 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset over `schema`.
     pub fn new(schema: Schema) -> Self {
-        Self { schema, rows: Vec::new() }
+        Self {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Creates a dataset and bulk-loads `rows`, validating each.
@@ -58,7 +60,10 @@ impl Dataset {
     /// Appends a record after arity and type validation.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.schema.len() {
-            return Err(Error::ArityMismatch { expected: self.schema.len(), got: row.len() });
+            return Err(Error::ArityMismatch {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
         }
         for (i, v) in row.iter().enumerate() {
             if !self.schema.value_fits(i, v) {
@@ -194,15 +199,19 @@ impl Dataset {
         }
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        Ok(Dataset { schema: self.schema.clone(), rows })
+        Ok(Dataset {
+            schema: self.schema.clone(),
+            rows,
+        })
     }
 
     /// Splits the records into `parts` nearly-equal horizontal partitions
     /// (used to distribute data among SMC parties).
     pub fn horizontal_partition(&self, parts: usize) -> Vec<Dataset> {
         assert!(parts > 0, "parts must be positive");
-        let mut out: Vec<Dataset> =
-            (0..parts).map(|_| Dataset::new(self.schema.clone())).collect();
+        let mut out: Vec<Dataset> = (0..parts)
+            .map(|_| Dataset::new(self.schema.clone()))
+            .collect();
         for (i, row) in self.rows.iter().enumerate() {
             out[i % parts].rows.push(row.clone());
         }
@@ -275,19 +284,20 @@ mod tests {
     fn push_row_validates_arity() {
         let mut d = Dataset::new(schema());
         let err = d.push_row(vec![Value::Float(1.0)]).unwrap_err();
-        assert!(matches!(err, Error::ArityMismatch { expected: 4, got: 1 }));
+        assert!(matches!(
+            err,
+            Error::ArityMismatch {
+                expected: 4,
+                got: 1
+            }
+        ));
     }
 
     #[test]
     fn push_row_validates_types() {
         let mut d = Dataset::new(schema());
         let err = d
-            .push_row(vec![
-                "tall".into(),
-                80.0.into(),
-                135.0.into(),
-                true.into(),
-            ])
+            .push_row(vec!["tall".into(), 80.0.into(), 135.0.into(), true.into()])
             .unwrap_err();
         assert!(matches!(err, Error::TypeMismatch { .. }));
     }

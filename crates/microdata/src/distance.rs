@@ -31,7 +31,11 @@ impl Standardizer {
             let sd = stats::std_dev(&xs).unwrap_or(1.0);
             stds.push(if sd > 0.0 { sd } else { 1.0 });
         }
-        Self { cols: cols.to_vec(), means, stds }
+        Self {
+            cols: cols.to_vec(),
+            means,
+            stds,
+        }
     }
 
     /// Columns this standardizer covers.
@@ -104,11 +108,7 @@ pub fn mixed_distance(
 
 /// Index of the record in `candidates` nearest to `target` (standardised
 /// Euclidean over `std`'s columns). Returns `None` when `candidates` is empty.
-pub fn nearest_record(
-    std: &Standardizer,
-    target: &[Value],
-    candidates: &Dataset,
-) -> Option<usize> {
+pub fn nearest_record(std: &Standardizer, target: &[Value], candidates: &Dataset) -> Option<usize> {
     if candidates.is_empty() {
         return None;
     }
@@ -185,10 +185,7 @@ mod tests {
         .unwrap();
         let d = Dataset::with_rows(
             schema,
-            vec![
-                vec![5.0.into(), 1.0.into()],
-                vec![5.0.into(), 2.0.into()],
-            ],
+            vec![vec![5.0.into(), 1.0.into()], vec![5.0.into(), 2.0.into()]],
         )
         .unwrap();
         let s = Standardizer::fit(&d, &[0, 1]);

@@ -26,6 +26,8 @@ pub enum Error {
     NotNumeric(String),
     /// CSV text could not be parsed.
     Csv { line: usize, message: String },
+    /// Serialised text (JSON / TSV) could not be parsed.
+    Serial(String),
     /// A parameter was outside its valid domain.
     InvalidParameter(String),
 }
@@ -35,15 +37,26 @@ impl fmt::Display for Error {
         match self {
             Error::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
             Error::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} attributes, row has {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} attributes, row has {got}"
+                )
             }
-            Error::TypeMismatch { attribute, expected, got } => {
-                write!(f, "type mismatch for `{attribute}`: expected {expected}, got {got}")
+            Error::TypeMismatch {
+                attribute,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch for `{attribute}`: expected {expected}, got {got}"
+                )
             }
             Error::SchemaMismatch => write!(f, "datasets do not share a schema"),
             Error::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
             Error::NotNumeric(name) => write!(f, "attribute `{name}` is not numeric"),
             Error::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            Error::Serial(message) => write!(f, "serialisation error: {message}"),
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
     }
@@ -59,19 +72,41 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(Error, &str)> = vec![
             (Error::UnknownAttribute("age".into()), "age"),
-            (Error::ArityMismatch { expected: 4, got: 3 }, "4"),
             (
-                Error::TypeMismatch { attribute: "h".into(), expected: "float", got: "str" },
+                Error::ArityMismatch {
+                    expected: 4,
+                    got: 3,
+                },
+                "4",
+            ),
+            (
+                Error::TypeMismatch {
+                    attribute: "h".into(),
+                    expected: "float",
+                    got: "str",
+                },
                 "float",
             ),
             (Error::SchemaMismatch, "schema"),
             (Error::EmptyDataset, "non-empty"),
             (Error::NotNumeric("aids".into()), "aids"),
-            (Error::Csv { line: 7, message: "bad quote".into() }, "line 7"),
-            (Error::InvalidParameter("k must be >= 2".into()), "k must be >= 2"),
+            (
+                Error::Csv {
+                    line: 7,
+                    message: "bad quote".into(),
+                },
+                "line 7",
+            ),
+            (
+                Error::InvalidParameter("k must be >= 2".into()),
+                "k must be >= 2",
+            ),
         ];
         for (err, needle) in cases {
-            assert!(err.to_string().contains(needle), "{err} should mention {needle}");
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
         }
     }
 }

@@ -16,10 +16,11 @@
 //!   AIDS status);
 //! * **non-confidential** — everything else.
 //!
-//! The crate provides typed values, schemas, datasets, CSV I/O, summary
-//! statistics, record distances, deterministic random sampling, the synthetic
-//! populations used by every experiment in this repository, and faithful
-//! reconstructions of the paper's Table 1 toy datasets.
+//! The crate provides typed values, schemas, datasets, CSV/TSV/JSON I/O
+//! (all hand-rolled — the workspace builds with zero external crates),
+//! summary statistics, record distances, deterministic random sampling, the
+//! synthetic populations used by every experiment in this repository, and
+//! faithful reconstructions of the paper's Table 1 toy datasets.
 //!
 //! ```
 //! use tdf_microdata::patients;
@@ -37,6 +38,7 @@ pub mod patients;
 pub mod rng;
 pub mod sampling;
 pub mod schema;
+pub mod ser;
 pub mod stats;
 pub mod synth;
 pub mod value;

@@ -127,15 +127,11 @@ mod tests {
     #[test]
     fn dataset2_isolation_predicate_matches_exactly_one_record() {
         let d = dataset2();
-        let idx = d.matching_indices(|r| {
-            r[0].as_f64().unwrap() < 165.0 && r[1].as_f64().unwrap() > 105.0
-        });
+        let idx = d
+            .matching_indices(|r| r[0].as_f64().unwrap() < 165.0 && r[1].as_f64().unwrap() > 105.0);
         assert_eq!(idx, vec![DATASET2_ISOLATED_ROW]);
         // ... and that record's blood pressure is 146, as in the paper.
-        assert_eq!(
-            d.value(DATASET2_ISOLATED_ROW, 2).as_f64().unwrap(),
-            146.0
-        );
+        assert_eq!(d.value(DATASET2_ISOLATED_ROW, 2).as_f64().unwrap(), 146.0);
     }
 
     #[test]

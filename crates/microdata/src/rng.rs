@@ -5,8 +5,8 @@
 //! dependencies: Gaussian variates come from Box–Muller, Laplace variates
 //! from inverse-CDF sampling.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rngkit::rngs::StdRng;
+use rngkit::{Rng, SeedableRng};
 
 /// A seeded RNG for reproducible experiments.
 pub fn seeded(seed: u64) -> StdRng {
@@ -91,7 +91,9 @@ mod tests {
     #[test]
     fn correlated_normals_hit_target_rho() {
         let mut r = seeded(9);
-        let pairs: Vec<(f64, f64)> = (0..20_000).map(|_| correlated_normals(&mut r, 0.8)).collect();
+        let pairs: Vec<(f64, f64)> = (0..20_000)
+            .map(|_| correlated_normals(&mut r, 0.8))
+            .collect();
         let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
         let rho = stats::correlation(&xs, &ys).unwrap();

@@ -6,7 +6,7 @@
 
 use crate::dataset::Dataset;
 use crate::rng::permutation;
-use rand::Rng;
+use rngkit::Rng;
 
 /// A shuffled dataset together with the permutation that produced it:
 /// `shuffled.row(i) == original.row(order[i])`.
@@ -23,7 +23,8 @@ pub fn shuffle<R: Rng + ?Sized>(data: &Dataset, rng: &mut R) -> Shuffled {
     let order = permutation(rng, data.num_rows());
     let mut out = Dataset::new(data.schema().clone());
     for &i in &order {
-        out.push_row(data.row(i).to_vec()).expect("row already validated");
+        out.push_row(data.row(i).to_vec())
+            .expect("row already validated");
     }
     Shuffled { data: out, order }
 }
@@ -35,13 +36,18 @@ pub fn sample_without_replacement<R: Rng + ?Sized>(
     k: usize,
     rng: &mut R,
 ) -> (Dataset, Vec<usize>) {
-    assert!(k <= data.num_rows(), "cannot sample {k} of {}", data.num_rows());
+    assert!(
+        k <= data.num_rows(),
+        "cannot sample {k} of {}",
+        data.num_rows()
+    );
     let mut chosen = permutation(rng, data.num_rows());
     chosen.truncate(k);
     chosen.sort_unstable();
     let mut out = Dataset::new(data.schema().clone());
     for &i in &chosen {
-        out.push_row(data.row(i).to_vec()).expect("row already validated");
+        out.push_row(data.row(i).to_vec())
+            .expect("row already validated");
     }
     (out, chosen)
 }
@@ -77,7 +83,10 @@ mod tests {
     use crate::synth::{patients, PatientConfig};
 
     fn data() -> Dataset {
-        patients(&PatientConfig { n: 50, ..Default::default() })
+        patients(&PatientConfig {
+            n: 50,
+            ..Default::default()
+        })
     }
 
     #[test]

@@ -2,14 +2,13 @@
 
 use crate::attribute::{AttributeDef, AttributeKind, AttributeRole};
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// An ordered list of attribute definitions.
 ///
 /// Schemas are cheap to clone and are shared by an original dataset and all
 /// of its masked releases — masking never changes the schema, only the cell
 /// values (suppression writes [`crate::Value::Missing`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     attributes: Vec<AttributeDef>,
 }
@@ -99,7 +98,10 @@ impl Schema {
     /// Sub-schema restricted to the given column indices (order preserved).
     pub fn project(&self, indices: &[usize]) -> Schema {
         Schema {
-            attributes: indices.iter().map(|&i| self.attributes[i].clone()).collect(),
+            attributes: indices
+                .iter()
+                .map(|&i| self.attributes[i].clone())
+                .collect(),
         }
     }
 

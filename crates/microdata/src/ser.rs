@@ -1,0 +1,747 @@
+//! Hand-rolled, self-describing dataset serialisation (JSON and TSV).
+//!
+//! The workspace is hermetic — `serde` is banned along with every other
+//! registry dependency — so the two interchange formats the toolkit
+//! needs are implemented directly here:
+//!
+//! * **JSON**: a self-describing document carrying the schema (name,
+//!   kind, role per attribute) and the rows. Cells are tagged so the
+//!   exact [`Value`] variant round-trips: `{"i":3}` for `Int`,
+//!   `{"f":1.5}` for `Float` (non-finite floats encode as strings),
+//!   `{"s":"…"}` for `Str`, `true`/`false` for `Bool`, `null` for
+//!   `Missing`.
+//! * **TSV**: a `#schema` header line (`name:kind:role` per column),
+//!   a column-name line, then one escaped record per line. `\N` encodes
+//!   a missing cell (the classic dump convention), and tab / newline /
+//!   backslash are escaped so arbitrary strings survive.
+//!
+//! Both directions validate against the embedded schema, so a parsed
+//! dataset is as well-formed as one built through [`Dataset::push_row`].
+
+use crate::attribute::{AttributeDef, AttributeKind, AttributeRole};
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Schema tag tables
+// ---------------------------------------------------------------------------
+
+fn kind_tag(kind: AttributeKind) -> &'static str {
+    match kind {
+        AttributeKind::Continuous => "continuous",
+        AttributeKind::Integer => "integer",
+        AttributeKind::Nominal => "nominal",
+        AttributeKind::Ordinal => "ordinal",
+        AttributeKind::Boolean => "boolean",
+    }
+}
+
+fn kind_from_tag(tag: &str) -> Result<AttributeKind> {
+    Ok(match tag {
+        "continuous" => AttributeKind::Continuous,
+        "integer" => AttributeKind::Integer,
+        "nominal" => AttributeKind::Nominal,
+        "ordinal" => AttributeKind::Ordinal,
+        "boolean" => AttributeKind::Boolean,
+        other => return Err(Error::Serial(format!("unknown attribute kind `{other}`"))),
+    })
+}
+
+fn role_tag(role: AttributeRole) -> &'static str {
+    match role {
+        AttributeRole::Identifier => "identifier",
+        AttributeRole::QuasiIdentifier => "quasi_identifier",
+        AttributeRole::Confidential => "confidential",
+        AttributeRole::NonConfidential => "non_confidential",
+    }
+}
+
+fn role_from_tag(tag: &str) -> Result<AttributeRole> {
+    Ok(match tag {
+        "identifier" => AttributeRole::Identifier,
+        "quasi_identifier" => AttributeRole::QuasiIdentifier,
+        "confidential" => AttributeRole::Confidential,
+        "non_confidential" => AttributeRole::NonConfidential,
+        other => return Err(Error::Serial(format!("unknown attribute role `{other}`"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+/// Escapes `s` as the body of a JSON string literal.
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Int(i) => {
+            let _ = write!(out, "{{\"i\":{i}}}");
+        }
+        Value::Float(x) if x.is_finite() => {
+            // `{x:?}` prints the shortest representation that round-trips.
+            let _ = write!(out, "{{\"f\":{x:?}}}");
+        }
+        Value::Float(x) => {
+            let tag = if x.is_nan() {
+                "nan"
+            } else if *x > 0.0 {
+                "inf"
+            } else {
+                "-inf"
+            };
+            let _ = write!(out, "{{\"f\":\"{tag}\"}}");
+        }
+        Value::Str(s) => {
+            out.push_str("{\"s\":\"");
+            json_escape(s, out);
+            out.push_str("\"}");
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Missing => out.push_str("null"),
+    }
+}
+
+/// Serialises a dataset to a self-describing JSON document.
+pub fn dataset_to_json(data: &Dataset) -> String {
+    let mut out = String::from("{\"schema\":[");
+    for (i, a) in data.schema().attributes().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        json_escape(&a.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"kind\":\"{}\",\"role\":\"{}\"}}",
+            kind_tag(a.kind),
+            role_tag(a.role)
+        );
+    }
+    out.push_str("],\"rows\":[");
+    for (i, row) in data.rows().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json_value(v, &mut out);
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader (recursive descent over a minimal document model)
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON document model. Numbers keep their source text so i64
+/// precision survives (`f64` cannot hold every i64).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Serial(format!("JSON at byte {}: {}", self.pos, message.into()))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Json> {
+        self.skip_ws();
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing garbage"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Json> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if text.parse::<f64>().is_err() {
+            return Err(self.err(format!("malformed number `{text}`")));
+        }
+        Ok(Json::Num(text.to_owned()))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at pos-1.
+                    let rest = &self.bytes[self.pos - 1..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn value_from_json(cell: &Json) -> Result<Value> {
+    Ok(match cell {
+        Json::Null => Value::Missing,
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Obj(_) => {
+            if let Some(i) = cell.get("i") {
+                let Json::Num(text) = i else {
+                    return Err(Error::Serial("\"i\" must be a number".into()));
+                };
+                Value::Int(
+                    text.parse::<i64>()
+                        .map_err(|_| Error::Serial(format!("bad int `{text}`")))?,
+                )
+            } else if let Some(f) = cell.get("f") {
+                match f {
+                    Json::Num(text) => Value::Float(
+                        text.parse::<f64>()
+                            .map_err(|_| Error::Serial(format!("bad float `{text}`")))?,
+                    ),
+                    Json::Str(tag) => Value::Float(match tag.as_str() {
+                        "nan" => f64::NAN,
+                        "inf" => f64::INFINITY,
+                        "-inf" => f64::NEG_INFINITY,
+                        other => return Err(Error::Serial(format!("bad float tag `{other}`"))),
+                    }),
+                    _ => return Err(Error::Serial("\"f\" must be number or tag".into())),
+                }
+            } else if let Some(s) = cell.get("s") {
+                Value::Str(
+                    s.as_str()
+                        .ok_or_else(|| Error::Serial("\"s\" must be a string".into()))?
+                        .to_owned(),
+                )
+            } else {
+                return Err(Error::Serial("cell object needs an i/f/s tag".into()));
+            }
+        }
+        other => {
+            return Err(Error::Serial(format!("unexpected cell {other:?}")));
+        }
+    })
+}
+
+/// Parses a dataset from the JSON produced by [`dataset_to_json`].
+pub fn dataset_from_json(text: &str) -> Result<Dataset> {
+    let doc = JsonParser::new(text).parse_document()?;
+    let schema_json = doc
+        .get("schema")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Error::Serial("document needs a \"schema\" array".into()))?;
+    let mut attrs = Vec::with_capacity(schema_json.len());
+    for a in schema_json {
+        let name = a
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::Serial("attribute needs a \"name\"".into()))?;
+        let kind = kind_from_tag(
+            a.get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| Error::Serial("attribute needs a \"kind\"".into()))?,
+        )?;
+        let role = role_from_tag(
+            a.get("role")
+                .and_then(Json::as_str)
+                .ok_or_else(|| Error::Serial("attribute needs a \"role\"".into()))?,
+        )?;
+        attrs.push(AttributeDef::new(name, kind, role));
+    }
+    let schema = Schema::new(attrs).map_err(|e| Error::Serial(e.to_string()))?;
+    let rows_json = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Error::Serial("document needs a \"rows\" array".into()))?;
+    let mut data = Dataset::new(schema);
+    for row_json in rows_json {
+        let cells = row_json
+            .as_arr()
+            .ok_or_else(|| Error::Serial("each row must be an array".into()))?;
+        let row: Vec<Value> = cells.iter().map(value_from_json).collect::<Result<_>>()?;
+        data.push_row(row)
+            .map_err(|e| Error::Serial(e.to_string()))?;
+    }
+    Ok(data)
+}
+
+// ---------------------------------------------------------------------------
+// TSV
+// ---------------------------------------------------------------------------
+
+/// Missing-cell marker (the classic database dump convention).
+const TSV_MISSING: &str = "\\N";
+
+fn tsv_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn tsv_unescape(s: &str) -> Result<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(Error::Serial(format!("bad TSV escape `\\{other:?}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Serialises a dataset to TSV with an embedded `#schema` line.
+pub fn dataset_to_tsv(data: &Dataset) -> String {
+    let mut out = String::from("#schema\t");
+    let schema_cells: Vec<String> = data
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| {
+            format!(
+                "{}:{}:{}",
+                tsv_escape(&a.name),
+                kind_tag(a.kind),
+                role_tag(a.role)
+            )
+        })
+        .collect();
+    out.push_str(&schema_cells.join("\t"));
+    out.push('\n');
+    let names: Vec<String> = data
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| tsv_escape(&a.name))
+        .collect();
+    out.push_str(&names.join("\t"));
+    out.push('\n');
+    for row in data.rows() {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Missing => TSV_MISSING.to_owned(),
+                Value::Str(s) => tsv_escape(s),
+                Value::Float(x) if x.is_finite() => format!("{x:?}"),
+                other => other.to_string(),
+            })
+            .collect();
+        out.push_str(&cells.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+fn tsv_cell_to_value(cell: &str, kind: AttributeKind) -> Result<Value> {
+    if cell == TSV_MISSING {
+        return Ok(Value::Missing);
+    }
+    Ok(match kind {
+        AttributeKind::Continuous => Value::Float(
+            cell.parse::<f64>()
+                .map_err(|_| Error::Serial(format!("bad float `{cell}`")))?,
+        ),
+        AttributeKind::Integer => Value::Int(
+            cell.parse::<i64>()
+                .map_err(|_| Error::Serial(format!("bad int `{cell}`")))?,
+        ),
+        AttributeKind::Boolean => match cell {
+            "Y" => Value::Bool(true),
+            "N" => Value::Bool(false),
+            other => {
+                return Err(Error::Serial(format!("bad bool `{other}` (want Y/N)")));
+            }
+        },
+        AttributeKind::Nominal | AttributeKind::Ordinal => Value::Str(tsv_unescape(cell)?),
+    })
+}
+
+/// Parses a dataset from the TSV produced by [`dataset_to_tsv`].
+pub fn dataset_from_tsv(text: &str) -> Result<Dataset> {
+    let mut lines = text.lines();
+    let schema_line = lines
+        .next()
+        .ok_or_else(|| Error::Serial("empty TSV input".into()))?;
+    let mut schema_cells = schema_line.split('\t');
+    if schema_cells.next() != Some("#schema") {
+        return Err(Error::Serial("TSV must start with a #schema line".into()));
+    }
+    let mut attrs = Vec::new();
+    for cell in schema_cells {
+        let mut parts = cell.rsplitn(3, ':');
+        let role = parts
+            .next()
+            .ok_or_else(|| Error::Serial(format!("bad schema cell `{cell}`")))?;
+        let kind = parts
+            .next()
+            .ok_or_else(|| Error::Serial(format!("bad schema cell `{cell}`")))?;
+        let name = parts
+            .next()
+            .ok_or_else(|| Error::Serial(format!("bad schema cell `{cell}`")))?;
+        attrs.push(AttributeDef::new(
+            tsv_unescape(name)?,
+            kind_from_tag(kind)?,
+            role_from_tag(role)?,
+        ));
+    }
+    let schema = Schema::new(attrs).map_err(|e| Error::Serial(e.to_string()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::Serial("TSV needs a header line".into()))?;
+    let expected: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| tsv_escape(&a.name))
+        .collect();
+    if header.split('\t').map(str::to_owned).collect::<Vec<_>>() != expected {
+        return Err(Error::Serial("TSV header does not match schema".into()));
+    }
+    let mut data = Dataset::new(schema);
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('\t').collect();
+        if cells.len() != data.schema().len() {
+            return Err(Error::Serial(format!(
+                "line {}: expected {} cells, found {}",
+                lineno + 3,
+                data.schema().len(),
+                cells.len()
+            )));
+        }
+        let row: Vec<Value> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| tsv_cell_to_value(c, data.schema().attribute(i).kind))
+            .collect::<Result<_>>()?;
+        data.push_row(row)
+            .map_err(|e| Error::Serial(e.to_string()))?;
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{census, patients, PatientConfig};
+
+    #[test]
+    fn json_round_trips_patients() {
+        let d = patients(&PatientConfig {
+            n: 40,
+            ..Default::default()
+        });
+        let text = dataset_to_json(&d);
+        let back = dataset_from_json(&text).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(d.schema(), back.schema());
+    }
+
+    #[test]
+    fn json_round_trips_census_with_strings() {
+        let d = census(30, 5);
+        let back = dataset_from_json(&dataset_to_json(&d)).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn json_round_trips_awkward_cells() {
+        let schema = Schema::new(vec![
+            AttributeDef::new(
+                "note",
+                AttributeKind::Nominal,
+                AttributeRole::NonConfidential,
+            ),
+            AttributeDef::new("x", AttributeKind::Continuous, AttributeRole::Confidential),
+        ])
+        .unwrap();
+        let mut d = Dataset::new(schema);
+        d.push_row(vec![
+            Value::Str("tab\t\"quote\"\nline".into()),
+            Value::Float(f64::NAN),
+        ])
+        .unwrap();
+        d.push_row(vec![Value::Missing, Value::Float(f64::NEG_INFINITY)])
+            .unwrap();
+        let back = dataset_from_json(&dataset_to_json(&d)).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn json_rejects_malformed_documents() {
+        assert!(dataset_from_json("").is_err());
+        assert!(dataset_from_json("{").is_err());
+        assert!(dataset_from_json("{\"schema\":[],\"rows\":[]} garbage").is_err());
+        assert!(dataset_from_json("{\"rows\":[]}").is_err());
+        assert!(
+            dataset_from_json("{\"schema\":[{\"name\":\"a\",\"kind\":\"alien\",\"role\":\"confidential\"}],\"rows\":[]}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn tsv_round_trips_patients_and_census() {
+        for d in [
+            patients(&PatientConfig {
+                n: 25,
+                ..Default::default()
+            }),
+            census(25, 9),
+        ] {
+            let text = dataset_to_tsv(&d);
+            let back = dataset_from_tsv(&text).unwrap();
+            assert_eq!(d, back);
+        }
+    }
+
+    #[test]
+    fn tsv_escapes_awkward_strings_and_missing() {
+        let schema = Schema::new(vec![AttributeDef::new(
+            "note",
+            AttributeKind::Nominal,
+            AttributeRole::NonConfidential,
+        )])
+        .unwrap();
+        let mut d = Dataset::new(schema);
+        d.push_row(vec![Value::Str("a\tb\\c\nd".into())]).unwrap();
+        d.push_row(vec![Value::Missing]).unwrap();
+        d.push_row(vec![Value::Str("\\N".into())]).unwrap_or(());
+        let text = dataset_to_tsv(&d);
+        let back = dataset_from_tsv(&text).unwrap();
+        assert_eq!(back.value(0, 0), &Value::Str("a\tb\\c\nd".into()));
+        assert!(back.value(1, 0).is_missing());
+    }
+
+    #[test]
+    fn tsv_rejects_bad_input() {
+        assert!(dataset_from_tsv("").is_err());
+        assert!(dataset_from_tsv("no schema line\nx\n").is_err());
+        assert!(dataset_from_tsv("#schema\ta:integer:confidential\na\nnot_an_int\n").is_err());
+    }
+}

@@ -130,10 +130,7 @@ pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
 
 /// Shannon entropy in bits of a discrete distribution.
 pub fn entropy_bits(p: &[f64]) -> f64 {
-    p.iter()
-        .filter(|&&x| x > 0.0)
-        .map(|&x| -x * x.log2())
-        .sum()
+    p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.log2()).sum()
 }
 
 #[cfg(test)]

@@ -12,8 +12,8 @@ use crate::dataset::Dataset;
 use crate::rng;
 use crate::schema::Schema;
 use crate::value::Value;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use rngkit::seq::SliceRandom;
+use rngkit::Rng;
 
 /// Configuration for the synthetic patient population.
 #[derive(Debug, Clone)]
@@ -30,7 +30,12 @@ pub struct PatientConfig {
 
 impl Default for PatientConfig {
     fn default() -> Self {
-        Self { n: 1000, seed: 0xD0_C7, height_weight_rho: 0.6, aids_prevalence: 0.08 }
+        Self {
+            n: 1000,
+            seed: 0xD0_C7,
+            height_weight_rho: 0.6,
+            aids_prevalence: 0.08,
+        }
     }
 }
 
@@ -64,22 +69,47 @@ pub fn patients(config: &PatientConfig) -> Dataset {
 /// Schema of the census-style population.
 pub fn census_schema() -> Schema {
     Schema::new(vec![
-        AttributeDef::new("age", AttributeKind::Integer, AttributeRole::QuasiIdentifier),
-        AttributeDef::new("zip", AttributeKind::Nominal, AttributeRole::QuasiIdentifier),
-        AttributeDef::new("education", AttributeKind::Ordinal, AttributeRole::QuasiIdentifier),
-        AttributeDef::new("income", AttributeKind::Continuous, AttributeRole::Confidential),
-        AttributeDef::new("disease", AttributeKind::Nominal, AttributeRole::Confidential),
+        AttributeDef::new(
+            "age",
+            AttributeKind::Integer,
+            AttributeRole::QuasiIdentifier,
+        ),
+        AttributeDef::new(
+            "zip",
+            AttributeKind::Nominal,
+            AttributeRole::QuasiIdentifier,
+        ),
+        AttributeDef::new(
+            "education",
+            AttributeKind::Ordinal,
+            AttributeRole::QuasiIdentifier,
+        ),
+        AttributeDef::new(
+            "income",
+            AttributeKind::Continuous,
+            AttributeRole::Confidential,
+        ),
+        AttributeDef::new(
+            "disease",
+            AttributeKind::Nominal,
+            AttributeRole::Confidential,
+        ),
     ])
     .expect("census schema is valid")
 }
 
 /// Education levels in ascending order (used by generalization hierarchies).
-pub const EDUCATION_LEVELS: [&str; 5] =
-    ["primary", "secondary", "bachelor", "master", "doctorate"];
+pub const EDUCATION_LEVELS: [&str; 5] = ["primary", "secondary", "bachelor", "master", "doctorate"];
 
 /// Diseases used as the sensitive categorical attribute.
-pub const DISEASES: [&str; 6] =
-    ["flu", "diabetes", "hypertension", "asthma", "cancer", "hepatitis"];
+pub const DISEASES: [&str; 6] = [
+    "flu",
+    "diabetes",
+    "hypertension",
+    "asthma",
+    "cancer",
+    "hepatitis",
+];
 
 /// Generates a census-style mixed population of `n` records.
 pub fn census(n: usize, seed: u64) -> Dataset {
@@ -200,7 +230,10 @@ pub fn query_log(n: usize, universe: usize, users: u32, seed: u64) -> Vec<QueryL
                 break;
             }
         }
-        out.push(QueryLogEntry { user: r.gen_range(0..users), query: q });
+        out.push(QueryLogEntry {
+            user: r.gen_range(0..users),
+            query: q,
+        });
     }
     out
 }
@@ -212,7 +245,10 @@ mod tests {
 
     #[test]
     fn patients_have_plausible_marginals() {
-        let d = patients(&PatientConfig { n: 4000, ..Default::default() });
+        let d = patients(&PatientConfig {
+            n: 4000,
+            ..Default::default()
+        });
         assert_eq!(d.num_rows(), 4000);
         let h = d.numeric_column(0);
         let w = d.numeric_column(1);
@@ -230,7 +266,10 @@ mod tests {
 
     #[test]
     fn blood_pressure_correlates_with_weight() {
-        let d = patients(&PatientConfig { n: 4000, ..Default::default() });
+        let d = patients(&PatientConfig {
+            n: 4000,
+            ..Default::default()
+        });
         let w = d.numeric_column(1);
         let bp = d.numeric_column(2);
         let rho = stats::correlation(&w, &bp).unwrap();
@@ -255,7 +294,9 @@ mod tests {
         let cfg = TransactionConfig::default();
         let txs = transactions(&cfg);
         let support = |items: &[u32]| {
-            txs.iter().filter(|t| items.iter().all(|i| t.contains(i))).count() as f64
+            txs.iter()
+                .filter(|t| items.iter().all(|i| t.contains(i)))
+                .count() as f64
                 / txs.len() as f64
         };
         assert!(support(&[1, 2]) > 0.25, "support {}", support(&[1, 2]));

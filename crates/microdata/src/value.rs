@@ -1,6 +1,5 @@
 //! The dynamically-typed cell value stored in a dataset.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -10,7 +9,7 @@ use std::fmt;
 /// literature distinguishes only continuous, integer, categorical and boolean
 /// attributes, plus missing values (which masking methods such as local
 /// suppression produce).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// 64-bit signed integer (ages, counts, coded categories).
     Int(i64),

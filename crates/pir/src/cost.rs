@@ -47,8 +47,18 @@ mod tests {
 
     #[test]
     fn totals_and_accumulation() {
-        let a = CostReport { uplink_bits: 10, downlink_bits: 20, server_ops: 5, servers: 2 };
-        let b = CostReport { uplink_bits: 1, downlink_bits: 2, server_ops: 3, servers: 1 };
+        let a = CostReport {
+            uplink_bits: 10,
+            downlink_bits: 20,
+            server_ops: 5,
+            servers: 2,
+        };
+        let b = CostReport {
+            uplink_bits: 1,
+            downlink_bits: 2,
+            server_ops: 3,
+            servers: 1,
+        };
         let c = a + b;
         assert_eq!(c.total_bits(), 33);
         assert_eq!(c.server_ops, 8);

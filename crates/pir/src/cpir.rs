@@ -11,7 +11,7 @@
 use crate::cost::CostReport;
 use crate::gm::{self, PrivateKey, PublicKey};
 use crate::store::{Database, ServerView};
-use rand::Rng;
+use rngkit::Rng;
 use tdf_mathkit::BigUint;
 
 /// A client with a fresh GM key pair.
@@ -48,8 +48,9 @@ pub fn retrieve_bit<R: Rng + ?Sized>(
     let (row, col) = (index / s, index % s);
 
     // Query: per-column ciphertexts, encrypting the unit vector e_col.
-    let query: Vec<BigUint> =
-        (0..s).map(|j| gm::encrypt(&client.pk, j == col, rng)).collect();
+    let query: Vec<BigUint> = (0..s)
+        .map(|j| gm::encrypt(&client.pk, j == col, rng))
+        .collect();
 
     // Server: per-row homomorphic aggregate over its 1-entries.
     let mut server_ops = 0u64;
@@ -93,8 +94,7 @@ pub fn retrieve_record<R: Rng + ?Sized>(
     for byte in 0..record_size {
         for bit in 0..8 {
             // One bit-database per (byte, bit) position.
-            let bits: Vec<bool> =
-                (0..n).map(|i| (records[i][byte] >> bit) & 1 == 1).collect();
+            let bits: Vec<bool> = (0..n).map(|i| (records[i][byte] >> bit) & 1 == 1).collect();
             let db = Database::from_bits(&bits);
             let (b, _, c) = retrieve_bit(rng, client, &db, index);
             if b {
@@ -110,10 +110,10 @@ pub fn retrieve_record<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rngkit::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(31337)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(31337)
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::cost::CostReport;
 use crate::store::{Database, ServerView};
-use rand::Rng;
+use rngkit::Rng;
 
 /// Side length for a `d`-dimensional layout of `n` records.
 pub fn side(n: usize, d: u32) -> usize {
@@ -48,8 +48,9 @@ pub fn retrieve<R: Rng + ?Sized>(
     let target = coords(index, s, d);
 
     // One random subset per axis, as bit masks.
-    let base: Vec<Vec<bool>> =
-        (0..d).map(|_| (0..s).map(|_| rng.gen()).collect()).collect();
+    let base: Vec<Vec<bool>> = (0..d)
+        .map(|_| (0..s).map(|_| rng.gen()).collect())
+        .collect();
 
     let servers = 1usize << d;
     let mut acc = vec![0u8; db.record_size()];
@@ -107,14 +108,18 @@ pub fn retrieve<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rngkit::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(0xC0BE)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(0xC0BE)
     }
 
     fn db(n: usize) -> Database {
-        Database::new((0..n).map(|i| vec![(i % 251) as u8, (i / 7) as u8]).collect())
+        Database::new(
+            (0..n)
+                .map(|i| vec![(i % 251) as u8, (i / 7) as u8])
+                .collect(),
+        )
     }
 
     #[test]

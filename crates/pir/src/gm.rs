@@ -4,7 +4,7 @@
 //! `E(a) · E(b) mod N` encrypts `a ⊕ b`. That homomorphism is what turns
 //! a database scan into single-server computational PIR ([`crate::cpir`]).
 
-use rand::Rng;
+use rngkit::Rng;
 use tdf_mathkit::modular::{jacobi, mul_mod, random_unit};
 use tdf_mathkit::primes::random_blum_prime;
 use tdf_mathkit::BigUint;
@@ -71,10 +71,10 @@ pub fn xor_ciphertexts(pk: &PublicKey, a: &BigUint, b: &BigUint) -> BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rngkit::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(2024)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(2024)
     }
 
     #[test]

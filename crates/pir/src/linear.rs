@@ -9,7 +9,7 @@
 
 use crate::cost::CostReport;
 use crate::store::{Database, ServerView};
-use rand::Rng;
+use rngkit::Rng;
 
 /// A prepared query: one selection mask per server.
 #[derive(Debug, Clone)]
@@ -22,8 +22,9 @@ impl Query {
     pub fn build<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize, index: usize) -> Self {
         assert!(k >= 2, "need at least two non-colluding servers");
         assert!(index < n, "index out of range");
-        let mut shares: Vec<Vec<bool>> =
-            (0..k - 1).map(|_| (0..n).map(|_| rng.gen::<bool>()).collect()).collect();
+        let mut shares: Vec<Vec<bool>> = (0..k - 1)
+            .map(|_| (0..n).map(|_| rng.gen::<bool>()).collect())
+            .collect();
         // Last share = XOR of the others, flipped at `index`.
         let last: Vec<bool> = (0..n)
             .map(|i| shares.iter().fold(i == index, |acc, s| acc ^ s[i]))
@@ -47,10 +48,10 @@ impl Query {
 /// `db`. Returns the record, every server's view, and the cost.
 /// ```
 /// use tdf_pir::store::Database;
-/// use rand::SeedableRng;
+/// use rngkit::SeedableRng;
 ///
 /// let db = Database::new(vec![vec![1u8], vec![2], vec![3]]);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = rngkit::rngs::StdRng::seed_from_u64(7);
 /// let (record, views, cost) = tdf_pir::linear::retrieve(&mut rng, &db, 2, 1);
 /// assert_eq!(record, vec![2]);
 /// assert_eq!(cost.servers, 2); // neither server learned the index
@@ -88,10 +89,10 @@ pub fn retrieve<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rngkit::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(77)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(77)
     }
 
     fn db(n: usize) -> Database {

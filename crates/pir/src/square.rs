@@ -10,7 +10,7 @@
 
 use crate::cost::CostReport;
 use crate::store::{Database, ServerView};
-use rand::Rng;
+use rngkit::Rng;
 
 /// Side length of the square layout for a database of `n` records.
 pub fn side(n: usize) -> usize {
@@ -69,7 +69,10 @@ pub fn retrieve<R: Rng + ?Sized>(
     };
     (
         rec,
-        [ServerView::SquareMask { rows: mask_a }, ServerView::SquareMask { rows: mask_b }],
+        [
+            ServerView::SquareMask { rows: mask_a },
+            ServerView::SquareMask { rows: mask_b },
+        ],
         cost,
     )
 }
@@ -77,14 +80,18 @@ pub fn retrieve<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rngkit::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(88)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(88)
     }
 
     fn db(n: usize) -> Database {
-        Database::new((0..n).map(|i| vec![(i % 251) as u8, (i / 251) as u8]).collect())
+        Database::new(
+            (0..n)
+                .map(|i| vec![(i % 251) as u8, (i / 251) as u8])
+                .collect(),
+        )
     }
 
     #[test]

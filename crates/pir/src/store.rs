@@ -2,12 +2,16 @@
 //! everything a (curious) server observes during a retrieval, from which
 //! `tdf-core` computes empirical query leakage.
 
-use bytes::Bytes;
+use std::sync::Arc;
 
 /// A database of `n` fixed-size records.
+///
+/// Records are stored as `Arc<[u8]>` so that cloning the database (the
+/// PIR pipelines replicate it once per server) shares the payload
+/// instead of copying it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Database {
-    records: Vec<Bytes>,
+    records: Vec<Arc<[u8]>>,
     record_size: usize,
 }
 
@@ -19,7 +23,10 @@ impl Database {
             records.iter().all(|r| r.len() == record_size),
             "all records must have equal size"
         );
-        Self { records: records.into_iter().map(Bytes::from).collect(), record_size }
+        Self {
+            records: records.into_iter().map(Arc::from).collect(),
+            record_size,
+        }
     }
 
     /// Builds a database of single-bit records from a bit vector.

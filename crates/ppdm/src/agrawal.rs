@@ -11,7 +11,7 @@
 //! as its respondent+owner example — and its §2 "owner without respondent"
 //! example cites [11]'s attack against it (see [`crate::sparsity`]).
 
-use rand::Rng;
+use rngkit::Rng;
 use tdf_microdata::rng::standard_normal;
 use tdf_microdata::stats;
 
@@ -24,7 +24,9 @@ fn phi(x: f64, sigma: f64) -> f64 {
 /// Distorts a column of values with Gaussian noise of standard deviation
 /// `sigma`, returning the noisy values.
 pub fn distort_column<R: Rng + ?Sized>(xs: &[f64], sigma: f64, rng: &mut R) -> Vec<f64> {
-    xs.iter().map(|&x| x + sigma * standard_normal(rng)).collect()
+    xs.iter()
+        .map(|&x| x + sigma * standard_normal(rng))
+        .collect()
 }
 
 /// Result of a reconstruction run.
@@ -57,7 +59,10 @@ pub fn reconstruct_distribution(
     bins: usize,
     max_iter: usize,
 ) -> ReconstructionReport {
-    assert!(bins > 0 && hi > lo && sigma > 0.0, "invalid reconstruction domain");
+    assert!(
+        bins > 0 && hi > lo && sigma > 0.0,
+        "invalid reconstruction domain"
+    );
     let width = (hi - lo) / bins as f64;
     let centers: Vec<f64> = (0..bins).map(|b| lo + (b as f64 + 0.5) * width).collect();
     // Uniform prior.
@@ -94,7 +99,11 @@ pub fn reconstruct_distribution(
             break;
         }
     }
-    ReconstructionReport { bin_centers: centers, density: f, iterations }
+    ReconstructionReport {
+        bin_centers: centers,
+        density: f,
+        iterations,
+    }
 }
 
 /// Convenience: the true (empirical) distribution of `xs` over the same
@@ -152,7 +161,12 @@ mod tests {
                 .map(|(_, &d)| d)
                 .sum()
         };
-        assert!(near(-3.0) > 2.0 * near(0.0), "left mode {} vs middle {}", near(-3.0), near(0.0));
+        assert!(
+            near(-3.0) > 2.0 * near(0.0),
+            "left mode {} vs middle {}",
+            near(-3.0),
+            near(0.0)
+        );
         assert!(near(3.0) > 2.0 * near(0.0));
     }
 

@@ -33,7 +33,13 @@ impl HistogramBayes {
     ) -> Self {
         assert!(!class_priors.is_empty(), "need at least one class");
         assert_eq!(class_priors.len(), densities.len());
-        Self { lo, hi, bins, class_priors, densities }
+        Self {
+            lo,
+            hi,
+            bins,
+            class_priors,
+            densities,
+        }
     }
 
     /// Trains directly from labelled numeric rows.
@@ -74,7 +80,13 @@ impl HistogramBayes {
                     .collect()
             })
             .collect();
-        Self { lo, hi, bins, class_priors: priors, densities }
+        Self {
+            lo,
+            hi,
+            bins,
+            class_priors: priors,
+            densities,
+        }
     }
 
     /// Predicts the class of a numeric row.
@@ -85,8 +97,8 @@ impl HistogramBayes {
         for (c, &prior) in self.class_priors.iter().enumerate() {
             let mut score = prior.max(1e-12).ln();
             for (a, &x) in row.iter().enumerate() {
-                let b =
-                    (((x - self.lo) / width).floor() as i64).clamp(0, self.bins as i64 - 1) as usize;
+                let b = (((x - self.lo) / width).floor() as i64).clamp(0, self.bins as i64 - 1)
+                    as usize;
                 score += self.densities[c][a][b].max(1e-12).ln();
             }
             if score > best_score {
@@ -155,12 +167,8 @@ mod tests {
     #[test]
     fn from_distributions_matches_train() {
         // A hand-built model: class 0 concentrated low, class 1 high.
-        let densities = vec![
-            vec![vec![0.9, 0.1]],
-            vec![vec![0.1, 0.9]],
-        ];
-        let model =
-            HistogramBayes::from_distributions(0.0, 2.0, 2, vec![0.5, 0.5], densities);
+        let densities = vec![vec![vec![0.9, 0.1]], vec![vec![0.1, 0.9]]];
+        let model = HistogramBayes::from_distributions(0.0, 2.0, 2, vec![0.5, 0.5], densities);
         assert_eq!(model.classify(&[0.5]), 0);
         assert_eq!(model.classify(&[1.5]), 1);
     }
@@ -168,8 +176,7 @@ mod tests {
     #[test]
     fn priors_break_ties() {
         let densities = vec![vec![vec![0.5, 0.5]], vec![vec![0.5, 0.5]]];
-        let model =
-            HistogramBayes::from_distributions(0.0, 2.0, 2, vec![0.9, 0.1], densities);
+        let model = HistogramBayes::from_distributions(0.0, 2.0, 2, vec![0.9, 0.1], densities);
         assert_eq!(model.classify(&[0.5]), 0);
     }
 

@@ -7,7 +7,7 @@
 //! preserve the covariance structure ("a variety of analyses can be validly
 //! carried out") while no released record is a real respondent.
 
-use rand::Rng;
+use rngkit::Rng;
 use tdf_microdata::rng::standard_normal;
 use tdf_microdata::{Dataset, Error, Result, Value};
 use tdf_sdc::microaggregation::mdav_microaggregate;
@@ -113,7 +113,10 @@ mod tests {
     use tdf_microdata::synth::{patients, PatientConfig};
 
     fn data() -> Dataset {
-        patients(&PatientConfig { n: 800, ..Default::default() })
+        patients(&PatientConfig {
+            n: 800,
+            ..Default::default()
+        })
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 6, min_split: 10 }
+        Self {
+            max_depth: 6,
+            min_split: 10,
+        }
     }
 }
 
@@ -77,14 +80,26 @@ impl DecisionTree {
         assert_eq!(rows.len(), labels.len(), "rows and labels must align");
         assert!(!rows.is_empty(), "need training data");
         let members: Vec<usize> = (0..rows.len()).collect();
-        grow(rows, labels, num_classes, &members, config.max_depth, config)
+        grow(
+            rows,
+            labels,
+            num_classes,
+            &members,
+            config.max_depth,
+            config,
+        )
     }
 
     /// Predicts the class of one row.
     pub fn classify(&self, row: &[f64]) -> usize {
         match self {
             DecisionTree::Leaf(c) => *c,
-            DecisionTree::Node { attribute, threshold, left, right } => {
+            DecisionTree::Node {
+                attribute,
+                threshold,
+                left,
+                right,
+            } => {
                 if row[*attribute] < *threshold {
                     left.classify(row)
                 } else {
@@ -141,7 +156,7 @@ fn grow(
     // consecutive distinct values.
     let num_attrs = rows[members[0]].len();
     let mut best: Option<(usize, f64, f64)> = None; // (attr, threshold, score)
-    // `a` indexes into every row, not one slice: a range loop is clearest.
+                                                    // `a` indexes into every row, not one slice: a range loop is clearest.
     #[allow(clippy::needless_range_loop)]
     for a in 0..num_attrs {
         let mut sorted: Vec<usize> = members.to_vec();
@@ -170,13 +185,28 @@ fn grow(
         // No split improves purity.
         return DecisionTree::Leaf(majority(labels, members, num_classes));
     }
-    let (left_m, right_m): (Vec<usize>, Vec<usize>) =
-        members.iter().partition(|&&i| rows[i][attribute] < threshold);
+    let (left_m, right_m): (Vec<usize>, Vec<usize>) = members
+        .iter()
+        .partition(|&&i| rows[i][attribute] < threshold);
     DecisionTree::Node {
         attribute,
         threshold,
-        left: Box::new(grow(rows, labels, num_classes, &left_m, depth_left - 1, config)),
-        right: Box::new(grow(rows, labels, num_classes, &right_m, depth_left - 1, config)),
+        left: Box::new(grow(
+            rows,
+            labels,
+            num_classes,
+            &left_m,
+            depth_left - 1,
+            config,
+        )),
+        right: Box::new(grow(
+            rows,
+            labels,
+            num_classes,
+            &right_m,
+            depth_left - 1,
+            config,
+        )),
     }
 }
 
@@ -226,7 +256,10 @@ mod tests {
             &rows,
             &labels,
             2,
-            &TreeConfig { max_depth: 1, min_split: 2 },
+            &TreeConfig {
+                max_depth: 1,
+                min_split: 2,
+            },
         );
         assert!(tree.depth() <= 1);
     }
@@ -255,8 +288,10 @@ mod tests {
         }
         let clean_tree = DecisionTree::train(&rows, &labels, 2, &TreeConfig::default());
         let col: Vec<f64> = rows.iter().map(|row| row[0]).collect();
-        let noisy: Vec<Vec<f64>> =
-            distort_column(&col, 1.0, &mut r).into_iter().map(|x| vec![x]).collect();
+        let noisy: Vec<Vec<f64>> = distort_column(&col, 1.0, &mut r)
+            .into_iter()
+            .map(|x| vec![x])
+            .collect();
         let noisy_tree = DecisionTree::train(&noisy, &labels, 2, &TreeConfig::default());
         let acc_clean = clean_tree.accuracy(&rows, &labels);
         let acc_noisy_model = noisy_tree.accuracy(&rows, &labels);

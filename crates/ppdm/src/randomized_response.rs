@@ -8,7 +8,7 @@
 //!
 //! `λ = P(yes) = π·p + (1 − π)(1 − p)  ⇒  π̂ = (λ − (1 − p)) / (2p − 1)`.
 
-use rand::Rng;
+use rngkit::Rng;
 
 /// Applies Warner's randomized response to a vector of true booleans.
 /// `p` is the probability of answering the direct question (`p ≠ 0.5`).
@@ -42,10 +42,7 @@ pub fn warner_std_error(pi: f64, p: f64, n: usize) -> f64 {
 /// attribute patterns can be unbiased via the tensor channel inverse.
 /// Here we provide the one- and two-attribute estimators the experiments
 /// need.
-pub fn joint_estimate_2(
-    masked: &[(bool, bool)],
-    p: f64,
-) -> Option<[f64; 4]> {
+pub fn joint_estimate_2(masked: &[(bool, bool)], p: f64) -> Option<[f64; 4]> {
     if (p - 0.5).abs() < 1e-9 || masked.is_empty() {
         return None;
     }
@@ -76,7 +73,9 @@ mod tests {
 
     fn truth(n: usize, pi: f64, seed: u64) -> Vec<bool> {
         let mut r = seeded(seed);
-        (0..n).map(|_| rand::Rng::gen::<f64>(&mut r) < pi).collect()
+        (0..n)
+            .map(|_| rngkit::Rng::gen::<f64>(&mut r) < pi)
+            .collect()
     }
 
     #[test]
@@ -110,8 +109,7 @@ mod tests {
         // With p = 0.7, ~30% of answers differ from the truth.
         let t = truth(20_000, 0.5, 7);
         let masked = warner_mask(&t, 0.7, &mut seeded(8));
-        let flipped = t.iter().zip(&masked).filter(|(a, b)| a != b).count() as f64
-            / t.len() as f64;
+        let flipped = t.iter().zip(&masked).filter(|(a, b)| a != b).count() as f64 / t.len() as f64;
         assert!((flipped - 0.3).abs() < 0.02, "flipped {flipped}");
     }
 
@@ -132,8 +130,8 @@ mod tests {
         // True joint: P(A)=0.3, P(B|A)=0.8, P(B|¬A)=0.1 — correlated bits.
         let data: Vec<(bool, bool)> = (0..n)
             .map(|_| {
-                let a = rand::Rng::gen::<f64>(&mut r) < 0.3;
-                let b = rand::Rng::gen::<f64>(&mut r) < if a { 0.8 } else { 0.1 };
+                let a = rngkit::Rng::gen::<f64>(&mut r) < 0.3;
+                let b = rngkit::Rng::gen::<f64>(&mut r) < if a { 0.8 } else { 0.1 };
                 (a, b)
             })
             .collect();
@@ -141,8 +139,16 @@ mod tests {
         let masked: Vec<(bool, bool)> = data
             .iter()
             .map(|&(a, b)| {
-                let ma = if rand::Rng::gen::<f64>(&mut r) < p { a } else { !a };
-                let mb = if rand::Rng::gen::<f64>(&mut r) < p { b } else { !b };
+                let ma = if rngkit::Rng::gen::<f64>(&mut r) < p {
+                    a
+                } else {
+                    !a
+                };
+                let mb = if rngkit::Rng::gen::<f64>(&mut r) < p {
+                    b
+                } else {
+                    !b
+                };
                 (ma, mb)
             })
             .collect();

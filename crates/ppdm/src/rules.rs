@@ -40,7 +40,9 @@ impl Rule {
 }
 
 fn support_count(txs: &[Transaction], items: &[u32]) -> usize {
-    txs.iter().filter(|t| items.iter().all(|i| t.binary_search(i).is_ok())).count()
+    txs.iter()
+        .filter(|t| items.iter().all(|i| t.binary_search(i).is_ok()))
+        .count()
 }
 
 /// Apriori: all itemsets with support ≥ `min_support`, with their
@@ -204,7 +206,11 @@ pub fn hide_rules(
             let full_count = support_count(&sanitized, &full);
             let ant_count = support_count(&sanitized, ant);
             let support = full_count as f64 / n;
-            let confidence = if ant_count > 0 { full_count as f64 / ant_count as f64 } else { 0.0 };
+            let confidence = if ant_count > 0 {
+                full_count as f64 / ant_count as f64
+            } else {
+                0.0
+            };
             if support < min_support || confidence < min_confidence {
                 break;
             }
@@ -231,8 +237,10 @@ pub fn hide_rules(
     let after = generate_rules(&sanitized, min_support, min_confidence);
     let before_keys: BTreeSet<_> = before.iter().map(rule_key).collect();
     let after_keys: BTreeSet<_> = after.iter().map(rule_key).collect();
-    let sensitive_keys: BTreeSet<_> =
-        sensitive.iter().map(|(a, c)| (a.clone(), c.clone())).collect();
+    let sensitive_keys: BTreeSet<_> = sensitive
+        .iter()
+        .map(|(a, c)| (a.clone(), c.clone()))
+        .collect();
 
     let still_visible = after
         .iter()
@@ -249,7 +257,13 @@ pub fn hide_rules(
         .filter(|r| !before_keys.contains(&rule_key(r)))
         .cloned()
         .collect();
-    HidingReport { transactions: sanitized, still_visible, lost_rules, ghost_rules, deletions }
+    HidingReport {
+        transactions: sanitized,
+        still_visible,
+        lost_rules,
+        ghost_rules,
+        deletions,
+    }
 }
 
 #[cfg(test)]
@@ -264,8 +278,14 @@ mod tests {
     #[test]
     fn apriori_finds_planted_itemsets() {
         let frequent = apriori(&txs(), 0.15);
-        assert!(frequent.contains_key(&vec![1, 2]), "planted {{1,2}} at 0.35");
-        assert!(frequent.contains_key(&vec![3, 4, 5]), "planted {{3,4,5}} at 0.25");
+        assert!(
+            frequent.contains_key(&vec![1, 2]),
+            "planted {{1,2}} at 0.35"
+        );
+        assert!(
+            frequent.contains_key(&vec![3, 4, 5]),
+            "planted {{3,4,5}} at 0.25"
+        );
         assert!(frequent.contains_key(&vec![1]));
         // Noise-only pairs must be absent.
         assert!(!frequent.contains_key(&vec![20, 30]));
@@ -298,7 +318,11 @@ mod tests {
         let data = txs();
         let sensitive = vec![(vec![1], vec![2])];
         let report = hide_rules(&data, &sensitive, 0.1, 0.5);
-        assert!(report.still_visible.is_empty(), "{:?}", report.still_visible);
+        assert!(
+            report.still_visible.is_empty(),
+            "{:?}",
+            report.still_visible
+        );
         assert!(report.deletions > 0);
     }
 

@@ -39,15 +39,21 @@ pub fn gaussian_cloud(n: usize, dims: usize, seed: u64) -> Dataset {
 pub fn linkage_rate_at_dimension(n: usize, dims: usize, alpha: f64, seed: u64) -> f64 {
     let data = gaussian_cloud(n, dims, seed);
     let cols: Vec<usize> = (0..dims).collect();
-    let masked = add_noise(&data, &NoiseConfig::new(alpha, cols.clone()), &mut seeded(seed ^ 0xA5))
-        .expect("numeric columns");
+    let masked = add_noise(
+        &data,
+        &NoiseConfig::new(alpha, cols.clone()),
+        &mut seeded(seed ^ 0xA5),
+    )
+    .expect("numeric columns");
     record_linkage_rate(&data, &masked, &cols).expect("aligned datasets")
 }
 
 /// The full sweep used by the `fig_sparsity` experiment: linkage rate per
 /// dimensionality.
 pub fn sparsity_sweep(n: usize, dims: &[usize], alpha: f64, seed: u64) -> Vec<(usize, f64)> {
-    dims.iter().map(|&d| (d, linkage_rate_at_dimension(n, d, alpha, seed))).collect()
+    dims.iter()
+        .map(|&d| (d, linkage_rate_at_dimension(n, d, alpha, seed)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -72,7 +78,10 @@ mod tests {
             high > low + 0.2,
             "linkage must rise with dimension: d=2 → {low}, d=40 → {high}"
         );
-        assert!(high > 0.5, "high-dimensional linkage should be strong: {high}");
+        assert!(
+            high > 0.5,
+            "high-dimensional linkage should be strong: {high}"
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl Predicate {
 
     /// Convenience comparison.
     pub fn cmp(attribute: impl Into<String>, op: CmpOp, literal: impl Into<Value>) -> Predicate {
-        Predicate::Cmp { attribute: attribute.into(), op, literal: literal.into() }
+        Predicate::Cmp {
+            attribute: attribute.into(),
+            op,
+            literal: literal.into(),
+        }
     }
 
     /// Convenience range: `lo <= attribute <= hi` (SQL `BETWEEN`).
@@ -105,15 +109,22 @@ impl Predicate {
         lo: impl Into<Value>,
         hi: impl Into<Value>,
     ) -> Predicate {
-        Predicate::cmp(attribute.clone(), CmpOp::Ge, lo)
-            .and(Predicate::cmp(attribute, CmpOp::Le, hi))
+        Predicate::cmp(attribute.clone(), CmpOp::Ge, lo).and(Predicate::cmp(
+            attribute,
+            CmpOp::Le,
+            hi,
+        ))
     }
 
     /// Evaluates the predicate on a row of `data`'s schema.
     pub fn matches(&self, data: &Dataset, row: &[Value]) -> Result<bool> {
         match self {
             Predicate::True => Ok(true),
-            Predicate::Cmp { attribute, op, literal } => {
+            Predicate::Cmp {
+                attribute,
+                op,
+                literal,
+            } => {
                 let idx = data.schema().index_of(attribute)?;
                 let cell = &row[idx];
                 if cell.is_missing() {
@@ -183,7 +194,11 @@ impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Predicate::True => write!(f, "TRUE"),
-            Predicate::Cmp { attribute, op, literal } => write!(f, "{attribute} {op} {literal}"),
+            Predicate::Cmp {
+                attribute,
+                op,
+                literal,
+            } => write!(f, "{attribute} {op} {literal}"),
             Predicate::And(a, b) => write!(f, "({a} AND {b})"),
             Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
             Predicate::Not(p) => write!(f, "(NOT {p})"),
@@ -206,7 +221,11 @@ impl fmt::Display for Query {
         if self.predicate == Predicate::True {
             write!(f, "SELECT {} FROM t", self.aggregate)
         } else {
-            write!(f, "SELECT {} FROM t WHERE {}", self.aggregate, self.predicate)
+            write!(
+                f,
+                "SELECT {} FROM t WHERE {}",
+                self.aggregate, self.predicate
+            )
         }
     }
 }
@@ -219,8 +238,11 @@ mod tests {
     #[test]
     fn predicate_evaluation_matches_paper_example() {
         let d = patients::dataset2();
-        let p = Predicate::cmp("height", CmpOp::Lt, 165.0)
-            .and(Predicate::cmp("weight", CmpOp::Gt, 105.0));
+        let p = Predicate::cmp("height", CmpOp::Lt, 165.0).and(Predicate::cmp(
+            "weight",
+            CmpOp::Gt,
+            105.0,
+        ));
         let matching: Vec<usize> = (0..d.num_rows())
             .filter(|&i| p.matches(&d, d.row(i)).unwrap())
             .collect();
@@ -231,10 +253,14 @@ mod tests {
     fn boolean_and_negation() {
         let d = patients::dataset1();
         let p = Predicate::cmp("aids", CmpOp::Eq, true);
-        let n = (0..d.num_rows()).filter(|&i| p.matches(&d, d.row(i)).unwrap()).count();
+        let n = (0..d.num_rows())
+            .filter(|&i| p.matches(&d, d.row(i)).unwrap())
+            .count();
         assert_eq!(n, 3);
         let np = p.not();
-        let m = (0..d.num_rows()).filter(|&i| np.matches(&d, d.row(i)).unwrap()).count();
+        let m = (0..d.num_rows())
+            .filter(|&i| np.matches(&d, d.row(i)).unwrap())
+            .count();
         assert_eq!(m, 7);
     }
 
@@ -258,8 +284,11 @@ mod tests {
     fn display_round_trips_visually() {
         let q = Query {
             aggregate: Aggregate::Avg("blood_pressure".into()),
-            predicate: Predicate::cmp("height", CmpOp::Lt, 165.0)
-                .and(Predicate::cmp("weight", CmpOp::Gt, 105.0)),
+            predicate: Predicate::cmp("height", CmpOp::Lt, 165.0).and(Predicate::cmp(
+                "weight",
+                CmpOp::Gt,
+                105.0,
+            )),
         };
         let s = q.to_string();
         assert!(s.contains("AVG(blood_pressure)"));

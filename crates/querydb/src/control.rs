@@ -7,8 +7,8 @@
 
 use crate::ast::{Aggregate, Query};
 use crate::engine::Evaluation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 use tdf_mathkit::linalg::QMatrix;
 use tdf_mathkit::Rational;
 use tdf_microdata::rng::standard_normal;
@@ -96,7 +96,10 @@ pub enum ControlPolicy {
 impl ControlPolicy {
     /// Convenience constructor for the noise policy.
     pub fn noise(sd: f64, seed: u64) -> Self {
-        ControlPolicy::Noise { sd, rng: StdRng::seed_from_u64(seed) }
+        ControlPolicy::Noise {
+            sd,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Applies the policy to an already-evaluated query.
@@ -134,15 +137,19 @@ impl ControlPolicy {
                 Some(v) => Answer::Perturbed((v / *base).round() * *base),
                 None => Answer::Refused("aggregate undefined on empty query set"),
             },
-            ControlPolicy::OverlapRestriction { min_size, max_overlap, history } => {
+            ControlPolicy::OverlapRestriction {
+                min_size,
+                max_overlap,
+                history,
+            } => {
                 if eval.query_set.len() < *min_size {
                     return Answer::Refused("query set below minimum size");
                 }
                 let current: std::collections::BTreeSet<usize> =
                     eval.query_set.iter().copied().collect();
-                let too_close = history.iter().any(|prev| {
-                    prev.intersection(&current).count() > *max_overlap
-                });
+                let too_close = history
+                    .iter()
+                    .any(|prev| prev.intersection(&current).count() > *max_overlap);
                 if too_close {
                     return Answer::Refused("query set overlaps an answered query too much");
                 }
@@ -159,7 +166,11 @@ impl ControlPolicy {
 
     /// Convenience constructor for the overlap-restriction policy.
     pub fn overlap(min_size: usize, max_overlap: usize) -> Self {
-        ControlPolicy::OverlapRestriction { min_size, max_overlap, history: Vec::new() }
+        ControlPolicy::OverlapRestriction {
+            min_size,
+            max_overlap,
+            history: Vec::new(),
+        }
     }
 }
 
@@ -282,7 +293,11 @@ mod tests {
     fn no_control_answers_exactly() {
         let d = patients::dataset2();
         let mut p = ControlPolicy::None;
-        let a = run(&mut p, &d, "SELECT AVG(blood_pressure) FROM t WHERE height < 165 AND weight > 105");
+        let a = run(
+            &mut p,
+            &d,
+            "SELECT AVG(blood_pressure) FROM t WHERE height < 165 AND weight > 105",
+        );
         assert_eq!(a, Answer::Exact(146.0));
     }
 
@@ -290,11 +305,19 @@ mod tests {
     fn size_restriction_blocks_small_and_large_sets() {
         let d = patients::dataset2();
         let mut p = ControlPolicy::SizeRestriction { min_size: 2 };
-        let small = run(&mut p, &d, "SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105");
+        let small = run(
+            &mut p,
+            &d,
+            "SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105",
+        );
         assert!(small.is_refused());
         let large = run(&mut p, &d, "SELECT COUNT(*) FROM t WHERE height > 0");
         assert!(large.is_refused(), "complement too small must also refuse");
-        let ok = run(&mut p, &d, "SELECT AVG(blood_pressure) FROM t WHERE aids = N");
+        let ok = run(
+            &mut p,
+            &d,
+            "SELECT AVG(blood_pressure) FROM t WHERE aids = N",
+        );
         assert!(matches!(ok, Answer::Exact(_)));
     }
 
@@ -303,7 +326,11 @@ mod tests {
         let d = patients::dataset1();
         let mut p = ControlPolicy::Audit(Auditor::new("blood_pressure", d.num_rows()));
         // Sum over the (170, 70) group: 4 records — safe.
-        let a1 = run(&mut p, &d, "SELECT SUM(blood_pressure) FROM t WHERE height = 170");
+        let a1 = run(
+            &mut p,
+            &d,
+            "SELECT SUM(blood_pressure) FROM t WHERE height = 170",
+        );
         assert!(matches!(a1, Answer::Exact(_)));
         // Sum over the same group minus one member would determine that
         // member: refuse.
@@ -319,7 +346,11 @@ mod tests {
     fn auditor_blocks_singleton_sums_immediately() {
         let d = patients::dataset2();
         let mut p = ControlPolicy::Audit(Auditor::new("blood_pressure", d.num_rows()));
-        let a = run(&mut p, &d, "SELECT AVG(blood_pressure) FROM t WHERE height < 165 AND weight > 105");
+        let a = run(
+            &mut p,
+            &d,
+            "SELECT AVG(blood_pressure) FROM t WHERE height < 165 AND weight > 105",
+        );
         assert!(a.is_refused());
     }
 
@@ -327,7 +358,11 @@ mod tests {
     fn auditor_allows_counts_and_other_attributes() {
         let d = patients::dataset2();
         let mut p = ControlPolicy::Audit(Auditor::new("blood_pressure", d.num_rows()));
-        let c = run(&mut p, &d, "SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105");
+        let c = run(
+            &mut p,
+            &d,
+            "SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105",
+        );
         assert_eq!(c, Answer::Exact(1.0));
         let w = run(&mut p, &d, "SELECT SUM(weight) FROM t WHERE height < 165");
         assert!(matches!(w, Answer::Exact(_)));
@@ -359,7 +394,11 @@ mod tests {
         let d = patients::dataset1();
         let mut p = ControlPolicy::overlap(3, 2);
         // First query over the (170, 70) class: 4 records, answered.
-        let a1 = run(&mut p, &d, "SELECT SUM(blood_pressure) FROM t WHERE height = 170");
+        let a1 = run(
+            &mut p,
+            &d,
+            "SELECT SUM(blood_pressure) FROM t WHERE height = 170",
+        );
         assert!(matches!(a1, Answer::Exact(_)));
         // Subset differing by one record: overlap 3 > 2 → refused.
         let a2 = run(
@@ -369,7 +408,11 @@ mod tests {
         );
         assert!(a2.is_refused(), "{a2:?}");
         // A disjoint class is fine.
-        let a3 = run(&mut p, &d, "SELECT SUM(blood_pressure) FROM t WHERE height = 175");
+        let a3 = run(
+            &mut p,
+            &d,
+            "SELECT SUM(blood_pressure) FROM t WHERE height = 175",
+        );
         assert!(matches!(a3, Answer::Exact(_)));
     }
 
@@ -380,11 +423,17 @@ mod tests {
         use crate::tracker::disclose_individual;
         let d = patients::dataset2();
         let mut db = StatDb::new(d, ControlPolicy::overlap(2, 3));
-        let target = Predicate::cmp("height", CmpOp::Lt, 165.0)
-            .and(Predicate::cmp("weight", CmpOp::Gt, 105.0));
+        let target = Predicate::cmp("height", CmpOp::Lt, 165.0).and(Predicate::cmp(
+            "weight",
+            CmpOp::Gt,
+            105.0,
+        ));
         let tracker = Predicate::cmp("aids", CmpOp::Eq, false);
         let got = disclose_individual(&mut db, "blood_pressure", &target, &tracker).unwrap();
-        assert_eq!(got, None, "tracker probes overlap heavily and must be cut off");
+        assert_eq!(
+            got, None,
+            "tracker probes overlap heavily and must be cut off"
+        );
         assert!(db.refusals() > 0);
     }
 

@@ -17,8 +17,8 @@
 use crate::ast::{Aggregate, Query};
 use crate::control::Answer;
 use crate::engine::Evaluation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
 use std::collections::BTreeMap;
 use tdf_microdata::rng::laplace;
 use tdf_microdata::Dataset;
@@ -40,7 +40,10 @@ impl DpPolicy {
     /// Creates a policy spending `epsilon_per_query` per answer out of a
     /// total `budget`.
     pub fn new(epsilon_per_query: f64, budget: f64, seed: u64) -> Self {
-        assert!(epsilon_per_query > 0.0 && budget > 0.0, "epsilon and budget must be positive");
+        assert!(
+            epsilon_per_query > 0.0 && budget > 0.0,
+            "epsilon and budget must be positive"
+        );
         Self {
             epsilon_per_query,
             budget,
@@ -112,8 +115,7 @@ mod tests {
         let mut errors = Vec::new();
         for seed in 0..200 {
             let mut p = DpPolicy::new(1.0, 10.0, seed);
-            if let Answer::Perturbed(v) = ask(&mut p, &d, "SELECT COUNT(*) FROM t WHERE aids = Y")
-            {
+            if let Answer::Perturbed(v) = ask(&mut p, &d, "SELECT COUNT(*) FROM t WHERE aids = Y") {
                 errors.push((v - 3.0).abs());
             }
         }

@@ -113,8 +113,11 @@ mod tests {
         let e = evaluate(&d, &q).unwrap();
         assert!(e.query_set.is_empty());
         assert_eq!(e.value, None);
-        let c = evaluate(&d, &parse("SELECT COUNT(*) FROM t WHERE height > 999").unwrap())
-            .unwrap();
+        let c = evaluate(
+            &d,
+            &parse("SELECT COUNT(*) FROM t WHERE height > 999").unwrap(),
+        )
+        .unwrap();
         assert_eq!(c.value, Some(0.0));
     }
 

@@ -241,10 +241,14 @@ impl Parser {
         match self.next() {
             Some(Token::Number(x)) => Ok(Value::Float(x)),
             Some(Token::Str(s)) => Ok(Value::Str(s)),
-            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("y") || s.eq_ignore_ascii_case("true") => {
+            Some(Token::Ident(s))
+                if s.eq_ignore_ascii_case("y") || s.eq_ignore_ascii_case("true") =>
+            {
                 Ok(Value::Bool(true))
             }
-            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("n") || s.eq_ignore_ascii_case("false") => {
+            Some(Token::Ident(s))
+                if s.eq_ignore_ascii_case("n") || s.eq_ignore_ascii_case("false") =>
+            {
                 Ok(Value::Bool(false))
             }
             Some(Token::Ident(s)) => Ok(Value::Str(s)),
@@ -280,10 +284,18 @@ impl Parser {
             Some(Token::Ge) => CmpOp::Ge,
             Some(Token::Eq) => CmpOp::Eq,
             Some(Token::Ne) => CmpOp::Ne,
-            other => return Err(err(format!("expected comparison operator, found {other:?}"))),
+            other => {
+                return Err(err(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
         };
         let literal = self.literal()?;
-        Ok(Predicate::Cmp { attribute, op, literal })
+        Ok(Predicate::Cmp {
+            attribute,
+            op,
+            literal,
+        })
     }
 }
 
@@ -296,7 +308,10 @@ impl Parser {
 /// assert_eq!(q.aggregate.attribute(), Some("blood_pressure"));
 /// ```
 pub fn parse(input: &str) -> Result<Query> {
-    let mut p = Parser { tokens: lex(input)?, pos: 0 };
+    let mut p = Parser {
+        tokens: lex(input)?,
+        pos: 0,
+    };
     p.expect_keyword("select")?;
     let aggregate = p.aggregate()?;
     p.expect_keyword("from")?;
@@ -310,7 +325,10 @@ pub fn parse(input: &str) -> Result<Query> {
     if p.peek().is_some() {
         return Err(err(format!("trailing tokens after query: {:?}", p.peek())));
     }
-    Ok(Query { aggregate, predicate })
+    Ok(Query {
+        aggregate,
+        predicate,
+    })
 }
 
 #[cfg(test)]
@@ -320,13 +338,12 @@ mod tests {
     #[test]
     fn parses_the_papers_two_attack_queries() {
         // Verbatim from §3 of the paper (modulo the table name).
-        let q1 = parse("SELECT COUNT(*) FROM Dataset2 WHERE height < 165 AND weight > 105")
-            .unwrap();
+        let q1 =
+            parse("SELECT COUNT(*) FROM Dataset2 WHERE height < 165 AND weight > 105").unwrap();
         assert_eq!(q1.aggregate, Aggregate::Count);
-        let q2 = parse(
-            "SELECT AVG(blood_pressure) FROM Dataset2 WHERE height < 165 AND weight > 105",
-        )
-        .unwrap();
+        let q2 =
+            parse("SELECT AVG(blood_pressure) FROM Dataset2 WHERE height < 165 AND weight > 105")
+                .unwrap();
         assert_eq!(q2.aggregate, Aggregate::Avg("blood_pressure".into()));
         assert_eq!(q1.predicate, q2.predicate);
     }
@@ -397,10 +414,7 @@ mod tests {
     #[test]
     fn between_desugars_to_inclusive_range() {
         let q = parse("SELECT COUNT(*) FROM t WHERE height BETWEEN 160 AND 170").unwrap();
-        assert_eq!(
-            q.predicate,
-            Predicate::between("height", 160.0, 170.0)
-        );
+        assert_eq!(q.predicate, Predicate::between("height", 160.0, 170.0));
         // Inclusivity check through evaluation-free structure:
         let s = q.predicate.to_string();
         assert!(s.contains(">= 160") && s.contains("<= 170"), "{s}");

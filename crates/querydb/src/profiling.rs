@@ -52,7 +52,10 @@ impl UserProfile {
 
     /// The user's most frequent query, if any.
     pub fn favourite(&self) -> Option<(&str, usize)> {
-        self.counts.iter().max_by_key(|(_, &c)| c).map(|(q, &c)| (q.as_str(), c))
+        self.counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(q, &c)| (q.as_str(), c))
     }
 }
 
@@ -99,8 +102,18 @@ pub fn relink_rate(log: &[(u32, Query)]) -> f64 {
                 dot += c as f64 * d as f64;
             }
         }
-        let na: f64 = a.counts.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
-        let nb: f64 = b.counts.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+        let na: f64 = a
+            .counts
+            .values()
+            .map(|&c| (c as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let nb: f64 = b
+            .counts
+            .values()
+            .map(|&c| (c as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         if na == 0.0 || nb == 0.0 {
             0.0
         } else {

@@ -23,7 +23,11 @@ pub struct StatDb {
 impl StatDb {
     /// Opens a database over `data` with the given policy.
     pub fn new(data: Dataset, policy: ControlPolicy) -> Self {
-        Self { data, policy, log: Vec::new() }
+        Self {
+            data,
+            policy,
+            log: Vec::new(),
+        }
     }
 
     /// The underlying data (the owner's view).
@@ -66,8 +70,10 @@ mod tests {
             patients::dataset2(),
             ControlPolicy::SizeRestriction { min_size: 2 },
         );
-        db.query_str("SELECT COUNT(*) FROM t WHERE aids = Y").unwrap();
-        db.query_str("SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105").unwrap();
+        db.query_str("SELECT COUNT(*) FROM t WHERE aids = Y")
+            .unwrap();
+        db.query_str("SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105")
+            .unwrap();
         assert_eq!(db.query_log().len(), 2);
         assert_eq!(db.refusals(), 1);
         // The owner sees the full predicate of the refused query too.

@@ -30,7 +30,10 @@ pub struct TrackerOutcome {
 }
 
 fn ask(db: &mut StatDb, aggregate: Aggregate, predicate: Predicate) -> Result<Answer> {
-    db.query(Query { aggregate, predicate })
+    db.query(Query {
+        aggregate,
+        predicate,
+    })
 }
 
 /// Runs the general tracker attack to compute `aggregate` over the
@@ -67,7 +70,11 @@ pub fn general_tracker_attack(
     } else {
         None
     };
-    Ok(TrackerOutcome { inferred, queries_issued: 4, refused })
+    Ok(TrackerOutcome {
+        inferred,
+        queries_issued: 4,
+        refused,
+    })
 }
 
 /// Convenience: full §3-style disclosure of one respondent's value of
@@ -80,8 +87,7 @@ pub fn disclose_individual(
     tracker: &Predicate,
 ) -> Result<Option<f64>> {
     let count = general_tracker_attack(db, Aggregate::Count, target, tracker)?;
-    let sum =
-        general_tracker_attack(db, Aggregate::Sum(attribute.to_owned()), target, tracker)?;
+    let sum = general_tracker_attack(db, Aggregate::Sum(attribute.to_owned()), target, tracker)?;
     Ok(match (count.inferred, sum.inferred) {
         (Some(c), Some(s)) if (c - 1.0).abs() < 1e-6 => Some(s),
         _ => None,
@@ -97,8 +103,7 @@ mod tests {
 
     fn target() -> Predicate {
         // The paper's Mr./Mrs. X: unique in Dataset 2.
-        Predicate::cmp("height", CmpOp::Lt, 165.0)
-            .and(Predicate::cmp("weight", CmpOp::Gt, 105.0))
+        Predicate::cmp("height", CmpOp::Lt, 165.0).and(Predicate::cmp("weight", CmpOp::Gt, 105.0))
     }
 
     fn tracker() -> Predicate {
@@ -147,21 +152,22 @@ mod tests {
     #[test]
     fn noise_bounds_the_disclosure() {
         let mut db = StatDb::new(patients::dataset2(), ControlPolicy::noise(5.0, 1234));
-        let value = disclose_individual(&mut db, "blood_pressure", &target(), &tracker())
-            .unwrap();
+        let value = disclose_individual(&mut db, "blood_pressure", &target(), &tracker()).unwrap();
         // The count estimate is itself noisy; the attack may or may not
         // conclude. When it does, the value must be off the mark by the
         // accumulated noise rather than exact.
         if let Some(v) = value {
-            assert!((v - 146.0).abs() > 1e-9, "noise must not reproduce the exact value");
+            assert!(
+                (v - 146.0).abs() > 1e-9,
+                "noise must not reproduce the exact value"
+            );
         }
     }
 
     #[test]
     fn queries_issued_accounting() {
         let mut db = StatDb::new(patients::dataset2(), ControlPolicy::None);
-        let out =
-            general_tracker_attack(&mut db, Aggregate::Count, &target(), &tracker()).unwrap();
+        let out = general_tracker_attack(&mut db, Aggregate::Count, &target(), &tracker()).unwrap();
         assert_eq!(out.queries_issued, 4);
         assert_eq!(db.query_log().len(), 4);
     }

@@ -1,0 +1,166 @@
+//! Sequence helpers (the `rand::seq` slice the workspace uses).
+
+use crate::Rng;
+
+/// Error returned by [`SliceRandom::choose_weighted`] when the weights
+/// are unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightError {
+    /// The slice was empty.
+    Empty,
+    /// All weights were zero, or a weight was negative / non-finite.
+    InvalidWeight,
+}
+
+impl core::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WeightError::Empty => write!(f, "cannot choose from an empty slice"),
+            WeightError::InvalidWeight => {
+                write!(f, "weights must be finite, non-negative, not all zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// An element drawn with probability proportional to `weight(item)`.
+    fn choose_weighted<R, F>(&self, rng: &mut R, weight: F) -> Result<&Self::Item, WeightError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&Self::Item) -> f64;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_weighted<R, F>(&self, rng: &mut R, weight: F) -> Result<&T, WeightError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&T) -> f64,
+    {
+        if self.is_empty() {
+            return Err(WeightError::Empty);
+        }
+        let weights: Vec<f64> = self.iter().map(&weight).collect();
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(WeightError::InvalidWeight);
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(WeightError::InvalidWeight);
+        }
+        let mut t = rng.gen::<f64>() * total;
+        for (item, w) in self.iter().zip(&weights) {
+            t -= w;
+            if t <= 0.0 {
+                return Ok(item);
+            }
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        Ok(self
+            .iter()
+            .zip(&weights)
+            .rev()
+            .find(|(_, &w)| w > 0.0)
+            .map(|(item, _)| item)
+            .expect("total > 0 implies a positive weight"))
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn choose_is_none_on_empty_and_covers_all() {
+        let mut r = StdRng::seed_from_u64(1);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+        let items = [1u32, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[(*items.choose(&mut r).unwrap() - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn choose_weighted_respects_weights() {
+        let mut r = StdRng::seed_from_u64(2);
+        let items = ["heavy", "light"];
+        let n = 10_000;
+        let heavy = (0..n)
+            .filter(|_| {
+                *items
+                    .choose_weighted(&mut r, |s| if *s == "heavy" { 9.0 } else { 1.0 })
+                    .unwrap()
+                    == "heavy"
+            })
+            .count();
+        let rate = heavy as f64 / n as f64;
+        assert!((rate - 0.9).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn choose_weighted_rejects_bad_weights() {
+        let mut r = StdRng::seed_from_u64(3);
+        let empty: [u32; 0] = [];
+        assert_eq!(
+            empty.choose_weighted(&mut r, |_| 1.0),
+            Err(WeightError::Empty)
+        );
+        let items = [1u32, 2];
+        assert_eq!(
+            items.choose_weighted(&mut r, |_| 0.0),
+            Err(WeightError::InvalidWeight)
+        );
+        assert_eq!(
+            items.choose_weighted(&mut r, |_| -1.0),
+            Err(WeightError::InvalidWeight)
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle should move elements"
+        );
+    }
+}

@@ -6,14 +6,11 @@ use tdf_microdata::{Dataset, Error, Result, Value};
 /// Replaces values above the `upper_q` quantile with that quantile and
 /// values below the `lower_q` quantile with that quantile (top/bottom
 /// coding). Quantiles must satisfy `0 ≤ lower_q < upper_q ≤ 1`.
-pub fn top_bottom_code(
-    data: &Dataset,
-    col: usize,
-    lower_q: f64,
-    upper_q: f64,
-) -> Result<Dataset> {
+pub fn top_bottom_code(data: &Dataset, col: usize, lower_q: f64, upper_q: f64) -> Result<Dataset> {
     if !(0.0..=1.0).contains(&lower_q) || !(0.0..=1.0).contains(&upper_q) || lower_q >= upper_q {
-        return Err(Error::InvalidParameter("need 0 <= lower_q < upper_q <= 1".into()));
+        return Err(Error::InvalidParameter(
+            "need 0 <= lower_q < upper_q <= 1".into(),
+        ));
     }
     if !data.schema().attribute(col).kind.is_numeric() {
         return Err(Error::NotNumeric(data.schema().attribute(col).name.clone()));
@@ -39,7 +36,9 @@ pub fn top_bottom_code(
 /// Rounds a numeric column to the nearest multiple of `base` (> 0).
 pub fn round_to_base(data: &Dataset, col: usize, base: f64) -> Result<Dataset> {
     if base <= 0.0 {
-        return Err(Error::InvalidParameter("rounding base must be positive".into()));
+        return Err(Error::InvalidParameter(
+            "rounding base must be positive".into(),
+        ));
     }
     if !data.schema().attribute(col).kind.is_numeric() {
         return Err(Error::NotNumeric(data.schema().attribute(col).name.clone()));
@@ -60,7 +59,10 @@ mod tests {
 
     #[test]
     fn top_bottom_coding_clamps_tails() {
-        let d = patients(&PatientConfig { n: 1000, ..Default::default() });
+        let d = patients(&PatientConfig {
+            n: 1000,
+            ..Default::default()
+        });
         let coded = top_bottom_code(&d, 0, 0.05, 0.95).unwrap();
         let xs = coded.numeric_column(0);
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -68,15 +70,24 @@ mod tests {
         let orig = d.numeric_column(0);
         let olo = orig.iter().cloned().fold(f64::INFINITY, f64::min);
         let ohi = orig.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(lo > olo && hi < ohi, "tails must shrink: [{lo},{hi}] vs [{olo},{ohi}]");
+        assert!(
+            lo > olo && hi < ohi,
+            "tails must shrink: [{lo},{hi}] vs [{olo},{ohi}]"
+        );
         // Interior values are untouched.
         let changed = orig.iter().zip(&xs).filter(|(a, b)| a != b).count();
-        assert!(changed > 0 && changed < d.num_rows() / 5, "changed {changed}");
+        assert!(
+            changed > 0 && changed < d.num_rows() / 5,
+            "changed {changed}"
+        );
     }
 
     #[test]
     fn rounding_quantises() {
-        let d = patients(&PatientConfig { n: 100, ..Default::default() });
+        let d = patients(&PatientConfig {
+            n: 100,
+            ..Default::default()
+        });
         let rounded = round_to_base(&d, 2, 10.0).unwrap();
         for x in rounded.numeric_column(2) {
             assert!((x / 10.0 - (x / 10.0).round()).abs() < 1e-9, "{x}");
@@ -85,7 +96,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        let d = patients(&PatientConfig { n: 10, ..Default::default() });
+        let d = patients(&PatientConfig {
+            n: 10,
+            ..Default::default()
+        });
         assert!(top_bottom_code(&d, 0, 0.9, 0.1).is_err());
         assert!(top_bottom_code(&d, 3, 0.1, 0.9).is_err());
         assert!(round_to_base(&d, 0, 0.0).is_err());

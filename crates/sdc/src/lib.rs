@@ -39,7 +39,7 @@ pub mod swapping;
 pub mod tables;
 pub mod utility;
 
-pub use microaggregation::{mdav_microaggregate, fixed_microaggregate, MicroaggregationResult};
-pub use noise::{add_noise, add_correlated_noise, NoiseConfig};
-pub use risk::{record_linkage_rate, interval_disclosure_rate, uniqueness_rate};
+pub use microaggregation::{fixed_microaggregate, mdav_microaggregate, MicroaggregationResult};
+pub use noise::{add_correlated_noise, add_noise, NoiseConfig};
+pub use risk::{interval_disclosure_rate, record_linkage_rate, uniqueness_rate};
 pub use utility::{il1s, UtilityReport};

@@ -36,10 +36,16 @@ pub struct MicroaggregationResult {
 /// let masked = mdav_microaggregate(&data, &[0, 1], 3).unwrap().data;
 /// assert!(is_k_anonymous(&masked, 3));
 /// ```
-pub fn mdav_microaggregate(data: &Dataset, cols: &[usize], k: usize) -> Result<MicroaggregationResult> {
+pub fn mdav_microaggregate(
+    data: &Dataset,
+    cols: &[usize],
+    k: usize,
+) -> Result<MicroaggregationResult> {
     validate(data, cols, k)?;
     let std = Standardizer::fit(data, cols);
-    let points: Vec<Vec<f64>> = (0..data.num_rows()).map(|i| std.transform(data.row(i))).collect();
+    let points: Vec<Vec<f64>> = (0..data.num_rows())
+        .map(|i| std.transform(data.row(i)))
+        .collect();
 
     let mut remaining: Vec<usize> = (0..data.num_rows()).collect();
     let mut groups: Vec<Vec<usize>> = Vec::new();
@@ -56,7 +62,8 @@ pub fn mdav_microaggregate(data: &Dataset, cols: &[usize], k: usize) -> Result<M
         let s = *remaining
             .iter()
             .max_by(|&&a, &&b| {
-                sq_euclidean(&points[a], &points[r]).total_cmp(&sq_euclidean(&points[b], &points[r]))
+                sq_euclidean(&points[a], &points[r])
+                    .total_cmp(&sq_euclidean(&points[b], &points[r]))
             })
             .expect("non-empty");
         for anchor in [r, s] {
@@ -97,18 +104,31 @@ pub fn mdav_microaggregate(data: &Dataset, cols: &[usize], k: usize) -> Result<M
 /// direction proxy (sum of standardized coordinates) and cuts consecutive
 /// groups of `k`. Faster and simpler than MDAV, with higher information
 /// loss — the ablation bench `ablate_microagg` quantifies the gap.
-pub fn fixed_microaggregate(data: &Dataset, cols: &[usize], k: usize) -> Result<MicroaggregationResult> {
+pub fn fixed_microaggregate(
+    data: &Dataset,
+    cols: &[usize],
+    k: usize,
+) -> Result<MicroaggregationResult> {
     validate(data, cols, k)?;
     let std = Standardizer::fit(data, cols);
-    let points: Vec<Vec<f64>> = (0..data.num_rows()).map(|i| std.transform(data.row(i))).collect();
+    let points: Vec<Vec<f64>> = (0..data.num_rows())
+        .map(|i| std.transform(data.row(i)))
+        .collect();
     let mut order: Vec<usize> = (0..data.num_rows()).collect();
     order.sort_by(|&a, &b| {
-        points[a].iter().sum::<f64>().total_cmp(&points[b].iter().sum::<f64>())
+        points[a]
+            .iter()
+            .sum::<f64>()
+            .total_cmp(&points[b].iter().sum::<f64>())
     });
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut i = 0usize;
     while i < order.len() {
-        let take = if order.len() - i < 2 * k { order.len() - i } else { k };
+        let take = if order.len() - i < 2 * k {
+            order.len() - i
+        } else {
+            k
+        };
         groups.push(order[i..i + take].to_vec());
         i += take;
     }
@@ -117,7 +137,9 @@ pub fn fixed_microaggregate(data: &Dataset, cols: &[usize], k: usize) -> Result<
 
 fn validate(data: &Dataset, cols: &[usize], k: usize) -> Result<()> {
     if k == 0 {
-        return Err(Error::InvalidParameter("microaggregation needs k >= 1".into()));
+        return Err(Error::InvalidParameter(
+            "microaggregation needs k >= 1".into(),
+        ));
     }
     if data.num_rows() < k {
         return Err(Error::InvalidParameter(format!(
@@ -156,7 +178,9 @@ fn finish(
     let mut out = data.clone();
     let mut group_of = vec![0usize; data.num_rows()];
     let mut sse = 0.0;
-    let points: Vec<Vec<f64>> = (0..data.num_rows()).map(|i| std.transform(data.row(i))).collect();
+    let points: Vec<Vec<f64>> = (0..data.num_rows())
+        .map(|i| std.transform(data.row(i)))
+        .collect();
     for (gid, members) in groups.iter().enumerate() {
         // Raw-space centroid per column (means of original values).
         for &col in cols {
@@ -166,7 +190,8 @@ fn finish(
                 .sum::<f64>()
                 / members.len() as f64;
             for &i in members {
-                out.set_value(i, col, Value::Float(mean)).expect("numeric column");
+                out.set_value(i, col, Value::Float(mean))
+                    .expect("numeric column");
             }
         }
         let c = centroid_of(&points, members);
@@ -176,7 +201,12 @@ fn finish(
         }
     }
     let num_groups = groups.len();
-    MicroaggregationResult { data: out, group_of, num_groups, sse }
+    MicroaggregationResult {
+        data: out,
+        group_of,
+        num_groups,
+        sse,
+    }
 }
 
 #[cfg(test)]
@@ -192,7 +222,10 @@ mod tests {
 
     #[test]
     fn mdav_groups_have_size_between_k_and_2k_minus_1() {
-        let d = synth(&PatientConfig { n: 200, ..Default::default() });
+        let d = synth(&PatientConfig {
+            n: 200,
+            ..Default::default()
+        });
         for k in [2usize, 3, 5, 10] {
             let r = mdav_microaggregate(&d, &qi(&d), k).unwrap();
             let mut counts = vec![0usize; r.num_groups];
@@ -217,14 +250,20 @@ mod tests {
 
     #[test]
     fn fixed_microaggregation_also_k_anonymizes() {
-        let d = synth(&PatientConfig { n: 157, ..Default::default() });
+        let d = synth(&PatientConfig {
+            n: 157,
+            ..Default::default()
+        });
         let r = fixed_microaggregate(&d, &qi(&d), 4).unwrap();
         assert!(is_k_anonymous(&r.data, 4));
     }
 
     #[test]
     fn means_are_preserved_exactly() {
-        let d = synth(&PatientConfig { n: 100, ..Default::default() });
+        let d = synth(&PatientConfig {
+            n: 100,
+            ..Default::default()
+        });
         let r = mdav_microaggregate(&d, &qi(&d), 5).unwrap();
         for col in qi(&d) {
             let orig = tdf_microdata::stats::mean(&d.numeric_column(col)).unwrap();
@@ -235,7 +274,10 @@ mod tests {
 
     #[test]
     fn mdav_beats_fixed_size_on_sse() {
-        let d = synth(&PatientConfig { n: 300, ..Default::default() });
+        let d = synth(&PatientConfig {
+            n: 300,
+            ..Default::default()
+        });
         let mdav = mdav_microaggregate(&d, &qi(&d), 5).unwrap();
         let fixed = fixed_microaggregate(&d, &qi(&d), 5).unwrap();
         assert!(

@@ -8,7 +8,7 @@
 //! (at the cost of the vulnerabilities [11] exposes — see
 //! `tdf-ppdm::sparsity`).
 
-use rand::Rng;
+use rngkit::Rng;
 use tdf_microdata::rng::standard_normal;
 use tdf_microdata::stats;
 use tdf_microdata::{Dataset, Error, Result, Value};
@@ -149,7 +149,10 @@ mod tests {
     use tdf_microdata::synth::{patients, PatientConfig};
 
     fn data() -> Dataset {
-        patients(&PatientConfig { n: 3000, ..Default::default() })
+        patients(&PatientConfig {
+            n: 3000,
+            ..Default::default()
+        })
     }
 
     #[test]

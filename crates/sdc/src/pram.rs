@@ -6,7 +6,7 @@
 //! noise addition, and the masking mechanism underlying randomized-response
 //! PPDM (see `tdf-ppdm::randomized_response` for the owner-side variant).
 
-use rand::Rng;
+use rngkit::Rng;
 use std::collections::BTreeSet;
 use tdf_microdata::{AttributeKind, Dataset, Error, Result, Value};
 
@@ -24,10 +24,12 @@ pub fn pram<R: Rng + ?Sized>(
     let kind = data.schema().attribute(col).kind;
     match kind {
         AttributeKind::Nominal | AttributeKind::Ordinal | AttributeKind::Boolean => {}
-        _ => return Err(Error::NotNumeric(format!(
-            "PRAM applies to categorical attributes, `{}` is numeric",
-            data.schema().attribute(col).name
-        ))),
+        _ => {
+            return Err(Error::NotNumeric(format!(
+                "PRAM applies to categorical attributes, `{}` is numeric",
+                data.schema().attribute(col).name
+            )))
+        }
     }
 
     // Category domain observed in the data.
@@ -166,23 +168,47 @@ mod tests {
 
     #[test]
     fn frequency_unbiasing_recovers_truth() {
-        let d = census(8000, 4);
+        // The census draws diseases *uniformly*, i.e. at PRAM's fixed
+        // point 1/c, where the observed frequency is already unbiased and
+        // inversion only amplifies sampling noise. To exercise the bias
+        // the estimator exists to remove, skew the column first: 40%
+        // cancer, the rest cycling through the other diseases.
+        let mut d = census(8000, 4);
         let col = 4;
+        let others: Vec<&str> = tdf_microdata::synth::DISEASES
+            .iter()
+            .copied()
+            .filter(|v| *v != "cancer")
+            .collect();
+        for i in 0..d.num_rows() {
+            let v = if i % 10 < 4 {
+                "cancer"
+            } else {
+                others[i % others.len()]
+            };
+            d.set_value(i, col, Value::Str(v.to_owned())).unwrap();
+        }
         let flip = 0.4;
-        let masked = pram(&d, col, flip, &mut seeded(4)).unwrap();
         let count = |data: &Dataset, v: &str| {
             data.matching_indices(|r| r[col].as_str() == Some(v)).len() as f64
                 / data.num_rows() as f64
         };
         let truth = count(&d, "cancer");
+        assert!((truth - 0.4).abs() < 1e-9);
+        let masked = pram(&d, col, flip, &mut seeded(4)).unwrap();
         let observed = count(&masked, "cancer");
         let estimated = unbias_frequency(observed, flip, tdf_microdata::synth::DISEASES.len());
         assert!(
             (estimated - truth).abs() < 0.02,
             "truth {truth}, observed {observed}, estimated {estimated}"
         );
-        // The raw observed frequency is biased toward uniform.
+        // The raw observed frequency is pulled toward the uniform point
+        // 1/c — the bias inversion removes (E[observed] ≈ 0.288 here).
         assert!((observed - truth).abs() > (estimated - truth).abs());
+        assert!(
+            observed < truth - 0.05,
+            "observed {observed} should be biased down"
+        );
     }
 
     #[test]
@@ -191,9 +217,13 @@ mod tests {
         let col = 4;
         let masked = invariant_pram(&d, col, 0.6, &mut seeded(8)).unwrap();
         for disease in tdf_microdata::synth::DISEASES {
-            let f0 = d.matching_indices(|r| r[col].as_str() == Some(disease)).len() as f64
+            let f0 = d
+                .matching_indices(|r| r[col].as_str() == Some(disease))
+                .len() as f64
                 / d.num_rows() as f64;
-            let f1 = masked.matching_indices(|r| r[col].as_str() == Some(disease)).len() as f64
+            let f1 = masked
+                .matching_indices(|r| r[col].as_str() == Some(disease))
+                .len() as f64
                 / masked.num_rows() as f64;
             assert!((f0 - f1).abs() < 0.02, "{disease}: {f0} vs {f1}");
         }

@@ -27,8 +27,9 @@ pub fn record_linkage_rate(original: &Dataset, masked: &Dataset, qi_cols: &[usiz
     // Standardize with the *original* data's scale: that is the intruder's
     // external knowledge.
     let std = Standardizer::fit(original, qi_cols);
-    let masked_pts: Vec<Vec<f64>> =
-        (0..masked.num_rows()).map(|i| std.transform(masked.row(i))).collect();
+    let masked_pts: Vec<Vec<f64>> = (0..masked.num_rows())
+        .map(|i| std.transform(masked.row(i)))
+        .collect();
 
     let mut expected_hits = 0.0;
     for i in 0..original.num_rows() {
@@ -122,8 +123,7 @@ pub fn interval_disclosure_rate(
         let sd = tdf_microdata::stats::std_dev(&original.numeric_column(c)).unwrap_or(0.0);
         let tol = fraction * if sd > 0.0 { sd } else { 1.0 };
         for i in 0..original.num_rows() {
-            if let (Some(x), Some(y)) =
-                (original.value(i, c).as_f64(), masked.value(i, c).as_f64())
+            if let (Some(x), Some(y)) = (original.value(i, c).as_f64(), masked.value(i, c).as_f64())
             {
                 total += 1;
                 if (x - y).abs() <= tol {
@@ -188,20 +188,29 @@ mod tests {
 
     #[test]
     fn noise_reduces_linkage_monotonically_in_alpha() {
-        let d = synth(&PatientConfig { n: 400, ..Default::default() });
+        let d = synth(&PatientConfig {
+            n: 400,
+            ..Default::default()
+        });
         let mut prev = 1.1;
         for alpha in [0.0, 0.2, 1.0, 4.0] {
             let masked =
                 add_noise(&d, &NoiseConfig::new(alpha, vec![0, 1]), &mut seeded(42)).unwrap();
             let rate = record_linkage_rate(&d, &masked, &[0, 1]).unwrap();
-            assert!(rate <= prev + 0.05, "alpha {alpha}: rate {rate} vs prev {prev}");
+            assert!(
+                rate <= prev + 0.05,
+                "alpha {alpha}: rate {rate} vs prev {prev}"
+            );
             prev = rate;
         }
     }
 
     #[test]
     fn interval_disclosure_decreases_with_noise() {
-        let d = synth(&PatientConfig { n: 300, ..Default::default() });
+        let d = synth(&PatientConfig {
+            n: 300,
+            ..Default::default()
+        });
         let weak = add_noise(&d, &NoiseConfig::new(0.05, vec![2]), &mut seeded(1)).unwrap();
         let strong = add_noise(&d, &NoiseConfig::new(2.0, vec![2]), &mut seeded(1)).unwrap();
         let r_weak = interval_disclosure_rate(&d, &weak, &[2], 0.1).unwrap();
@@ -216,7 +225,7 @@ mod tests {
         use tdf_microdata::synth::census;
         let d = census(300, 5);
         let qi = d.schema().quasi_identifier_indices(); // age, zip, education
-        // Unmasked: near-perfect linkage (ties only where full QI repeats).
+                                                        // Unmasked: near-perfect linkage (ties only where full QI repeats).
         let raw = record_linkage_rate_mixed(&d, &d, &qi).unwrap();
         assert!(raw > 0.9, "raw {raw}");
         // PRAM the zip code hard: linkage must drop.
@@ -233,7 +242,10 @@ mod tests {
         let sup = tdf_anonymity::suppress_to_k_anonymity(&d, 3).data;
         let rate = record_linkage_rate_mixed(&d, &sup, &[0, 1]).unwrap();
         let raw = record_linkage_rate_mixed(&d, &d, &[0, 1]).unwrap();
-        assert!(rate < raw, "suppression must reduce linkage: {rate} vs {raw}");
+        assert!(
+            rate < raw,
+            "suppression must reduce linkage: {rate} vs {raw}"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! keep their approximate magnitude but detach from their records, breaking
 //! linkage while roughly preserving marginal distributions.
 
-use rand::Rng;
+use rngkit::Rng;
 use tdf_microdata::{Dataset, Error, Result};
 
 /// Rank-swaps the given numeric `cols` of `data` with window `p_percent`
@@ -17,7 +17,9 @@ pub fn rank_swap<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Dataset> {
     if !(0.0..=100.0).contains(&p_percent) || p_percent <= 0.0 {
-        return Err(Error::InvalidParameter("p_percent must be in (0, 100]".into()));
+        return Err(Error::InvalidParameter(
+            "p_percent must be in (0, 100]".into(),
+        ));
     }
     for &c in cols {
         if !data.schema().attribute(c).kind.is_numeric() {
@@ -72,7 +74,10 @@ mod tests {
     use tdf_microdata::synth::{patients, PatientConfig};
 
     fn data() -> Dataset {
-        patients(&PatientConfig { n: 500, ..Default::default() })
+        patients(&PatientConfig {
+            n: 500,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -104,7 +109,10 @@ mod tests {
             .zip(&got)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
-        assert!(max_shift < range * 0.25, "max shift {max_shift}, range {range}");
+        assert!(
+            max_shift < range * 0.25,
+            "max shift {max_shift}, range {range}"
+        );
     }
 
     #[test]
@@ -140,7 +148,8 @@ mod tests {
     fn tiny_datasets_are_returned_unchanged() {
         use tdf_microdata::patients::patient_schema;
         let mut d = Dataset::new(patient_schema());
-        d.push_row(vec![170.0.into(), 70.0.into(), 130.0.into(), false.into()]).unwrap();
+        d.push_row(vec![170.0.into(), 70.0.into(), 130.0.into(), false.into()])
+            .unwrap();
         let masked = rank_swap(&d, &[0], 10.0, &mut seeded(12)).unwrap();
         assert_eq!(masked, d);
     }

@@ -62,7 +62,11 @@ impl FrequencyTable {
                 .expect("label collected");
             counts[r][c] += 1;
         }
-        Ok(Self { row_labels, col_labels, counts })
+        Ok(Self {
+            row_labels,
+            col_labels,
+            counts,
+        })
     }
 
     /// Row margins (sums).
@@ -154,8 +158,11 @@ pub fn suppress_small_cells(table: &FrequencyTable, threshold: usize) -> Suppres
             }
         }
     }
-    let mut result =
-        SuppressedTable { table: table.clone(), suppressed, complementary: 0 };
+    let mut result = SuppressedTable {
+        table: table.clone(),
+        suppressed,
+        complementary: 0,
+    };
     // Greedy repair: while unsafe, suppress the smallest positive published
     // cell sharing a row or column with some suppressed cell.
     while !result.is_safe() {
@@ -224,11 +231,7 @@ mod tests {
         let t = toy_table();
         let mut s = SuppressedTable {
             table: t,
-            suppressed: vec![
-                vec![true, false, false],
-                vec![false; 3],
-                vec![false; 3],
-            ],
+            suppressed: vec![vec![true, false, false], vec![false; 3], vec![false; 3]],
             complementary: 0,
         };
         assert!(!s.is_safe());
@@ -249,7 +252,10 @@ mod tests {
         assert!(s.suppressed[0][0]);
         assert!(s.suppressed[2][1]);
         assert!(s.is_safe());
-        assert!(s.complementary > 0, "complementary suppression was required");
+        assert!(
+            s.complementary > 0,
+            "complementary suppression was required"
+        );
     }
 
     #[test]

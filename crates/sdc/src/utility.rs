@@ -57,7 +57,11 @@ pub struct UtilityReport {
 }
 
 /// Computes a [`UtilityReport`] over the numeric columns `cols`.
-pub fn utility_report(original: &Dataset, masked: &Dataset, cols: &[usize]) -> Result<UtilityReport> {
+pub fn utility_report(
+    original: &Dataset,
+    masked: &Dataset,
+    cols: &[usize],
+) -> Result<UtilityReport> {
     let il = il1s(original, masked, cols)?;
     let mut max_mean = 0.0f64;
     let mut max_var = 0.0f64;
@@ -101,7 +105,10 @@ mod tests {
     use tdf_microdata::Value;
 
     fn data() -> Dataset {
-        patients(&PatientConfig { n: 500, ..Default::default() })
+        patients(&PatientConfig {
+            n: 500,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -130,8 +137,18 @@ mod tests {
     #[test]
     fn il1s_grows_with_k_for_microaggregation() {
         let d = data();
-        let il3 = il1s(&d, &mdav_microaggregate(&d, &[0, 1], 3).unwrap().data, &[0, 1]).unwrap();
-        let il25 = il1s(&d, &mdav_microaggregate(&d, &[0, 1], 25).unwrap().data, &[0, 1]).unwrap();
+        let il3 = il1s(
+            &d,
+            &mdav_microaggregate(&d, &[0, 1], 3).unwrap().data,
+            &[0, 1],
+        )
+        .unwrap();
+        let il25 = il1s(
+            &d,
+            &mdav_microaggregate(&d, &[0, 1], 25).unwrap().data,
+            &[0, 1],
+        )
+        .unwrap();
         assert!(il3 < il25, "{il3} vs {il25}");
     }
 

@@ -11,7 +11,7 @@
 //! crypto PPDM in §4 of the paper.
 
 use crate::sharing::{additive_reconstruct, additive_share};
-use rand::Rng;
+use rngkit::Rng;
 use tdf_mathkit::Fp61;
 
 /// Shares of one Beaver triple for `k` parties.
@@ -40,21 +40,29 @@ pub fn deal_triple<R: Rng + ?Sized>(rng: &mut R, k: usize) -> TripleShares {
 /// Multiplies two additively shared values using one dealt triple.
 /// `x_shares` and `y_shares` are per-party shares; returns per-party shares
 /// of the product.
-pub fn beaver_multiply(
-    triple: &TripleShares,
-    x_shares: &[Fp61],
-    y_shares: &[Fp61],
-) -> Vec<Fp61> {
+pub fn beaver_multiply(triple: &TripleShares, x_shares: &[Fp61], y_shares: &[Fp61]) -> Vec<Fp61> {
     let k = x_shares.len();
     assert_eq!(y_shares.len(), k, "share vectors must align");
-    assert_eq!(triple.a.len(), k, "triple dealt for a different party count");
+    assert_eq!(
+        triple.a.len(),
+        k,
+        "triple dealt for a different party count"
+    );
 
     // Parties open d = x − a and e = y − b (public values).
     let d = additive_reconstruct(
-        &x_shares.iter().zip(&triple.a).map(|(&x, &a)| x - a).collect::<Vec<_>>(),
+        &x_shares
+            .iter()
+            .zip(&triple.a)
+            .map(|(&x, &a)| x - a)
+            .collect::<Vec<_>>(),
     );
     let e = additive_reconstruct(
-        &y_shares.iter().zip(&triple.b).map(|(&y, &b)| y - b).collect::<Vec<_>>(),
+        &y_shares
+            .iter()
+            .zip(&triple.b)
+            .map(|(&y, &b)| y - b)
+            .collect::<Vec<_>>(),
     );
 
     // Share_i(xy) = c_i + d·b_i + e·a_i (+ d·e for exactly one party).
@@ -77,12 +85,12 @@ pub fn secure_and(triple: &TripleShares, x_shares: &[Fp61], y_shares: &[Fp61]) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use check::prelude::*;
+    use rngkit::SeedableRng;
     use tdf_mathkit::field::P;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(5150)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(5150)
     }
 
     #[test]
@@ -128,7 +136,7 @@ mod tests {
         let _ = beaver_multiply(&t, &xs, &ys);
     }
 
-    proptest! {
+    props! {
         #[test]
         fn multiplication_matches_field(x in 0..P, y in 0..P, k in 2usize..6) {
             let mut r = rng();

@@ -19,7 +19,7 @@
 
 use crate::sharing::{additive_reconstruct, additive_share};
 use crate::transcript::Transcript;
-use rand::Rng;
+use rngkit::Rng;
 use tdf_mathkit::field::P;
 use tdf_mathkit::Fp61;
 
@@ -28,7 +28,10 @@ use tdf_mathkit::Fp61;
 /// Trust model: the helper (party 2) must not collude with either
 /// millionaire; it observes `x + r` and `y + r` only.
 pub fn masked_compare<R: Rng + ?Sized>(rng: &mut R, x: u64, y: u64) -> (bool, Transcript) {
-    assert!(x < P / 4 && y < P / 4, "inputs must stay clear of field wraparound");
+    assert!(
+        x < P / 4 && y < P / 4,
+        "inputs must stay clear of field wraparound"
+    );
     let mut t = Transcript::new();
     // The dealer hands both parties the same mask (party 3 = dealer).
     let r = Fp61::random(rng).raw() % (P / 2); // keep x+r, y+r below P
@@ -104,11 +107,11 @@ pub fn shared_argmax<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use check::prelude::*;
+    use rngkit::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(0x3117)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(0x3117)
     }
 
     #[test]
@@ -134,7 +137,12 @@ mod tests {
     #[test]
     fn shared_compare_hand_cases() {
         let mut r = rng();
-        for (x, y, expect) in [(5u64, 3u64, true), (3, 5, false), (9, 9, true), (0, 0, true)] {
+        for (x, y, expect) in [
+            (5u64, 3u64, true),
+            (3, 5, false),
+            (9, 9, true),
+            (0, 0, true),
+        ] {
             let xs = additive_share(&mut r, Fp61::new(x), 3);
             let ys = additive_share(&mut r, Fp61::new(y), 3);
             assert_eq!(shared_compare(&mut r, &xs, &ys, 16), expect, "{x} vs {y}");
@@ -154,7 +162,7 @@ mod tests {
         assert_eq!(best, 1);
     }
 
-    proptest! {
+    props! {
         #[test]
         fn shared_compare_matches_plain(x in 0u64..1_000_000, y in 0u64..1_000_000,
                                         parties in 2usize..6) {

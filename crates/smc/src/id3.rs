@@ -12,7 +12,7 @@
 
 use crate::secure_sum::sharing_secure_sum;
 use crate::transcript::Transcript;
-use rand::Rng;
+use rngkit::Rng;
 use tdf_mathkit::Fp61;
 
 /// A categorical training set slice: `rows[i]` holds the attribute values
@@ -56,7 +56,10 @@ impl Tree {
     pub fn classify(&self, row: &[usize]) -> usize {
         match self {
             Tree::Leaf(c) => *c,
-            Tree::Node { attribute, children } => {
+            Tree::Node {
+                attribute,
+                children,
+            } => {
                 let v = row[*attribute].min(children.len() - 1);
                 children[v].classify(row)
             }
@@ -100,13 +103,23 @@ pub fn distributed_id3<R: Rng + ?Sized>(
     shape: &DataShape,
     max_depth: usize,
 ) -> Id3Result {
-    assert!(parties.len() >= 2, "distributed ID3 needs at least two parties");
-    let mut ctx = Ctx { transcripts: Vec::new(), secure_sums: 0 };
+    assert!(
+        parties.len() >= 2,
+        "distributed ID3 needs at least two parties"
+    );
+    let mut ctx = Ctx {
+        transcripts: Vec::new(),
+        secure_sums: 0,
+    };
     // Active-record masks per party (records matching the current branch).
     let masks: Vec<Vec<bool>> = parties.iter().map(|p| vec![true; p.len()]).collect();
     let attrs: Vec<usize> = (0..shape.attribute_cardinalities.len()).collect();
     let tree = grow(rng, parties, shape, &masks, &attrs, max_depth, &mut ctx);
-    Id3Result { tree, transcripts: ctx.transcripts, secure_sums: ctx.secure_sums }
+    Id3Result {
+        tree,
+        transcripts: ctx.transcripts,
+        secure_sums: ctx.secure_sums,
+    }
 }
 
 struct Ctx {
@@ -181,7 +194,10 @@ fn grow<R: Rng + ?Sized>(
         .max_by_key(|(_, &c)| c)
         .map(|(i, _)| i)
         .unwrap_or(0);
-    if total == 0 || depth == 0 || attrs.is_empty() || counts.iter().filter(|&&c| c > 0).count() <= 1
+    if total == 0
+        || depth == 0
+        || attrs.is_empty()
+        || counts.iter().filter(|&&c| c > 0).count() <= 1
     {
         return Tree::Leaf(majority);
     }
@@ -238,19 +254,30 @@ fn grow<R: Rng + ?Sized>(
                         .collect()
                 })
                 .collect();
-            grow(rng, parties, shape, &child_masks, &remaining, depth - 1, ctx)
+            grow(
+                rng,
+                parties,
+                shape,
+                &child_masks,
+                &remaining,
+                depth - 1,
+                ctx,
+            )
         })
         .collect();
-    Tree::Node { attribute, children }
+    Tree::Node {
+        attribute,
+        children,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rngkit::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(1234)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(1234)
     }
 
     /// The classic "play tennis" toy set, split across two parties.
@@ -282,7 +309,10 @@ mod tests {
         }
         (
             vec![a, b],
-            DataShape { attribute_cardinalities: vec![3, 3, 2, 2], num_classes: 2 },
+            DataShape {
+                attribute_cardinalities: vec![3, 3, 2, 2],
+                num_classes: 2,
+            },
         )
     }
 
@@ -306,7 +336,9 @@ mod tests {
         let mut r = rng();
         let result = distributed_id3(&mut r, &parties, &shape, 4);
         match &result.tree {
-            Tree::Node { attribute, .. } => assert_eq!(*attribute, 0, "ID3 splits tennis on outlook"),
+            Tree::Node { attribute, .. } => {
+                assert_eq!(*attribute, 0, "ID3 splits tennis on outlook")
+            }
             Tree::Leaf(_) => panic!("expected an internal root"),
         }
     }

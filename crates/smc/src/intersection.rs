@@ -9,7 +9,7 @@
 //! revealing the rest. This is the canonical crypto-PPDM join used for
 //! privacy-preserving record matching across owners.
 
-use rand::Rng;
+use rngkit::Rng;
 use tdf_mathkit::modular::{pow_mod, random_below};
 use tdf_mathkit::primes::random_safe_prime;
 use tdf_mathkit::BigUint;
@@ -78,14 +78,18 @@ pub fn secure_intersection<R: Rng + ?Sized>(
 
     // A -> B: A's singly-encrypted elements; B returns them doubly
     // encrypted *in the same order*, so A can map back to plaintexts.
-    let a_single: Vec<BigUint> =
-        set_a.iter().map(|&x| ea.encrypt(group, &group.hash_to_group(x))).collect();
+    let a_single: Vec<BigUint> = set_a
+        .iter()
+        .map(|&x| ea.encrypt(group, &group.hash_to_group(x)))
+        .collect();
     let a_double: Vec<BigUint> = a_single.iter().map(|c| eb.encrypt(group, c)).collect();
 
     // B -> A: B's singly-encrypted elements (shuffled in a real deployment);
     // A doubly encrypts them.
-    let b_single: Vec<BigUint> =
-        set_b.iter().map(|&x| eb.encrypt(group, &group.hash_to_group(x))).collect();
+    let b_single: Vec<BigUint> = set_b
+        .iter()
+        .map(|&x| eb.encrypt(group, &group.hash_to_group(x)))
+        .collect();
     let b_double: Vec<BigUint> = b_single.iter().map(|c| ea.encrypt(group, c)).collect();
 
     // Matching double encryptions = common elements (commutativity).
@@ -100,13 +104,13 @@ pub fn secure_intersection<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rngkit::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(3141)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(3141)
     }
 
-    fn group(r: &mut rand::rngs::StdRng) -> Group {
+    fn group(r: &mut rngkit::rngs::StdRng) -> Group {
         Group::generate(r, 40)
     }
 

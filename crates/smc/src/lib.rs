@@ -13,7 +13,7 @@
 //!   exact bytes each party saw, which is how `tdf-core::scoring` measures
 //!   owner-privacy leakage empirically;
 //! * [`secure_sum`] — ring- and sharing-based secure sum (with a threaded
-//!   crossbeam driver demonstrating genuinely concurrent parties);
+//!   std::thread + mpsc driver demonstrating genuinely concurrent parties);
 //! * [`scalar_product`] — the Du–Atallah commodity-server secure scalar
 //!   product;
 //! * [`beaver`] — dealer-assisted Beaver-triple multiplication of shared
@@ -44,5 +44,5 @@ pub mod sharing;
 pub mod transcript;
 pub mod vertical;
 
-pub use sharing::{additive_share, additive_reconstruct, shamir_share, shamir_reconstruct};
+pub use sharing::{additive_reconstruct, additive_share, shamir_reconstruct, shamir_share};
 pub use transcript::{Message, Transcript};

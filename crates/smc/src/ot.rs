@@ -15,7 +15,7 @@
 //! key would be `dlog(c) − k`, which it cannot know.
 
 use crate::intersection::Group;
-use rand::Rng;
+use rngkit::Rng;
 use tdf_mathkit::modular::{inv_mod, mul_mod, pow_mod, random_below};
 use tdf_mathkit::BigUint;
 
@@ -149,19 +149,24 @@ pub fn send<R: Rng + ?Sized>(
     };
     let (a0, blinded0) = encrypt(&msg.pk0, m0);
     let (a1, blinded1) = encrypt(&msg.pk1, m1);
-    SenderMessage { a0, blinded0, a1, blinded1 }
+    SenderMessage {
+        a0,
+        blinded0,
+        a1,
+        blinded1,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rngkit::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(0x07)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(0x07)
     }
 
-    fn params(r: &mut rand::rngs::StdRng) -> OtParams {
+    fn params(r: &mut rngkit::rngs::StdRng) -> OtParams {
         OtParams::generate(r, 40)
     }
 
@@ -186,7 +191,10 @@ mod tests {
         let (recv, commit) = Receiver::choose(&mut r, &p, false);
         let reply = send(&mut r, &p, &commit, 7, 0xDEAD_BEEF);
         // Forge a receiver that tries the other slot with the same k.
-        let evil = Receiver { choice: true, k: recv.k.clone() };
+        let evil = Receiver {
+            choice: true,
+            k: recv.k.clone(),
+        };
         let leaked = evil.receive(&p, &reply);
         assert_ne!(leaked, 0xDEAD_BEEF, "the pad for slot 1 must not match");
         // The honest path still works.

@@ -12,7 +12,7 @@
 //! (correlations, covariance matrices, classifier dot products).
 
 use crate::transcript::Transcript;
-use rand::Rng;
+use rngkit::Rng;
 use tdf_mathkit::Fp61;
 
 /// Party ids used in transcripts.
@@ -23,7 +23,9 @@ pub const BOB: usize = 1;
 pub const COMMODITY: usize = 2;
 
 fn dot(a: &[Fp61], b: &[Fp61]) -> Fp61 {
-    a.iter().zip(b).fold(Fp61::ZERO, |acc, (&x, &y)| acc + x * y)
+    a.iter()
+        .zip(b)
+        .fold(Fp61::ZERO, |acc, (&x, &y)| acc + x * y)
 }
 
 /// Runs the protocol; returns `x · y` (as learned by Alice) and the
@@ -42,17 +44,37 @@ pub fn secure_scalar_product<R: Rng + ?Sized>(
     let rb_vec: Vec<Fp61> = (0..d).map(|_| Fp61::random(rng)).collect();
     let ra = Fp61::random(rng);
     let rb = dot(&ra_vec, &rb_vec) - ra;
-    t.send(COMMODITY, ALICE, "commodity_ra", ra_vec.iter().map(|v| v.raw()).chain([ra.raw()]).collect());
-    t.send(COMMODITY, BOB, "commodity_rb", rb_vec.iter().map(|v| v.raw()).chain([rb.raw()]).collect());
+    t.send(
+        COMMODITY,
+        ALICE,
+        "commodity_ra",
+        ra_vec.iter().map(|v| v.raw()).chain([ra.raw()]).collect(),
+    );
+    t.send(
+        COMMODITY,
+        BOB,
+        "commodity_rb",
+        rb_vec.iter().map(|v| v.raw()).chain([rb.raw()]).collect(),
+    );
 
     // Alice -> Bob: x + Ra.
     let x_masked: Vec<Fp61> = x.iter().zip(&ra_vec).map(|(&a, &m)| a + m).collect();
-    t.send(ALICE, BOB, "x_masked", x_masked.iter().map(|v| v.raw()).collect());
+    t.send(
+        ALICE,
+        BOB,
+        "x_masked",
+        x_masked.iter().map(|v| v.raw()).collect(),
+    );
 
     // Bob -> Alice: y + Rb and u = (x + Ra)·y + rb.
     let y_masked: Vec<Fp61> = y.iter().zip(&rb_vec).map(|(&a, &m)| a + m).collect();
     let u = dot(&x_masked, y) + rb;
-    t.send(BOB, ALICE, "y_masked", y_masked.iter().map(|v| v.raw()).collect());
+    t.send(
+        BOB,
+        ALICE,
+        "y_masked",
+        y_masked.iter().map(|v| v.raw()).collect(),
+    );
     t.send(BOB, ALICE, "u", vec![u.raw()]);
 
     // Alice outputs x·y.
@@ -63,12 +85,12 @@ pub fn secure_scalar_product<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use check::prelude::*;
+    use rngkit::SeedableRng;
     use tdf_mathkit::field::P;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(21)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(21)
     }
 
     fn v(vals: &[u64]) -> Vec<Fp61> {
@@ -127,10 +149,10 @@ mod tests {
         let _ = secure_scalar_product(&mut r, &v(&[1]), &v(&[1, 2]));
     }
 
-    proptest! {
+    props! {
         #[test]
-        fn matches_plain_dot_product(xs in proptest::collection::vec(0..P, 1..6),
-                                     ys in proptest::collection::vec(0..P, 1..6)) {
+        fn matches_plain_dot_product(xs in vec(0..P, 1..6),
+                                     ys in vec(0..P, 1..6)) {
             let d = xs.len().min(ys.len());
             let x: Vec<Fp61> = xs[..d].iter().map(|&v| Fp61::new(v)).collect();
             let y: Vec<Fp61> = ys[..d].iter().map(|&v| Fp61::new(v)).collect();

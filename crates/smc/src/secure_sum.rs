@@ -12,12 +12,15 @@
 
 use crate::sharing::{additive_reconstruct, additive_share};
 use crate::transcript::Transcript;
-use rand::Rng;
+use rngkit::Rng;
 use tdf_mathkit::Fp61;
 
 /// Ring-based secure sum. Returns the sum and the full transcript.
 pub fn ring_secure_sum<R: Rng + ?Sized>(rng: &mut R, inputs: &[Fp61]) -> (Fp61, Transcript) {
-    assert!(inputs.len() >= 3, "ring secure sum needs at least 3 parties");
+    assert!(
+        inputs.len() >= 3,
+        "ring secure sum needs at least 3 parties"
+    );
     let k = inputs.len();
     let mut t = Transcript::new();
     let mask = Fp61::random(rng);
@@ -41,9 +44,9 @@ pub fn ring_secure_sum<R: Rng + ?Sized>(rng: &mut R, inputs: &[Fp61]) -> (Fp61, 
 /// ```
 /// use tdf_mathkit::Fp61;
 /// use tdf_smc::secure_sum::sharing_secure_sum;
-/// use rand::SeedableRng;
+/// use rngkit::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = rngkit::rngs::StdRng::seed_from_u64(1);
 /// let inputs = [10u64, 20, 30].map(Fp61::new);
 /// let (sum, transcript) = sharing_secure_sum(&mut rng, &inputs);
 /// assert_eq!(sum, Fp61::new(60));
@@ -54,8 +57,7 @@ pub fn sharing_secure_sum<R: Rng + ?Sized>(rng: &mut R, inputs: &[Fp61]) -> (Fp6
     assert!(k >= 2, "need at least 2 parties");
     let mut t = Transcript::new();
     // shares[j][p] = share of party j's input destined for party p.
-    let shares: Vec<Vec<Fp61>> =
-        inputs.iter().map(|&v| additive_share(rng, v, k)).collect();
+    let shares: Vec<Vec<Fp61>> = inputs.iter().map(|&v| additive_share(rng, v, k)).collect();
     for (j, sh) in shares.iter().enumerate() {
         for (p, &s) in sh.iter().enumerate() {
             if p != j {
@@ -78,11 +80,11 @@ pub fn sharing_secure_sum<R: Rng + ?Sized>(rng: &mut R, inputs: &[Fp61]) -> (Fp6
 }
 
 /// Threaded sharing-based secure sum: each party is a real OS thread, and
-/// shares travel over crossbeam channels — a structural demonstration that
+/// shares travel over std `mpsc` channels — a structural demonstration that
 /// the protocol needs no shared memory or coordinator.
 pub fn threaded_secure_sum(inputs: &[u64], seed: u64) -> Fp61 {
-    use crossbeam::channel::{unbounded, Receiver, Sender};
-    use rand::SeedableRng;
+    use rngkit::SeedableRng;
+    use std::sync::mpsc::{channel, Receiver, Sender};
 
     let k = inputs.len();
     assert!(k >= 2, "need at least 2 parties");
@@ -91,7 +93,7 @@ pub fn threaded_secure_sum(inputs: &[u64], seed: u64) -> Fp61 {
     for _ in 0..k {
         let mut row = Vec::with_capacity(k);
         for r in receivers.iter_mut() {
-            let (s, rcv) = unbounded();
+            let (s, rcv) = channel();
             row.push(s);
             r.push(rcv);
         }
@@ -106,7 +108,7 @@ pub fn threaded_secure_sum(inputs: &[u64], seed: u64) -> Fp61 {
             .enumerate()
         {
             handles.push(scope.spawn(move || {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ p as u64);
+                let mut rng = rngkit::rngs::StdRng::seed_from_u64(seed ^ p as u64);
                 let shares = additive_share(&mut rng, Fp61::new(value), k);
                 for (q, out) in outs.iter().enumerate() {
                     out.send(shares[q]).expect("channel open");
@@ -119,7 +121,10 @@ pub fn threaded_secure_sum(inputs: &[u64], seed: u64) -> Fp61 {
                 acc
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("party thread")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("party thread"))
+            .collect::<Vec<_>>()
     });
     additive_reconstruct(&partials)
 }
@@ -127,10 +132,10 @@ pub fn threaded_secure_sum(inputs: &[u64], seed: u64) -> Fp61 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rngkit::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(11)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(11)
     }
 
     fn inputs(vals: &[u64]) -> Vec<Fp61> {

@@ -1,6 +1,6 @@
 //! Additive and Shamir secret sharing over `F_{2^61−1}`.
 
-use rand::Rng;
+use rngkit::Rng;
 use tdf_mathkit::Fp61;
 
 /// Splits `secret` into `k ≥ 2` additive shares (all `k` needed to
@@ -60,7 +60,11 @@ pub fn shamir_reconstruct(shares: &[ShamirShare]) -> Fp61 {
             num *= -xj; // (0 − xj)
             den *= xi - xj;
         }
-        acc += yi * num * den.inverse().expect("distinct points give nonzero denominator");
+        acc += yi
+            * num
+            * den
+                .inverse()
+                .expect("distinct points give nonzero denominator");
     }
     acc
 }
@@ -68,12 +72,12 @@ pub fn shamir_reconstruct(shares: &[ShamirShare]) -> Fp61 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use check::prelude::*;
+    use rngkit::SeedableRng;
     use tdf_mathkit::field::P;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(404)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(404)
     }
 
     #[test]
@@ -144,7 +148,7 @@ mod tests {
         let _ = shamir_reconstruct(&[s, s]);
     }
 
-    proptest! {
+    props! {
         #[test]
         fn additive_round_trips(v in 0..P, k in 2usize..8) {
             let mut r = rng();

@@ -38,7 +38,12 @@ impl Transcript {
 
     /// Records a message.
     pub fn send(&mut self, from: PartyId, to: PartyId, tag: &'static str, payload: Vec<u64>) {
-        self.messages.push(Message { from, to, tag, payload });
+        self.messages.push(Message {
+            from,
+            to,
+            tag,
+            payload,
+        });
     }
 
     /// All messages, in order.
@@ -69,14 +74,23 @@ impl Transcript {
     /// True when some message received by `party` contains `value` in the
     /// clear — the smoking gun of an owner-privacy breach.
     pub fn party_saw_value(&self, party: PartyId, value: u64) -> bool {
-        self.view_of(party).iter().any(|m| m.payload.contains(&value))
+        self.view_of(party)
+            .iter()
+            .any(|m| m.payload.contains(&value))
     }
 }
 
 impl fmt::Display for Transcript {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for m in &self.messages {
-            writeln!(f, "P{} -> P{} [{}]: {} words", m.from, m.to, m.tag, m.payload.len())?;
+            writeln!(
+                f,
+                "P{} -> P{} [{}]: {} words",
+                m.from,
+                m.to,
+                m.tag,
+                m.payload.len()
+            )?;
         }
         Ok(())
     }

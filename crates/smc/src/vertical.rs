@@ -16,24 +16,22 @@
 
 use crate::scalar_product::secure_scalar_product;
 use crate::transcript::Transcript;
-use rand::Rng;
+use rngkit::Rng;
 use tdf_mathkit::Fp61;
 
 /// Fixed-point encoding scale (values are rounded to 1/SCALE).
 pub const SCALE: f64 = 1000.0;
 
 fn encode(xs: &[f64]) -> Vec<Fp61> {
-    xs.iter().map(|&x| Fp61::from_i64((x * SCALE).round() as i64)).collect()
+    xs.iter()
+        .map(|&x| Fp61::from_i64((x * SCALE).round() as i64))
+        .collect()
 }
 
 /// Jointly computes `cov(x, y)` where Alice holds column `x` and Bob holds
 /// column `y` of the same (aligned) respondents. Returns the covariance
 /// and the protocol transcript.
-pub fn secure_covariance<R: Rng + ?Sized>(
-    rng: &mut R,
-    x: &[f64],
-    y: &[f64],
-) -> (f64, Transcript) {
+pub fn secure_covariance<R: Rng + ?Sized>(rng: &mut R, x: &[f64], y: &[f64]) -> (f64, Transcript) {
     assert_eq!(x.len(), y.len(), "columns must be aligned");
     assert!(x.len() >= 2, "covariance needs at least two records");
     // The field decodes Σ(x·S)(y·S) as a signed value; it must stay below
@@ -59,11 +57,7 @@ pub fn secure_covariance<R: Rng + ?Sized>(
 
 /// Jointly computes the Pearson correlation across the partition (each
 /// party computes its own column's standard deviation locally).
-pub fn secure_correlation<R: Rng + ?Sized>(
-    rng: &mut R,
-    x: &[f64],
-    y: &[f64],
-) -> (f64, Transcript) {
+pub fn secure_correlation<R: Rng + ?Sized>(rng: &mut R, x: &[f64], y: &[f64]) -> (f64, Transcript) {
     let (cov, t) = secure_covariance(rng, x, y);
     let sd = |v: &[f64]| {
         let n = v.len() as f64;
@@ -77,17 +71,20 @@ pub fn secure_correlation<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rngkit::SeedableRng;
     use tdf_microdata::stats;
     use tdf_microdata::synth::{patients, PatientConfig};
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(0xC0D)
+    fn rng() -> rngkit::rngs::StdRng {
+        rngkit::rngs::StdRng::seed_from_u64(0xC0D)
     }
 
     #[test]
     fn covariance_matches_plaintext() {
-        let d = patients(&PatientConfig { n: 200, ..Default::default() });
+        let d = patients(&PatientConfig {
+            n: 200,
+            ..Default::default()
+        });
         let x = d.numeric_column(0); // Alice: heights
         let y = d.numeric_column(2); // Bob: blood pressures
         let (secure, _) = secure_covariance(&mut rng(), &x, &y);
@@ -100,12 +97,18 @@ mod tests {
 
     #[test]
     fn correlation_matches_plaintext() {
-        let d = patients(&PatientConfig { n: 300, ..Default::default() });
+        let d = patients(&PatientConfig {
+            n: 300,
+            ..Default::default()
+        });
         let x = d.numeric_column(1);
         let y = d.numeric_column(2);
         let (secure, _) = secure_correlation(&mut rng(), &x, &y);
         let plain = stats::correlation(&x, &y).unwrap();
-        assert!((secure - plain).abs() < 1e-4, "secure {secure} vs plain {plain}");
+        assert!(
+            (secure - plain).abs() < 1e-4,
+            "secure {secure} vs plain {plain}"
+        );
     }
 
     #[test]

@@ -16,16 +16,28 @@ use dbpriv::sdc::utility::utility_report;
 fn main() {
     // A clinical population: heights/weights are key attributes, systolic
     // blood pressure and the AIDS flag are confidential.
-    let data = patients(&PatientConfig { n: 500, seed: 7, ..Default::default() });
+    let data = patients(&PatientConfig {
+        n: 500,
+        seed: 7,
+        ..Default::default()
+    });
     let n = data.num_rows();
 
     // Policy: treatment sees everything for 10 years; billing sees only
     // blood pressure for 1 year; research is allowed on the full schema
     // for 5 years; marketing gets nothing.
     let policy = PrivacyPolicy::new()
-        .allow(Purpose::Treatment, &["height", "weight", "blood_pressure", "aids"], 3650)
+        .allow(
+            Purpose::Treatment,
+            &["height", "weight", "blood_pressure", "aids"],
+            3650,
+        )
         .allow(Purpose::Billing, &["blood_pressure"], 365)
-        .allow(Purpose::Research, &["height", "weight", "blood_pressure", "aids"], 1825);
+        .allow(
+            Purpose::Research,
+            &["height", "weight", "blood_pressure", "aids"],
+            1825,
+        );
 
     // 10% of patients refuse research use of their records.
     let consent: Vec<Consent> = (0..n)
@@ -40,10 +52,17 @@ fn main() {
     let mut db = HippocraticDb::new(data.clone(), policy, consent, vec![0; n]).unwrap();
 
     // Purpose-bound access: billing cannot see AIDS flags.
-    let billing_view = db.access(Purpose::Billing, &["blood_pressure", "aids"]).unwrap();
-    let suppressed =
-        (0..billing_view.num_rows()).filter(|&i| billing_view.value(i, 1).is_missing()).count();
-    println!("billing view: {} records, {} AIDS cells suppressed", billing_view.num_rows(), suppressed);
+    let billing_view = db
+        .access(Purpose::Billing, &["blood_pressure", "aids"])
+        .unwrap();
+    let suppressed = (0..billing_view.num_rows())
+        .filter(|&i| billing_view.value(i, 1).is_missing())
+        .count();
+    println!(
+        "billing view: {} records, {} AIDS cells suppressed",
+        billing_view.num_rows(),
+        suppressed
+    );
 
     // The external research release: k-anonymized + noise-masked.
     let mut rng = seeded(99);

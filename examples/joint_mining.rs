@@ -29,17 +29,32 @@ fn main() {
             "no party may see another's count"
         );
     }
-    println!("  transcript: {} messages, none carrying a raw input\n", transcript.len());
+    println!(
+        "  transcript: {} messages, none carrying a raw input\n",
+        transcript.len()
+    );
 
     // --- 2. Vertically partitioned correlation via scalar product. -------
     // Company A holds dosage deviations, company B holds response
     // deviations for the same (aligned) patients; x·y is the covariance
     // numerator neither could compute alone.
-    let dosage: Vec<Fp61> = [3i64, -1, 4, 1, -5, 9, -2, 6].iter().map(|&v| Fp61::from_i64(v)).collect();
-    let response: Vec<Fp61> = [2i64, 7, -1, 8, 2, -8, 1, 8].iter().map(|&v| Fp61::from_i64(v)).collect();
+    let dosage: Vec<Fp61> = [3i64, -1, 4, 1, -5, 9, -2, 6]
+        .iter()
+        .map(|&v| Fp61::from_i64(v))
+        .collect();
+    let response: Vec<Fp61> = [2i64, 7, -1, 8, 2, -8, 1, 8]
+        .iter()
+        .map(|&v| Fp61::from_i64(v))
+        .collect();
     let (dot, t2) = secure_scalar_product(&mut rng, &dosage, &response);
-    println!("secure scalar product (covariance numerator): {}", dot.to_i64());
-    println!("  commodity server received {} messages (none)\n", t2.view_of(2).len());
+    println!(
+        "secure scalar product (covariance numerator): {}",
+        dot.to_i64()
+    );
+    println!(
+        "  commodity server received {} messages (none)\n",
+        t2.view_of(2).len()
+    );
 
     // --- 3. Which patients are enrolled in both trials? ------------------
     let group = Group::generate(&mut rng, 40);
@@ -62,7 +77,10 @@ fn main() {
         slice.rows.push(vec![age_band, overweight]);
         slice.labels.push(responded);
     }
-    let shape = DataShape { attribute_cardinalities: vec![3, 2], num_classes: 2 };
+    let shape = DataShape {
+        attribute_cardinalities: vec![3, 2],
+        num_classes: 2,
+    };
     let result = distributed_id3(&mut rng, &[a.clone(), b.clone()], &shape, 3);
     let mut correct = 0usize;
     let mut total_rows = 0usize;

@@ -29,8 +29,9 @@ fn main() {
         profile[entry.user as usize][entry.query] += 1;
     }
     for (user, counts) in profile.iter().enumerate() {
-        let favourite =
-            (0..universe).max_by_key(|&q| counts[q]).expect("non-empty universe");
+        let favourite = (0..universe)
+            .max_by_key(|&q| counts[q])
+            .expect("non-empty universe");
         println!(
             "plaintext log: user {user} queried {} times; favourite document {favourite} ({}x)",
             counts.iter().sum::<usize>(),
@@ -45,7 +46,11 @@ fn main() {
     let mut total_bits = 0u64;
     for entry in &log {
         let (rec, server_views, cost) = linear::retrieve(&mut rng, &db, 2, entry.query);
-        assert_eq!(rec, db.record(entry.query), "PIR must return the right document");
+        assert_eq!(
+            rec,
+            db.record(entry.query),
+            "PIR must return the right document"
+        );
         if let dbpriv::pir::ServerView::Mask(mask) = &server_views[0] {
             views.push((entry.query, mask.clone()));
         }

@@ -39,8 +39,14 @@ fn main() {
     println!("  -> Mr./Mrs. X re-identified with systolic pressure 146!");
 
     // ---- 3. The §6 fix: k-anonymize + PIR -------------------------------
-    let mut protected =
-        ThreeDimensionalDb::deploy(d2, DeploymentConfig { k: Some(3), pir: true }).unwrap();
+    let mut protected = ThreeDimensionalDb::deploy(
+        d2,
+        DeploymentConfig {
+            k: Some(3),
+            pir: true,
+        },
+    )
+    .unwrap();
     let mut rng = seeded(1);
     let q = dbpriv::querydb::parser::parse(
         "SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105",

@@ -47,22 +47,32 @@ fn main() {
     let edu_entries: Vec<(&str, Vec<&str>)> = EDUCATION_LEVELS
         .iter()
         .map(|&e| {
-            let coarse = if e == "primary" || e == "secondary" { "school" } else { "degree" };
+            let coarse = if e == "primary" || e == "secondary" {
+                "school"
+            } else {
+                "degree"
+            };
             (e, vec![coarse])
         })
         .collect();
-    let edu_slices: Vec<(&str, &[&str])> =
-        edu_entries.iter().map(|(e, a)| (*e, a.as_slice())).collect();
+    let edu_slices: Vec<(&str, &[&str])> = edu_entries
+        .iter()
+        .map(|(e, a)| (*e, a.as_slice()))
+        .collect();
     let hierarchies = vec![
-        Hierarchy::Interval { base_width: 5.0, origin: 0.0, levels: 3 }, // age
-        zip_hierarchy,                                                    // zip
-        Hierarchy::Tree(TreeHierarchy::new(&edu_slices)),                 // education
+        Hierarchy::Interval {
+            base_width: 5.0,
+            origin: 0.0,
+            levels: 3,
+        }, // age
+        zip_hierarchy,                                    // zip
+        Hierarchy::Tree(TreeHierarchy::new(&edu_slices)), // education
     ];
 
     // Minimal full-domain recoding to 4-anonymity (up to 8 outliers
     // suppressed).
-    let result = minimal_recoding(&data, &hierarchies, 4, 8)
-        .expect("full suppression always succeeds");
+    let result =
+        minimal_recoding(&data, &hierarchies, 4, 8).expect("full suppression always succeeds");
     println!(
         "recoding levels (age, zip, education): {:?}; {} records suppressed",
         result.levels, result.suppressed_records

@@ -28,7 +28,7 @@ fn constant_attribute_does_not_break_masking_or_linkage() {
     let mut d = Dataset::new(patients::patient_schema());
     for i in 0..20 {
         d.push_row(vec![
-            170.0.into(),                 // constant QI
+            170.0.into(), // constant QI
             (60.0 + i as f64).into(),
             (125.0 + i as f64).into(),
             (i % 2 == 0).into(),
@@ -98,11 +98,14 @@ fn auditor_survives_a_hostile_query_storm() {
     // 60 adversarial queries against a small population: the auditor must
     // never let any single blood pressure become determined.
     use dbpriv::mathkit::Rational;
+    use dbpriv::microdata::synth::{patients as synth, PatientConfig};
     use dbpriv::querydb::control::{Auditor, ControlPolicy};
     use dbpriv::querydb::statdb::StatDb;
-    use dbpriv::microdata::synth::{patients as synth, PatientConfig};
 
-    let data = synth(&PatientConfig { n: 30, ..Default::default() });
+    let data = synth(&PatientConfig {
+        n: 30,
+        ..Default::default()
+    });
     let mut db = StatDb::new(
         data.clone(),
         ControlPolicy::Audit(Auditor::new("blood_pressure", data.num_rows())),

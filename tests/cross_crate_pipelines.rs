@@ -14,7 +14,11 @@ use dbpriv::sdc::risk::record_linkage_rate;
 use dbpriv::sdc::utility::il1s;
 
 fn population(n: usize) -> dbpriv::microdata::Dataset {
-    patients(&PatientConfig { n, seed: 0xC0FFEE, ..Default::default() })
+    patients(&PatientConfig {
+        n,
+        seed: 0xC0FFEE,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -22,7 +26,10 @@ fn every_anonymizer_reaches_its_target_k() {
     let data = population(250);
     let qi = data.schema().quasi_identifier_indices();
     for k in [2usize, 5, 11] {
-        assert!(is_k_anonymous(&mdav_microaggregate(&data, &qi, k).unwrap().data, k));
+        assert!(is_k_anonymous(
+            &mdav_microaggregate(&data, &qi, k).unwrap().data,
+            k
+        ));
         assert!(is_k_anonymous(&mondrian_anonymize(&data, k).data, k));
         assert!(is_k_anonymous(&suppress_to_k_anonymity(&data, k).data, k));
         // Condensation releases synthetic records, so it bounds *linkage*
@@ -50,8 +57,7 @@ fn risk_utility_ordering_across_methods() {
     // against information loss; unmasked data sit at one extreme.
     let data = population(300);
     let qi = data.schema().quasi_identifier_indices();
-    let noise =
-        add_noise(&data, &NoiseConfig::new(0.8, qi.clone()), &mut seeded(1)).unwrap();
+    let noise = add_noise(&data, &NoiseConfig::new(0.8, qi.clone()), &mut seeded(1)).unwrap();
     let microagg = mdav_microaggregate(&data, &qi, 8).unwrap().data;
 
     let raw_risk = record_linkage_rate(&data, &data, &qi).unwrap();
@@ -94,7 +100,9 @@ fn smc_aggregates_match_plain_statdb_aggregates() {
     let (secure_total, _) = sharing_secure_sum(&mut seeded(2), &local_counts);
 
     let mut db = StatDb::new(data, ControlPolicy::None);
-    let plain = db.query_str("SELECT COUNT(*) FROM t WHERE aids = Y").unwrap();
+    let plain = db
+        .query_str("SELECT COUNT(*) FROM t WHERE aids = Y")
+        .unwrap();
     assert_eq!(plain.point(), Some(secure_total.raw() as f64));
 }
 
@@ -103,8 +111,7 @@ fn pir_served_statistics_match_direct_statistics() {
     use dbpriv::core::pipeline::{DeploymentConfig, ThreeDimensionalDb};
     let data = population(40);
     let mut deployment =
-        ThreeDimensionalDb::deploy(data.clone(), DeploymentConfig { k: None, pir: true })
-            .unwrap();
+        ThreeDimensionalDb::deploy(data.clone(), DeploymentConfig { k: None, pir: true }).unwrap();
     let mut db = StatDb::new(data, ControlPolicy::None);
     let mut rng = seeded(3);
     for src in [

@@ -1,0 +1,100 @@
+//! Guards the workspace's zero-registry-dependency invariant.
+//!
+//! The build environment has no network access and an empty cargo
+//! registry, so any `crates.io` dependency — however innocuous — breaks
+//! `cargo build --offline` for everyone. This test fails the moment a
+//! non-path dependency is introduced in any manifest, naming the
+//! offending file and line so the fix is obvious. `ci/check.sh` runs the
+//! same check from the shell before the build.
+
+use std::path::{Path, PathBuf};
+
+/// All manifests in the workspace: the root plus every `crates/*` member.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates).expect("crates/ exists") {
+        let manifest = entry.expect("readable dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    assert!(manifests.len() > 5, "workspace member discovery is broken");
+    manifests
+}
+
+/// True for `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+/// `[workspace.dependencies]` and target-specific variants.
+fn is_dependency_section(header: &str) -> bool {
+    let h = header.trim_matches(['[', ']']);
+    h == "workspace.dependencies"
+        || h.ends_with("dependencies") && !h.contains('.')
+        || h.starts_with("target.") && h.ends_with("dependencies")
+}
+
+/// A dependency declaration is hermetic iff it resolves in-tree: either
+/// `{ path = "..." }` or `{ workspace = true }` (the workspace table itself
+/// only contains path entries, checked the same way).
+fn is_hermetic(line: &str) -> bool {
+    line.contains("path =")
+        || line.contains("path=")
+        || line.contains("workspace = true")
+        || line.contains("workspace=true")
+}
+
+#[test]
+fn no_registry_dependencies_anywhere() {
+    let mut violations = Vec::new();
+    for manifest in workspace_manifests() {
+        let text = std::fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        let mut in_dep_section = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_dep_section = is_dependency_section(line);
+                continue;
+            }
+            if in_dep_section && line.contains('=') && !is_hermetic(line) {
+                violations.push(format!("{}:{}: {}", manifest.display(), idx + 1, line));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "registry (non-path) dependencies are banned in this workspace; \
+         every dependency must be an in-tree path dependency.\n\
+         Offending lines:\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn workspace_dependency_table_is_all_paths() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let text = std::fs::read_to_string(root).expect("root manifest");
+    let mut in_table = false;
+    let mut entries = 0usize;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if in_table && line.contains('=') {
+            entries += 1;
+            assert!(
+                line.contains("path ="),
+                "workspace dependency must be a path dependency: {line}"
+            );
+        }
+    }
+    assert!(
+        entries >= 10,
+        "expected the in-tree crates in [workspace.dependencies]"
+    );
+}

@@ -21,9 +21,8 @@ fn table1_left_dataset_is_spontaneously_3_anonymous() {
 fn table1_right_dataset_isolates_mr_x() {
     let d2 = patients::dataset2();
     assert_eq!(k_anonymity_level(&d2), Some(1));
-    let hits = d2.matching_indices(|r| {
-        r[0].as_f64().unwrap() < 165.0 && r[1].as_f64().unwrap() > 105.0
-    });
+    let hits =
+        d2.matching_indices(|r| r[0].as_f64().unwrap() < 165.0 && r[1].as_f64().unwrap() > 105.0);
     assert_eq!(hits.len(), 1);
     assert_eq!(d2.value(hits[0], 2).as_f64(), Some(146.0));
 }
@@ -37,8 +36,12 @@ fn sections_2_to_4_independence_experiments_all_match() {
 
 #[test]
 fn table2_structural_claims_hold_empirically() {
-    let rows = scoring_table(&Scenario { n: 200, pir_trials: 400, ..Default::default() })
-        .unwrap();
+    let rows = scoring_table(&Scenario {
+        n: 200,
+        pir_trials: 400,
+        ..Default::default()
+    })
+    .unwrap();
     let get = |t: TechnologyClass| rows.iter().find(|r| r.technology == t).unwrap();
 
     // PIR: high user privacy, none for respondents/owners.
@@ -71,16 +74,22 @@ fn table2_structural_claims_hold_empirically() {
 
 #[test]
 fn section6_recipe_satisfies_all_three_dimensions() {
-    use dbpriv::core::pipeline::{DeploymentConfig, ThreeDimensionalDb};
     use dbpriv::core::metrics::{owner_score, respondent_score};
+    use dbpriv::core::pipeline::{DeploymentConfig, ThreeDimensionalDb};
     use dbpriv::microdata::rng::seeded;
     use dbpriv::microdata::synth::{patients as synth, PatientConfig};
 
-    let data = synth(&PatientConfig { n: 200, ..Default::default() });
+    let data = synth(&PatientConfig {
+        n: 200,
+        ..Default::default()
+    });
     let numeric = data.schema().numeric_indices();
     let mut db = ThreeDimensionalDb::deploy(
         data.clone(),
-        DeploymentConfig { k: Some(10), pir: true },
+        DeploymentConfig {
+            k: Some(10),
+            pir: true,
+        },
     )
     .unwrap();
 

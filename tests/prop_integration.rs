@@ -1,15 +1,15 @@
 //! Cross-crate property tests: invariants that must hold for *any*
 //! parameters, not just the scenarios the unit tests pick.
 
+use check::prelude::*;
 use dbpriv::anonymity::is_k_anonymous;
 use dbpriv::mathkit::Fp61;
 use dbpriv::microdata::rng::seeded;
 use dbpriv::microdata::synth::{patients, PatientConfig};
 use dbpriv::pir::store::Database;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    #![cases(24)]
 
     #[test]
     fn microaggregation_always_k_anonymizes(n in 30usize..120, k in 2usize..8, seed in 0u64..50) {
@@ -62,7 +62,7 @@ proptest! {
     }
 
     #[test]
-    fn secure_sum_equals_plain_sum(values in proptest::collection::vec(0u64..1_000_000, 3..10),
+    fn secure_sum_equals_plain_sum(values in vec(0u64..1_000_000, 3..10),
                                    seed in 0u64..100) {
         let mut rng = seeded(seed);
         let inputs: Vec<Fp61> = values.iter().map(|&v| Fp61::new(v)).collect();
