@@ -44,15 +44,18 @@ if [[ "$QUICK" -eq 0 ]]; then
   "$CARGO" build --release --offline
 fi
 
-step "cargo test --offline"
-"$CARGO" test --workspace -q --offline
+step "cargo test --offline (TDF_THREADS=1)"
+TDF_THREADS=1 "$CARGO" test --workspace -q --offline
+
+step "cargo test --offline (TDF_THREADS=4)"
+TDF_THREADS=4 "$CARGO" test --workspace -q --offline
 
 if [[ "$QUICK" -eq 0 ]]; then
   step "bench smoke run (tiny sample counts; validates BENCH_*.json)"
   rm -f crates/bench/BENCH_*.json
   TDF_BENCH_SAMPLES=3 TDF_BENCH_SAMPLE_MS=2 TDF_BENCH_WARMUP_MS=5 \
     "$CARGO" bench --offline -p tdf-bench >/dev/null
-  for suite in substrates ablations experiments; do
+  for suite in substrates ablations experiments par; do
     json="crates/bench/BENCH_${suite}.json"
     [[ -s "$json" ]] || { echo "missing $json" >&2; exit 1; }
     grep -q '"median_ns"' "$json" || { echo "$json lacks median_ns" >&2; exit 1; }

@@ -67,18 +67,33 @@ fn split(data: &Dataset, qi: &[usize], k: usize, members: Vec<usize>, out: &mut 
         out.push(members);
         return;
     }
-    // Pick the dimension with the widest normalized range.
+    // Pick the dimension with the widest normalized range. The per-column
+    // (min, max) scan over members runs in parallel; `f64::min`/`f64::max`
+    // merges are exact, so the extrema — and therefore the chosen split —
+    // do not depend on chunking or thread count.
     let mut best: Option<(usize, f64)> = None;
     for &col in qi {
-        let vals: Vec<f64> = members
-            .iter()
-            .filter_map(|&i| data.value(i, col).as_f64())
-            .collect();
-        if vals.is_empty() {
+        let (lo, hi) = par::par_chunks_reduce(
+            &members,
+            0,
+            |chunk| {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for &i in chunk {
+                    if let Some(v) = data.value(i, col).as_f64() {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                (lo, hi)
+            },
+            |a, b| (a.0.min(b.0), a.1.max(b.1)),
+        )
+        .expect("members is non-empty");
+        if hi < lo {
+            // No numeric values in this column.
             continue;
         }
-        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let range = hi - lo;
         if best.is_none_or(|(_, r)| range > r) {
             best = Some((col, range));
@@ -199,6 +214,18 @@ mod tests {
                 "col {col}: {orig} vs {masked}"
             );
         }
+    }
+
+    #[test]
+    fn partitioning_is_identical_across_thread_counts() {
+        let d = patients(&PatientConfig {
+            n: 300,
+            ..Default::default()
+        });
+        let run = |t: usize| par::with_threads(t, || mondrian_anonymize(&d, 5));
+        let (a, b) = (run(1), run(4));
+        assert_eq!(a.partition_of, b.partition_of);
+        assert_eq!(a.num_partitions, b.num_partitions);
     }
 
     #[test]

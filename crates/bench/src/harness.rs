@@ -39,6 +39,8 @@ fn env_u64(name: &str, default: u64) -> u64 {
 pub struct Summary {
     /// Benchmark identifier, e.g. `pir/linear_2server_n4096`.
     pub id: String,
+    /// `tdf-par` thread count in effect while the body ran.
+    pub threads: usize,
     /// Closure invocations per timed sample (calibrated).
     pub iters_per_sample: u64,
     /// Number of timed samples.
@@ -114,6 +116,7 @@ impl Harness {
         times.sort_by(f64::total_cmp);
         let summary = Summary {
             id: id.to_owned(),
+            threads: par::threads(),
             iters_per_sample,
             samples: times.len(),
             min_ns: times[0],
@@ -129,6 +132,13 @@ impl Harness {
             fmt_ns(summary.p95_ns),
         );
         self.results.push(summary);
+    }
+
+    /// Measures `f` with the `tdf-par` thread count pinned to `threads`
+    /// for the duration (warmup included). The recorded [`Summary`] keeps
+    /// the pinned count, so one suite can hold a thread-scaling series.
+    pub fn bench_at_threads<T, F: FnMut() -> T>(&mut self, id: &str, threads: usize, f: F) {
+        par::with_threads(threads, || self.bench(id, f));
     }
 
     /// Prints the suite table and writes `BENCH_<suite>.json`; returns
@@ -169,10 +179,11 @@ impl Harness {
                 json.push(',');
             }
             json.push_str(&format!(
-                "{{\"id\":\"{}\",\"iters_per_sample\":{},\"samples\":{},\
+                "{{\"id\":\"{}\",\"threads\":{},\"iters_per_sample\":{},\"samples\":{},\
                  \"min_ns\":{:.1},\"mean_ns\":{:.1},\"median_ns\":{:.1},\
                  \"p95_ns\":{:.1},\"max_ns\":{:.1}}}",
                 s.id,
+                s.threads,
                 s.iters_per_sample,
                 s.samples,
                 s.min_ns,
@@ -246,6 +257,15 @@ mod tests {
         assert!(json.contains("\"median_ns\""));
         assert!(json.contains("\"p95_ns\""));
         assert!(json.contains("\"id\":\"noop\""));
+        assert!(json.contains("\"threads\":"));
+    }
+
+    #[test]
+    fn bench_at_threads_records_pinned_count() {
+        let mut h = tiny_harness();
+        h.bench_at_threads("pinned", 3, par::threads);
+        let s = &h.results()[0];
+        assert_eq!(s.threads, 3);
     }
 
     #[test]

@@ -2,12 +2,22 @@
 //! through `tdf_bench::seed_from_env`, so a fixed seed must reproduce a
 //! bit-identical report, and (for binaries that consume randomness) a
 //! different seed must change it.
+//!
+//! The `TDF_THREADS` contract (PR 2) extends it: the same seed must also
+//! reproduce the report bit-identically at *any* thread count — the
+//! `tdf-par` kernels fix their chunk boundaries and merge order, so
+//! parallelism is an implementation detail the numbers cannot see.
 
 use std::process::Command;
 
 fn run(bin: &str, seed: &str) -> String {
+    run_at_threads(bin, seed, "1")
+}
+
+fn run_at_threads(bin: &str, seed: &str, threads: &str) -> String {
     let out = Command::new(bin)
         .env("TDF_SEED", seed)
+        .env("TDF_THREADS", threads)
         .env_remove("TDF_RESULTS_DIR")
         .output()
         .expect("binary runs");
@@ -31,6 +41,31 @@ fn different_seed_changes_the_report() {
     assert_ne!(
         a, b,
         "different TDF_SEED values must change the synthetic log"
+    );
+}
+
+#[test]
+fn mdav_report_is_identical_at_1_and_4_threads() {
+    // fig_tradeoff runs the full §6 composition: MDAV k-anonymization,
+    // record-linkage scoring, and PIR cost accounting — all three
+    // parallelized kernels in one report.
+    let bin = env!("CARGO_BIN_EXE_fig_tradeoff");
+    let serial = run_at_threads(bin, "777", "1");
+    let parallel = run_at_threads(bin, "777", "4");
+    assert_eq!(
+        serial, parallel,
+        "TDF_THREADS must not change the MDAV report"
+    );
+}
+
+#[test]
+fn pir_report_is_identical_at_1_and_4_threads() {
+    let bin = env!("CARGO_BIN_EXE_fig_pir_cost");
+    let serial = run_at_threads(bin, "777", "1");
+    let parallel = run_at_threads(bin, "777", "4");
+    assert_eq!(
+        serial, parallel,
+        "TDF_THREADS must not change the PIR cost report"
     );
 }
 

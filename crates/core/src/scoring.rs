@@ -144,7 +144,7 @@ fn measure_user_score<R: Rng + ?Sized>(
         .map(|t| {
             let idx = t % scenario.n;
             let q = tdf_pir::linear::Query::build(rng, scenario.n, 2, idx);
-            (idx, q.share(0).to_vec())
+            (idx, q.share(0).to_bools())
         })
         .collect();
     let mut leaked = empirical_mask_leakage_bits(&views);

@@ -1,0 +1,382 @@
+//! In-tree deterministic fork/join (the workspace's `rayon` slice).
+//!
+//! The workspace is hermetic — no registry dependencies — so data
+//! parallelism for the hot kernels (MDAV distance scans, Mondrian split
+//! evaluation, record-linkage scans, multi-server PIR answers) is built
+//! here on `std::thread`, with one contract the external crates do not
+//! offer out of the box:
+//!
+//! > **Results are bit-identical regardless of thread count.**
+//!
+//! Three rules enforce it:
+//!
+//! 1. **Fixed chunk boundaries.** Work is split into chunks whose
+//!    boundaries depend only on the input length (or an explicit `chunk`
+//!    argument) — never on how many threads happen to run, and never on
+//!    which thread grabs which chunk.
+//! 2. **Order-preserving merge.** Chunk results are combined on the
+//!    calling thread in chunk order (a left fold), so floating-point
+//!    reductions associate identically every run.
+//! 3. **Serial path = chunked path.** With one thread the same chunks are
+//!    produced and folded in the same order, so `TDF_THREADS=1` is merely
+//!    the no-pool execution of the identical computation.
+//!
+//! The thread count comes from, in priority order: [`with_threads`] (a
+//! scoped, thread-local override used by benches and tests), the
+//! `TDF_THREADS` environment variable, and
+//! [`std::thread::available_parallelism`]. `TDF_THREADS=1` (or a
+//! single-core host) bypasses the pool entirely. This extends PR 1's
+//! determinism contract (`TDF_SEED`): `crates/bench/tests/determinism.rs`
+//! asserts that reports regenerate bit-identically under
+//! `TDF_THREADS=1` and `TDF_THREADS=4`.
+//!
+//! ```
+//! let squares = par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! let sum = par::par_index_reduce(1000, 0, |r| r.map(|i| i as f64).sum::<f64>(), |a, b| a + b);
+//! let serial = par::with_threads(1, || {
+//!     par::par_index_reduce(1000, 0, |r| r.map(|i| i as f64).sum::<f64>(), |a, b| a + b)
+//! });
+//! assert_eq!(sum, serial); // bit-identical, not just approximately equal
+//! ```
+
+mod pool;
+
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Hard ceiling on the usable thread count (a safety valve for absurd
+/// `TDF_THREADS` values, not a tuning knob).
+pub const MAX_THREADS: usize = 64;
+
+thread_local! {
+    static OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+fn env_threads() -> Option<usize> {
+    static PARSED: OnceLock<Option<usize>> = OnceLock::new();
+    *PARSED.get_or_init(|| {
+        std::env::var("TDF_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
+/// The effective thread count for parallel regions started by this
+/// thread: the [`with_threads`] override if one is active, else
+/// `TDF_THREADS`, else the machine's available parallelism. Always ≥ 1;
+/// `1` means the serial fast path. Inside a pool worker this is `1`
+/// (nested regions run serially — see `pool.rs` for why).
+pub fn threads() -> usize {
+    if pool::in_pool() {
+        return 1;
+    }
+    let o = OVERRIDE.with(std::cell::Cell::get);
+    if o != 0 {
+        return o;
+    }
+    env_threads()
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+        .min(MAX_THREADS)
+}
+
+/// Runs `f` with the effective thread count pinned to `n` (clamped to
+/// `1..=`[`MAX_THREADS`]) for the current thread, restoring the previous
+/// value afterwards — including on panic. This is how benches sweep
+/// 1/2/4 threads inside one process and how property tests compare
+/// thread counts without touching the process environment.
+pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|c| c.replace(n.clamp(1, MAX_THREADS)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Chunk size for an input of `len` items: an explicit request wins,
+/// otherwise at most 64 chunks. A pure function of `(len, chunk)` — this
+/// is what makes reductions thread-count-invariant.
+fn chunk_size(len: usize, chunk: usize) -> usize {
+    if chunk > 0 {
+        chunk
+    } else {
+        len.div_ceil(64).max(1)
+    }
+}
+
+/// Runs `process(chunk_id, index_range)` for every chunk of `0..n`,
+/// serially in chunk order or work-stealing across the pool — the set of
+/// `(chunk_id, range)` pairs is identical either way.
+fn run_chunked(n: usize, chunk: usize, process: &(dyn Fn(usize, Range<usize>) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let size = chunk_size(n, chunk);
+    let num_chunks = n.div_ceil(size);
+    let range_of = |c: usize| c * size..((c + 1) * size).min(n);
+    let threads = threads().min(num_chunks);
+    if threads <= 1 {
+        for c in 0..num_chunks {
+            process(c, range_of(c));
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    pool::run(threads - 1, &|| loop {
+        let c = cursor.fetch_add(1, Ordering::Relaxed);
+        if c >= num_chunks {
+            return;
+        }
+        process(c, range_of(c));
+    });
+}
+
+/// Pointer wrapper so disjoint chunk writes can target one output buffer
+/// from several threads. Soundness: each chunk writes only its own index
+/// range, and `run_chunked` completes every chunk before returning.
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Takes `self` by value so closures capture the whole (Sync) wrapper
+    /// instead of disjoint-capturing the bare raw-pointer field.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Parallel `(0..n).map(f).collect()`, order-preserving: slot `i` of the
+/// result is `f(i)`. Deterministic for any thread count by construction
+/// (each slot is written exactly once, independently).
+pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit contents need no initialization.
+    unsafe { out.set_len(n) };
+    let base = SendPtr(out.as_mut_ptr());
+    run_chunked(n, 0, &|_, range| {
+        let ptr = base.get();
+        for i in range {
+            // SAFETY: `i` is in this chunk's disjoint range, in-bounds.
+            unsafe { ptr.add(i).write(MaybeUninit::new(f(i))) };
+        }
+    });
+    // SAFETY: run_chunked covered 0..n, so every slot is initialized.
+    // (On panic we never reach here and the buffer is dropped
+    // element-drop-free, leaking at worst.)
+    let mut out = ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<U>(), n, out.capacity()) }
+}
+
+/// Parallel `items.iter().map(f).collect()`, order-preserving.
+///
+/// ```
+/// let doubled = par::par_map(&[1, 2, 3], |&x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    par_map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Order-preserving indexed reduce: maps fixed chunks of `0..n` (chunk
+/// size `chunk`, or an automatic length-only policy when `0`) and folds
+/// the chunk results **in chunk order** on the calling thread. `None`
+/// iff `n == 0`.
+///
+/// Because the chunk boundaries are a pure function of `(n, chunk)` and
+/// the fold order is fixed, the result is bit-identical for every thread
+/// count — even for non-associative merges such as floating-point `+`.
+pub fn par_index_reduce<A: Send>(
+    n: usize,
+    chunk: usize,
+    map: impl Fn(Range<usize>) -> A + Sync,
+    mut merge: impl FnMut(A, A) -> A,
+) -> Option<A> {
+    if n == 0 {
+        return None;
+    }
+    let num_chunks = n.div_ceil(chunk_size(n, chunk));
+    let slots: Vec<Mutex<Option<A>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    run_chunked(n, chunk, &|c, range| {
+        *slots[c].lock().expect("chunk slot") = Some(map(range));
+    });
+    let mut acc: Option<A> = None;
+    for slot in slots {
+        let a = slot
+            .into_inner()
+            .expect("chunk slot")
+            .expect("all chunks completed");
+        acc = Some(match acc {
+            None => a,
+            Some(prev) => merge(prev, a),
+        });
+    }
+    acc
+}
+
+/// Chunked slice reduce: `map` sees `&items[chunk_range]`, results fold
+/// in chunk order. `chunk = 0` picks the automatic length-only policy.
+/// `None` iff `items` is empty.
+///
+/// ```
+/// let total =
+///     par::par_chunks_reduce(&[1.5f64, 2.5, 3.0], 0, |c| c.iter().sum::<f64>(), |a, b| a + b);
+/// assert_eq!(total, Some(7.0));
+/// ```
+pub fn par_chunks_reduce<T: Sync, A: Send>(
+    items: &[T],
+    chunk: usize,
+    map: impl Fn(&[T]) -> A + Sync,
+    merge: impl FnMut(A, A) -> A,
+) -> Option<A> {
+    par_index_reduce(items.len(), chunk, |r| map(&items[r]), merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        for t in [1usize, 2, 4, 7] {
+            let out = with_threads(t, || par_map(&items, |&x| x * 3 + 1));
+            assert_eq!(out.len(), items.len());
+            assert!(
+                out.iter().enumerate().all(|(i, &v)| v == i as u64 * 3 + 1),
+                "t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[9u32], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn float_reduce_is_bit_identical_across_thread_counts() {
+        // A sum designed to be associativity-sensitive: wildly mixed
+        // magnitudes, so any re-association changes low-order bits.
+        let xs: Vec<f64> = (0..5000)
+            .map(|i| ((i * 2654435761u64 % 1000) as f64).powf(3.1) / ((i + 1) as f64))
+            .collect();
+        let reduce = || par_chunks_reduce(&xs, 0, |c| c.iter().sum::<f64>(), |a, b| a + b).unwrap();
+        let reference = with_threads(1, reduce);
+        for t in [2usize, 3, 4, 7] {
+            let got = with_threads(t, reduce);
+            assert_eq!(got.to_bits(), reference.to_bits(), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn explicit_chunk_size_controls_boundaries() {
+        // chunk = 10 over 0..100 → exactly ten chunks, folded in order.
+        let chunks = par_index_reduce(
+            100,
+            10,
+            |r| vec![(r.start, r.end)],
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        )
+        .unwrap();
+        assert_eq!(chunks.len(), 10);
+        assert_eq!(chunks[0], (0, 10));
+        assert_eq!(chunks[9], (90, 100));
+        assert!(chunks.windows(2).all(|w| w[0].1 == w[1].0));
+    }
+
+    #[test]
+    fn index_reduce_empty_is_none() {
+        assert_eq!(par_index_reduce(0, 0, |_| 1u32, |a, b| a + b), None);
+        let empty: Vec<u8> = Vec::new();
+        assert_eq!(par_chunks_reduce(&empty, 0, |_| 1u32, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn with_threads_restores_previous_value() {
+        let ambient = threads();
+        let inner = with_threads(3, threads);
+        assert_eq!(inner, 3);
+        assert_eq!(threads(), ambient);
+        // Clamped below and above.
+        assert_eq!(with_threads(0, threads), 1);
+        assert_eq!(with_threads(10_000, threads), MAX_THREADS);
+    }
+
+    #[test]
+    fn nested_regions_run_serially_and_correctly() {
+        let out = with_threads(4, || {
+            par_map_range(8, |i| {
+                // Nested call from (potentially) a pool worker: must not
+                // deadlock and must produce the same values.
+                par_index_reduce(
+                    100,
+                    0,
+                    |r| r.map(|j| (i * j) as u64).sum::<u64>(),
+                    |a, b| a + b,
+                )
+                .unwrap()
+            })
+        });
+        let expect: Vec<u64> = (0..8)
+            .map(|i| (0..100).map(|j| (i * j) as u64).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map_range(1000, |i| {
+                    assert!(i != 777, "boom at {i}");
+                    i
+                })
+            })
+        });
+        assert!(result.is_err());
+        // The pool must stay usable afterwards.
+        let ok = with_threads(4, || par_map_range(100, |i| i * 2));
+        assert_eq!(ok[50], 100);
+    }
+
+    #[test]
+    fn many_concurrent_regions_from_plain_threads() {
+        // Several user threads dispatching to the shared pool at once.
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    with_threads(3, || {
+                        par_map_range(2000, move |i| (i as u64).wrapping_mul(t + 1))
+                            .iter()
+                            .sum::<u64>()
+                    })
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            let got = h.join().expect("no panic");
+            let want: u64 = (0..2000u64).map(|i| i.wrapping_mul(t as u64 + 1)).sum();
+            assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The persistent worker pool behind the `par_*` entry points.
+//!
+//! Workers are plain `std::thread`s spawned lazily on first use and kept
+//! alive for the process lifetime; each owns an mpsc receiver on which it
+//! accepts *jobs*. A job is a borrowed `&dyn Fn() + Sync` whose lifetime
+//! is erased: safety comes from the dispatch protocol in [`run`], which
+//! never returns (not even by unwinding) until every worker it enlisted
+//! has finished executing the borrow. This is the same latch argument
+//! `std::thread::scope` makes, without paying a thread spawn per call —
+//! the hot kernels issue thousands of sub-millisecond parallel regions
+//! per run, so spawn cost would swamp the speedup.
+//!
+//! Workers spin briefly before blocking so that back-to-back regions (the
+//! MDAV scan loop) hand off in nanoseconds, and yield inside the spin so
+//! a single-core host is never starved.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex, OnceLock};
+
+thread_local! {
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True on pool worker threads. Parallel entry points consult this to run
+/// nested regions serially: a worker that re-dispatched to the pool could
+/// wait on a job queued behind the very job it is executing.
+pub(crate) fn in_pool() -> bool {
+    IN_POOL.with(std::cell::Cell::get)
+}
+
+/// Completion latch plus a panic flag shared by one parallel region.
+struct Latch {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+/// One unit of dispatched work: the region body, lifetime-erased.
+struct Job {
+    /// SAFETY: points at a `&'a (dyn Fn() + Sync)` that [`run`] keeps
+    /// alive until `latch.remaining` reaches zero.
+    body: &'static (dyn Fn() + Sync),
+    latch: Arc<Latch>,
+}
+
+static POOL: OnceLock<Mutex<Vec<Sender<Job>>>> = OnceLock::new();
+
+fn spawn_worker(id: usize) -> Sender<Job> {
+    let (tx, rx) = channel::<Job>();
+    std::thread::Builder::new()
+        .name(format!("tdf-par-{id}"))
+        .spawn(move || {
+            IN_POOL.with(|f| f.set(true));
+            worker_loop(&rx);
+        })
+        .expect("spawn tdf-par worker");
+    tx
+}
+
+fn worker_loop(rx: &Receiver<Job>) {
+    loop {
+        let Some(job) = next_job(rx) else { return };
+        if catch_unwind(AssertUnwindSafe(|| (job.body)())).is_err() {
+            job.latch.panicked.store(true, Ordering::Release);
+        }
+        job.latch.remaining.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Spin-then-block receive: keeps hand-off latency in the nanosecond
+/// range when parallel regions arrive back to back, parks otherwise.
+fn next_job(rx: &Receiver<Job>) -> Option<Job> {
+    for spin in 0u32..2048 {
+        match rx.try_recv() {
+            Ok(job) => return Some(job),
+            Err(TryRecvError::Disconnected) => return None,
+            Err(TryRecvError::Empty) => {
+                if spin % 64 == 63 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+    rx.recv().ok()
+}
+
+/// Executes `body` once on the calling thread and once on each of
+/// `helpers` pooled workers, returning only after every invocation has
+/// finished. Panics (from any thread) propagate to the caller — but never
+/// before all workers are done with the borrow.
+pub(crate) fn run(helpers: usize, body: &(dyn Fn() + Sync)) {
+    let latch = Arc::new(Latch {
+        remaining: AtomicUsize::new(helpers),
+        panicked: AtomicBool::new(false),
+    });
+    // SAFETY: the latch-wait below outlives every dispatched use of this
+    // borrow, on success *and* on unwind.
+    let body_static: &'static (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body) };
+    {
+        let mut workers = POOL
+            .get_or_init(|| Mutex::new(Vec::new()))
+            .lock()
+            .expect("pool lock");
+        while workers.len() < helpers {
+            let id = workers.len();
+            workers.push(spawn_worker(id));
+        }
+        for tx in workers.iter().take(helpers) {
+            tx.send(Job {
+                body: body_static,
+                latch: Arc::clone(&latch),
+            })
+            .expect("pool worker alive");
+        }
+    }
+    let caller = catch_unwind(AssertUnwindSafe(body));
+    let mut spin = 0u32;
+    while latch.remaining.load(Ordering::Acquire) != 0 {
+        spin = spin.wrapping_add(1);
+        if spin % 64 == 63 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+    match caller {
+        Err(payload) => resume_unwind(payload),
+        Ok(()) => {
+            if latch.panicked.load(Ordering::Acquire) {
+                panic!("tdf-par: a pooled worker panicked while executing a parallel region");
+            }
+        }
+    }
+}

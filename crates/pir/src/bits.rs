@@ -1,0 +1,254 @@
+//! Word-packed selection vectors for the XOR-based PIR schemes.
+//!
+//! The multi-server schemes spend their whole server-side budget folding
+//! records selected by a bit mask. A `Vec<bool>` stores one selection per
+//! byte and forces a branch per record; [`BitVec`] packs 64 selections per
+//! `u64`, so mask generation draws one RNG word per 64 bits, mask XOR is a
+//! word-wide operation, and servers skip unselected runs 64 records at a
+//! time via `trailing_zeros`. Cost accounting reports masks at their packed
+//! size (see `cost::packed_mask_bits`).
+//!
+//! Invariant: bits at positions `>= len` in the last word are always zero,
+//! so `count_ones`/equality/XOR never see garbage tail bits.
+
+use rngkit::Rng;
+
+/// Number of 64-bit words needed to hold `len` bits.
+pub fn words_for(len: usize) -> usize {
+    len.div_ceil(64)
+}
+
+/// A fixed-length bit vector packed into `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An all-zeros vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0u64; words_for(len)],
+            len,
+        }
+    }
+
+    /// A uniformly random vector of `len` bits (one RNG word per 64 bits).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Self {
+        let mut words: Vec<u64> = (0..words_for(len)).map(|_| rng.next_u64()).collect();
+        mask_tail(&mut words, len);
+        Self { words, len }
+    }
+
+    /// Packs a `bool` slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        v
+    }
+
+    /// Unpacks into one `bool` per bit.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when `len() == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Word-wide XOR with an equal-length vector.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bit-vector length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The packed words (tail bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Appends the bits of `other` to `self`.
+    pub fn extend_from(&mut self, other: &BitVec) {
+        self.words.resize(words_for(self.len + other.len), 0);
+        for i in other.ones() {
+            let pos = self.len + i;
+            self.words[pos / 64] |= 1u64 << (pos % 64);
+        }
+        self.len += other.len;
+    }
+}
+
+/// Zeroes the bits at positions `>= len` in the last word.
+fn mask_tail(words: &mut [u64], len: usize) {
+    let tail = len % 64;
+    if tail != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << tail) - 1;
+        }
+    }
+}
+
+/// Iterator over set-bit indices, word at a time via `trailing_zeros`.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word += 1;
+            if self.word >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngkit::SeedableRng;
+
+    #[test]
+    fn set_get_flip_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert!(!v.get(129));
+        v.set(129, true);
+        v.set(0, true);
+        v.set(64, true);
+        assert!(v.get(129) && v.get(0) && v.get(64));
+        assert_eq!(v.count_ones(), 3);
+        v.flip(64);
+        assert!(!v.get(64));
+        v.set(0, false);
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    fn from_to_bools_roundtrip() {
+        let bits: Vec<bool> = (0..77).map(|i| i % 3 == 0).collect();
+        let v = BitVec::from_bools(&bits);
+        assert_eq!(v.to_bools(), bits);
+        assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count() as u64);
+    }
+
+    #[test]
+    fn ones_iterates_in_order() {
+        let mut v = BitVec::zeros(200);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 199] {
+            v.set(i, true);
+        }
+        let idx: Vec<usize> = v.ones().collect();
+        assert_eq!(idx, vec![0, 1, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn xor_assign_matches_boolwise() {
+        let a: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let b: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let mut pa = BitVec::from_bools(&a);
+        pa.xor_assign(&BitVec::from_bools(&b));
+        let want: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+        assert_eq!(pa.to_bools(), want);
+    }
+
+    #[test]
+    fn random_keeps_tail_zero() {
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(9);
+        for len in [1usize, 63, 64, 65, 100, 128, 129] {
+            let v = BitVec::random(&mut rng, len);
+            assert_eq!(v.words().len(), words_for(len));
+            let reconstructed = BitVec::from_bools(&v.to_bools());
+            assert_eq!(v, reconstructed, "len {len}: tail bits must be zero");
+        }
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let a: Vec<bool> = (0..70).map(|i| i % 5 == 0).collect();
+        let b: Vec<bool> = (0..33).map(|i| i % 2 == 1).collect();
+        let mut v = BitVec::from_bools(&a);
+        v.extend_from(&BitVec::from_bools(&b));
+        let mut want = a.clone();
+        want.extend_from_slice(&b);
+        assert_eq!(v.len(), 103);
+        assert_eq!(v.to_bools(), want);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v.ones().count(), 0);
+        assert_eq!(v.to_bools(), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+    }
+}

@@ -1,6 +1,18 @@
 //! Communication and computation accounting for PIR protocols.
+//!
+//! Selection masks travel word-packed (see [`crate::bits::BitVec`]), so
+//! mask uplink is charged at the packed size: a `b`-bit mask costs
+//! `words_for(b) * 64` bits on the wire. [`packed_mask_bits`] is the one
+//! place that rounding lives.
 
+use crate::bits::words_for;
 use std::ops::{Add, AddAssign};
+
+/// Wire size in bits of `masks` packed selection vectors of `bits` bits
+/// each: every mask is padded up to whole 64-bit words.
+pub fn packed_mask_bits(masks: usize, bits: usize) -> u64 {
+    (masks * words_for(bits) * 64) as u64
+}
 
 /// Cost of one PIR retrieval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -44,6 +56,15 @@ impl AddAssign for CostReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn packed_mask_rounds_to_words() {
+        assert_eq!(packed_mask_bits(1, 1), 64);
+        assert_eq!(packed_mask_bits(1, 64), 64);
+        assert_eq!(packed_mask_bits(1, 65), 128);
+        assert_eq!(packed_mask_bits(2, 100), 256);
+        assert_eq!(packed_mask_bits(3, 0), 0);
+    }
 
     #[test]
     fn totals_and_accumulation() {

@@ -21,6 +21,7 @@
 //! * [`store`] — a PIR-backed record store with an explicit server *view*,
 //!   used by `tdf-core` to measure query leakage in bits.
 
+pub mod bits;
 pub mod cost;
 pub mod cpir;
 pub mod cube;
@@ -30,5 +31,6 @@ pub mod square;
 pub mod store;
 pub mod trivial;
 
+pub use bits::BitVec;
 pub use cost::CostReport;
 pub use store::{Database, ServerView};

@@ -6,15 +6,21 @@
 //! answers to obtain the record. Any coalition of `k − 1` servers sees only
 //! uniformly random masks — information-theoretic user privacy, exactly the
 //! property §3 of the paper relies on.
+//!
+//! Shares are word-packed ([`crate::bits::BitVec`]): mask generation draws
+//! one RNG word per 64 records and the servers fold their answers in
+//! parallel, one `par` task per server, XORed together in server order so
+//! the result is bit-identical at any `TDF_THREADS`.
 
-use crate::cost::CostReport;
+use crate::bits::BitVec;
+use crate::cost::{packed_mask_bits, CostReport};
 use crate::store::{Database, ServerView};
 use rngkit::Rng;
 
-/// A prepared query: one selection mask per server.
+/// A prepared query: one packed selection mask per server.
 #[derive(Debug, Clone)]
 pub struct Query {
-    shares: Vec<Vec<bool>>,
+    shares: Vec<BitVec>,
 }
 
 impl Query {
@@ -22,19 +28,19 @@ impl Query {
     pub fn build<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize, index: usize) -> Self {
         assert!(k >= 2, "need at least two non-colluding servers");
         assert!(index < n, "index out of range");
-        let mut shares: Vec<Vec<bool>> = (0..k - 1)
-            .map(|_| (0..n).map(|_| rng.gen::<bool>()).collect())
-            .collect();
+        let mut shares: Vec<BitVec> = (0..k - 1).map(|_| BitVec::random(rng, n)).collect();
         // Last share = XOR of the others, flipped at `index`.
-        let last: Vec<bool> = (0..n)
-            .map(|i| shares.iter().fold(i == index, |acc, s| acc ^ s[i]))
-            .collect();
+        let mut last = BitVec::zeros(n);
+        for s in &shares {
+            last.xor_assign(s);
+        }
+        last.flip(index);
         shares.push(last);
         Self { shares }
     }
 
     /// The mask destined for server `j` (this is the server's whole view).
-    pub fn share(&self, j: usize) -> &[bool] {
+    pub fn share(&self, j: usize) -> &BitVec {
         &self.shares[j]
     }
 
@@ -64,23 +70,24 @@ pub fn retrieve<R: Rng + ?Sized>(
     index: usize,
 ) -> (Vec<u8>, Vec<ServerView>, CostReport) {
     let q = Query::build(rng, db.len(), k, index);
+    // Each replica computes its answer independently; fold in server
+    // order on the client so the result does not depend on scheduling.
+    let answers = par::par_map(&q.shares, |s| db.xor_selected(s));
     let mut acc = vec![0u8; db.record_size()];
-    let mut views = Vec::with_capacity(k);
-    for j in 0..k {
-        let answer = db.xor_selected(q.share(j));
-        for (a, b) in acc.iter_mut().zip(&answer) {
+    for answer in &answers {
+        for (a, b) in acc.iter_mut().zip(answer) {
             *a ^= b;
         }
-        views.push(ServerView::Mask(q.share(j).to_vec()));
     }
+    let views = q
+        .shares
+        .iter()
+        .map(|s| ServerView::Mask(s.clone()))
+        .collect();
     let cost = CostReport {
-        uplink_bits: (k * db.len()) as u64,
+        uplink_bits: packed_mask_bits(k, db.len()),
         downlink_bits: (k * db.record_size() * 8) as u64,
-        server_ops: q
-            .shares
-            .iter()
-            .map(|s| s.iter().filter(|&&b| b).count() as u64)
-            .sum(),
+        server_ops: q.shares.iter().map(BitVec::count_ones).sum(),
         servers: k as u32,
     };
     (acc, views, cost)
@@ -128,7 +135,7 @@ mod tests {
         let mut r = rng();
         let q = Query::build(&mut r, 20, 3, 13);
         for pos in 0..20 {
-            let x = (0..3).fold(false, |acc, j| acc ^ q.share(j)[pos]);
+            let x = (0..3).fold(false, |acc, j| acc ^ q.share(j).get(pos));
             assert_eq!(x, pos == 13);
         }
     }
@@ -144,10 +151,8 @@ mod tests {
         let mut ones = vec![0usize; n];
         for t in 0..trials {
             let q = Query::build(&mut r, n, 2, t % n);
-            for (pos, &b) in q.share(0).iter().enumerate() {
-                if b {
-                    ones[pos] += 1;
-                }
+            for pos in q.share(0).ones() {
+                ones[pos] += 1;
             }
         }
         for (pos, &c) in ones.iter().enumerate() {
@@ -157,12 +162,29 @@ mod tests {
     }
 
     #[test]
-    fn uplink_cost_is_linear_in_n() {
+    fn uplink_cost_counts_packed_words() {
         let mut r = rng();
         let (_, _, c1) = retrieve(&mut r, &db(100), 2, 0);
         let (_, _, c2) = retrieve(&mut r, &db(200), 2, 0);
-        assert_eq!(c1.uplink_bits, 200);
-        assert_eq!(c2.uplink_bits, 400);
+        // 100 bits pack into two words, 200 into four; two servers each.
+        assert_eq!(c1.uplink_bits, 2 * 2 * 64);
+        assert_eq!(c2.uplink_bits, 2 * 4 * 64);
+    }
+
+    #[test]
+    fn retrieval_is_identical_across_thread_counts() {
+        let db = db(257);
+        let run = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut r = rng();
+                retrieve(&mut r, &db, 3, 129)
+            })
+        };
+        let (rec1, views1, cost1) = run(1);
+        let (rec4, views4, cost4) = run(4);
+        assert_eq!(rec1, rec4);
+        assert_eq!(views1, views4);
+        assert_eq!(cost1, cost4);
     }
 
     #[test]

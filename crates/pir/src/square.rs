@@ -5,10 +5,11 @@
 //! `e_r` into two random masks; each server XORs, *per column*, the records
 //! of its selected rows and returns `s` column-aggregates. XORing the two
 //! answer vectors gives row `r` in full, from which the client reads
-//! column `c`. Uplink is `s` bits per server, downlink `s` records per
-//! server — total O(√n · record_size) instead of O(n).
+//! column `c`. Uplink is one packed row mask per server, downlink `s`
+//! records per server — total O(√n · record_size) instead of O(n).
 
-use crate::cost::CostReport;
+use crate::bits::BitVec;
+use crate::cost::{packed_mask_bits, CostReport};
 use crate::store::{Database, ServerView};
 use rngkit::Rng;
 
@@ -27,22 +28,21 @@ pub fn retrieve<R: Rng + ?Sized>(
     let s = side(db.len());
     let (row, col) = (index / s, index % s);
 
-    // Secret-share the row selector.
-    let mask_a: Vec<bool> = (0..s).map(|_| rng.gen()).collect();
-    let mask_b: Vec<bool> = (0..s).map(|r| mask_a[r] ^ (r == row)).collect();
+    // Secret-share the row selector: mask_b = mask_a ^ e_row.
+    let mask_a = BitVec::random(rng, s);
+    let mut mask_b = mask_a.clone();
+    mask_b.flip(row);
 
-    let answer = |mask: &[bool]| -> Vec<Vec<u8>> {
+    let answer = |mask: &BitVec| -> Vec<Vec<u8>> {
         // Per column: XOR of the records in selected rows.
         (0..s)
             .map(|c| {
                 let mut acc = vec![0u8; db.record_size()];
-                for (r, &sel) in mask.iter().enumerate() {
-                    if sel {
-                        let idx = r * s + c;
-                        if idx < db.len() {
-                            for (a, b) in acc.iter_mut().zip(db.record(idx)) {
-                                *a ^= b;
-                            }
+                for r in mask.ones() {
+                    let idx = r * s + c;
+                    if idx < db.len() {
+                        for (a, b) in acc.iter_mut().zip(db.record(idx)) {
+                            *a ^= b;
                         }
                     }
                 }
@@ -51,18 +51,21 @@ pub fn retrieve<R: Rng + ?Sized>(
             .collect()
     };
 
-    let ans_a = answer(&mask_a);
-    let ans_b = answer(&mask_b);
+    // The two replicas answer independently; collect in server order.
+    let masks = [mask_a, mask_b];
+    let answers = par::par_map(&masks, answer);
+    let [mask_a, mask_b] = masks;
     let mut rec = vec![0u8; db.record_size()];
-    for (a, (x, y)) in rec.iter_mut().zip(ans_a[col].iter().zip(&ans_b[col])) {
+    for (a, (x, y)) in rec
+        .iter_mut()
+        .zip(answers[0][col].iter().zip(&answers[1][col]))
+    {
         *a = x ^ y;
     }
 
-    let ops = (mask_a.iter().filter(|&&b| b).count() + mask_b.iter().filter(|&&b| b).count())
-        as u64
-        * s as u64;
+    let ops = (mask_a.count_ones() + mask_b.count_ones()) * s as u64;
     let cost = CostReport {
-        uplink_bits: 2 * s as u64,
+        uplink_bits: packed_mask_bits(2, s),
         downlink_bits: 2 * (s * db.record_size() * 8) as u64,
         server_ops: ops,
         servers: 2,
@@ -128,6 +131,18 @@ mod tests {
     }
 
     #[test]
+    fn retrieval_is_identical_across_thread_counts() {
+        let db = db(100);
+        let run = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut r = rng();
+                retrieve(&mut r, &db, 42)
+            })
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
     fn each_view_is_uniform_regardless_of_row() {
         let n = 64; // s = 8
         let db = db(n);
@@ -137,10 +152,8 @@ mod tests {
         for t in 0..trials {
             let (_, [va, _], _) = retrieve(&mut r, &db, t % n);
             if let ServerView::SquareMask { rows } = va {
-                for (p, &b) in rows.iter().enumerate() {
-                    if b {
-                        ones[p] += 1;
-                    }
+                for p in rows.ones() {
+                    ones[p] += 1;
                 }
             }
         }

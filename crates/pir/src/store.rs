@@ -2,17 +2,20 @@
 //! everything a (curious) server observes during a retrieval, from which
 //! `tdf-core` computes empirical query leakage.
 
+use crate::bits::BitVec;
 use std::sync::Arc;
 
-/// A database of `n` fixed-size records.
+/// A database of `n` fixed-size records stored contiguously.
 ///
-/// Records are stored as `Arc<[u8]>` so that cloning the database (the
-/// PIR pipelines replicate it once per server) shares the payload
-/// instead of copying it.
+/// Records live back to back in one `Arc<[u8]>` so that cloning the
+/// database (the PIR pipelines replicate it once per server) shares a
+/// single allocation, and the XOR-folding hot loop walks a flat buffer
+/// instead of chasing one pointer per record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Database {
-    records: Vec<Arc<[u8]>>,
+    data: Arc<[u8]>,
     record_size: usize,
+    len: usize,
 }
 
 impl Database {
@@ -23,9 +26,15 @@ impl Database {
             records.iter().all(|r| r.len() == record_size),
             "all records must have equal size"
         );
+        let len = records.len();
+        let mut data = Vec::with_capacity(len * record_size);
+        for r in &records {
+            data.extend_from_slice(r);
+        }
         Self {
-            records: records.into_iter().map(Arc::from).collect(),
+            data: data.into(),
             record_size,
+            len,
         }
     }
 
@@ -36,12 +45,12 @@ impl Database {
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.len
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len == 0
     }
 
     /// Size of each record in bytes.
@@ -51,22 +60,83 @@ impl Database {
 
     /// Record `i`.
     pub fn record(&self, i: usize) -> &[u8] {
-        &self.records[i]
+        assert!(i < self.len, "record index out of range");
+        &self.data[i * self.record_size..(i + 1) * self.record_size]
     }
 
-    /// XOR of the records selected by `mask` (one bool per record).
-    pub fn xor_selected(&self, mask: &[bool]) -> Vec<u8> {
-        assert_eq!(mask.len(), self.len(), "mask arity mismatch");
+    /// XOR of the records selected by the packed `mask` (one bit per
+    /// record). Selected records are found 64 at a time via the mask's
+    /// set-bit iterator and folded 8 bytes per step into a word-wide
+    /// accumulator. Common power-of-two record sizes dispatch to a
+    /// monomorphized fold whose accumulator is a fixed-size array the
+    /// optimiser keeps in registers across the whole scan.
+    pub fn xor_selected(&self, mask: &BitVec) -> Vec<u8> {
+        assert_eq!(mask.len(), self.len, "mask arity mismatch");
+        let rs = self.record_size;
+        let acc = match rs {
+            8 => Some(fold_words::<1>(&self.data, mask).to_vec()),
+            16 => Some(fold_words::<2>(&self.data, mask).to_vec()),
+            32 => Some(fold_words::<4>(&self.data, mask).to_vec()),
+            64 => Some(fold_words::<8>(&self.data, mask).to_vec()),
+            _ => None,
+        };
+        if let Some(acc) = acc {
+            let mut out = Vec::with_capacity(rs);
+            for a in acc {
+                out.extend_from_slice(&a.to_ne_bytes());
+            }
+            return out;
+        }
+        let body = rs / 8; // whole words per record
+        let mut acc64 = vec![0u64; body];
+        let mut tail = vec![0u8; rs % 8];
+        for i in mask.ones() {
+            let rec = &self.data[i * rs..(i + 1) * rs];
+            for (a, chunk) in acc64.iter_mut().zip(rec.chunks_exact(8)) {
+                *a ^= u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            for (t, b) in tail.iter_mut().zip(&rec[body * 8..]) {
+                *t ^= b;
+            }
+        }
+        let mut out = Vec::with_capacity(rs);
+        for a in acc64 {
+            out.extend_from_slice(&a.to_ne_bytes());
+        }
+        out.extend_from_slice(&tail);
+        out
+    }
+
+    /// `Vec<bool>` reference implementation of [`Self::xor_selected`] —
+    /// the pre-packing scan, kept for property tests and benchmarks.
+    pub fn xor_selected_bools(&self, mask: &[bool]) -> Vec<u8> {
+        assert_eq!(mask.len(), self.len, "mask arity mismatch");
         let mut acc = vec![0u8; self.record_size];
         for (i, &selected) in mask.iter().enumerate() {
             if selected {
-                for (a, b) in acc.iter_mut().zip(self.records[i].iter()) {
+                for (a, b) in acc.iter_mut().zip(self.record(i)) {
                     *a ^= b;
                 }
             }
         }
         acc
     }
+}
+
+/// XOR-folds the records selected by `mask` for a record size of exactly
+/// `W * 8` bytes. The `W`-word accumulator is a fixed-size array, so the
+/// hot loop keeps it in registers instead of round-tripping a heap
+/// buffer on every selected record.
+fn fold_words<const W: usize>(data: &[u8], mask: &BitVec) -> [u64; W] {
+    let rs = W * 8;
+    let mut acc = [0u64; W];
+    for i in mask.ones() {
+        let rec = &data[i * rs..(i + 1) * rs];
+        for (a, chunk) in acc.iter_mut().zip(rec.chunks_exact(8)) {
+            *a ^= u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+    }
+    acc
 }
 
 /// What one server observed during a retrieval: the raw query message it
@@ -77,13 +147,13 @@ impl Database {
 pub enum ServerView {
     /// The server saw a plaintext index (no user privacy).
     PlainIndex(usize),
-    /// The server saw a selection bit-vector (XOR schemes).
-    Mask(Vec<bool>),
+    /// The server saw a packed selection bit-vector (XOR schemes).
+    Mask(BitVec),
     /// The server saw a row-selector plus which of its own axes was used
     /// (square scheme).
     SquareMask {
         /// Row-selection vector.
-        rows: Vec<bool>,
+        rows: BitVec,
     },
     /// The server saw ciphertexts only (computational PIR).
     Ciphertexts(usize),
@@ -113,12 +183,33 @@ mod tests {
     #[test]
     fn xor_selected_matches_manual() {
         let db = Database::new(vec![vec![0b1100], vec![0b1010], vec![0b0001]]);
-        let x = db.xor_selected(&[true, true, false]);
+        let x = db.xor_selected(&BitVec::from_bools(&[true, true, false]));
         assert_eq!(x, vec![0b0110]);
-        let all = db.xor_selected(&[true, true, true]);
+        let all = db.xor_selected(&BitVec::from_bools(&[true, true, true]));
         assert_eq!(all, vec![0b0111]);
-        let none = db.xor_selected(&[false, false, false]);
+        let none = db.xor_selected(&BitVec::from_bools(&[false, false, false]));
         assert_eq!(none, vec![0]);
+    }
+
+    #[test]
+    fn packed_and_bool_scans_agree() {
+        // 9-byte records exercise both the word-wide accumulator and the
+        // byte tail; 70 records exercise a mask spanning two words.
+        let db = Database::new(
+            (0..70u8)
+                .map(|i| (0..9).map(|j| i.wrapping_mul(31).wrapping_add(j)).collect())
+                .collect(),
+        );
+        let bools: Vec<bool> = (0..70).map(|i| i % 3 != 1).collect();
+        let packed = BitVec::from_bools(&bools);
+        assert_eq!(db.xor_selected(&packed), db.xor_selected_bools(&bools));
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let db = Database::new(vec![vec![7u8; 16]; 8]);
+        let db2 = db.clone();
+        assert!(std::ptr::eq(db.record(0).as_ptr(), db2.record(0).as_ptr()));
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Property tests: the word-packed `BitVec` must agree with the
+//! `Vec<bool>` reference representation on arbitrary inputs — XOR,
+//! popcount, the set-bit iterator, and the database scan built on top.
+
+use check::prelude::*;
+use tdf_pir::bits::BitVec;
+use tdf_pir::store::Database;
+
+/// Expands bytes into one bool per bit: arbitrary-length bool vectors
+/// from the byte strategy, densities included.
+fn bools_from(bytes: &[u8]) -> Vec<bool> {
+    bytes
+        .iter()
+        .flat_map(|&b| (0..8).map(move |i| b >> i & 1 == 1))
+        .collect()
+}
+
+props! {
+    #[test]
+    fn roundtrip_preserves_bits(bytes in vec(any::<u8>(), 0..40)) {
+        let bits = bools_from(&bytes);
+        let packed = BitVec::from_bools(&bits);
+        prop_assert_eq!(packed.len(), bits.len());
+        prop_assert_eq!(packed.to_bools(), bits.clone());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), b);
+        }
+    }
+
+    #[test]
+    fn xor_matches_boolwise_reference(a in vec(any::<u8>(), 0..32), b in vec(any::<u8>(), 0..32)) {
+        let len = a.len().min(b.len()) * 8;
+        let ba: Vec<bool> = bools_from(&a)[..len].to_vec();
+        let bb: Vec<bool> = bools_from(&b)[..len].to_vec();
+        let mut packed = BitVec::from_bools(&ba);
+        packed.xor_assign(&BitVec::from_bools(&bb));
+        let want: Vec<bool> = ba.iter().zip(&bb).map(|(&x, &y)| x ^ y).collect();
+        prop_assert_eq!(packed.to_bools(), want);
+    }
+
+    #[test]
+    fn popcount_matches_reference(bytes in vec(any::<u8>(), 0..40)) {
+        let bits = bools_from(&bytes);
+        let packed = BitVec::from_bools(&bits);
+        let want = bits.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(packed.count_ones(), want);
+    }
+
+    #[test]
+    fn ones_iterator_matches_reference(bytes in vec(any::<u8>(), 0..40)) {
+        let bits = bools_from(&bytes);
+        let packed = BitVec::from_bools(&bits);
+        let want: Vec<usize> = bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        prop_assert_eq!(packed.ones().collect::<Vec<usize>>(), want);
+    }
+
+    #[test]
+    fn packed_scan_equals_bool_scan(
+        mask_bytes in vec(any::<u8>(), 1..17),
+        record_size in 1usize..20,
+        seed in any::<u8>(),
+    ) {
+        let bits = bools_from(&mask_bytes);
+        let n = bits.len();
+        let db = Database::new(
+            (0..n)
+                .map(|i| {
+                    (0..record_size)
+                        .map(|j| (i as u8).wrapping_mul(17).wrapping_add(j as u8) ^ seed)
+                        .collect()
+                })
+                .collect(),
+        );
+        let packed = BitVec::from_bools(&bits);
+        prop_assert_eq!(db.xor_selected(&packed), db.xor_selected_bools(&bits));
+    }
+}

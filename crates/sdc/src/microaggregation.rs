@@ -43,61 +43,122 @@ pub fn mdav_microaggregate(
 ) -> Result<MicroaggregationResult> {
     validate(data, cols, k)?;
     let std = Standardizer::fit(data, cols);
-    let points: Vec<Vec<f64>> = (0..data.num_rows())
-        .map(|i| std.transform(data.row(i)))
-        .collect();
+    let points = standardized_points(data, &std);
 
     let mut remaining: Vec<usize> = (0..data.num_rows()).collect();
     let mut groups: Vec<Vec<usize>> = Vec::new();
 
     while remaining.len() >= 3 * k {
-        let centroid = centroid_of(&points, &remaining);
-        // r: farthest record from the centroid; s: farthest from r.
-        let r = *remaining
-            .iter()
-            .max_by(|&&a, &&b| {
-                sq_euclidean(&points[a], &centroid).total_cmp(&sq_euclidean(&points[b], &centroid))
-            })
-            .expect("non-empty");
-        let s = *remaining
-            .iter()
-            .max_by(|&&a, &&b| {
-                sq_euclidean(&points[a], &points[r])
-                    .total_cmp(&sq_euclidean(&points[b], &points[r]))
-            })
-            .expect("non-empty");
-        for anchor in [r, s] {
-            let mut rest: Vec<usize> = remaining.clone();
-            rest.sort_by(|&a, &b| {
-                sq_euclidean(&points[a], &points[anchor])
-                    .total_cmp(&sq_euclidean(&points[b], &points[anchor]))
-            });
-            let group: Vec<usize> = rest.into_iter().take(k).collect();
-            remaining.retain(|i| !group.contains(i));
-            groups.push(group);
-        }
+        let centroid = centroid_of_remaining(&points, &remaining);
+        // r: farthest record from the centroid; s: farthest from r. Each
+        // scan computes its distances exactly once (the anchor-r distances
+        // are reused to carve r's group below).
+        let d_centroid = distances_to(&points, &remaining, &centroid);
+        let r = remaining[argmax(&d_centroid)];
+        let d_r = distances_to(&points, &remaining, &points[r]);
+        let s = remaining[argmax(&d_r)];
+
+        let group_r = k_nearest(&remaining, &d_r, k);
+        remove_members(&mut remaining, &group_r);
+        groups.push(group_r);
+
+        let d_s = distances_to(&points, &remaining, &points[s]);
+        let group_s = k_nearest(&remaining, &d_s, k);
+        remove_members(&mut remaining, &group_s);
+        groups.push(group_s);
     }
     if remaining.len() >= 2 * k {
-        let centroid = centroid_of(&points, &remaining);
-        let r = *remaining
-            .iter()
-            .max_by(|&&a, &&b| {
-                sq_euclidean(&points[a], &centroid).total_cmp(&sq_euclidean(&points[b], &centroid))
-            })
-            .expect("non-empty");
-        let mut rest = remaining.clone();
-        rest.sort_by(|&a, &b| {
-            sq_euclidean(&points[a], &points[r]).total_cmp(&sq_euclidean(&points[b], &points[r]))
-        });
-        let group: Vec<usize> = rest.into_iter().take(k).collect();
-        remaining.retain(|i| !group.contains(i));
+        let centroid = centroid_of_remaining(&points, &remaining);
+        let d_centroid = distances_to(&points, &remaining, &centroid);
+        let r = remaining[argmax(&d_centroid)];
+        let d_r = distances_to(&points, &remaining, &points[r]);
+        let group = k_nearest(&remaining, &d_r, k);
+        remove_members(&mut remaining, &group);
         groups.push(group);
     }
     if !remaining.is_empty() {
         groups.push(remaining);
     }
 
-    Ok(finish(data, cols, &std, groups))
+    Ok(finish(data, cols, points, groups))
+}
+
+/// Standardized coordinates for every record, computed in parallel (each
+/// row is independent).
+fn standardized_points(data: &Dataset, std: &Standardizer) -> Vec<Vec<f64>> {
+    par::par_map_range(data.num_rows(), |i| std.transform(data.row(i)))
+}
+
+/// Squared distances from each member of `remaining` to `target` — one
+/// parallel pass, element `p` a pure function of `remaining[p]`, so the
+/// vector is identical at any thread count.
+fn distances_to(points: &[Vec<f64>], remaining: &[usize], target: &[f64]) -> Vec<f64> {
+    par::par_map(remaining, |&i| sq_euclidean(&points[i], target))
+}
+
+/// Position of the first maximum (strictly-greater comparison).
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (p, &v) in values.iter().enumerate().skip(1) {
+        if v > values[best] {
+            best = p;
+        }
+    }
+    best
+}
+
+/// The `k` members of `remaining` with the smallest `(distance, id)` —
+/// the lexicographic tie-break keeps the selection a pure function of the
+/// inputs. Returned in increasing-distance order.
+fn k_nearest(remaining: &[usize], dists: &[f64], k: usize) -> Vec<usize> {
+    let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+    for (p, &id) in remaining.iter().enumerate() {
+        let cand = (dists[p], id);
+        if best.len() == k {
+            let worst = *best.last().expect("k >= 1");
+            if (cand.0, cand.1) >= (worst.0, worst.1) {
+                continue;
+            }
+            best.pop();
+        }
+        let at = best.partition_point(|&(d, i)| (d, i) < (cand.0, cand.1));
+        best.insert(at, cand);
+    }
+    best.into_iter().map(|(_, id)| id).collect()
+}
+
+/// Removes `members` from `remaining` in one O(n) pass.
+fn remove_members(remaining: &mut Vec<usize>, members: &[usize]) {
+    let taken: std::collections::HashSet<usize> = members.iter().copied().collect();
+    remaining.retain(|i| !taken.contains(i));
+}
+
+/// Centroid of the records in `remaining`, summed in fixed chunk order.
+fn centroid_of_remaining(points: &[Vec<f64>], remaining: &[usize]) -> Vec<f64> {
+    let d = points[remaining[0]].len();
+    let sums = par::par_chunks_reduce(
+        remaining,
+        0,
+        |chunk| {
+            let mut acc = vec![0.0f64; d];
+            for &i in chunk {
+                for (a, v) in acc.iter_mut().zip(&points[i]) {
+                    *a += v;
+                }
+            }
+            acc
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        },
+    )
+    .expect("non-empty remaining");
+    sums.into_iter()
+        .map(|s| s / remaining.len() as f64)
+        .collect()
 }
 
 /// Fixed-size microaggregation: sorts records by their first principal
@@ -111,9 +172,7 @@ pub fn fixed_microaggregate(
 ) -> Result<MicroaggregationResult> {
     validate(data, cols, k)?;
     let std = Standardizer::fit(data, cols);
-    let points: Vec<Vec<f64>> = (0..data.num_rows())
-        .map(|i| std.transform(data.row(i)))
-        .collect();
+    let points = standardized_points(data, &std);
     let mut order: Vec<usize> = (0..data.num_rows()).collect();
     order.sort_by(|&a, &b| {
         points[a]
@@ -132,7 +191,7 @@ pub fn fixed_microaggregate(
         groups.push(order[i..i + take].to_vec());
         i += take;
     }
-    Ok(finish(data, cols, &std, groups))
+    Ok(finish(data, cols, points, groups))
 }
 
 fn validate(data: &Dataset, cols: &[usize], k: usize) -> Result<()> {
@@ -172,15 +231,12 @@ fn centroid_of(points: &[Vec<f64>], members: &[usize]) -> Vec<f64> {
 fn finish(
     data: &Dataset,
     cols: &[usize],
-    std: &Standardizer,
+    points: Vec<Vec<f64>>,
     groups: Vec<Vec<usize>>,
 ) -> MicroaggregationResult {
     let mut out = data.clone();
     let mut group_of = vec![0usize; data.num_rows()];
     let mut sse = 0.0;
-    let points: Vec<Vec<f64>> = (0..data.num_rows())
-        .map(|i| std.transform(data.row(i)))
-        .collect();
     for (gid, members) in groups.iter().enumerate() {
         // Raw-space centroid per column (means of original values).
         for &col in cols {
@@ -306,6 +362,19 @@ mod tests {
         // Blood pressure now shares centroids within groups.
         let groups = r.data.group_indices_by(&all_numeric);
         assert!(groups.values().all(|g| g.len() >= 3));
+    }
+
+    #[test]
+    fn mdav_is_identical_across_thread_counts() {
+        let d = synth(&PatientConfig {
+            n: 250,
+            ..Default::default()
+        });
+        let run = |t: usize| par::with_threads(t, || mdav_microaggregate(&d, &qi(&d), 4).unwrap());
+        let (a, b) = (run(1), run(4));
+        assert_eq!(a.group_of, b.group_of);
+        assert_eq!(a.num_groups, b.num_groups);
+        assert_eq!(a.sse.to_bits(), b.sse.to_bits());
     }
 
     #[test]

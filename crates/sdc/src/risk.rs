@@ -27,12 +27,13 @@ pub fn record_linkage_rate(original: &Dataset, masked: &Dataset, qi_cols: &[usiz
     // Standardize with the *original* data's scale: that is the intruder's
     // external knowledge.
     let std = Standardizer::fit(original, qi_cols);
-    let masked_pts: Vec<Vec<f64>> = (0..masked.num_rows())
-        .map(|i| std.transform(masked.row(i)))
-        .collect();
+    let masked_pts: Vec<Vec<f64>> =
+        par::par_map_range(masked.num_rows(), |i| std.transform(masked.row(i)));
 
-    let mut expected_hits = 0.0;
-    for i in 0..original.num_rows() {
+    // Each respondent's linkage outcome is independent of the others:
+    // compute the per-row expected-hit contributions in parallel and sum
+    // them in row order, so the total is identical at any thread count.
+    let contributions = par::par_map_range(original.num_rows(), |i| {
         let target = std.transform(original.row(i));
         let mut best = f64::INFINITY;
         let mut ties: Vec<usize> = Vec::new();
@@ -47,9 +48,12 @@ pub fn record_linkage_rate(original: &Dataset, masked: &Dataset, qi_cols: &[usiz
             }
         }
         if ties.contains(&i) {
-            expected_hits += 1.0 / ties.len() as f64;
+            1.0 / ties.len() as f64
+        } else {
+            0.0
         }
-    }
+    });
+    let expected_hits: f64 = contributions.iter().sum();
     Ok(expected_hits / original.num_rows() as f64)
 }
 
@@ -79,8 +83,9 @@ pub fn record_linkage_rate_mixed(
         .collect();
     let std = Standardizer::fit(original, &numeric_qi);
 
-    let mut expected_hits = 0.0;
-    for i in 0..original.num_rows() {
+    // Same parallel shape as `record_linkage_rate`: independent rows,
+    // order-preserving sum.
+    let contributions = par::par_map_range(original.num_rows(), |i| {
         let target = original.row(i);
         let mut best = f64::INFINITY;
         let mut ties: Vec<usize> = Vec::new();
@@ -95,9 +100,12 @@ pub fn record_linkage_rate_mixed(
             }
         }
         if ties.contains(&i) {
-            expected_hits += 1.0 / ties.len() as f64;
+            1.0 / ties.len() as f64
+        } else {
+            0.0
         }
-    }
+    });
+    let expected_hits: f64 = contributions.iter().sum();
     Ok(expected_hits / original.num_rows() as f64)
 }
 

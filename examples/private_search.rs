@@ -52,7 +52,7 @@ fn main() {
             "PIR must return the right document"
         );
         if let dbpriv::pir::ServerView::Mask(mask) = &server_views[0] {
-            views.push((entry.query, mask.clone()));
+            views.push((entry.query, mask.to_bools()));
         }
         total_bits += cost.total_bits();
     }

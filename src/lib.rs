@@ -15,7 +15,13 @@
 //!
 //! The framework itself — dimensions, metrics, technology scoring, and the
 //! composition pipelines of §6 of the paper — lives in [`core`].
+//!
+//! The hot kernels (MDAV, Mondrian, record linkage, multi-server PIR) run
+//! on [`par`], the in-tree deterministic fork/join layer: set `TDF_THREADS`
+//! to bound parallelism (`1` forces the serial path) — results are
+//! bit-identical at every thread count.
 
+pub use par;
 pub use tdf_anonymity as anonymity;
 pub use tdf_core as core;
 pub use tdf_hippocratic as hippocratic;

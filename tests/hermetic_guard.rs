@@ -94,7 +94,32 @@ fn workspace_dependency_table_is_all_paths() {
         }
     }
     assert!(
-        entries >= 10,
+        entries >= 13,
         "expected the in-tree crates in [workspace.dependencies]"
     );
+}
+
+#[test]
+fn par_crate_is_registered_and_dependency_free() {
+    // The fork/join substrate must stay in the workspace table and must
+    // itself pull in nothing (its whole point is std-only parallelism).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let table = std::fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    assert!(
+        table.contains("tdf-par = { path = \"crates/par\" }"),
+        "tdf-par must be a [workspace.dependencies] path entry"
+    );
+    let par = std::fs::read_to_string(root.join("crates/par/Cargo.toml")).expect("par manifest");
+    let mut in_deps = false;
+    for raw in par.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        assert!(
+            !(in_deps && line.contains('=')),
+            "crates/par must have no runtime dependencies, found: {line}"
+        );
+    }
 }
