@@ -33,6 +33,24 @@ if [[ -n "$bad" ]]; then
 fi
 echo "ok"
 
+step "row-materializer budget (columnar storage must stay hot)"
+# `Dataset::row` / `Dataset::rows` are the compatibility shim over the
+# columnar store — fine for CSV/TSV ser, generators and report glue,
+# banned from growing back into kernels. The budget is the audited
+# call-site count at the time of the columnar refactor; if you need a
+# new site, prefer a ColumnView / typed-cells accessor, or consciously
+# raise the budget here with a justification.
+ROW_BUDGET=28
+row_sites=$(grep -rn '\.rows()\|\.row(' crates/*/src --include='*.rs' \
+  | grep -v 'crates/microdata/src/dataset.rs' | grep -cv '^[[:space:]]*//' || true)
+if [[ "$row_sites" -gt "$ROW_BUDGET" ]]; then
+  echo "row-materializer call sites grew: $row_sites > budget $ROW_BUDGET" >&2
+  grep -rn '\.rows()\|\.row(' crates/*/src --include='*.rs' \
+    | grep -v 'crates/microdata/src/dataset.rs' | grep -v '^[[:space:]]*//' >&2
+  exit 1
+fi
+echo "ok ($row_sites sites, budget $ROW_BUDGET)"
+
 step "cargo fmt --check"
 "$CARGO" fmt --all --check
 
@@ -55,7 +73,7 @@ if [[ "$QUICK" -eq 0 ]]; then
   rm -f crates/bench/BENCH_*.json
   TDF_BENCH_SAMPLES=3 TDF_BENCH_SAMPLE_MS=2 TDF_BENCH_WARMUP_MS=5 \
     "$CARGO" bench --offline -p tdf-bench >/dev/null
-  for suite in substrates ablations experiments par; do
+  for suite in substrates ablations experiments par columnar; do
     json="crates/bench/BENCH_${suite}.json"
     [[ -s "$json" ]] || { echo "missing $json" >&2; exit 1; }
     grep -q '"median_ns"' "$json" || { echo "$json lacks median_ns" >&2; exit 1; }

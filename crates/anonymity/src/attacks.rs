@@ -8,7 +8,8 @@
 //! sensitive value with certainty. The probabilistic variant reports the
 //! intruder's posterior confidence per class and attribute.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use tdf_microdata::column::CellKey;
 use tdf_microdata::{Dataset, Value};
 
 /// One homogeneity finding: everyone in the class shares `value` on the
@@ -29,19 +30,22 @@ pub struct HomogeneityFinding {
 /// attribute) pair whose value is constant within the class.
 pub fn homogeneity_attack(data: &Dataset) -> Vec<HomogeneityFinding> {
     let conf = data.schema().confidential_indices();
+    let views: Vec<_> = conf.iter().map(|&c| data.col(c)).collect();
     let mut findings = Vec::new();
     for (key, members) in data.quasi_identifier_groups() {
-        for &c in &conf {
-            let first = data.value(members[0], c);
-            if first.is_missing() {
+        for (&c, view) in conf.iter().zip(&views) {
+            let first = members[0];
+            if view.is_missing(first) {
                 continue;
             }
-            if members.iter().all(|&i| data.value(i, c).group_eq(first)) {
+            // Comparing cells through the column view: integer code /
+            // float-bit compares, no `Value` clone per member.
+            if members.iter().all(|&i| view.group_eq(first, i)) {
                 findings.push(HomogeneityFinding {
                     class_key: key.clone(),
                     members: members.clone(),
                     attribute: data.schema().attribute(c).name.clone(),
-                    value: first.clone(),
+                    value: view.get(first),
                 });
             }
         }
@@ -59,22 +63,30 @@ pub fn background_knowledge_attack(
     conf_col: usize,
     excluded: &Value,
 ) -> Vec<HomogeneityFinding> {
+    let view = data.col(conf_col);
     let mut findings = Vec::new();
     for (key, members) in data.quasi_identifier_groups() {
-        let mut remaining: Vec<&Value> = members
-            .iter()
-            .map(|&i| data.value(i, conf_col))
-            .filter(|v| !v.group_eq(excluded))
-            .collect();
-        remaining.sort();
-        remaining.dedup_by(|a, b| a.group_eq(b));
-        if remaining.len() == 1 && !remaining[0].is_missing() {
-            findings.push(HomogeneityFinding {
-                class_key: key.clone(),
-                members: members.clone(),
-                attribute: data.schema().attribute(conf_col).name.clone(),
-                value: remaining[0].clone(),
-            });
+        // Distinct remaining values, tracked as packed cell keys plus one
+        // representative row each (classes are small; a Vec beats a map).
+        let mut remaining: Vec<(CellKey, usize)> = Vec::new();
+        for &i in &members {
+            if view.cmp_value(i, excluded) == std::cmp::Ordering::Equal {
+                continue;
+            }
+            let k = view.key(i);
+            if !remaining.iter().any(|&(seen, _)| seen == k) {
+                remaining.push((k, i));
+            }
+        }
+        if let [(_, rep)] = remaining[..] {
+            if !view.is_missing(rep) {
+                findings.push(HomogeneityFinding {
+                    class_key: key.clone(),
+                    members: members.clone(),
+                    attribute: data.schema().attribute(conf_col).name.clone(),
+                    value: view.get(rep),
+                });
+            }
         }
     }
     findings
@@ -84,12 +96,13 @@ pub fn background_knowledge_attack(
 /// the frequency of the most common sensitive value inside the class.
 /// 1.0 = homogeneity (certain disclosure); 1/|class| = perfect diversity.
 pub fn attribute_disclosure_confidence(data: &Dataset, conf_col: usize) -> Vec<(Vec<Value>, f64)> {
+    let view = data.col(conf_col);
     data.quasi_identifier_groups()
         .into_iter()
         .map(|(key, members)| {
-            let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
+            let mut counts: HashMap<CellKey, usize> = HashMap::new();
             for &i in &members {
-                *counts.entry(data.value(i, conf_col).clone()).or_default() += 1;
+                *counts.entry(view.key(i)).or_default() += 1;
             }
             let top = counts.values().copied().max().unwrap_or(0);
             (key, top as f64 / members.len() as f64)
@@ -103,11 +116,12 @@ pub fn mean_disclosure_confidence(data: &Dataset, conf_col: usize) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
+    let view = data.col(conf_col);
     let mut total = 0.0;
     for members in data.quasi_identifier_groups().into_values() {
-        let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
+        let mut counts: HashMap<CellKey, usize> = HashMap::new();
         for &i in &members {
-            *counts.entry(data.value(i, conf_col).clone()).or_default() += 1;
+            *counts.entry(view.key(i)).or_default() += 1;
         }
         // Per-record confidence × class size = the class's top count.
         total += counts.values().copied().max().unwrap_or(0) as f64;
@@ -118,6 +132,7 @@ pub fn mean_disclosure_confidence(data: &Dataset, conf_col: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
     use tdf_microdata::patients;
     use tdf_microdata::{AttributeDef, Schema};
 

@@ -1,6 +1,7 @@
 //! Checkers for respondent-privacy models.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
+use tdf_microdata::column::CellKey;
 use tdf_microdata::{Dataset, Value};
 
 /// Summary of one equivalence class (records sharing a quasi-identifier
@@ -19,16 +20,18 @@ pub struct EquivalenceClassSummary {
 /// Per-class breakdown of a dataset w.r.t. its quasi-identifiers.
 pub fn equivalence_classes(data: &Dataset) -> Vec<EquivalenceClassSummary> {
     let conf = data.schema().confidential_indices();
+    let views: Vec<_> = conf.iter().map(|&c| data.col(c)).collect();
     data.quasi_identifier_groups()
         .into_iter()
         .map(|(key, members)| {
-            let distinct_confidential = conf
+            // Distinct counts on packed cell keys: no `Value` clones.
+            let distinct_confidential = views
                 .iter()
-                .map(|&c| {
+                .map(|view| {
                     members
                         .iter()
-                        .map(|&i| data.value(i, c).clone())
-                        .collect::<BTreeSet<_>>()
+                        .map(|&i| view.key(i))
+                        .collect::<HashSet<CellKey>>()
                         .len()
                 })
                 .collect();
@@ -79,14 +82,15 @@ pub fn p_sensitivity_level(data: &Dataset) -> Option<usize> {
 /// Distinct l-diversity level of a single confidential attribute `conf_col`:
 /// the minimum number of distinct sensitive values per equivalence class.
 pub fn l_diversity_level(data: &Dataset, conf_col: usize) -> Option<usize> {
+    let view = data.col(conf_col);
     let groups = data.quasi_identifier_groups();
     groups
         .values()
         .map(|members| {
             members
                 .iter()
-                .map(|&i| data.value(i, conf_col).clone())
-                .collect::<BTreeSet<_>>()
+                .map(|&i| view.key(i))
+                .collect::<HashSet<CellKey>>()
                 .len()
         })
         .min()
@@ -97,14 +101,15 @@ pub fn l_diversity_level(data: &Dataset, conf_col: usize) -> Option<usize> {
 /// sensitive values an intruder must still discriminate between. Stricter
 /// than distinct l-diversity when one value dominates a class.
 pub fn entropy_l_diversity_level(data: &Dataset, conf_col: usize) -> Option<f64> {
+    let view = data.col(conf_col);
     let groups = data.quasi_identifier_groups();
     groups
         .values()
         .map(|members| {
-            let mut counts: std::collections::BTreeMap<Value, usize> =
-                std::collections::BTreeMap::new();
+            let mut counts: std::collections::HashMap<CellKey, usize> =
+                std::collections::HashMap::new();
             for &i in members {
-                *counts.entry(data.value(i, conf_col).clone()).or_default() += 1;
+                *counts.entry(view.key(i)).or_default() += 1;
             }
             let n = members.len() as f64;
             let entropy: f64 = counts
@@ -129,6 +134,7 @@ pub fn t_closeness_numeric(data: &Dataset, conf_col: usize) -> Option<f64> {
     if data.is_empty() {
         return None;
     }
+    let view = data.col(conf_col);
     // Global sorted values define the rank scale.
     let mut global: Vec<f64> = data.numeric_column(conf_col);
     if global.is_empty() {
@@ -147,7 +153,7 @@ pub fn t_closeness_numeric(data: &Dataset, conf_col: usize) -> Option<f64> {
         // mean absolute deviation of cumulative sums.
         let mut ranks: Vec<f64> = members
             .iter()
-            .filter_map(|&i| data.value(i, conf_col).as_f64())
+            .filter_map(|&i| view.f64(i))
             .map(rank_of)
             .collect();
         if ranks.is_empty() {
@@ -181,19 +187,30 @@ pub fn t_closeness(data: &Dataset, conf_col: usize) -> Option<f64> {
     if data.is_empty() {
         return None;
     }
-    let domain: Vec<Value> = {
+    let view = data.col(conf_col);
+    // Sorted value domain, tracked as (value, packed key) so per-member
+    // lookups compare packed keys instead of cloned `Value`s.
+    let domain: Vec<(Value, CellKey)> = {
         let mut set = BTreeSet::new();
         for i in 0..data.num_rows() {
-            set.insert(data.value(i, conf_col).clone());
+            set.insert(data.value(i, conf_col));
         }
-        set.into_iter().collect()
+        set.into_iter()
+            .map(|v| {
+                let rep = (0..data.num_rows())
+                    .find(|&i| view.cmp_value(i, &v) == std::cmp::Ordering::Equal)
+                    .expect("domain value present");
+                (v, view.key(rep))
+            })
+            .collect()
     };
     let dist = |members: &[usize]| -> Vec<f64> {
         let mut counts = vec![0usize; domain.len()];
         for &i in members {
+            let k = view.key(i);
             let pos = domain
                 .iter()
-                .position(|v| v.group_eq(data.value(i, conf_col)))
+                .position(|&(_, dk)| dk == k)
                 .expect("value in domain");
             counts[pos] += 1;
         }

@@ -7,7 +7,8 @@
 //! The result is k-anonymous by construction and numerically analysable
 //! (unlike interval recoding, the output stays numeric).
 
-use tdf_microdata::{Dataset, Value};
+use tdf_microdata::column::F64Cells;
+use tdf_microdata::Dataset;
 
 /// Result of a Mondrian run.
 #[derive(Debug, Clone)]
@@ -32,22 +33,29 @@ pub fn mondrian_anonymize(data: &Dataset, k: usize) -> MondrianResult {
         .filter(|&c| data.schema().attribute(c).kind.is_numeric())
         .collect();
 
+    // One contiguous numeric reader per QI column, hoisted for the whole
+    // recursion: the range/median scans below never materialize a `Value`.
+    let cells: Vec<F64Cells> = qi
+        .iter()
+        .map(|&c| data.f64_cells(c).expect("numeric column"))
+        .collect();
+
     let mut partitions: Vec<Vec<usize>> = Vec::new();
     let all: Vec<usize> = (0..data.num_rows()).collect();
-    split(data, &qi, k, all, &mut partitions);
+    split(&cells, k, all, &mut partitions);
 
     let mut out = data.clone();
     let mut partition_of = vec![0usize; data.num_rows()];
     for (pid, members) in partitions.iter().enumerate() {
-        for &col in &qi {
+        for (&col, col_cells) in qi.iter().zip(&cells) {
             let mean = members
                 .iter()
-                .filter_map(|&i| data.value(i, col).as_f64())
+                .filter_map(|&i| col_cells.get(i))
                 .sum::<f64>()
                 / members.len() as f64;
+            let dst = out.float_col_mut(col).expect("numeric column");
             for &i in members {
-                out.set_value(i, col, Value::Float(mean))
-                    .expect("numeric column");
+                dst.set(i, Some(mean));
             }
         }
         for &i in members {
@@ -62,8 +70,8 @@ pub fn mondrian_anonymize(data: &Dataset, k: usize) -> MondrianResult {
     }
 }
 
-fn split(data: &Dataset, qi: &[usize], k: usize, members: Vec<usize>, out: &mut Vec<Vec<usize>>) {
-    if members.len() < 2 * k || qi.is_empty() {
+fn split(cells: &[F64Cells], k: usize, members: Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if members.len() < 2 * k || cells.is_empty() {
         out.push(members);
         return;
     }
@@ -72,7 +80,7 @@ fn split(data: &Dataset, qi: &[usize], k: usize, members: Vec<usize>, out: &mut 
     // merges are exact, so the extrema — and therefore the chosen split —
     // do not depend on chunking or thread count.
     let mut best: Option<(usize, f64)> = None;
-    for &col in qi {
+    for (j, col_cells) in cells.iter().enumerate() {
         let (lo, hi) = par::par_chunks_reduce(
             &members,
             0,
@@ -80,7 +88,7 @@ fn split(data: &Dataset, qi: &[usize], k: usize, members: Vec<usize>, out: &mut 
                 let mut lo = f64::INFINITY;
                 let mut hi = f64::NEG_INFINITY;
                 for &i in chunk {
-                    if let Some(v) = data.value(i, col).as_f64() {
+                    if let Some(v) = col_cells.get(i) {
                         lo = lo.min(v);
                         hi = hi.max(v);
                     }
@@ -96,10 +104,10 @@ fn split(data: &Dataset, qi: &[usize], k: usize, members: Vec<usize>, out: &mut 
         }
         let range = hi - lo;
         if best.is_none_or(|(_, r)| range > r) {
-            best = Some((col, range));
+            best = Some((j, range));
         }
     }
-    let (col, range) = match best {
+    let (j, range) = match best {
         Some(b) => b,
         None => {
             out.push(members);
@@ -113,12 +121,13 @@ fn split(data: &Dataset, qi: &[usize], k: usize, members: Vec<usize>, out: &mut 
     }
 
     // Median split on the chosen dimension.
+    let split_cells = &cells[j];
     let mut sorted = members.clone();
     sorted.sort_by(|&a, &b| {
-        data.value(a, col)
-            .as_f64()
+        split_cells
+            .get(a)
             .unwrap_or(f64::NAN)
-            .total_cmp(&data.value(b, col).as_f64().unwrap_or(f64::NAN))
+            .total_cmp(&split_cells.get(b).unwrap_or(f64::NAN))
     });
     let mid = sorted.len() / 2;
     let (left, right) = sorted.split_at(mid);
@@ -126,8 +135,8 @@ fn split(data: &Dataset, qi: &[usize], k: usize, members: Vec<usize>, out: &mut 
         out.push(members);
         return;
     }
-    split(data, qi, k, left.to_vec(), out);
-    split(data, qi, k, right.to_vec(), out);
+    split(cells, k, left.to_vec(), out);
+    split(cells, k, right.to_vec(), out);
 }
 
 #[cfg(test)]

@@ -54,10 +54,10 @@ pub fn apply_recoding(data: &Dataset, hierarchies: &[Hierarchy], levels: &[usize
     let schema = Schema::new(attrs).expect("names unchanged, still unique");
 
     let mut out = Dataset::new(schema);
-    for row in data.rows() {
-        let mut new_row: Vec<Value> = row.clone();
+    for i in 0..data.num_rows() {
+        let mut new_row: Vec<Value> = data.row(i);
         for (j, &col) in qi.iter().enumerate() {
-            new_row[col] = hierarchies[j].generalize(&row[col], levels[j]);
+            new_row[col] = hierarchies[j].generalize(&new_row[col], levels[j]);
         }
         out.push_row(new_row)
             .expect("recoded row fits recoded schema");
@@ -76,18 +76,9 @@ fn suppress_small_classes(data: &Dataset, k: usize) -> (Dataset, usize, Vec<usiz
             }
         }
     }
-    let mut out = Dataset::new(data.schema().clone());
-    let mut suppressed = 0usize;
-    let mut kept = Vec::new();
-    for (i, row) in data.rows().iter().enumerate() {
-        if drop[i] {
-            suppressed += 1;
-        } else {
-            out.push_row(row.clone()).expect("row already validated");
-            kept.push(i);
-        }
-    }
-    (out, suppressed, kept)
+    let kept: Vec<usize> = (0..data.num_rows()).filter(|&i| !drop[i]).collect();
+    let suppressed = data.num_rows() - kept.len();
+    (data.take(&kept), suppressed, kept)
 }
 
 /// Enumerates all level vectors of total height `height`.

@@ -12,7 +12,7 @@
 //! class is both large enough and diverse enough; merged classes get a
 //! common quasi-identifier centroid, preserving k-anonymity.
 
-use std::collections::BTreeSet;
+use std::collections::HashSet;
 use tdf_microdata::{Dataset, Error, Result, Value};
 
 /// Result of a p-sensitivity enforcement pass.
@@ -27,10 +27,11 @@ pub struct PSensitiveResult {
 fn class_diversity(data: &Dataset, members: &[usize], conf: &[usize]) -> usize {
     conf.iter()
         .map(|&c| {
+            let view = data.col(c);
             members
                 .iter()
-                .map(|&i| data.value(i, c).clone())
-                .collect::<BTreeSet<_>>()
+                .map(|&i| view.key(i))
+                .collect::<HashSet<_>>()
                 .len()
         })
         .min()
@@ -40,11 +41,8 @@ fn class_diversity(data: &Dataset, members: &[usize], conf: &[usize]) -> usize {
 fn centroid(data: &Dataset, members: &[usize], qi: &[usize]) -> Vec<f64> {
     qi.iter()
         .map(|&c| {
-            members
-                .iter()
-                .filter_map(|&i| data.value(i, c).as_f64())
-                .sum::<f64>()
-                / members.len() as f64
+            let view = data.col(c);
+            members.iter().filter_map(|&i| view.f64(i)).sum::<f64>() / members.len() as f64
         })
         .collect()
 }

@@ -79,7 +79,7 @@ fn suppress_column_of_offenders(data: &Dataset, k: usize, col: usize) -> (Datase
     for members in data.quasi_identifier_groups().values() {
         if members.len() < k {
             for &i in members {
-                if !out.value(i, col).is_missing() {
+                if !out.col(col).is_missing(i) {
                     out.set_value(i, col, Value::Missing)
                         .expect("missing always fits");
                     cells += 1;

@@ -1,0 +1,295 @@
+//! Columnar-vs-row-major benches for the typed dataset core.
+//!
+//! Every pair measures the live columnar kernel against a faithful
+//! reimplementation of the pre-refactor row-major path — `Vec<Vec<Value>>`
+//! rows, per-row `Standardizer::transform`, `Vec<Vec<f64>>` point sets,
+//! `Vec<Value>` grouping keys — in the *same run*, so the ratio is a
+//! storage-layout comparison, not a machine comparison. The baselines
+//! reproduce the seed commit's algorithms line for line (same selection
+//! order, same fold order); a pre-flight assert checks they still produce
+//! the very same groups/answers as the columnar kernels before anything is
+//! timed.
+//!
+//! Emits `BENCH_columnar.json`.
+
+use std::collections::BTreeMap;
+use tdf_bench::harness::Harness;
+use tdf_microdata::distance::sq_euclidean;
+use tdf_microdata::synth::{census, patients, PatientConfig};
+use tdf_microdata::{Dataset, Value};
+use tdf_sdc::microaggregation::mdav_microaggregate;
+use tdf_sdc::risk::record_linkage_rate;
+
+/// The pre-refactor row-major table: one `Vec<Value>` per record.
+struct RowTable {
+    rows: Vec<Vec<Value>>,
+}
+
+impl RowTable {
+    fn of(data: &Dataset) -> Self {
+        Self { rows: data.rows() }
+    }
+}
+
+/// The seed commit's `Standardizer::fit` against row storage: per column,
+/// materialize the numeric cells (`rows.iter().filter_map(as_f64)`), then
+/// mean and standard deviation. The arithmetic matches the live fit, so
+/// both layouts standardize identically — only the storage walk differs.
+struct RowStd {
+    cols: Vec<usize>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl RowStd {
+    fn fit(table: &RowTable, cols: &[usize]) -> Self {
+        let mut means = Vec::with_capacity(cols.len());
+        let mut stds = Vec::with_capacity(cols.len());
+        for &c in cols {
+            let xs: Vec<f64> = table.rows.iter().filter_map(|r| r[c].as_f64()).collect();
+            means.push(tdf_microdata::stats::mean(&xs).unwrap_or(0.0));
+            let sd = tdf_microdata::stats::std_dev(&xs).unwrap_or(1.0);
+            stds.push(if sd > 0.0 { sd } else { 1.0 });
+        }
+        Self {
+            cols: cols.to_vec(),
+            means,
+            stds,
+        }
+    }
+
+    fn transform(&self, row: &[Value]) -> Vec<f64> {
+        self.cols
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| match row[c].as_f64() {
+                Some(x) => (x - self.means[j]) / self.stds[j],
+                None => 0.0,
+            })
+            .collect()
+    }
+}
+
+// ---- row-major MDAV (the seed commit's implementation) -----------------
+
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (p, &v) in values.iter().enumerate().skip(1) {
+        if v > values[best] {
+            best = p;
+        }
+    }
+    best
+}
+
+fn k_nearest(remaining: &[usize], dists: &[f64], k: usize) -> Vec<usize> {
+    let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+    for (p, &id) in remaining.iter().enumerate() {
+        let cand = (dists[p], id);
+        if best.len() == k {
+            let worst = *best.last().expect("k >= 1");
+            if (cand.0, cand.1) >= (worst.0, worst.1) {
+                continue;
+            }
+            best.pop();
+        }
+        let at = best.partition_point(|&(d, i)| (d, i) < (cand.0, cand.1));
+        best.insert(at, cand);
+    }
+    best.into_iter().map(|(_, id)| id).collect()
+}
+
+fn remove_members(remaining: &mut Vec<usize>, members: &[usize]) {
+    let taken: std::collections::HashSet<usize> = members.iter().copied().collect();
+    remaining.retain(|i| !taken.contains(i));
+}
+
+fn centroid_of(points: &[Vec<f64>], remaining: &[usize]) -> Vec<f64> {
+    let d = points[remaining[0]].len();
+    let mut sums = vec![0.0f64; d];
+    for &i in remaining {
+        for (a, v) in sums.iter_mut().zip(&points[i]) {
+            *a += v;
+        }
+    }
+    sums.into_iter()
+        .map(|s| s / remaining.len() as f64)
+        .collect()
+}
+
+fn distances_to(points: &[Vec<f64>], remaining: &[usize], target: &[f64]) -> Vec<f64> {
+    remaining
+        .iter()
+        .map(|&i| sq_euclidean(&points[i], target))
+        .collect()
+}
+
+/// The seed commit's MDAV, end to end: row-major fit, per-row
+/// standardization into `Vec<Vec<f64>>` points, pointer-chasing distance
+/// scans, and a row-major finish that reads means through `Value` cells,
+/// writes them back cell by cell, and accounts the standardized SSE.
+fn rowmajor_mdav(table: &RowTable, cols: &[usize], k: usize) -> Vec<usize> {
+    let std = RowStd::fit(table, cols);
+    let points: Vec<Vec<f64>> = table.rows.iter().map(|r| std.transform(r)).collect();
+    let mut remaining: Vec<usize> = (0..table.rows.len()).collect();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    while remaining.len() >= 3 * k {
+        let centroid = centroid_of(&points, &remaining);
+        let d_centroid = distances_to(&points, &remaining, &centroid);
+        let r = remaining[argmax(&d_centroid)];
+        let d_r = distances_to(&points, &remaining, &points[r]);
+        let s = remaining[argmax(&d_r)];
+        let group_r = k_nearest(&remaining, &d_r, k);
+        remove_members(&mut remaining, &group_r);
+        groups.push(group_r);
+        let d_s = distances_to(&points, &remaining, &points[s]);
+        let group_s = k_nearest(&remaining, &d_s, k);
+        remove_members(&mut remaining, &group_s);
+        groups.push(group_s);
+    }
+    if remaining.len() >= 2 * k {
+        let centroid = centroid_of(&points, &remaining);
+        let d_centroid = distances_to(&points, &remaining, &centroid);
+        let r = remaining[argmax(&d_centroid)];
+        let d_r = distances_to(&points, &remaining, &points[r]);
+        let group = k_nearest(&remaining, &d_r, k);
+        remove_members(&mut remaining, &group);
+        groups.push(group);
+    }
+    if !remaining.is_empty() {
+        groups.push(remaining);
+    }
+
+    // Row-major finish: centroid write-back through `Value` cells, plus
+    // the seed's standardized-SSE accounting pass.
+    let mut out = table.rows.clone();
+    let mut group_of = vec![0usize; table.rows.len()];
+    let mut sse = 0.0f64;
+    for (gid, members) in groups.iter().enumerate() {
+        for &c in cols {
+            let mean = members
+                .iter()
+                .filter_map(|&i| table.rows[i][c].as_f64())
+                .sum::<f64>()
+                / members.len() as f64;
+            for &i in members {
+                out[i][c] = Value::Float(mean);
+            }
+        }
+        let c = centroid_of(&points, members);
+        for &i in members {
+            sse += sq_euclidean(&points[i], &c);
+            group_of[i] = gid;
+        }
+    }
+    std::hint::black_box((out, sse));
+    group_of
+}
+
+// ---- row-major record linkage (the seed commit's implementation) -------
+
+fn rowmajor_linkage(original: &RowTable, masked: &RowTable, cols: &[usize]) -> f64 {
+    let std = RowStd::fit(original, cols);
+    let masked_pts: Vec<Vec<f64>> = masked.rows.iter().map(|r| std.transform(r)).collect();
+    let mut expected_hits = 0.0f64;
+    for (i, row) in original.rows.iter().enumerate() {
+        let target = std.transform(row);
+        let mut best = f64::INFINITY;
+        let mut ties: Vec<usize> = Vec::new();
+        for (j, p) in masked_pts.iter().enumerate() {
+            let d = sq_euclidean(&target, p);
+            if d < best - 1e-12 {
+                best = d;
+                ties.clear();
+                ties.push(j);
+            } else if (d - best).abs() <= 1e-12 {
+                ties.push(j);
+            }
+        }
+        if ties.contains(&i) {
+            expected_hits += 1.0 / ties.len() as f64;
+        }
+    }
+    expected_hits / original.rows.len() as f64
+}
+
+// ---- row-major grouping (the seed commit's implementation) -------------
+
+fn rowmajor_groups(table: &RowTable, cols: &[usize]) -> BTreeMap<Vec<Value>, Vec<usize>> {
+    let mut groups: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+    for (i, row) in table.rows.iter().enumerate() {
+        let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+        groups.entry(key).or_default().push(i);
+    }
+    groups
+}
+
+fn bench_mdav(h: &mut Harness) {
+    let d = patients(&PatientConfig {
+        n: 5000,
+        ..Default::default()
+    });
+    let qi = d.schema().quasi_identifier_indices();
+    let table = RowTable::of(&d);
+
+    // Pre-flight: both layouts form the very same groups.
+    let live = mdav_microaggregate(&d, &qi, 5).expect("mdav");
+    assert_eq!(rowmajor_mdav(&table, &qi, 5), live.group_of);
+
+    par::with_threads(1, || {
+        h.bench("mdav_columnar_n5000_k5", || {
+            mdav_microaggregate(&d, &qi, 5).expect("mdav")
+        });
+        h.bench("mdav_rowmajor_n5000_k5", || rowmajor_mdav(&table, &qi, 5));
+    });
+}
+
+fn bench_linkage(h: &mut Harness) {
+    let d = patients(&PatientConfig {
+        n: 1500,
+        ..Default::default()
+    });
+    let qi = d.schema().quasi_identifier_indices();
+    let masked = mdav_microaggregate(&d, &qi, 5).expect("mdav").data;
+    let orig_table = RowTable::of(&d);
+    let masked_table = RowTable::of(&masked);
+
+    let live = record_linkage_rate(&d, &masked, &qi).expect("linkage");
+    assert_eq!(rowmajor_linkage(&orig_table, &masked_table, &qi), live);
+
+    par::with_threads(1, || {
+        h.bench("linkage_columnar_n1500", || {
+            record_linkage_rate(&d, &masked, &qi).expect("linkage")
+        });
+        h.bench("linkage_rowmajor_n1500", || {
+            rowmajor_linkage(&orig_table, &masked_table, &qi)
+        });
+    });
+}
+
+fn bench_grouping(h: &mut Harness) {
+    // Mixed Integer / Nominal / Ordinal quasi-identifiers: the columnar
+    // path groups on packed dictionary codes, the row-major one on cloned
+    // `Vec<Value>` keys (heap strings included).
+    let d = census(10_000, 0xC01);
+    let qi = d.schema().quasi_identifier_indices();
+    let table = RowTable::of(&d);
+
+    let live = d.group_indices_by(&qi);
+    assert_eq!(rowmajor_groups(&table, &qi), live);
+
+    par::with_threads(1, || {
+        h.bench("groupby_columnar_census_n10000", || d.group_indices_by(&qi));
+        h.bench("groupby_rowmajor_census_n10000", || {
+            rowmajor_groups(&table, &qi)
+        });
+    });
+}
+
+fn main() {
+    let mut h = Harness::new("columnar");
+    bench_mdav(&mut h);
+    bench_linkage(&mut h);
+    bench_grouping(&mut h);
+    h.finish().expect("write BENCH_columnar.json");
+}

@@ -27,31 +27,39 @@ use tdf_sdc::microaggregation::mdav_microaggregate;
 /// Categorical strings are not supported in the PIR store (mask before
 /// loading, or recode categories to integers).
 pub fn encode_records(data: &Dataset) -> Result<Vec<Vec<u8>>> {
+    // Per-column readers hoisted once; records are then serialized straight
+    // from the typed column storage without materializing any `Value`.
+    enum Reader<'a> {
+        Bool(&'a tdf_microdata::BoolCol),
+        Num(tdf_microdata::F64Cells<'a>),
+        Cat(usize),
+    }
+    let readers: Vec<Reader> = (0..data.num_columns())
+        .map(|c| match data.schema().attribute(c).kind {
+            AttributeKind::Boolean => match data.col(c) {
+                tdf_microdata::ColumnView::Bool(b) => Reader::Bool(b),
+                _ => unreachable!("Boolean attributes use packed bool storage"),
+            },
+            AttributeKind::Continuous | AttributeKind::Integer => {
+                Reader::Num(data.f64_cells(c).expect("numeric column"))
+            }
+            AttributeKind::Nominal | AttributeKind::Ordinal => Reader::Cat(c),
+        })
+        .collect();
     let mut out = Vec::with_capacity(data.num_rows());
-    for row in data.rows() {
+    for i in 0..data.num_rows() {
         let mut rec = Vec::new();
-        for (i, v) in row.iter().enumerate() {
-            match data.schema().attribute(i).kind {
-                AttributeKind::Boolean => rec.push(match v {
-                    Value::Bool(true) => 1u8,
-                    Value::Bool(false) => 0u8,
-                    Value::Missing => 0xFF,
-                    other => {
-                        return Err(Error::TypeMismatch {
-                            attribute: data.schema().attribute(i).name.clone(),
-                            expected: "bool",
-                            got: other.type_name(),
-                        })
-                    }
-                }),
-                AttributeKind::Continuous | AttributeKind::Integer => {
-                    let x = v.as_f64().unwrap_or(f64::NAN);
+        for reader in &readers {
+            match reader {
+                Reader::Bool(b) => rec.push(b.opt(i).map_or(0xFF, u8::from)),
+                Reader::Num(cells) => {
+                    let x = cells.get(i).unwrap_or(f64::NAN);
                     rec.extend_from_slice(&x.to_be_bytes());
                 }
-                AttributeKind::Nominal | AttributeKind::Ordinal => {
+                Reader::Cat(c) => {
                     return Err(Error::InvalidParameter(format!(
                         "categorical attribute `{}` cannot be PIR-encoded",
-                        data.schema().attribute(i).name
+                        data.schema().attribute(*c).name
                     )))
                 }
             }
@@ -246,7 +254,7 @@ mod tests {
         assert_eq!(recs[0].len(), 8 * 3 + 1);
         for (i, rec) in recs.iter().enumerate() {
             let row = decode_record(d.schema(), rec).unwrap();
-            assert_eq!(&row, d.row(i), "row {i}");
+            assert_eq!(row, d.row(i), "row {i}");
         }
     }
 
@@ -283,7 +291,7 @@ mod tests {
         let row = db.fetch(&mut r, 0).unwrap();
         assert_eq!(row.len(), 4);
         // Confidential attribute untouched by QI microaggregation.
-        assert_eq!(&row[2], d.value(0, 2));
+        assert_eq!(row[2], d.value(0, 2));
     }
 
     #[test]

@@ -82,16 +82,15 @@ impl HippocraticDb {
             cols.push(self.data.schema().index_of(a)?);
         }
         let rows = self.live_rows(purpose);
-        let projected = self.data.project(&cols);
-        let mut out = Dataset::new(projected.schema().clone());
-        for &i in &rows {
-            let mut row: Vec<Value> = projected.row(i).to_vec();
-            for (j, a) in attributes.iter().enumerate() {
-                if !self.policy.allows(purpose, a) {
-                    row[j] = Value::Missing;
+        // Columnar gather of the live records, then whole-column
+        // suppression of the attributes the policy disallows.
+        let mut out = self.data.project(&cols).take(&rows);
+        for (j, a) in attributes.iter().enumerate() {
+            if !self.policy.allows(purpose, a) {
+                for i in 0..out.num_rows() {
+                    out.set_value(i, j, Value::Missing)?;
                 }
             }
-            out.push_row(row)?;
         }
         let served = attributes.iter().any(|a| self.policy.allows(purpose, a)) && !rows.is_empty();
         self.audit.push(AccessRecord {
@@ -117,10 +116,7 @@ impl HippocraticDb {
         if rows.is_empty() {
             return Err(Error::EmptyDataset);
         }
-        let mut consented = Dataset::new(self.data.schema().clone());
-        for &i in &rows {
-            consented.push_row(self.data.row(i).to_vec())?;
-        }
+        let consented = self.data.take(&rows);
         let qi = consented.schema().quasi_identifier_indices();
         let anonymized = mdav_microaggregate(&consented, &qi, k)?.data;
         let numeric_conf: Vec<usize> = anonymized

@@ -1,0 +1,135 @@
+//! Word-packed bit vector used for missing-ness masks and boolean columns.
+//!
+//! Same layout idea as `tdf-pir`'s `BitVec` (64 bits per `u64` word, little
+//! bit-endian within a word), re-implemented here so the storage crate stays
+//! dependency-free. The packed form keeps per-column masks at 1 bit per row
+//! and lets scans test 64 rows per word.
+
+/// A growable bit vector packed into `u64` words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bitmap of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, bit: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if bit {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when at least one bit is set (one word test per 64 rows).
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// True when no bit is set.
+    #[inline]
+    pub fn none(&self) -> bool {
+        !self.any()
+    }
+
+    /// The packed words (trailing bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set_roundtrip() {
+        let mut b = Bitmap::new();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        b.set(1, true);
+        b.set(0, false);
+        assert!(b.get(1) && !b.get(0));
+    }
+
+    #[test]
+    fn word_boundaries_63_64_65() {
+        for n in [63usize, 64, 65] {
+            let mut b = Bitmap::zeros(n);
+            assert_eq!(b.words().len(), n.div_ceil(64));
+            assert!(b.none());
+            b.set(n - 1, true);
+            assert!(b.any());
+            assert_eq!(b.count_ones(), 1);
+            assert!(b.get(n - 1));
+            assert!(!b.get(0) || n == 1);
+        }
+    }
+
+    #[test]
+    fn trailing_bits_stay_zero() {
+        let mut b = Bitmap::new();
+        for _ in 0..65 {
+            b.push(true);
+        }
+        assert_eq!(b.count_ones(), 65);
+        assert_eq!(b.words()[1], 1);
+    }
+}

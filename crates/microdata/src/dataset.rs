@@ -1,30 +1,44 @@
-//! The central [`Dataset`] type: a schema plus rows of values.
+//! The central [`Dataset`] type: a schema plus typed columnar storage.
 
 use crate::attribute::AttributeRole;
+use crate::column::{CellKey, Column, ColumnView, F64Cells};
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::value::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// A microdata table: one record per respondent.
 ///
-/// Rows are stored row-major; the row index is the *respondent identity* for
-/// the purposes of re-identification experiments (an attacker "re-identifies"
-/// a respondent when it correctly recovers a row index of the original
-/// dataset from released information).
-#[derive(Debug, Clone, PartialEq)]
+/// Storage is *columnar*: each attribute owns one typed contiguous buffer
+/// (see [`crate::column`]) — `Vec<f64>` / `Vec<i64>` with word-packed
+/// missing bitmaps for numeric attributes, packed bits for booleans, and a
+/// dictionary (interned value pool + `u32` codes) for categoricals. Kernels
+/// read through [`Dataset::col`] / [`Dataset::f64_cells`] and scan the
+/// buffers directly; [`Dataset::row`] and [`Dataset::rows`] remain as
+/// *materializing* compatibility shims for row-oriented callers.
+///
+/// The row index is the *respondent identity* for the purposes of
+/// re-identification experiments (an attacker "re-identifies" a respondent
+/// when it correctly recovers a row index of the original dataset from
+/// released information).
+#[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Schema,
-    rows: Vec<Vec<Value>>,
+    columns: Vec<Column>,
+    num_rows: usize,
 }
 
 impl Dataset {
     /// Creates an empty dataset over `schema`.
     pub fn new(schema: Schema) -> Self {
+        let columns = (0..schema.len())
+            .map(|i| Column::for_kind(schema.attribute(i).kind))
+            .collect();
         Self {
             schema,
-            rows: Vec::new(),
+            columns,
+            num_rows: 0,
         }
     }
 
@@ -44,7 +58,7 @@ impl Dataset {
 
     /// Number of records.
     pub fn num_rows(&self) -> usize {
-        self.rows.len()
+        self.num_rows
     }
 
     /// Number of attributes.
@@ -54,7 +68,7 @@ impl Dataset {
 
     /// True when the dataset holds no records.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.num_rows == 0
     }
 
     /// Appends a record after arity and type validation.
@@ -74,28 +88,29 @@ impl Dataset {
                 });
             }
         }
-        self.rows.push(row);
+        for (c, v) in row.iter().enumerate() {
+            self.columns[c].push(v);
+        }
+        self.num_rows += 1;
         Ok(())
     }
 
-    /// Borrow record `i`.
-    pub fn row(&self, i: usize) -> &[Value] {
-        &self.rows[i]
+    /// Materializes record `i` (compatibility shim; columnar callers
+    /// should read through [`Dataset::col`] instead).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        assert!(i < self.num_rows, "row {i} out of bounds");
+        self.columns.iter().map(|c| c.get(i)).collect()
     }
 
-    /// All records.
-    pub fn rows(&self) -> &[Vec<Value>] {
-        &self.rows
+    /// Materializes every record (compatibility shim for row-oriented
+    /// callers; allocates the full table).
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        (0..self.num_rows).map(|i| self.row(i)).collect()
     }
 
-    /// Mutable access to record `i` (used by in-place maskers).
-    pub fn row_mut(&mut self, i: usize) -> &mut [Value] {
-        &mut self.rows[i]
-    }
-
-    /// Cell at (`row`, `col`).
-    pub fn value(&self, row: usize, col: usize) -> &Value {
-        &self.rows[row][col]
+    /// Materializes the cell at (`row`, `col`).
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
     }
 
     /// Overwrites the cell at (`row`, `col`) after type validation.
@@ -107,13 +122,70 @@ impl Dataset {
                 got: value.type_name(),
             });
         }
-        self.rows[row][col] = value;
+        assert!(row < self.num_rows, "row {row} out of bounds");
+        self.columns[col].set(row, &value);
         Ok(())
     }
 
-    /// Column `col` as a vector of owned values.
+    /// Swaps the cells at rows `a` and `b` of column `col` in place,
+    /// without changing their representation (used by rank swapping).
+    pub fn swap_cells(&mut self, a: usize, b: usize, col: usize) {
+        assert!(a < self.num_rows && b < self.num_rows);
+        self.columns[col].swap(a, b);
+    }
+
+    /// Zero-copy typed view of column `col`.
+    pub fn col(&self, col: usize) -> ColumnView<'_> {
+        self.columns[col].view()
+    }
+
+    /// Contiguous `f64` image of a numeric / boolean column (zero-copy for
+    /// float-backed storage); `None` for categorical columns.
+    pub fn f64_cells(&self, col: usize) -> Option<F64Cells<'_>> {
+        self.col(col).f64_cells()
+    }
+
+    /// Mutable float storage for column `col`. Integer storage is promoted
+    /// to floats first; errors on non-numeric attributes.
+    pub fn float_col_mut(&mut self, col: usize) -> Result<&mut crate::column::FloatCol> {
+        if !self.schema.attribute(col).kind.is_numeric() {
+            return Err(Error::NotNumeric(self.schema.attribute(col).name.clone()));
+        }
+        self.columns[col].promote_to_float();
+        match &mut self.columns[col] {
+            Column::Float(c) => Ok(c),
+            _ => unreachable!("numeric column promoted to float storage"),
+        }
+    }
+
+    /// Mutable dictionary-encoded storage for categorical column `col`.
+    pub fn cat_col_mut(&mut self, col: usize) -> Result<&mut crate::column::CatCol> {
+        match &mut self.columns[col] {
+            Column::Cat(c) => Ok(c),
+            _ => Err(Error::TypeMismatch {
+                attribute: self.schema.attribute(col).name.clone(),
+                expected: "categorical (nominal / ordinal) attribute",
+                got: "non-categorical storage",
+            }),
+        }
+    }
+
+    /// Mutable packed-bit storage for boolean column `col`.
+    pub fn bool_col_mut(&mut self, col: usize) -> Result<&mut crate::column::BoolCol> {
+        match &mut self.columns[col] {
+            Column::Bool(c) => Ok(c),
+            _ => Err(Error::TypeMismatch {
+                attribute: self.schema.attribute(col).name.clone(),
+                expected: "boolean attribute",
+                got: "non-boolean storage",
+            }),
+        }
+    }
+
+    /// Column `col` as a vector of owned values (materializing).
     pub fn column(&self, col: usize) -> Vec<Value> {
-        self.rows.iter().map(|r| r[col].clone()).collect()
+        let view = self.col(col);
+        (0..self.num_rows).map(|i| view.get(i)).collect()
     }
 
     /// Column by name.
@@ -123,7 +195,18 @@ impl Dataset {
 
     /// Numeric view of a column; missing / non-numeric cells are skipped.
     pub fn numeric_column(&self, col: usize) -> Vec<f64> {
-        self.rows.iter().filter_map(|r| r[col].as_f64()).collect()
+        let view = self.col(col);
+        match view.f64_cells() {
+            Some(cells) => {
+                if cells.all_present() {
+                    cells.vals.to_vec()
+                } else {
+                    (0..self.num_rows).filter_map(|i| cells.get(i)).collect()
+                }
+            }
+            // Categorical columns may intern numeric `Int` codes.
+            None => (0..self.num_rows).filter_map(|i| view.f64(i)).collect(),
+        }
     }
 
     /// Numeric view of a column, erroring if the attribute kind is not
@@ -132,48 +215,66 @@ impl Dataset {
         if !self.schema.attribute(col).kind.is_numeric() {
             return Err(Error::NotNumeric(self.schema.attribute(col).name.clone()));
         }
-        Ok(self.rows.iter().map(|r| r[col].as_f64()).collect())
+        let view = self.col(col);
+        Ok((0..self.num_rows).map(|i| view.f64(i)).collect())
     }
 
     /// New dataset with only the given column indices.
     pub fn project(&self, cols: &[usize]) -> Dataset {
         let schema = self.schema.project(cols);
-        let rows = self
-            .rows
-            .iter()
-            .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
-            .collect();
-        Dataset { schema, rows }
+        let columns = cols.iter().map(|&c| self.columns[c].clone()).collect();
+        Dataset {
+            schema,
+            columns,
+            num_rows: self.num_rows,
+        }
+    }
+
+    /// New dataset holding rows `idx` in order (columnar gather; `idx` may
+    /// repeat or reorder rows).
+    pub fn take(&self, idx: &[usize]) -> Dataset {
+        if let Some(&bad) = idx.iter().find(|&&i| i >= self.num_rows) {
+            panic!("row {bad} out of bounds");
+        }
+        Dataset {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.gather(idx)).collect(),
+            num_rows: idx.len(),
+        }
     }
 
     /// New dataset with the records for which `predicate` returns true.
     pub fn filter(&self, predicate: impl Fn(&[Value]) -> bool) -> Dataset {
-        Dataset {
-            schema: self.schema.clone(),
-            rows: self.rows.iter().filter(|r| predicate(r)).cloned().collect(),
-        }
+        self.take(&self.matching_indices(predicate))
     }
 
     /// Indices of the records matching `predicate` (the *query set* of the
     /// inference-control literature).
     pub fn matching_indices(&self, predicate: impl Fn(&[Value]) -> bool) -> Vec<usize> {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| predicate(r))
-            .map(|(i, _)| i)
+        (0..self.num_rows)
+            .filter(|&i| predicate(&self.row(i)))
             .collect()
     }
 
     /// Groups record indices by their combination of values on `cols`.
     ///
     /// This is the *equivalence class* partition w.r.t. a quasi-identifier
-    /// set: the building block of every k-anonymity computation.
+    /// set: the building block of every k-anonymity computation. The scan
+    /// groups on packed per-column keys (float bits / dictionary codes, one
+    /// `u64` per cell — no `Value` clones); only one representative key per
+    /// group is materialized for the returned map.
     pub fn group_indices_by(&self, cols: &[usize]) -> BTreeMap<Vec<Value>, Vec<usize>> {
+        let views: Vec<ColumnView<'_>> = cols.iter().map(|&c| self.col(c)).collect();
+        let mut packed: HashMap<Vec<CellKey>, Vec<usize>> = HashMap::new();
+        for i in 0..self.num_rows {
+            let key: Vec<CellKey> = views.iter().map(|v| v.key(i)).collect();
+            packed.entry(key).or_default().push(i);
+        }
         let mut groups: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
-        for (i, row) in self.rows.iter().enumerate() {
-            let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
-            groups.entry(key).or_default().push(i);
+        for (_, members) in packed {
+            let rep = members[0];
+            let key: Vec<Value> = views.iter().map(|v| v.get(rep)).collect();
+            groups.insert(key, members);
         }
         groups
     }
@@ -197,11 +298,14 @@ impl Dataset {
         if self.schema != other.schema {
             return Err(Error::SchemaMismatch);
         }
-        let mut rows = self.rows.clone();
-        rows.extend(other.rows.iter().cloned());
+        let mut columns = self.columns.clone();
+        for (a, b) in columns.iter_mut().zip(&other.columns) {
+            a.append(b);
+        }
         Ok(Dataset {
             schema: self.schema.clone(),
-            rows,
+            columns,
+            num_rows: self.num_rows + other.num_rows,
         })
     }
 
@@ -209,23 +313,20 @@ impl Dataset {
     /// (used to distribute data among SMC parties).
     pub fn horizontal_partition(&self, parts: usize) -> Vec<Dataset> {
         assert!(parts > 0, "parts must be positive");
-        let mut out: Vec<Dataset> = (0..parts)
-            .map(|_| Dataset::new(self.schema.clone()))
-            .collect();
-        for (i, row) in self.rows.iter().enumerate() {
-            out[i % parts].rows.push(row.clone());
-        }
-        out
+        (0..parts)
+            .map(|p| {
+                let idx: Vec<usize> = (p..self.num_rows).step_by(parts).collect();
+                self.take(&idx)
+            })
+            .collect()
     }
 
     /// Renders an ASCII table in the style of the paper's Table 1.
     pub fn to_ascii_table(&self) -> String {
         let names = self.schema.names();
         let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
-        let cells: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
+        let cells: Vec<Vec<String>> = (0..self.num_rows)
+            .map(|i| self.row(i).iter().map(|v| v.to_string()).collect())
             .collect();
         for row in &cells {
             for (i, c) in row.iter().enumerate() {
@@ -244,6 +345,45 @@ impl Dataset {
             s.push('\n');
         }
         s
+    }
+}
+
+impl PartialEq for Dataset {
+    /// Cell-wise logical equality under `Value::group_eq`: storage details
+    /// (dictionary order, int vs promoted-float backing) do not matter.
+    fn eq(&self, other: &Self) -> bool {
+        if self.schema != other.schema || self.num_rows != other.num_rows {
+            return false;
+        }
+        self.columns
+            .iter()
+            .zip(&other.columns)
+            .all(|(a, b)| columns_logically_eq(a, b, self.num_rows))
+    }
+}
+
+fn columns_logically_eq(a: &Column, b: &Column, n: usize) -> bool {
+    match (a, b) {
+        // Same layout: compare storage directly (fast path).
+        (Column::Int(x), Column::Int(y)) => x == y,
+        (Column::Bool(x), Column::Bool(y)) => x == y,
+        (Column::Cat(x), Column::Cat(y)) => x == y,
+        (Column::Float(x), Column::Float(y)) => {
+            (0..n).all(|i| match (x.opt(i), y.opt(i)) {
+                // Bit equality == total_cmp equality (NaN-safe, ±0.0-exact).
+                (Some(p), Some(q)) => p.to_bits() == q.to_bits(),
+                (None, None) => true,
+                _ => false,
+            })
+        }
+        // Mixed numeric backing (one side promoted): compare as f64.
+        (Column::Float(x), Column::Int(y)) => (0..n).all(|i| match (x.opt(i), y.opt(i)) {
+            (Some(p), Some(q)) => p.to_bits() == (q as f64).to_bits(),
+            (None, None) => true,
+            _ => false,
+        }),
+        (Column::Int(_), Column::Float(_)) => columns_logically_eq(b, a, n),
+        _ => false,
     }
 }
 
@@ -318,7 +458,7 @@ mod tests {
         let d = sample();
         let p = d.project(&[0, 3]);
         assert_eq!(p.num_columns(), 2);
-        assert_eq!(p.value(0, 1), &Value::Bool(true));
+        assert_eq!(p.value(0, 1), Value::Bool(true));
         let f = d.filter(|r| r[3] == Value::Bool(false));
         assert_eq!(f.num_rows(), 2);
     }
@@ -330,6 +470,7 @@ mod tests {
         assert!(matches!(d.union(&other), Err(Error::SchemaMismatch)));
         let u = d.union(&sample()).unwrap();
         assert_eq!(u.num_rows(), 6);
+        assert_eq!(u.value(5, 2), Value::Float(140.0));
     }
 
     #[test]
@@ -362,5 +503,42 @@ mod tests {
         let d = sample();
         let idx = d.matching_indices(|r| r[1].as_f64().unwrap() > 90.0);
         assert_eq!(idx, vec![2]);
+    }
+
+    #[test]
+    fn take_gathers_and_reorders() {
+        let d = sample();
+        let t = d.take(&[2, 0, 0]);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.value(0, 2), Value::Float(140.0));
+        assert_eq!(t.value(1, 2), Value::Float(135.0));
+        assert_eq!(t.value(2, 2), Value::Float(135.0));
+    }
+
+    #[test]
+    fn swap_cells_swaps_in_place() {
+        let mut d = sample();
+        d.swap_cells(0, 2, 2);
+        assert_eq!(d.value(0, 2), Value::Float(140.0));
+        assert_eq!(d.value(2, 2), Value::Float(135.0));
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a, b);
+        b.set_value(0, 2, Value::Float(136.0)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn f64_cells_borrows_float_storage() {
+        let d = sample();
+        let cells = d.f64_cells(2).unwrap();
+        assert!(matches!(cells.vals, std::borrow::Cow::Borrowed(_)));
+        assert_eq!(&cells.vals[..], &[135.0, 128.0, 140.0]);
+        assert!(cells.all_present());
+        assert!(d.f64_cells(3).is_some(), "bool columns have an f64 image");
     }
 }

@@ -54,12 +54,141 @@ impl Standardizer {
             })
             .collect()
     }
+
+    /// Standardises every record of `data` into one flat row-major buffer
+    /// (the columnar fast path: each column is read as a contiguous slice;
+    /// the per-cell arithmetic — and therefore every bit of the result —
+    /// is identical to calling [`Standardizer::transform`] per row).
+    pub fn transform_points(&self, data: &Dataset) -> Points {
+        let n = data.num_rows();
+        let dim = self.cols.len();
+        let mut flat = vec![0.0f64; n * dim];
+        for (j, &c) in self.cols.iter().enumerate() {
+            let (mean, sd) = (self.means[j], self.stds[j]);
+            match data.f64_cells(c) {
+                Some(cells) => {
+                    let vals = &cells.vals[..];
+                    if cells.all_present() {
+                        for (i, &x) in vals.iter().enumerate() {
+                            flat[i * dim + j] = (x - mean) / sd;
+                        }
+                    } else {
+                        for (i, &x) in vals.iter().enumerate() {
+                            if !cells.missing.get(i) {
+                                flat[i * dim + j] = (x - mean) / sd;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // Categorical storage: fall back to per-cell reads
+                    // (`Int` categories still expose a numeric view).
+                    let view = data.col(c);
+                    for (i, slot) in flat.iter_mut().skip(j).step_by(dim.max(1)).enumerate() {
+                        if let Some(x) = view.f64(i) {
+                            *slot = (x - mean) / sd;
+                        }
+                    }
+                }
+            }
+        }
+        Points { flat, dim, n }
+    }
+}
+
+/// A flat row-major `n × dim` matrix of standardised records.
+///
+/// Replaces the old `Vec<Vec<f64>>` point sets in the microaggregation and
+/// record-linkage scans: one allocation, contiguous rows, cache-friendly
+/// sequential distance loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Points {
+    flat: Vec<f64>,
+    dim: usize,
+    n: usize,
+}
+
+impl Points {
+    /// Number of records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality of each record.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Record `i` as a contiguous slice.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.flat[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The whole buffer, row-major.
+    #[inline]
+    pub fn flat(&self) -> &[f64] {
+        &self.flat
+    }
 }
 
 /// Squared Euclidean distance between two equal-length vectors.
+#[inline]
 pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Squared distances from `target` to every `dim`-wide row of a packed
+/// row-major buffer: `out[p] = sq_euclidean(&flat[p*dim..(p+1)*dim],
+/// target)`, computed as one contiguous sweep with unrolled low-dimension
+/// fast paths. Bitwise equal to the per-row definition: squares are never
+/// `-0.0`, so dropping the iterator sum's leading `0.0 +` term cannot
+/// change a bit of the result.
+pub fn sq_dists_packed(flat: &[f64], dim: usize, target: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(target.len(), dim);
+    debug_assert!(dim > 0 && flat.len() % dim == 0);
+    match dim {
+        1 => {
+            let t = target[0];
+            flat.iter()
+                .map(|&x| {
+                    let d = x - t;
+                    d * d
+                })
+                .collect()
+        }
+        2 => {
+            let (t0, t1) = (target[0], target[1]);
+            flat.chunks_exact(2)
+                .map(|p| {
+                    let (d0, d1) = (p[0] - t0, p[1] - t1);
+                    d0 * d0 + d1 * d1
+                })
+                .collect()
+        }
+        3 => {
+            let (t0, t1, t2) = (target[0], target[1], target[2]);
+            flat.chunks_exact(3)
+                .map(|p| {
+                    let (d0, d1, d2) = (p[0] - t0, p[1] - t1, p[2] - t2);
+                    d0 * d0 + d1 * d1 + d2 * d2
+                })
+                .collect()
+        }
+        _ => flat
+            .chunks_exact(dim)
+            .map(|p| sq_euclidean(p, target))
+            .collect(),
+    }
 }
 
 /// Euclidean distance.
@@ -116,7 +245,7 @@ pub fn nearest_record(std: &Standardizer, target: &[Value], candidates: &Dataset
     let mut best = 0usize;
     let mut best_d = f64::INFINITY;
     for i in 0..candidates.num_rows() {
-        let d = sq_euclidean(&t, &std.transform(candidates.row(i)));
+        let d = sq_euclidean(&t, &std.transform(&candidates.row(i)));
         if d < best_d {
             best_d = d;
             best = i;
@@ -152,8 +281,8 @@ mod tests {
     fn standardized_columns_have_unit_scale() {
         let d = data();
         let s = Standardizer::fit(&d, &[0, 1]);
-        let v0 = s.transform(d.row(0));
-        let v2 = s.transform(d.row(2));
+        let v0 = s.transform(&d.row(0));
+        let v2 = s.transform(&d.row(2));
         // Extremes should be symmetric around the middle record.
         assert!(v0[0] < 0.0 && v2[0] > 0.0);
         assert!((v0[0] + v2[0]).abs() < 1e-9);
@@ -164,7 +293,7 @@ mod tests {
         let d = data();
         let s = Standardizer::fit(&d, &[0, 1]);
         for i in 0..d.num_rows() {
-            assert_eq!(nearest_record(&s, d.row(i), &d), Some(i));
+            assert_eq!(nearest_record(&s, &d.row(i), &d), Some(i));
         }
     }
 
@@ -173,7 +302,7 @@ mod tests {
         let d = data();
         let s = Standardizer::fit(&d, &[0, 1]);
         let empty = Dataset::new(d.schema().clone());
-        assert_eq!(nearest_record(&s, d.row(0), &empty), None);
+        assert_eq!(nearest_record(&s, &d.row(0), &empty), None);
     }
 
     #[test]
@@ -189,7 +318,7 @@ mod tests {
         )
         .unwrap();
         let s = Standardizer::fit(&d, &[0, 1]);
-        let v = s.transform(d.row(0));
+        let v = s.transform(&d.row(0));
         assert_eq!(v[0], 0.0);
         assert!(v[0].is_finite() && v[1].is_finite());
     }

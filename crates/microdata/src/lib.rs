@@ -30,6 +30,8 @@
 //! ```
 
 pub mod attribute;
+pub mod bitmap;
+pub mod column;
 pub mod csv;
 pub mod dataset;
 pub mod distance;
@@ -44,6 +46,8 @@ pub mod synth;
 pub mod value;
 
 pub use attribute::{AttributeDef, AttributeKind, AttributeRole};
+pub use bitmap::Bitmap;
+pub use column::{BoolCol, CatCol, Column, ColumnView, F64Cells, FloatCol, IntCol};
 pub use dataset::Dataset;
 pub use error::{Error, Result};
 pub use schema::Schema;

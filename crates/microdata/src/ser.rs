@@ -734,7 +734,7 @@ mod tests {
         d.push_row(vec![Value::Str("\\N".into())]).unwrap_or(());
         let text = dataset_to_tsv(&d);
         let back = dataset_from_tsv(&text).unwrap();
-        assert_eq!(back.value(0, 0), &Value::Str("a\tb\\c\nd".into()));
+        assert_eq!(back.value(0, 0), Value::Str("a\tb\\c\nd".into()));
         assert!(back.value(1, 0).is_missing());
     }
 

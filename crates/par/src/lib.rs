@@ -52,6 +52,25 @@ use std::sync::{Mutex, OnceLock};
 /// `TDF_THREADS` values, not a tuning knob).
 pub const MAX_THREADS: usize = 64;
 
+/// Inputs shorter than this run inline on the calling thread even when a
+/// pool is available: dispatching a handful of elements costs more than
+/// scanning them (the Mondrian small-region regression in EXPERIMENTS.md
+/// §P1 — deep recursion levels scan regions of a few dozen records each).
+/// Because chunk boundaries and fold order are unchanged, the inline path
+/// produces bit-identical results; only the scheduling differs.
+/// Overridable via `TDF_PAR_THRESHOLD` (`0` disables the fallback).
+pub const SEQUENTIAL_THRESHOLD: usize = 1024;
+
+fn sequential_threshold() -> usize {
+    static PARSED: OnceLock<usize> = OnceLock::new();
+    *PARSED.get_or_init(|| {
+        std::env::var("TDF_PAR_THRESHOLD")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(SEQUENTIAL_THRESHOLD)
+    })
+}
+
 thread_local! {
     static OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
@@ -122,7 +141,11 @@ fn run_chunked(n: usize, chunk: usize, process: &(dyn Fn(usize, Range<usize>) + 
     let size = chunk_size(n, chunk);
     let num_chunks = n.div_ceil(size);
     let range_of = |c: usize| c * size..((c + 1) * size).min(n);
-    let threads = threads().min(num_chunks);
+    let threads = if n < sequential_threshold() {
+        1
+    } else {
+        threads().min(num_chunks)
+    };
     if threads <= 1 {
         for c in 0..num_chunks {
             process(c, range_of(c));
@@ -164,6 +187,11 @@ impl<T> SendPtr<T> {
 /// result is `f(i)`. Deterministic for any thread count by construction
 /// (each slot is written exactly once, independently).
 pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    // Slot `i` is `f(i)` whichever path runs, so the plain collect is the
+    // same value — without the chunk dispatch or the uninit buffer.
+    if n < sequential_threshold() || threads() <= 1 {
+        return (0..n).map(f).collect();
+    }
     let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
     // SAFETY: MaybeUninit contents need no initialization.
     unsafe { out.set_len(n) };
@@ -210,6 +238,20 @@ pub fn par_index_reduce<A: Send>(
         return None;
     }
     let num_chunks = n.div_ceil(chunk_size(n, chunk));
+    // Same chunk boundaries, same left fold — just mapped and merged in
+    // one pass on the calling thread, skipping the slot vector.
+    if n < sequential_threshold() || threads() <= 1 {
+        let size = chunk_size(n, chunk);
+        let mut acc: Option<A> = None;
+        for c in 0..num_chunks {
+            let a = map(c * size..((c + 1) * size).min(n));
+            acc = Some(match acc {
+                None => a,
+                Some(prev) => merge(prev, a),
+            });
+        }
+        return acc;
+    }
     let slots: Vec<Mutex<Option<A>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
     run_chunked(n, chunk, &|c, range| {
         *slots[c].lock().expect("chunk slot") = Some(map(range));
@@ -309,6 +351,26 @@ mod tests {
         assert_eq!(par_index_reduce(0, 0, |_| 1u32, |a, b| a + b), None);
         let empty: Vec<u8> = Vec::new();
         assert_eq!(par_chunks_reduce(&empty, 0, |_| 1u32, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn small_inputs_run_inline_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        // 100 < SEQUENTIAL_THRESHOLD: no pool dispatch even at t = 4.
+        let ids = with_threads(4, || par_map_range(100, |_| std::thread::current().id()));
+        assert!(ids.iter().all(|&id| id == caller));
+        // Same computation above and below the threshold.
+        let big: Vec<u64> = (0..2 * SEQUENTIAL_THRESHOLD as u64).collect();
+        let small_sum: u64 = big[..100].iter().sum();
+        assert_eq!(
+            with_threads(4, || par_chunks_reduce(
+                &big[..100],
+                0,
+                |c| c.iter().sum::<u64>(),
+                |a, b| a + b
+            )),
+            Some(small_sum)
+        );
     }
 
     #[test]

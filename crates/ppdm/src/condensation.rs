@@ -8,8 +8,9 @@
 //! carried out") while no released record is a real respondent.
 
 use rngkit::Rng;
+use tdf_microdata::column::F64Cells;
 use tdf_microdata::rng::standard_normal;
-use tdf_microdata::{Dataset, Error, Result, Value};
+use tdf_microdata::{Dataset, Error, Result};
 use tdf_sdc::microaggregation::mdav_microaggregate;
 
 /// Condenses the numeric columns `cols` of `data` with group size `k`,
@@ -31,15 +32,23 @@ pub fn condense<R: Rng + ?Sized>(
 
     // Synthetic row for original position i is drawn from i's group, so the
     // release stays row-aligned with the original (for risk measurement)
-    // while containing no real record.
-    let mut rows: Vec<Option<Vec<Value>>> = vec![None; data.num_rows()];
+    // while containing no real record. Moments are read through contiguous
+    // column cells; the release is assembled by a columnar donor gather
+    // plus per-column overwrites of the aggregated attributes.
+    let d = cols.len();
+    let cells: Vec<F64Cells> = cols
+        .iter()
+        .map(|&c| data.f64_cells(c).expect("numeric column"))
+        .collect();
+    let mut donors: Vec<usize> = vec![0; data.num_rows()];
+    let mut synth: Vec<Vec<f64>> = vec![vec![0.0; data.num_rows()]; d];
     for members in &groups {
-        // Per-group mean and covariance (raw space).
-        let d = cols.len();
+        // Per-group mean and covariance (raw space; missing reads as 0.0,
+        // as in the row-major version).
         let mut mean = vec![0.0; d];
         for &i in members {
-            for (j, &c) in cols.iter().enumerate() {
-                mean[j] += data.value(i, c).as_f64().unwrap_or(0.0);
+            for (j, col_cells) in cells.iter().enumerate() {
+                mean[j] += col_cells.get(i).unwrap_or(0.0);
             }
         }
         for m in &mut mean {
@@ -50,8 +59,8 @@ pub fn condense<R: Rng + ?Sized>(
             for &i in members {
                 for a in 0..d {
                     for b in 0..d {
-                        let xa = data.value(i, cols[a]).as_f64().unwrap_or(0.0) - mean[a];
-                        let xb = data.value(i, cols[b]).as_f64().unwrap_or(0.0) - mean[b];
+                        let xa = cells[a].get(i).unwrap_or(0.0) - mean[a];
+                        let xb = cells[b].get(i).unwrap_or(0.0) - mean[b];
                         cov[a][b] += xa * xb;
                     }
                 }
@@ -68,20 +77,24 @@ pub fn condense<R: Rng + ?Sized>(
         // copied from a random *member of the same group* so that
         // (quasi-identifier, confidential) pairings survive only at group
         // granularity.
+        let mut z = vec![0.0f64; d];
         for &i in members {
-            let donor = members[rng.gen_range(0..members.len())];
-            let mut row: Vec<Value> = data.row(donor).to_vec();
-            let z: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
-            for (j, &c) in cols.iter().enumerate() {
-                let noise: f64 = (0..=j).map(|t| chol[j][t] * z[t]).sum();
-                row[c] = Value::Float(mean[j] + noise);
+            donors[i] = members[rng.gen_range(0..members.len())];
+            for slot in z.iter_mut() {
+                *slot = standard_normal(rng);
             }
-            rows[i] = Some(row);
+            for j in 0..d {
+                let noise: f64 = (0..=j).map(|t| chol[j][t] * z[t]).sum();
+                synth[j][i] = mean[j] + noise;
+            }
         }
     }
-    let mut out = Dataset::new(data.schema().clone());
-    for row in rows {
-        out.push_row(row.expect("every record belongs to one group"))?;
+    let mut out = data.take(&donors);
+    for (j, &c) in cols.iter().enumerate() {
+        let dst = out.float_col_mut(c)?;
+        for (i, &v) in synth[j].iter().enumerate() {
+            dst.set(i, Some(v));
+        }
     }
     Ok(out)
 }

@@ -244,7 +244,7 @@ mod tests {
             105.0,
         ));
         let matching: Vec<usize> = (0..d.num_rows())
-            .filter(|&i| p.matches(&d, d.row(i)).unwrap())
+            .filter(|&i| p.matches(&d, &d.row(i)).unwrap())
             .collect();
         assert_eq!(matching, vec![patients::DATASET2_ISOLATED_ROW]);
     }
@@ -254,12 +254,12 @@ mod tests {
         let d = patients::dataset1();
         let p = Predicate::cmp("aids", CmpOp::Eq, true);
         let n = (0..d.num_rows())
-            .filter(|&i| p.matches(&d, d.row(i)).unwrap())
+            .filter(|&i| p.matches(&d, &d.row(i)).unwrap())
             .count();
         assert_eq!(n, 3);
         let np = p.not();
         let m = (0..d.num_rows())
-            .filter(|&i| np.matches(&d, d.row(i)).unwrap())
+            .filter(|&i| np.matches(&d, &d.row(i)).unwrap())
             .count();
         assert_eq!(m, 7);
     }
@@ -269,15 +269,15 @@ mod tests {
         let mut d = patients::dataset1();
         d.set_value(0, 0, Value::Missing).unwrap();
         let p = Predicate::cmp("height", CmpOp::Gt, 0.0);
-        assert!(!p.matches(&d, d.row(0)).unwrap());
-        assert!(p.matches(&d, d.row(1)).unwrap());
+        assert!(!p.matches(&d, &d.row(0)).unwrap());
+        assert!(p.matches(&d, &d.row(1)).unwrap());
     }
 
     #[test]
     fn unknown_attribute_is_an_error() {
         let d = patients::dataset1();
         let p = Predicate::cmp("zip", CmpOp::Eq, 1.0);
-        assert!(p.matches(&d, d.row(0)).is_err());
+        assert!(p.matches(&d, &d.row(0)).is_err());
     }
 
     #[test]

@@ -248,10 +248,11 @@ impl Auditor {
                     .schema()
                     .index_of(&self.protected)
                     .expect("protected attribute exists");
+                let view = data.col(col);
                 let rhs = eval
                     .query_set
                     .iter()
-                    .map(|&i| self.to_rational(data.value(i, col).as_f64().unwrap_or(0.0)))
+                    .map(|&i| self.to_rational(view.f64(i).unwrap_or(0.0)))
                     .fold(Rational::zero(), |a, b| a.add_ref(&b));
 
                 // Would answering disclose any single respondent's value?

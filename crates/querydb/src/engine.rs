@@ -1,7 +1,7 @@
 //! Query evaluation over a microdata dataset.
 
-use crate::ast::{Aggregate, Query};
-use tdf_microdata::{Dataset, Error, Result};
+use crate::ast::{Aggregate, CmpOp, Predicate, Query};
+use tdf_microdata::{ColumnView, Dataset, Error, Result, Value};
 
 /// The evaluation of one query: its query set and exact aggregate value.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,19 +28,20 @@ pub fn evaluate(data: &Dataset, query: &Query) -> Result<Evaluation> {
         None => None,
     };
 
+    // Attribute names are resolved to column views once; the per-row scan
+    // below then reads cells straight out of the columnar storage.
+    let compiled = CompiledPredicate::compile(&query.predicate, data)?;
     let mut query_set = Vec::new();
     for i in 0..data.num_rows() {
-        if query.predicate.matches(data, data.row(i))? {
+        if compiled.matches(i) {
             query_set.push(i);
         }
     }
 
     let values = || -> Vec<f64> {
         let col = agg_col.expect("aggregate reads an attribute");
-        query_set
-            .iter()
-            .filter_map(|&i| data.value(i, col).as_f64())
-            .collect()
+        let cells = data.f64_cells(col).expect("numeric column");
+        query_set.iter().filter_map(|&i| cells.get(i)).collect()
     };
 
     let value = match &query.aggregate {
@@ -58,6 +59,88 @@ pub fn evaluate(data: &Dataset, query: &Query) -> Result<Evaluation> {
         Aggregate::Max(_) => values().into_iter().max_by(f64::total_cmp),
     };
     Ok(Evaluation { query_set, value })
+}
+
+/// A predicate with attribute names resolved to column views: compiled once
+/// per query, then evaluated per row without hash lookups, `Value`
+/// materialization, or allocation.
+enum CompiledPredicate<'a> {
+    True,
+    Cmp {
+        view: ColumnView<'a>,
+        op: CmpOp,
+        literal: &'a Value,
+    },
+    And(Box<CompiledPredicate<'a>>, Box<CompiledPredicate<'a>>),
+    Or(Box<CompiledPredicate<'a>>, Box<CompiledPredicate<'a>>),
+    Not(Box<CompiledPredicate<'a>>),
+    In {
+        view: ColumnView<'a>,
+        values: &'a [Value],
+    },
+}
+
+impl<'a> CompiledPredicate<'a> {
+    fn compile(p: &'a Predicate, data: &'a Dataset) -> Result<Self> {
+        Ok(match p {
+            Predicate::True => CompiledPredicate::True,
+            Predicate::Cmp {
+                attribute,
+                op,
+                literal,
+            } => CompiledPredicate::Cmp {
+                view: data.col(data.schema().index_of(attribute)?),
+                op: *op,
+                literal,
+            },
+            Predicate::And(a, b) => CompiledPredicate::And(
+                Box::new(Self::compile(a, data)?),
+                Box::new(Self::compile(b, data)?),
+            ),
+            Predicate::Or(a, b) => CompiledPredicate::Or(
+                Box::new(Self::compile(a, data)?),
+                Box::new(Self::compile(b, data)?),
+            ),
+            Predicate::Not(inner) => CompiledPredicate::Not(Box::new(Self::compile(inner, data)?)),
+            Predicate::In { attribute, values } => CompiledPredicate::In {
+                view: data.col(data.schema().index_of(attribute)?),
+                values,
+            },
+        })
+    }
+
+    fn matches(&self, i: usize) -> bool {
+        match self {
+            CompiledPredicate::True => true,
+            CompiledPredicate::Cmp { view, op, literal } => {
+                if view.is_missing(i) {
+                    return false; // suppressed cells match nothing
+                }
+                let ord = view.cmp_value(i, literal);
+                match op {
+                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                    CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                    CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                }
+            }
+            CompiledPredicate::And(a, b) => a.matches(i) && b.matches(i),
+            CompiledPredicate::Or(a, b) => a.matches(i) || b.matches(i),
+            CompiledPredicate::Not(inner) => !inner.matches(i),
+            CompiledPredicate::In { view, values } => {
+                if view.is_missing(i) {
+                    return false;
+                }
+                // `group_eq` is `total_cmp == Equal`, so the packed compare
+                // matches the row-slice evaluator exactly.
+                values
+                    .iter()
+                    .any(|v| view.cmp_value(i, v) == std::cmp::Ordering::Equal)
+            }
+        }
+    }
 }
 
 #[cfg(test)]

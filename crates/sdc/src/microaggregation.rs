@@ -7,8 +7,8 @@
 //! because the released centroids preserve means exactly and covariances
 //! approximately.
 
-use tdf_microdata::distance::{sq_euclidean, Standardizer};
-use tdf_microdata::{Dataset, Error, Result, Value};
+use tdf_microdata::distance::{sq_euclidean, Points, Standardizer};
+use tdf_microdata::{Dataset, Error, Result};
 
 /// Output of a microaggregation run.
 #[derive(Debug, Clone)]
@@ -45,55 +45,227 @@ pub fn mdav_microaggregate(
     let std = Standardizer::fit(data, cols);
     let points = standardized_points(data, &std);
 
-    let mut remaining: Vec<usize> = (0..data.num_rows()).collect();
+    let mut active = ActiveSet::all_of(&points);
     let mut groups: Vec<Vec<usize>> = Vec::new();
 
-    while remaining.len() >= 3 * k {
-        let centroid = centroid_of_remaining(&points, &remaining);
-        // r: farthest record from the centroid; s: farthest from r. Each
-        // scan computes its distances exactly once (the anchor-r distances
-        // are reused to carve r's group below).
-        let d_centroid = distances_to(&points, &remaining, &centroid);
-        let r = remaining[argmax(&d_centroid)];
-        let d_r = distances_to(&points, &remaining, &points[r]);
-        let s = remaining[argmax(&d_r)];
+    while active.len() >= 3 * k {
+        let centroid = active.centroid();
+        // r: farthest record from the centroid; s: farthest from r. The
+        // anchor-r distances are computed once and reused to carve r's
+        // group below.
+        let r = active.ids[active.farthest(&centroid)];
+        let d_r = active.distances_to(points.point(r));
+        let s = active.ids[argmax(&d_r)];
 
-        let group_r = k_nearest(&remaining, &d_r, k);
-        remove_members(&mut remaining, &group_r);
+        let group_r = k_nearest(&active.ids, &d_r, k);
+        active.remove(&group_r);
         groups.push(group_r);
 
-        let d_s = distances_to(&points, &remaining, &points[s]);
-        let group_s = k_nearest(&remaining, &d_s, k);
-        remove_members(&mut remaining, &group_s);
+        let d_s = active.distances_to(points.point(s));
+        let group_s = k_nearest(&active.ids, &d_s, k);
+        active.remove(&group_s);
         groups.push(group_s);
     }
-    if remaining.len() >= 2 * k {
-        let centroid = centroid_of_remaining(&points, &remaining);
-        let d_centroid = distances_to(&points, &remaining, &centroid);
-        let r = remaining[argmax(&d_centroid)];
-        let d_r = distances_to(&points, &remaining, &points[r]);
-        let group = k_nearest(&remaining, &d_r, k);
-        remove_members(&mut remaining, &group);
+    if active.len() >= 2 * k {
+        let centroid = active.centroid();
+        let r = active.ids[active.farthest(&centroid)];
+        let d_r = active.distances_to(points.point(r));
+        let group = k_nearest(&active.ids, &d_r, k);
+        active.remove(&group);
         groups.push(group);
     }
-    if !remaining.is_empty() {
-        groups.push(remaining);
+    if !active.is_empty() {
+        groups.push(active.ids);
     }
 
     Ok(finish(data, cols, points, groups))
 }
 
-/// Standardized coordinates for every record, computed in parallel (each
-/// row is independent).
-fn standardized_points(data: &Dataset, std: &Standardizer) -> Vec<Vec<f64>> {
-    par::par_map_range(data.num_rows(), |i| std.transform(data.row(i)))
+/// The records MDAV has not yet grouped, kept as a *structure of
+/// arrays*: `ids[p]` is the record id and `cols[t][p]` its standardized
+/// coordinate in dimension `t`. Removal compacts ids and every column in
+/// place (order-preserving), so each distance scan is a handful of
+/// contiguous column sweeps over exactly the live records — branch-free
+/// loops the compiler vectorizes, with no gather through a shrinking
+/// index list. Per-element arithmetic, per-component summation order,
+/// chunk boundaries, and fold order all match the row-major gather
+/// formulation, so the groups formed are bit-identical to it.
+struct ActiveSet {
+    ids: Vec<usize>,
+    cols: Vec<Vec<f64>>,
 }
 
-/// Squared distances from each member of `remaining` to `target` — one
-/// parallel pass, element `p` a pure function of `remaining[p]`, so the
-/// vector is identical at any thread count.
-fn distances_to(points: &[Vec<f64>], remaining: &[usize], target: &[f64]) -> Vec<f64> {
-    par::par_map(remaining, |&i| sq_euclidean(&points[i], target))
+impl ActiveSet {
+    fn all_of(points: &Points) -> Self {
+        let dim = points.dim();
+        let cols = (0..dim)
+            .map(|t| points.flat().iter().skip(t).step_by(dim).copied().collect())
+            .collect();
+        Self {
+            ids: (0..points.len()).collect(),
+            cols,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    fn dim(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Squared distances from each live record to `target`, in `ids`
+    /// order. Serially this is one squaring sweep over the first column
+    /// followed by an accumulate sweep per further column — the same
+    /// left-to-right sum per element as `sq_euclidean` (squares are never
+    /// `-0.0`, so eliding the leading `0.0 +` term preserves every bit).
+    fn distances_to(&self, target: &[f64]) -> Vec<f64> {
+        let n = self.len();
+        if self.dim() == 0 {
+            return vec![0.0; n];
+        }
+        if par::threads() > 1 {
+            return par::par_map_range(n, |p| {
+                let mut acc = 0.0f64;
+                for (col, &t) in self.cols.iter().zip(target) {
+                    let d = col[p] - t;
+                    acc += d * d;
+                }
+                acc
+            });
+        }
+        let mut out = vec![0.0f64; n];
+        fill_sq_dists(&self.cols, target, &mut out);
+        out
+    }
+
+    /// Position of the live record farthest from `target` — exactly
+    /// `argmax(&self.distances_to(target))`.
+    fn farthest(&self, target: &[f64]) -> usize {
+        argmax(&self.distances_to(target))
+    }
+
+    /// Centroid of the live records, summed in fixed chunk order (the
+    /// same `(len, chunk = 0)` boundaries and per-component element order
+    /// as the row-major reduce, so the mean is bit-identical at every
+    /// thread count).
+    fn centroid(&self) -> Vec<f64> {
+        let d = self.dim();
+        let n = self.len() as f64;
+        if d <= 8 {
+            // Stack accumulators — no per-chunk allocation.
+            let sums = par::par_index_reduce(
+                self.len(),
+                0,
+                |range| {
+                    let mut acc = [0.0f64; 8];
+                    for (t, col) in self.cols.iter().enumerate() {
+                        let mut s = 0.0f64;
+                        for &x in &col[range.clone()] {
+                            s += x;
+                        }
+                        acc[t] = s;
+                    }
+                    acc
+                },
+                |mut a, b| {
+                    for t in 0..d {
+                        a[t] += b[t];
+                    }
+                    a
+                },
+            )
+            .expect("non-empty active set");
+            return sums[..d].iter().map(|s| s / n).collect();
+        }
+        let sums = par::par_index_reduce(
+            self.len(),
+            0,
+            |range| {
+                self.cols
+                    .iter()
+                    .map(|col| col[range.clone()].iter().sum::<f64>())
+                    .collect::<Vec<f64>>()
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+        .expect("non-empty active set");
+        sums.into_iter().map(|s| s / n).collect()
+    }
+
+    /// Drops `members` (by record id), compacting ids and every column in
+    /// one order-preserving pass. Membership is a linear probe of the
+    /// (tiny, size-`k`) group — or a sorted binary search for large `k` —
+    /// rather than a hash set: the probe runs once per live record, and
+    /// hashing dominated the whole MDAV loop at small `k`.
+    fn remove(&mut self, members: &[usize]) {
+        let mut sorted: Vec<usize>;
+        let taken: &[usize] = if members.len() > 16 {
+            sorted = members.to_vec();
+            sorted.sort_unstable();
+            &sorted
+        } else {
+            members
+        };
+        let gone = |id: usize| {
+            if members.len() > 16 {
+                taken.binary_search(&id).is_ok()
+            } else {
+                taken.contains(&id)
+            }
+        };
+        let mut w = 0usize;
+        for p in 0..self.ids.len() {
+            if !gone(self.ids[p]) {
+                self.ids[w] = self.ids[p];
+                if w != p {
+                    for col in &mut self.cols {
+                        col[w] = col[p];
+                    }
+                }
+                w += 1;
+            }
+        }
+        self.ids.truncate(w);
+        for col in &mut self.cols {
+            col.truncate(w);
+        }
+    }
+}
+
+/// `out[p] = sq_euclidean(record p, target)` over structure-of-arrays
+/// columns: a squaring sweep over the first column, then one accumulate
+/// sweep per further column. Each sweep is a contiguous, branch-free loop;
+/// the per-element summation order is exactly `sq_euclidean`\'s.
+fn fill_sq_dists(cols: &[Vec<f64>], target: &[f64], out: &mut [f64]) {
+    let t0 = target[0];
+    for (o, &x) in out.iter_mut().zip(&cols[0]) {
+        let d = x - t0;
+        *o = d * d;
+    }
+    for (col, &tj) in cols[1..].iter().zip(&target[1..]) {
+        for (o, &x) in out.iter_mut().zip(col) {
+            let d = x - tj;
+            *o += d * d;
+        }
+    }
+}
+
+/// Standardized coordinates for every record, as one flat row-major
+/// buffer filled column-by-column from contiguous column storage (the
+/// per-cell arithmetic matches `Standardizer::transform` bit for bit).
+fn standardized_points(data: &Dataset, std: &Standardizer) -> Points {
+    std.transform_points(data)
 }
 
 /// Position of the first maximum (strictly-greater comparison).
@@ -110,55 +282,50 @@ fn argmax(values: &[f64]) -> usize {
 /// The `k` members of `remaining` with the smallest `(distance, id)` —
 /// the lexicographic tie-break keeps the selection a pure function of the
 /// inputs. Returned in increasing-distance order.
+///
+/// Scans block-wise: once the candidate list is full, a block whose
+/// (NaN-free) minimum distance exceeds the current k-th distance cannot
+/// contribute a member, so it is skipped without per-element tuple
+/// comparisons. Blocks containing a NaN are never skipped — NaN
+/// candidates compare `PartialOrd`-false against the cutoff and *are*
+/// inserted by the element loop, which the skip must not short-circuit.
 fn k_nearest(remaining: &[usize], dists: &[f64], k: usize) -> Vec<usize> {
+    const BLOCK: usize = 32;
     let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
-    for (p, &id) in remaining.iter().enumerate() {
-        let cand = (dists[p], id);
+    let mut p = 0usize;
+    let n = dists.len();
+    while p < n {
+        let bl = BLOCK.min(n - p);
         if best.len() == k {
-            let worst = *best.last().expect("k >= 1");
-            if (cand.0, cand.1) >= (worst.0, worst.1) {
+            let cutoff = best.last().expect("k >= 1").0;
+            let mut bmin = f64::INFINITY;
+            let mut has_nan = false;
+            for &d in &dists[p..p + bl] {
+                if d < bmin {
+                    bmin = d;
+                }
+                has_nan |= d.is_nan();
+            }
+            if bmin > cutoff && !has_nan {
+                p += bl;
                 continue;
             }
-            best.pop();
         }
-        let at = best.partition_point(|&(d, i)| (d, i) < (cand.0, cand.1));
-        best.insert(at, cand);
+        for q in p..p + bl {
+            let cand = (dists[q], remaining[q]);
+            if best.len() == k {
+                let worst = *best.last().expect("k >= 1");
+                if (cand.0, cand.1) >= (worst.0, worst.1) {
+                    continue;
+                }
+                best.pop();
+            }
+            let at = best.partition_point(|&(d, i)| (d, i) < (cand.0, cand.1));
+            best.insert(at, cand);
+        }
+        p += bl;
     }
     best.into_iter().map(|(_, id)| id).collect()
-}
-
-/// Removes `members` from `remaining` in one O(n) pass.
-fn remove_members(remaining: &mut Vec<usize>, members: &[usize]) {
-    let taken: std::collections::HashSet<usize> = members.iter().copied().collect();
-    remaining.retain(|i| !taken.contains(i));
-}
-
-/// Centroid of the records in `remaining`, summed in fixed chunk order.
-fn centroid_of_remaining(points: &[Vec<f64>], remaining: &[usize]) -> Vec<f64> {
-    let d = points[remaining[0]].len();
-    let sums = par::par_chunks_reduce(
-        remaining,
-        0,
-        |chunk| {
-            let mut acc = vec![0.0f64; d];
-            for &i in chunk {
-                for (a, v) in acc.iter_mut().zip(&points[i]) {
-                    *a += v;
-                }
-            }
-            acc
-        },
-        |mut a, b| {
-            for (x, y) in a.iter_mut().zip(&b) {
-                *x += y;
-            }
-            a
-        },
-    )
-    .expect("non-empty remaining");
-    sums.into_iter()
-        .map(|s| s / remaining.len() as f64)
-        .collect()
 }
 
 /// Fixed-size microaggregation: sorts records by their first principal
@@ -175,10 +342,11 @@ pub fn fixed_microaggregate(
     let points = standardized_points(data, &std);
     let mut order: Vec<usize> = (0..data.num_rows()).collect();
     order.sort_by(|&a, &b| {
-        points[a]
+        points
+            .point(a)
             .iter()
             .sum::<f64>()
-            .total_cmp(&points[b].iter().sum::<f64>())
+            .total_cmp(&points.point(b).iter().sum::<f64>())
     });
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut i = 0usize;
@@ -214,11 +382,11 @@ fn validate(data: &Dataset, cols: &[usize], k: usize) -> Result<()> {
     Ok(())
 }
 
-fn centroid_of(points: &[Vec<f64>], members: &[usize]) -> Vec<f64> {
-    let d = points[members[0]].len();
+fn centroid_of(points: &Points, members: &[usize]) -> Vec<f64> {
+    let d = points.dim();
     let mut c = vec![0.0; d];
     for &i in members {
-        for (j, v) in points[i].iter().enumerate() {
+        for (j, v) in points.point(i).iter().enumerate() {
             c[j] += v;
         }
     }
@@ -231,28 +399,35 @@ fn centroid_of(points: &[Vec<f64>], members: &[usize]) -> Vec<f64> {
 fn finish(
     data: &Dataset,
     cols: &[usize],
-    points: Vec<Vec<f64>>,
+    points: Points,
     groups: Vec<Vec<usize>>,
 ) -> MicroaggregationResult {
     let mut out = data.clone();
+    // Raw-space centroid per column (means of original values), computed
+    // over the contiguous column image and written straight into float
+    // storage — the per-group accumulation order matches the row-major
+    // original, so the means are bit-identical.
+    for &col in cols {
+        let cells = data.f64_cells(col).expect("numeric column");
+        let means: Vec<f64> = groups
+            .iter()
+            .map(|members| {
+                members.iter().filter_map(|&i| cells.get(i)).sum::<f64>() / members.len() as f64
+            })
+            .collect();
+        let dst = out.float_col_mut(col).expect("numeric column");
+        for (members, &mean) in groups.iter().zip(&means) {
+            for &i in members {
+                dst.set(i, Some(mean));
+            }
+        }
+    }
     let mut group_of = vec![0usize; data.num_rows()];
     let mut sse = 0.0;
     for (gid, members) in groups.iter().enumerate() {
-        // Raw-space centroid per column (means of original values).
-        for &col in cols {
-            let mean = members
-                .iter()
-                .filter_map(|&i| data.value(i, col).as_f64())
-                .sum::<f64>()
-                / members.len() as f64;
-            for &i in members {
-                out.set_value(i, col, Value::Float(mean))
-                    .expect("numeric column");
-            }
-        }
         let c = centroid_of(&points, members);
         for &i in members {
-            sse += sq_euclidean(&points[i], &c);
+            sse += sq_euclidean(points.point(i), &c);
             group_of[i] = gid;
         }
     }

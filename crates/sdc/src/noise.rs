@@ -9,9 +9,10 @@
 //! `tdf-ppdm::sparsity`).
 
 use rngkit::Rng;
+use tdf_microdata::column::F64Cells;
 use tdf_microdata::rng::standard_normal;
 use tdf_microdata::stats;
-use tdf_microdata::{Dataset, Error, Result, Value};
+use tdf_microdata::{Dataset, Error, Result};
 
 /// Noise parameters.
 #[derive(Debug, Clone)]
@@ -41,16 +42,40 @@ pub fn add_noise<R: Rng + ?Sized>(
         .iter()
         .map(|&c| stats::std_dev(&data.numeric_column(c)).unwrap_or(0.0))
         .collect();
-    let mut out = data.clone();
+    let cells = numeric_cells(data, &config.cols);
+    // The RNG is consumed row-major (row, then column) exactly as the old
+    // row-at-a-time loop did, so seeded runs are bit-identical; only the
+    // reads and writes are columnar.
+    let mut masked: Vec<Vec<(usize, f64)>> = vec![Vec::new(); config.cols.len()];
     for i in 0..data.num_rows() {
-        for (j, &c) in config.cols.iter().enumerate() {
-            if let Some(x) = data.value(i, c).as_f64() {
+        for (j, col_cells) in cells.iter().enumerate() {
+            if let Some(x) = col_cells.get(i) {
                 let noisy = x + config.alpha * sds[j] * standard_normal(rng);
-                out.set_value(i, c, Value::Float(noisy))?;
+                masked[j].push((i, noisy));
             }
         }
     }
+    let mut out = data.clone();
+    write_floats(&mut out, &config.cols, &masked)?;
     Ok(out)
+}
+
+/// Per-column numeric cell readers (`validate` guarantees numeric kinds).
+fn numeric_cells<'a>(data: &'a Dataset, cols: &[usize]) -> Vec<F64Cells<'a>> {
+    cols.iter()
+        .map(|&c| data.f64_cells(c).expect("numeric column"))
+        .collect()
+}
+
+/// Writes each column's `(row, value)` list through the float storage.
+fn write_floats(out: &mut Dataset, cols: &[usize], masked: &[Vec<(usize, f64)>]) -> Result<()> {
+    for (&c, col_masked) in cols.iter().zip(masked) {
+        let dst = out.float_col_mut(c)?;
+        for &(i, v) in col_masked {
+            dst.set(i, Some(v));
+        }
+    }
+    Ok(())
 }
 
 /// Masks `data` with *variance-preserving* noise: each perturbed column is
@@ -68,9 +93,11 @@ pub fn add_unbiased_noise<R: Rng + ?Sized>(
     let mut out = add_noise(data, config, rng)?;
     for &c in &config.cols {
         let mean = stats::mean(&data.numeric_column(c)).unwrap_or(0.0);
-        for i in 0..out.num_rows() {
-            if let Some(x) = out.value(i, c).as_f64() {
-                out.set_value(i, c, Value::Float(mean + (x - mean) * scale))?;
+        let dst = out.float_col_mut(c)?;
+        for i in 0..dst.values().len() {
+            if !dst.is_missing(i) {
+                let x = dst.values()[i];
+                dst.set(i, Some(mean + (x - mean) * scale));
             }
         }
     }
@@ -94,17 +121,23 @@ pub fn add_correlated_noise<R: Rng + ?Sized>(
         Error::InvalidParameter("covariance matrix is not positive definite".into())
     })?;
     let d = config.cols.len();
-    let mut out = data.clone();
+    let cells = numeric_cells(data, &config.cols);
+    let mut masked: Vec<Vec<(usize, f64)>> = vec![Vec::new(); d];
+    let mut z = vec![0.0f64; d];
     for i in 0..data.num_rows() {
-        let z: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
+        for slot in z.iter_mut() {
+            *slot = standard_normal(rng);
+        }
         // noise = alpha · L · z has covariance alpha²·Σ.
-        for (j, &c) in config.cols.iter().enumerate() {
-            if let Some(x) = data.value(i, c).as_f64() {
+        for (j, col_cells) in cells.iter().enumerate() {
+            if let Some(x) = col_cells.get(i) {
                 let n: f64 = (0..=j).map(|t| chol[j][t] * z[t]).sum();
-                out.set_value(i, c, Value::Float(x + config.alpha * n))?;
+                masked[j].push((i, x + config.alpha * n));
             }
         }
     }
+    let mut out = data.clone();
+    write_floats(&mut out, &config.cols, &masked)?;
     Ok(out)
 }
 

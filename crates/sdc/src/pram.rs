@@ -7,8 +7,7 @@
 //! PPDM (see `tdf-ppdm::randomized_response` for the owner-side variant).
 
 use rngkit::Rng;
-use std::collections::BTreeSet;
-use tdf_microdata::{AttributeKind, Dataset, Error, Result, Value};
+use tdf_microdata::{AttributeKind, ColumnView, Dataset, Error, Result};
 
 /// Applies PRAM with the given `flip` probability to categorical/boolean
 /// column `col`.
@@ -32,33 +31,104 @@ pub fn pram<R: Rng + ?Sized>(
         }
     }
 
-    // Category domain observed in the data.
-    let domain: Vec<Value> = {
-        let mut set = BTreeSet::new();
-        for i in 0..data.num_rows() {
-            if !data.value(i, col).is_missing() {
-                set.insert(data.value(i, col).clone());
-            }
-        }
-        set.into_iter().collect()
-    };
+    // Category domain observed in the data, as dictionary codes sorted by
+    // value order (the order the old `BTreeSet<Value>` domain used), so
+    // the per-row RNG draws index the same categories as before.
+    let coded = CodedColumn::read(data, col);
     let mut out = data.clone();
-    if domain.len() < 2 {
+    if coded.domain.len() < 2 {
         return Ok(out);
     }
     for i in 0..data.num_rows() {
-        if data.value(i, col).is_missing() {
+        let Some(cur_pos) = coded.domain_pos(i) else {
             continue;
-        }
+        };
         if rng.gen::<f64>() < flip {
-            // Uniform among the *other* categories.
-            let cur = data.value(i, col);
-            let others: Vec<&Value> = domain.iter().filter(|v| !v.group_eq(cur)).collect();
-            let pick = others[rng.gen_range(0..others.len())].clone();
-            out.set_value(i, col, pick)?;
+            // Uniform among the *other* categories: draw an index into
+            // the sorted domain with the current category skipped.
+            let r = rng.gen_range(0..coded.domain.len() - 1);
+            let r = if r >= cur_pos { r + 1 } else { r };
+            coded.write(&mut out, i, coded.domain[r])?;
         }
     }
     Ok(out)
+}
+
+/// A categorical / boolean column lifted to integer codes: per-row codes
+/// (`-1` = missing) plus the observed domain in `Value::total_cmp` order.
+/// PRAM then runs entirely on small integers — no `Value` clones, no
+/// `BTreeSet` of heap strings.
+struct CodedColumn {
+    col: usize,
+    boolean: bool,
+    row_code: Vec<i64>,
+    /// Distinct present codes, sorted by the value they decode to.
+    domain: Vec<i64>,
+}
+
+impl CodedColumn {
+    fn read(data: &Dataset, col: usize) -> Self {
+        let (row_code, mut domain, boolean): (Vec<i64>, Vec<i64>, bool) = match data.col(col) {
+            ColumnView::Cat(c) => {
+                let row_code: Vec<i64> = (0..c.len())
+                    .map(|i| c.code(i).map_or(-1, |code| code as i64))
+                    .collect();
+                let mut present = vec![false; c.pool().len()];
+                for &rc in &row_code {
+                    if rc >= 0 {
+                        present[rc as usize] = true;
+                    }
+                }
+                let mut domain: Vec<i64> = (0..present.len() as i64)
+                    .filter(|&p| present[p as usize])
+                    .collect();
+                domain.sort_by(|&a, &b| c.decode(a as u32).total_cmp(c.decode(b as u32)));
+                (row_code, domain, false)
+            }
+            ColumnView::Bool(c) => {
+                let row_code: Vec<i64> = (0..c.len())
+                    .map(|i| c.opt(i).map_or(-1, i64::from))
+                    .collect();
+                let mut domain: Vec<i64> = row_code.iter().copied().filter(|&rc| rc >= 0).collect();
+                domain.sort_unstable();
+                domain.dedup();
+                (row_code, domain, true)
+            }
+            _ => unreachable!("kind checked to be categorical / boolean"),
+        };
+        domain.shrink_to_fit();
+        Self {
+            col,
+            boolean,
+            row_code,
+            domain,
+        }
+    }
+
+    /// Position of row `i`'s category in the sorted domain (`None` when
+    /// the cell is missing).
+    fn domain_pos(&self, i: usize) -> Option<usize> {
+        let rc = self.row_code[i];
+        if rc < 0 {
+            return None;
+        }
+        Some(
+            self.domain
+                .iter()
+                .position(|&d| d == rc)
+                .expect("present code in domain"),
+        )
+    }
+
+    /// Writes domain code `code` into row `i` of `out`.
+    fn write(&self, out: &mut Dataset, i: usize, code: i64) -> Result<()> {
+        if self.boolean {
+            out.bool_col_mut(self.col)?.set(i, Some(code == 1));
+        } else {
+            out.cat_col_mut(self.col)?.set_code(i, code as u32);
+        }
+        Ok(())
+    }
 }
 
 /// Applies *invariant* PRAM: a transition matrix whose stationary
@@ -86,33 +156,34 @@ pub fn invariant_pram<R: Rng + ?Sized>(
             )))
         }
     }
-    // Empirical category distribution.
-    let mut counts: std::collections::BTreeMap<Value, usize> = std::collections::BTreeMap::new();
+    // Empirical category distribution over the coded domain (sorted by
+    // value order, matching the old `BTreeMap<Value, _>` iteration).
+    let coded = CodedColumn::read(data, col);
+    let mut counts = vec![0usize; coded.domain.len()];
     for i in 0..data.num_rows() {
-        if !data.value(i, col).is_missing() {
-            *counts.entry(data.value(i, col).clone()).or_default() += 1;
+        if let Some(p) = coded.domain_pos(i) {
+            counts[p] += 1;
         }
     }
-    let domain: Vec<(Value, usize)> = counts.into_iter().collect();
     let mut out = data.clone();
-    if domain.len() < 2 {
+    if coded.domain.len() < 2 {
         return Ok(out);
     }
+    let total: usize = counts.iter().sum();
     for i in 0..data.num_rows() {
-        if data.value(i, col).is_missing() || rng.gen::<f64>() >= flip {
+        if coded.domain_pos(i).is_none() || rng.gen::<f64>() >= flip {
             continue;
         }
         // Re-draw from the marginal distribution (including possibly the
         // same category): exactly the invariant Markov kernel
         // M = (1−flip)·I + flip·1πᵀ, whose stationary vector is π.
-        let total: usize = domain.iter().map(|(_, c)| *c).sum();
         let mut pick = rng.gen_range(0..total);
-        for (v, c) in &domain {
-            if pick < *c {
-                out.set_value(i, col, v.clone())?;
+        for (p, &c) in counts.iter().enumerate() {
+            if pick < c {
+                coded.write(&mut out, i, coded.domain[p])?;
                 break;
             }
-            pick -= *c;
+            pick -= c;
         }
     }
     Ok(out)
@@ -135,8 +206,10 @@ pub fn unbias_frequency(observed: f64, flip: f64, categories: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
     use tdf_microdata::rng::seeded;
     use tdf_microdata::synth::census;
+    use tdf_microdata::Value;
 
     #[test]
     fn flip_zero_is_identity() {
@@ -162,7 +235,7 @@ mod tests {
         let masked = pram(&d, 4, 0.5, &mut seeded(3)).unwrap();
         let orig: BTreeSet<Value> = (0..d.num_rows()).map(|i| d.value(i, 4).clone()).collect();
         for i in 0..masked.num_rows() {
-            assert!(orig.contains(masked.value(i, 4)));
+            assert!(orig.contains(&masked.value(i, 4)));
         }
     }
 

@@ -6,8 +6,8 @@
 //! quasi-identifier values and links them to the closest record of the
 //! masked release.
 
-use tdf_microdata::distance::{sq_euclidean, Standardizer};
-use tdf_microdata::{Dataset, Error, Result};
+use tdf_microdata::distance::Standardizer;
+use tdf_microdata::{ColumnView, Dataset, Error, Result};
 
 /// Expected fraction of respondents an intruder re-identifies by linking
 /// each original record to the nearest masked record (standardized
@@ -25,26 +25,97 @@ pub fn record_linkage_rate(original: &Dataset, masked: &Dataset, qi_cols: &[usiz
         return Err(Error::EmptyDataset);
     }
     // Standardize with the *original* data's scale: that is the intruder's
-    // external knowledge.
+    // external knowledge. Both point sets are flat row-major buffers built
+    // straight from column storage; the inner scan below walks the masked
+    // buffer contiguously.
     let std = Standardizer::fit(original, qi_cols);
-    let masked_pts: Vec<Vec<f64>> =
-        par::par_map_range(masked.num_rows(), |i| std.transform(masked.row(i)));
+    let masked_pts = std.transform_points(masked);
+    let original_pts = std.transform_points(original);
+
+    // Column-major copy of the masked points: each distance block below
+    // becomes a handful of contiguous column sweeps (branch-free loops
+    // the compiler vectorizes) instead of strided row reads.
+    let mcols: Vec<Vec<f64>> = (0..masked_pts.dim())
+        .map(|t| {
+            masked_pts
+                .flat()
+                .iter()
+                .skip(t)
+                .step_by(masked_pts.dim())
+                .copied()
+                .collect()
+        })
+        .collect();
 
     // Each respondent's linkage outcome is independent of the others:
     // compute the per-row expected-hit contributions in parallel and sum
     // them in row order, so the total is identical at any thread count.
     let contributions = par::par_map_range(original.num_rows(), |i| {
-        let target = std.transform(original.row(i));
+        let target = original_pts.point(i);
         let mut best = f64::INFINITY;
         let mut ties: Vec<usize> = Vec::new();
-        for (j, p) in masked_pts.iter().enumerate() {
-            let d = sq_euclidean(&target, p);
-            if d < best - 1e-12 {
-                best = d;
-                ties.clear();
-                ties.push(j);
-            } else if (d - best).abs() <= 1e-12 {
-                ties.push(j);
+        if masked_pts.dim() == 0 {
+            // Degenerate zero-column scan: every distance is 0.0, so every
+            // record ties (`chunks_exact(0)` below would panic).
+            ties.extend(0..masked_pts.len());
+        } else {
+            // Scan the masked set one block at a time: distances fill a
+            // small stack buffer via per-column sweeps (the same
+            // left-to-right per-element sum as `sq_euclidean`, so every
+            // bit matches), and a block whose minimum exceeds
+            // `best + 1e-12` is skipped outright — no element in it can
+            // take the lead or tie, so the (best, ties) state after the
+            // scan is bit-identical to the element-at-a-time loop.
+            const BLOCK: usize = 32;
+            let m = masked_pts.len();
+            let mut tmp = [0.0f64; BLOCK];
+            let mut base = 0usize;
+            while base < m {
+                let bl = BLOCK.min(m - base);
+                let t0 = target[0];
+                for (o, &x) in tmp.iter_mut().zip(&mcols[0][base..base + bl]) {
+                    let d = x - t0;
+                    *o = d * d;
+                }
+                for (col, &tj) in mcols[1..].iter().zip(&target[1..]) {
+                    for (o, &x) in tmp.iter_mut().zip(&col[base..base + bl]) {
+                        let d = x - tj;
+                        *o += d * d;
+                    }
+                }
+                // Block skip: when every distance in the block clears
+                // `best + 1e-12`, no element can lead or tie, so the scan
+                // state cannot change — skip the per-element tie loop. The
+                // four independent accumulators break the serial compare
+                // chain; `min` over non-NaN values is order-independent and
+                // NaN cells are ignored, exactly as the tie loop ignores
+                // them.
+                let mut m = [f64::INFINITY; 4];
+                let mut chunks = tmp[..bl].chunks_exact(4);
+                for q in &mut chunks {
+                    for (acc, &d) in m.iter_mut().zip(q) {
+                        *acc = if d < *acc { d } else { *acc };
+                    }
+                }
+                for (acc, &d) in m.iter_mut().zip(chunks.remainder()) {
+                    *acc = if d < *acc { d } else { *acc };
+                }
+                let bmin = {
+                    let (a, b) = (m[0].min(m[1]), m[2].min(m[3]));
+                    a.min(b)
+                };
+                if bmin <= best + 1e-12 {
+                    for (t, &d) in tmp[..bl].iter().enumerate() {
+                        if d < best - 1e-12 {
+                            best = d;
+                            ties.clear();
+                            ties.push(base + t);
+                        } else if (d - best).abs() <= 1e-12 {
+                            ties.push(base + t);
+                        }
+                    }
+                }
+                base += bl;
             }
         }
         if ties.contains(&i) {
@@ -69,28 +140,53 @@ pub fn record_linkage_rate_mixed(
     masked: &Dataset,
     qi_cols: &[usize],
 ) -> Result<f64> {
-    use tdf_microdata::distance::mixed_distance;
     if original.num_rows() != masked.num_rows() {
         return Err(Error::SchemaMismatch);
     }
     if original.is_empty() {
         return Err(Error::EmptyDataset);
     }
-    let numeric_qi: Vec<usize> = qi_cols
+    // Per-column comparison kernels, in `qi_cols` order so the distance
+    // accumulates term-for-term like `mixed_distance` over materialized
+    // rows: standardized columns for numeric attributes, joint dictionary
+    // codes for categorical / boolean ones (a cross-table equality test is
+    // then one integer compare — no `Value` clones anywhere in the n² scan).
+    let kernels: Vec<MixedKernel> = qi_cols
         .iter()
-        .copied()
-        .filter(|&c| original.schema().attribute(c).kind.is_numeric())
+        .map(|&c| mixed_kernel(original, masked, c))
         .collect();
-    let std = Standardizer::fit(original, &numeric_qi);
+    let n = original.num_rows();
 
     // Same parallel shape as `record_linkage_rate`: independent rows,
     // order-preserving sum.
-    let contributions = par::par_map_range(original.num_rows(), |i| {
-        let target = original.row(i);
+    let contributions = par::par_map_range(n, |i| {
         let mut best = f64::INFINITY;
         let mut ties: Vec<usize> = Vec::new();
-        for j in 0..masked.num_rows() {
-            let d = mixed_distance(&std, original, target, masked.row(j), qi_cols);
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in &kernels {
+                match k {
+                    MixedKernel::Numeric {
+                        a,
+                        a_missing,
+                        b,
+                        b_missing,
+                    } => {
+                        if a_missing[i] || b_missing[j] {
+                            acc += 1.0;
+                        } else {
+                            let diff = a[i] - b[j];
+                            acc += diff * diff;
+                        }
+                    }
+                    MixedKernel::Coded { a, b } => match (a[i], b[j]) {
+                        (-1, -1) => {}
+                        (x, y) if x == y => {}
+                        _ => acc += 1.0,
+                    },
+                }
+            }
+            let d = acc.sqrt();
             if d < best - 1e-12 {
                 best = d;
                 ties.clear();
@@ -107,6 +203,99 @@ pub fn record_linkage_rate_mixed(
     });
     let expected_hits: f64 = contributions.iter().sum();
     Ok(expected_hits / original.num_rows() as f64)
+}
+
+/// One column's contribution to the mixed Gower distance, precomputed for
+/// both tables.
+enum MixedKernel {
+    /// Standardized numeric column: squared difference when both present,
+    /// full mismatch (1.0) otherwise.
+    Numeric {
+        a: Vec<f64>,
+        a_missing: Vec<bool>,
+        b: Vec<f64>,
+        b_missing: Vec<bool>,
+    },
+    /// Categorical / boolean column under a joint code space (`-1` =
+    /// missing): 0/1 mismatch, missing-vs-missing matches.
+    Coded { a: Vec<i64>, b: Vec<i64> },
+}
+
+fn mixed_kernel(original: &Dataset, masked: &Dataset, c: usize) -> MixedKernel {
+    if original.schema().attribute(c).kind.is_numeric() {
+        // Column-wise `fit` is independent per column, so fitting on just
+        // this column reproduces the joint fit's mean and deviation.
+        let std = Standardizer::fit(original, &[c]);
+        let a_pts = std.transform_points(original);
+        let b_pts = std.transform_points(masked);
+        let missing_of = |d: &Dataset| -> Vec<bool> {
+            let cells = d.f64_cells(c).expect("numeric column");
+            (0..d.num_rows()).map(|i| cells.get(i).is_none()).collect()
+        };
+        MixedKernel::Numeric {
+            a_missing: missing_of(original),
+            b_missing: missing_of(masked),
+            a: a_pts.flat().to_vec(),
+            b: b_pts.flat().to_vec(),
+        }
+    } else {
+        let (a, b) = coded_kernel(original, masked, c);
+        MixedKernel::Coded { a, b }
+    }
+}
+
+/// Joint code space for a categorical / boolean column of two tables
+/// (missing → -1; equal values get equal codes across both tables).
+fn coded_kernel(original: &Dataset, masked: &Dataset, c: usize) -> (Vec<i64>, Vec<i64>) {
+    match (original.col(c), masked.col(c)) {
+        (ColumnView::Cat(x), ColumnView::Cat(y)) => {
+            // The original's dictionary is the base space; masked values
+            // unknown to it get fresh codes past the end.
+            let base = x.pool().len() as i64;
+            let remap: Vec<i64> = y
+                .pool()
+                .iter()
+                .enumerate()
+                .map(|(p, v)| x.lookup(v).map_or(base + p as i64, |code| code as i64))
+                .collect();
+            let a = (0..x.len())
+                .map(|i| x.code(i).map_or(-1, |code| code as i64))
+                .collect();
+            let b = (0..y.len())
+                .map(|i| y.code(i).map_or(-1, |code| remap[code as usize]))
+                .collect();
+            (a, b)
+        }
+        (ColumnView::Bool(x), ColumnView::Bool(y)) => (
+            (0..x.len())
+                .map(|i| x.opt(i).map_or(-1, i64::from))
+                .collect(),
+            (0..y.len())
+                .map(|i| y.opt(i).map_or(-1, i64::from))
+                .collect(),
+        ),
+        (vx, vy) => {
+            // Cold path for layout mismatches (e.g. differing schemas):
+            // intern materialized values into one shared dictionary.
+            let mut dict: std::collections::HashMap<tdf_microdata::Value, i64> =
+                std::collections::HashMap::new();
+            let mut codes_of = |view: &ColumnView<'_>| -> Vec<i64> {
+                (0..view.len())
+                    .map(|i| {
+                        if view.is_missing(i) {
+                            return -1;
+                        }
+                        let v = view.get(i);
+                        let next = dict.len() as i64;
+                        *dict.entry(v).or_insert(next)
+                    })
+                    .collect()
+            };
+            let a = codes_of(&vx);
+            let b = codes_of(&vy);
+            (a, b)
+        }
+    }
 }
 
 /// Interval disclosure: the fraction of masked numeric cells (over `cols`)

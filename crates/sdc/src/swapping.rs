@@ -34,14 +34,12 @@ pub fn rank_swap<R: Rng + ?Sized>(
     let window = ((p_percent / 100.0 * n as f64).round() as usize).max(1);
 
     for &c in cols {
-        // Ranks of records by value on column c.
+        // Ranks of records by value on column c, keyed through the
+        // contiguous column storage (missing sorts as NaN, i.e. last).
+        let cells = data.f64_cells(c).expect("numeric column");
+        let key: Vec<f64> = (0..n).map(|i| cells.get(i).unwrap_or(f64::NAN)).collect();
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            data.value(a, c)
-                .as_f64()
-                .unwrap_or(f64::NAN)
-                .total_cmp(&data.value(b, c).as_f64().unwrap_or(f64::NAN))
-        });
+        order.sort_by(|&a, &b| key[a].total_cmp(&key[b]));
         let mut swapped = vec![false; n];
         for r in 0..n {
             if swapped[r] {
@@ -55,10 +53,7 @@ pub fn rank_swap<R: Rng + ?Sized>(
             }
             let partner = candidates[rng.gen_range(0..candidates.len())];
             let (i, j) = (order[r], order[partner]);
-            let vi = data.value(i, c).clone();
-            let vj = data.value(j, c).clone();
-            out.set_value(i, c, vj)?;
-            out.set_value(j, c, vi)?;
+            out.swap_cells(i, j, c);
             swapped[r] = true;
             swapped[partner] = true;
         }

@@ -54,11 +54,11 @@ impl FrequencyTable {
         for i in 0..data.num_rows() {
             let r = row_labels
                 .iter()
-                .position(|v| v.group_eq(data.value(i, row_col)))
+                .position(|v| v.group_eq(&data.value(i, row_col)))
                 .expect("label collected");
             let c = col_labels
                 .iter()
-                .position(|v| v.group_eq(data.value(i, col_col)))
+                .position(|v| v.group_eq(&data.value(i, col_col)))
                 .expect("label collected");
             counts[r][c] += 1;
         }

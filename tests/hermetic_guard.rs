@@ -100,6 +100,40 @@ fn workspace_dependency_table_is_all_paths() {
 }
 
 #[test]
+fn storage_crate_dependencies_are_frozen() {
+    // The columnar storage refactor (typed buffers, bitmaps, dictionary
+    // encoding) is std-only by design: the microdata crate's runtime
+    // dependency set is exactly the in-tree RNG, nothing else. A new
+    // entry here means the storage layer grew a dependency — revert it.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("crates/microdata/Cargo.toml"))
+        .expect("microdata manifest");
+    let mut in_deps = false;
+    let mut deps = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if in_deps && line.contains('=') {
+            deps.push(
+                line.split(['=', '.'])
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .to_string(),
+            );
+        }
+    }
+    assert_eq!(
+        deps,
+        ["tdf-rngkit"],
+        "the columnar storage crate must depend only on the in-tree RNG"
+    );
+}
+
+#[test]
 fn par_crate_is_registered_and_dependency_free() {
     // The fork/join substrate must stay in the workspace table and must
     // itself pull in nothing (its whole point is std-only parallelism).
