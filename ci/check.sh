@@ -65,21 +65,36 @@ fi
 step "cargo test --offline (TDF_THREADS=1)"
 TDF_THREADS=1 "$CARGO" test --workspace -q --offline
 
-step "cargo test --offline (TDF_THREADS=4)"
-TDF_THREADS=4 "$CARGO" test --workspace -q --offline
+step "cargo test --offline (TDF_THREADS=4, TDF_OBS=2)"
+# Full observability on: every kernel's instrumentation runs under the
+# whole suite, and tests/prop_obs_inert.rs proves it changes no answer.
+TDF_THREADS=4 TDF_OBS=2 "$CARGO" test --workspace -q --offline
 
 if [[ "$QUICK" -eq 0 ]]; then
   step "bench smoke run (tiny sample counts; validates BENCH_*.json)"
   rm -f crates/bench/BENCH_*.json
   TDF_BENCH_SAMPLES=3 TDF_BENCH_SAMPLE_MS=2 TDF_BENCH_WARMUP_MS=5 \
     "$CARGO" bench --offline -p tdf-bench >/dev/null
-  for suite in substrates ablations experiments par columnar; do
+  for suite in substrates ablations experiments par columnar obs; do
     json="crates/bench/BENCH_${suite}.json"
     [[ -s "$json" ]] || { echo "missing $json" >&2; exit 1; }
     grep -q '"median_ns"' "$json" || { echo "$json lacks median_ns" >&2; exit 1; }
     grep -q '"p95_ns"' "$json" || { echo "$json lacks p95_ns" >&2; exit 1; }
   done
+  # The obs suite runs each workload at TDF_OBS=1/2 through bench_with_obs,
+  # which embeds the counter snapshot alongside the timings.
+  grep -q '"counters"' crates/bench/BENCH_obs.json \
+    || { echo "BENCH_obs.json lacks embedded counters" >&2; exit 1; }
   rm -f crates/bench/BENCH_*.json
+  echo "ok"
+
+  step "deterministic obs snapshot matches the golden file"
+  # Counter totals for a fixed F1 sweep are part of the contract: any
+  # accounting change must consciously regenerate ci/golden/obs_f1.jsonl
+  # (see crates/bench/src/bin/obs_snapshot.rs for the command).
+  "$CARGO" run --release --offline -q -p tdf-bench --bin obs_snapshot \
+    | diff - ci/golden/obs_f1.jsonl \
+    || { echo "obs snapshot drifted from ci/golden/obs_f1.jsonl" >&2; exit 1; }
   echo "ok"
 fi
 

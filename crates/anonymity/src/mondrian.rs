@@ -40,9 +40,14 @@ pub fn mondrian_anonymize(data: &Dataset, k: usize) -> MondrianResult {
         .map(|&c| data.f64_cells(c).expect("numeric column"))
         .collect();
 
+    let _span = obs::span("anonymity.mondrian");
     let mut partitions: Vec<Vec<usize>> = Vec::new();
     let all: Vec<usize> = (0..data.num_rows()).collect();
-    split(&cells, k, all, &mut partitions);
+    let mut stats = SplitStats::default();
+    split(&cells, k, all, 0, &mut partitions, &mut stats);
+    obs::count("anonymity.mondrian.partitions", partitions.len() as u64);
+    obs::count("anonymity.mondrian.splits", stats.splits);
+    obs::gauge_max("anonymity.mondrian.max_depth", stats.max_depth);
 
     let mut out = data.clone();
     let mut partition_of = vec![0usize; data.num_rows()];
@@ -70,8 +75,33 @@ pub fn mondrian_anonymize(data: &Dataset, k: usize) -> MondrianResult {
     }
 }
 
-fn split(cells: &[F64Cells], k: usize, members: Vec<usize>, out: &mut Vec<Vec<usize>>) {
+/// Split/depth tallies accumulated locally during the recursion and
+/// flushed to the observability registry once per Mondrian run — the
+/// partitioning loop is too hot for a per-node registry write.
+#[derive(Default)]
+struct SplitStats {
+    splits: u64,
+    max_depth: u64,
+}
+
+impl SplitStats {
+    fn leaf_at(&mut self, depth: usize) {
+        self.max_depth = self.max_depth.max(depth as u64);
+    }
+}
+
+/// `depth` is the recursion depth of this call (0 at the root); the max
+/// over leaves is the tree depth (every maximal path ends in a leaf).
+fn split(
+    cells: &[F64Cells],
+    k: usize,
+    members: Vec<usize>,
+    depth: usize,
+    out: &mut Vec<Vec<usize>>,
+    stats: &mut SplitStats,
+) {
     if members.len() < 2 * k || cells.is_empty() {
+        stats.leaf_at(depth);
         out.push(members);
         return;
     }
@@ -110,12 +140,14 @@ fn split(cells: &[F64Cells], k: usize, members: Vec<usize>, out: &mut Vec<Vec<us
     let (j, range) = match best {
         Some(b) => b,
         None => {
+            stats.leaf_at(depth);
             out.push(members);
             return;
         }
     };
     if range <= 0.0 {
         // All quasi-identifier values equal: nothing to split on.
+        stats.leaf_at(depth);
         out.push(members);
         return;
     }
@@ -132,11 +164,13 @@ fn split(cells: &[F64Cells], k: usize, members: Vec<usize>, out: &mut Vec<Vec<us
     let mid = sorted.len() / 2;
     let (left, right) = sorted.split_at(mid);
     if left.len() < k || right.len() < k {
+        stats.leaf_at(depth);
         out.push(members);
         return;
     }
-    split(cells, k, left.to_vec(), out);
-    split(cells, k, right.to_vec(), out);
+    stats.splits += 1;
+    split(cells, k, left.to_vec(), depth + 1, out, stats);
+    split(cells, k, right.to_vec(), depth + 1, out, stats);
 }
 
 #[cfg(test)]

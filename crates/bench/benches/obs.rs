@@ -1,0 +1,68 @@
+//! Observability overhead benches: every kernel workload measured with
+//! `TDF_OBS` forced to 0 (instrumentation compiled in but disabled), 1
+//! (counters/gauges/histograms) and 2 (spans on top).
+//!
+//! The level-0 / level-1 pair is the EXPERIMENTS P3 overhead budget: the
+//! median of `*_obs1` must stay within 3% of `*_obs0`. Levels 1 and 2 run
+//! through [`Harness::bench_with_obs`], so `BENCH_obs.json` embeds the
+//! counter snapshot of one invocation next to the timings — the artefact
+//! shows *what* was counted alongside what the counting cost.
+//!
+//! Threads are pinned to 1: overhead is a per-event property, and the
+//! single-thread path has the least noise to hide it in.
+
+use rngkit::SeedableRng;
+use tdf_anonymity::mondrian::mondrian_anonymize;
+use tdf_bench::harness::Harness;
+use tdf_microdata::synth::{census, patients, PatientConfig};
+use tdf_pir::store::Database;
+use tdf_sdc::microaggregation::mdav_microaggregate;
+use tdf_sdc::risk::record_linkage_rate;
+
+/// Benches one closure at the three observability levels. Level 0 uses the
+/// plain timing path; levels 1 and 2 also capture a counter snapshot.
+fn at_levels<T, F: FnMut() -> T>(h: &mut Harness, id: &str, mut f: F) {
+    obs::set_level(0);
+    h.bench(&format!("{id}_obs0"), &mut f);
+    obs::set_level(1);
+    h.bench_with_obs(&format!("{id}_obs1"), &mut f);
+    obs::set_level(2);
+    h.bench_with_obs(&format!("{id}_obs2"), &mut f);
+    obs::set_level(0);
+}
+
+fn main() {
+    let mut h = Harness::new("obs");
+    par::with_threads(1, || {
+        let d = patients(&PatientConfig {
+            n: 2000,
+            ..Default::default()
+        });
+        let qi = d.schema().quasi_identifier_indices();
+        at_levels(&mut h, "mdav_n2000_k5", || {
+            mdav_microaggregate(&d, &qi, 5).expect("mdav")
+        });
+
+        let c = census(4000, 0x0B5);
+        at_levels(&mut h, "mondrian_census_n4000_k10", || {
+            mondrian_anonymize(&c, 10)
+        });
+
+        let small = patients(&PatientConfig {
+            n: 800,
+            ..Default::default()
+        });
+        let sqi = small.schema().quasi_identifier_indices();
+        let masked = mdav_microaggregate(&small, &sqi, 5).expect("mdav").data;
+        at_levels(&mut h, "linkage_n800", || {
+            record_linkage_rate(&small, &masked, &sqi).expect("linkage")
+        });
+
+        let db = Database::new((0..4096usize).map(|i| vec![i as u8; 32]).collect());
+        at_levels(&mut h, "pir_linear_3server_n4096", || {
+            let mut rng = rngkit::rngs::StdRng::seed_from_u64(0x0B5);
+            tdf_pir::linear::retrieve(&mut rng, &db, 3, 2048)
+        });
+    });
+    h.finish().expect("write BENCH_obs.json");
+}

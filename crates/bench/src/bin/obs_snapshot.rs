@@ -1,0 +1,32 @@
+//! Deterministic observability snapshot of the F1 pipeline.
+//!
+//! Runs the §6 composition sweep (`tradeoff_sweep`, the same pipeline as
+//! the `fig_tradeoff` binary at a reduced scale) with the thread count
+//! pinned to 1, the seed fixed, and `TDF_OBS` forced to 2, then prints the
+//! merged registry as deterministic JSON-lines — counters, gauges and
+//! histograms only, no wall-clock. The output is bit-stable across runs
+//! and machines, so CI diffs it against `ci/golden/obs_f1.jsonl`: any
+//! unreviewed change to what the kernels count fails the gate.
+//!
+//! Regenerate the golden file after an intentional instrumentation change:
+//!
+//! ```sh
+//! cargo run --release --offline -p tdf-bench --bin obs_snapshot \
+//!     > ci/golden/obs_f1.jsonl
+//! ```
+
+use tdf_core::experiments::tradeoff_sweep;
+use tdf_microdata::rng::seeded;
+
+fn main() {
+    // Forced level and thread count: the golden file must not depend on
+    // the TDF_OBS / TDF_THREADS environment of whoever runs this.
+    obs::set_level(2);
+    obs::reset();
+    par::with_threads(1, || {
+        let mut rng = seeded(0xF16);
+        let points = tradeoff_sweep(true, &[2, 5, 10], 120, &mut rng).expect("tradeoff sweep runs");
+        assert!(!points.is_empty());
+    });
+    print!("{}", obs::snapshot().deterministic_jsonl());
+}

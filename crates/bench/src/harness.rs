@@ -55,6 +55,10 @@ pub struct Summary {
     pub p95_ns: f64,
     /// Slowest sample, ns per iteration.
     pub max_ns: f64,
+    /// Observability counters for one invocation of the body, captured by
+    /// [`Harness::bench_with_obs`]; empty for plain [`Harness::bench`]
+    /// runs. Sorted by name so the JSON artefact is deterministic.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Percentile over a sorted slice (nearest-rank).
@@ -124,6 +128,7 @@ impl Harness {
             median_ns: percentile(&times, 0.5),
             p95_ns: percentile(&times, 0.95),
             max_ns: *times.last().expect("samples >= 1"),
+            counters: Vec::new(),
         };
         eprintln!(
             "{:<44} median {:>12}  p95 {:>12}",
@@ -139,6 +144,22 @@ impl Harness {
     /// the pinned count, so one suite can hold a thread-scaling series.
     pub fn bench_at_threads<T, F: FnMut() -> T>(&mut self, id: &str, threads: usize, f: F) {
         par::with_threads(threads, || self.bench(id, f));
+    }
+
+    /// Measures `f` like [`bench`](Harness::bench), then captures the
+    /// observability counters of exactly one extra invocation and attaches
+    /// them to the recorded [`Summary`] (embedded in the JSON artefact as
+    /// a `"counters"` object). The capture invocation runs outside the
+    /// timing loop, at whatever `TDF_OBS` level is in effect — with
+    /// observability disabled the counter set is simply empty.
+    pub fn bench_with_obs<T, F: FnMut() -> T>(&mut self, id: &str, mut f: F) {
+        self.bench(id, &mut f);
+        obs::reset();
+        black_box(f());
+        let snap = obs::snapshot();
+        obs::reset();
+        let entry = self.results.last_mut().expect("bench just pushed");
+        entry.counters = snap.counters.into_iter().collect();
     }
 
     /// Prints the suite table and writes `BENCH_<suite>.json`; returns
@@ -192,6 +213,17 @@ impl Harness {
                 s.p95_ns,
                 s.max_ns
             ));
+            if !s.counters.is_empty() {
+                json.pop(); // reopen the result object
+                json.push_str(",\"counters\":{");
+                for (i, (name, value)) in s.counters.iter().enumerate() {
+                    if i > 0 {
+                        json.push(',');
+                    }
+                    json.push_str(&format!("\"{name}\":{value}"));
+                }
+                json.push_str("}}");
+            }
         }
         json.push_str("]}");
         json
@@ -266,6 +298,33 @@ mod tests {
         h.bench_at_threads("pinned", 3, par::threads);
         let s = &h.results()[0];
         assert_eq!(s.threads, 3);
+    }
+
+    #[test]
+    fn bench_with_obs_embeds_counters() {
+        let mut h = tiny_harness();
+        obs::set_level(1);
+        h.bench_with_obs("counted", || obs::count("bench.test.events", 3));
+        obs::set_level(0);
+        let s = &h.results()[0];
+        assert_eq!(
+            s.counters,
+            vec![("bench.test.events".to_owned(), 3)],
+            "one capture invocation, exactly once"
+        );
+        let json = h.to_json();
+        assert!(
+            json.contains("\"counters\":{\"bench.test.events\":3}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn plain_bench_has_no_counters_key() {
+        let mut h = tiny_harness();
+        h.bench("noop", || 1u64);
+        assert!(h.results()[0].counters.is_empty());
+        assert!(!h.to_json().contains("\"counters\""));
     }
 
     #[test]

@@ -191,6 +191,7 @@ impl ThreeDimensionalDb {
                 uplink_bits: (usize::BITS - store.len().leading_zeros()) as u64,
                 downlink_bits: (store.record_size() * 8) as u64,
                 server_ops: 1,
+                words_scanned: 0,
                 servers: 1,
             };
             store.record(index).to_vec()

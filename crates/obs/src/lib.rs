@@ -1,0 +1,360 @@
+//! Hermetic observability for the privacy kernels.
+//!
+//! Zero registry dependencies, std-only. Three primitives:
+//!
+//! - **counters** — monotonically increasing `u64` sums (`count`);
+//! - **gauges** — high-water marks merged by `max` (`gauge_max`), so the
+//!   merged value never depends on the order shards are visited;
+//! - **histograms** — 65 fixed log2 buckets (`observe`), bucket 0 holds
+//!   the value zero, bucket `b ≥ 1` holds values in `[2^(b-1), 2^b)`;
+//! - **spans** — RAII wall-clock timings with self-time attribution
+//!   (`span`), recorded only at level 2 because timing is inherently
+//!   nondeterministic.
+//!
+//! Every thread writes into its own shard (one uncontended mutex per
+//! thread); [`snapshot`] merges all shards into sorted `BTreeMap`s, so the
+//! aggregate is a pure function of the event multiset — independent of
+//! thread interleaving and registration order. That property is what lets
+//! CI diff [`Snapshot::deterministic_jsonl`] against a golden file.
+//!
+//! The recording level comes from `TDF_OBS` (`0` off — the default, `1`
+//! metrics, `2` metrics + spans) and can be overridden at runtime with
+//! [`set_level`]; the level is global (not thread-local) so pool worker
+//! threads executing kernel closures observe the same level as the
+//! caller. With the `noop` cargo feature every entry point compiles to
+//! nothing and [`snapshot`] returns an empty registry.
+
+#[cfg(not(feature = "noop"))]
+mod registry;
+#[cfg(not(feature = "noop"))]
+mod level {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// Sentinel meaning "not yet initialised from the environment".
+    const UNSET: u8 = u8::MAX;
+    static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+    #[cold]
+    fn init_from_env() -> u8 {
+        let lvl = std::env::var("TDF_OBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u8>().ok())
+            .unwrap_or(0)
+            .min(2);
+        LEVEL.store(lvl, Ordering::Relaxed);
+        lvl
+    }
+
+    /// Current recording level: 0 = off, 1 = metrics, 2 = metrics + spans.
+    #[inline]
+    pub fn level() -> u8 {
+        let lvl = LEVEL.load(Ordering::Relaxed);
+        if lvl == UNSET {
+            init_from_env()
+        } else {
+            lvl
+        }
+    }
+
+    /// Override the recording level for this process (tests, benches).
+    pub fn set_level(level: u8) {
+        LEVEL.store(level.min(2), Ordering::Relaxed);
+    }
+}
+
+#[cfg(not(feature = "noop"))]
+pub use active::*;
+#[cfg(not(feature = "noop"))]
+mod active {
+    pub use super::level::{level, set_level};
+    use super::registry;
+    pub use super::registry::{Histogram, Snapshot, SpanStat, HIST_BUCKETS};
+    use std::time::Instant;
+
+    /// True when metrics (counters, gauges, histograms) are recorded.
+    #[inline]
+    pub fn enabled() -> bool {
+        level() >= 1
+    }
+
+    /// True when spans are also recorded.
+    #[inline]
+    pub fn spans_enabled() -> bool {
+        level() >= 2
+    }
+
+    /// Add `delta` to the named counter. No-op at level 0 or `delta == 0`.
+    #[inline]
+    pub fn count(name: &str, delta: u64) {
+        if delta > 0 && enabled() {
+            registry::count(name, delta);
+        }
+    }
+
+    /// Raise the named high-water-mark gauge to at least `value`.
+    #[inline]
+    pub fn gauge_max(name: &str, value: u64) {
+        if enabled() {
+            registry::gauge_max(name, value);
+        }
+    }
+
+    /// Record `value` into the named log2 histogram.
+    #[inline]
+    pub fn observe(name: &str, value: u64) {
+        if enabled() {
+            registry::observe(name, value);
+        }
+    }
+
+    /// Record every value of `values` into the named log2 histogram under
+    /// a single shard lock — the batched form of [`observe`] for
+    /// per-item loops too hot to pay one registry write per element.
+    #[inline]
+    pub fn observe_each<I: IntoIterator<Item = u64>>(name: &str, values: I) {
+        if enabled() {
+            registry::observe_each(name, values);
+        }
+    }
+
+    /// Merge every thread's shard into one deterministic snapshot.
+    pub fn snapshot() -> Snapshot {
+        registry::snapshot()
+    }
+
+    /// Clear all shards (and drop shards of threads that have exited).
+    pub fn reset() {
+        registry::reset();
+    }
+
+    thread_local! {
+        /// Per-frame accumulator of child span nanoseconds, for self-time.
+        static SPAN_STACK: std::cell::RefCell<Vec<u64>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+
+    /// RAII timing guard; records on drop. Inert below level 2.
+    pub struct Span {
+        armed: Option<(&'static str, Instant)>,
+    }
+
+    /// Open a timing span. The guard records `{count, total_ns, self_ns}`
+    /// under `name` when dropped; nesting attributes child time to the
+    /// parent's `total_ns` but not its `self_ns`.
+    #[inline]
+    pub fn span(name: &'static str) -> Span {
+        if !spans_enabled() {
+            return Span { armed: None };
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push(0));
+        Span {
+            armed: Some((name, Instant::now())),
+        }
+    }
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            let Some((name, start)) = self.armed.take() else {
+                return;
+            };
+            let total_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let child_ns = SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                let child = stack.pop().unwrap_or(0);
+                if let Some(parent) = stack.last_mut() {
+                    *parent = parent.saturating_add(total_ns);
+                }
+                child
+            });
+            registry::span_record(name, total_ns, total_ns.saturating_sub(child_ns));
+        }
+    }
+}
+
+#[cfg(feature = "noop")]
+pub use noop::*;
+#[cfg(feature = "noop")]
+mod noop {
+    //! Compile-to-nothing variant: same API surface, empty behaviour.
+
+    /// Always 0 with the `noop` feature.
+    #[inline]
+    pub fn level() -> u8 {
+        0
+    }
+    /// Ignored with the `noop` feature.
+    #[inline]
+    pub fn set_level(_level: u8) {}
+    /// Always false with the `noop` feature.
+    #[inline]
+    pub fn enabled() -> bool {
+        false
+    }
+    /// Always false with the `noop` feature.
+    #[inline]
+    pub fn spans_enabled() -> bool {
+        false
+    }
+    /// No-op with the `noop` feature.
+    #[inline]
+    pub fn count(_name: &str, _delta: u64) {}
+    /// No-op with the `noop` feature.
+    #[inline]
+    pub fn gauge_max(_name: &str, _value: u64) {}
+    /// No-op with the `noop` feature.
+    #[inline]
+    pub fn observe(_name: &str, _value: u64) {}
+    /// No-op with the `noop` feature.
+    #[inline]
+    pub fn observe_each<I: IntoIterator<Item = u64>>(_name: &str, _values: I) {}
+    /// Empty snapshot with the `noop` feature.
+    pub fn snapshot() -> Snapshot {
+        Snapshot::default()
+    }
+    /// No-op with the `noop` feature.
+    pub fn reset() {}
+    /// Inert guard with the `noop` feature.
+    pub struct Span;
+    /// Inert guard with the `noop` feature.
+    #[inline]
+    pub fn span(_name: &'static str) -> Span {
+        Span
+    }
+
+    // The snapshot types keep their real shape so downstream code
+    // (harness JSON embedding, golden emitters) compiles either way.
+    include!("types.rs");
+}
+
+#[cfg(all(test, feature = "noop"))]
+mod noop_tests {
+    #[test]
+    fn noop_build_records_nothing_and_snapshot_is_empty() {
+        super::set_level(2);
+        super::count("t.noop", 1);
+        super::observe("t.noop", 1);
+        let _span = super::span("t.noop.span");
+        let snap = super::snapshot();
+        assert_eq!(super::level(), 0);
+        assert!(snap.counters.is_empty() && snap.spans.is_empty());
+    }
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The registry is process-global; serialise unit tests touching it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_level(1);
+        reset();
+        count("t.counter", 3);
+        count("t.counter", 4);
+        count("t.zero", 0); // delta 0 must not create an entry
+        gauge_max("t.gauge", 9);
+        gauge_max("t.gauge", 2);
+        observe("t.hist", 0);
+        observe("t.hist", 1);
+        observe("t.hist", 1023);
+        let snap = snapshot();
+        assert_eq!(snap.counter("t.counter"), 7);
+        assert_eq!(snap.counter("t.zero"), 0);
+        assert!(!snap.counters.contains_key("t.zero"));
+        assert_eq!(snap.gauge("t.gauge"), 9);
+        let hist = snap.histogram("t.hist").expect("histogram recorded");
+        assert_eq!(hist.count, 3);
+        assert_eq!(hist.sum, 1024);
+        assert_eq!(hist.buckets[0], 1); // value 0
+        assert_eq!(hist.buckets[1], 1); // value 1
+        assert_eq!(hist.buckets[10], 1); // 1023 ∈ [512, 1024)
+        set_level(0);
+        reset();
+    }
+
+    #[test]
+    fn level_zero_records_nothing() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_level(0);
+        reset();
+        count("t.off", 1);
+        gauge_max("t.off", 1);
+        observe("t.off", 1);
+        {
+            let _span = span("t.off.span");
+        }
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn spans_need_level_two_and_attribute_self_time() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_level(1);
+        reset();
+        {
+            let _span = span("t.span.l1");
+        }
+        assert!(snapshot().spans.is_empty(), "no spans at level 1");
+
+        set_level(2);
+        reset();
+        {
+            let _outer = span("t.span.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("t.span.inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let snap = snapshot();
+        let outer = snap.spans["t.span.outer"];
+        let inner = snap.spans["t.span.inner"];
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert_eq!(inner.total_ns, inner.self_ns, "leaf span owns its time");
+        assert!(
+            outer.self_ns <= outer.total_ns.saturating_sub(inner.total_ns),
+            "child time is excluded from the parent's self time"
+        );
+        set_level(0);
+        reset();
+    }
+
+    #[test]
+    fn jsonl_is_sorted_and_excludes_timing_when_deterministic() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_level(2);
+        reset();
+        count("t.b", 2);
+        count("t.a", 1);
+        gauge_max("t.g", 5);
+        observe("t.h", 7);
+        {
+            let _span = span("t.s");
+        }
+        let snap = snapshot();
+        let det = snap.deterministic_jsonl();
+        let a = det.find("\"t.a\"").expect("t.a present");
+        let b = det.find("\"t.b\"").expect("t.b present");
+        assert!(a < b, "counters are emitted in sorted order");
+        assert!(
+            !det.contains("\"span\""),
+            "deterministic output has no spans"
+        );
+        assert!(!det.contains("_ns"), "deterministic output has no timings");
+        assert!(
+            snap.to_jsonl().contains("\"span\""),
+            "full output has spans"
+        );
+        set_level(0);
+        reset();
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-thread shards and the merge into a deterministic [`Snapshot`].
+//!
+//! Each thread records into its own `Mutex<Shard>` — uncontended in
+//! steady state, so a flush costs one atomic CAS pair — and registers the
+//! shard in a process-global list on first use. [`snapshot`] visits every
+//! shard (including those of threads that have since exited) and merges
+//! with order-independent operators: counters and histograms by sum,
+//! gauges by max. The result is a pure function of the recorded event
+//! multiset, never of thread scheduling.
+
+include!("types.rs");
+
+use std::cell::OnceCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[derive(Default)]
+struct Shard {
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, u64>,
+    histograms: HashMap<String, Histogram>,
+    spans: HashMap<String, SpanStat>,
+}
+
+impl Shard {
+    fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+        self.spans.clear();
+    }
+}
+
+static SHARDS: OnceLock<Mutex<Vec<Arc<Mutex<Shard>>>>> = OnceLock::new();
+
+fn shard_list() -> &'static Mutex<Vec<Arc<Mutex<Shard>>>> {
+    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: OnceCell<Arc<Mutex<Shard>>> = const { OnceCell::new() };
+}
+
+fn with_local(f: impl FnOnce(&mut Shard)) {
+    LOCAL.with(|cell| {
+        let shard = cell.get_or_init(|| {
+            let shard = Arc::new(Mutex::new(Shard::default()));
+            let mut list = shard_list().lock().unwrap_or_else(|e| e.into_inner());
+            list.push(Arc::clone(&shard));
+            shard
+        });
+        let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut guard);
+    });
+}
+
+fn bump(map: &mut HashMap<String, u64>, name: &str, delta: u64) {
+    if let Some(v) = map.get_mut(name) {
+        *v += delta;
+    } else {
+        map.insert(name.to_owned(), delta);
+    }
+}
+
+pub(crate) fn count(name: &str, delta: u64) {
+    with_local(|shard| bump(&mut shard.counters, name, delta));
+}
+
+pub(crate) fn gauge_max(name: &str, value: u64) {
+    with_local(|shard| {
+        if let Some(v) = shard.gauges.get_mut(name) {
+            *v = (*v).max(value);
+        } else {
+            shard.gauges.insert(name.to_owned(), value);
+        }
+    });
+}
+
+pub(crate) fn observe(name: &str, value: u64) {
+    with_local(|shard| {
+        if let Some(hist) = shard.histograms.get_mut(name) {
+            hist.record(value);
+        } else {
+            let mut hist = Histogram::default();
+            hist.record(value);
+            shard.histograms.insert(name.to_owned(), hist);
+        }
+    });
+}
+
+pub(crate) fn observe_each<I: IntoIterator<Item = u64>>(name: &str, values: I) {
+    let mut values = values.into_iter().peekable();
+    if values.peek().is_none() {
+        return; // no events, no entry
+    }
+    with_local(|shard| {
+        if !shard.histograms.contains_key(name) {
+            shard
+                .histograms
+                .insert(name.to_owned(), Histogram::default());
+        }
+        let hist = shard.histograms.get_mut(name).expect("just inserted");
+        for value in values {
+            hist.record(value);
+        }
+    });
+}
+
+pub(crate) fn span_record(name: &str, total_ns: u64, self_ns: u64) {
+    with_local(|shard| {
+        let stat = shard.spans.entry(name.to_owned()).or_default();
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(total_ns);
+        stat.self_ns = stat.self_ns.saturating_add(self_ns);
+    });
+}
+
+/// Merge every shard into one snapshot. Order-independent by
+/// construction: sums for counters/histograms/spans, max for gauges,
+/// sorted maps for emission.
+pub fn snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    let list = shard_list().lock().unwrap_or_else(|e| e.into_inner());
+    for shard in list.iter() {
+        let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+        for (name, value) in &shard.counters {
+            *snap.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &shard.gauges {
+            let slot = snap.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*value);
+        }
+        for (name, hist) in &shard.histograms {
+            snap.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+        for (name, span) in &shard.spans {
+            let stat = snap.spans.entry(name.clone()).or_default();
+            stat.count += span.count;
+            stat.total_ns = stat.total_ns.saturating_add(span.total_ns);
+            stat.self_ns = stat.self_ns.saturating_add(span.self_ns);
+        }
+    }
+    snap
+}
+
+/// Clear every live shard and drop shards whose thread has exited (their
+/// only remaining reference is the registry's).
+pub fn reset() {
+    let mut list = shard_list().lock().unwrap_or_else(|e| e.into_inner());
+    list.retain(|shard| Arc::strong_count(shard) > 1);
+    for shard in list.iter() {
+        shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}

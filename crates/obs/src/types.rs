@@ -1,0 +1,166 @@
+// Snapshot data model + hand-rolled JSON-lines emission. Included (via
+// `include!`) by the active registry and by the `noop` stub so the types
+// exist — with identical shapes — under either compilation mode.
+
+/// Number of histogram buckets: bucket 0 for the value zero, buckets
+/// `1..=64` for `[2^(b-1), 2^b)`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Fixed-bucket log2 histogram with exact count and wrapping sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Total number of observed values.
+    pub count: u64,
+    /// Wrapping sum of observed values (exact unless it overflows u64).
+    pub sum: u64,
+    /// Per-bucket counts; invariant: they sum to `count`.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value: 0 for 0, else `1 + floor(log2 value)`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Element-wise merge; used when aggregating per-thread shards.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+    }
+}
+
+/// Aggregated wall-clock statistics for one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall-clock nanoseconds, children included.
+    pub total_ns: u64,
+    /// Nanoseconds not attributed to child spans.
+    pub self_ns: u64,
+}
+
+/// Deterministic merged view of every thread's shard. Map iteration is
+/// sorted by name, so emission order never depends on thread timing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter sums by name.
+    pub counters: std::collections::BTreeMap<String, u64>,
+    /// High-water-mark gauges by name (merged with `max`).
+    pub gauges: std::collections::BTreeMap<String, u64>,
+    /// Histograms by name (merged element-wise).
+    pub histograms: std::collections::BTreeMap<String, Histogram>,
+    /// Span timings by name; only populated at level 2.
+    pub spans: std::collections::BTreeMap<String, SpanStat>,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Snapshot {
+    /// Counter value, or 0 when the name was never recorded.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, or 0 when the name was never recorded.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    fn emit_metrics(&self, out: &mut String) {
+        for (name, value) in &self.counters {
+            out.push_str("{\"kind\":\"counter\",\"name\":");
+            push_json_str(out, name);
+            out.push_str(&format!(",\"value\":{value}}}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str("{\"kind\":\"gauge\",\"name\":");
+            push_json_str(out, name);
+            out.push_str(&format!(",\"value\":{value}}}\n"));
+        }
+        for (name, hist) in &self.histograms {
+            out.push_str("{\"kind\":\"histogram\",\"name\":");
+            push_json_str(out, name);
+            out.push_str(&format!(
+                ",\"count\":{},\"sum\":{},\"buckets\":{{",
+                hist.count, hist.sum
+            ));
+            let mut first = true;
+            for (bucket, n) in hist.buckets.iter().enumerate().filter(|(_, n)| **n > 0) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\"{bucket}\":{n}"));
+            }
+            out.push_str("}}\n");
+        }
+    }
+
+    /// JSON-lines of counters, gauges and histograms only — everything
+    /// that is a pure function of the event stream. Safe to diff against
+    /// a golden file; spans (wall-clock) are deliberately excluded.
+    pub fn deterministic_jsonl(&self) -> String {
+        let mut out = String::new();
+        self.emit_metrics(&mut out);
+        out
+    }
+
+    /// Full JSON-lines including span timings.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        self.emit_metrics(&mut out);
+        for (name, span) in &self.spans {
+            out.push_str("{\"kind\":\"span\",\"name\":");
+            push_json_str(&mut out, name);
+            out.push_str(&format!(
+                ",\"count\":{},\"total_ns\":{},\"self_ns\":{}}}\n",
+                span.count, span.total_ns, span.self_ns
+            ));
+        }
+        out
+    }
+}

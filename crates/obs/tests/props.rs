@@ -1,0 +1,132 @@
+//! Registry invariants under arbitrary event streams:
+//!
+//! - a histogram's bucket counts always sum to its event count, and its
+//!   `sum` matches the exact wrapping sum of the recorded values;
+//! - replaying one event stream split across several threads produces
+//!   exactly the snapshot of the single-threaded replay — the merge
+//!   (sum for counters/histograms, max for gauges) loses nothing and
+//!   never depends on which thread recorded what.
+
+use check::prelude::*;
+use std::sync::Mutex;
+
+/// The registry is process-global; every case locks it.
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// One recorded event, decoded from three arbitrary u64 draws.
+#[derive(Debug, Clone)]
+enum Op {
+    Count(&'static str, u64),
+    Gauge(&'static str, u64),
+    Observe(&'static str, u64),
+}
+
+const NAMES: [&str; 3] = ["p.alpha", "p.beta", "p.gamma"];
+
+fn decode(raw: &[(u64, u64, u64)]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(kind, name, value)| {
+            let name = NAMES[(name % 3) as usize];
+            match kind % 3 {
+                0 => Op::Count(name, value % 1000),
+                1 => Op::Gauge(name, value % 1000),
+                _ => Op::Observe(name, value),
+            }
+        })
+        .collect()
+}
+
+fn apply(op: &Op) {
+    match *op {
+        Op::Count(name, delta) => obs::count(name, delta),
+        Op::Gauge(name, value) => obs::gauge_max(name, value),
+        Op::Observe(name, value) => obs::observe(name, value),
+    }
+}
+
+fn replay_single(ops: &[Op]) -> obs::Snapshot {
+    obs::reset();
+    for op in ops {
+        apply(op);
+    }
+    let snap = obs::snapshot();
+    obs::reset();
+    snap
+}
+
+fn replay_sharded(ops: &[Op], shards: usize) -> obs::Snapshot {
+    obs::reset();
+    std::thread::scope(|scope| {
+        for chunk in ops.chunks(ops.len().div_ceil(shards).max(1)) {
+            scope.spawn(move || {
+                for op in chunk {
+                    apply(op);
+                }
+            });
+        }
+    });
+    let snap = obs::snapshot();
+    obs::reset();
+    snap
+}
+
+props! {
+    #![cases(32)]
+
+    #[test]
+    fn histogram_buckets_sum_to_count_and_sum_is_exact(values in vec(any::<u64>(), 0..200)) {
+        let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        obs::set_level(1);
+        obs::reset();
+        for &v in &values {
+            obs::observe("p.hist", v);
+        }
+        let snap = obs::snapshot();
+        obs::set_level(0);
+        obs::reset();
+        if values.is_empty() {
+            prop_assert!(snap.histogram("p.hist").is_none());
+        } else {
+            let hist = snap.histogram("p.hist").expect("recorded");
+            prop_assert_eq!(hist.count, values.len() as u64);
+            prop_assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count);
+            let expected: u64 = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+            prop_assert_eq!(hist.sum, expected);
+            // Every value landed in its own log2 bucket.
+            for &v in &values {
+                prop_assert!(hist.buckets[obs::Histogram::bucket_of(v)] > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn observe_each_equals_per_value_observe(values in vec(any::<u64>(), 0..200)) {
+        let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        obs::set_level(1);
+        obs::reset();
+        for &v in &values {
+            obs::observe("p.hist", v);
+        }
+        let one_by_one = obs::snapshot();
+        obs::reset();
+        obs::observe_each("p.hist", values.iter().copied());
+        let batched = obs::snapshot();
+        obs::set_level(0);
+        obs::reset();
+        prop_assert_eq!(batched, one_by_one);
+    }
+
+    #[test]
+    fn sharded_replay_merges_to_the_single_threaded_snapshot(
+        raw in vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..150),
+        shards in 2usize..5,
+    ) {
+        let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let ops = decode(&raw);
+        obs::set_level(1);
+        let single = replay_single(&ops);
+        let sharded = replay_sharded(&ops, shards);
+        obs::set_level(0);
+        prop_assert_eq!(sharded, single);
+    }
+}

@@ -152,13 +152,27 @@ fn run_chunked(n: usize, chunk: usize, process: &(dyn Fn(usize, Range<usize>) + 
         }
         return;
     }
+    obs::count("par.tasks_dispatched", num_chunks as u64);
     let cursor = AtomicUsize::new(0);
-    pool::run(threads - 1, &|| loop {
-        let c = cursor.fetch_add(1, Ordering::Relaxed);
-        if c >= num_chunks {
-            return;
+    pool::run(threads - 1, &|| {
+        // Steal accounting is batched per enlisted thread and flushed once
+        // per region, so observability costs one shard lock — not one per
+        // chunk — and level 0 pays only the branch below.
+        let mut grabbed = 0u64;
+        loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= num_chunks {
+                break;
+            }
+            process(c, range_of(c));
+            grabbed += 1;
         }
-        process(c, range_of(c));
+        if grabbed > 0 && obs::enabled() {
+            obs::count(
+                &format!("par.pool.chunks.{}", pool::thread_label()),
+                grabbed,
+            );
+        }
     });
 }
 
@@ -190,6 +204,9 @@ pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U>
     // Slot `i` is `f(i)` whichever path runs, so the plain collect is the
     // same value — without the chunk dispatch or the uninit buffer.
     if n < sequential_threshold() || threads() <= 1 {
+        if n > 0 && n < sequential_threshold() {
+            obs::count("par.sequential_fallback", 1);
+        }
         return (0..n).map(f).collect();
     }
     let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
@@ -241,6 +258,9 @@ pub fn par_index_reduce<A: Send>(
     // Same chunk boundaries, same left fold — just mapped and merged in
     // one pass on the calling thread, skipping the slot vector.
     if n < sequential_threshold() || threads() <= 1 {
+        if n < sequential_threshold() {
+            obs::count("par.sequential_fallback", 1);
+        }
         let size = chunk_size(n, chunk);
         let mut acc: Option<A> = None;
         for c in 0..num_chunks {

@@ -21,6 +21,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 thread_local! {
     static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    static WORKER_ID: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
 }
 
 /// True on pool worker threads. Parallel entry points consult this to run
@@ -28,6 +29,16 @@ thread_local! {
 /// wait on a job queued behind the very job it is executing.
 pub(crate) fn in_pool() -> bool {
     IN_POOL.with(std::cell::Cell::get)
+}
+
+/// Stable observability label for the executing thread: `w00`, `w01`, …
+/// on pool workers, `caller` on every other thread. Worker ids are spawn
+/// order, which is deterministic (workers are only ever appended).
+pub(crate) fn thread_label() -> String {
+    match WORKER_ID.with(std::cell::Cell::get) {
+        usize::MAX => "caller".to_owned(),
+        id => format!("w{id:02}"),
+    }
 }
 
 /// Completion latch plus a panic flag shared by one parallel region.
@@ -52,6 +63,7 @@ fn spawn_worker(id: usize) -> Sender<Job> {
         .name(format!("tdf-par-{id}"))
         .spawn(move || {
             IN_POOL.with(|f| f.set(true));
+            WORKER_ID.with(|w| w.set(id));
             worker_loop(&rx);
         })
         .expect("spawn tdf-par worker");

@@ -24,6 +24,11 @@ pub struct CostReport {
     /// Record-level operations performed by all servers combined
     /// (XORs of records or modular multiplications).
     pub server_ops: u64,
+    /// Packed mask words scanned by all servers combined — the analytical
+    /// prediction of the same quantity the `pir.words_scanned` counter
+    /// (`tdf-obs`) measures at the scan sites. Zero for schemes without
+    /// packed masks (trivial download, computational PIR).
+    pub words_scanned: u64,
     /// Number of servers contacted.
     pub servers: u32,
 }
@@ -42,9 +47,37 @@ impl Add for CostReport {
             uplink_bits: self.uplink_bits + rhs.uplink_bits,
             downlink_bits: self.downlink_bits + rhs.downlink_bits,
             server_ops: self.server_ops + rhs.server_ops,
+            words_scanned: self.words_scanned + rhs.words_scanned,
             servers: self.servers.max(rhs.servers),
         }
     }
+}
+
+/// Words scanned by a `k`-server linear retrieval over `n` records: each
+/// server sweeps its whole packed `n`-bit mask once.
+pub fn linear_scan_words(k: usize, n: usize) -> u64 {
+    (k * words_for(n)) as u64
+}
+
+/// Words scanned by the two-server square scheme with side `s`: each
+/// server re-scans its packed `s`-bit row mask once per column.
+pub fn square_scan_words(s: usize) -> u64 {
+    (2 * s * words_for(s)) as u64
+}
+
+/// Words scanned by *one* cube server whose per-axis subsets have the
+/// given popcounts: the sub-box enumeration visits axis `a` once per
+/// combination of chosen positions on axes `0..a` (the product of their
+/// popcounts — one visit for `a = 0`), and every visit sweeps that axis's
+/// packed `s`-bit subset once.
+pub fn cube_scan_words(s: usize, popcounts: &[u64]) -> u64 {
+    let mut scans = 0u64;
+    let mut combos = 1u64;
+    for &pc in popcounts {
+        scans += combos;
+        combos *= pc;
+    }
+    scans * words_for(s) as u64
 }
 
 impl AddAssign for CostReport {
@@ -56,6 +89,24 @@ impl AddAssign for CostReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scan_word_models() {
+        // Linear: every server sweeps ⌈n/64⌉ words once.
+        assert_eq!(linear_scan_words(2, 64), 2);
+        assert_eq!(linear_scan_words(3, 65), 6);
+        // Square: 2 servers × s column scans of ⌈s/64⌉ words.
+        assert_eq!(square_scan_words(8), 16);
+        assert_eq!(square_scan_words(70), 280);
+        // Cube, one server: axis 0 scanned once, axis 1 once per set bit
+        // of axis 0, and so on.
+        assert_eq!(cube_scan_words(8, &[3]), 1);
+        assert_eq!(cube_scan_words(8, &[3, 5]), 1 + 3);
+        assert_eq!(cube_scan_words(8, &[3, 5, 2]), 1 + 3 + 15);
+        assert_eq!(cube_scan_words(100, &[3, 5]), (1 + 3) * 2);
+        // A zero popcount prunes every deeper visit.
+        assert_eq!(cube_scan_words(8, &[0, 9]), 1);
+    }
 
     #[test]
     fn packed_mask_rounds_to_words() {
@@ -72,17 +123,20 @@ mod tests {
             uplink_bits: 10,
             downlink_bits: 20,
             server_ops: 5,
+            words_scanned: 40,
             servers: 2,
         };
         let b = CostReport {
             uplink_bits: 1,
             downlink_bits: 2,
             server_ops: 3,
+            words_scanned: 4,
             servers: 1,
         };
         let c = a + b;
         assert_eq!(c.total_bits(), 33);
         assert_eq!(c.server_ops, 8);
+        assert_eq!(c.words_scanned, 44);
         assert_eq!(c.servers, 2);
         let mut acc = CostReport::default();
         acc += a;

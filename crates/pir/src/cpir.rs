@@ -74,6 +74,7 @@ pub fn retrieve_bit<R: Rng + ?Sized>(
         uplink_bits: s as u64 * modulus_bits,
         downlink_bits: s as u64 * modulus_bits,
         server_ops,
+        words_scanned: 0,
         servers: 1,
     };
     (bit, ServerView::Ciphertexts(s), cost)

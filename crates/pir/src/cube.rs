@@ -72,6 +72,7 @@ pub fn retrieve<R: Rng + ?Sized>(
         // implicit zero padding).
         let mut answer = vec![0u8; db.record_size()];
         let mut ops = 0u64;
+        let mut scanned = 0u64;
         let mut stack = vec![(0usize, 0usize)]; // (axis, partial index)
         while let Some((axis, partial)) = stack.pop() {
             if axis == d as usize {
@@ -84,34 +85,43 @@ pub fn retrieve<R: Rng + ?Sized>(
                 continue;
             }
             let stride = s.pow(axis as u32);
+            scanned += subsets[axis].words().len() as u64;
             for pos in subsets[axis].ones() {
                 stack.push((axis + 1, partial + pos * stride));
             }
         }
+        obs::count("pir.words_scanned", scanned);
+        // The analytical model for this server's sweep count, from the
+        // subset popcounts; `cost.rs` tests pin measured == predicted.
+        let popcounts: Vec<u64> = subsets.iter().map(BitVec::count_ones).collect();
+        let predicted = crate::cost::cube_scan_words(s, &popcounts);
         // The server's whole view is its d subsets, concatenated into one
         // packed mask.
         let mut view = BitVec::zeros(0);
         for sub in &subsets {
             view.extend_from(sub);
         }
-        (answer, view, ops)
+        (answer, view, ops, predicted)
     });
 
     let mut acc = vec![0u8; db.record_size()];
     let mut views = Vec::with_capacity(servers);
     let mut server_ops = 0u64;
-    for (answer, view, ops) in per_server {
+    let mut words_scanned = 0u64;
+    for (answer, view, ops, predicted) in per_server {
         for (a, b) in acc.iter_mut().zip(&answer) {
             *a ^= b;
         }
         views.push(ServerView::Mask(view));
         server_ops += ops;
+        words_scanned += predicted;
     }
 
     let cost = CostReport {
         uplink_bits: packed_mask_bits(servers, d as usize * s),
         downlink_bits: (servers * db.record_size() * 8) as u64,
         server_ops,
+        words_scanned,
         servers: servers as u32,
     };
     (acc, views, cost)

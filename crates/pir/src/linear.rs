@@ -73,6 +73,11 @@ pub fn retrieve<R: Rng + ?Sized>(
     // Each replica computes its answer independently; fold in server
     // order on the client so the result does not depend on scheduling.
     let answers = par::par_map(&q.shares, |s| db.xor_selected(s));
+    // One flush for the k whole-mask sweeps `xor_selected` just did.
+    obs::count(
+        "pir.words_scanned",
+        q.shares.iter().map(|s| s.words().len() as u64).sum(),
+    );
     let mut acc = vec![0u8; db.record_size()];
     for answer in &answers {
         for (a, b) in acc.iter_mut().zip(answer) {
@@ -88,6 +93,7 @@ pub fn retrieve<R: Rng + ?Sized>(
         uplink_bits: packed_mask_bits(k, db.len()),
         downlink_bits: (k * db.record_size() * 8) as u64,
         server_ops: q.shares.iter().map(BitVec::count_ones).sum(),
+        words_scanned: crate::cost::linear_scan_words(k, db.len()),
         servers: k as u32,
     };
     (acc, views, cost)

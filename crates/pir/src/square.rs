@@ -35,7 +35,7 @@ pub fn retrieve<R: Rng + ?Sized>(
 
     let answer = |mask: &BitVec| -> Vec<Vec<u8>> {
         // Per column: XOR of the records in selected rows.
-        (0..s)
+        let out: Vec<Vec<u8>> = (0..s)
             .map(|c| {
                 let mut acc = vec![0u8; db.record_size()];
                 for r in mask.ones() {
@@ -48,7 +48,10 @@ pub fn retrieve<R: Rng + ?Sized>(
                 }
                 acc
             })
-            .collect()
+            .collect();
+        // One flush per server: the row mask was re-swept once per column.
+        obs::count("pir.words_scanned", (s * mask.words().len()) as u64);
+        out
     };
 
     // The two replicas answer independently; collect in server order.
@@ -68,6 +71,7 @@ pub fn retrieve<R: Rng + ?Sized>(
         uplink_bits: packed_mask_bits(2, s),
         downlink_bits: 2 * (s * db.record_size() * 8) as u64,
         server_ops: ops,
+        words_scanned: crate::cost::square_scan_words(s),
         servers: 2,
     };
     (

@@ -72,6 +72,9 @@ impl Database {
     /// optimiser keeps in registers across the whole scan.
     pub fn xor_selected(&self, mask: &BitVec) -> Vec<u8> {
         assert_eq!(mask.len(), self.len, "mask arity mismatch");
+        // Every path below sweeps the whole packed mask exactly once; the
+        // caller tallies that sweep into `pir.words_scanned` (batched per
+        // retrieval — this inner scan is too hot for a per-call write).
         let rs = self.record_size;
         let acc = match rs {
             8 => Some(fold_words::<1>(&self.data, mask).to_vec()),

@@ -16,6 +16,7 @@ pub fn retrieve(db: &Database, index: usize) -> (Vec<u8>, ServerView, CostReport
         uplink_bits: 1,
         downlink_bits: (db.len() * db.record_size() * 8) as u64,
         server_ops: db.len() as u64,
+        words_scanned: 0,
         servers: 1,
     };
     (record, ServerView::FullDownload, cost)

@@ -1,0 +1,72 @@
+//! The measured `pir.words_scanned` counter must equal the analytical
+//! `CostReport::words_scanned` prediction, exactly, for every protocol
+//! and database size — the observability layer and the cost model are
+//! two independent derivations of the same quantity (the counter tallies
+//! actual mask sweeps at the scan sites; the model computes them from
+//! `n`, `k`, `d` and the drawn subset popcounts).
+
+use rngkit::SeedableRng;
+use tdf_pir::store::Database;
+
+fn db(n: usize) -> Database {
+    Database::new(
+        (0..n)
+            .map(|i| vec![i as u8, (i >> 8) as u8, 0x5A])
+            .collect(),
+    )
+}
+
+fn measured(run: impl FnOnce()) -> u64 {
+    obs::reset();
+    run();
+    let counted = obs::snapshot().counter("pir.words_scanned");
+    obs::reset();
+    counted
+}
+
+#[test]
+fn words_scanned_counter_matches_cost_model_exactly() {
+    obs::set_level(1);
+    for n in [64usize, 1000, 4096] {
+        let db = db(n);
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(n as u64);
+        let index = n / 3;
+
+        for k in [2usize, 3] {
+            let mut cost = None;
+            let counted = measured(|| {
+                cost = Some(tdf_pir::linear::retrieve(&mut rng, &db, k, index).2);
+            });
+            let cost = cost.expect("retrieval ran");
+            assert_eq!(counted, cost.words_scanned, "linear k={k} n={n}");
+            assert_eq!(
+                cost.words_scanned,
+                tdf_pir::cost::linear_scan_words(k, n),
+                "linear model k={k} n={n}"
+            );
+        }
+
+        let mut cost = None;
+        let counted = measured(|| {
+            cost = Some(tdf_pir::square::retrieve(&mut rng, &db, index).2);
+        });
+        assert_eq!(
+            counted,
+            cost.expect("retrieval ran").words_scanned,
+            "square n={n}"
+        );
+
+        for d in [2u32, 3] {
+            let mut cost = None;
+            let counted = measured(|| {
+                cost = Some(tdf_pir::cube::retrieve(&mut rng, &db, d, index).2);
+            });
+            assert_eq!(
+                counted,
+                cost.expect("retrieval ran").words_scanned,
+                "cube d={d} n={n}"
+            );
+        }
+    }
+    obs::set_level(0);
+}

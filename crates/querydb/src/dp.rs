@@ -72,6 +72,23 @@ impl DpPolicy {
 
     /// Answers one evaluated query under ε-DP.
     pub fn apply(&mut self, _data: &Dataset, query: &Query, eval: &Evaluation) -> Answer {
+        let answer = self.answer(query, eval);
+        match &answer {
+            Answer::Refused(_) => obs::count("querydb.dp.refusals", 1),
+            _ => {
+                obs::count("querydb.dp.answers", 1);
+                // The ε ledger is exported in micro-ε so it stays an exact,
+                // sum-mergeable integer counter.
+                obs::count(
+                    "querydb.dp.epsilon_spent_micro",
+                    (self.epsilon_per_query * 1e6).round() as u64,
+                );
+            }
+        }
+        answer
+    }
+
+    fn answer(&mut self, query: &Query, eval: &Evaluation) -> Answer {
         if self.spent + self.epsilon_per_query > self.budget + 1e-12 {
             return Answer::Refused("privacy budget exhausted");
         }

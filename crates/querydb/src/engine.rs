@@ -30,6 +30,9 @@ pub fn evaluate(data: &Dataset, query: &Query) -> Result<Evaluation> {
 
     // Attribute names are resolved to column views once; the per-row scan
     // below then reads cells straight out of the columnar storage.
+    let _span = obs::span("querydb.evaluate");
+    obs::count("querydb.queries", 1);
+    obs::count("querydb.rows_scanned", data.num_rows() as u64);
     let compiled = CompiledPredicate::compile(&query.predicate, data)?;
     let mut query_set = Vec::new();
     for i in 0..data.num_rows() {

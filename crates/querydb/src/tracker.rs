@@ -50,6 +50,7 @@ pub fn general_tracker_attack(
     target: &Predicate,
     tracker: &Predicate,
 ) -> Result<TrackerOutcome> {
+    obs::count("querydb.tracker.attacks", 1);
     let mut refused = 0usize;
     let mut values = Vec::with_capacity(4);
     let probes = [
@@ -70,6 +71,7 @@ pub fn general_tracker_attack(
     } else {
         None
     };
+    obs::count("querydb.tracker.refused", refused as u64);
     Ok(TrackerOutcome {
         inferred,
         queries_issued: 4,

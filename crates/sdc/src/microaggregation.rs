@@ -42,41 +42,53 @@ pub fn mdav_microaggregate(
     k: usize,
 ) -> Result<MicroaggregationResult> {
     validate(data, cols, k)?;
+    let _span = obs::span("sdc.mdav");
     let std = Standardizer::fit(data, cols);
     let points = standardized_points(data, &std);
 
     let mut active = ActiveSet::all_of(&points);
     let mut groups: Vec<Vec<usize>> = Vec::new();
+    // Scan tallies accumulated locally and flushed once per run — the
+    // distance loop is too hot for a per-scan registry write. Each
+    // distance scan fills one squared distance per live record.
+    let mut fills = 0u64;
+    let mut skips = 0u64;
 
     while active.len() >= 3 * k {
         let centroid = active.centroid();
         // r: farthest record from the centroid; s: farthest from r. The
         // anchor-r distances are computed once and reused to carve r's
         // group below.
+        fills += 2 * active.len() as u64; // the farthest scan and d_r
         let r = active.ids[active.farthest(&centroid)];
         let d_r = active.distances_to(points.point(r));
         let s = active.ids[argmax(&d_r)];
 
-        let group_r = k_nearest(&active.ids, &d_r, k);
+        let group_r = k_nearest(&active.ids, &d_r, k, &mut skips);
         active.remove(&group_r);
         groups.push(group_r);
 
+        fills += active.len() as u64;
         let d_s = active.distances_to(points.point(s));
-        let group_s = k_nearest(&active.ids, &d_s, k);
+        let group_s = k_nearest(&active.ids, &d_s, k, &mut skips);
         active.remove(&group_s);
         groups.push(group_s);
     }
     if active.len() >= 2 * k {
         let centroid = active.centroid();
+        fills += 2 * active.len() as u64;
         let r = active.ids[active.farthest(&centroid)];
         let d_r = active.distances_to(points.point(r));
-        let group = k_nearest(&active.ids, &d_r, k);
+        let group = k_nearest(&active.ids, &d_r, k, &mut skips);
         active.remove(&group);
         groups.push(group);
     }
     if !active.is_empty() {
         groups.push(active.ids);
     }
+    obs::count("sdc.mdav.groups", groups.len() as u64);
+    obs::count("sdc.mdav.distance_fills", fills);
+    obs::count("sdc.mdav.block_skips", skips);
 
     Ok(finish(data, cols, points, groups))
 }
@@ -289,7 +301,9 @@ fn argmax(values: &[f64]) -> usize {
 /// comparisons. Blocks containing a NaN are never skipped — NaN
 /// candidates compare `PartialOrd`-false against the cutoff and *are*
 /// inserted by the element loop, which the skip must not short-circuit.
-fn k_nearest(remaining: &[usize], dists: &[f64], k: usize) -> Vec<usize> {
+/// Skipped blocks are tallied into `skips` (the caller flushes the
+/// `sdc.mdav.block_skips` counter once per run).
+fn k_nearest(remaining: &[usize], dists: &[f64], k: usize, skips: &mut u64) -> Vec<usize> {
     const BLOCK: usize = 32;
     let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
     let mut p = 0usize;
@@ -308,6 +322,7 @@ fn k_nearest(remaining: &[usize], dists: &[f64], k: usize) -> Vec<usize> {
             }
             if bmin > cutoff && !has_nan {
                 p += bl;
+                *skips += 1;
                 continue;
             }
         }
@@ -402,6 +417,10 @@ fn finish(
     points: Points,
     groups: Vec<Vec<usize>>,
 ) -> MicroaggregationResult {
+    obs::observe_each(
+        "sdc.microagg.group_size",
+        groups.iter().map(|members| members.len() as u64),
+    );
     let mut out = data.clone();
     // Raw-space centroid per column (means of original values), computed
     // over the contiguous column image and written straight into float

@@ -50,10 +50,17 @@ pub fn record_linkage_rate(original: &Dataset, masked: &Dataset, qi_cols: &[usiz
     // Each respondent's linkage outcome is independent of the others:
     // compute the per-row expected-hit contributions in parallel and sum
     // them in row order, so the total is identical at any thread count.
+    let _span = obs::span("sdc.linkage");
+    obs::count(
+        "sdc.linkage.candidate_pairs",
+        (original.num_rows() * masked_pts.len()) as u64,
+    );
     let contributions = par::par_map_range(original.num_rows(), |i| {
         let target = original_pts.point(i);
         let mut best = f64::INFINITY;
         let mut ties: Vec<usize> = Vec::new();
+        // Pruning is tallied per row; the caller sums and flushes once.
+        let mut pruned = 0u64;
         if masked_pts.dim() == 0 {
             // Degenerate zero-column scan: every distance is 0.0, so every
             // record ties (`chunks_exact(0)` below would panic).
@@ -114,17 +121,24 @@ pub fn record_linkage_rate(original: &Dataset, masked: &Dataset, qi_cols: &[usiz
                             ties.push(base + t);
                         }
                     }
+                } else {
+                    pruned += bl as u64;
                 }
                 base += bl;
             }
         }
-        if ties.contains(&i) {
+        let hit = if ties.contains(&i) {
             1.0 / ties.len() as f64
         } else {
             0.0
-        }
+        };
+        (hit, pruned)
     });
-    let expected_hits: f64 = contributions.iter().sum();
+    obs::count(
+        "sdc.linkage.pairs_pruned",
+        contributions.iter().map(|&(_, p)| p).sum(),
+    );
+    let expected_hits: f64 = contributions.iter().map(|&(h, _)| h).sum();
     Ok(expected_hits / original.num_rows() as f64)
 }
 
@@ -159,6 +173,8 @@ pub fn record_linkage_rate_mixed(
 
     // Same parallel shape as `record_linkage_rate`: independent rows,
     // order-preserving sum.
+    let _span = obs::span("sdc.linkage.mixed");
+    obs::count("sdc.linkage.candidate_pairs", (n * n) as u64);
     let contributions = par::par_map_range(n, |i| {
         let mut best = f64::INFINITY;
         let mut ties: Vec<usize> = Vec::new();

@@ -38,6 +38,8 @@ impl Transcript {
 
     /// Records a message.
     pub fn send(&mut self, from: PartyId, to: PartyId, tag: &'static str, payload: Vec<u64>) {
+        obs::count("smc.transcript.messages", 1);
+        obs::count("smc.transcript.bytes", 8 * payload.len() as u64);
         self.messages.push(Message {
             from,
             to,

@@ -20,7 +20,12 @@
 //! on [`par`], the in-tree deterministic fork/join layer: set `TDF_THREADS`
 //! to bound parallelism (`1` forces the serial path) — results are
 //! bit-identical at every thread count.
+//!
+//! Every kernel is instrumented through [`obs`], the zero-dependency
+//! observability layer: set `TDF_OBS=1` for counters/gauges/histograms or
+//! `TDF_OBS=2` to add spans; instrumentation never changes results.
 
+pub use obs;
 pub use par;
 pub use tdf_anonymity as anonymity;
 pub use tdf_core as core;

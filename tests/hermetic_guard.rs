@@ -94,7 +94,7 @@ fn workspace_dependency_table_is_all_paths() {
         }
     }
     assert!(
-        entries >= 13,
+        entries >= 14,
         "expected the in-tree crates in [workspace.dependencies]"
     );
 }
@@ -133,27 +133,65 @@ fn storage_crate_dependencies_are_frozen() {
     );
 }
 
+/// Names of the `[dependencies]` entries of one manifest.
+fn runtime_deps(manifest: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(manifest)
+        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+    let mut in_deps = false;
+    let mut deps = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if in_deps && line.contains('=') {
+            deps.push(
+                line.split(['=', '.'])
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .to_string(),
+            );
+        }
+    }
+    deps
+}
+
 #[test]
-fn par_crate_is_registered_and_dependency_free() {
-    // The fork/join substrate must stay in the workspace table and must
-    // itself pull in nothing (its whole point is std-only parallelism).
+fn par_crate_is_registered_and_its_dependencies_are_frozen() {
+    // The fork/join substrate must stay in the workspace table, and its
+    // runtime dependency set is frozen at exactly the in-tree
+    // observability crate (steal counters and dispatch accounting): a new
+    // entry here means std-only parallelism grew a dependency — revert it.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let table = std::fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
     assert!(
         table.contains("tdf-par = { path = \"crates/par\" }"),
         "tdf-par must be a [workspace.dependencies] path entry"
     );
-    let par = std::fs::read_to_string(root.join("crates/par/Cargo.toml")).expect("par manifest");
-    let mut in_deps = false;
-    for raw in par.lines() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.starts_with('[') {
-            in_deps = line == "[dependencies]";
-            continue;
-        }
-        assert!(
-            !(in_deps && line.contains('=')),
-            "crates/par must have no runtime dependencies, found: {line}"
-        );
-    }
+    assert_eq!(
+        runtime_deps(&root.join("crates/par/Cargo.toml")),
+        ["tdf-obs"],
+        "crates/par must depend only on the in-tree observability crate"
+    );
+}
+
+#[test]
+fn obs_crate_is_registered_and_dependency_free() {
+    // Every kernel crate links the observability layer, so a dependency
+    // added here would spread to the whole workspace. It must stay
+    // std-only — and in the workspace table so the path-only check above
+    // covers it.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let table = std::fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    assert!(
+        table.contains("tdf-obs = { path = \"crates/obs\" }"),
+        "tdf-obs must be a [workspace.dependencies] path entry"
+    );
+    assert_eq!(
+        runtime_deps(&root.join("crates/obs/Cargo.toml")),
+        Vec::<String>::new(),
+        "crates/obs must have no runtime dependencies"
+    );
 }
