@@ -70,12 +70,31 @@ step "cargo test --offline (TDF_THREADS=4, TDF_OBS=2)"
 # whole suite, and tests/prop_obs_inert.rs proves it changes no answer.
 TDF_THREADS=4 TDF_OBS=2 "$CARGO" test --workspace -q --offline
 
+step "fault matrix (TDF_FAULTS env path; see tests/fault_matrix.rs)"
+# The two runs above are the no-fault column. Here the plan arrives via
+# the environment — the path set_plan-based tests bypass. A zero-rate
+# plan over every site must leave the whole suite green (inertness,
+# end-to-end through the env parser), and live pir / par plans must
+# degrade the matrix pipeline to masked faults, refusals and typed
+# errors — never wrong answers.
+ZERO_RATE="pir.server_drop=4@0,pir.corrupt_word=4@0,par.worker_panic=2@0,querydb.deadline=5@0,smc.corrupt_word=3@0"
+PIR_FAULTS="pir.server_drop=0@0.3,pir.corrupt_word=0@0.2"
+PAR_FAULTS="par.worker_panic=0@0.05"
+TDF_FAULTS="$ZERO_RATE" TDF_THREADS=4 "$CARGO" test --workspace -q --offline
+for threads in 1 4; do
+  TDF_FAULTS="$PIR_FAULTS" TDF_THREADS="$threads" \
+    "$CARGO" test -q --offline --test fault_matrix
+  TDF_FAULTS="$PAR_FAULTS" TDF_THREADS="$threads" \
+    "$CARGO" test -q --offline --test fault_matrix
+done
+echo "ok"
+
 if [[ "$QUICK" -eq 0 ]]; then
   step "bench smoke run (tiny sample counts; validates BENCH_*.json)"
   rm -f crates/bench/BENCH_*.json
   TDF_BENCH_SAMPLES=3 TDF_BENCH_SAMPLE_MS=2 TDF_BENCH_WARMUP_MS=5 \
     "$CARGO" bench --offline -p tdf-bench >/dev/null
-  for suite in substrates ablations experiments par columnar obs; do
+  for suite in substrates ablations experiments par columnar obs faults; do
     json="crates/bench/BENCH_${suite}.json"
     [[ -s "$json" ]] || { echo "missing $json" >&2; exit 1; }
     grep -q '"median_ns"' "$json" || { echo "$json lacks median_ns" >&2; exit 1; }
@@ -95,6 +114,17 @@ if [[ "$QUICK" -eq 0 ]]; then
   "$CARGO" run --release --offline -q -p tdf-bench --bin obs_snapshot \
     | diff - ci/golden/obs_f1.jsonl \
     || { echo "obs snapshot drifted from ci/golden/obs_f1.jsonl" >&2; exit 1; }
+  echo "ok"
+
+  step "deterministic fault snapshot matches the golden file"
+  # Injection decisions are pure functions of (plan seed, site, draw
+  # index), so the fault report for a pinned plan is bit-stable. A drift
+  # means injection points moved, fired differently or stopped being
+  # counted; regenerate ci/golden/faults_f1.jsonl consciously (see
+  # crates/bench/src/bin/fault_snapshot.rs for the command).
+  "$CARGO" run --release --offline -q -p tdf-bench --bin fault_snapshot \
+    | diff - ci/golden/faults_f1.jsonl \
+    || { echo "fault snapshot drifted from ci/golden/faults_f1.jsonl" >&2; exit 1; }
   echo "ok"
 fi
 

@@ -1,0 +1,62 @@
+//! Robustness overhead benches: what fault tolerance costs when nothing
+//! faults. No plan is installed for any measurement, so every guard is on
+//! its fast path — this is the price paid on every healthy request.
+//!
+//! Paired ids, per EXPERIMENTS P3/P4 (the `*_guarded` median must stay
+//! within the noise floor of its `*_plain` twin, and redundant PIR within
+//! its 1× words budget at t faults = 0):
+//!
+//! * `pir_plain_2server` vs `pir_redundant_m6_t1` — checksum-verified
+//!   pairwise retrieval against the plain 2-server protocol it wraps;
+//! * `par_map_plain` vs `par_map_guarded` — `try_par_map_range`'s
+//!   panic-to-typed-error boundary against the plain entry point;
+//! * `querydb_eval_plain` vs `querydb_eval_guarded` — evaluation under an
+//!   explicit (roomy) row allowance against the unlimited path.
+
+use rngkit::SeedableRng;
+use tdf_bench::harness::Harness;
+use tdf_microdata::synth::{patients, PatientConfig};
+use tdf_pir::redundant::{retrieve, RetryPolicy, VerifiedDatabase};
+use tdf_pir::store::Database;
+use tdf_querydb::engine::{evaluate, evaluate_with_limits, QueryLimits};
+use tdf_querydb::parser::parse;
+
+fn main() {
+    faultkit::set_plan(None);
+    let mut h = Harness::new("faults");
+
+    let records: Vec<Vec<u8>> = (0..4096usize).map(|i| vec![i as u8; 32]).collect();
+    let db = Database::new(records.clone());
+    let vdb = VerifiedDatabase::new(records);
+    let policy = RetryPolicy::default();
+    h.bench_at_threads("pir_plain_2server_n4096", 1, || {
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(0xFA);
+        tdf_pir::linear::retrieve(&mut rng, &db, 2, 2048)
+    });
+    h.bench_at_threads("pir_redundant_m6_t1_n4096", 1, || {
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(0xFA);
+        retrieve(&mut rng, &vdb, 6, 1, 2048, &policy).expect("fault-free")
+    });
+
+    const N: usize = 200_000;
+    let work = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(11);
+    h.bench_at_threads("par_map_plain_n200k", 4, || par::par_map_range(N, work));
+    h.bench_at_threads("par_map_guarded_n200k", 4, || {
+        par::try_par_map_range(N, work).expect("no faults installed")
+    });
+
+    let d = patients(&PatientConfig {
+        n: 4000,
+        ..Default::default()
+    });
+    let q = parse("SELECT AVG(weight) FROM t WHERE height >= 150").expect("query parses");
+    let roomy = QueryLimits::with_max_rows(1 << 30);
+    h.bench_at_threads("querydb_eval_plain_n4000", 1, || {
+        evaluate(&d, &q).expect("evaluates")
+    });
+    h.bench_at_threads("querydb_eval_guarded_n4000", 1, || {
+        evaluate_with_limits(&d, &q, &roomy).expect("evaluates")
+    });
+
+    h.finish().expect("write BENCH_faults.json");
+}

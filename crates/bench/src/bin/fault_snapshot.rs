@@ -1,0 +1,85 @@
+//! Deterministic fault-injection snapshot.
+//!
+//! Installs one fixed fault plan (fixed seed, fixed rates), runs a small
+//! F1-style pipeline — redundant PIR, deadline-limited queries, a secure
+//! sum — with the thread count pinned to 1 and `TDF_OBS` forced to 2,
+//! then prints the merged registry as deterministic JSON-lines. Fault
+//! decisions are pure functions of (plan seed, site, draw index), so the
+//! output is bit-stable across runs and machines; CI diffs it against
+//! `ci/golden/faults_f1.jsonl`. A drift here means injection points moved,
+//! fired differently, or stopped being counted — all reviewable events.
+//!
+//! Regenerate the golden file after an intentional change:
+//!
+//! ```sh
+//! cargo run --release --offline -p tdf-bench --bin fault_snapshot \
+//!     > ci/golden/faults_f1.jsonl
+//! ```
+
+use rngkit::SeedableRng;
+use tdf_microdata::synth::{patients, PatientConfig};
+use tdf_pir::redundant::{retrieve, RetryPolicy, VerifiedDatabase};
+use tdf_querydb::control::ControlPolicy;
+use tdf_querydb::statdb::StatDb;
+use tdf_smc::secure_sum::ring_secure_sum;
+
+/// The pinned plan: every deterministic (thread-free) injection site,
+/// with rates chosen so the snapshot shows masked faults, refusals and a
+/// detected corruption side by side. `par.worker_panic` is deliberately
+/// absent — which worker dies first depends on scheduling, and this
+/// artefact must be bit-stable.
+const PLAN: &str = "pir.server_drop=3@0.25,pir.corrupt_word=3@0.2,\
+                    querydb.deadline=25@0.5,smc.corrupt_word=2@1";
+const PLAN_SEED: u64 = 0xFA17;
+
+fn main() {
+    // Forced level, plan and thread count: the golden file must not
+    // depend on the TDF_OBS / TDF_FAULTS / TDF_THREADS environment of
+    // whoever runs this.
+    obs::set_level(2);
+    obs::reset();
+    faultkit::set_plan(Some(
+        faultkit::FaultPlan::parse_with_seed(PLAN, PLAN_SEED).expect("pinned plan parses"),
+    ));
+    par::with_threads(1, || {
+        // Redundant PIR: 48 retrievals over synthetic byte records, wide
+        // enough for the budgeted drops and corruptions to all fire.
+        let records: Vec<Vec<u8>> = (0..256usize)
+            .map(|i| vec![i as u8, (i * 11) as u8, (i * 29) as u8])
+            .collect();
+        let vdb = VerifiedDatabase::new(records.clone());
+        let policy = RetryPolicy::default();
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(0xF1);
+        for k in 0..48usize {
+            let index = (k * 37) % records.len();
+            match retrieve(&mut rng, &vdb, 6, 1, index, &policy) {
+                Ok(out) => assert_eq!(out.record, records[index], "never a wrong record"),
+                Err(err) => {
+                    let _ = err; // typed failure beyond tolerance: allowed
+                }
+            }
+        }
+
+        // Deadline-limited queries: 40 rows against an injected 25-row
+        // allowance at rate 0.5 — roughly half refuse, half answer.
+        let d = patients(&PatientConfig {
+            n: 40,
+            seed: 0xF1,
+            ..Default::default()
+        });
+        let mut db = StatDb::new(d, ControlPolicy::SizeRestriction { min_size: 2 });
+        for _ in 0..24 {
+            db.query_str("SELECT AVG(weight) FROM t WHERE height >= 150")
+                .expect("refusal, not error");
+        }
+
+        // Secure sum: the budget of 2 corrupts two transcript messages;
+        // verification detects the first.
+        let inputs: Vec<tdf_mathkit::Fp61> = (0..6u64).map(tdf_mathkit::Fp61::new).collect();
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(0x5C);
+        let (_, transcript) = ring_secure_sum(&mut rng, &inputs);
+        assert!(transcript.verify().is_err(), "corruption must be detected");
+    });
+    faultkit::set_plan(None);
+    print!("{}", obs::snapshot().deterministic_jsonl());
+}

@@ -26,10 +26,18 @@ pub enum Error {
     NotNumeric(String),
     /// CSV text could not be parsed.
     Csv { line: usize, message: String },
-    /// Serialised text (JSON / TSV) could not be parsed.
+    /// TSV text could not be parsed. `line` is 1-based over the whole
+    /// input (schema and header lines included).
+    Tsv { line: usize, message: String },
+    /// Serialised text (JSON) could not be parsed.
     Serial(String),
     /// A parameter was outside its valid domain.
     InvalidParameter(String),
+    /// An evaluation exceeded its resource budget (e.g. a per-query
+    /// deadline expressed as a row-scan allowance). The paper's tracker
+    /// semantics require this to surface as an explicit refusal, never a
+    /// silent partial answer.
+    ResourceExhausted(String),
 }
 
 impl fmt::Display for Error {
@@ -56,8 +64,10 @@ impl fmt::Display for Error {
             Error::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
             Error::NotNumeric(name) => write!(f, "attribute `{name}` is not numeric"),
             Error::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            Error::Tsv { line, message } => write!(f, "TSV parse error at line {line}: {message}"),
             Error::Serial(message) => write!(f, "serialisation error: {message}"),
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::ResourceExhausted(msg) => write!(f, "resource budget exhausted: {msg}"),
         }
     }
 }

@@ -494,7 +494,9 @@ fn tsv_escape(s: &str) -> String {
     out
 }
 
-fn tsv_unescape(s: &str) -> Result<String> {
+/// Unescapes one TSV cell. `Err` carries the message only — callers wrap
+/// it in [`Error::Tsv`] with the line it came from.
+fn tsv_unescape(s: &str) -> std::result::Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -507,9 +509,8 @@ fn tsv_unescape(s: &str) -> Result<String> {
             Some('t') => out.push('\t'),
             Some('n') => out.push('\n'),
             Some('r') => out.push('\r'),
-            other => {
-                return Err(Error::Serial(format!("bad TSV escape `\\{other:?}`")));
-            }
+            Some(other) => return Err(format!("bad escape `\\{other}`")),
+            None => return Err("truncated escape at end of cell".into()),
         }
     }
     Ok(out)
@@ -557,91 +558,101 @@ pub fn dataset_to_tsv(data: &Dataset) -> String {
     out
 }
 
-fn tsv_cell_to_value(cell: &str, kind: AttributeKind) -> Result<Value> {
+/// Parses one data cell. `Err` carries the message only — the caller
+/// attaches the line number.
+fn tsv_cell_to_value(cell: &str, kind: AttributeKind) -> std::result::Result<Value, String> {
     if cell == TSV_MISSING {
         return Ok(Value::Missing);
     }
     Ok(match kind {
         AttributeKind::Continuous => Value::Float(
             cell.parse::<f64>()
-                .map_err(|_| Error::Serial(format!("bad float `{cell}`")))?,
+                .map_err(|_| format!("bad float `{cell}`"))?,
         ),
         AttributeKind::Integer => Value::Int(
             cell.parse::<i64>()
-                .map_err(|_| Error::Serial(format!("bad int `{cell}`")))?,
+                .map_err(|_| format!("bad int `{cell}`"))?,
         ),
         AttributeKind::Boolean => match cell {
             "Y" => Value::Bool(true),
             "N" => Value::Bool(false),
-            other => {
-                return Err(Error::Serial(format!("bad bool `{other}` (want Y/N)")));
-            }
+            other => return Err(format!("bad bool `{other}` (want Y/N)")),
         },
         AttributeKind::Nominal | AttributeKind::Ordinal => Value::Str(tsv_unescape(cell)?),
     })
 }
 
 /// Parses a dataset from the TSV produced by [`dataset_to_tsv`].
+///
+/// Every failure is a typed [`Error::Tsv`] naming the offending 1-based
+/// line (line 1 is the `#schema` line, line 2 the header, data from
+/// line 3) — adversarial or truncated input never panics.
 pub fn dataset_from_tsv(text: &str) -> Result<Dataset> {
+    let tsv_err = |line: usize, message: String| Error::Tsv { line, message };
     let mut lines = text.lines();
     let schema_line = lines
         .next()
-        .ok_or_else(|| Error::Serial("empty TSV input".into()))?;
+        .ok_or_else(|| tsv_err(1, "empty TSV input".into()))?;
     let mut schema_cells = schema_line.split('\t');
     if schema_cells.next() != Some("#schema") {
-        return Err(Error::Serial("TSV must start with a #schema line".into()));
+        return Err(tsv_err(1, "TSV must start with a #schema line".into()));
     }
     let mut attrs = Vec::new();
     for cell in schema_cells {
         let mut parts = cell.rsplitn(3, ':');
-        let role = parts
-            .next()
-            .ok_or_else(|| Error::Serial(format!("bad schema cell `{cell}`")))?;
-        let kind = parts
-            .next()
-            .ok_or_else(|| Error::Serial(format!("bad schema cell `{cell}`")))?;
-        let name = parts
-            .next()
-            .ok_or_else(|| Error::Serial(format!("bad schema cell `{cell}`")))?;
+        let bad_cell = || tsv_err(1, format!("bad schema cell `{cell}` (want name:kind:role)"));
+        let role = parts.next().ok_or_else(bad_cell)?;
+        let kind = parts.next().ok_or_else(bad_cell)?;
+        let name = parts.next().ok_or_else(bad_cell)?;
         attrs.push(AttributeDef::new(
-            tsv_unescape(name)?,
-            kind_from_tag(kind)?,
-            role_from_tag(role)?,
+            tsv_unescape(name).map_err(|m| tsv_err(1, m))?,
+            kind_from_tag(kind).map_err(|e| tsv_err(1, e.to_string()))?,
+            role_from_tag(role).map_err(|e| tsv_err(1, e.to_string()))?,
         ));
     }
-    let schema = Schema::new(attrs).map_err(|e| Error::Serial(e.to_string()))?;
+    let schema = Schema::new(attrs).map_err(|e| tsv_err(1, e.to_string()))?;
     let header = lines
         .next()
-        .ok_or_else(|| Error::Serial("TSV needs a header line".into()))?;
+        .ok_or_else(|| tsv_err(2, "truncated input: TSV needs a header line".into()))?;
     let expected: Vec<String> = schema
         .attributes()
         .iter()
         .map(|a| tsv_escape(&a.name))
         .collect();
     if header.split('\t').map(str::to_owned).collect::<Vec<_>>() != expected {
-        return Err(Error::Serial("TSV header does not match schema".into()));
+        return Err(tsv_err(2, "TSV header does not match schema".into()));
     }
     let mut data = Dataset::new(schema);
     for (lineno, line) in lines.enumerate() {
+        let line_1based = lineno + 3; // schema + header precede the data
         if line.is_empty() {
             continue;
         }
         let cells: Vec<&str> = line.split('\t').collect();
         if cells.len() != data.schema().len() {
-            return Err(Error::Serial(format!(
-                "line {}: expected {} cells, found {}",
-                lineno + 3,
-                data.schema().len(),
-                cells.len()
-            )));
+            return Err(tsv_err(
+                line_1based,
+                format!(
+                    "expected {} cells, found {}",
+                    data.schema().len(),
+                    cells.len()
+                ),
+            ));
         }
         let row: Vec<Value> = cells
             .iter()
             .enumerate()
-            .map(|(i, c)| tsv_cell_to_value(c, data.schema().attribute(i).kind))
+            .map(|(i, c)| {
+                tsv_cell_to_value(c, data.schema().attribute(i).kind).map_err(|m| {
+                    tsv_err(
+                        line_1based,
+                        format!("column `{}`: {m}", data.schema().attribute(i).name),
+                    )
+                })
+            })
             .collect::<Result<_>>()?;
         data.push_row(row)
-            .map_err(|e| Error::Serial(e.to_string()))?;
+            .map_err(|e| tsv_err(line_1based, e.to_string()))?;
     }
     Ok(data)
 }
@@ -739,9 +750,24 @@ mod tests {
     }
 
     #[test]
-    fn tsv_rejects_bad_input() {
-        assert!(dataset_from_tsv("").is_err());
-        assert!(dataset_from_tsv("no schema line\nx\n").is_err());
-        assert!(dataset_from_tsv("#schema\ta:integer:confidential\na\nnot_an_int\n").is_err());
+    fn tsv_rejects_bad_input_with_line_numbers() {
+        let line_of = |text: &str| match dataset_from_tsv(text).unwrap_err() {
+            Error::Tsv { line, .. } => line,
+            other => panic!("expected Error::Tsv, got {other:?}"),
+        };
+        assert_eq!(line_of(""), 1);
+        assert_eq!(line_of("no schema line\nx\n"), 1);
+        assert_eq!(line_of("#schema\ta:integer:confidential"), 2, "truncated");
+        assert_eq!(line_of("#schema\ta:integer:confidential\nwrong\n1\n"), 2);
+        let bad_cell = "#schema\ta:integer:confidential\na\n7\nnot_an_int\n";
+        let err = dataset_from_tsv(bad_cell).unwrap_err();
+        assert_eq!(
+            err,
+            Error::Tsv {
+                line: 4,
+                message: "column `a`: bad int `not_an_int`".into()
+            }
+        );
+        assert!(err.to_string().contains("line 4"), "{err}");
     }
 }

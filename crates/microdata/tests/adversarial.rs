@@ -1,0 +1,113 @@
+//! Adversarial-input tests for the TSV reader: malformed, truncated and
+//! randomly mutated documents must come back as typed, line-numbered
+//! [`Error::Tsv`] values — never a panic, never a silently wrong dataset.
+
+use tdf_microdata::ser::{dataset_from_tsv, dataset_to_tsv};
+use tdf_microdata::synth::{census, patients, PatientConfig};
+use tdf_microdata::Error;
+
+fn tsv_line(text: &str) -> usize {
+    match dataset_from_tsv(text).unwrap_err() {
+        Error::Tsv { line, .. } => line,
+        other => panic!("expected Error::Tsv, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_documents_name_the_missing_line() {
+    assert_eq!(tsv_line(""), 1);
+    assert_eq!(tsv_line("#schema\theight:continuous:quasi_identifier"), 2);
+    // A complete prefix with zero data rows is fine, not an error.
+    let empty = dataset_from_tsv("#schema\theight:continuous:quasi_identifier\nheight\n").unwrap();
+    assert_eq!(empty.num_rows(), 0);
+}
+
+#[test]
+fn malformed_cells_name_line_and_column() {
+    let text = "#schema\th:continuous:quasi_identifier\tok:boolean:confidential\n\
+                h\tok\n\
+                170.0\tY\n\
+                not_a_float\tN\n";
+    let err = dataset_from_tsv(text).unwrap_err();
+    assert_eq!(
+        err,
+        Error::Tsv {
+            line: 4,
+            message: "column `h`: bad float `not_a_float`".into()
+        }
+    );
+    let bad_bool = "#schema\tok:boolean:confidential\nok\nY\nN\nmaybe\n";
+    assert_eq!(tsv_line(bad_bool), 5);
+}
+
+#[test]
+fn arity_and_escape_errors_are_line_numbered() {
+    let short_row = "#schema\ta:integer:confidential\tb:integer:confidential\na\tb\n1\t2\n3\n";
+    let err = dataset_from_tsv(short_row).unwrap_err();
+    assert_eq!(
+        err,
+        Error::Tsv {
+            line: 4,
+            message: "expected 2 cells, found 1".into()
+        }
+    );
+    // `\x` is not a TSV escape; `\` at end of cell is truncated.
+    let bad_escape = "#schema\ts:nominal:confidential\ns\nfine\nbad\\x\n";
+    assert_eq!(tsv_line(bad_escape), 4);
+    let truncated_escape = "#schema\ts:nominal:confidential\ns\ndangling\\\n";
+    assert_eq!(tsv_line(truncated_escape), 3);
+}
+
+#[test]
+fn schema_line_errors_point_at_line_1() {
+    assert_eq!(tsv_line("#schema\tnocolons\nx\n"), 1);
+    assert_eq!(tsv_line("#schema\ta:alien:confidential\na\n"), 1);
+    assert_eq!(tsv_line("#schema\ta:integer:sidekick\na\n"), 1);
+}
+
+#[test]
+fn mutated_documents_never_panic_and_never_parse_wrong() {
+    // Flip one byte at a time through a real document: every outcome is
+    // either a clean parse (mutation hit something semantically inert,
+    // e.g. a digit) or a typed Error::Tsv — the parser must not panic.
+    let d = patients(&PatientConfig {
+        n: 12,
+        ..Default::default()
+    });
+    let reference = dataset_to_tsv(&d);
+    let bytes = reference.as_bytes();
+    let mut parsed = 0usize;
+    let mut rejected = 0usize;
+    for pos in 0..bytes.len() {
+        for flip in [1u8, 0x20, 0x7f] {
+            let mut mutated = bytes.to_vec();
+            mutated[pos] ^= flip;
+            let Ok(text) = String::from_utf8(mutated) else {
+                continue; // the reader takes &str; invalid UTF-8 can't reach it
+            };
+            match dataset_from_tsv(&text) {
+                Ok(_) => parsed += 1,
+                Err(Error::Tsv { line, .. }) => {
+                    assert!(line >= 1, "line numbers are 1-based");
+                    rejected += 1;
+                }
+                Err(other) => panic!("non-TSV error from TSV input: {other:?}"),
+            }
+        }
+    }
+    assert!(rejected > 0, "some mutations must be rejected");
+    assert!(parsed > 0, "some mutations are inert (digit flips)");
+}
+
+#[test]
+fn truncated_suffixes_never_panic() {
+    let reference = dataset_to_tsv(&census(10, 4));
+    for cut in 0..reference.len() {
+        if !reference.is_char_boundary(cut) {
+            continue;
+        }
+        // Every prefix must parse or fail with a typed error; panics fail
+        // the test.
+        let _ = dataset_from_tsv(&reference[..cut]);
+    }
+}

@@ -45,8 +45,75 @@ mod pool;
 
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Why a `try_par_*` region failed. Covers both the caller's own
+/// invocation of the body and pooled workers (which may die entirely —
+/// see `pool.rs`; the pool respawns them, and the region that lost a
+/// worker reports `WorkerPanicked` instead of aborting the process).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParError {
+    /// The region body panicked on the calling thread. `message` is the
+    /// panic payload when it was string-typed.
+    RegionPanicked {
+        /// The stringified panic payload.
+        message: String,
+    },
+    /// A pooled worker panicked (or died) while executing the region.
+    /// The payload is consumed on the worker thread, so no message.
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParError::RegionPanicked { message } => {
+                write!(f, "parallel region panicked: {message}")
+            }
+            ParError::WorkerPanicked => {
+                write!(
+                    f,
+                    "a pooled worker panicked while executing a parallel region"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParError {}
+
+impl ParError {
+    fn from_payload(payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        ParError::RegionPanicked { message }
+    }
+
+    fn from_region(e: pool::RegionError) -> Self {
+        match e {
+            pool::RegionError::Caller(payload) => Self::from_payload(payload.as_ref()),
+            pool::RegionError::Worker => ParError::WorkerPanicked,
+        }
+    }
+}
+
+/// The plain (panicking) entry points' view of a region result: re-raise
+/// the caller's own panic with its original payload, turn a worker loss
+/// into the historical pool panic message.
+fn complete_or_propagate(result: Result<(), pool::RegionError>) {
+    match result {
+        Ok(()) => {}
+        Err(pool::RegionError::Caller(payload)) => std::panic::resume_unwind(payload),
+        Err(pool::RegionError::Worker) => {
+            panic!("tdf-par: a pooled worker panicked while executing a parallel region")
+        }
+    }
+}
 
 /// Hard ceiling on the usable thread count (a safety valve for absurd
 /// `TDF_THREADS` values, not a tuning knob).
@@ -134,9 +201,13 @@ fn chunk_size(len: usize, chunk: usize) -> usize {
 /// Runs `process(chunk_id, index_range)` for every chunk of `0..n`,
 /// serially in chunk order or work-stealing across the pool — the set of
 /// `(chunk_id, range)` pairs is identical either way.
-fn run_chunked(n: usize, chunk: usize, process: &(dyn Fn(usize, Range<usize>) + Sync)) {
+fn run_chunked(
+    n: usize,
+    chunk: usize,
+    process: &(dyn Fn(usize, Range<usize>) + Sync),
+) -> Result<(), pool::RegionError> {
     if n == 0 {
-        return;
+        return Ok(());
     }
     let size = chunk_size(n, chunk);
     let num_chunks = n.div_ceil(size);
@@ -150,7 +221,7 @@ fn run_chunked(n: usize, chunk: usize, process: &(dyn Fn(usize, Range<usize>) + 
         for c in 0..num_chunks {
             process(c, range_of(c));
         }
-        return;
+        return Ok(());
     }
     obs::count("par.tasks_dispatched", num_chunks as u64);
     let cursor = AtomicUsize::new(0);
@@ -173,7 +244,7 @@ fn run_chunked(n: usize, chunk: usize, process: &(dyn Fn(usize, Range<usize>) + 
                 grabbed,
             );
         }
-    });
+    })
 }
 
 /// Pointer wrapper so disjoint chunk writes can target one output buffer
@@ -213,18 +284,57 @@ pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U>
     // SAFETY: MaybeUninit contents need no initialization.
     unsafe { out.set_len(n) };
     let base = SendPtr(out.as_mut_ptr());
-    run_chunked(n, 0, &|_, range| {
+    let region = run_chunked(n, 0, &|_, range| {
         let ptr = base.get();
         for i in range {
             // SAFETY: `i` is in this chunk's disjoint range, in-bounds.
             unsafe { ptr.add(i).write(MaybeUninit::new(f(i))) };
         }
     });
-    // SAFETY: run_chunked covered 0..n, so every slot is initialized.
-    // (On panic we never reach here and the buffer is dropped
-    // element-drop-free, leaking at worst.)
+    // On failure the set of initialized slots is unknowable; re-raising
+    // here drops the buffer element-drop-free, leaking at worst.
+    complete_or_propagate(region);
+    // SAFETY: run_chunked returned Ok, so every chunk ran: every slot of
+    // 0..n is initialized.
     let mut out = ManuallyDrop::new(out);
     unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<U>(), n, out.capacity()) }
+}
+
+/// [`par_map_range`] with region panics converted into a typed
+/// [`ParError`] at this boundary instead of unwinding: the caller's own
+/// panic payload is stringified, a lost pool worker (e.g. the injected
+/// `par.worker_panic` fault) becomes [`ParError::WorkerPanicked`], and
+/// the pool stays usable for subsequent regions either way. The `Ok`
+/// value is bit-identical to [`par_map_range`] when nothing fails.
+pub fn try_par_map_range<U: Send>(
+    n: usize,
+    f: impl Fn(usize) -> U + Sync,
+) -> Result<Vec<U>, ParError> {
+    if n < sequential_threshold() || threads() <= 1 {
+        if n > 0 && n < sequential_threshold() {
+            obs::count("par.sequential_fallback", 1);
+        }
+        return catch_unwind(AssertUnwindSafe(|| (0..n).map(&f).collect()))
+            .map_err(|p| ParError::from_payload(p.as_ref()));
+    }
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit contents need no initialization.
+    unsafe { out.set_len(n) };
+    let base = SendPtr(out.as_mut_ptr());
+    let region = run_chunked(n, 0, &|_, range| {
+        let ptr = base.get();
+        for i in range {
+            // SAFETY: `i` is in this chunk's disjoint range, in-bounds.
+            unsafe { ptr.add(i).write(MaybeUninit::new(f(i))) };
+        }
+    });
+    // Which slots are initialized after a fault is unknowable, so the
+    // buffer is dropped element-drop-free — leaking the initialized
+    // elements' owned allocations at worst, like the panic path above.
+    region.map_err(ParError::from_region)?;
+    // SAFETY: run_chunked returned Ok, so every slot is initialized.
+    let mut out = ManuallyDrop::new(out);
+    Ok(unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<U>(), n, out.capacity()) })
 }
 
 /// Parallel `items.iter().map(f).collect()`, order-preserving.
@@ -235,6 +345,15 @@ pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U>
 /// ```
 pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
     par_map_range(items.len(), |i| f(&items[i]))
+}
+
+/// [`par_map`] with region panics converted into a typed [`ParError`] —
+/// see [`try_par_map_range`].
+pub fn try_par_map<T: Sync, U: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> U + Sync,
+) -> Result<Vec<U>, ParError> {
+    try_par_map_range(items.len(), |i| f(&items[i]))
 }
 
 /// Order-preserving indexed reduce: maps fixed chunks of `0..n` (chunk
@@ -273,14 +392,15 @@ pub fn par_index_reduce<A: Send>(
         return acc;
     }
     let slots: Vec<Mutex<Option<A>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
-    run_chunked(n, chunk, &|c, range| {
-        *slots[c].lock().expect("chunk slot") = Some(map(range));
+    let region = run_chunked(n, chunk, &|c, range| {
+        *slots[c].lock().unwrap_or_else(PoisonError::into_inner) = Some(map(range));
     });
+    complete_or_propagate(region);
     let mut acc: Option<A> = None;
     for slot in slots {
         let a = slot
             .into_inner()
-            .expect("chunk slot")
+            .unwrap_or_else(PoisonError::into_inner)
             .expect("all chunks completed");
         acc = Some(match acc {
             None => a,
@@ -288,6 +408,55 @@ pub fn par_index_reduce<A: Send>(
         });
     }
     acc
+}
+
+/// [`par_index_reduce`] with region panics converted into a typed
+/// [`ParError`] — see [`try_par_map_range`]. `Ok(None)` iff `n == 0`.
+pub fn try_par_index_reduce<A: Send>(
+    n: usize,
+    chunk: usize,
+    map: impl Fn(Range<usize>) -> A + Sync,
+    mut merge: impl FnMut(A, A) -> A,
+) -> Result<Option<A>, ParError> {
+    if n == 0 {
+        return Ok(None);
+    }
+    let num_chunks = n.div_ceil(chunk_size(n, chunk));
+    if n < sequential_threshold() || threads() <= 1 {
+        if n < sequential_threshold() {
+            obs::count("par.sequential_fallback", 1);
+        }
+        let size = chunk_size(n, chunk);
+        return catch_unwind(AssertUnwindSafe(|| {
+            let mut acc: Option<A> = None;
+            for c in 0..num_chunks {
+                let a = map(c * size..((c + 1) * size).min(n));
+                acc = Some(match acc {
+                    None => a,
+                    Some(prev) => merge(prev, a),
+                });
+            }
+            acc
+        }))
+        .map_err(|p| ParError::from_payload(p.as_ref()));
+    }
+    let slots: Vec<Mutex<Option<A>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    run_chunked(n, chunk, &|c, range| {
+        *slots[c].lock().unwrap_or_else(PoisonError::into_inner) = Some(map(range));
+    })
+    .map_err(ParError::from_region)?;
+    let mut acc: Option<A> = None;
+    for slot in slots {
+        let a = slot
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .expect("all chunks completed");
+        acc = Some(match acc {
+            None => a,
+            Some(prev) => merge(prev, a),
+        });
+    }
+    Ok(acc)
 }
 
 /// Chunked slice reduce: `map` sees `&items[chunk_range]`, results fold
@@ -306,6 +475,17 @@ pub fn par_chunks_reduce<T: Sync, A: Send>(
     merge: impl FnMut(A, A) -> A,
 ) -> Option<A> {
     par_index_reduce(items.len(), chunk, |r| map(&items[r]), merge)
+}
+
+/// [`par_chunks_reduce`] with region panics converted into a typed
+/// [`ParError`] — see [`try_par_map_range`]. `Ok(None)` iff empty.
+pub fn try_par_chunks_reduce<T: Sync, A: Send>(
+    items: &[T],
+    chunk: usize,
+    map: impl Fn(&[T]) -> A + Sync,
+    merge: impl FnMut(A, A) -> A,
+) -> Result<Option<A>, ParError> {
+    try_par_index_reduce(items.len(), chunk, |r| map(&items[r]), merge)
 }
 
 #[cfg(test)]
@@ -439,6 +619,67 @@ mod tests {
         // The pool must stay usable afterwards.
         let ok = with_threads(4, || par_map_range(100, |i| i * 2));
         assert_eq!(ok[50], 100);
+    }
+
+    #[test]
+    fn try_variants_match_plain_variants_when_nothing_fails() {
+        let items: Vec<u64> = (0..5000).collect();
+        for t in [1usize, 4] {
+            with_threads(t, || {
+                assert_eq!(
+                    try_par_map(&items, |&x| x * 7).unwrap(),
+                    par_map(&items, |&x| x * 7),
+                    "t = {t}"
+                );
+                let sum = |c: &[u64]| c.iter().map(|&x| x as f64).sum::<f64>();
+                assert_eq!(
+                    try_par_chunks_reduce(&items, 0, sum, |a, b| a + b).unwrap(),
+                    par_chunks_reduce(&items, 0, sum, |a, b| a + b),
+                    "t = {t}"
+                );
+            });
+        }
+        assert_eq!(try_par_map_range(0, |i| i).unwrap(), Vec::<usize>::new());
+        assert_eq!(try_par_index_reduce(0, 0, |_| 1u32, |a, b| a + b), Ok(None));
+    }
+
+    #[test]
+    fn try_par_map_converts_panics_into_typed_errors() {
+        // Sequential path: the payload string is preserved.
+        let err = try_par_map_range(100, |i| {
+            assert!(i != 7, "boom at {i}");
+            i
+        })
+        .unwrap_err();
+        assert!(
+            matches!(&err, ParError::RegionPanicked { message } if message.contains("boom at 7")),
+            "got {err:?}"
+        );
+        // Pooled path: the panic lands on whichever thread stole the
+        // chunk, so either variant is acceptable — but it must be an
+        // error, not an abort, and the pool must keep working.
+        let err = with_threads(4, || {
+            try_par_map_range(5000, |i| {
+                assert!(i != 777, "boom at {i}");
+                i
+            })
+        })
+        .unwrap_err();
+        assert!(!err.to_string().is_empty());
+        let ok = with_threads(4, || par_map_range(5000, |i| i * 2));
+        assert_eq!(ok[100], 200);
+        // Reduce flavours too.
+        let err = try_par_index_reduce(
+            100,
+            0,
+            |r| {
+                assert!(!r.contains(&50), "reduce boom");
+                r.len()
+            },
+            |a, b| a + b,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParError::RegionPanicked { .. }));
     }
 
     #[test]

@@ -13,8 +13,21 @@
 //! Workers spin briefly before blocking so that back-to-back regions (the
 //! MDAV scan loop) hand off in nanoseconds, and yield inside the spin so
 //! a single-core host is never starved.
+//!
+//! **Fault tolerance.** A worker can die — today only via the injected
+//! `par.worker_panic` fault, but the recovery path assumes nothing about
+//! the cause. Three mechanisms keep the pool usable:
+//!
+//! 1. every [`Job`] owns a [`Completion`] drop-guard, so the region latch
+//!    is settled (and flagged as panicked) even when the job is dropped
+//!    unexecuted — a dead worker's queued jobs, or a panic that unwinds
+//!    past the job body;
+//! 2. [`run`] treats a failed send as "that worker is dead", respawns a
+//!    replacement into the same slot and re-sends the returned job;
+//! 3. the pool mutex is taken with poison recovery — the worker list is
+//!    valid after any panic because slots are replaced atomically.
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -32,13 +45,26 @@ pub(crate) fn in_pool() -> bool {
 }
 
 /// Stable observability label for the executing thread: `w00`, `w01`, …
-/// on pool workers, `caller` on every other thread. Worker ids are spawn
-/// order, which is deterministic (workers are only ever appended).
+/// on pool workers, `caller` on every other thread. Worker ids are slot
+/// positions, which are deterministic (respawns reuse the dead worker's
+/// slot, so ids never grow past the pool size).
 pub(crate) fn thread_label() -> String {
     match WORKER_ID.with(std::cell::Cell::get) {
         usize::MAX => "caller".to_owned(),
         id => format!("w{id:02}"),
     }
+}
+
+/// How a parallel region failed. `run` reports this instead of panicking
+/// so the `try_par_*` entry points can surface a typed error while the
+/// plain entry points re-raise.
+pub(crate) enum RegionError {
+    /// The caller-thread invocation of the body panicked; the payload is
+    /// preserved so plain entry points can resume the original unwind.
+    Caller(Box<dyn std::any::Any + Send + 'static>),
+    /// A pooled worker's invocation panicked (or its job was dropped by a
+    /// dying worker). Worker payloads are consumed on the worker thread.
+    Worker,
 }
 
 /// Completion latch plus a panic flag shared by one parallel region.
@@ -47,12 +73,40 @@ struct Latch {
     panicked: AtomicBool,
 }
 
+/// Drop-guard that settles a region's latch exactly once per job. Unless
+/// the job body ran to completion (`finished` set), dropping the guard
+/// marks the region panicked — this is what makes a worker dying *between*
+/// receiving a job and finishing it (or a queued job dropped with a dead
+/// worker's channel) unblock the caller instead of deadlocking it.
+struct Completion {
+    latch: Arc<Latch>,
+    finished: bool,
+}
+
+impl Completion {
+    fn new(latch: Arc<Latch>) -> Self {
+        Completion {
+            latch,
+            finished: false,
+        }
+    }
+}
+
+impl Drop for Completion {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.latch.panicked.store(true, Ordering::Release);
+        }
+        self.latch.remaining.fetch_sub(1, Ordering::Release);
+    }
+}
+
 /// One unit of dispatched work: the region body, lifetime-erased.
 struct Job {
     /// SAFETY: points at a `&'a (dyn Fn() + Sync)` that [`run`] keeps
     /// alive until `latch.remaining` reaches zero.
     body: &'static (dyn Fn() + Sync),
-    latch: Arc<Latch>,
+    completion: Completion,
 }
 
 static POOL: OnceLock<Mutex<Vec<Sender<Job>>>> = OnceLock::new();
@@ -73,10 +127,19 @@ fn spawn_worker(id: usize) -> Sender<Job> {
 fn worker_loop(rx: &Receiver<Job>) {
     loop {
         let Some(job) = next_job(rx) else { return };
-        if catch_unwind(AssertUnwindSafe(|| (job.body)())).is_err() {
-            job.latch.panicked.store(true, Ordering::Release);
+        let Job {
+            body,
+            mut completion,
+        } = job;
+        // Injected fault: the worker dies after accepting a job. The
+        // unwind drops `completion` un-finished, which settles the latch
+        // and flags the region; the next dispatch that finds this
+        // worker's channel closed respawns it.
+        if faultkit::fire("par.worker_panic") {
+            panic!("tdf-faultkit: injected pool-worker death (par.worker_panic)");
         }
-        job.latch.remaining.fetch_sub(1, Ordering::Release);
+        completion.finished = catch_unwind(AssertUnwindSafe(body)).is_ok();
+        drop(completion);
     }
 }
 
@@ -101,32 +164,45 @@ fn next_job(rx: &Receiver<Job>) -> Option<Job> {
 
 /// Executes `body` once on the calling thread and once on each of
 /// `helpers` pooled workers, returning only after every invocation has
-/// finished. Panics (from any thread) propagate to the caller — but never
-/// before all workers are done with the borrow.
-pub(crate) fn run(helpers: usize, body: &(dyn Fn() + Sync)) {
+/// finished — on success *and* on failure, so the borrow never escapes.
+/// Dead workers (closed channels) are respawned into their slot before
+/// the job is re-sent.
+pub(crate) fn run(helpers: usize, body: &(dyn Fn() + Sync)) -> Result<(), RegionError> {
     let latch = Arc::new(Latch {
         remaining: AtomicUsize::new(helpers),
         panicked: AtomicBool::new(false),
     });
     // SAFETY: the latch-wait below outlives every dispatched use of this
-    // borrow, on success *and* on unwind.
+    // borrow, on success *and* on unwind: every Job's Completion guard
+    // decrements the latch even when the job is dropped unexecuted.
     let body_static: &'static (dyn Fn() + Sync) =
         unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body) };
     {
+        // Poison recovery: the only writes under this lock are slot
+        // replacements and appends of fully-constructed senders, so the
+        // list is structurally valid even if a previous holder panicked.
         let mut workers = POOL
             .get_or_init(|| Mutex::new(Vec::new()))
             .lock()
-            .expect("pool lock");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while workers.len() < helpers {
             let id = workers.len();
             workers.push(spawn_worker(id));
         }
-        for tx in workers.iter().take(helpers) {
-            tx.send(Job {
+        for slot in 0..helpers {
+            let job = Job {
                 body: body_static,
-                latch: Arc::clone(&latch),
-            })
-            .expect("pool worker alive");
+                completion: Completion::new(Arc::clone(&latch)),
+            };
+            if let Err(std::sync::mpsc::SendError(job)) = workers[slot].send(job) {
+                // The worker died (its receiver is gone). Replace it and
+                // hand the same job to the replacement.
+                obs::count("par.pool.respawned_workers", 1);
+                workers[slot] = spawn_worker(slot);
+                workers[slot]
+                    .send(job)
+                    .expect("freshly spawned tdf-par worker accepts jobs");
+            }
         }
     }
     let caller = catch_unwind(AssertUnwindSafe(body));
@@ -140,10 +216,12 @@ pub(crate) fn run(helpers: usize, body: &(dyn Fn() + Sync)) {
         }
     }
     match caller {
-        Err(payload) => resume_unwind(payload),
+        Err(payload) => Err(RegionError::Caller(payload)),
         Ok(()) => {
             if latch.panicked.load(Ordering::Acquire) {
-                panic!("tdf-par: a pooled worker panicked while executing a parallel region");
+                Err(RegionError::Worker)
+            } else {
+                Ok(())
             }
         }
     }

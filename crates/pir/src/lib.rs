@@ -16,6 +16,9 @@
 //! * [`cpir`] — single-server *computational* PIR in the style of
 //!   Kushilevitz–Ostrovsky, built on the Goldwasser–Micali
 //!   quadratic-residuosity cryptosystem ([`gm`]) from `tdf-mathkit` primes;
+//! * [`redundant`] — the (m, t)-redundant failure-tolerant retrieval:
+//!   checksum-verified pairwise replication that detects and masks up to
+//!   `t` byzantine or silent servers (never returns a wrong record);
 //! * [`cost`] — communication/computation accounting, so the `fig_pir_cost`
 //!   experiment can reproduce the asymptotic separations;
 //! * [`store`] — a PIR-backed record store with an explicit server *view*,
@@ -27,10 +30,12 @@ pub mod cpir;
 pub mod cube;
 pub mod gm;
 pub mod linear;
+pub mod redundant;
 pub mod square;
 pub mod store;
 pub mod trivial;
 
 pub use bits::BitVec;
 pub use cost::CostReport;
+pub use redundant::{PirError, VerifiedDatabase};
 pub use store::{Database, ServerView};

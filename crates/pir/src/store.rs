@@ -110,6 +110,56 @@ impl Database {
         out
     }
 
+    /// [`Self::xor_selected`] over two parallel tables — this one and a
+    /// `tags` table of 8-byte records — in a **single sweep** of the
+    /// mask. Decoding the packed mask's set bits costs about as much as
+    /// XOR-folding a small record, so answering payloads and checksums
+    /// in separate sweeps would nearly double the scan; the fused fold
+    /// pays the decode once. Used by the redundant (verified) protocol.
+    pub fn xor_selected_joint(&self, tags: &Database, mask: &BitVec) -> (Vec<u8>, Vec<u8>) {
+        assert_eq!(mask.len(), self.len, "mask arity mismatch");
+        assert_eq!(tags.len, self.len, "tag table arity mismatch");
+        assert_eq!(tags.record_size, 8, "tags are one word per record");
+        let rs = self.record_size;
+        fn widen<const W: usize>((acc, tag): ([u64; W], u64)) -> (Vec<u64>, u64) {
+            (acc.to_vec(), tag)
+        }
+        let folded = match rs {
+            8 => Some(widen(fold_words_joint::<1>(&self.data, &tags.data, mask))),
+            16 => Some(widen(fold_words_joint::<2>(&self.data, &tags.data, mask))),
+            32 => Some(widen(fold_words_joint::<4>(&self.data, &tags.data, mask))),
+            64 => Some(widen(fold_words_joint::<8>(&self.data, &tags.data, mask))),
+            _ => None,
+        };
+        if let Some((acc, tag)) = folded {
+            let mut out = Vec::with_capacity(rs);
+            for a in acc {
+                out.extend_from_slice(&a.to_ne_bytes());
+            }
+            return (out, tag.to_ne_bytes().to_vec());
+        }
+        let body = rs / 8; // whole words per record
+        let mut acc64 = vec![0u64; body];
+        let mut tail = vec![0u8; rs % 8];
+        let mut tag = 0u64;
+        for i in mask.ones() {
+            let rec = &self.data[i * rs..(i + 1) * rs];
+            for (a, chunk) in acc64.iter_mut().zip(rec.chunks_exact(8)) {
+                *a ^= u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            for (t, b) in tail.iter_mut().zip(&rec[body * 8..]) {
+                *t ^= b;
+            }
+            tag ^= tag_word(&tags.data, i);
+        }
+        let mut out = Vec::with_capacity(rs);
+        for a in acc64 {
+            out.extend_from_slice(&a.to_ne_bytes());
+        }
+        out.extend_from_slice(&tail);
+        (out, tag.to_ne_bytes().to_vec())
+    }
+
     /// `Vec<bool>` reference implementation of [`Self::xor_selected`] —
     /// the pre-packing scan, kept for property tests and benchmarks.
     pub fn xor_selected_bools(&self, mask: &[bool]) -> Vec<u8> {
@@ -140,6 +190,27 @@ fn fold_words<const W: usize>(data: &[u8], mask: &BitVec) -> [u64; W] {
         }
     }
     acc
+}
+
+/// The `i`-th 8-byte record of a tag table, as one word.
+fn tag_word(tags: &[u8], i: usize) -> u64 {
+    u64::from_ne_bytes(tags[i * 8..(i + 1) * 8].try_into().expect("8-byte tag"))
+}
+
+/// [`fold_words`] fused with a parallel 8-byte-per-record tag table: one
+/// mask decode feeds both accumulators.
+fn fold_words_joint<const W: usize>(data: &[u8], tags: &[u8], mask: &BitVec) -> ([u64; W], u64) {
+    let rs = W * 8;
+    let mut acc = [0u64; W];
+    let mut tag = 0u64;
+    for i in mask.ones() {
+        let rec = &data[i * rs..(i + 1) * rs];
+        for (a, chunk) in acc.iter_mut().zip(rec.chunks_exact(8)) {
+            *a ^= u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        tag ^= tag_word(tags, i);
+    }
+    (acc, tag)
 }
 
 /// What one server observed during a retrieval: the raw query message it
@@ -181,6 +252,28 @@ mod tests {
     #[should_panic(expected = "equal size")]
     fn ragged_records_panic() {
         let _ = Database::new(vec![vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn joint_scan_agrees_with_two_separate_scans() {
+        // Exercises both the monomorphized (8/16/32/64-byte) and the
+        // generic (odd-size, incl. sub-word tail) payload paths.
+        for rs in [1usize, 3, 8, 16, 20, 32, 64, 70] {
+            for n in [1usize, 5, 64, 131] {
+                let payloads =
+                    Database::new((0..n).map(|i| vec![(i * 7 + rs) as u8; rs]).collect());
+                let tags = Database::new(
+                    (0..n)
+                        .map(|i| ((i * 0x9E37 + 1) as u64).to_ne_bytes().to_vec())
+                        .collect(),
+                );
+                let bools: Vec<bool> = (0..n).map(|i| i % 3 != 1).collect();
+                let mask = BitVec::from_bools(&bools);
+                let (joint_p, joint_t) = payloads.xor_selected_joint(&tags, &mask);
+                assert_eq!(joint_p, payloads.xor_selected(&mask), "rs={rs} n={n}");
+                assert_eq!(joint_t, tags.xor_selected(&mask), "rs={rs} n={n}");
+            }
+        }
     }
 
     #[test]

@@ -14,8 +14,63 @@ pub struct Evaluation {
     pub value: Option<f64>,
 }
 
-/// Evaluates `query` against `data`, exactly and without any protection.
+/// Per-query resource limits. The deadline is expressed as a row-scan
+/// allowance, not a wall-clock duration, so refusal decisions are
+/// deterministic and reproducible; a query whose scan would exceed the
+/// allowance is refused *before* any row is read — never answered from a
+/// partial scan, which would be a silent wrong answer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryLimits {
+    /// Maximum rows one evaluation may scan; `None` is unlimited.
+    pub max_rows: Option<u64>,
+}
+
+impl QueryLimits {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A row-scan allowance of `max_rows`.
+    pub fn with_max_rows(max_rows: u64) -> Self {
+        QueryLimits {
+            max_rows: Some(max_rows),
+        }
+    }
+
+    /// The ambient limits of this evaluation: the fault plan's injected
+    /// per-query deadline (`querydb.deadline`, a row allowance), when one
+    /// applies to this draw. With no plan installed this is free.
+    pub fn ambient() -> Self {
+        QueryLimits {
+            max_rows: faultkit::param("querydb.deadline"),
+        }
+    }
+
+    /// The stricter combination of two limit sets.
+    pub fn tightened(self, other: QueryLimits) -> Self {
+        QueryLimits {
+            max_rows: match (self.max_rows, other.max_rows) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+}
+
+/// Evaluates `query` against `data`, exactly and without any protection,
+/// under the ambient [`QueryLimits`] (the injected deadline, if any).
 pub fn evaluate(data: &Dataset, query: &Query) -> Result<Evaluation> {
+    evaluate_with_limits(data, query, &QueryLimits::ambient())
+}
+
+/// [`evaluate`] under explicit resource limits. Exceeding the row
+/// allowance returns [`Error::ResourceExhausted`] with nothing scanned.
+pub fn evaluate_with_limits(
+    data: &Dataset,
+    query: &Query,
+    limits: &QueryLimits,
+) -> Result<Evaluation> {
     // Resolve the aggregate attribute early so bad queries fail loudly.
     let agg_col = match query.aggregate.attribute() {
         Some(name) => {
@@ -32,6 +87,15 @@ pub fn evaluate(data: &Dataset, query: &Query) -> Result<Evaluation> {
     // below then reads cells straight out of the columnar storage.
     let _span = obs::span("querydb.evaluate");
     obs::count("querydb.queries", 1);
+    if let Some(max_rows) = limits.max_rows {
+        let needed = data.num_rows() as u64;
+        if needed > max_rows {
+            obs::count("querydb.deadline_refusals", 1);
+            return Err(Error::ResourceExhausted(format!(
+                "query needs {needed} row scans but its deadline allows {max_rows}"
+            )));
+        }
+    }
     obs::count("querydb.rows_scanned", data.num_rows() as u64);
     let compiled = CompiledPredicate::compile(&query.predicate, data)?;
     let mut query_set = Vec::new();
@@ -212,6 +276,35 @@ mod tests {
         let d = patients::dataset1();
         let q = parse("SELECT SUM(aids) FROM t").unwrap();
         assert!(evaluate(&d, &q).is_err());
+    }
+
+    #[test]
+    fn row_budget_refuses_before_scanning() {
+        let d = patients::dataset1(); // 10 rows
+        let q = parse("SELECT COUNT(*) FROM t").unwrap();
+        // A generous allowance changes nothing.
+        let ok = evaluate_with_limits(&d, &q, &QueryLimits::with_max_rows(10)).unwrap();
+        assert_eq!(ok.value, Some(10.0));
+        assert_eq!(ok, evaluate(&d, &q).unwrap());
+        // A tight allowance is an explicit typed refusal, not a partial
+        // answer.
+        let err = evaluate_with_limits(&d, &q, &QueryLimits::with_max_rows(9)).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)), "got {err:?}");
+        assert!(err.to_string().contains("10 row scans"));
+    }
+
+    #[test]
+    fn limits_tighten_to_the_stricter_combination() {
+        let a = QueryLimits::with_max_rows(5);
+        let b = QueryLimits::with_max_rows(9);
+        assert_eq!(a.tightened(b).max_rows, Some(5));
+        assert_eq!(b.tightened(a).max_rows, Some(5));
+        assert_eq!(a.tightened(QueryLimits::unlimited()).max_rows, Some(5));
+        assert_eq!(QueryLimits::unlimited().tightened(b).max_rows, Some(9));
+        assert_eq!(
+            QueryLimits::unlimited().tightened(QueryLimits::unlimited()),
+            QueryLimits::unlimited()
+        );
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use crate::ast::Query;
 use crate::control::{Answer, ControlPolicy};
-use crate::engine::evaluate;
+use crate::engine::{evaluate_with_limits, QueryLimits};
 use crate::parser::parse;
-use tdf_microdata::{Dataset, Result};
+use tdf_microdata::{Dataset, Error, Result};
 
 /// An interactively queryable statistical database.
 ///
@@ -17,15 +17,25 @@ use tdf_microdata::{Dataset, Result};
 pub struct StatDb {
     data: Dataset,
     policy: ControlPolicy,
+    limits: QueryLimits,
     log: Vec<(Query, Answer)>,
 }
 
 impl StatDb {
-    /// Opens a database over `data` with the given policy.
+    /// Opens a database over `data` with the given policy and no
+    /// explicit resource limits.
     pub fn new(data: Dataset, policy: ControlPolicy) -> Self {
+        Self::with_limits(data, policy, QueryLimits::unlimited())
+    }
+
+    /// Opens a database with explicit per-query [`QueryLimits`]. The
+    /// effective limits of each query are these tightened by the ambient
+    /// (fault-injected) ones.
+    pub fn with_limits(data: Dataset, policy: ControlPolicy, limits: QueryLimits) -> Self {
         Self {
             data,
             policy,
+            limits,
             log: Vec::new(),
         }
     }
@@ -35,10 +45,19 @@ impl StatDb {
         &self.data
     }
 
-    /// Submits a parsed query.
+    /// Submits a parsed query. A query that exhausts its evaluation
+    /// budget degrades to an explicit [`Answer::Refused`] — the paper's
+    /// tracker semantics — and is logged like any other refusal; it is
+    /// never answered from a partial scan.
     pub fn query(&mut self, query: Query) -> Result<Answer> {
-        let eval = evaluate(&self.data, &query)?;
-        let answer = self.policy.apply(&self.data, &query, &eval);
+        let limits = self.limits.tightened(QueryLimits::ambient());
+        let answer = match evaluate_with_limits(&self.data, &query, &limits) {
+            Ok(eval) => self.policy.apply(&self.data, &query, &eval),
+            Err(Error::ResourceExhausted(_)) => {
+                Answer::Refused("query exceeded its evaluation deadline")
+            }
+            Err(e) => return Err(e),
+        };
         self.log.push((query, answer.clone()));
         Ok(answer)
     }

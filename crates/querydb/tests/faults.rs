@@ -1,0 +1,104 @@
+//! Injected per-query deadlines (`querydb.deadline`).
+//!
+//! The fault plan is process-global, so these tests live in their own
+//! binary: a plan installed here can never race the plan-free lib tests.
+//! Within the binary a mutex serialises the tests.
+
+use std::sync::Mutex;
+use tdf_microdata::{patients, Error};
+use tdf_querydb::engine::evaluate;
+use tdf_querydb::parser::parse;
+use tdf_querydb::{Answer, ControlPolicy, QueryLimits, StatDb};
+
+static PLAN: Mutex<()> = Mutex::new(());
+
+fn with_fault_plan<T>(text: &str, f: impl FnOnce() -> T) -> T {
+    let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    faultkit::set_plan(Some(faultkit::FaultPlan::parse(text).unwrap()));
+    let out = f();
+    faultkit::set_plan(None);
+    out
+}
+
+#[test]
+fn injected_deadline_refuses_the_bare_engine() {
+    let d = patients::dataset1(); // 10 rows
+    let q = parse("SELECT COUNT(*) FROM t").unwrap();
+    let err = with_fault_plan("querydb.deadline=5", || evaluate(&d, &q)).unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "got {err:?}");
+    // A roomy injected deadline changes nothing.
+    let ok = with_fault_plan("querydb.deadline=100", || evaluate(&d, &q)).unwrap();
+    assert_eq!(ok.value, Some(10.0));
+}
+
+#[test]
+fn statdb_degrades_an_exhausted_budget_to_an_explicit_logged_refusal() {
+    let answer = with_fault_plan("querydb.deadline=5", || {
+        let mut db = StatDb::new(patients::dataset1(), ControlPolicy::None);
+        let a = db.query_str("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(db.query_log().len(), 1, "the refusal is logged");
+        assert_eq!(db.refusals(), 1);
+        a
+    });
+    assert!(answer.is_refused(), "got {answer:?}");
+}
+
+#[test]
+fn explicit_limits_tighten_with_injected_ones() {
+    // The ambient (injected) deadline is looser than the explicit one:
+    // the explicit allowance still refuses.
+    let answer = with_fault_plan("querydb.deadline=1000", || {
+        let mut db = StatDb::with_limits(
+            patients::dataset1(),
+            ControlPolicy::None,
+            QueryLimits::with_max_rows(5),
+        );
+        db.query_str("SELECT COUNT(*) FROM t").unwrap()
+    });
+    assert!(answer.is_refused());
+}
+
+#[test]
+fn zero_rate_deadline_plan_is_bit_identical_to_no_plan() {
+    let run = || {
+        let mut db = StatDb::new(
+            patients::dataset2(),
+            ControlPolicy::SizeRestriction { min_size: 2 },
+        );
+        let a = db
+            .query_str("SELECT AVG(blood_pressure) FROM t WHERE height < 180")
+            .unwrap();
+        let b = db
+            .query_str("SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105")
+            .unwrap();
+        (a, b)
+    };
+    let baseline = {
+        let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+        faultkit::set_plan(None);
+        run()
+    };
+    let gated = with_fault_plan("querydb.deadline=5@0", run);
+    assert_eq!(baseline, gated);
+}
+
+#[test]
+fn fractional_rate_refuses_some_queries_and_answers_the_rest() {
+    let (answers, refusals) = with_fault_plan("querydb.deadline=5@0.5", || {
+        let mut db = StatDb::new(patients::dataset1(), ControlPolicy::None);
+        for _ in 0..40 {
+            db.query_str("SELECT COUNT(*) FROM t").unwrap();
+        }
+        let refused = db.refusals();
+        (db.query_log().len() - refused, refused)
+    });
+    assert!(answers > 0, "some queries must get through");
+    assert!(refusals > 0, "some queries must be refused");
+    // Answered queries are exact: refusal is all-or-nothing, never a
+    // partial scan.
+    let ok = with_fault_plan("querydb.deadline=5@0", || {
+        let mut db = StatDb::new(patients::dataset1(), ControlPolicy::None);
+        db.query_str("SELECT COUNT(*) FROM t").unwrap()
+    });
+    assert_eq!(ok, Answer::Exact(10.0));
+}

@@ -1,0 +1,47 @@
+//! Injected transcript corruption (`smc.corrupt_word`).
+//!
+//! Lives in its own test binary because the fault plan is process-global
+//! and must not race the plan-free protocol tests.
+
+use std::sync::Mutex;
+use tdf_smc::transcript::Transcript;
+
+static PLAN: Mutex<()> = Mutex::new(());
+
+fn with_fault_plan<T>(text: &str, f: impl FnOnce() -> T) -> T {
+    let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    faultkit::set_plan(Some(faultkit::FaultPlan::parse(text).unwrap()));
+    let out = f();
+    faultkit::set_plan(None);
+    out
+}
+
+fn sample_transcript() -> Transcript {
+    let mut t = Transcript::new();
+    t.send(0, 3, "masked_partial_sum", vec![11, 22, 33]);
+    t.send(1, 3, "masked_partial_sum", vec![44, 55]);
+    t.send(3, 0, "sum", vec![165]);
+    t
+}
+
+#[test]
+fn injected_corruption_is_detected_by_verify() {
+    let t = with_fault_plan("smc.corrupt_word=1", sample_transcript);
+    let err = t.verify().expect_err("one message was corrupted in flight");
+    assert_eq!(err.index, 0, "budget 1 at rate 1 hits the first message");
+    assert_ne!(err.expected, err.actual);
+}
+
+#[test]
+fn zero_rate_corruption_plan_is_bit_identical_to_no_plan() {
+    let baseline = {
+        let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+        faultkit::set_plan(None);
+        sample_transcript()
+    };
+    let gated = with_fault_plan("smc.corrupt_word=9@0", sample_transcript);
+    assert_eq!(baseline.verify(), Ok(()));
+    assert_eq!(gated.verify(), Ok(()));
+    assert_eq!(baseline.digest(), gated.digest());
+    assert_eq!(baseline.messages(), gated.messages());
+}

@@ -24,7 +24,14 @@
 //! Every kernel is instrumented through [`obs`], the zero-dependency
 //! observability layer: set `TDF_OBS=1` for counters/gauges/histograms or
 //! `TDF_OBS=2` to add spans; instrumentation never changes results.
+//!
+//! Robustness is exercised through [`faultkit`], the seed-deterministic
+//! fault-injection layer: set `TDF_FAULTS` to a plan such as
+//! `pir.server_drop=1@0.1,par.worker_panic=3` and the hot paths inject —
+//! and survive — server drops, corrupted answers, worker panics and
+//! query deadlines; a zero-rate plan is bit-identical to no plan.
 
+pub use faultkit;
 pub use obs;
 pub use par;
 pub use tdf_anonymity as anonymity;

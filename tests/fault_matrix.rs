@@ -1,0 +1,98 @@
+//! CI fault-matrix smoke: exercises the `TDF_FAULTS` environment path.
+//!
+//! Every other fault test installs its plan programmatically via
+//! `faultkit::set_plan`, which bypasses environment parsing entirely. This
+//! binary never touches the plan: whatever `ci/check.sh` exports in
+//! `TDF_FAULTS` is what runs, so the env-var grammar, the lazy one-time
+//! init and the `TDF_FAULT_SEED` override get end-to-end coverage. Every
+//! assertion is an invariant that must hold under *any* plan — degraded
+//! or refused outcomes are fine, wrong answers and dead pools are not.
+
+use rngkit::SeedableRng;
+use tdf_microdata::synth::{patients, PatientConfig};
+use tdf_pir::redundant::{retrieve, RetryPolicy, VerifiedDatabase};
+use tdf_querydb::control::ControlPolicy;
+use tdf_querydb::statdb::StatDb;
+use tdf_smc::secure_sum::ring_secure_sum;
+
+/// Injected worker panics are expected noise in a fault-matrix run; keep
+/// the default hook for anything else.
+fn silence_injected_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        if !(msg.contains("injected") || msg.contains("tdf-par:")) {
+            default(info);
+        }
+    }));
+}
+
+#[test]
+fn ambient_plan_matches_the_environment() {
+    // No set_plan call anywhere in this binary, so enabled() reflects the
+    // lazy env init and nothing else.
+    assert_eq!(
+        faultkit::enabled(),
+        std::env::var("TDF_FAULTS").is_ok(),
+        "env-installed plans must be visible through the faultkit API"
+    );
+}
+
+#[test]
+fn pipeline_invariants_hold_under_the_ambient_plan() {
+    silence_injected_panics();
+
+    // Redundant PIR: a fault within tolerance is masked, beyond tolerance
+    // it is a typed error — never a wrong record.
+    let records: Vec<Vec<u8>> = (0..128usize).map(|i| vec![i as u8; 8]).collect();
+    let vdb = VerifiedDatabase::new(records.clone());
+    let policy = RetryPolicy::default();
+    let mut rng = rngkit::rngs::StdRng::seed_from_u64(0xCE);
+    for k in 0..32usize {
+        let index = (k * 13) % records.len();
+        if let Ok(out) = retrieve(&mut rng, &vdb, 6, 1, index, &policy) {
+            assert_eq!(out.record, records[index], "never a wrong record");
+        }
+    }
+
+    // Query DB: an injected deadline degrades to an explicit refusal,
+    // never to an engine error or a partial answer.
+    let d = patients(&PatientConfig {
+        n: 60,
+        seed: 0xCE,
+        ..Default::default()
+    });
+    let mut db = StatDb::new(d, ControlPolicy::SizeRestriction { min_size: 2 });
+    for _ in 0..8 {
+        db.query_str("SELECT AVG(weight) FROM t WHERE height >= 150")
+            .expect("refusal, not error");
+    }
+
+    // Secure sum: transcript verification must return a verdict (clean or
+    // a typed corruption report) under any plan.
+    let inputs: Vec<tdf_mathkit::Fp61> = (0..5u64).map(tdf_mathkit::Fp61::new).collect();
+    let mut rng = rngkit::rngs::StdRng::seed_from_u64(0x5C);
+    let (_, transcript) = ring_secure_sum(&mut rng, &inputs);
+    let _ = transcript.verify();
+
+    // Parallel map: a panicked region surfaces as a typed error and the
+    // pool survives to serve later regions; a clean region is exact.
+    let mut served_clean = false;
+    for _ in 0..50 {
+        if let Ok(v) = par::try_par_map_range(4000, |i| i as u64 * 3) {
+            assert_eq!(v.len(), 4000);
+            assert_eq!(v[1234], 3702);
+            served_clean = true;
+            break;
+        }
+    }
+    assert!(
+        served_clean,
+        "pool must recover and eventually serve a clean region"
+    );
+}

@@ -172,8 +172,28 @@ fn par_crate_is_registered_and_its_dependencies_are_frozen() {
     );
     assert_eq!(
         runtime_deps(&root.join("crates/par/Cargo.toml")),
+        ["tdf-obs", "tdf-faultkit"],
+        "crates/par must depend only on the in-tree observability and \
+         fault-injection crates"
+    );
+}
+
+#[test]
+fn faultkit_crate_is_registered_and_its_dependencies_are_frozen() {
+    // The fault-injection substrate sits below every kernel crate, so a
+    // dependency added here spreads workspace-wide. Its runtime set is
+    // frozen at exactly the observability crate (injected faults are
+    // counted); parsing, hashing and the plan registry are std-only.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let table = std::fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    assert!(
+        table.contains("tdf-faultkit = { path = \"crates/faultkit\" }"),
+        "tdf-faultkit must be a [workspace.dependencies] path entry"
+    );
+    assert_eq!(
+        runtime_deps(&root.join("crates/faultkit/Cargo.toml")),
         ["tdf-obs"],
-        "crates/par must depend only on the in-tree observability crate"
+        "crates/faultkit must depend only on the in-tree observability crate"
     );
 }
 

@@ -1,0 +1,128 @@
+//! Fault injection is inert when gated off: running any kernel with a
+//! `TDF_FAULTS`-style plan installed at **rate 0** must produce
+//! bit-identical results to running with no plan at all, at thread
+//! counts 1 and 4 alike. An injection site that consumes caller
+//! randomness, reorders a fold, or branches on the plan anywhere but at
+//! the firing decision fails here.
+
+use check::prelude::*;
+use dbpriv::microdata::rng::seeded;
+use dbpriv::microdata::synth::{census, patients, PatientConfig};
+use dbpriv::pir::redundant::{retrieve as redundant_retrieve, RetryPolicy, VerifiedDatabase};
+use dbpriv::pir::store::Database;
+use dbpriv::querydb::control::ControlPolicy;
+use dbpriv::querydb::statdb::StatDb;
+use dbpriv::smc::secure_sum::{ring_secure_sum, sharing_secure_sum};
+use std::sync::Mutex;
+use tdf_mathkit::Fp61;
+
+/// Every fault site the workspace defines, each with a nonzero budget but
+/// rate 0: the plan is installed and consulted, yet must never fire.
+const ZERO_RATE_PLAN: &str = "pir.server_drop=4@0,pir.corrupt_word=4@0,\
+                              par.worker_panic=2@0,querydb.deadline=5@0,\
+                              smc.corrupt_word=3@0";
+
+/// The fault plan is process-global state: every test in this binary
+/// installs one, so they serialise on one lock.
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once per (plan, thread count) combination and returns the four
+/// results in a fixed order: (none,1), (zero-rate,1), (none,4),
+/// (zero-rate,4). The plan is uninstalled afterwards.
+fn matrix<T>(f: impl Fn() -> T) -> [T; 4] {
+    let _guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let run = |plan: Option<&str>, threads: usize| {
+        faultkit::set_plan(plan.map(|p| faultkit::FaultPlan::parse(p).expect("valid plan")));
+        let out = par::with_threads(threads, &f);
+        faultkit::set_plan(None);
+        out
+    };
+    [
+        run(None, 1),
+        run(Some(ZERO_RATE_PLAN), 1),
+        run(None, 4),
+        run(Some(ZERO_RATE_PLAN), 4),
+    ]
+}
+
+props! {
+    #![cases(12)]
+
+    #[test]
+    fn mdav_is_unchanged_by_a_zero_rate_plan(n in 30usize..120, k in 2usize..6, seed in 0u64..30) {
+        let d = patients(&PatientConfig { n, seed, ..Default::default() });
+        let qi = d.schema().quasi_identifier_indices();
+        let [off1, on1, off4, on4] =
+            matrix(|| dbpriv::sdc::microaggregation::mdav_microaggregate(&d, &qi, k).unwrap());
+        prop_assert_eq!(&on1.data, &off1.data);
+        prop_assert_eq!(&on1.group_of, &off1.group_of);
+        prop_assert_eq!(on1.sse.to_bits(), off1.sse.to_bits());
+        prop_assert_eq!(&on4.data, &off4.data);
+        prop_assert_eq!(&on4.group_of, &off4.group_of);
+        prop_assert_eq!(on4.sse.to_bits(), off4.sse.to_bits());
+    }
+
+    #[test]
+    fn mondrian_and_pram_are_unchanged_by_a_zero_rate_plan(n in 30usize..100, k in 2usize..6, seed in 0u64..30) {
+        let d = patients(&PatientConfig { n, seed, ..Default::default() });
+        let c = census(n / 2, seed);
+        let [off1, on1, off4, on4] = matrix(|| {
+            let mondrian = dbpriv::anonymity::mondrian_anonymize(&d, k);
+            let pram = dbpriv::sdc::pram::pram(&c, 4, 0.3, &mut seeded(seed)).unwrap();
+            (mondrian, pram)
+        });
+        prop_assert_eq!(&on1.0.data, &off1.0.data);
+        prop_assert_eq!(&on1.1, &off1.1);
+        prop_assert_eq!(&on4.0.data, &off4.0.data);
+        prop_assert_eq!(&on4.1, &off4.1);
+    }
+
+    #[test]
+    fn pir_linear_and_redundant_are_unchanged_by_a_zero_rate_plan(n in 8usize..300, seed in 0u64..30) {
+        let records: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8, (i * 3) as u8]).collect();
+        let db = Database::new(records.clone());
+        let vdb = VerifiedDatabase::new(records);
+        let index = n / 2;
+        let [off1, on1, off4, on4] = matrix(|| {
+            let mut rng = seeded(seed);
+            let lin = dbpriv::pir::linear::retrieve(&mut rng, &db, 3, index);
+            let robust = redundant_retrieve(&mut rng, &vdb, 6, 1, index, &RetryPolicy::default())
+                .expect("no faults can fire at rate 0");
+            (lin, robust)
+        });
+        prop_assert_eq!(&on1, &off1);
+        prop_assert_eq!(&on4, &off4);
+        prop_assert!(!on1.1.degraded, "rate 0 must not degrade service");
+    }
+
+    #[test]
+    fn querydb_answers_are_unchanged_by_a_zero_rate_plan(n in 20usize..100, seed in 0u64..30) {
+        let d = patients(&PatientConfig { n, seed, ..Default::default() });
+        let queries = [
+            "SELECT COUNT(*) FROM t WHERE height < 170",
+            "SELECT AVG(weight) FROM t WHERE height >= 150",
+            "SELECT SUM(weight) FROM t",
+        ];
+        let [off1, on1, off4, on4] = matrix(|| {
+            let mut db = StatDb::new(d.clone(), ControlPolicy::SizeRestriction { min_size: 3 });
+            let answers: Vec<_> = queries.iter().map(|q| db.query_str(q).unwrap()).collect();
+            (answers, db.refusals())
+        });
+        prop_assert_eq!(&on1, &off1);
+        prop_assert_eq!(&on4, &off4);
+    }
+
+    #[test]
+    fn smc_secure_sum_is_unchanged_by_a_zero_rate_plan(k in 3usize..9, seed in 0u64..30) {
+        let inputs: Vec<Fp61> = (0..k as u64).map(|i| Fp61::new(seed * 31 + i)).collect();
+        let [off1, on1, off4, on4] = matrix(|| {
+            let (ring_sum, ring_t) = ring_secure_sum(&mut seeded(seed), &inputs);
+            let (share_sum, share_t) = sharing_secure_sum(&mut seeded(seed ^ 1), &inputs);
+            assert_eq!(ring_t.verify(), Ok(()), "rate 0 must not corrupt");
+            assert_eq!(share_t.verify(), Ok(()));
+            (ring_sum, ring_t.digest(), share_sum, share_t.digest())
+        });
+        prop_assert_eq!(&on1, &off1);
+        prop_assert_eq!(&on4, &off4);
+    }
+}
