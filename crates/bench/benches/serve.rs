@@ -1,0 +1,107 @@
+//! End-to-end service bench: the `tdf-serve` TCP front-end under the
+//! closed-loop Zipfian load generator, over real sockets on loopback.
+//!
+//! One in-process server (the same binary protocol and admission path as
+//! production use) is driven by concurrent client connections; every
+//! per-request round-trip latency feeds the summary directly via
+//! [`Harness::record_latencies`], so the p50/p95/p99 in the artefact are
+//! true request quantiles, not timed-sample statistics. Run-level
+//! aggregates (throughput, answered/refused/error counts) ride along as
+//! counters.
+//!
+//! Environment knobs (all optional) — CI smoke shrinks these; the
+//! committed artefact uses the defaults (≥1000 simulated users):
+//!
+//! | variable               | default | meaning                          |
+//! |------------------------|---------|----------------------------------|
+//! | `TDF_SERVE_CLIENTS`    | 8       | concurrent client connections    |
+//! | `TDF_SERVE_USERS`      | 1000    | simulated user-id population     |
+//! | `TDF_SERVE_REQS`       | 250     | requests per client              |
+//! | `TDF_SERVE_ROWS`       | 1000    | synthetic patient rows served    |
+//!
+//! Emits `BENCH_serve.json`.
+
+use tdf_bench::harness::Harness;
+use tdf_serve::{loadgen, LoadConfig, Server, ServerConfig, SessionConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One load run against a fresh server; records `id` with the full
+/// latency distribution and run-level counters.
+fn bench_load(h: &mut Harness, id: &str, budget: f64, load: &LoadConfig) {
+    let server = Server::start(ServerConfig {
+        rows: env_u64("TDF_SERVE_ROWS", 1000) as usize,
+        seed: tdf_bench::seed_from_env(0x5E27E),
+        workers: 0, // sized from measured cores
+        session: SessionConfig {
+            budget,
+            ..SessionConfig::default()
+        },
+    })
+    .expect("server starts");
+    let (report, latencies) =
+        loadgen::run_with_latencies(server.addr(), load).expect("load run completes");
+    server.shutdown();
+    assert_eq!(report.errors, 0, "loopback load must be error-free");
+    h.record_latencies(
+        id,
+        &latencies,
+        vec![
+            (
+                "throughput_rps".into(),
+                report.throughput_rps.round() as u64,
+            ),
+            ("requests".into(), report.requests),
+            ("answered".into(), report.answered),
+            ("refused".into(), report.refused),
+            ("errors".into(), report.errors),
+        ],
+    );
+}
+
+fn main() {
+    let mut h = Harness::new("serve");
+    let clients = env_u64("TDF_SERVE_CLIENTS", 8) as usize;
+    let users = env_u64("TDF_SERVE_USERS", 1000);
+    let requests_per_client = env_u64("TDF_SERVE_REQS", 250) as usize;
+    let seed = tdf_bench::seed_from_env(0x10AD);
+
+    // Steady state: generous budgets, so (nearly) every request does the
+    // full parse→evaluate→perturb pipeline. The latency quantiles here
+    // are the service's answer-path cost.
+    bench_load(
+        &mut h,
+        &format!("load/steady_c{clients}_u{users}"),
+        1e9,
+        &LoadConfig {
+            clients,
+            users,
+            requests_per_client,
+            zipf_s: 1.1,
+            seed,
+        },
+    );
+
+    // Contended regime: tight budgets and a heavy Zipf head, so popular
+    // users exhaust ε mid-run and the refusal fast path carries a large
+    // share of requests — the admission path under pressure.
+    bench_load(
+        &mut h,
+        &format!("load/contended_c{clients}_u{users}"),
+        5.0,
+        &LoadConfig {
+            clients,
+            users,
+            requests_per_client,
+            zipf_s: 1.3,
+            seed,
+        },
+    );
+
+    h.finish().expect("write BENCH_serve.json");
+}

@@ -1,0 +1,123 @@
+//! The thread-scaling regression gate.
+//!
+//! The persistent executor exists so that adding threads never makes the
+//! parallel kernels *slower* (the fork/join pool's failure mode: worse
+//! than sequential at t4 on the MDAV/Mondrian benches). This binary
+//! enforces that property as a pass/fail check, cheap enough for CI: the
+//! MDAV (n=5000, k=5) and Mondrian (n=4000, k=5) kernels are timed at 1
+//! and 4 `tdf-par` threads, and the t4 median must stay within
+//! `GATE_RATIO` of the t1 median. It also asserts the determinism
+//! contract directly — the t1 and t4 outputs must be identical.
+//!
+//! On hosts with fewer than 4 measured cores the timing comparison is
+//! meaningless (the core clamp runs "t4" sequentially), so the gate
+//! skips with a notice — exit 0, nothing asserted about time. Exit codes:
+//! 0 pass/skip, 1 regression.
+//!
+//! Knobs: `TDF_GATE_SAMPLES` (default 9) timing samples per point;
+//! `TDF_CORES` overrides core detection as everywhere else.
+
+use std::time::Instant;
+use tdf_anonymity::mondrian_anonymize;
+use tdf_microdata::synth::{patients, PatientConfig};
+use tdf_sdc::microaggregation::mdav_microaggregate;
+
+/// Allowed t4/t1 median ratio: parity with 10% measurement headroom.
+const GATE_RATIO: f64 = 1.10;
+
+/// Median wall time of `samples` invocations, in nanoseconds.
+fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Times one kernel at t1 and t4 and checks the ratio. `fingerprint`
+/// must be a pure function of the kernel output; it is compared across
+/// thread counts to assert bit-identical results.
+fn gate<T, K: FnMut() -> T>(
+    name: &str,
+    samples: usize,
+    mut kernel: K,
+    fingerprint: impl Fn(&T) -> Vec<u64>,
+) -> bool {
+    let out_t1 = par::with_threads(1, &mut kernel);
+    let out_t4 = par::with_threads(4, &mut kernel);
+    assert_eq!(
+        fingerprint(&out_t1),
+        fingerprint(&out_t4),
+        "{name}: t1 and t4 outputs differ — determinism contract broken"
+    );
+    let t1 = par::with_threads(1, || median_ns(samples, &mut kernel));
+    let t4 = par::with_threads(4, || median_ns(samples, &mut kernel));
+    let ratio = t4 as f64 / t1 as f64;
+    let ok = ratio <= GATE_RATIO;
+    println!(
+        "{} {name}: t1 median {:.2} ms, t4 median {:.2} ms, ratio {ratio:.3} (limit {GATE_RATIO})",
+        if ok { "pass" } else { "FAIL" },
+        t1 as f64 / 1e6,
+        t4 as f64 / 1e6,
+    );
+    ok
+}
+
+fn main() {
+    let cores = par::measured_cores();
+    if cores < 4 {
+        println!(
+            "scaling_gate: skipped — {cores} measured core(s) < 4; the core clamp \
+             runs t4 sequentially here, so a timing comparison would be vacuous \
+             (set TDF_CORES to force)"
+        );
+        return;
+    }
+    let samples = std::env::var("TDF_GATE_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9)
+        .max(1);
+
+    let d = patients(&PatientConfig {
+        n: 5000,
+        ..Default::default()
+    });
+    let qi = d.schema().quasi_identifier_indices();
+    let mdav_ok = gate(
+        "mdav_n5000_k5",
+        samples,
+        || mdav_microaggregate(&d, &qi, 5).expect("mdav"),
+        |r| {
+            let mut fp: Vec<u64> = r.group_of.iter().map(|&g| g as u64).collect();
+            fp.push(r.num_groups as u64);
+            fp.push(r.sse.to_bits());
+            fp
+        },
+    );
+
+    let dm = patients(&PatientConfig {
+        n: 4000,
+        ..Default::default()
+    });
+    let mondrian_ok = gate(
+        "mondrian_n4000_k5",
+        samples,
+        || mondrian_anonymize(&dm, 5),
+        |r| {
+            let mut fp: Vec<u64> = r.partition_of.iter().map(|&p| p as u64).collect();
+            fp.push(r.num_partitions as u64);
+            fp
+        },
+    );
+
+    if !(mdav_ok && mondrian_ok) {
+        eprintln!("scaling_gate: t4 regressed past {GATE_RATIO}x the t1 median");
+        std::process::exit(1);
+    }
+    println!("scaling_gate: ok ({cores} cores, {samples} samples per point)");
+}

@@ -3,9 +3,11 @@
 //! Each benchmark id is measured as `samples` timed samples of
 //! `iters_per_sample` closure invocations; the per-iteration wall time of
 //! every sample feeds the summary statistics (min / mean / median / p95 /
-//! max). The iteration count is auto-calibrated during warmup so a sample
-//! lasts long enough for the clock to resolve even nanosecond-scale
-//! bodies.
+//! p99 / max). The iteration count is auto-calibrated during warmup so a
+//! sample lasts long enough for the clock to resolve even
+//! nanosecond-scale bodies. Suites that measure real per-event latencies
+//! (the serve load generator) feed them in directly via
+//! [`Harness::record_latencies`] instead of the timed-sample loop.
 //!
 //! On [`Harness::finish`] a suite prints an aligned table to stdout and
 //! writes `BENCH_<suite>.json` (to `TDF_RESULTS_DIR` when set, else the
@@ -53,6 +55,11 @@ pub struct Summary {
     pub median_ns: f64,
     /// 95th percentile over samples, ns per iteration.
     pub p95_ns: f64,
+    /// 99th percentile over samples, ns per iteration. For classic
+    /// timed-sample benches with few samples this coincides with
+    /// `max_ns`; it earns its keep on [`Harness::record_latencies`]
+    /// entries, where every sample is one real request.
+    pub p99_ns: f64,
     /// Slowest sample, ns per iteration.
     pub max_ns: f64,
     /// Observability counters for one invocation of the body, captured by
@@ -127,6 +134,7 @@ impl Harness {
             mean_ns: times.iter().sum::<f64>() / times.len() as f64,
             median_ns: percentile(&times, 0.5),
             p95_ns: percentile(&times, 0.95),
+            p99_ns: percentile(&times, 0.99),
             max_ns: *times.last().expect("samples >= 1"),
             counters: Vec::new(),
         };
@@ -144,6 +152,46 @@ impl Harness {
     /// the pinned count, so one suite can hold a thread-scaling series.
     pub fn bench_at_threads<T, F: FnMut() -> T>(&mut self, id: &str, threads: usize, f: F) {
         par::with_threads(threads, || self.bench(id, f));
+    }
+
+    /// Records a summary from externally measured per-event latencies
+    /// (e.g. per-request socket round trips from a load generator),
+    /// bypassing the timed-sample loop: every latency is one sample and
+    /// `iters_per_sample` is 1. `counters` lands in the JSON artefact
+    /// verbatim (sorted by name); use it for run-level aggregates like
+    /// throughput. Empty latency slices are rejected.
+    pub fn record_latencies(
+        &mut self,
+        id: &str,
+        latencies_ns: &[u64],
+        counters: Vec<(String, u64)>,
+    ) {
+        assert!(!latencies_ns.is_empty(), "no latencies recorded for {id}");
+        let mut times: Vec<f64> = latencies_ns.iter().map(|&ns| ns as f64).collect();
+        times.sort_by(f64::total_cmp);
+        let mut counters = counters;
+        counters.sort();
+        let summary = Summary {
+            id: id.to_owned(),
+            threads: par::threads(),
+            iters_per_sample: 1,
+            samples: times.len(),
+            min_ns: times[0],
+            mean_ns: times.iter().sum::<f64>() / times.len() as f64,
+            median_ns: percentile(&times, 0.5),
+            p95_ns: percentile(&times, 0.95),
+            p99_ns: percentile(&times, 0.99),
+            max_ns: *times.last().expect("non-empty"),
+            counters,
+        };
+        eprintln!(
+            "{:<44} median {:>12}  p95 {:>12}  p99 {:>12}",
+            format!("{}/{}", self.suite, id),
+            fmt_ns(summary.median_ns),
+            fmt_ns(summary.p95_ns),
+            fmt_ns(summary.p99_ns),
+        );
+        self.results.push(summary);
     }
 
     /// Measures `f` like [`bench`](Harness::bench), then captures the
@@ -202,7 +250,7 @@ impl Harness {
             json.push_str(&format!(
                 "{{\"id\":\"{}\",\"threads\":{},\"iters_per_sample\":{},\"samples\":{},\
                  \"min_ns\":{:.1},\"mean_ns\":{:.1},\"median_ns\":{:.1},\
-                 \"p95_ns\":{:.1},\"max_ns\":{:.1}}}",
+                 \"p95_ns\":{:.1},\"p99_ns\":{:.1},\"max_ns\":{:.1}}}",
                 s.id,
                 s.threads,
                 s.iters_per_sample,
@@ -211,6 +259,7 @@ impl Harness {
                 s.mean_ns,
                 s.median_ns,
                 s.p95_ns,
+                s.p99_ns,
                 s.max_ns
             ));
             if !s.counters.is_empty() {
@@ -325,6 +374,41 @@ mod tests {
         h.bench("noop", || 1u64);
         assert!(h.results()[0].counters.is_empty());
         assert!(!h.to_json().contains("\"counters\""));
+    }
+
+    #[test]
+    fn record_latencies_summarises_raw_events() {
+        let mut h = tiny_harness();
+        // 1..=1000 ns, shuffled order: the API must sort before ranking.
+        let mut lat: Vec<u64> = (1..=1000).rev().collect();
+        lat.rotate_left(317);
+        h.record_latencies(
+            "load",
+            &lat,
+            vec![("throughput_rps".into(), 42), ("answered".into(), 990)],
+        );
+        let s = &h.results()[0];
+        assert_eq!(s.samples, 1000);
+        assert_eq!(s.iters_per_sample, 1);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.median_ns, 500.0);
+        assert_eq!(s.p95_ns, 950.0);
+        assert_eq!(s.p99_ns, 990.0);
+        assert_eq!(s.max_ns, 1000.0);
+        // Counters are sorted by name for a deterministic artefact.
+        assert_eq!(s.counters[0].0, "answered");
+        let json = h.to_json();
+        assert!(json.contains("\"p99_ns\":990.0"), "{json}");
+        assert!(json.contains("\"counters\":{\"answered\":990,\"throughput_rps\":42}"));
+    }
+
+    #[test]
+    fn json_reports_p99_for_timed_benches_too() {
+        let mut h = tiny_harness();
+        h.bench("noop", || 1u64);
+        let s = &h.results()[0];
+        assert!(s.p95_ns <= s.p99_ns && s.p99_ns <= s.max_ns);
+        assert!(h.to_json().contains("\"p99_ns\""));
     }
 
     #[test]

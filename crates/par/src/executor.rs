@@ -1,0 +1,449 @@
+//! The persistent sharded executor behind the `par_*` entry points.
+//!
+//! This replaces the original fork/join-per-call pool, whose per-region
+//! costs (an `Arc` latch allocation, one mpsc node per enlisted worker,
+//! a single shared chunk cursor contended by every thread, and unbounded
+//! caller spin-waiting) produced *negative* thread scaling on the hot
+//! kernels — `BENCH_par.json` showed MDAV 21% and Mondrian 4.6× slower
+//! at `TDF_THREADS=4` than at 1 on the measurement host. The executor
+//! keeps the parts that were right (long-lived workers, spawn-free
+//! dispatch, panic survival) and fixes the parts that were not:
+//!
+//! * **Per-participant chunk deques.** A region's chunks are partitioned
+//!   into contiguous blocks, one per enlisted participant (the caller is
+//!   participant 0), by a pure function of `(num_chunks, participants)`.
+//!   Each participant pops its own block front-to-back; a participant
+//!   whose block is drained steals from the *back* of the next
+//!   participant's block. A deque is one packed `AtomicU64`
+//!   (`next:u32 | end:u32`) updated by CAS, so pops and steals are
+//!   lock-free and the common no-steal case never touches another
+//!   participant's cache line. Which thread executes a chunk never
+//!   affects results — chunk boundaries and merge order are fixed
+//!   upstream in `run_chunked` — so stealing preserves bit-identity.
+//! * **Stack-allocated region state.** The latch, the deques and the
+//!   lifetime-erased body pointer live in a [`Region`] on the caller's
+//!   stack; dispatch allocates nothing but the mpsc node per worker.
+//! * **Blocking completion.** The caller spins only briefly, then parks
+//!   on the region's condvar; every participant settles the latch under
+//!   the region mutex, so a parked caller is woken exactly once and an
+//!   oversubscribed host is never burned by spin loops.
+//! * **Sized by measured core count.** `run_chunked` enlists at most
+//!   [`crate::measured_cores`] participants regardless of `TDF_THREADS`,
+//!   so requesting 4 threads on a 1-core host runs sequentially instead
+//!   of scheduling three threads against one core — the structural fix
+//!   for the negative-scaling bug class (see the `scaling_gate` CI bin).
+//!
+//! **Fault tolerance** is unchanged from the original pool: a worker can
+//! die (today only via the injected `par.worker_panic` fault, one draw
+//! per dispatched job, exactly as before). Every dispatched [`Job`]
+//! settles the region latch on drop — executed, panicked, or dropped
+//! unexecuted in a dead worker's channel — and a failed send respawns
+//! the worker into its slot and re-sends the job, so the executor
+//! survives any number of worker deaths.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+thread_local! {
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    static WORKER_ID: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+/// True on executor worker threads. Parallel entry points consult this to
+/// run nested regions serially: a worker that re-dispatched to the pool
+/// could wait on a job queued behind the very job it is executing.
+pub(crate) fn in_pool() -> bool {
+    IN_POOL.with(std::cell::Cell::get)
+}
+
+/// Stable observability label for the executing thread: `w00`, `w01`, …
+/// on executor workers, `caller` on every other thread. Worker ids are
+/// slot positions, which are deterministic (respawns reuse the dead
+/// worker's slot, so ids never grow past the pool size).
+pub(crate) fn thread_label() -> String {
+    match WORKER_ID.with(std::cell::Cell::get) {
+        usize::MAX => "caller".to_owned(),
+        id => format!("w{id:02}"),
+    }
+}
+
+/// How a parallel region failed. `run_region` reports this instead of
+/// panicking so the `try_par_*` entry points can surface a typed error
+/// while the plain entry points re-raise.
+pub(crate) enum RegionError {
+    /// The caller-thread share of the region panicked; the payload is
+    /// preserved so plain entry points can resume the original unwind.
+    Caller(Box<dyn std::any::Any + Send + 'static>),
+    /// A pooled worker's share panicked (or its job was dropped by a
+    /// dying worker). Worker payloads are consumed on the worker thread.
+    Worker,
+}
+
+/// One participant's deque of chunk ids, packed `next:u32 | end:u32` into
+/// a single CAS word. The owner pops from the front, thieves pop from the
+/// back; both sides shrink the window until `next == end`.
+struct ChunkDeque(AtomicU64);
+
+impl ChunkDeque {
+    fn new(start: u32, end: u32) -> Self {
+        ChunkDeque(AtomicU64::new((u64::from(start) << 32) | u64::from(end)))
+    }
+
+    fn unpack(word: u64) -> (u32, u32) {
+        ((word >> 32) as u32, word as u32)
+    }
+
+    /// Owner side: claim the front chunk, if any remain.
+    fn pop_front(&self) -> Option<usize> {
+        let mut word = self.0.load(Ordering::Relaxed);
+        loop {
+            let (next, end) = Self::unpack(word);
+            if next >= end {
+                return None;
+            }
+            let updated = (u64::from(next + 1) << 32) | u64::from(end);
+            match self
+                .0
+                .compare_exchange_weak(word, updated, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Some(next as usize),
+                Err(w) => word = w,
+            }
+        }
+    }
+
+    /// Thief side: claim the back chunk, if any remain.
+    fn pop_back(&self) -> Option<usize> {
+        let mut word = self.0.load(Ordering::Relaxed);
+        loop {
+            let (next, end) = Self::unpack(word);
+            if next >= end {
+                return None;
+            }
+            let updated = (u64::from(next) << 32) | u64::from(end - 1);
+            match self
+                .0
+                .compare_exchange_weak(word, updated, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Some((end - 1) as usize),
+                Err(w) => word = w,
+            }
+        }
+    }
+}
+
+/// Everything one region's participants share, living on the dispatching
+/// thread's stack for the duration of [`run_region`]. The latch protocol
+/// (`remaining` under `lock`, signalled through `done`) is what makes the
+/// stack lifetime sound: `run_region` does not return until every
+/// dispatched job has settled, on success *and* on unwind.
+struct Region<'a> {
+    /// One deque per participant; index 0 is the caller's.
+    deques: Vec<ChunkDeque>,
+    /// The chunk body. Participants only dereference this while the
+    /// region is alive (the latch guarantees it).
+    process: &'a (dyn Fn(usize) + Sync),
+    /// Dispatched jobs that have not yet settled.
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Region<'_> {
+    /// Drain the participant's own deque front-to-back, then steal from
+    /// the other participants' backs in a fixed scan order.
+    fn execute(&self, participant: usize) {
+        let mut own = 0u64;
+        while let Some(chunk) = self.deques[participant].pop_front() {
+            (self.process)(chunk);
+            own += 1;
+        }
+        let mut stolen = 0u64;
+        let p = self.deques.len();
+        for offset in 1..p {
+            let victim = (participant + offset) % p;
+            while let Some(chunk) = self.deques[victim].pop_back() {
+                (self.process)(chunk);
+                stolen += 1;
+            }
+        }
+        if (own > 0 || stolen > 0) && obs::enabled() {
+            obs::count(&format!("par.pool.chunks.{}", thread_label()), own + stolen);
+            obs::count("par.pool.steals", stolen);
+        }
+    }
+
+    /// Settle one dispatched job: mark the region panicked unless the job
+    /// ran to completion, then decrement the latch under the lock and wake
+    /// the caller. After the notify the region must not be touched — the
+    /// caller is free to return once it observes zero under the lock.
+    fn settle(&self, finished: bool) {
+        if !finished {
+            self.panicked.store(true, Ordering::Release);
+        }
+        let mut remaining = self
+            .remaining
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *remaining -= 1;
+        self.done.notify_one();
+    }
+}
+
+/// One dispatched unit of work: a participant slot in a region, with the
+/// region's lifetime erased. Settling happens in `Drop`, so a job dropped
+/// unexecuted (a dead worker's queued jobs, or an unwind past the body)
+/// still releases the caller instead of deadlocking it.
+struct Job {
+    /// SAFETY: points at a `Region` that [`run_region`] keeps alive until
+    /// every job has settled its latch — which `Drop` below guarantees
+    /// happens exactly once per job on every path.
+    region: *const Region<'static>,
+    participant: usize,
+    finished: bool,
+}
+
+// SAFETY: the pointee is Sync (shared by design across participants) and
+// the latch protocol keeps it alive for the job's whole lifetime.
+unsafe impl Send for Job {}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        // SAFETY: see the field invariant — the region outlives the job.
+        unsafe { (*self.region).settle(self.finished) };
+    }
+}
+
+/// A pooled worker's dispatch handle. `alive` flips to false *before* the
+/// worker begins dying, so a dispatcher never enqueues a job into a
+/// channel whose receiver is about to be dropped mid-unwind — the settled
+/// latch can wake a caller while the dead worker's stack is still being
+/// torn down, and a send that "succeeds" in that window would be dropped
+/// unexecuted and poison an innocent region.
+struct WorkerSlot {
+    tx: Sender<Job>,
+    alive: std::sync::Arc<AtomicBool>,
+}
+
+static POOL: OnceLock<Mutex<Vec<WorkerSlot>>> = OnceLock::new();
+
+fn spawn_worker(id: usize) -> WorkerSlot {
+    let (tx, rx) = channel::<Job>();
+    let alive = std::sync::Arc::new(AtomicBool::new(true));
+    let flag = std::sync::Arc::clone(&alive);
+    std::thread::Builder::new()
+        .name(format!("tdf-par-{id}"))
+        .spawn(move || {
+            IN_POOL.with(|f| f.set(true));
+            WORKER_ID.with(|w| w.set(id));
+            worker_loop(&rx, &flag);
+        })
+        .expect("spawn tdf-par worker");
+    WorkerSlot { tx, alive }
+}
+
+fn worker_loop(rx: &Receiver<Job>, alive: &AtomicBool) {
+    loop {
+        let Some(mut job) = next_job(rx) else { return };
+        // Injected fault: the worker dies after accepting a job (one draw
+        // per dispatched job, the same accounting as the original pool).
+        // The unwind drops `job` un-finished, which settles the latch and
+        // flags the region; the liveness flag (and, as a backstop, the
+        // closed channel) makes the next dispatch respawn this slot.
+        if faultkit::fire("par.worker_panic") {
+            alive.store(false, Ordering::Release);
+            panic!("tdf-faultkit: injected pool-worker death (par.worker_panic)");
+        }
+        // SAFETY: the region is alive until this job settles (on drop).
+        let region = unsafe { &*job.region };
+        job.finished = catch_unwind(AssertUnwindSafe(|| region.execute(job.participant))).is_ok();
+        drop(job);
+    }
+}
+
+/// Spin-then-block receive: keeps hand-off latency low when parallel
+/// regions arrive back to back, parks otherwise. The spin budget is zero
+/// on a single-core host — spinning there only steals the caller's
+/// timeslice.
+fn next_job(rx: &Receiver<Job>) -> Option<Job> {
+    let budget = if crate::measured_cores() > 1 { 2048 } else { 0 };
+    for spin in 0..budget {
+        match rx.try_recv() {
+            Ok(job) => return Some(job),
+            Err(TryRecvError::Disconnected) => return None,
+            Err(TryRecvError::Empty) => {
+                if spin % 64 == 63 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+    rx.recv().ok()
+}
+
+/// Contiguous block of `0..num_chunks` owned by `participant` out of `p`:
+/// a pure function of `(num_chunks, p)`, so the initial assignment is
+/// deterministic on every host and at every thread count.
+fn block_of(num_chunks: usize, p: usize, participant: usize) -> (u32, u32) {
+    let base = num_chunks / p;
+    let rem = num_chunks % p;
+    let start = participant * base + participant.min(rem);
+    let len = base + usize::from(participant < rem);
+    (start as u32, (start + len) as u32)
+}
+
+/// Executes `process(chunk)` for every chunk of `0..num_chunks` across
+/// the calling thread plus `helpers` pooled workers, returning only after
+/// every participant has settled — on success *and* on failure, so the
+/// borrow never escapes. Dead workers (closed channels) are respawned
+/// into their slot before the job is re-sent.
+pub(crate) fn run_region(
+    num_chunks: usize,
+    helpers: usize,
+    process: &(dyn Fn(usize) + Sync),
+) -> Result<(), RegionError> {
+    debug_assert!(helpers >= 1, "sequential paths bypass the executor");
+    let participants = helpers + 1;
+    let region = Region {
+        deques: (0..participants)
+            .map(|p| {
+                let (start, end) = block_of(num_chunks, participants, p);
+                ChunkDeque::new(start, end)
+            })
+            .collect(),
+        process,
+        remaining: Mutex::new(helpers),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    };
+    // SAFETY: the latch-wait below outlives every dispatched use of this
+    // pointer, on success *and* on unwind: every Job settles the latch in
+    // Drop, even when dropped unexecuted, and run_region does not return
+    // until the latch reads zero.
+    let region_ptr = std::ptr::addr_of!(region).cast::<Region<'static>>();
+    {
+        // Poison recovery: the only writes under this lock are slot
+        // replacements and appends of fully-constructed senders, so the
+        // list is structurally valid even if a previous holder panicked.
+        let mut workers = POOL
+            .get_or_init(|| Mutex::new(Vec::new()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while workers.len() < helpers {
+            let id = workers.len();
+            workers.push(spawn_worker(id));
+        }
+        for slot in 0..helpers {
+            let job = Job {
+                region: region_ptr,
+                participant: slot + 1,
+                finished: false,
+            };
+            if !workers[slot].alive.load(Ordering::Acquire) {
+                // The worker is dead or dying (its channel may still
+                // accept sends mid-unwind). Replace it before dispatch.
+                obs::count("par.pool.respawned_workers", 1);
+                workers[slot] = spawn_worker(slot);
+            }
+            if let Err(std::sync::mpsc::SendError(job)) = workers[slot].tx.send(job) {
+                // Backstop: the worker died without flagging itself
+                // (receiver gone). Replace it and re-send the same job.
+                obs::count("par.pool.respawned_workers", 1);
+                workers[slot] = spawn_worker(slot);
+                workers[slot]
+                    .tx
+                    .send(job)
+                    .expect("freshly spawned tdf-par worker accepts jobs");
+            }
+        }
+    }
+    let caller = catch_unwind(AssertUnwindSafe(|| region.execute(0)));
+    // Fast path: helpers usually finish alongside the caller; a brief
+    // spin avoids the mutex entirely for back-to-back small regions.
+    let mut settled = false;
+    for _ in 0..512 {
+        let remaining = region
+            .remaining
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if *remaining == 0 {
+            settled = true;
+            break;
+        }
+        drop(remaining);
+        std::hint::spin_loop();
+    }
+    if !settled {
+        let mut remaining = region
+            .remaining
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *remaining > 0 {
+            remaining = self::wait(&region.done, remaining);
+        }
+    }
+    match caller {
+        Err(payload) => Err(RegionError::Caller(payload)),
+        Ok(()) => {
+            if region.panicked.load(Ordering::Acquire) {
+                Err(RegionError::Worker)
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+/// `Condvar::wait` with poisoned-mutex recovery, mirroring every other
+/// lock acquisition in the executor.
+fn wait<'a>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, usize>,
+) -> std::sync::MutexGuard<'a, usize> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partition_is_exact_and_contiguous() {
+        for num_chunks in [0usize, 1, 2, 3, 7, 64, 100, 1000] {
+            for p in 1..=8usize {
+                let blocks: Vec<(u32, u32)> = (0..p).map(|i| block_of(num_chunks, p, i)).collect();
+                assert_eq!(blocks[0].0, 0);
+                assert_eq!(blocks[p - 1].1 as usize, num_chunks);
+                for w in blocks.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous at {num_chunks}/{p}");
+                }
+                let sizes: Vec<u32> = blocks.iter().map(|(s, e)| e - s).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced at {num_chunks}/{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn deque_front_and_back_never_hand_out_a_chunk_twice() {
+        let dq = ChunkDeque::new(0, 100);
+        let mut seen = [false; 100];
+        loop {
+            let front = dq.pop_front();
+            let back = dq.pop_back();
+            for c in [front, back].into_iter().flatten() {
+                assert!(!seen[c], "chunk {c} claimed twice");
+                seen[c] = true;
+            }
+            if front.is_none() && back.is_none() {
+                break;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every chunk claimed exactly once");
+    }
+}

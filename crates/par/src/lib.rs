@@ -21,14 +21,19 @@
 //!    produced and folded in the same order, so `TDF_THREADS=1` is merely
 //!    the no-pool execution of the identical computation.
 //!
-//! The thread count comes from, in priority order: [`with_threads`] (a
-//! scoped, thread-local override used by benches and tests), the
-//! `TDF_THREADS` environment variable, and
-//! [`std::thread::available_parallelism`]. `TDF_THREADS=1` (or a
-//! single-core host) bypasses the pool entirely. This extends PR 1's
-//! determinism contract (`TDF_SEED`): `crates/bench/tests/determinism.rs`
-//! asserts that reports regenerate bit-identically under
-//! `TDF_THREADS=1` and `TDF_THREADS=4`.
+//! The *requested* thread count comes from, in priority order:
+//! [`with_threads`] (a scoped, thread-local override used by benches and
+//! tests), the `TDF_THREADS` environment variable, and
+//! [`std::thread::available_parallelism`]. At dispatch time the request
+//! is clamped by [`measured_cores`] (override: [`with_cores`] /
+//! `TDF_CORES`): the persistent sharded executor never enlists more
+//! runnable threads than the host has cores, so `TDF_THREADS=4` on a
+//! single-core host runs sequentially instead of oversubscribing — with
+//! bit-identical results, because chunking and merge order never depend
+//! on the enlisted count. This extends PR 1's determinism contract
+//! (`TDF_SEED`): `crates/bench/tests/determinism.rs` asserts that
+//! reports regenerate bit-identically under `TDF_THREADS=1` and
+//! `TDF_THREADS=4`.
 //!
 //! ```
 //! let squares = par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
@@ -41,18 +46,18 @@
 //! assert_eq!(sum, serial); // bit-identical, not just approximately equal
 //! ```
 
-mod pool;
+mod executor;
 
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Why a `try_par_*` region failed. Covers both the caller's own
 /// invocation of the body and pooled workers (which may die entirely —
-/// see `pool.rs`; the pool respawns them, and the region that lost a
-/// worker reports `WorkerPanicked` instead of aborting the process).
+/// see `executor.rs`; the executor respawns them, and the region that
+/// lost a worker reports `WorkerPanicked` instead of aborting the
+/// process).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParError {
     /// The region body panicked on the calling thread. `message` is the
@@ -94,10 +99,10 @@ impl ParError {
         ParError::RegionPanicked { message }
     }
 
-    fn from_region(e: pool::RegionError) -> Self {
+    fn from_region(e: executor::RegionError) -> Self {
         match e {
-            pool::RegionError::Caller(payload) => Self::from_payload(payload.as_ref()),
-            pool::RegionError::Worker => ParError::WorkerPanicked,
+            executor::RegionError::Caller(payload) => Self::from_payload(payload.as_ref()),
+            executor::RegionError::Worker => ParError::WorkerPanicked,
         }
     }
 }
@@ -105,11 +110,11 @@ impl ParError {
 /// The plain (panicking) entry points' view of a region result: re-raise
 /// the caller's own panic with its original payload, turn a worker loss
 /// into the historical pool panic message.
-fn complete_or_propagate(result: Result<(), pool::RegionError>) {
+fn complete_or_propagate(result: Result<(), executor::RegionError>) {
     match result {
         Ok(()) => {}
-        Err(pool::RegionError::Caller(payload)) => std::panic::resume_unwind(payload),
-        Err(pool::RegionError::Worker) => {
+        Err(executor::RegionError::Caller(payload)) => std::panic::resume_unwind(payload),
+        Err(executor::RegionError::Worker) => {
             panic!("tdf-par: a pooled worker panicked while executing a parallel region")
         }
     }
@@ -140,6 +145,7 @@ fn sequential_threshold() -> usize {
 
 thread_local! {
     static OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    static CORES_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
 fn env_threads() -> Option<usize> {
@@ -156,9 +162,9 @@ fn env_threads() -> Option<usize> {
 /// thread: the [`with_threads`] override if one is active, else
 /// `TDF_THREADS`, else the machine's available parallelism. Always ≥ 1;
 /// `1` means the serial fast path. Inside a pool worker this is `1`
-/// (nested regions run serially — see `pool.rs` for why).
+/// (nested regions run serially — see `executor.rs` for why).
 pub fn threads() -> usize {
-    if pool::in_pool() {
+    if executor::in_pool() {
         return 1;
     }
     let o = OVERRIDE.with(std::cell::Cell::get);
@@ -168,6 +174,59 @@ pub fn threads() -> usize {
     env_threads()
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
         .min(MAX_THREADS)
+}
+
+/// The measured core count the executor sizes itself by: the
+/// [`with_cores`] override if one is active, else `TDF_CORES`, else
+/// [`std::thread::available_parallelism`]. A `TDF_THREADS` (or
+/// [`with_threads`]) request above this is clamped at dispatch time —
+/// enlisting more runnable threads than the host has cores is precisely
+/// the oversubscription that made the original fork/join pool scale
+/// *negatively* (EXPERIMENTS.md §P1/§P5). Chunk boundaries and merge
+/// order do not depend on this value, so clamping never changes results.
+pub fn measured_cores() -> usize {
+    let o = CORES_OVERRIDE.with(std::cell::Cell::get);
+    if o != 0 {
+        return o;
+    }
+    static PARSED: OnceLock<Option<usize>> = OnceLock::new();
+    PARSED
+        .get_or_init(|| {
+            std::env::var("TDF_CORES")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+        .min(MAX_THREADS)
+}
+
+/// Runs `f` with the measured core count pinned to `n` (clamped to
+/// `1..=`[`MAX_THREADS`]) for the current thread, restoring the previous
+/// value afterwards — including on panic. Tests and deterministic
+/// snapshot tools use this to exercise the pooled path on single-core
+/// hosts (or to force the sequential path on large ones) without
+/// touching the process environment.
+pub fn with_cores<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CORES_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = CORES_OVERRIDE.with(|c| c.replace(n.clamp(1, MAX_THREADS)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Threads the executor will actually enlist for a region started by this
+/// thread: the requested count clamped by the measured core count.
+/// Kernels that pick between serial-shaped and parallel-shaped code
+/// (bit-identical by contract) should branch on this, not on
+/// [`threads`] — the request says what was asked for, this says what
+/// the hardware will actually run.
+pub fn effective_threads() -> usize {
+    threads().min(measured_cores())
 }
 
 /// Runs `f` with the effective thread count pinned to `n` (clamped to
@@ -199,13 +258,15 @@ fn chunk_size(len: usize, chunk: usize) -> usize {
 }
 
 /// Runs `process(chunk_id, index_range)` for every chunk of `0..n`,
-/// serially in chunk order or work-stealing across the pool — the set of
-/// `(chunk_id, range)` pairs is identical either way.
+/// serially in chunk order or sharded across the executor — the set of
+/// `(chunk_id, range)` pairs is identical either way, and chunk results
+/// are merged in chunk order by the callers, so which participant
+/// executes a chunk never affects the result.
 fn run_chunked(
     n: usize,
     chunk: usize,
     process: &(dyn Fn(usize, Range<usize>) + Sync),
-) -> Result<(), pool::RegionError> {
+) -> Result<(), executor::RegionError> {
     if n == 0 {
         return Ok(());
     }
@@ -215,36 +276,18 @@ fn run_chunked(
     let threads = if n < sequential_threshold() {
         1
     } else {
-        threads().min(num_chunks)
+        effective_threads().min(num_chunks)
     };
-    if threads <= 1 {
+    // The packed chunk deques index chunks as u32; a region that large
+    // (> 4 billion chunks) is degenerate anyway — run it serially.
+    if threads <= 1 || num_chunks > u32::MAX as usize {
         for c in 0..num_chunks {
             process(c, range_of(c));
         }
         return Ok(());
     }
     obs::count("par.tasks_dispatched", num_chunks as u64);
-    let cursor = AtomicUsize::new(0);
-    pool::run(threads - 1, &|| {
-        // Steal accounting is batched per enlisted thread and flushed once
-        // per region, so observability costs one shard lock — not one per
-        // chunk — and level 0 pays only the branch below.
-        let mut grabbed = 0u64;
-        loop {
-            let c = cursor.fetch_add(1, Ordering::Relaxed);
-            if c >= num_chunks {
-                break;
-            }
-            process(c, range_of(c));
-            grabbed += 1;
-        }
-        if grabbed > 0 && obs::enabled() {
-            obs::count(
-                &format!("par.pool.chunks.{}", pool::thread_label()),
-                grabbed,
-            );
-        }
-    })
+    executor::run_region(num_chunks, threads - 1, &|c| process(c, range_of(c)))
 }
 
 /// Pointer wrapper so disjoint chunk writes can target one output buffer
@@ -274,7 +317,7 @@ impl<T> SendPtr<T> {
 pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
     // Slot `i` is `f(i)` whichever path runs, so the plain collect is the
     // same value — without the chunk dispatch or the uninit buffer.
-    if n < sequential_threshold() || threads() <= 1 {
+    if n < sequential_threshold() || effective_threads() <= 1 {
         if n > 0 && n < sequential_threshold() {
             obs::count("par.sequential_fallback", 1);
         }
@@ -310,7 +353,7 @@ pub fn try_par_map_range<U: Send>(
     n: usize,
     f: impl Fn(usize) -> U + Sync,
 ) -> Result<Vec<U>, ParError> {
-    if n < sequential_threshold() || threads() <= 1 {
+    if n < sequential_threshold() || effective_threads() <= 1 {
         if n > 0 && n < sequential_threshold() {
             obs::count("par.sequential_fallback", 1);
         }
@@ -376,7 +419,7 @@ pub fn par_index_reduce<A: Send>(
     let num_chunks = n.div_ceil(chunk_size(n, chunk));
     // Same chunk boundaries, same left fold — just mapped and merged in
     // one pass on the calling thread, skipping the slot vector.
-    if n < sequential_threshold() || threads() <= 1 {
+    if n < sequential_threshold() || effective_threads() <= 1 {
         if n < sequential_threshold() {
             obs::count("par.sequential_fallback", 1);
         }
@@ -422,7 +465,7 @@ pub fn try_par_index_reduce<A: Send>(
         return Ok(None);
     }
     let num_chunks = n.div_ceil(chunk_size(n, chunk));
-    if n < sequential_threshold() || threads() <= 1 {
+    if n < sequential_threshold() || effective_threads() <= 1 {
         if n < sequential_threshold() {
             obs::count("par.sequential_fallback", 1);
         }
@@ -496,7 +539,9 @@ mod tests {
     fn par_map_preserves_order() {
         let items: Vec<u64> = (0..10_000).collect();
         for t in [1usize, 2, 4, 7] {
-            let out = with_threads(t, || par_map(&items, |&x| x * 3 + 1));
+            // Pin the measured core count so the pool engages even on a
+            // single-core CI host — the clamp is under test elsewhere.
+            let out = with_cores(8, || with_threads(t, || par_map(&items, |&x| x * 3 + 1)));
             assert_eq!(out.len(), items.len());
             assert!(
                 out.iter().enumerate().all(|(i, &v)| v == i as u64 * 3 + 1),
@@ -522,7 +567,7 @@ mod tests {
         let reduce = || par_chunks_reduce(&xs, 0, |c| c.iter().sum::<f64>(), |a, b| a + b).unwrap();
         let reference = with_threads(1, reduce);
         for t in [2usize, 3, 4, 7] {
-            let got = with_threads(t, reduce);
+            let got = with_cores(8, || with_threads(t, reduce));
             assert_eq!(got.to_bits(), reference.to_bits(), "t = {t}");
         }
     }
@@ -556,8 +601,11 @@ mod tests {
     #[test]
     fn small_inputs_run_inline_on_the_calling_thread() {
         let caller = std::thread::current().id();
-        // 100 < SEQUENTIAL_THRESHOLD: no pool dispatch even at t = 4.
-        let ids = with_threads(4, || par_map_range(100, |_| std::thread::current().id()));
+        // 100 < SEQUENTIAL_THRESHOLD: no pool dispatch even at t = 4
+        // with cores available.
+        let ids = with_cores(4, || {
+            with_threads(4, || par_map_range(100, |_| std::thread::current().id()))
+        });
         assert!(ids.iter().all(|&id| id == caller));
         // Same computation above and below the threshold.
         let big: Vec<u64> = (0..2 * SEQUENTIAL_THRESHOLD as u64).collect();
@@ -574,6 +622,34 @@ mod tests {
     }
 
     #[test]
+    fn measured_cores_clamp_keeps_oversubscribed_requests_inline() {
+        // On a "1-core host" (pinned via with_cores) a t=4 request must
+        // not enlist pool workers: everything runs on the caller.
+        let caller = std::thread::current().id();
+        let ids = with_cores(1, || {
+            with_threads(4, || par_map_range(10_000, |_| std::thread::current().id()))
+        });
+        assert!(ids.iter().all(|&id| id == caller));
+        // And the clamped run is bit-identical to the pooled one.
+        let xs: Vec<f64> = (0..5000).map(|i| (i as f64).sqrt() / 3.0).collect();
+        let reduce = || par_chunks_reduce(&xs, 0, |c| c.iter().sum::<f64>(), |a, b| a + b).unwrap();
+        let clamped = with_cores(1, || with_threads(4, reduce));
+        let pooled = with_cores(4, || with_threads(4, reduce));
+        assert_eq!(clamped.to_bits(), pooled.to_bits());
+    }
+
+    #[test]
+    fn with_cores_restores_previous_value() {
+        let ambient = measured_cores();
+        let inner = with_cores(2, measured_cores);
+        assert_eq!(inner, 2);
+        assert_eq!(measured_cores(), ambient);
+        // Clamped below and above.
+        assert_eq!(with_cores(0, measured_cores), 1);
+        assert_eq!(with_cores(10_000, measured_cores), MAX_THREADS);
+    }
+
+    #[test]
     fn with_threads_restores_previous_value() {
         let ambient = threads();
         let inner = with_threads(3, threads);
@@ -586,17 +662,19 @@ mod tests {
 
     #[test]
     fn nested_regions_run_serially_and_correctly() {
-        let out = with_threads(4, || {
-            par_map_range(8, |i| {
-                // Nested call from (potentially) a pool worker: must not
-                // deadlock and must produce the same values.
-                par_index_reduce(
-                    100,
-                    0,
-                    |r| r.map(|j| (i * j) as u64).sum::<u64>(),
-                    |a, b| a + b,
-                )
-                .unwrap()
+        let out = with_cores(4, || {
+            with_threads(4, || {
+                par_map_range(8, |i| {
+                    // Nested call from (potentially) a pool worker: must not
+                    // deadlock and must produce the same values.
+                    par_index_reduce(
+                        100,
+                        0,
+                        |r| r.map(|j| (i * j) as u64).sum::<u64>(),
+                        |a, b| a + b,
+                    )
+                    .unwrap()
+                })
             })
         });
         let expect: Vec<u64> = (0..8)
@@ -608,16 +686,18 @@ mod tests {
     #[test]
     fn worker_panic_propagates_to_caller() {
         let result = std::panic::catch_unwind(|| {
-            with_threads(4, || {
-                par_map_range(1000, |i| {
-                    assert!(i != 777, "boom at {i}");
-                    i
+            with_cores(4, || {
+                with_threads(4, || {
+                    par_map_range(1000, |i| {
+                        assert!(i != 777, "boom at {i}");
+                        i
+                    })
                 })
             })
         });
         assert!(result.is_err());
         // The pool must stay usable afterwards.
-        let ok = with_threads(4, || par_map_range(100, |i| i * 2));
+        let ok = with_cores(4, || with_threads(4, || par_map_range(1000, |i| i * 2)));
         assert_eq!(ok[50], 100);
     }
 
@@ -625,18 +705,20 @@ mod tests {
     fn try_variants_match_plain_variants_when_nothing_fails() {
         let items: Vec<u64> = (0..5000).collect();
         for t in [1usize, 4] {
-            with_threads(t, || {
-                assert_eq!(
-                    try_par_map(&items, |&x| x * 7).unwrap(),
-                    par_map(&items, |&x| x * 7),
-                    "t = {t}"
-                );
-                let sum = |c: &[u64]| c.iter().map(|&x| x as f64).sum::<f64>();
-                assert_eq!(
-                    try_par_chunks_reduce(&items, 0, sum, |a, b| a + b).unwrap(),
-                    par_chunks_reduce(&items, 0, sum, |a, b| a + b),
-                    "t = {t}"
-                );
+            with_cores(4, || {
+                with_threads(t, || {
+                    assert_eq!(
+                        try_par_map(&items, |&x| x * 7).unwrap(),
+                        par_map(&items, |&x| x * 7),
+                        "t = {t}"
+                    );
+                    let sum = |c: &[u64]| c.iter().map(|&x| x as f64).sum::<f64>();
+                    assert_eq!(
+                        try_par_chunks_reduce(&items, 0, sum, |a, b| a + b).unwrap(),
+                        par_chunks_reduce(&items, 0, sum, |a, b| a + b),
+                        "t = {t}"
+                    );
+                })
             });
         }
         assert_eq!(try_par_map_range(0, |i| i).unwrap(), Vec::<usize>::new());
@@ -658,15 +740,17 @@ mod tests {
         // Pooled path: the panic lands on whichever thread stole the
         // chunk, so either variant is acceptable — but it must be an
         // error, not an abort, and the pool must keep working.
-        let err = with_threads(4, || {
-            try_par_map_range(5000, |i| {
-                assert!(i != 777, "boom at {i}");
-                i
+        let err = with_cores(4, || {
+            with_threads(4, || {
+                try_par_map_range(5000, |i| {
+                    assert!(i != 777, "boom at {i}");
+                    i
+                })
             })
         })
         .unwrap_err();
         assert!(!err.to_string().is_empty());
-        let ok = with_threads(4, || par_map_range(5000, |i| i * 2));
+        let ok = with_cores(4, || with_threads(4, || par_map_range(5000, |i| i * 2)));
         assert_eq!(ok[100], 200);
         // Reduce flavours too.
         let err = try_par_index_reduce(
@@ -688,10 +772,14 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|t| {
                 std::thread::spawn(move || {
-                    with_threads(3, || {
-                        par_map_range(2000, move |i| (i as u64).wrapping_mul(t + 1))
-                            .iter()
-                            .sum::<u64>()
+                    // with_cores is thread-local: pin it inside each
+                    // spawned thread so every dispatcher hits the pool.
+                    with_cores(4, || {
+                        with_threads(3, || {
+                            par_map_range(2000, move |i| (i as u64).wrapping_mul(t + 1))
+                                .iter()
+                                .sum::<u64>()
+                        })
                     })
                 })
             })

@@ -5,10 +5,17 @@
 //! regions of unrelated tests. Within the binary a mutex serialises the
 //! tests that install plans.
 
-use par::{par_map_range, try_par_map_range, with_threads, ParError};
+use par::{par_map_range, try_par_map_range, with_cores, with_threads, ParError};
 use std::sync::Mutex;
 
 static PLAN: Mutex<()> = Mutex::new(());
+
+/// `with_threads(4)` plus a pinned 4-core measurement, so the executor
+/// enlists workers (and thus draws `par.worker_panic`) even on a
+/// single-core CI host.
+fn pooled_t4<T>(f: impl FnOnce() -> T) -> T {
+    with_cores(4, || with_threads(4, f))
+}
 
 fn with_fault_plan<T>(text: &str, f: impl FnOnce() -> T) -> T {
     let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
@@ -25,7 +32,7 @@ const N: usize = 5000;
 #[test]
 fn injected_worker_death_is_a_typed_error_and_the_pool_recovers() {
     let err = with_fault_plan("par.worker_panic=1", || {
-        with_threads(4, || try_par_map_range(N, |i| i as u64))
+        pooled_t4(|| try_par_map_range(N, |i| i as u64))
     })
     .expect_err("one worker died mid-region");
     assert_eq!(err, ParError::WorkerPanicked);
@@ -33,14 +40,14 @@ fn injected_worker_death_is_a_typed_error_and_the_pool_recovers() {
     // Subsequent regions on the same pool run to completion: the dead
     // worker's channel is found closed at the next dispatch and a
     // replacement is spawned into its slot.
-    let ok = with_threads(4, || par_map_range(N, |i| (i * 3) as u64));
+    let ok = pooled_t4(|| par_map_range(N, |i| (i * 3) as u64));
     assert!(ok.iter().enumerate().all(|(i, &v)| v == (i * 3) as u64));
 }
 
 #[test]
 fn plain_entry_points_panic_rather_than_abort_on_worker_death() {
     let result = with_fault_plan("par.worker_panic=1", || {
-        std::panic::catch_unwind(|| with_threads(4, || par_map_range(N, |i| i)))
+        std::panic::catch_unwind(|| pooled_t4(|| par_map_range(N, |i| i)))
     });
     let payload = result.expect_err("region must report the lost worker");
     let message = payload
@@ -54,7 +61,7 @@ fn plain_entry_points_panic_rather_than_abort_on_worker_death() {
         "got {message:?}"
     );
     // And the pool is reusable afterwards.
-    let ok = with_threads(4, || par_map_range(N, |i| i + 1));
+    let ok = pooled_t4(|| par_map_range(N, |i| i + 1));
     assert_eq!(ok[N - 1], N);
 }
 
@@ -62,17 +69,17 @@ fn plain_entry_points_panic_rather_than_abort_on_worker_death() {
 fn repeated_worker_deaths_respawn_repeatedly() {
     for round in 0..3 {
         let err = with_fault_plan("par.worker_panic=1", || {
-            with_threads(4, || try_par_map_range(N, |i| i as u64))
+            pooled_t4(|| try_par_map_range(N, |i| i as u64))
         });
         assert_eq!(err, Err(ParError::WorkerPanicked), "round {round}");
-        let ok = with_threads(4, || try_par_map_range(N, |i| i as u64)).unwrap();
+        let ok = pooled_t4(|| try_par_map_range(N, |i| i as u64)).unwrap();
         assert_eq!(ok.len(), N, "round {round}");
     }
 }
 
 #[test]
 fn zero_rate_worker_panic_plan_is_bit_identical_to_no_plan() {
-    let work = || with_threads(4, || par_map_range(N, |i| (i as f64).sqrt().to_bits()));
+    let work = || pooled_t4(|| par_map_range(N, |i| (i as f64).sqrt().to_bits()));
     let baseline = {
         let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
         faultkit::set_plan(None);

@@ -141,7 +141,7 @@ impl ActiveSet {
         if self.dim() == 0 {
             return vec![0.0; n];
         }
-        if par::threads() > 1 {
+        if par::effective_threads() > 1 {
             return par::par_map_range(n, |p| {
                 let mut acc = 0.0f64;
                 for (col, &t) in self.cols.iter().zip(target) {

@@ -1,0 +1,40 @@
+//! A blocking client for the framed protocol — used by the load
+//! generator, the CI smoke script and the integration tests.
+
+use crate::protocol::{encode_request, read_response, write_frame, Request, Response};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+/// One connection to a `tdf-serve` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Submits one query on behalf of `user` and awaits the response.
+    /// A truncated or malformed response frame is an `Err`, never a
+    /// partial answer.
+    pub fn query(&mut self, user: u64, sql: &str) -> io::Result<Response> {
+        let request = Request::Query {
+            user,
+            sql: sql.to_owned(),
+        };
+        write_frame(&mut self.stream, &encode_request(&request))?;
+        read_response(&mut self.stream)
+    }
+
+    /// Ends the session cleanly; the server acknowledges with
+    /// [`Response::Bye`].
+    pub fn bye(&mut self, user: u64) -> io::Result<Response> {
+        write_frame(&mut self.stream, &encode_request(&Request::Bye { user }))?;
+        read_response(&mut self.stream)
+    }
+}

@@ -1,0 +1,260 @@
+//! Closed-loop synthetic workload generator.
+//!
+//! Models an interactive analyst population: `clients` concurrent
+//! connections, each issuing `requests_per_client` queries back to back
+//! (closed loop — the next request leaves only after the previous
+//! response arrives), with the *acting user* of every request drawn from
+//! a Zipfian popularity distribution over `users` simulated user ids.
+//! Head users therefore burn through their privacy budgets and start
+//! collecting refusals mid-run, exactly the regime the admission path is
+//! built for; tail users stay under budget throughout.
+//!
+//! The report aggregates throughput and latency quantiles (p50/p95/p99)
+//! over every request issued by every client, measured around the full
+//! socket round trip.
+
+use crate::client::Client;
+use rngkit::rngs::StdRng;
+use rngkit::{Rng, SeedableRng};
+use std::io;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Workload shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop client connections.
+    pub clients: usize,
+    /// Simulated user-id population size.
+    pub users: u64,
+    /// Requests each client issues before disconnecting.
+    pub requests_per_client: usize,
+    /// Zipf exponent for user popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Workload seed (user draws and query-mix draws).
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            users: 1000,
+            requests_per_client: 250,
+            zipf_s: 1.1,
+            seed: 0x10AD,
+        }
+    }
+}
+
+/// Aggregated outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests issued (excluding BYEs).
+    pub requests: u64,
+    /// Responses carrying a (noisy) answer.
+    pub answered: u64,
+    /// Responses refused by the admission path.
+    pub refused: u64,
+    /// Transport or protocol errors.
+    pub errors: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed_ns: u64,
+    /// Requests per second over the whole run.
+    pub throughput_rps: f64,
+    /// Median request latency.
+    pub p50_ns: u64,
+    /// 95th-percentile request latency.
+    pub p95_ns: u64,
+    /// 99th-percentile request latency.
+    pub p99_ns: u64,
+}
+
+/// Zipfian sampler over ranks `1..=n` by inverse CDF lookup.
+#[derive(Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n >= 1, "need at least one rank");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += (rank as f64).powf(-s);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        (self.cdf.partition_point(|&c| c < u) as u64 + 1).min(self.cdf.len() as u64)
+    }
+}
+
+/// The query mix every simulated analyst draws from. All four templates
+/// parse and admit (set sizes are large for the synthetic population),
+/// so refusals in a run come from budgets — the signal under test.
+const QUERY_MIX: [&str; 4] = [
+    "SELECT COUNT(*) FROM t WHERE height >= 150",
+    "SELECT AVG(weight) FROM t WHERE height >= 160",
+    "SELECT AVG(blood_pressure) FROM t WHERE weight >= 60",
+    "SELECT COUNT(*) FROM t WHERE weight >= 50",
+];
+
+/// Runs the closed-loop workload against a server and aggregates the
+/// outcome. Client threads fail individually; their transport errors are
+/// counted, not fatal.
+pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> io::Result<LoadReport> {
+    run_with_latencies(addr, cfg).map(|(report, _)| report)
+}
+
+/// Like [`run`], but also returns every per-request latency (ascending),
+/// for harnesses that want the full distribution rather than the three
+/// summary quantiles.
+pub fn run_with_latencies(
+    addr: SocketAddr,
+    cfg: &LoadConfig,
+) -> io::Result<(LoadReport, Vec<u64>)> {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name(format!("tdf-loadgen-{c}"))
+                .spawn(move || client_run(addr, &cfg, c as u64))
+                .expect("spawn loadgen client")
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut answered = 0u64;
+    let mut refused = 0u64;
+    let mut errors = 0u64;
+    for h in handles {
+        let outcome = h.join().expect("loadgen client panicked");
+        latencies.extend(outcome.latencies_ns);
+        answered += outcome.answered;
+        refused += outcome.refused;
+        errors += outcome.errors;
+    }
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    latencies.sort_unstable();
+    let requests = latencies.len() as u64 + errors;
+    let report = LoadReport {
+        requests,
+        answered,
+        refused,
+        errors,
+        elapsed_ns,
+        throughput_rps: requests as f64 / (elapsed_ns as f64 / 1e9),
+        p50_ns: percentile(&latencies, 0.50),
+        p95_ns: percentile(&latencies, 0.95),
+        p99_ns: percentile(&latencies, 0.99),
+    };
+    Ok((report, latencies))
+}
+
+struct ClientOutcome {
+    latencies_ns: Vec<u64>,
+    answered: u64,
+    refused: u64,
+    errors: u64,
+}
+
+fn client_run(addr: SocketAddr, cfg: &LoadConfig, client_id: u64) -> ClientOutcome {
+    let mut outcome = ClientOutcome {
+        latencies_ns: Vec::with_capacity(cfg.requests_per_client),
+        answered: 0,
+        refused: 0,
+        errors: 0,
+    };
+    let mut rng = StdRng::seed_from_u64({
+        let mut state = cfg.seed ^ client_id;
+        rngkit::splitmix64(&mut state)
+    });
+    let zipf = Zipf::new(cfg.users, cfg.zipf_s);
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            outcome.errors += cfg.requests_per_client as u64;
+            return outcome;
+        }
+    };
+    for _ in 0..cfg.requests_per_client {
+        let user = zipf.sample(&mut rng);
+        let sql = QUERY_MIX[rng.gen_range(0..QUERY_MIX.len())];
+        let sent = Instant::now();
+        match client.query(user, sql) {
+            Ok(response) => {
+                outcome.latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                if response.is_refused() {
+                    outcome.refused += 1;
+                } else {
+                    outcome.answered += 1;
+                }
+            }
+            Err(_) => {
+                outcome.errors += 1;
+                break;
+            }
+        }
+    }
+    let _ = client.bye(client_id);
+    outcome
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as f64 * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_head_heavy_and_in_range() {
+        let zipf = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(0x21F);
+        let mut counts = [0u64; 100];
+        for _ in 0..20_000 {
+            let rank = zipf.sample(&mut rng);
+            assert!((1..=100).contains(&rank));
+            counts[rank as usize - 1] += 1;
+        }
+        assert!(counts[0] > counts[9], "rank 1 beats rank 10");
+        assert!(counts[0] > 10 * counts[50].max(1), "heavy head");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform_ish() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u64; 10];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng) as usize - 1] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min < 400, "{counts:?}");
+    }
+
+    #[test]
+    fn percentiles_hit_the_expected_ranks() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.95), 95);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+}

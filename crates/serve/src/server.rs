@@ -1,0 +1,314 @@
+//! The TCP server: accept loop, connection queue, worker pool, draining
+//! shutdown, and the `tdf-obs` metrics surface.
+//!
+//! Architecture: one accept thread pushes connections onto a queue
+//! (depth is exported as `serve.queue_depth`); a fixed pool of
+//! connection workers — sized by [`par::measured_cores`] unless
+//! overridden — pops connections and serves each one to completion.
+//! Sessions are keyed by the request's claimed user id, *not* by
+//! connection, so many concurrent connections can act for one user; each
+//! user's admissions are serialised under that user's session lock,
+//! which is what makes refusal sequences deterministic under any client
+//! interleaving (see `session.rs`).
+//!
+//! **Shutdown** flips the draining flag, wakes the accept loop with a
+//! self-connection, severs the *read* half of every active connection
+//! (unblocking workers parked in a read without cutting a response in
+//! flight — the write half stays intact), and joins every thread.
+//! Requests already being processed complete and their responses are
+//! written whole; requests arriving after the flag flips are refused
+//! with [`RefusalReason::Draining`].
+//!
+//! Fault site: `serve.partial_response` severs the connection after
+//! writing half a response frame — the injection the shutdown tests use
+//! to prove clients can never mistake a cut write for an answer.
+
+use crate::protocol::{
+    encode_response, read_request, write_frame, RefusalReason, Request, Response,
+};
+use crate::session::{SessionConfig, UserSession};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tdf_microdata::synth::{patients, PatientConfig};
+use tdf_microdata::Dataset;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Rows in the synthetic patient population the server exposes.
+    pub rows: usize,
+    /// Master seed (dataset synthesis and per-user noise streams).
+    pub seed: u64,
+    /// Connection workers; 0 sizes the pool by the measured core count.
+    pub workers: usize,
+    /// Per-user admission and budget parameters (its `seed` is
+    /// overwritten by the server's master seed).
+    pub session: SessionConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            rows: 1000,
+            seed: 0x7DF,
+            workers: 0,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+struct Shared {
+    data: Dataset,
+    session_cfg: SessionConfig,
+    users: Mutex<HashMap<u64, Arc<Mutex<UserSession>>>>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    /// Read-half clones of every connection currently being served, so
+    /// shutdown can unblock workers parked in a blocking read.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn session_for(&self, user: u64) -> Arc<Mutex<UserSession>> {
+        let mut users = self
+            .users
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(users.entry(user).or_insert_with(|| {
+            obs::count("serve.sessions", 1);
+            Arc::new(Mutex::new(UserSession::new(&self.session_cfg, user)))
+        }))
+    }
+}
+
+/// A running server handle. Always shut down explicitly; dropping the
+/// handle leaks the worker threads for the process lifetime.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds an ephemeral local port, synthesises the dataset and starts
+    /// the accept loop plus the connection-worker pool.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let mut session_cfg = cfg.session;
+        session_cfg.seed = cfg.seed;
+        let shared = Arc::new(Shared {
+            data: patients(&PatientConfig {
+                n: cfg.rows,
+                seed: cfg.seed,
+                ..Default::default()
+            }),
+            session_cfg,
+            users: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let worker_count = if cfg.workers == 0 {
+            par::measured_cores().max(2)
+        } else {
+            cfg.workers.max(1)
+        };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tdf-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn tdf-serve worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tdf-serve-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn tdf-serve accept loop")
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: refuse new work, drain in-flight requests,
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.draining.store(true, Ordering::Release);
+        // Wake the accept loop out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.shared.queue_cv.notify_all();
+        // Unblock workers parked in a read. Only the read half is severed:
+        // a response currently being written still goes out whole.
+        {
+            let conns = self
+                .shared
+                .conns
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for stream in conns.values() {
+                let _ = stream.shutdown(std::net::Shutdown::Read);
+            }
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        if shared.draining.load(Ordering::Acquire) {
+            // The wake-up connection (or a late client): nothing is
+            // admitted past this point.
+            return;
+        }
+        let mut queue = shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        queue.push_back(stream);
+        obs::gauge_max("serve.queue_depth", queue.len() as u64);
+        drop(queue);
+        shared.queue_cv.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.draining.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        obs::count("serve.connections", 1);
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            if shared.draining.load(Ordering::Acquire) {
+                // This connection was claimed after draining began; give
+                // its (refusal) reads a deadline so a silent client can
+                // never stall the shutdown join.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            }
+            shared
+                .conns
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(conn_id, clone);
+        }
+        // Connection errors (disconnects, malformed frames, injected
+        // severs) end that connection only; the worker lives on.
+        let _ = serve_connection(stream, shared);
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&conn_id);
+    }
+}
+
+/// Serves one connection to completion: request frames in, response
+/// frames out, until BYE, EOF or an I/O error.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    loop {
+        let request = match read_request(&mut stream) {
+            Ok(r) => r,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(())
+            }
+            Err(e) => {
+                obs::count("serve.protocol_errors", 1);
+                return Err(e);
+            }
+        };
+        let started = Instant::now();
+        match request {
+            Request::Bye { .. } => {
+                write_frame(&mut stream, &encode_response(&Response::Bye))?;
+                return Ok(());
+            }
+            Request::Query { user, sql } => {
+                obs::count("serve.requests", 1);
+                let response = if shared.draining.load(Ordering::Acquire) {
+                    Response::Refused {
+                        reason: RefusalReason::Draining,
+                        message: "server is draining for shutdown".to_owned(),
+                    }
+                } else {
+                    let session = shared.session_for(user);
+                    let mut session = session
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    session.answer(&shared.data, &sql)
+                };
+                match &response {
+                    Response::Refused { reason, .. } => {
+                        obs::count(&format!("serve.refused.{}", reason.label()), 1);
+                    }
+                    Response::Error(_) => obs::count("serve.parse_errors", 1),
+                    _ => obs::count("serve.answers", 1),
+                }
+                let frame = encode_response(&response);
+                if faultkit::fire("serve.partial_response") {
+                    // Injected fault: the server dies mid-write. Send a
+                    // strict prefix of the frame and sever the socket —
+                    // the framing guarantees the client sees an I/O
+                    // error, never a shorter answer that still parses.
+                    obs::count("serve.faults.partial_response", 1);
+                    let cut = (frame.len() / 2).max(1);
+                    let _ = write_frame(&mut stream, &frame[..cut]);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return Ok(());
+                }
+                write_frame(&mut stream, &frame)?;
+                obs::observe("serve.request_ns", started.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+}

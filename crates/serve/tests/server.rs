@@ -1,0 +1,174 @@
+//! End-to-end server tests over real sockets: concurrent budget
+//! determinism, draining shutdown, and injected mid-response faults.
+
+use std::sync::Mutex;
+use tdf_serve::{Client, LoadConfig, RefusalReason, Response, Server, ServerConfig, SessionConfig};
+
+/// Serialises the tests that install a process-global fault plan.
+static PLAN: Mutex<()> = Mutex::new(());
+
+fn server(workers: usize, budget: f64) -> Server {
+    Server::start(ServerConfig {
+        rows: 300,
+        seed: 0xBEEF,
+        workers,
+        session: SessionConfig {
+            epsilon_per_query: 1.0,
+            budget,
+            seed: 0xBEEF,
+            min_query_set: 2,
+            max_overlap: usize::MAX,
+            max_rows: 0,
+        },
+    })
+    .expect("server starts")
+}
+
+const SQL: &str = "SELECT COUNT(*) FROM t WHERE height >= 150";
+
+/// One hammering run: `clients` concurrent connections all spending the
+/// budget of the same user. Returns (sorted answered values, refusals).
+fn hammer(clients: usize, queries_each: usize) -> (Vec<u64>, usize) {
+    let server = server(clients, 5.0);
+    let addr = server.addr();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut answered = Vec::new();
+                let mut refused = 0usize;
+                for _ in 0..queries_each {
+                    match client.query(7, SQL).expect("round trip") {
+                        Response::Perturbed(v) => answered.push(v.to_bits()),
+                        Response::Refused { reason, .. } => {
+                            assert_eq!(reason, RefusalReason::Budget);
+                            refused += 1;
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                let _ = client.bye(7);
+                (answered, refused)
+            })
+        })
+        .collect();
+    let mut answered = Vec::new();
+    let mut refused = 0usize;
+    for h in handles {
+        let (a, r) = h.join().expect("client thread");
+        answered.extend(a);
+        refused += r;
+    }
+    server.shutdown();
+    answered.sort_unstable();
+    (answered, refused)
+}
+
+#[test]
+fn concurrent_budget_hammering_is_deterministic() {
+    // 6 clients × 4 queries on one user with a 5ε budget: exactly 5
+    // answers and 19 budget refusals, in any interleaving — admissions
+    // are serialised under the user's session lock.
+    let (answers_a, refused_a) = hammer(6, 4);
+    assert_eq!(answers_a.len(), 5);
+    assert_eq!(refused_a, 19);
+    // And the *noise values themselves* are the same multiset on a rerun
+    // with a different interleaving: the per-user stream draws once per
+    // answered query, whoever's connection carried it.
+    let (answers_b, refused_b) = hammer(6, 4);
+    assert_eq!(answers_a, answers_b);
+    assert_eq!(refused_a, refused_b);
+}
+
+#[test]
+fn sessions_are_isolated_per_user() {
+    let server = server(2, 2.0);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // User 100 exhausts their own budget...
+    for _ in 0..2 {
+        assert!(matches!(
+            client.query(100, SQL).unwrap(),
+            Response::Perturbed(_)
+        ));
+    }
+    assert!(client.query(100, SQL).unwrap().is_refused());
+    // ...which spends nothing of user 101's.
+    assert!(matches!(
+        client.query(101, SQL).unwrap(),
+        Response::Perturbed(_)
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn bye_is_acknowledged_and_shutdown_does_not_hang_on_idle_connections() {
+    let server = server(2, 10.0);
+    let mut polite = Client::connect(server.addr()).expect("connect");
+    assert!(matches!(
+        polite.query(1, SQL).unwrap(),
+        Response::Perturbed(_)
+    ));
+    assert_eq!(polite.bye(1).unwrap(), Response::Bye);
+    // This client holds its connection open with no BYE; shutdown must
+    // still complete (it severs the read half) within the test timeout.
+    let mut rude = Client::connect(server.addr()).expect("connect");
+    assert!(matches!(
+        rude.query(2, SQL).unwrap(),
+        Response::Perturbed(_)
+    ));
+    server.shutdown();
+    // The rude client's next round trip fails cleanly — an error, not a
+    // fabricated answer.
+    assert!(rude.query(2, SQL).is_err());
+}
+
+#[test]
+fn injected_partial_response_is_a_client_error_never_a_partial_answer() {
+    let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    let server = server(2, 10.0);
+    faultkit::set_plan(Some(
+        faultkit::FaultPlan::parse("serve.partial_response=1").unwrap(),
+    ));
+    let mut victim = Client::connect(server.addr()).expect("connect");
+    // The server computes the answer, writes half the frame and severs
+    // the socket. The framing makes that an I/O error at the client —
+    // under no interleaving can it surface as a (different) answer.
+    let outcome = victim.query(3, SQL);
+    assert!(outcome.is_err(), "got {outcome:?}");
+    faultkit::set_plan(None);
+    // The worker survives the severed connection and keeps serving.
+    let mut next = Client::connect(server.addr()).expect("connect");
+    assert!(matches!(
+        next.query(4, SQL).unwrap(),
+        Response::Perturbed(_)
+    ));
+    let _ = next.bye(4);
+    server.shutdown();
+}
+
+#[test]
+fn loadgen_drives_real_sockets_and_reports_latencies() {
+    let server = server(4, 4.0);
+    let report = tdf_serve::loadgen::run(
+        server.addr(),
+        &LoadConfig {
+            clients: 4,
+            users: 50,
+            requests_per_client: 40,
+            zipf_s: 1.2,
+            seed: 0x10AD,
+        },
+    )
+    .expect("load run");
+    server.shutdown();
+    assert_eq!(report.requests, 160);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.answered + report.refused, 160);
+    // The Zipf head concentrates requests on few users, so 4ε budgets
+    // must produce refusals within 160 requests.
+    assert!(report.refused > 0, "head users must hit their budgets");
+    assert!(report.answered > 0);
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.p50_ns > 0 && report.p50_ns <= report.p95_ns);
+    assert!(report.p95_ns <= report.p99_ns);
+}

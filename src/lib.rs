@@ -17,9 +17,10 @@
 //! composition pipelines of §6 of the paper — lives in [`core`].
 //!
 //! The hot kernels (MDAV, Mondrian, record linkage, multi-server PIR) run
-//! on [`par`], the in-tree deterministic fork/join layer: set `TDF_THREADS`
-//! to bound parallelism (`1` forces the serial path) — results are
-//! bit-identical at every thread count.
+//! on [`par`], the in-tree deterministic parallelism layer (a persistent
+//! sharded executor): `TDF_THREADS` requests a count, clamped to the
+//! measured cores (`TDF_CORES` overrides detection; `1` forces the serial
+//! path) — results are bit-identical at every thread count.
 //!
 //! Every kernel is instrumented through [`obs`], the zero-dependency
 //! observability layer: set `TDF_OBS=1` for counters/gauges/histograms or
@@ -30,6 +31,12 @@
 //! `pir.server_drop=1@0.1,par.worker_panic=3` and the hot paths inject —
 //! and survive — server drops, corrupted answers, worker panics and
 //! query deadlines; a zero-rate plan is bit-identical to no plan.
+//!
+//! The interactive statistical database goes online through [`serve`]:
+//! a hermetic TCP server (framed binary protocol over `std::net`)
+//! wrapping [`querydb`]'s admission path — per-user ε-budgets, tracker
+//! detection, deadlines — with typed refusals on the wire and a
+//! closed-loop Zipfian load generator.
 
 pub use faultkit;
 pub use obs;
@@ -43,4 +50,5 @@ pub use tdf_pir as pir;
 pub use tdf_ppdm as ppdm;
 pub use tdf_querydb as querydb;
 pub use tdf_sdc as sdc;
+pub use tdf_serve as serve;
 pub use tdf_smc as smc;

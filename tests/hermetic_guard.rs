@@ -198,6 +198,34 @@ fn faultkit_crate_is_registered_and_its_dependencies_are_frozen() {
 }
 
 #[test]
+fn serve_crate_is_registered_and_its_dependencies_are_frozen() {
+    // The service front-end is the outward-facing surface of the
+    // workspace; it must stay hermetic over std::net. Its runtime set is
+    // frozen at the query engine, the dataset synthesisers, the in-tree
+    // RNG, the executor (core sizing), observability and fault
+    // injection — no protocol or async frameworks, ever.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let table = std::fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    assert!(
+        table.contains("tdf-serve = { path = \"crates/serve\" }"),
+        "tdf-serve must be a [workspace.dependencies] path entry"
+    );
+    assert_eq!(
+        runtime_deps(&root.join("crates/serve/Cargo.toml")),
+        [
+            "tdf-querydb",
+            "tdf-microdata",
+            "tdf-rngkit",
+            "tdf-par",
+            "tdf-obs",
+            "tdf-faultkit"
+        ],
+        "crates/serve must depend only on the in-tree privacy, RNG, \
+         parallelism, observability and fault-injection crates"
+    );
+}
+
+#[test]
 fn obs_crate_is_registered_and_dependency_free() {
     // Every kernel crate links the observability layer, so a dependency
     // added here would spread to the whole workspace. It must stay
