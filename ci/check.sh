@@ -121,13 +121,35 @@ for threads in 1 4; do
 done
 echo "ok"
 
+step "pir-scale smoke (fused batch + hint path, words-scanned budget)"
+# Quick shape of the PIR-at-scale bench: n=10^5, q in {1,8}, real fused
+# sweeps and hint retrievals with in-bench bit-identity asserts. The
+# grep pins the q=8 scan budget to the cost model — 2 servers x 8 lanes
+# x ceil(1e5/64) mask words = 25008 — so a kernel that silently starts
+# scanning more than the model predicts fails CI even though the timing
+# itself is not gated here. The artefact rides along in $ARTIFACTS (the
+# workflow uploads it).
+TDF_PIR_SCALE_QUICK=1 TDF_PIR_SCALE_SAMPLES=2 TDF_RESULTS_DIR="$ARTIFACTS" \
+  "$CARGO" bench --offline -p tdf-bench --bench pir_scale >/dev/null
+pir_json="$ARTIFACTS/BENCH_pir_scale.json"
+[[ -s "$pir_json" ]] || { echo "missing $pir_json" >&2; exit 1; }
+for id in single_q1_n1e5 batch_q8_n1e5 hint_online_n1e5; do
+  grep -q "\"id\":\"$id\"" "$pir_json" \
+    || { echo "$pir_json lacks entry $id" >&2; exit 1; }
+done
+grep -q '"words_scanned":25008' "$pir_json" \
+  || { echo "$pir_json: q=8 n=1e5 words-scanned budget drifted from 25008" >&2
+       exit 1; }
+echo "ok"
+
 if [[ "$QUICK" -eq 0 ]]; then
   step "bench smoke run (tiny sample counts; validates BENCH_*.json)"
   rm -f crates/bench/BENCH_*.json
   TDF_BENCH_SAMPLES=3 TDF_BENCH_SAMPLE_MS=2 TDF_BENCH_WARMUP_MS=5 \
     TDF_SERVE_CLIENTS=2 TDF_SERVE_USERS=100 TDF_SERVE_REQS=25 TDF_SERVE_ROWS=300 \
+    TDF_PIR_SCALE_QUICK=1 TDF_PIR_SCALE_SAMPLES=2 \
     "$CARGO" bench --offline -p tdf-bench >/dev/null
-  for suite in substrates ablations experiments par columnar obs faults serve; do
+  for suite in substrates ablations experiments par columnar obs faults serve pir_scale; do
     json="crates/bench/BENCH_${suite}.json"
     [[ -s "$json" ]] || { echo "missing $json" >&2; exit 1; }
     for field in median_ns p95_ns p99_ns; do
@@ -160,10 +182,14 @@ if [[ "$QUICK" -eq 0 ]]; then
          cat "$ARTIFACTS/serve_smoke.diff" >&2; exit 1; }
   echo "ok"
 
-  step "thread-scaling gate (t4 median within 1.10x of t1)"
-  # Skips with a notice on hosts with fewer than 4 measured cores (the
-  # core clamp makes the comparison vacuous there); on real multi-core
-  # runners a regression past the ratio fails the build.
+  step "scaling gate (pir batch economics + t4 median within 1.10x of t1)"
+  # The pir_batch leg (hint-path amortized online cost at q=64, n=1e6
+  # must stay <= 0.25x a full-scan single query, and fused sweeps must
+  # be bit-identical to sequential retrievals) runs on every host. The
+  # thread-scaling leg skips with a notice on hosts with fewer than 4
+  # measured cores (the core clamp makes the comparison vacuous there);
+  # on real multi-core runners a regression past the ratio fails the
+  # build.
   "$CARGO" run --release --offline -q -p tdf-bench --bin scaling_gate
 
   step "deterministic obs snapshot matches the golden file"

@@ -42,6 +42,7 @@ fn bench_load(h: &mut Harness, id: &str, budget: f64, load: &LoadConfig) {
             budget,
             ..SessionConfig::default()
         },
+        ..ServerConfig::default()
     })
     .expect("server starts");
     let (report, latencies) =

@@ -92,7 +92,15 @@ impl BitVec {
 
     /// Word-wide XOR with an equal-length vector.
     pub fn xor_assign(&mut self, other: &BitVec) {
-        assert_eq!(self.len, other.len, "bit-vector length mismatch");
+        assert_eq!(
+            self.len,
+            other.len,
+            "bit-vector length mismatch: self has {} bits ({} words), other has {} bits ({} words)",
+            self.len,
+            self.words.len(),
+            other.len,
+            other.words.len()
+        );
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a ^= b;
         }
@@ -209,6 +217,13 @@ mod tests {
         pa.xor_assign(&BitVec::from_bools(&b));
         let want: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
         assert_eq!(pa.to_bools(), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "self has 3 bits (1 words), other has 65 bits (2 words)")]
+    fn xor_assign_length_mismatch_names_both_lengths() {
+        let mut a = BitVec::zeros(3);
+        a.xor_assign(&BitVec::zeros(65));
     }
 
     #[test]

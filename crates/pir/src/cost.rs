@@ -80,6 +80,31 @@ pub fn cube_scan_words(s: usize, popcounts: &[u64]) -> u64 {
     scans * words_for(s) as u64
 }
 
+/// Words scanned by a fused batch of `q` two-server queries over `n`
+/// records: both servers decode each of the `q` packed masks once — the
+/// same mask-word total as `q` sequential retrievals. Fusion wins on
+/// *data* traffic (each record window is read once per sweep instead of
+/// once per query), which the wall-clock gate in `scaling_gate` measures;
+/// the mask-scan model is deliberately identical so that measured ==
+/// predicted stays exact for batches of any size.
+pub fn batch_scan_words(q: usize, n: usize) -> u64 {
+    (2 * q * words_for(n)) as u64
+}
+
+/// Record-data words fetched by one hint-based online answer: the server
+/// XORs the `set_size − 1` punctured-subset members, each a record of
+/// `record_size` bytes (⌈record_size/8⌉ words) — o(n) when `set_size` is
+/// the √n block count.
+pub fn hint_online_words(set_size: usize, record_size: usize) -> u64 {
+    (set_size.saturating_sub(1) * record_size.div_ceil(8)) as u64
+}
+
+/// Record-data words folded by an offline hint-preparation pass:
+/// `hints` parities, each aggregating a `set_size`-member subset.
+pub fn hint_offline_words(hints: usize, set_size: usize, record_size: usize) -> u64 {
+    (hints * set_size * record_size.div_ceil(8)) as u64
+}
+
 impl AddAssign for CostReport {
     fn add_assign(&mut self, rhs: CostReport) {
         *self = *self + rhs;
@@ -106,6 +131,19 @@ mod tests {
         assert_eq!(cube_scan_words(100, &[3, 5]), (1 + 3) * 2);
         // A zero popcount prunes every deeper visit.
         assert_eq!(cube_scan_words(8, &[0, 9]), 1);
+    }
+
+    #[test]
+    fn batch_and_hint_models() {
+        // A batch of one costs exactly one two-server linear retrieval.
+        assert_eq!(batch_scan_words(1, 100), linear_scan_words(2, 100));
+        assert_eq!(batch_scan_words(8, 65), 2 * 8 * 2);
+        // Hint online: set_size − 1 records of ⌈rs/8⌉ words.
+        assert_eq!(hint_online_words(100, 32), 99 * 4);
+        assert_eq!(hint_online_words(100, 9), 99 * 2);
+        assert_eq!(hint_online_words(0, 32), 0);
+        // Hint offline: hints × set_size record folds.
+        assert_eq!(hint_offline_words(10, 100, 32), 10 * 100 * 4);
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! * [`cpir`] — single-server *computational* PIR in the style of
 //!   Kushilevitz–Ostrovsky, built on the Goldwasser–Micali
 //!   quadratic-residuosity cryptosystem ([`gm`]) from `tdf-mathkit` primes;
+//! * [`batch`] — multi-query batching: `q` pending two-server queries
+//!   fused into one cache-hot database sweep, amortizing data traffic
+//!   across the batch;
+//! * [`hints`] — the offline/online split: √n-subset parities prepared
+//!   offline so the online path touches O(√n) words, with a
+//!   hint-refresh protocol after consumption;
 //! * [`redundant`] — the (m, t)-redundant failure-tolerant retrieval:
 //!   checksum-verified pairwise replication that detects and masks up to
 //!   `t` byzantine or silent servers (never returns a wrong record);
@@ -24,18 +30,22 @@
 //! * [`store`] — a PIR-backed record store with an explicit server *view*,
 //!   used by `tdf-core` to measure query leakage in bits.
 
+pub mod batch;
 pub mod bits;
 pub mod cost;
 pub mod cpir;
 pub mod cube;
 pub mod gm;
+pub mod hints;
 pub mod linear;
 pub mod redundant;
 pub mod square;
 pub mod store;
 pub mod trivial;
 
+pub use batch::{BatchOutcome, BatchQuery};
 pub use bits::BitVec;
 pub use cost::CostReport;
+pub use hints::ClientHints;
 pub use redundant::{PirError, VerifiedDatabase};
 pub use store::{Database, ServerView};

@@ -2,7 +2,8 @@
 //! everything a (curious) server observes during a retrieval, from which
 //! `tdf-core` computes empirical query leakage.
 
-use crate::bits::BitVec;
+use crate::bits::{words_for, BitVec};
+use std::ops::Range;
 use std::sync::Arc;
 
 /// A database of `n` fixed-size records stored contiguously.
@@ -41,6 +42,24 @@ impl Database {
     /// Builds a database of single-bit records from a bit vector.
     pub fn from_bits(bits: &[bool]) -> Self {
         Self::new(bits.iter().map(|&b| vec![u8::from(b)]).collect())
+    }
+
+    /// Builds a database by filling `n` records of `record_size` bytes in
+    /// place. This is the at-scale constructor: one flat allocation
+    /// instead of `n` intermediate `Vec`s, which dominate [`Self::new`]
+    /// at n = 10^7.
+    pub fn from_fn(n: usize, record_size: usize, mut fill: impl FnMut(usize, &mut [u8])) -> Self {
+        let mut data = vec![0u8; n * record_size];
+        if record_size > 0 {
+            for (i, rec) in data.chunks_exact_mut(record_size).enumerate() {
+                fill(i, rec);
+            }
+        }
+        Self {
+            data: data.into(),
+            record_size,
+            len: n,
+        }
     }
 
     /// Number of records.
@@ -160,6 +179,142 @@ impl Database {
         (out, tag.to_ne_bytes().to_vec())
     }
 
+    /// XOR-folds `q` packed selection masks in a **single fused sweep**
+    /// of the record data: element `l` of the result equals
+    /// `xor_selected(masks[l])`, but every 64-record data window is
+    /// visited once for the whole batch while it is cache-hot, instead
+    /// of streaming the full array once per query. This generalizes
+    /// [`Self::xor_selected_joint`] from 2 lanes to `q` lanes. The sweep
+    /// is chunked on mask-word boundaries through the persistent
+    /// `tdf-par` executor; XOR merging is exact, so the result is
+    /// bit-identical at any thread count.
+    pub fn xor_selected_batch(&self, masks: &[&BitVec]) -> Vec<Vec<u8>> {
+        for (lane, m) in masks.iter().enumerate() {
+            assert_eq!(
+                m.len(),
+                self.len,
+                "batch mask arity mismatch: lane {lane} has {} bits, database has {} records",
+                m.len(),
+                self.len
+            );
+        }
+        if masks.is_empty() {
+            return Vec::new();
+        }
+        match self.record_size {
+            8 => self.batch_words::<1>(masks),
+            16 => self.batch_words::<2>(masks),
+            32 => self.batch_words::<4>(masks),
+            64 => self.batch_words::<8>(masks),
+            _ => self.batch_generic(masks),
+        }
+    }
+
+    /// Monomorphized fused sweep for records of exactly `W * 8` bytes.
+    fn batch_words<const W: usize>(&self, masks: &[&BitVec]) -> Vec<Vec<u8>> {
+        let folded = par::par_index_reduce(
+            words_for(self.len),
+            0,
+            |range| batch_fold_words::<W>(&self.data, masks, range),
+            |mut a, b| {
+                for (la, lb) in a.iter_mut().zip(&b) {
+                    for (x, y) in la.iter_mut().zip(lb) {
+                        *x ^= y;
+                    }
+                }
+                a
+            },
+        )
+        .unwrap_or_else(|| vec![[0u64; W]; masks.len()]);
+        folded
+            .into_iter()
+            .map(|acc| {
+                let mut out = Vec::with_capacity(W * 8);
+                for a in acc {
+                    out.extend_from_slice(&a.to_ne_bytes());
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Fused sweep for arbitrary record sizes: per-lane accumulators are
+    /// a word-wide body plus a byte tail, as in [`Self::xor_selected`].
+    fn batch_generic(&self, masks: &[&BitVec]) -> Vec<Vec<u8>> {
+        let rs = self.record_size;
+        let body = rs / 8;
+        let tail_len = rs % 8;
+        let lanes = masks.len();
+        let zero = || vec![(vec![0u64; body], vec![0u8; tail_len]); lanes];
+        let folded = par::par_index_reduce(
+            words_for(self.len),
+            0,
+            |range| {
+                let mut acc = zero();
+                for w in range {
+                    let base = w * 64;
+                    for (lane, mask) in masks.iter().enumerate() {
+                        let mut bits = mask.words()[w];
+                        let (acc64, tail) = &mut acc[lane];
+                        while bits != 0 {
+                            let i = base + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let rec = &self.data[i * rs..(i + 1) * rs];
+                            for (a, chunk) in acc64.iter_mut().zip(rec.chunks_exact(8)) {
+                                *a ^= u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk"));
+                            }
+                            for (t, b) in tail.iter_mut().zip(&rec[body * 8..]) {
+                                *t ^= b;
+                            }
+                        }
+                    }
+                }
+                acc
+            },
+            |mut a, b| {
+                for ((a64, at), (b64, bt)) in a.iter_mut().zip(&b) {
+                    for (x, y) in a64.iter_mut().zip(b64) {
+                        *x ^= y;
+                    }
+                    for (x, y) in at.iter_mut().zip(bt) {
+                        *x ^= y;
+                    }
+                }
+                a
+            },
+        )
+        .unwrap_or_else(zero);
+        folded
+            .into_iter()
+            .map(|(acc64, tail)| {
+                let mut out = Vec::with_capacity(rs);
+                for a in acc64 {
+                    out.extend_from_slice(&a.to_ne_bytes());
+                }
+                out.extend_from_slice(&tail);
+                out
+            })
+            .collect()
+    }
+
+    /// XOR of the records at `indices` — the o(n) online path of the
+    /// hint scheme (`crate::hints`): the server touches only the listed
+    /// records instead of sweeping a packed n-bit mask.
+    pub fn xor_indices(&self, indices: &[usize]) -> Vec<u8> {
+        let mut acc = vec![0u8; self.record_size];
+        for &i in indices {
+            assert!(
+                i < self.len,
+                "record index {i} out of range: database has {} records",
+                self.len
+            );
+            for (a, b) in acc.iter_mut().zip(self.record(i)) {
+                *a ^= b;
+            }
+        }
+        acc
+    }
+
     /// `Vec<bool>` reference implementation of [`Self::xor_selected`] —
     /// the pre-packing scan, kept for property tests and benchmarks.
     pub fn xor_selected_bools(&self, mask: &[bool]) -> Vec<u8> {
@@ -182,6 +337,13 @@ impl Database {
 /// buffer on every selected record.
 fn fold_words<const W: usize>(data: &[u8], mask: &BitVec) -> [u64; W] {
     let rs = W * 8;
+    debug_assert_eq!(
+        data.len(),
+        mask.len() * rs,
+        "sweep length mismatch: data holds {} bytes but the mask selects {} records of {rs} bytes",
+        data.len(),
+        mask.len()
+    );
     let mut acc = [0u64; W];
     for i in mask.ones() {
         let rec = &data[i * rs..(i + 1) * rs];
@@ -201,6 +363,20 @@ fn tag_word(tags: &[u8], i: usize) -> u64 {
 /// mask decode feeds both accumulators.
 fn fold_words_joint<const W: usize>(data: &[u8], tags: &[u8], mask: &BitVec) -> ([u64; W], u64) {
     let rs = W * 8;
+    debug_assert_eq!(
+        data.len(),
+        mask.len() * rs,
+        "joint-sweep length mismatch: data holds {} bytes but the mask selects {} records of {rs} bytes",
+        data.len(),
+        mask.len()
+    );
+    debug_assert_eq!(
+        tags.len(),
+        mask.len() * 8,
+        "joint-sweep length mismatch: tag table holds {} bytes but the mask selects {} 8-byte tags",
+        tags.len(),
+        mask.len()
+    );
     let mut acc = [0u64; W];
     let mut tag = 0u64;
     for i in mask.ones() {
@@ -211,6 +387,46 @@ fn fold_words_joint<const W: usize>(data: &[u8], tags: &[u8], mask: &BitVec) -> 
         tag ^= tag_word(tags, i);
     }
     (acc, tag)
+}
+
+/// One chunk of the fused multi-lane sweep for records of exactly
+/// `W * 8` bytes: for every mask word in `range`, the ≤ 64-record data
+/// window is folded into each lane's accumulator while it is
+/// L1-resident. The per-lane accumulators are fixed-size `[u64; W]`
+/// arrays, so the inner XOR unrolls into register operations and never
+/// round-trips a heap buffer.
+fn batch_fold_words<const W: usize>(
+    data: &[u8],
+    masks: &[&BitVec],
+    range: Range<usize>,
+) -> Vec<[u64; W]> {
+    let rs = W * 8;
+    for m in masks {
+        debug_assert_eq!(
+            data.len(),
+            m.len() * rs,
+            "batch-sweep length mismatch: data holds {} bytes but a lane mask selects {} records of {rs} bytes",
+            data.len(),
+            m.len()
+        );
+    }
+    let mut acc = vec![[0u64; W]; masks.len()];
+    for w in range {
+        let base = w * 64;
+        for (lane, mask) in masks.iter().enumerate() {
+            let mut bits = mask.words()[w];
+            let a = &mut acc[lane];
+            while bits != 0 {
+                let i = base + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let rec = &data[i * rs..(i + 1) * rs];
+                for (x, chunk) in a.iter_mut().zip(rec.chunks_exact(8)) {
+                    *x ^= u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk"));
+                }
+            }
+        }
+    }
+    acc
 }
 
 /// What one server observed during a retrieval: the raw query message it
@@ -238,6 +454,7 @@ pub enum ServerView {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rngkit::SeedableRng;
 
     #[test]
     fn construction_and_access() {
@@ -299,6 +516,93 @@ mod tests {
         let bools: Vec<bool> = (0..70).map(|i| i % 3 != 1).collect();
         let packed = BitVec::from_bools(&bools);
         assert_eq!(db.xor_selected(&packed), db.xor_selected_bools(&bools));
+    }
+
+    #[test]
+    fn batch_sweep_agrees_with_per_query_sweeps() {
+        // Monomorphized (8/16/32/64) and generic (odd-size) lanes, with
+        // masks spanning multiple words, across 1..9 lanes.
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(41);
+        for rs in [1usize, 8, 9, 16, 32, 64, 70] {
+            let n = 131;
+            let db = Database::from_fn(n, rs, |i, rec| {
+                for (j, b) in rec.iter_mut().enumerate() {
+                    *b = (i * 31 + j * 7 + rs) as u8;
+                }
+            });
+            for q in [1usize, 2, 5, 9] {
+                let masks: Vec<BitVec> = (0..q).map(|_| BitVec::random(&mut rng, n)).collect();
+                let refs: Vec<&BitVec> = masks.iter().collect();
+                let fused = db.xor_selected_batch(&refs);
+                let sequential: Vec<Vec<u8>> = masks.iter().map(|m| db.xor_selected(m)).collect();
+                assert_eq!(fused, sequential, "rs={rs} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sweep_is_identical_across_thread_counts() {
+        // Large enough that the word sweep clears the sequential
+        // threshold and actually fans out.
+        let n = 70_000;
+        let db = Database::from_fn(n, 32, |i, rec| {
+            for (j, b) in rec.iter_mut().enumerate() {
+                *b = (i * 13 + j) as u8;
+            }
+        });
+        let mut rng = rngkit::rngs::StdRng::seed_from_u64(42);
+        let masks: Vec<BitVec> = (0..4).map(|_| BitVec::random(&mut rng, n)).collect();
+        let refs: Vec<&BitVec> = masks.iter().collect();
+        let t1 = par::with_threads(1, || db.xor_selected_batch(&refs));
+        let t4 = par::with_threads(4, || db.xor_selected_batch(&refs));
+        assert_eq!(t1, t4);
+        let sequential: Vec<Vec<u8>> = masks.iter().map(|m| db.xor_selected(m)).collect();
+        assert_eq!(t1, sequential);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let db = Database::new(vec![vec![1u8; 8]; 4]);
+        assert_eq!(db.xor_selected_batch(&[]), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "lane 1 has 3 bits, database has 4 records")]
+    fn batch_mask_mismatch_names_lane_and_lengths() {
+        let db = Database::new(vec![vec![1u8; 8]; 4]);
+        let good = BitVec::zeros(4);
+        let bad = BitVec::zeros(3);
+        let _ = db.xor_selected_batch(&[&good, &bad]);
+    }
+
+    #[test]
+    fn from_fn_matches_new() {
+        let records: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i, i * 3, i ^ 0x5A]).collect();
+        let a = Database::new(records.clone());
+        let b = Database::from_fn(10, 3, |i, rec| rec.copy_from_slice(&records[i]));
+        assert_eq!(a, b);
+        let empty = Database::from_fn(5, 0, |_, _| unreachable!("no bytes to fill"));
+        assert_eq!(empty.len(), 5);
+        assert_eq!(empty.record_size(), 0);
+    }
+
+    #[test]
+    fn xor_indices_matches_selected() {
+        let db = Database::new((0..20u8).map(|i| vec![i, i.wrapping_mul(17), 9]).collect());
+        let indices = [1usize, 4, 4, 19];
+        let mut bools = vec![false; 20];
+        // 4 appears twice, cancelling itself: expect XOR of {1, 19}.
+        bools[1] = true;
+        bools[19] = true;
+        assert_eq!(db.xor_indices(&indices), db.xor_selected_bools(&bools));
+        assert_eq!(db.xor_indices(&[]), vec![0u8; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "record index 20 out of range: database has 20 records")]
+    fn xor_indices_out_of_range_names_both() {
+        let db = Database::new((0..20u8).map(|i| vec![i]).collect());
+        let _ = db.xor_indices(&[20]);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Property test: the measured `pir.words_scanned` counter must equal
+//! the analytical cost-model prediction for *randomized* shapes of every
+//! scheme — linear (any k), square, cube (any d), the fused batch path
+//! (any q) and the offline/online hint path. The counter tallies actual
+//! work at the scan sites; the model computes the same quantity from
+//! `n`, `k`, `d`, `q` and the subset sizes. Any drift between the two
+//! derivations is a bug in one of them.
+//!
+//! This file holds exactly one test: the obs registry is process-global,
+//! so the reset/measure window must not race another test in the same
+//! binary.
+
+use check::prelude::*;
+use rngkit::rngs::StdRng;
+use rngkit::SeedableRng;
+use tdf_pir::cost::{batch_scan_words, hint_offline_words, hint_online_words, linear_scan_words};
+use tdf_pir::store::Database;
+
+fn measured(run: impl FnOnce()) -> u64 {
+    obs::reset();
+    run();
+    let counted = obs::snapshot().counter("pir.words_scanned");
+    obs::reset();
+    counted
+}
+
+props! {
+    #[test]
+    fn words_scanned_matches_the_model_for_random_shapes(
+        n in 1usize..400,
+        k in 2usize..5,
+        d in 1u32..4,
+        q in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        obs::set_level(1);
+        let db = Database::from_fn(n, 9, |i, rec| {
+            for (j, b) in rec.iter_mut().enumerate() {
+                *b = (i * 31 + j) as u8 ^ seed as u8;
+            }
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let index = seed as usize % n;
+
+        // Linear: k whole-mask sweeps.
+        let mut cost = None;
+        let counted = measured(|| {
+            cost = Some(tdf_pir::linear::retrieve(&mut rng, &db, k, index).2);
+        });
+        let cost = cost.expect("retrieval ran");
+        prop_assert_eq!(counted, cost.words_scanned);
+        prop_assert_eq!(cost.words_scanned, linear_scan_words(k, n));
+
+        // Square: the report is the model (s column re-scans per server).
+        let mut cost = None;
+        let counted = measured(|| {
+            cost = Some(tdf_pir::square::retrieve(&mut rng, &db, index).2);
+        });
+        prop_assert_eq!(counted, cost.expect("retrieval ran").words_scanned);
+
+        // Cube: the report derives from the drawn subset popcounts.
+        let mut cost = None;
+        let counted = measured(|| {
+            cost = Some(tdf_pir::cube::retrieve(&mut rng, &db, d, index).2);
+        });
+        prop_assert_eq!(counted, cost.expect("retrieval ran").words_scanned);
+
+        // Batch: q masks × 2 servers, on both the fused and the
+        // (fault-free here) per-query accounting.
+        let indices: Vec<usize> = (0..q).map(|t| (index + t * 7) % n).collect();
+        let mut cost = None;
+        let counted = measured(|| {
+            cost = Some(tdf_pir::batch::retrieve_batch(&mut rng, &db, &indices).cost);
+        });
+        let cost = cost.expect("retrieval ran");
+        prop_assert_eq!(counted, cost.words_scanned);
+        prop_assert_eq!(cost.words_scanned, batch_scan_words(q, n));
+
+        // Hints: the offline pass folds count × set_size records; each
+        // online answer fetches set_size − 1 records; a refresh (rare,
+        // visible as an epoch step) re-runs the offline pass.
+        let count = 2 * (n.min(40)) + 1;
+        let mut pool = None;
+        let counted = measured(|| {
+            pool = Some(tdf_pir::hints::ClientHints::prepare(&db, seed, count));
+        });
+        let mut pool = pool.expect("preparation ran");
+        prop_assert_eq!(counted, hint_offline_words(count, pool.set_size(), 9));
+        let epoch_before = pool.epoch();
+        let mut answer = None;
+        let counted = measured(|| {
+            answer = Some(pool.retrieve(&db, index));
+        });
+        let answer = answer.expect("retrieval ran");
+        prop_assert_eq!(answer.record, db.record(index).to_vec());
+        let refreshes = pool.epoch() - epoch_before;
+        prop_assert_eq!(
+            counted,
+            refreshes * hint_offline_words(count, pool.set_size(), 9)
+                + hint_online_words(pool.set_size(), 9)
+        );
+        prop_assert_eq!(answer.online_words, hint_online_words(pool.set_size(), 9));
+        obs::set_level(0);
+    }
+}

@@ -27,6 +27,10 @@ fn show(response: &Response) -> String {
             format!("refused[{}] {message}", reason.label())
         }
         Response::Error(message) => format!("error {message}"),
+        Response::Record(bytes) => {
+            let hex: String = bytes.iter().take(8).map(|b| format!("{b:02x}")).collect();
+            format!("record {} bytes {hex}..", bytes.len())
+        }
         Response::Bye => "bye".to_owned(),
     }
 }
@@ -45,6 +49,7 @@ fn main() {
             max_overlap: 300,
             max_rows: 0,
         },
+        ..ServerConfig::default()
     })
     .expect("server starts on an ephemeral port");
 
@@ -75,6 +80,13 @@ fn main() {
         let response = client.query(2, sql).expect("query round-trips");
         println!("u2 q{} {sql} -> {}", i + 1, show(&response));
     }
+
+    // User 3 fetches a PIR record (seed-deterministic contents) and then
+    // asks for one past the end of the store.
+    let fetched = client.pir_fetch(3, 7).expect("fetch round-trips");
+    println!("u3 fetch 7 -> {}", show(&fetched));
+    let ranged = client.pir_fetch(3, 1 << 40).expect("fetch round-trips");
+    println!("u3 fetch 2^40 -> {}", show(&ranged));
 
     let farewell = client.bye(1).expect("bye round-trips");
     println!("u1 bye -> {}", show(&farewell));

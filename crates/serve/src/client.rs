@@ -31,6 +31,14 @@ impl Client {
         read_response(&mut self.stream)
     }
 
+    /// Fetches one PIR record on behalf of `user`; the server batches
+    /// concurrent fetches from all connections into fused sweeps.
+    pub fn pir_fetch(&mut self, user: u64, index: u64) -> io::Result<Response> {
+        let request = Request::PirFetch { user, index };
+        write_frame(&mut self.stream, &encode_request(&request))?;
+        read_response(&mut self.stream)
+    }
+
     /// Ends the session cleanly; the server acknowledges with
     /// [`Response::Bye`].
     pub fn bye(&mut self, user: u64) -> io::Result<Response> {

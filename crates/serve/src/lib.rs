@@ -16,20 +16,24 @@
 //!   truncation is always detectable);
 //! * [`session`] — per-user budget + history state and the admission
 //!   path;
+//! * [`batch`] — PIR batch admission: concurrent `PIR_FETCH` requests
+//!   from different connections coalesce into one fused database sweep;
 //! * [`server`] — accept loop, connection workers, draining shutdown,
 //!   `tdf-obs` metrics;
 //! * [`client`] — a blocking client;
 //! * [`loadgen`] — the closed-loop Zipfian workload driver behind
 //!   `BENCH_serve.json`.
 
+pub mod batch;
 pub mod client;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
+pub use batch::PirBatcher;
 pub use client::Client;
 pub use loadgen::{LoadConfig, LoadReport};
 pub use protocol::{RefusalReason, Request, Response};
-pub use server::{Server, ServerConfig};
+pub use server::{pir_record, Server, ServerConfig};
 pub use session::{SessionConfig, UserSession};

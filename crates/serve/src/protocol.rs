@@ -9,8 +9,9 @@
 //!
 //! ```text
 //! request  := opcode:u8  user_id:u64  len:u32  payload:[u8; len]
-//!             opcode 1 = QUERY (payload is UTF-8 mini-SQL)
-//!             opcode 2 = BYE   (len must be 0)
+//!             opcode 1 = QUERY     (payload is UTF-8 mini-SQL)
+//!             opcode 2 = BYE       (len must be 0)
+//!             opcode 3 = PIR_FETCH (len must be 8; payload is index:u64)
 //!
 //! response := tag:u8  body
 //!             tag 0 = EXACT      body = value:f64
@@ -19,6 +20,7 @@
 //!             tag 3 = REFUSED    body = reason:u8 len:u32 msg:[u8; len]
 //!             tag 4 = ERROR      body = len:u32 msg:[u8; len]
 //!             tag 5 = BYE        body = empty
+//!             tag 6 = RECORD     body = len:u32 bytes:[u8; len]
 //! ```
 
 use std::io::{self, Read, Write};
@@ -41,6 +43,14 @@ pub enum Request {
     Bye {
         /// The session's user id.
         user: u64,
+    },
+    /// Fetch one record from the server's PIR store. Requests from many
+    /// users coalesce into fused batch sweeps server-side.
+    PirFetch {
+        /// The session's user id.
+        user: u64,
+        /// Record index to fetch.
+        index: u64,
     },
 }
 
@@ -109,6 +119,8 @@ pub enum Response {
     Error(String),
     /// Acknowledgement of a `Bye`.
     Bye,
+    /// The record bytes answering a `PirFetch`.
+    Record(Vec<u8>),
 }
 
 impl Response {
@@ -155,14 +167,18 @@ fn read_f64(r: &mut impl Read) -> io::Result<f64> {
     Ok(f64::from_le_bytes(b))
 }
 
-fn read_string(r: &mut impl Read) -> io::Result<String> {
+fn read_bytes(r: &mut impl Read) -> io::Result<Vec<u8>> {
     let len = read_u32(r)?;
     if len > MAX_PAYLOAD {
         return Err(bad(format!("frame payload of {len} bytes exceeds cap")));
     }
     let mut buf = vec![0u8; len as usize];
     r.read_exact(&mut buf)?;
-    String::from_utf8(buf).map_err(|_| bad("payload is not UTF-8".to_owned()))
+    Ok(buf)
+}
+
+fn read_string(r: &mut impl Read) -> io::Result<String> {
+    String::from_utf8(read_bytes(r)?).map_err(|_| bad("payload is not UTF-8".to_owned()))
 }
 
 /// Serializes one request into a byte buffer.
@@ -179,6 +195,12 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(2);
             out.extend_from_slice(&user.to_le_bytes());
             out.extend_from_slice(&0u32.to_le_bytes());
+        }
+        Request::PirFetch { user, index } => {
+            out.push(3);
+            out.extend_from_slice(&user.to_le_bytes());
+            out.extend_from_slice(&8u32.to_le_bytes());
+            out.extend_from_slice(&index.to_le_bytes());
         }
     }
     out
@@ -199,6 +221,18 @@ pub fn read_request(r: &mut impl Read) -> io::Result<Request> {
                 return Err(bad("BYE carries no payload".to_owned()));
             }
             Ok(Request::Bye { user })
+        }
+        3 => {
+            let len = read_u32(r)?;
+            if len != 8 {
+                return Err(bad(format!(
+                    "PIR_FETCH payload is exactly 8 bytes, got {len}"
+                )));
+            }
+            Ok(Request::PirFetch {
+                user,
+                index: read_u64(r)?,
+            })
         }
         other => Err(bad(format!("unknown opcode {other}"))),
     }
@@ -233,6 +267,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(message.as_bytes());
         }
         Response::Bye => out.push(5),
+        Response::Record(bytes) => {
+            out.push(6);
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
     }
     out
 }
@@ -252,6 +291,7 @@ pub fn read_response(r: &mut impl Read) -> io::Result<Response> {
         }
         4 => Ok(Response::Error(read_string(r)?)),
         5 => Ok(Response::Bye),
+        6 => Ok(Response::Record(read_bytes(r)?)),
         other => Err(bad(format!("unknown response tag {other}"))),
     }
 }
@@ -289,6 +329,23 @@ mod tests {
             sql: String::new(),
         });
         round_trip_request(Request::Bye { user: 7 });
+        round_trip_request(Request::PirFetch {
+            user: 3,
+            index: 9_999_999,
+        });
+        round_trip_request(Request::PirFetch {
+            user: u64::MAX,
+            index: 0,
+        });
+    }
+
+    #[test]
+    fn pir_fetch_length_must_be_exactly_eight() {
+        let mut bytes = vec![3u8];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 7]);
+        assert!(read_request(&mut io::Cursor::new(bytes)).is_err());
     }
 
     #[test]
@@ -302,6 +359,8 @@ mod tests {
         });
         round_trip_response(Response::Error("parse error".to_owned()));
         round_trip_response(Response::Bye);
+        round_trip_response(Response::Record(vec![0xDE, 0xAD, 0x00, 0x42]));
+        round_trip_response(Response::Record(Vec::new()));
     }
 
     #[test]
@@ -312,6 +371,7 @@ mod tests {
                 reason: RefusalReason::Tracker,
                 message: "tracker pattern detected".to_owned(),
             },
+            Response::Record(vec![1, 2, 3, 4, 5, 6, 7, 8]),
         ] {
             let bytes = encode_response(&resp);
             // Every proper prefix must fail to parse — a partial write can

@@ -22,7 +22,14 @@
 //! Fault site: `serve.partial_response` severs the connection after
 //! writing half a response frame — the injection the shutdown tests use
 //! to prove clients can never mistake a cut write for an answer.
+//!
+//! **PIR.** The server also holds a seed-deterministic PIR record store;
+//! `PIR_FETCH` requests from any number of connections funnel through a
+//! [`crate::batch::PirBatcher`], which coalesces whatever is pending
+//! into one fused multi-lane sweep per admission window (see
+//! `tdf_pir::batch`).
 
+use crate::batch::PirBatcher;
 use crate::protocol::{
     encode_response, read_request, write_frame, RefusalReason, Request, Response,
 };
@@ -35,6 +42,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tdf_microdata::synth::{patients, PatientConfig};
 use tdf_microdata::Dataset;
+use tdf_pir::store::Database;
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -48,6 +56,15 @@ pub struct ServerConfig {
     /// Per-user admission and budget parameters (its `seed` is
     /// overwritten by the server's master seed).
     pub session: SessionConfig,
+    /// Records in the PIR store (seed-deterministic content).
+    pub pir_records: usize,
+    /// Bytes per PIR record.
+    pub pir_record_size: usize,
+    /// Batch-admission window in milliseconds: how long the first
+    /// pending PIR fetch waits for others to coalesce before sweeping.
+    pub pir_batch_window_ms: u64,
+    /// Maximum lanes per fused sweep.
+    pub pir_batch_max: usize,
 }
 
 impl Default for ServerConfig {
@@ -57,12 +74,35 @@ impl Default for ServerConfig {
             seed: 0x7DF,
             workers: 0,
             session: SessionConfig::default(),
+            pir_records: 4096,
+            pir_record_size: 32,
+            pir_batch_window_ms: 1,
+            pir_batch_max: 64,
         }
+    }
+}
+
+/// The content of PIR record `i` under `seed` — the reference the store
+/// is built from, exposed so clients and tests can verify fetched bytes
+/// without downloading the database.
+pub fn pir_record(seed: u64, record_size: usize, i: usize) -> Vec<u8> {
+    let mut out = vec![0u8; record_size];
+    fill_pir_record(seed, i, &mut out);
+    out
+}
+
+fn fill_pir_record(seed: u64, i: usize, rec: &mut [u8]) {
+    let mut state = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for chunk in rec.chunks_mut(8) {
+        let word = rngkit::splitmix64(&mut state).to_le_bytes();
+        chunk.copy_from_slice(&word[..chunk.len()]);
     }
 }
 
 struct Shared {
     data: Dataset,
+    pir: Database,
+    batcher: PirBatcher,
     session_cfg: SessionConfig,
     users: Mutex<HashMap<u64, Arc<Mutex<UserSession>>>>,
     queue: Mutex<VecDeque<TcpStream>>,
@@ -110,6 +150,10 @@ impl Server {
                 seed: cfg.seed,
                 ..Default::default()
             }),
+            pir: Database::from_fn(cfg.pir_records, cfg.pir_record_size, |i, rec| {
+                fill_pir_record(cfg.seed, i, rec)
+            }),
+            batcher: PirBatcher::new(cfg.seed, cfg.pir_batch_window_ms, cfg.pir_batch_max),
             session_cfg,
             users: Mutex::new(HashMap::new()),
             queue: Mutex::new(VecDeque::new()),
@@ -307,6 +351,34 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                     return Ok(());
                 }
                 write_frame(&mut stream, &frame)?;
+                obs::observe("serve.request_ns", started.elapsed().as_nanos() as u64);
+            }
+            Request::PirFetch { user: _, index } => {
+                obs::count("serve.pir.requests", 1);
+                // PIR admission charges no ε: the user-privacy dimension
+                // protects *which* record is read, not an aggregate. The
+                // batcher coalesces concurrent fetches into fused sweeps.
+                let response = if shared.draining.load(Ordering::Acquire) {
+                    Response::Refused {
+                        reason: RefusalReason::Draining,
+                        message: "server is draining for shutdown".to_owned(),
+                    }
+                } else if index >= shared.pir.len() as u64 {
+                    Response::Error(format!(
+                        "record index {index} out of range: PIR store has {} records",
+                        shared.pir.len()
+                    ))
+                } else {
+                    Response::Record(shared.batcher.fetch(&shared.pir, index as usize))
+                };
+                match &response {
+                    Response::Refused { reason, .. } => {
+                        obs::count(&format!("serve.refused.{}", reason.label()), 1);
+                    }
+                    Response::Error(_) => obs::count("serve.pir.range_errors", 1),
+                    _ => obs::count("serve.pir.answers", 1),
+                }
+                write_frame(&mut stream, &encode_response(&response))?;
                 obs::observe("serve.request_ns", started.elapsed().as_nanos() as u64);
             }
         }

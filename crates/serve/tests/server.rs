@@ -20,6 +20,7 @@ fn server(workers: usize, budget: f64) -> Server {
             max_overlap: usize::MAX,
             max_rows: 0,
         },
+        ..ServerConfig::default()
     })
     .expect("server starts")
 }
@@ -143,6 +144,146 @@ fn injected_partial_response_is_a_client_error_never_a_partial_answer() {
         Response::Perturbed(_)
     ));
     let _ = next.bye(4);
+    server.shutdown();
+}
+
+#[test]
+fn pir_fetch_round_trips_the_exact_record() {
+    let server = server(2, 10.0);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for index in [0u64, 1, 63, 64, 4095] {
+        match client.pir_fetch(9, index).expect("round trip") {
+            Response::Record(bytes) => {
+                assert_eq!(
+                    bytes,
+                    tdf_serve::pir_record(0xBEEF, 32, index as usize),
+                    "index {index}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let _ = client.bye(9);
+    server.shutdown();
+}
+
+#[test]
+fn pir_fetch_out_of_range_is_a_typed_error() {
+    let server = server(2, 10.0);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    match client.pir_fetch(9, 4096).expect("round trip") {
+        Response::Error(message) => {
+            assert!(
+                message.contains("out of range") && message.contains("4096"),
+                "got {message:?}"
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The connection survives the refused fetch.
+    assert!(matches!(
+        client.pir_fetch(9, 5).expect("round trip"),
+        Response::Record(_)
+    ));
+    let _ = client.bye(9);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_pir_fetches_coalesce_into_fused_sweeps() {
+    let before = obs::level();
+    obs::set_level(1);
+    obs::reset();
+    let server = Server::start(ServerConfig {
+        rows: 50,
+        seed: 0xBEEF,
+        workers: 16,
+        session: SessionConfig {
+            epsilon_per_query: 1.0,
+            budget: 10.0,
+            seed: 0xBEEF,
+            min_query_set: 2,
+            max_overlap: usize::MAX,
+            max_rows: 0,
+        },
+        // A wide admission window so simultaneous fetches land in one
+        // leader's batch even on a loaded CI machine.
+        pir_batch_window_ms: 150,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+    let handles: Vec<_> = (0..8u64)
+        .map(|t| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                barrier.wait();
+                let index = t * 300;
+                let response = client.pir_fetch(t, index).expect("round trip");
+                let _ = client.bye(t);
+                (index, response)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (index, response) = h.join().expect("fetch thread");
+        match response {
+            Response::Record(bytes) => {
+                assert_eq!(bytes, tdf_serve::pir_record(0xBEEF, 32, index as usize));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    server.shutdown();
+    let snap = obs::snapshot();
+    let widest = snap.gauge("serve.pir.batch_max");
+    let answers = snap.counter("serve.pir.answers");
+    obs::set_level(before);
+    assert_eq!(answers, 8);
+    assert!(
+        widest >= 2,
+        "8 simultaneous fetches through a 150 ms window must coalesce, \
+         widest batch was {widest}"
+    );
+}
+
+#[test]
+fn dropped_batch_still_answers_every_fetch_correctly() {
+    let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    let server = server(4, 10.0);
+    let addr = server.addr();
+    faultkit::set_plan(Some(
+        faultkit::FaultPlan::parse("pir.batch_drop=1").unwrap(),
+    ));
+    // The first sweep is dropped by the fault plan; the batcher degrades
+    // to per-query retries and every client still gets the right bytes.
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let index = t * 1000;
+                let response = client.pir_fetch(t, index).expect("round trip");
+                let _ = client.bye(t);
+                (index, response)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (index, response) = h.join().expect("fetch thread");
+        match response {
+            Response::Record(bytes) => {
+                assert_eq!(
+                    bytes,
+                    tdf_serve::pir_record(0xBEEF, 32, index as usize),
+                    "index {index}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    faultkit::set_plan(None);
     server.shutdown();
 }
 

@@ -215,12 +215,13 @@ fn serve_crate_is_registered_and_its_dependencies_are_frozen() {
         [
             "tdf-querydb",
             "tdf-microdata",
+            "tdf-pir",
             "tdf-rngkit",
             "tdf-par",
             "tdf-obs",
             "tdf-faultkit"
         ],
-        "crates/serve must depend only on the in-tree privacy, RNG, \
+        "crates/serve must depend only on the in-tree privacy, PIR, RNG, \
          parallelism, observability and fault-injection crates"
     );
 }
