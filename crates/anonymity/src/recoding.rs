@@ -9,7 +9,7 @@
 
 use crate::hierarchy::Hierarchy;
 use crate::model::k_anonymity_level;
-use tdf_microdata::{AttributeDef, AttributeKind, Dataset, Schema, Value};
+use tdf_microdata::{AttributeDef, AttributeKind, CatCol, Column, Dataset, Schema, Value};
 
 /// Outcome of a successful lattice search.
 #[derive(Debug, Clone)]
@@ -53,16 +53,29 @@ pub fn apply_recoding(data: &Dataset, hierarchies: &[Hierarchy], levels: &[usize
         .collect();
     let schema = Schema::new(attrs).expect("names unchanged, still unique");
 
-    let mut out = Dataset::new(schema);
-    for i in 0..data.num_rows() {
-        let mut new_row: Vec<Value> = data.row(i);
-        for (j, &col) in qi.iter().enumerate() {
-            new_row[col] = hierarchies[j].generalize(&new_row[col], levels[j]);
-        }
-        out.push_row(new_row)
-            .expect("recoded row fits recoded schema");
-    }
-    out
+    // Columnwise: untouched columns (non-QI, or QI at level 0) are cloned
+    // verbatim — bit-identical, missing bitmap and all — and only the
+    // generalized quasi-identifiers are rebuilt, as nominal dictionary
+    // columns of bucket labels.
+    let columns: Vec<Column> = data
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(i, col)| match qi.iter().position(|&q| q == i) {
+            Some(j) if levels[j] > 0 => {
+                let mut cat = CatCol::default();
+                for r in 0..data.num_rows() {
+                    match hierarchies[j].generalize(&data.value(r, i), levels[j]) {
+                        Value::Missing => cat.push(None),
+                        v => cat.push(Some(&v)),
+                    }
+                }
+                Column::Cat(cat)
+            }
+            _ => col.clone(),
+        })
+        .collect();
+    Dataset::from_columns(schema, columns).expect("recoded columns align with the recoded schema")
 }
 
 /// Removes whole records belonging to equivalence classes smaller than `k`.

@@ -1,0 +1,134 @@
+//! Out-of-core segment benches: what the sealed-segment layer costs and
+//! what the epoch cache buys.
+//!
+//! Three series over the same 4 000-row patients table split into 20
+//! sealed segments:
+//!
+//! * **query** — the streaming evaluator over resident segments and over
+//!   a cache budget of a quarter of the table (real spills and reloads
+//!   inside the timed body), against the monolithic evaluator.
+//! * **epoch_full** — a cold publisher re-clusters all 20 segments, in
+//!   memory and out of core.
+//! * **epoch_delta** — a warm publisher with exactly one retracted
+//!   segment re-clusters that one segment (`s1`), and with nothing
+//!   retracted re-clusters none (`s0`, pure cache concatenation). The
+//!   acceptance claim is that this series scales with the delta, not the
+//!   dataset: `s1` should sit near `full / 20` + concatenation, far
+//!   below `full`.
+//!
+//! Pre-flight asserts pin the bit-identity contracts before anything is
+//! timed: segmented queries equal monolithic ones, the out-of-core
+//! release equals the resident release, and the delta publish reclusters
+//! exactly one segment.
+//!
+//! Emits `BENCH_segments.json`.
+
+use tdf_bench::harness::Harness;
+use tdf_microdata::synth::{patients, PatientConfig};
+use tdf_microdata::{Dataset, SegmentedDataset};
+use tdf_querydb::engine::{evaluate, evaluate_segmented};
+use tdf_querydb::parser::parse;
+use tdf_sdc::{mdav_microaggregate, EpochMasker, EpochPublisher};
+
+const N: usize = 4_000;
+const SEG_ROWS: usize = 200; // 20 sealed segments
+const K: usize = 5;
+
+fn table() -> Dataset {
+    patients(&PatientConfig {
+        n: N,
+        ..Default::default()
+    })
+}
+
+/// A budget of a quarter of the table: at most 5 of the 20 segments fit,
+/// so every full pass over the segments spills and reloads for real.
+fn out_of_core(d: &Dataset) -> SegmentedDataset {
+    let seg = SegmentedDataset::from_dataset(d, SEG_ROWS);
+    seg.set_cache_budget(d.heap_bytes() / 4);
+    seg
+}
+
+fn bench_queries(h: &mut Harness) {
+    let d = table();
+    let resident = SegmentedDataset::from_dataset(&d, SEG_ROWS);
+    let ooc = out_of_core(&d);
+    let q = parse("SELECT AVG(blood_pressure) FROM t WHERE weight >= 60").expect("parse");
+
+    // Pre-flight: both segment layouts answer bit-identically to the
+    // monolithic evaluator.
+    let mono = evaluate(&d, &q).expect("evaluate");
+    assert_eq!(evaluate_segmented(&resident, &q).expect("resident"), mono);
+    assert_eq!(evaluate_segmented(&ooc, &q).expect("out of core"), mono);
+
+    par::with_threads(1, || {
+        h.bench("query_monolithic_n4000", || evaluate(&d, &q).expect("eval"));
+        h.bench("query_segmented_resident_n4000", || {
+            evaluate_segmented(&resident, &q).expect("eval")
+        });
+        h.bench("query_segmented_outofcore_n4000", || {
+            evaluate_segmented(&ooc, &q).expect("eval")
+        });
+    });
+}
+
+fn bench_epochs(h: &mut Harness) {
+    let d = table();
+    let qi = d.schema().quasi_identifier_indices();
+    let resident = SegmentedDataset::from_dataset(&d, SEG_ROWS);
+    let ooc = out_of_core(&d);
+    let masker = EpochMasker::Mdav {
+        cols: qi.clone(),
+        k: K,
+    };
+
+    // Pre-flight: the out-of-core release is bit-identical to the
+    // resident one, and a warm publisher with one retracted segment
+    // re-clusters exactly that segment.
+    let r_mem = EpochPublisher::new(masker.clone())
+        .publish(&resident)
+        .expect("publish");
+    let r_ooc = EpochPublisher::new(masker.clone())
+        .publish(&ooc)
+        .expect("publish");
+    assert_eq!((r_mem.reclustered, r_mem.reused), (20, 0));
+    assert_eq!(r_ooc.data, r_mem.data, "out-of-core release drifted");
+
+    let mut warm = EpochPublisher::new(masker.clone());
+    warm.publish(&resident).expect("warmup publish");
+    let last = *resident.segment_ids().last().expect("20 segments");
+    warm.invalidate(last);
+    let delta = warm.publish(&resident).expect("delta publish");
+    assert_eq!((delta.reclustered, delta.reused), (1, 19));
+    assert_eq!(delta.data, r_mem.data, "delta republication drifted");
+
+    par::with_threads(1, || {
+        h.bench("mdav_batch_n4000_k5", || {
+            mdav_microaggregate(&d, &qi, K).expect("mdav")
+        });
+        h.bench("epoch_full_resident_s20", || {
+            EpochPublisher::new(masker.clone())
+                .publish(&resident)
+                .expect("publish")
+        });
+        h.bench("epoch_full_outofcore_s20", || {
+            EpochPublisher::new(masker.clone())
+                .publish(&ooc)
+                .expect("publish")
+        });
+        h.bench("epoch_delta_s1", || {
+            warm.invalidate(last);
+            warm.publish(&resident).expect("publish")
+        });
+        h.bench("epoch_delta_s0", || {
+            warm.publish(&resident).expect("publish")
+        });
+    });
+}
+
+fn main() {
+    let mut h = Harness::new("segments");
+    bench_queries(&mut h);
+    bench_epochs(&mut h);
+    h.finish().expect("write BENCH_segments.json");
+}

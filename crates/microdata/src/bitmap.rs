@@ -88,6 +88,24 @@ impl Bitmap {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// Rebuilds a bitmap from packed words (the segment-spill codec's
+    /// reload path). Trailing bits beyond `len` are masked to zero so the
+    /// invariant `words()` documents survives a round-trip through disk.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
+        if len % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        Self { words, len }
+    }
+
+    /// Heap bytes held by the packed words.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
 }
 
 #[cfg(test)]

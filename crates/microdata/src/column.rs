@@ -88,6 +88,12 @@ impl FloatCol {
         self.data[i] = v.unwrap_or(FLOAT_FILL);
         self.missing.set(i, v.is_none());
     }
+
+    /// Rebuilds a column from its raw buffers (segment reload).
+    pub fn from_parts(data: Vec<f64>, missing: Bitmap) -> Self {
+        assert_eq!(data.len(), missing.len(), "missing bitmap length mismatch");
+        Self { data, missing }
+    }
 }
 
 /// Integer column: contiguous `i64` buffer + missing bitmap.
@@ -143,6 +149,12 @@ impl IntCol {
         self.data[i] = v.unwrap_or(INT_FILL);
         self.missing.set(i, v.is_none());
     }
+
+    /// Rebuilds a column from its raw buffers (segment reload).
+    pub fn from_parts(data: Vec<i64>, missing: Bitmap) -> Self {
+        assert_eq!(data.len(), missing.len(), "missing bitmap length mismatch");
+        Self { data, missing }
+    }
 }
 
 /// Boolean column: packed data bits + missing bitmap (2 bits per row).
@@ -197,6 +209,12 @@ impl BoolCol {
     pub fn set(&mut self, i: usize, v: Option<bool>) {
         self.data.set(i, v.unwrap_or(false));
         self.missing.set(i, v.is_none());
+    }
+
+    /// Rebuilds a column from its raw bitmaps (segment reload).
+    pub fn from_parts(data: Bitmap, missing: Bitmap) -> Self {
+        assert_eq!(data.len(), missing.len(), "missing bitmap length mismatch");
+        Self { data, missing }
     }
 }
 
@@ -328,6 +346,27 @@ impl CatCol {
                 self.codes[i] = 0;
                 self.missing.set(i, true);
             }
+        }
+    }
+
+    /// Rebuilds a column from its dictionary and raw code buffer (segment
+    /// reload); the interning index is reconstructed from the pool.
+    pub fn from_parts(pool: Vec<Value>, codes: Vec<u32>, missing: Bitmap) -> Self {
+        assert_eq!(codes.len(), missing.len(), "missing bitmap length mismatch");
+        assert!(
+            codes.iter().all(|&c| (c as usize) < pool.len().max(1)),
+            "code outside dictionary"
+        );
+        let index = pool
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+        Self {
+            pool,
+            index,
+            codes,
+            missing,
         }
     }
 }
@@ -605,6 +644,28 @@ impl Column {
                 b.layout_name(),
                 a.layout_name()
             ),
+        }
+    }
+
+    /// Approximate heap bytes held by this column's buffers (payload +
+    /// bitmaps + dictionary). Used by the segment cache to charge sealed
+    /// segments against the `TDF_SEGCACHE` byte budget.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Column::Float(c) => c.data.len() * 8 + c.missing.heap_bytes(),
+            Column::Int(c) => c.data.len() * 8 + c.missing.heap_bytes(),
+            Column::Bool(c) => c.data.heap_bytes() + c.missing.heap_bytes(),
+            Column::Cat(c) => {
+                let pool: usize = c
+                    .pool
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => s.len() + 24,
+                        _ => 16,
+                    })
+                    .sum();
+                c.codes.len() * 4 + c.missing.heap_bytes() + pool
+            }
         }
     }
 

@@ -51,6 +51,38 @@ impl Dataset {
         Ok(d)
     }
 
+    /// Rebuilds a dataset from already-typed columns (the segment-spill
+    /// codec's reload path). Every column must hold the same number of
+    /// cells and match its attribute's storage layout.
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        if columns.len() != schema.len() {
+            return Err(Error::ArityMismatch {
+                expected: schema.len(),
+                got: columns.len(),
+            });
+        }
+        let num_rows = columns.first().map_or(0, Column::len);
+        if columns.iter().any(|c| c.len() != num_rows) {
+            return Err(Error::Serial("ragged column lengths".into()));
+        }
+        Ok(Self {
+            schema,
+            columns,
+            num_rows,
+        })
+    }
+
+    /// The typed column storage, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Approximate heap bytes held by the column buffers (the segment
+    /// cache charges sealed segments at this size).
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(Column::heap_bytes).sum()
+    }
+
     /// The dataset's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

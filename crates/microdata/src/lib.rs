@@ -40,6 +40,8 @@ pub mod patients;
 pub mod rng;
 pub mod sampling;
 pub mod schema;
+pub mod segio;
+pub mod segment;
 pub mod ser;
 pub mod stats;
 pub mod synth;
@@ -51,4 +53,5 @@ pub use column::{BoolCol, CatCol, Column, ColumnView, F64Cells, FloatCol, IntCol
 pub use dataset::Dataset;
 pub use error::{Error, Result};
 pub use schema::Schema;
+pub use segment::{SegMeta, SegmentedDataset, SegmentedView};
 pub use value::Value;

@@ -21,11 +21,7 @@ pub struct Shuffled {
 /// Shuffles the records of `data` uniformly.
 pub fn shuffle<R: Rng + ?Sized>(data: &Dataset, rng: &mut R) -> Shuffled {
     let order = permutation(rng, data.num_rows());
-    let mut out = Dataset::new(data.schema().clone());
-    for &i in &order {
-        out.push_row(data.row(i).to_vec())
-            .expect("row already validated");
-    }
+    let out = data.take(&order);
     Shuffled { data: out, order }
 }
 
@@ -44,11 +40,7 @@ pub fn sample_without_replacement<R: Rng + ?Sized>(
     let mut chosen = permutation(rng, data.num_rows());
     chosen.truncate(k);
     chosen.sort_unstable();
-    let mut out = Dataset::new(data.schema().clone());
-    for &i in &chosen {
-        out.push_row(data.row(i).to_vec())
-            .expect("row already validated");
-    }
+    let out = data.take(&chosen);
     (out, chosen)
 }
 
@@ -62,17 +54,10 @@ pub fn train_test_split<R: Rng + ?Sized>(
         (0.0..1.0).contains(&test_fraction) && test_fraction > 0.0,
         "test fraction must be in (0, 1)"
     );
-    let shuffled = shuffle(data, rng);
+    let order = permutation(rng, data.num_rows());
     let n_test = ((data.num_rows() as f64) * test_fraction).round() as usize;
-    let mut test = Dataset::new(data.schema().clone());
-    let mut train = Dataset::new(data.schema().clone());
-    for (i, row) in shuffled.data.rows().iter().enumerate() {
-        if i < n_test {
-            test.push_row(row.clone()).expect("validated");
-        } else {
-            train.push_row(row.clone()).expect("validated");
-        }
-    }
+    let test = data.take(&order[..n_test]);
+    let train = data.take(&order[n_test..]);
     (train, test)
 }
 

@@ -1,0 +1,587 @@
+//! Sealed segments + one mutable tail: the out-of-core dataset.
+//!
+//! [`SegmentedDataset`] stores a growing table as a sequence of
+//! *immutable sealed segments* plus one *mutable tail*:
+//!
+//! * appends go to the tail (an ordinary [`Dataset`]);
+//! * [`SegmentedDataset::seal`] freezes the tail into a sealed segment —
+//!   an `Arc<Dataset>` whose columns are never written again — and opens
+//!   a fresh tail;
+//! * sealed segments can **spill to disk** (the [`crate::segio`] binary
+//!   codec) and reload on demand, so a dataset larger than RAM streams
+//!   through the kernels one segment at a time.
+//!
+//! Residency is managed by an LRU pin cache with a byte budget, read
+//! from `TDF_SEGCACHE` (plain bytes; unset means "never spill").
+//! [`SegmentedDataset::pin`] returns a cheap `Arc` clone; a segment whose
+//! `Arc` is still held by a caller is never evicted. Eviction writes the
+//! segment image atomically (tmp file + rename) before dropping the
+//! in-memory copy, so a crash — or the injected `segment.spill` fault —
+//! can only ever lose the *disk* copy of a segment that is still
+//! resident, never the data itself.
+//!
+//! Observability: `segment.seal`, `segment.spill`, `segment.spill_failed`,
+//! `segment.reload`, `segment.reload_retry`, `segment.cache_hit` and
+//! `segment.cache_evict` counters, plus the `segment.resident_bytes` max
+//! gauge.
+
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::segio;
+use crate::value::Value;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Distinguishes spill directories of concurrent `SegmentedDataset`s in
+/// one process.
+static INSTANCE: AtomicU64 = AtomicU64::new(0);
+
+/// Immutable facts about one sealed segment.
+#[derive(Debug, Clone, Copy)]
+pub struct SegMeta {
+    /// Stable id, assigned at seal time, unique within this dataset.
+    pub id: u64,
+    /// Number of rows.
+    pub rows: usize,
+    /// Global row index of the segment's first row.
+    pub start_row: usize,
+    /// Heap bytes charged against the cache budget.
+    pub bytes: usize,
+}
+
+enum SegState {
+    Resident {
+        data: Arc<Dataset>,
+        on_disk: Option<PathBuf>,
+    },
+    Spilled {
+        path: PathBuf,
+    },
+}
+
+struct Store {
+    states: Vec<SegState>,
+    /// Segment indices, least-recently-pinned first.
+    lru: Vec<usize>,
+    resident_bytes: usize,
+    budget: usize,
+    dir: PathBuf,
+    dir_created: bool,
+}
+
+impl Store {
+    fn touch(&mut self, idx: usize) {
+        if let Some(pos) = self.lru.iter().position(|&i| i == idx) {
+            self.lru.remove(pos);
+        }
+        self.lru.push(idx);
+    }
+}
+
+/// A dataset stored as immutable sealed segments plus one mutable tail.
+pub struct SegmentedDataset {
+    schema: Schema,
+    metas: Vec<SegMeta>,
+    tail: Dataset,
+    store: Mutex<Store>,
+    next_id: u64,
+}
+
+impl SegmentedDataset {
+    /// Empty segmented dataset; the cache budget comes from
+    /// `TDF_SEGCACHE` (bytes; unset or unparsable means "never spill").
+    pub fn new(schema: Schema) -> Self {
+        let budget = std::env::var("TDF_SEGCACHE")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(usize::MAX);
+        Self::with_cache_budget(schema, budget)
+    }
+
+    /// Empty segmented dataset with an explicit cache budget in bytes.
+    pub fn with_cache_budget(schema: Schema, budget: usize) -> Self {
+        let instance = INSTANCE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("tdf-seg-{}-{instance}", std::process::id()));
+        Self {
+            tail: Dataset::new(schema.clone()),
+            schema,
+            metas: Vec::new(),
+            store: Mutex::new(Store {
+                states: Vec::new(),
+                lru: Vec::new(),
+                resident_bytes: 0,
+                budget,
+                dir,
+                dir_created: false,
+            }),
+            next_id: 0,
+        }
+    }
+
+    /// Segments an existing dataset: full chunks of `segment_rows` are
+    /// sealed, the remainder (possibly empty) becomes the tail.
+    pub fn from_dataset(data: &Dataset, segment_rows: usize) -> Self {
+        assert!(segment_rows > 0, "segment_rows must be positive");
+        let mut out = Self::new(data.schema().clone());
+        let n = data.num_rows();
+        let mut start = 0;
+        while start + segment_rows <= n {
+            let idx: Vec<usize> = (start..start + segment_rows).collect();
+            out.tail = data.take(&idx);
+            out.seal();
+            start += segment_rows;
+        }
+        if start < n {
+            let idx: Vec<usize> = (start..n).collect();
+            out.tail = data.take(&idx);
+        }
+        out
+    }
+
+    /// The shared schema of every segment and the tail.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total rows across sealed segments and the tail.
+    pub fn num_rows(&self) -> usize {
+        self.sealed_rows() + self.tail.num_rows()
+    }
+
+    /// Rows in sealed segments only (the published prefix).
+    pub fn sealed_rows(&self) -> usize {
+        self.metas.last().map_or(0, |m| m.start_row + m.rows)
+    }
+
+    /// Number of sealed segments.
+    pub fn num_segments(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True when no row has been appended or sealed.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows() == 0
+    }
+
+    /// Metadata of sealed segment `idx`.
+    pub fn segment_meta(&self, idx: usize) -> SegMeta {
+        self.metas[idx]
+    }
+
+    /// Ids of the sealed segments, in row order.
+    pub fn segment_ids(&self) -> Vec<u64> {
+        self.metas.iter().map(|m| m.id).collect()
+    }
+
+    /// The mutable tail (rows appended since the last seal).
+    pub fn tail(&self) -> &Dataset {
+        &self.tail
+    }
+
+    /// Appends a record to the tail after arity and type validation.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        self.tail.push_row(row)
+    }
+
+    /// Freezes the tail into a sealed segment and opens a fresh tail.
+    /// Returns the new segment's id, or `None` when the tail is empty.
+    pub fn seal(&mut self) -> Option<u64> {
+        if self.tail.is_empty() {
+            return None;
+        }
+        let sealed = std::mem::replace(&mut self.tail, Dataset::new(self.schema.clone()));
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = sealed.heap_bytes();
+        let meta = SegMeta {
+            id,
+            rows: sealed.num_rows(),
+            start_row: self.sealed_rows(),
+            bytes,
+        };
+        self.metas.push(meta);
+        let idx = self.metas.len() - 1;
+        let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        store.states.push(SegState::Resident {
+            data: Arc::new(sealed),
+            on_disk: None,
+        });
+        store.resident_bytes += bytes;
+        store.touch(idx);
+        obs::count("segment.seal", 1);
+        obs::gauge_max("segment.resident_bytes", store.resident_bytes as u64);
+        self.enforce_budget(&mut store);
+        Some(id)
+    }
+
+    /// Number of seals performed so far (the ingest epoch).
+    pub fn epoch(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Changes the cache budget (bytes) and immediately enforces it.
+    pub fn set_cache_budget(&self, budget: usize) {
+        let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        store.budget = budget;
+        self.enforce_budget(&mut store);
+    }
+
+    /// Bytes of sealed segments currently resident in memory.
+    pub fn resident_bytes(&self) -> usize {
+        self.store
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .resident_bytes
+    }
+
+    /// Pins sealed segment `idx` into memory, reloading it from disk if
+    /// it was spilled, and returns a shared handle. The segment cannot be
+    /// evicted while the handle is alive.
+    pub fn pin(&self, idx: usize) -> Result<Arc<Dataset>> {
+        let meta = self.metas[idx];
+        let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        match &store.states[idx] {
+            SegState::Resident { data, .. } => {
+                let data = Arc::clone(data);
+                store.touch(idx);
+                obs::count("segment.cache_hit", 1);
+                Ok(data)
+            }
+            SegState::Spilled { path } => {
+                let loaded = segio::read_segment(path)?;
+                if loaded.schema() != &self.schema || loaded.num_rows() != meta.rows {
+                    return Err(Error::Serial(format!(
+                        "reloaded segment {} does not match its metadata",
+                        meta.id
+                    )));
+                }
+                let path = path.clone();
+                let data = Arc::new(loaded);
+                store.states[idx] = SegState::Resident {
+                    data: Arc::clone(&data),
+                    on_disk: Some(path),
+                };
+                store.resident_bytes += meta.bytes;
+                store.touch(idx);
+                obs::count("segment.reload", 1);
+                obs::gauge_max("segment.resident_bytes", store.resident_bytes as u64);
+                self.enforce_budget(&mut store);
+                Ok(data)
+            }
+        }
+    }
+
+    /// Spills every evictable resident segment regardless of the budget
+    /// (tests and shutdown). Returns the number of segments spilled.
+    pub fn spill_all(&self) -> usize {
+        let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        let before = store.lru.len();
+        let candidates: Vec<usize> = store.lru.clone();
+        for idx in candidates {
+            let _ = self.try_evict(&mut store, idx);
+        }
+        before - store.lru.len()
+    }
+
+    /// Evicts resident segments (least-recently-pinned first) until the
+    /// resident bytes fit the budget. Pinned segments are skipped; a
+    /// failed spill (e.g. the injected `segment.spill` crash) leaves the
+    /// segment resident and stops eviction for this round.
+    fn enforce_budget(&self, store: &mut Store) {
+        while store.resident_bytes > store.budget {
+            let candidates: Vec<usize> = store.lru.clone();
+            let mut evicted = false;
+            for idx in candidates {
+                if store.resident_bytes <= store.budget {
+                    return;
+                }
+                match self.try_evict(store, idx) {
+                    Ok(true) => evicted = true,
+                    Ok(false) => {}   // pinned: skip
+                    Err(_) => return, // spill failed: data stays resident
+                }
+            }
+            if !evicted {
+                return; // everything left is pinned
+            }
+        }
+    }
+
+    /// Attempts to evict one segment. `Ok(true)` = evicted, `Ok(false)` =
+    /// skipped because a caller still holds its pin, `Err` = spill write
+    /// failed (segment stays resident, counted as `segment.spill_failed`).
+    fn try_evict(&self, store: &mut Store, idx: usize) -> Result<bool> {
+        let meta = self.metas[idx];
+        let (data, on_disk) = match &store.states[idx] {
+            SegState::Resident { data, on_disk } => (Arc::clone(data), on_disk.clone()),
+            SegState::Spilled { .. } => return Ok(false),
+        };
+        // Two handles exist right now: the state's and ours. More means a
+        // caller still reads through this segment — not evictable.
+        if Arc::strong_count(&data) > 2 {
+            return Ok(false);
+        }
+        let path = match on_disk {
+            Some(p) => p,
+            None => {
+                if !store.dir_created {
+                    std::fs::create_dir_all(&store.dir).map_err(|e| {
+                        Error::Serial(format!("create {}: {e}", store.dir.display()))
+                    })?;
+                    store.dir_created = true;
+                }
+                let p = store.dir.join(format!("seg-{}.tdfseg", meta.id));
+                if let Err(e) = segio::write_segment(&p, &data) {
+                    obs::count("segment.spill_failed", 1);
+                    return Err(e);
+                }
+                obs::count("segment.spill", 1);
+                p
+            }
+        };
+        store.states[idx] = SegState::Spilled { path };
+        store.resident_bytes -= meta.bytes;
+        if let Some(pos) = store.lru.iter().position(|&i| i == idx) {
+            store.lru.remove(pos);
+        }
+        obs::count("segment.cache_evict", 1);
+        Ok(true)
+    }
+
+    /// Streams every part — sealed segments in row order, then the
+    /// non-empty tail — through `f`, pinning one segment at a time. The
+    /// second argument is the part's global start row.
+    pub fn for_each_part<F>(&self, mut f: F) -> Result<()>
+    where
+        F: FnMut(&Dataset, usize) -> Result<()>,
+    {
+        for idx in 0..self.metas.len() {
+            let part = self.pin(idx)?;
+            f(&part, self.metas[idx].start_row)?;
+        }
+        if !self.tail.is_empty() {
+            f(&self.tail, self.sealed_rows())?;
+        }
+        Ok(())
+    }
+
+    /// Materializes the whole table into one in-memory [`Dataset`]
+    /// (compatibility shim — defeats the out-of-core purpose; kernels
+    /// should stream through [`SegmentedDataset::for_each_part`]).
+    pub fn materialize(&self) -> Result<Dataset> {
+        let mut out = Dataset::new(self.schema.clone());
+        self.for_each_part(|part, _| {
+            out = out.union(part)?;
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Pins every sealed segment and returns a random-access view over
+    /// the full row space (sealed + tail). All segments stay resident for
+    /// the view's lifetime — this is the compat path for row-oriented
+    /// callers, not the streaming path.
+    pub fn view(&self) -> Result<SegmentedView<'_>> {
+        let mut parts = Vec::with_capacity(self.metas.len());
+        for idx in 0..self.metas.len() {
+            parts.push(self.pin(idx)?);
+        }
+        Ok(SegmentedView {
+            parts,
+            bases: self.metas.iter().map(|m| m.start_row).collect(),
+            tail_base: self.sealed_rows(),
+            tail: &self.tail,
+            num_rows: self.num_rows(),
+        })
+    }
+}
+
+impl Drop for SegmentedDataset {
+    fn drop(&mut self) {
+        let store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        if store.dir_created {
+            let _ = std::fs::remove_dir_all(&store.dir);
+        }
+    }
+}
+
+impl std::fmt::Debug for SegmentedDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentedDataset")
+            .field("segments", &self.metas.len())
+            .field("sealed_rows", &self.sealed_rows())
+            .field("tail_rows", &self.tail.num_rows())
+            .finish()
+    }
+}
+
+/// Random-access view chaining the per-segment datasets and the tail.
+///
+/// Row indices are global: `value(r, c)` resolves `r` to the owning part
+/// with a binary search over the segment start rows.
+pub struct SegmentedView<'a> {
+    parts: Vec<Arc<Dataset>>,
+    bases: Vec<usize>,
+    tail_base: usize,
+    tail: &'a Dataset,
+    num_rows: usize,
+}
+
+impl SegmentedView<'_> {
+    /// Total rows across all parts.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// The part owning global row `row`, and the row's local index.
+    pub fn locate(&self, row: usize) -> (&Dataset, usize) {
+        assert!(row < self.num_rows, "row {row} out of bounds");
+        if row >= self.tail_base {
+            return (self.tail, row - self.tail_base);
+        }
+        let part = self.bases.partition_point(|&b| b <= row) - 1;
+        (&self.parts[part], row - self.bases[part])
+    }
+
+    /// Materializes the cell at global (`row`, `col`).
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        let (part, local) = self.locate(row);
+        part.value(local, col)
+    }
+
+    /// Numeric view of the cell at global (`row`, `col`).
+    pub fn f64(&self, row: usize, col: usize) -> Option<f64> {
+        let (part, local) = self.locate(row);
+        part.col(col).f64(local)
+    }
+
+    /// The parts in row order — sealed segments, then the non-empty tail
+    /// — each with its global start row.
+    pub fn parts(&self) -> impl Iterator<Item = (&Dataset, usize)> {
+        self.parts
+            .iter()
+            .map(|p| p.as_ref())
+            .zip(self.bases.iter().copied())
+            .chain(
+                (!self.tail.is_empty())
+                    .then_some(self.tail)
+                    .map(|t| (t, self.tail_base)),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{patients, PatientConfig};
+
+    fn sample(n: usize) -> Dataset {
+        patients(&PatientConfig {
+            n,
+            ..Default::default()
+        })
+    }
+
+    fn assert_bit_identical(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.schema(), b.schema());
+        assert_eq!(a.num_rows(), b.num_rows());
+        for c in 0..a.num_columns() {
+            for i in 0..a.num_rows() {
+                match (a.value(i, c), b.value(i, c)) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits(), "row {i} col {c}")
+                    }
+                    (x, y) => assert_eq!(x, y, "row {i} col {c}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn append_seal_preserves_row_order() {
+        let d = sample(100);
+        let mut seg = SegmentedDataset::new(d.schema().clone());
+        for i in 0..d.num_rows() {
+            seg.push_row(d.row(i)).unwrap();
+            if (i + 1) % 32 == 0 {
+                seg.seal().unwrap();
+            }
+        }
+        assert_eq!(seg.num_segments(), 3);
+        assert_eq!(seg.tail().num_rows(), 4);
+        assert_eq!(seg.num_rows(), 100);
+        assert_bit_identical(&seg.materialize().unwrap(), &d);
+    }
+
+    #[test]
+    fn from_dataset_round_trips_through_view() {
+        let d = sample(75);
+        let seg = SegmentedDataset::from_dataset(&d, 30);
+        assert_eq!(seg.num_segments(), 2);
+        assert_eq!(seg.tail().num_rows(), 15);
+        let view = seg.view().unwrap();
+        assert_eq!(view.num_rows(), 75);
+        for i in 0..75 {
+            for c in 0..d.num_columns() {
+                match (d.value(i, c), view.value(i, c)) {
+                    (Value::Float(x), Value::Float(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                    (x, y) => assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_reloads_exactly() {
+        let d = sample(200);
+        let seg = SegmentedDataset::from_dataset(&d, 40);
+        assert_eq!(seg.num_segments(), 5);
+        // A budget below one segment's footprint forces every unpinned
+        // segment out; reads then stream through spill files.
+        seg.set_cache_budget(seg.segment_meta(0).bytes / 2);
+        assert_eq!(seg.resident_bytes(), 0);
+        assert_bit_identical(&seg.materialize().unwrap(), &d);
+    }
+
+    #[test]
+    fn pinned_segments_are_never_evicted() {
+        let d = sample(120);
+        let seg = SegmentedDataset::from_dataset(&d, 40);
+        let pinned = seg.pin(0).unwrap();
+        seg.set_cache_budget(0);
+        // Segment 0 is pinned: it must stay resident and readable even
+        // though the budget is zero.
+        assert!(seg.resident_bytes() >= seg.segment_meta(0).bytes);
+        assert_eq!(pinned.num_rows(), 40);
+        drop(pinned);
+        // Once released, the budget applies.
+        seg.set_cache_budget(0);
+        assert_eq!(seg.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn spill_all_then_stream_matches() {
+        let d = sample(90);
+        let seg = SegmentedDataset::from_dataset(&d, 30);
+        assert_eq!(seg.spill_all(), 3);
+        let mut rows = 0;
+        seg.for_each_part(|part, base| {
+            assert_eq!(base, rows);
+            rows += part.num_rows();
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, 90);
+    }
+
+    #[test]
+    fn seal_of_empty_tail_is_none() {
+        let d = sample(10);
+        let mut seg = SegmentedDataset::from_dataset(&d, 10);
+        assert_eq!(seg.epoch(), 1);
+        assert_eq!(seg.seal(), None);
+        assert_eq!(seg.epoch(), 1);
+    }
+}

@@ -72,6 +72,14 @@ impl DpPolicy {
 
     /// Answers one evaluated query under ε-DP.
     pub fn apply(&mut self, _data: &Dataset, query: &Query, eval: &Evaluation) -> Answer {
+        self.apply_eval(query, eval)
+    }
+
+    /// [`DpPolicy::apply`] without the dataset handle. The mechanism only
+    /// reads the evaluation (value + query-set size) and the declared
+    /// ranges, so callers evaluating out-of-core — where no monolithic
+    /// [`Dataset`] exists — use this entry point.
+    pub fn apply_eval(&mut self, query: &Query, eval: &Evaluation) -> Answer {
         let answer = self.answer(query, eval);
         match &answer {
             Answer::Refused(_) => obs::count("querydb.dp.refusals", 1),

@@ -1,7 +1,7 @@
 //! Query evaluation over a microdata dataset.
 
 use crate::ast::{Aggregate, CmpOp, Predicate, Query};
-use tdf_microdata::{ColumnView, Dataset, Error, Result, Value};
+use tdf_microdata::{ColumnView, Dataset, Error, Result, Schema, SegmentedDataset, Value};
 
 /// The evaluation of one query: its query set and exact aggregate value.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +126,108 @@ pub fn evaluate_with_limits(
         Aggregate::Max(_) => values().into_iter().max_by(f64::total_cmp),
     };
     Ok(Evaluation { query_set, value })
+}
+
+/// [`evaluate`] over a [`SegmentedDataset`], streaming one part at a time
+/// under the ambient limits. Results are bit-identical to evaluating the
+/// materialized dataset: global row indices are `part start + local`, and
+/// every aggregate folds in row order exactly as the monolithic path does.
+pub fn evaluate_segmented(data: &SegmentedDataset, query: &Query) -> Result<Evaluation> {
+    evaluate_segmented_with_limits(data, query, &QueryLimits::ambient())
+}
+
+/// [`evaluate_segmented`] under explicit resource limits. The deadline is
+/// charged for the *whole* table up front — sealed segments plus tail — so
+/// a refusal never pins (or reloads) a single segment.
+pub fn evaluate_segmented_with_limits(
+    data: &SegmentedDataset,
+    query: &Query,
+    limits: &QueryLimits,
+) -> Result<Evaluation> {
+    let agg_col = match query.aggregate.attribute() {
+        Some(name) => {
+            let idx = data.schema().index_of(name)?;
+            if !data.schema().attribute(idx).kind.is_numeric() {
+                return Err(Error::NotNumeric(name.to_owned()));
+            }
+            Some(idx)
+        }
+        None => None,
+    };
+
+    let _span = obs::span("querydb.evaluate");
+    obs::count("querydb.queries", 1);
+    if let Some(max_rows) = limits.max_rows {
+        let needed = data.num_rows() as u64;
+        if needed > max_rows {
+            obs::count("querydb.deadline_refusals", 1);
+            return Err(Error::ResourceExhausted(format!(
+                "query needs {needed} row scans but its deadline allows {max_rows}"
+            )));
+        }
+    }
+    obs::count("querydb.rows_scanned", data.num_rows() as u64);
+    // The predicate compiles per part (views borrow that part's columns),
+    // so name resolution is checked once against the shared schema first —
+    // a bad query must fail even when every part happens to be empty.
+    check_predicate_names(&query.predicate, data.schema())?;
+
+    let mut query_set = Vec::new();
+    // Running fold state. Sum and Avg left-fold from 0.0 in row order, and
+    // Min/Max compare with `f64::total_cmp`, matching the monolithic
+    // `iter().sum()` / `min_by` bit for bit (total_cmp ties are
+    // bit-identical values, so tie-breaking order cannot matter).
+    let mut sum = 0.0f64;
+    let mut present = 0usize;
+    let mut extreme: Option<f64> = None;
+    let want_min = matches!(query.aggregate, Aggregate::Min(_));
+    data.for_each_part(|part, base| {
+        let compiled = CompiledPredicate::compile(&query.predicate, part)?;
+        let cells = agg_col.map(|c| part.f64_cells(c).expect("numeric column"));
+        for i in 0..part.num_rows() {
+            if !compiled.matches(i) {
+                continue;
+            }
+            query_set.push(base + i);
+            if let Some(cells) = &cells {
+                if let Some(v) = cells.get(i) {
+                    sum += v;
+                    present += 1;
+                    extreme = Some(match extreme {
+                        None => v,
+                        Some(b) if want_min && v.total_cmp(&b).is_lt() => v,
+                        Some(b) if !want_min && v.total_cmp(&b).is_gt() => v,
+                        Some(b) => b,
+                    });
+                }
+            }
+        }
+        Ok(())
+    })?;
+
+    let value = match &query.aggregate {
+        Aggregate::Count => Some(query_set.len() as f64),
+        Aggregate::Sum(_) => Some(sum),
+        Aggregate::Avg(_) => (present > 0).then(|| sum / present as f64),
+        Aggregate::Min(_) | Aggregate::Max(_) => extreme,
+    };
+    Ok(Evaluation { query_set, value })
+}
+
+/// Resolves every attribute the predicate mentions against `schema`,
+/// returning the same error the per-part compile would.
+fn check_predicate_names(p: &Predicate, schema: &Schema) -> Result<()> {
+    match p {
+        Predicate::True => Ok(()),
+        Predicate::Cmp { attribute, .. } | Predicate::In { attribute, .. } => {
+            schema.index_of(attribute).map(|_| ())
+        }
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            check_predicate_names(a, schema)?;
+            check_predicate_names(b, schema)
+        }
+        Predicate::Not(inner) => check_predicate_names(inner, schema),
+    }
 }
 
 /// A predicate with attribute names resolved to column views: compiled once
@@ -314,5 +416,79 @@ mod tests {
         assert!(evaluate(&d, &q).is_err());
         let q2 = parse("SELECT COUNT(*) FROM t WHERE salary > 3").unwrap();
         assert!(evaluate(&d, &q2).is_err());
+    }
+
+    #[test]
+    fn segmented_evaluation_matches_monolithic_bit_for_bit() {
+        use tdf_microdata::synth::{patients as synth_patients, PatientConfig};
+        use tdf_microdata::SegmentedDataset;
+        let d = synth_patients(&PatientConfig {
+            n: 137,
+            ..Default::default()
+        });
+        let seg = SegmentedDataset::from_dataset(&d, 40); // 3 sealed + tail of 17
+        let queries = [
+            "SELECT COUNT(*) FROM t WHERE height < 170",
+            "SELECT SUM(weight) FROM t WHERE height >= 160 AND height <= 180",
+            "SELECT AVG(blood_pressure) FROM t WHERE weight > 70",
+            "SELECT MIN(height) FROM t WHERE weight < 90",
+            "SELECT MAX(weight) FROM t",
+            "SELECT AVG(weight) FROM t WHERE height > 999",
+        ];
+        for sql in queries {
+            let q = parse(sql).unwrap();
+            let mono = evaluate(&d, &q).unwrap();
+            let segd = evaluate_segmented(&seg, &q).unwrap();
+            assert_eq!(segd.query_set, mono.query_set, "{sql}");
+            match (mono.value, segd.value) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits(), "{sql}"),
+                (a, b) => assert_eq!(a, b, "{sql}"),
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_evaluation_streams_through_spilled_segments() {
+        use tdf_microdata::synth::{patients as synth_patients, PatientConfig};
+        use tdf_microdata::SegmentedDataset;
+        let d = synth_patients(&PatientConfig {
+            n: 160,
+            ..Default::default()
+        });
+        let seg = SegmentedDataset::from_dataset(&d, 40);
+        assert_eq!(seg.spill_all(), 4);
+        let q = parse("SELECT SUM(weight) FROM t WHERE height < 175").unwrap();
+        let mono = evaluate(&d, &q).unwrap();
+        let segd = evaluate_segmented(&seg, &q).unwrap();
+        assert_eq!(segd, mono, "out-of-core scan must be exact");
+    }
+
+    #[test]
+    fn segmented_deadline_refuses_for_the_whole_table() {
+        use tdf_microdata::synth::{patients as synth_patients, PatientConfig};
+        use tdf_microdata::SegmentedDataset;
+        let d = synth_patients(&PatientConfig {
+            n: 100,
+            ..Default::default()
+        });
+        let seg = SegmentedDataset::from_dataset(&d, 30);
+        let q = parse("SELECT COUNT(*) FROM t").unwrap();
+        let ok =
+            evaluate_segmented_with_limits(&seg, &q, &QueryLimits::with_max_rows(100)).unwrap();
+        assert_eq!(ok.value, Some(100.0));
+        let err =
+            evaluate_segmented_with_limits(&seg, &q, &QueryLimits::with_max_rows(99)).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn segmented_rejects_bad_names_even_with_empty_parts() {
+        use tdf_microdata::SegmentedDataset;
+        let d = patients::dataset1();
+        let empty = SegmentedDataset::new(d.schema().clone());
+        let q = parse("SELECT COUNT(*) FROM t WHERE salary > 3").unwrap();
+        assert!(evaluate_segmented(&empty, &q).is_err());
+        let q2 = parse("SELECT SUM(salary) FROM t").unwrap();
+        assert!(evaluate_segmented(&empty, &q2).is_err());
     }
 }

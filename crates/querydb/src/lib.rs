@@ -33,5 +33,5 @@ pub mod tracker;
 
 pub use ast::{Aggregate, Predicate, Query};
 pub use control::{Answer, ControlPolicy};
-pub use engine::QueryLimits;
+pub use engine::{evaluate, evaluate_segmented, Evaluation, QueryLimits};
 pub use statdb::StatDb;

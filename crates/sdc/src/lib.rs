@@ -31,6 +31,7 @@
 //! from the release (see `tdf-core::scoring`).
 
 pub mod coding;
+pub mod epoch;
 pub mod microaggregation;
 pub mod noise;
 pub mod pram;
@@ -39,7 +40,10 @@ pub mod swapping;
 pub mod tables;
 pub mod utility;
 
+pub use epoch::{EpochMasker, EpochPublisher, EpochRelease};
 pub use microaggregation::{fixed_microaggregate, mdav_microaggregate, MicroaggregationResult};
 pub use noise::{add_correlated_noise, add_noise, NoiseConfig};
-pub use risk::{interval_disclosure_rate, record_linkage_rate, uniqueness_rate};
+pub use risk::{
+    cross_epoch_linkage_rate, interval_disclosure_rate, record_linkage_rate, uniqueness_rate,
+};
 pub use utility::{il1s, UtilityReport};

@@ -314,6 +314,71 @@ fn coded_kernel(original: &Dataset, masked: &Dataset, c: usize) -> (Vec<i64>, Ve
     }
 }
 
+/// Cross-epoch continuity: the expected fraction of respondents an
+/// attacker can *track across two consecutive publications* by linking
+/// each record of the earlier release to its nearest record in the later
+/// one (standardized Euclidean distance on `qi_cols`, scale fitted on
+/// `original` — the attacker's external knowledge; ties split uniformly).
+///
+/// This is the dominant real-world risk of repeated publication
+/// (Nussbaum & Segal, *Privacy Vulnerabilities of Dataset Anonymization
+/// Techniques*): even when each epoch is k-anonymous in isolation, stable
+/// masked values let an attacker follow a respondent from release to
+/// release and accumulate background knowledge. A publisher that reuses
+/// cached segment images (see `crate::epoch`) scores *high* continuity on
+/// the shared prefix by construction — the metric makes that trade
+/// explicit and measurable.
+///
+/// `epoch_a` covers the first `epoch_a.num_rows()` respondents of
+/// `original`, `epoch_b` at least as many (releases grow by appends);
+/// both are row-aligned with `original`.
+pub fn cross_epoch_linkage_rate(
+    original: &Dataset,
+    epoch_a: &Dataset,
+    epoch_b: &Dataset,
+    qi_cols: &[usize],
+) -> Result<f64> {
+    let (na, nb) = (epoch_a.num_rows(), epoch_b.num_rows());
+    if na > nb || nb > original.num_rows() {
+        return Err(Error::SchemaMismatch);
+    }
+    if na == 0 {
+        return Err(Error::EmptyDataset);
+    }
+    let std = Standardizer::fit(original, qi_cols);
+    let a_pts = std.transform_points(epoch_a);
+    let b_pts = std.transform_points(epoch_b);
+
+    let _span = obs::span("sdc.linkage.cross_epoch");
+    obs::count("sdc.linkage.candidate_pairs", (na * nb) as u64);
+    let contributions = par::par_map_range(na, |i| {
+        let target = a_pts.point(i);
+        let mut best = f64::INFINITY;
+        let mut ties: Vec<usize> = Vec::new();
+        for j in 0..nb {
+            let d: f64 = target
+                .iter()
+                .zip(b_pts.point(j))
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum();
+            if d < best - 1e-12 {
+                best = d;
+                ties.clear();
+                ties.push(j);
+            } else if (d - best).abs() <= 1e-12 {
+                ties.push(j);
+            }
+        }
+        if ties.contains(&i) {
+            1.0 / ties.len() as f64
+        } else {
+            0.0
+        }
+    });
+    let expected_hits: f64 = contributions.iter().sum();
+    Ok(expected_hits / na as f64)
+}
+
 /// Interval disclosure: the fraction of masked numeric cells (over `cols`)
 /// lying within `fraction` of the original column's standard deviation of
 /// their true value. High values mean the release still pins confidential
@@ -465,6 +530,47 @@ mod tests {
     fn uniqueness_rates_of_the_paper_datasets() {
         assert_eq!(uniqueness_rate(&patients::dataset1()), 0.0);
         assert_eq!(uniqueness_rate(&patients::dataset2()), 1.0);
+    }
+
+    #[test]
+    fn cross_epoch_continuity_of_identical_releases_is_total() {
+        // Reused segment images: the attacker tracks everyone (modulo ties).
+        let d = synth(&PatientConfig {
+            n: 200,
+            ..Default::default()
+        });
+        let masked = mdav_microaggregate(&d, &[0, 1], 3).unwrap().data;
+        let rate = cross_epoch_linkage_rate(&d, &masked, &masked, &[0, 1]).unwrap();
+        // Every record of epoch A reappears bit-identically in epoch B: the
+        // only uncertainty is its k-anonymous group, whose MDAV size is at
+        // most 2k-1 — continuity is at least 1/(2k-1).
+        assert!(rate >= 1.0 / 5.0 - 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn fresh_noise_per_epoch_breaks_continuity() {
+        let d = synth(&PatientConfig {
+            n: 300,
+            ..Default::default()
+        });
+        let a = add_noise(&d, &NoiseConfig::new(1.0, vec![0, 1]), &mut seeded(1)).unwrap();
+        let b = add_noise(&d, &NoiseConfig::new(1.0, vec![0, 1]), &mut seeded(2)).unwrap();
+        let stable = cross_epoch_linkage_rate(&d, &a, &a, &[0, 1]).unwrap();
+        let fresh = cross_epoch_linkage_rate(&d, &a, &b, &[0, 1]).unwrap();
+        assert!(
+            fresh < stable - 0.2,
+            "re-randomized epochs must be harder to track: {fresh} vs {stable}"
+        );
+    }
+
+    #[test]
+    fn cross_epoch_shape_validation() {
+        let d = patients::dataset2();
+        // Epoch A larger than epoch B: releases only grow.
+        assert!(cross_epoch_linkage_rate(&d, &d, &d.take(&[0, 1]), &[0, 1]).is_err());
+        // Release larger than the respondent table.
+        let big = d.union(&d).unwrap();
+        assert!(cross_epoch_linkage_rate(&d, &d, &big, &[0, 1]).is_err());
     }
 
     #[test]

@@ -39,6 +39,24 @@ impl Client {
         read_response(&mut self.stream)
     }
 
+    /// Appends `count` synthetic records to the server's mutable tail.
+    /// The server answers with the new total row count as
+    /// [`Response::Exact`].
+    pub fn append(&mut self, user: u64, count: u32) -> io::Result<Response> {
+        let request = Request::Append { user, count };
+        write_frame(&mut self.stream, &encode_request(&request))?;
+        read_response(&mut self.stream)
+    }
+
+    /// Freezes the server's mutable tail into a sealed segment. The
+    /// server answers with the sealed-segment count as
+    /// [`Response::Exact`].
+    pub fn seal(&mut self, user: u64) -> io::Result<Response> {
+        let request = Request::Seal { user };
+        write_frame(&mut self.stream, &encode_request(&request))?;
+        read_response(&mut self.stream)
+    }
+
     /// Ends the session cleanly; the server acknowledges with
     /// [`Response::Bye`].
     pub fn bye(&mut self, user: u64) -> io::Result<Response> {

@@ -12,6 +12,8 @@
 //!             opcode 1 = QUERY     (payload is UTF-8 mini-SQL)
 //!             opcode 2 = BYE       (len must be 0)
 //!             opcode 3 = PIR_FETCH (len must be 8; payload is index:u64)
+//!             opcode 4 = APPEND    (len must be 4; payload is count:u32)
+//!             opcode 5 = SEAL      (len must be 0)
 //!
 //! response := tag:u8  body
 //!             tag 0 = EXACT      body = value:f64
@@ -51,6 +53,20 @@ pub enum Request {
         user: u64,
         /// Record index to fetch.
         index: u64,
+    },
+    /// Append `count` synthetic records to the server's mutable tail.
+    /// Record content is deterministic per *global row index*, so the
+    /// population is independent of how appends are chunked.
+    Append {
+        /// The session's user id.
+        user: u64,
+        /// Number of records to append.
+        count: u32,
+    },
+    /// Freeze the mutable tail into a sealed (spillable) segment.
+    Seal {
+        /// The session's user id.
+        user: u64,
     },
 }
 
@@ -202,6 +218,17 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(&8u32.to_le_bytes());
             out.extend_from_slice(&index.to_le_bytes());
         }
+        Request::Append { user, count } => {
+            out.push(4);
+            out.extend_from_slice(&user.to_le_bytes());
+            out.extend_from_slice(&4u32.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        Request::Seal { user } => {
+            out.push(5);
+            out.extend_from_slice(&user.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+        }
     }
     out
 }
@@ -233,6 +260,25 @@ pub fn read_request(r: &mut impl Read) -> io::Result<Request> {
                 user,
                 index: read_u64(r)?,
             })
+        }
+        4 => {
+            let len = read_u32(r)?;
+            if len != 4 {
+                return Err(bad(format!("APPEND payload is exactly 4 bytes, got {len}")));
+            }
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            Ok(Request::Append {
+                user,
+                count: u32::from_le_bytes(b),
+            })
+        }
+        5 => {
+            let len = read_u32(r)?;
+            if len != 0 {
+                return Err(bad("SEAL carries no payload".to_owned()));
+            }
+            Ok(Request::Seal { user })
         }
         other => Err(bad(format!("unknown opcode {other}"))),
     }
@@ -337,6 +383,15 @@ mod tests {
             user: u64::MAX,
             index: 0,
         });
+        round_trip_request(Request::Append {
+            user: 11,
+            count: 5000,
+        });
+        round_trip_request(Request::Append {
+            user: 0,
+            count: u32::MAX,
+        });
+        round_trip_request(Request::Seal { user: 11 });
     }
 
     #[test]
@@ -346,6 +401,28 @@ mod tests {
         bytes.extend_from_slice(&7u32.to_le_bytes());
         bytes.extend_from_slice(&[0u8; 7]);
         assert!(read_request(&mut io::Cursor::new(bytes)).is_err());
+    }
+
+    #[test]
+    fn append_and_seal_lengths_are_validated() {
+        // APPEND with a 3-byte payload is malformed.
+        let mut bytes = vec![4u8];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 3]);
+        assert!(read_request(&mut io::Cursor::new(bytes)).is_err());
+        // SEAL with any payload is malformed.
+        let mut bytes = vec![5u8];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(0);
+        assert!(read_request(&mut io::Cursor::new(bytes)).is_err());
+        // Every proper prefix of a well-formed APPEND fails to parse.
+        let frame = encode_request(&Request::Append { user: 9, count: 64 });
+        for cut in 0..frame.len() {
+            let mut cursor = io::Cursor::new(&frame[..cut]);
+            assert!(read_request(&mut cursor).is_err(), "prefix {cut} parsed");
+        }
     }
 
     #[test]

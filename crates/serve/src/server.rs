@@ -9,7 +9,15 @@
 //! connection, so many concurrent connections can act for one user; each
 //! user's admissions are serialised under that user's session lock,
 //! which is what makes refusal sequences deterministic under any client
-//! interleaving (see `session.rs`).
+//! interleaving (see `session.rs`). The session map itself is sharded
+//! by `splitmix64(user)` so unrelated users never contend on lookup.
+//!
+//! **Ingest.** The served population is a [`SegmentedDataset`]: `APPEND`
+//! grows the mutable tail with records deterministic per global row
+//! index, `SEAL` freezes the tail into a sealed segment that may spill
+//! to disk under the `TDF_SEGCACHE` budget, and queries stream the
+//! segments under a read lock (`evaluate_segmented`, bit-identical to
+//! the monolithic evaluator).
 //!
 //! **Shutdown** flips the draining flag, wakes the accept loop with a
 //! self-connection, severs the *read* half of every active connection
@@ -38,11 +46,21 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use tdf_microdata::synth::{patients, PatientConfig};
-use tdf_microdata::Dataset;
+use tdf_microdata::{SegmentedDataset, Value};
 use tdf_pir::store::Database;
+
+/// Power-of-two shard count for the per-user session map. One global
+/// map behind one mutex serialises *session lookup* across every
+/// connection worker even though distinct users never contend on state;
+/// splitmix64-sharding spreads lookups so only same-shard users queue.
+const USER_SHARDS: usize = 16;
+
+/// Hard cap on one APPEND request, so a hostile count cannot make the
+/// server synthesise rows unboundedly while holding the write lock.
+const MAX_APPEND: u32 = 1 << 20;
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -100,11 +118,19 @@ fn fill_pir_record(seed: u64, i: usize, rec: &mut [u8]) {
 }
 
 struct Shared {
-    data: Dataset,
+    /// The served population: sealed (spillable) segments + mutable
+    /// tail. Queries stream under the read lock; APPEND/SEAL take the
+    /// write lock.
+    data: RwLock<SegmentedDataset>,
+    /// Master seed — per-row append synthesis derives from it.
+    seed: u64,
     pir: Database,
     batcher: PirBatcher,
     session_cfg: SessionConfig,
-    users: Mutex<HashMap<u64, Arc<Mutex<UserSession>>>>,
+    /// Session map, sharded by `splitmix64(user)`. Each user's budget
+    /// stays single-writer under its own session mutex; the shards only
+    /// narrow the lookup critical section.
+    users: [Mutex<HashMap<u64, Arc<Mutex<UserSession>>>>; USER_SHARDS],
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
     draining: AtomicBool,
@@ -116,8 +142,9 @@ struct Shared {
 
 impl Shared {
     fn session_for(&self, user: u64) -> Arc<Mutex<UserSession>> {
-        let mut users = self
-            .users
+        let mut state = user;
+        let shard = (rngkit::splitmix64(&mut state) as usize) & (USER_SHARDS - 1);
+        let mut users = self.users[shard]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(users.entry(user).or_insert_with(|| {
@@ -125,6 +152,20 @@ impl Shared {
             Arc::new(Mutex::new(UserSession::new(&self.session_cfg, user)))
         }))
     }
+}
+
+/// The synthetic patient record at global row `index` under `seed` —
+/// deterministic in `(seed, index)` alone, so the served population is
+/// independent of how APPENDs are chunked or interleaved with SEALs.
+fn synth_row(seed: u64, index: u64) -> Vec<Value> {
+    let mut state = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let row_seed = rngkit::splitmix64(&mut state);
+    patients(&PatientConfig {
+        n: 1,
+        seed: row_seed,
+        ..Default::default()
+    })
+    .row(0)
 }
 
 /// A running server handle. Always shut down explicitly; dropping the
@@ -144,18 +185,24 @@ impl Server {
         let addr = listener.local_addr()?;
         let mut session_cfg = cfg.session;
         session_cfg.seed = cfg.seed;
+        // The initial population is sealed as one segment, so the served
+        // table is segmented from the first query — and evaluation stays
+        // bit-identical to the old monolithic path (the golden transcript
+        // pins this).
+        let initial = patients(&PatientConfig {
+            n: cfg.rows,
+            seed: cfg.seed,
+            ..Default::default()
+        });
         let shared = Arc::new(Shared {
-            data: patients(&PatientConfig {
-                n: cfg.rows,
-                seed: cfg.seed,
-                ..Default::default()
-            }),
+            data: RwLock::new(SegmentedDataset::from_dataset(&initial, cfg.rows.max(1))),
+            seed: cfg.seed,
             pir: Database::from_fn(cfg.pir_records, cfg.pir_record_size, |i, rec| {
                 fill_pir_record(cfg.seed, i, rec)
             }),
             batcher: PirBatcher::new(cfg.seed, cfg.pir_batch_window_ms, cfg.pir_batch_max),
             session_cfg,
-            users: Mutex::new(HashMap::new()),
+            users: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -329,7 +376,11 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                     let mut session = session
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    session.answer(&shared.data, &sql)
+                    let data = shared
+                        .data
+                        .read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    session.answer_segmented(&data, &sql)
                 };
                 match &response {
                     Response::Refused { reason, .. } => {
@@ -377,6 +428,71 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                     }
                     Response::Error(_) => obs::count("serve.pir.range_errors", 1),
                     _ => obs::count("serve.pir.answers", 1),
+                }
+                write_frame(&mut stream, &encode_response(&response))?;
+                obs::observe("serve.request_ns", started.elapsed().as_nanos() as u64);
+            }
+            Request::Append { user: _, count } => {
+                obs::count("serve.requests", 1);
+                let response = if shared.draining.load(Ordering::Acquire) {
+                    Response::Refused {
+                        reason: RefusalReason::Draining,
+                        message: "server is draining for shutdown".to_owned(),
+                    }
+                } else if count > MAX_APPEND {
+                    Response::Error(format!(
+                        "append of {count} rows exceeds the per-request cap of {MAX_APPEND}"
+                    ))
+                } else {
+                    let mut data = shared
+                        .data
+                        .write()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let start = data.num_rows() as u64;
+                    let appended = (0..u64::from(count))
+                        .try_for_each(|i| data.push_row(synth_row(shared.seed, start + i)));
+                    match appended {
+                        Ok(()) => {
+                            obs::count("serve.appends", 1);
+                            obs::count("serve.append_rows", u64::from(count));
+                            Response::Exact(data.num_rows() as f64)
+                        }
+                        Err(e) => Response::Error(format!("append failed: {e}")),
+                    }
+                };
+                match &response {
+                    Response::Refused { reason, .. } => {
+                        obs::count(&format!("serve.refused.{}", reason.label()), 1);
+                    }
+                    Response::Error(_) => obs::count("serve.append_errors", 1),
+                    _ => obs::count("serve.answers", 1),
+                }
+                write_frame(&mut stream, &encode_response(&response))?;
+                obs::observe("serve.request_ns", started.elapsed().as_nanos() as u64);
+            }
+            Request::Seal { user: _ } => {
+                obs::count("serve.requests", 1);
+                let response = if shared.draining.load(Ordering::Acquire) {
+                    Response::Refused {
+                        reason: RefusalReason::Draining,
+                        message: "server is draining for shutdown".to_owned(),
+                    }
+                } else {
+                    let mut data = shared
+                        .data
+                        .write()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    // Sealing an empty tail is a no-op, not an error: the
+                    // answer is the sealed-segment count either way.
+                    data.seal();
+                    obs::count("serve.seals", 1);
+                    Response::Exact(data.num_segments() as f64)
+                };
+                match &response {
+                    Response::Refused { reason, .. } => {
+                        obs::count(&format!("serve.refused.{}", reason.label()), 1);
+                    }
+                    _ => obs::count("serve.answers", 1),
                 }
                 write_frame(&mut stream, &encode_response(&response))?;
                 obs::observe("serve.request_ns", started.elapsed().as_nanos() as u64);

@@ -22,11 +22,13 @@
 //! the same multiset of answers and refusals in any interleaving.
 
 use crate::protocol::{RefusalReason, Response};
-use tdf_microdata::{Dataset, Error};
+use tdf_microdata::{Dataset, Error, SegmentedDataset};
 use tdf_querydb::dp::DpPolicy;
-use tdf_querydb::engine::{evaluate_with_limits, QueryLimits};
+use tdf_querydb::engine::{
+    evaluate_segmented_with_limits, evaluate_with_limits, Evaluation, QueryLimits,
+};
 use tdf_querydb::parser::parse;
-use tdf_querydb::Answer;
+use tdf_querydb::{Answer, Query};
 
 /// Admission and budget parameters shared by every session.
 #[derive(Debug, Clone)]
@@ -105,8 +107,31 @@ impl UserSession {
         self.dp.remaining()
     }
 
-    /// Runs one query through the full admission path.
+    /// Runs one query through the full admission path against an
+    /// in-memory dataset.
     pub fn answer(&mut self, data: &Dataset, sql: &str) -> Response {
+        self.answer_with(sql, |query, limits| {
+            evaluate_with_limits(data, query, limits)
+        })
+    }
+
+    /// Runs one query through the full admission path against a
+    /// segmented (possibly out-of-core) dataset. The admission outcome
+    /// and the noise stream are identical to [`UserSession::answer`] on
+    /// the materialized table: segmented evaluation is bit-exact.
+    pub fn answer_segmented(&mut self, data: &SegmentedDataset, sql: &str) -> Response {
+        self.answer_with(sql, |query, limits| {
+            evaluate_segmented_with_limits(data, query, limits)
+        })
+    }
+
+    /// The admission path over any exact evaluator: parse, evaluate
+    /// under the session's limits, size floor, overlap (tracker)
+    /// restriction, then the ε-budgeted DP answer.
+    fn answer_with<F>(&mut self, sql: &str, eval_fn: F) -> Response
+    where
+        F: FnOnce(&Query, &QueryLimits) -> Result<Evaluation, Error>,
+    {
         let query = match parse(sql) {
             Ok(q) => q,
             Err(e) => return Response::Error(format!("parse error: {e}")),
@@ -116,17 +141,16 @@ impl UserSession {
         } else {
             QueryLimits::with_max_rows(self.max_rows)
         };
-        let eval =
-            match evaluate_with_limits(data, &query, &limits.tightened(QueryLimits::ambient())) {
-                Ok(eval) => eval,
-                Err(Error::ResourceExhausted(_)) => {
-                    return refuse(
-                        RefusalReason::Deadline,
-                        "query exceeded its evaluation deadline",
-                    )
-                }
-                Err(e) => return Response::Error(format!("evaluation error: {e}")),
-            };
+        let eval = match eval_fn(&query, &limits.tightened(QueryLimits::ambient())) {
+            Ok(eval) => eval,
+            Err(Error::ResourceExhausted(_)) => {
+                return refuse(
+                    RefusalReason::Deadline,
+                    "query exceeded its evaluation deadline",
+                )
+            }
+            Err(e) => return Response::Error(format!("evaluation error: {e}")),
+        };
         if eval.query_set.len() < self.min_query_set {
             return refuse(RefusalReason::Policy, "query set below minimum size");
         }
@@ -141,7 +165,7 @@ impl UserSession {
                 "tracker pattern detected: query set overlaps an answered query",
             );
         }
-        match self.dp.apply(data, &query, &eval) {
+        match self.dp.apply_eval(&query, &eval) {
             Answer::Refused(msg) => {
                 let reason = if msg.contains("budget") {
                     RefusalReason::Budget
@@ -244,6 +268,22 @@ mod tests {
         let d = data();
         let mut s = UserSession::new(&cfg(), 4);
         assert!(matches!(s.answer(&d, "SELEKT nope"), Response::Error(_)));
+    }
+
+    #[test]
+    fn segmented_answers_match_monolithic_bit_for_bit() {
+        let d = data();
+        let seg = SegmentedDataset::from_dataset(&d, 64);
+        seg.spill_all();
+        for sql in [
+            "SELECT COUNT(*) FROM t WHERE height >= 150",
+            "SELECT AVG(weight) FROM t WHERE height < 180",
+            "SELECT SUM(blood_pressure) FROM t WHERE weight >= 60",
+        ] {
+            let a = UserSession::new(&cfg(), 9).answer(&d, sql);
+            let b = UserSession::new(&cfg(), 9).answer_segmented(&seg, sql);
+            assert_eq!(a, b, "{sql}: out-of-core admission must not drift");
+        }
     }
 
     #[test]

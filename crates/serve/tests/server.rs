@@ -288,6 +288,69 @@ fn dropped_batch_still_answers_every_fetch_correctly() {
 }
 
 #[test]
+fn append_and_seal_grow_the_served_population() {
+    let server = server(2, 50.0);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // 300 seed rows, sealed as segment 1 at startup.
+    assert_eq!(client.seal(1).unwrap(), Response::Exact(1.0));
+    // Two appends land in the tail; sealing freezes them as segment 2.
+    assert_eq!(client.append(1, 40).unwrap(), Response::Exact(340.0));
+    assert_eq!(client.append(1, 10).unwrap(), Response::Exact(350.0));
+    assert_eq!(client.seal(1).unwrap(), Response::Exact(2.0));
+    // The appended rows are immediately queryable.
+    match client.query(1, "SELECT COUNT(*) FROM t").unwrap() {
+        Response::Perturbed(_) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    let _ = client.bye(1);
+    server.shutdown();
+}
+
+#[test]
+fn append_chunking_does_not_change_the_population() {
+    // Same totals via different APPEND/SEAL interleavings: record content
+    // is deterministic per global row index, and segmented evaluation is
+    // bit-identical regardless of segmentation — so the same user's noise
+    // stream yields bit-equal answers on both servers.
+    let sql = "SELECT AVG(weight) FROM t WHERE height >= 150";
+    let run = |chunks: &[u32]| {
+        let server = server(2, 50.0);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        for &c in chunks {
+            match client.append(5, c).unwrap() {
+                Response::Exact(_) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+            assert!(matches!(client.seal(5).unwrap(), Response::Exact(_)));
+        }
+        let answer = client.query(5, sql).unwrap();
+        let _ = client.bye(5);
+        server.shutdown();
+        answer
+    };
+    let a = run(&[60]);
+    let b = run(&[25, 25, 10]);
+    assert_eq!(a, b, "population must not depend on append chunking");
+    assert!(matches!(a, Response::Perturbed(_)), "{a:?}");
+}
+
+#[test]
+fn oversized_append_is_a_typed_error() {
+    let server = server(2, 10.0);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    match client.append(1, u32::MAX).unwrap() {
+        Response::Error(message) => {
+            assert!(message.contains("cap"), "got {message:?}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The connection and the population survive the refused append.
+    assert_eq!(client.append(1, 5).unwrap(), Response::Exact(305.0));
+    let _ = client.bye(1);
+    server.shutdown();
+}
+
+#[test]
 fn loadgen_drives_real_sockets_and_reports_latencies() {
     let server = server(4, 4.0);
     let report = tdf_serve::loadgen::run(

@@ -44,6 +44,32 @@ fn ambient_plan_matches_the_environment() {
 }
 
 #[test]
+fn segment_spill_invariants_hold_under_the_ambient_plan() {
+    silence_injected_panics();
+    let d = patients(&PatientConfig {
+        n: 120,
+        seed: 0xCE,
+        ..Default::default()
+    });
+    let seg = tdf_microdata::SegmentedDataset::from_dataset(&d, 30);
+    // Under any plan — crashed spills, corrupted reloads — streaming the
+    // table back is either exact or a typed error, never wrong rows; a
+    // crashed spill fails closed with the segment still resident.
+    let _ = seg.spill_all();
+    if let Ok(m) = seg.materialize() {
+        assert_eq!(m, d, "never wrong rows");
+    }
+    // Every pin that succeeds must return its exact row range.
+    for idx in 0..seg.num_segments() {
+        if let Ok(part) = seg.pin(idx) {
+            let meta = seg.segment_meta(idx);
+            let rows: Vec<usize> = (meta.start_row..meta.start_row + meta.rows).collect();
+            assert_eq!(*part, d.take(&rows), "segment {idx}");
+        }
+    }
+}
+
+#[test]
 fn pipeline_invariants_hold_under_the_ambient_plan() {
     silence_injected_panics();
 

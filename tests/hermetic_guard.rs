@@ -102,34 +102,16 @@ fn workspace_dependency_table_is_all_paths() {
 #[test]
 fn storage_crate_dependencies_are_frozen() {
     // The columnar storage refactor (typed buffers, bitmaps, dictionary
-    // encoding) is std-only by design: the microdata crate's runtime
-    // dependency set is exactly the in-tree RNG, nothing else. A new
-    // entry here means the storage layer grew a dependency — revert it.
+    // encoding) is std-only by design. The segment layer (PR 8) added the
+    // in-tree observability crate (seal/spill/reload counters) and the
+    // fault-injection substrate (crashed-spill and corrupted-reload
+    // sites) — both std-only. Any entry beyond these three means the
+    // storage layer grew a real dependency — revert it.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let text = std::fs::read_to_string(root.join("crates/microdata/Cargo.toml"))
-        .expect("microdata manifest");
-    let mut in_deps = false;
-    let mut deps = Vec::new();
-    for raw in text.lines() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.starts_with('[') {
-            in_deps = line == "[dependencies]";
-            continue;
-        }
-        if in_deps && line.contains('=') {
-            deps.push(
-                line.split(['=', '.'])
-                    .next()
-                    .unwrap_or("")
-                    .trim()
-                    .to_string(),
-            );
-        }
-    }
     assert_eq!(
-        deps,
-        ["tdf-rngkit"],
-        "the columnar storage crate must depend only on the in-tree RNG"
+        runtime_deps(&root.join("crates/microdata/Cargo.toml")),
+        ["tdf-rngkit", "tdf-obs", "tdf-faultkit"],
+        "the storage crate must depend only on in-tree std-only crates"
     );
 }
 
