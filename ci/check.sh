@@ -73,7 +73,10 @@ step "row-materializer budget (columnar storage must stay hot)"
 # call-site count at the time of the columnar refactor; if you need a
 # new site, prefer a ColumnView / typed-cells accessor, or consciously
 # raise the budget here with a justification.
-ROW_BUDGET=27
+# 27 -> 30: three segment-compaction unit-test fixtures feed the mutable
+# tail row-by-row (`push_row(d.row(i))`) — the only API that exercises
+# the tail path; no kernel code materializes rows.
+ROW_BUDGET=30
 row_sites=$(grep -rn '\.rows()\|\.row(' crates/*/src --include='*.rs' \
   | grep -v 'crates/microdata/src/dataset.rs' | grep -cv '^[[:space:]]*//' || true)
 if [[ "$row_sites" -gt "$ROW_BUDGET" ]]; then
@@ -112,19 +115,21 @@ step "fault matrix (TDF_FAULTS env path; see tests/fault_matrix.rs)"
 # end-to-end through the env parser), and live pir / par plans must
 # degrade the matrix pipeline to masked faults, refusals and typed
 # errors — never wrong answers.
-ZERO_RATE="pir.server_drop=4@0,pir.corrupt_word=4@0,par.worker_panic=2@0,querydb.deadline=5@0,smc.corrupt_word=3@0,segment.spill=4@0,segment.reload=4@0"
+ZERO_RATE="pir.server_drop=4@0,pir.corrupt_word=4@0,par.worker_panic=2@0,querydb.deadline=5@0,smc.corrupt_word=3@0,segment.spill=4@0,segment.reload=4@0,segment.compact=4@0,segment.evict=4@0"
 PIR_FAULTS="pir.server_drop=0@0.3,pir.corrupt_word=0@0.2"
 PAR_FAULTS="par.worker_panic=0@0.05"
-SEG_FAULTS="segment.spill=0@0.4,segment.reload=0@0.25"
+SEG_FAULTS="segment.spill=0@0.4,segment.reload=0@0.25,segment.compact=0@0.3,segment.evict=0@0.3"
 TDF_FAULTS="$ZERO_RATE" TDF_THREADS=4 TDF_CORES=4 "$CARGO" test --workspace -q --offline
 for threads in 1 4; do
   TDF_FAULTS="$PIR_FAULTS" TDF_THREADS="$threads" TDF_CORES="$threads" \
     "$CARGO" test -q --offline --test fault_matrix
   TDF_FAULTS="$PAR_FAULTS" TDF_THREADS="$threads" TDF_CORES="$threads" \
     "$CARGO" test -q --offline --test fault_matrix
-  # Live spill/reload faults: crashed spills must fail closed (sealed
-  # data stays resident and exact) and corrupted reloads must heal or
-  # surface as typed errors — never wrong rows.
+  # Live spill/reload/compact/evict faults: crashed spills must fail
+  # closed (sealed data stays resident and exact), corrupted reloads
+  # must heal or surface as typed errors, crashed compactions must
+  # leave the old segments queryable and crashed eviction rounds must
+  # fail open — never wrong rows, never a dropped segment.
   TDF_FAULTS="$SEG_FAULTS" TDF_THREADS="$threads" TDF_CORES="$threads" \
     "$CARGO" test -q --offline --test fault_matrix
 done
@@ -182,10 +187,12 @@ if [[ "$QUICK" -eq 0 ]]; then
     || { echo "BENCH_obs.json lacks embedded counters" >&2; exit 1; }
   grep -q '"throughput_rps"' crates/bench/BENCH_serve.json \
     || { echo "BENCH_serve.json lacks throughput counters" >&2; exit 1; }
-  # The segments suite embeds the delta-epoch series (full s20 / delta s1
-  # / delta s0); keep the artefact so perf PRs can diff republication
-  # economics against the run before theirs (the workflow uploads it).
-  for id in epoch_full_resident_s20 epoch_delta_s1 epoch_delta_s0; do
+  # The segments suite embeds the delta-epoch, compaction and parallel-
+  # publication series; keep the artefact so perf PRs can diff
+  # republication economics against the run before theirs (the workflow
+  # uploads it).
+  for id in epoch_full_resident_s20 epoch_delta_s1 epoch_delta_s0 \
+            compact_100x40_floor200 publish_par_s20_t1 publish_par_s20_t4; do
     grep -q "\"id\":\"$id\"" crates/bench/BENCH_segments.json \
       || { echo "BENCH_segments.json lacks entry $id" >&2; exit 1; }
   done
@@ -213,10 +220,11 @@ if [[ "$QUICK" -eq 0 ]]; then
   # The pir_batch leg (hint-path amortized online cost at q=64, n=1e6
   # must stay <= 0.25x a full-scan single query, and fused sweeps must
   # be bit-identical to sequential retrievals) runs on every host. The
-  # thread-scaling leg skips with a notice on hosts with fewer than 4
-  # measured cores (the core clamp makes the comparison vacuous there);
-  # on real multi-core runners a regression past the ratio fails the
-  # build.
+  # thread-scaling legs — MDAV/Mondrian parity at 1.10x and the
+  # publish_par speedup leg (12 dirty segments, t4 <= 0.6x t1) — skip
+  # with a notice on hosts with fewer than 4 measured cores (the core
+  # clamp makes the comparison vacuous there); on real multi-core
+  # runners a regression past the ratio fails the build.
   "$CARGO" run --release --offline -q -p tdf-bench --bin scaling_gate
 
   step "deterministic obs snapshot matches the golden file"

@@ -93,3 +93,52 @@ fn persistent_reload_corruption_is_a_typed_error_not_wrong_data() {
     let rows: Vec<usize> = (40..80).collect();
     assert_eq!(*part, d.take(&rows));
 }
+
+#[test]
+fn crashed_compaction_leaves_old_segments_resident_and_queryable() {
+    let d = sample(160);
+    with_fault_plan("segment.compact=1000000", || {
+        let mut seg = SegmentedDataset::from_dataset(&d, 20);
+        // The crash fires after the merged images are built but before
+        // the cutover: the plan must abort with the eight old segments
+        // untouched — same ids, same metas, same rows.
+        let ids = seg.segment_ids();
+        assert!(seg.compact(80).is_err(), "injected crash must surface");
+        assert_eq!(seg.num_segments(), 8);
+        assert_eq!(seg.segment_ids(), ids, "no id was retired");
+        assert_eq!(seg.materialize().unwrap(), d);
+    });
+    // Once the fault heals, the identical call merges cleanly.
+    let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    let mut seg = SegmentedDataset::from_dataset(&d, 20);
+    let report = seg.compact(80).unwrap();
+    assert!(report.merged_any());
+    assert_eq!(seg.num_segments(), 2);
+    assert_eq!(seg.materialize().unwrap(), d);
+}
+
+#[test]
+fn crashed_eviction_round_never_drops_a_segment() {
+    let d = sample(150);
+    with_fault_plan("segment.evict=1000000", || {
+        let seg = SegmentedDataset::from_dataset(&d, 30);
+        // Every eviction round aborts at the top: the budget stays
+        // unenforced (fail open) but all five segments remain resident
+        // and every pin answers exactly.
+        seg.set_cache_budget(1);
+        assert!(seg.resident_bytes() > 1, "abort must fail open");
+        for idx in 0..seg.num_segments() {
+            let meta = seg.segment_meta(idx);
+            let rows: Vec<usize> = (meta.start_row..meta.start_row + meta.rows).collect();
+            assert_eq!(*seg.pin(idx).unwrap(), d.take(&rows), "segment {idx}");
+        }
+        assert_eq!(seg.materialize().unwrap(), d);
+    });
+    // Healed: the same budget now spills everything but the pinned one.
+    let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    let seg = SegmentedDataset::from_dataset(&d, 30);
+    let resident_before = seg.resident_bytes();
+    seg.set_cache_budget(1);
+    assert!(seg.resident_bytes() < resident_before);
+    assert_eq!(seg.materialize().unwrap(), d);
+}

@@ -399,6 +399,46 @@ pub fn try_par_map<T: Sync, U: Send>(
     try_par_map_range(items.len(), |i| f(&items[i]))
 }
 
+/// Parallel map for a *short list of heavy tasks*: one executor chunk per
+/// item, no sequential-threshold fallback. [`par_map`] is sized for long
+/// element scans — inputs under [`SEQUENTIAL_THRESHOLD`] run inline
+/// because dispatch costs more than the scan. That policy is exactly
+/// wrong when each item is itself an expensive kernel invocation (masking
+/// one sealed segment, answering one PIR batch): a dirty-segment list of
+/// a dozen entries would never reach the pool. Here every item is its own
+/// chunk, so `n` heavy tasks fan out across `min(n, effective_threads())`
+/// participants.
+///
+/// Order-preserving and bit-identical at any thread count by
+/// construction: slot `i` of the result is `f(&items[i])`, written
+/// exactly once, and which participant computes it never affects the
+/// value. Runs inline when the list has one item, the host has one
+/// usable core, or the caller is itself a pool worker (nested regions
+/// are serial — see `executor.rs`).
+pub fn par_map_heavy<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    let threads = effective_threads().min(n);
+    if n <= 1 || threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    obs::count("par.tasks_dispatched", n as u64);
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit contents need no initialization.
+    unsafe { out.set_len(n) };
+    let base = SendPtr(out.as_mut_ptr());
+    let region = executor::run_region(n, threads - 1, &|i| {
+        let ptr = base.get();
+        // SAFETY: chunk `i` owns slot `i` exclusively, in-bounds.
+        unsafe { ptr.add(i).write(MaybeUninit::new(f(&items[i]))) };
+    });
+    // On failure the set of initialized slots is unknowable; re-raising
+    // here drops the buffer element-drop-free, leaking at worst.
+    complete_or_propagate(region);
+    // SAFETY: run_region returned Ok, so every slot is initialized.
+    let mut out = ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<U>(), n, out.capacity()) }
+}
+
 /// Order-preserving indexed reduce: maps fixed chunks of `0..n` (chunk
 /// size `chunk`, or an automatic length-only policy when `0`) and folds
 /// the chunk results **in chunk order** on the calling thread. `None`
@@ -764,6 +804,69 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ParError::RegionPanicked { .. }));
+    }
+
+    #[test]
+    fn par_map_heavy_dispatches_short_lists_and_preserves_order() {
+        // 12 items is far below SEQUENTIAL_THRESHOLD — par_map would run
+        // inline, but the heavy variant must still fan out. Correctness
+        // and order are asserted at several thread counts; bit-identity
+        // across counts follows from slot construction.
+        let items: Vec<u64> = (0..12).collect();
+        let reference: Vec<u64> = items.iter().map(|&x| x * x + 7).collect();
+        for t in [1usize, 2, 4, 7] {
+            let out = with_cores(8, || {
+                with_threads(t, || par_map_heavy(&items, |&x| x * x + 7))
+            });
+            assert_eq!(out, reference, "t = {t}");
+        }
+        // Degenerate shapes.
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map_heavy(&empty, |&x| x).is_empty());
+        assert_eq!(par_map_heavy(&[5u64], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn par_map_heavy_engages_pool_workers_below_the_threshold() {
+        use std::sync::Barrier;
+        // Two tasks rendezvous at a barrier: this can only complete when
+        // at least two participants run concurrently, proving the list
+        // was not serialized despite being far below the threshold.
+        let barrier = Barrier::new(2);
+        let out = with_cores(4, || {
+            with_threads(4, || {
+                par_map_heavy(&[0usize, 1, 2, 3, 4, 5, 6, 7], |&i| {
+                    if i < 2 {
+                        barrier.wait();
+                    }
+                    std::thread::current().id()
+                })
+            })
+        });
+        let first = out[0];
+        assert!(
+            out.iter().any(|&id| id != first),
+            "expected at least two participants"
+        );
+    }
+
+    #[test]
+    fn par_map_heavy_panic_propagates_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            with_cores(4, || {
+                with_threads(4, || {
+                    par_map_heavy(&[0usize, 1, 2, 3, 4, 5, 6, 7], |&i| {
+                        assert!(i != 5, "heavy boom at {i}");
+                        i
+                    })
+                })
+            })
+        });
+        assert!(result.is_err());
+        let ok = with_cores(4, || {
+            with_threads(4, || par_map_heavy(&[1usize, 2, 3, 4], |&i| i * 2))
+        });
+        assert_eq!(ok, vec![2, 4, 6, 8]);
     }
 
     #[test]

@@ -11,24 +11,52 @@
 //! concatenated masked segments, stamped with a monotonically increasing
 //! epoch.
 //!
+//! **Parallel publication.** The segments that need masking this epoch
+//! are independent, so they fan out across the persistent `tdf-par`
+//! executor ([`par::par_map_heavy`] — one coarse task per segment) and
+//! merge back in segment order. Each segment's mask is a deterministic
+//! function of `(masker, segment id, churn salt)`, so the release is
+//! bit-identical at any `TDF_THREADS`.
+//!
+//! **Continuity re-churn.** Verbatim image reuse is the cheapest release
+//! but also the most linkable one: a respondent's masked tuple repeats
+//! across epochs, so [`crate::risk::cross_epoch_linkage_rate`] stays
+//! high. A publisher with a re-churn fraction `f` (the `TDF_RECHURN`
+//! environment variable, or [`EpochPublisher::with_rechurn`]) re-masks
+//! `floor(f · cached)` of the cached segments each epoch with an
+//! epoch-salted perturbation that preserves within-group equality (k-
+//! anonymity is untouched) while breaking cross-epoch tuple identity.
+//! The churn set is chosen by a fixed pseudorandom ranking of segment
+//! ids, so the sets are *nested* in `f` — which makes the linkage rate
+//! monotone non-increasing in `f` at fixed seed, the frontier pinned by
+//! `tests/prop_epoch.rs`. `f = 0` (the default) reproduces verbatim
+//! cached reuse exactly.
+//!
 //! Per-segment masking is a deliberate trade: group formation never
 //! crosses a segment boundary, so the k-anonymity guarantee (every group
 //! holds ≥ k records) still holds *within every segment* — and therefore
 //! in the concatenation — while the masked cells diverge from what a
-//! batch run over the concatenation would produce. The measured
-//! divergence bound is asserted in `tests/prop_segments.rs` and the
-//! republication-risk side (how trackable respondents are *across*
-//! epochs) is measured by [`crate::risk::cross_epoch_linkage_rate`].
+//! batch run over the concatenation would produce. Small sealed
+//! fragments therefore publish *fragment-sized* groups; compacting them
+//! ([`SegmentedDataset::compact`]) retires their ids, and the publisher
+//! prunes the dead cache entries and masks the merged segment as one
+//! batch-quality group pool. The measured divergence bound is asserted
+//! in `tests/prop_segments.rs` and the republication-risk side (how
+//! trackable respondents are *across* epochs) is measured by
+//! [`crate::risk::cross_epoch_linkage_rate`].
 //!
 //! Observability: `epoch.published`, `epoch.segments_reclustered`,
-//! `epoch.segments_reused` counters.
+//! `epoch.segments_reused`, `epoch.segments_rechurned`,
+//! `epoch.invalidations` and `epoch.cache_pruned` counters.
 
 use crate::microaggregation::mdav_microaggregate;
 use crate::pram::pram;
-use std::collections::BTreeMap;
+use rngkit::splitmix64;
+use std::collections::{BTreeMap, BTreeSet};
 use tdf_anonymity::mondrian::mondrian_anonymize;
 use tdf_microdata::rng::seeded;
-use tdf_microdata::{Dataset, Result, SegmentedDataset};
+use tdf_microdata::stats::std_dev;
+use tdf_microdata::{AttributeKind, Dataset, Result, SegmentedDataset, Value};
 
 /// The masking kernel an [`EpochPublisher`] applies to each segment.
 #[derive(Debug, Clone)]
@@ -55,7 +83,9 @@ pub struct EpochRelease {
     pub segment_ids: Vec<u64>,
     /// Segments masked fresh this epoch (the dirty delta).
     pub reclustered: usize,
-    /// Segments served from the cache.
+    /// Cached segments re-masked by the continuity re-churn policy.
+    pub rechurned: usize,
+    /// Segments served from the cache verbatim.
     pub reused: usize,
 }
 
@@ -65,16 +95,63 @@ pub struct EpochPublisher {
     masker: EpochMasker,
     cache: BTreeMap<u64, Dataset>,
     epoch: u64,
+    rechurn: f64,
+}
+
+/// Stream constant separating churn-selection draws from every other
+/// seeded stream in the workspace.
+const CHURN_RANK_STREAM: u64 = 0xC0_4E5E_11EC_7104;
+/// Stream constant for the per-group jitter offsets.
+const CHURN_JITTER_STREAM: u64 = 0x9137_7E4B_0B5C_ED01;
+/// Jitter amplitude as a fraction of the masked column's spread: large
+/// enough to break cross-epoch tuple identity, small enough that masked
+/// cells stay near their group centroid.
+const CHURN_JITTER_FRACTION: f64 = 0.5;
+
+/// One uniform draw in `[-1, 1)` from a hash of the given coordinates.
+fn signed_unit(coords: [u64; 4]) -> f64 {
+    let mut state = CHURN_JITTER_STREAM;
+    for c in coords {
+        state ^= c.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        state = splitmix64(&mut state);
+    }
+    let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+    2.0 * u - 1.0
 }
 
 impl EpochPublisher {
     /// A publisher with an empty cache at epoch 0 (nothing published).
+    /// The re-churn fraction comes from `TDF_RECHURN` (a fraction in
+    /// `[0, 1]`; unset or unparsable means `0` — verbatim cache reuse).
     pub fn new(masker: EpochMasker) -> Self {
+        let rechurn = std::env::var("TDF_RECHURN")
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|f| f.is_finite())
+            .unwrap_or(0.0)
+            .clamp(0.0, 1.0);
         Self {
             masker,
             cache: BTreeMap::new(),
             epoch: 0,
+            rechurn,
         }
+    }
+
+    /// Overrides the continuity re-churn fraction (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_rechurn(mut self, fraction: f64) -> Self {
+        self.rechurn = if fraction.is_finite() {
+            fraction.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// The active continuity re-churn fraction.
+    pub fn rechurn(&self) -> f64 {
+        self.rechurn
     }
 
     /// Number of releases published so far.
@@ -82,7 +159,7 @@ impl EpochPublisher {
         self.epoch
     }
 
-    /// Masks one sealed segment.
+    /// Masks one sealed segment (the deterministic base image).
     fn mask(&self, id: u64, segment: &Dataset) -> Result<Dataset> {
         match &self.masker {
             EpochMasker::Mdav { cols, k } => Ok(mdav_microaggregate(segment, cols, *k)?.data),
@@ -94,38 +171,137 @@ impl EpochPublisher {
         }
     }
 
+    /// Masks one sealed segment with the epoch-salted continuity churn:
+    /// deterministic in `(masker, id, salt)`, k-anonymity preserving.
+    ///
+    /// For the group-forming maskers the base image is perturbed with one
+    /// jitter offset *per (group, column)* — every member of a masked
+    /// group moves together, so within-group equality (and therefore
+    /// every group size) is untouched while the group's published
+    /// centroid differs from the previous epoch's. PRAM re-draws its
+    /// per-segment flip stream under the salt.
+    fn mask_churned(&self, id: u64, segment: &Dataset, salt: u64) -> Result<Dataset> {
+        match &self.masker {
+            EpochMasker::Mdav { cols, k } => {
+                let mut img = mdav_microaggregate(segment, cols, *k)?.data;
+                jitter_groups(&mut img, cols, id, salt)?;
+                Ok(img)
+            }
+            EpochMasker::Mondrian { k } => {
+                let mut img = mondrian_anonymize(segment, *k).data;
+                let cols: Vec<usize> = img
+                    .schema()
+                    .quasi_identifier_indices()
+                    .into_iter()
+                    .filter(|&c| img.schema().attribute(c).kind.is_numeric())
+                    .collect();
+                jitter_groups(&mut img, &cols, id, salt)?;
+                Ok(img)
+            }
+            EpochMasker::Pram { col, flip, seed } => {
+                let mut rng = seeded(
+                    seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+                );
+                pram(segment, *col, *flip, &mut rng)
+            }
+        }
+    }
+
     /// Drops the cached masked image for segment `id`, forcing the next
     /// [`publish`](Self::publish) to re-cluster that segment from the
     /// original data. Returns whether an image was cached. This is the
     /// retraction hook: a policy change (new `k`, revised hierarchy) that
     /// affects one segment re-masks exactly that segment instead of
-    /// invalidating the whole release history.
+    /// invalidating the whole release history. Counted as
+    /// `epoch.invalidations`.
     pub fn invalidate(&mut self, id: u64) -> bool {
-        self.cache.remove(&id).is_some()
+        let removed = self.cache.remove(&id).is_some();
+        if removed {
+            obs::count("epoch.invalidations", 1);
+        }
+        removed
+    }
+
+    /// The cached segment ids chosen for continuity re-churn this epoch:
+    /// the first `floor(f · cached)` of the live cached ids under a fixed
+    /// pseudorandom ranking. Because the ranking does not depend on `f`,
+    /// the churn sets are nested — `f' ≥ f` churns a superset — which is
+    /// what makes the linkage-rate frontier monotone.
+    fn churn_set(&self, ids: &[u64]) -> BTreeSet<u64> {
+        if self.rechurn <= 0.0 {
+            return BTreeSet::new();
+        }
+        let mut cached: Vec<u64> = ids
+            .iter()
+            .copied()
+            .filter(|id| self.cache.contains_key(id))
+            .collect();
+        cached.sort_by_key(|&id| {
+            let mut state = CHURN_RANK_STREAM ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (splitmix64(&mut state), id)
+        });
+        let take = (self.rechurn * cached.len() as f64).floor() as usize;
+        cached.into_iter().take(take.min(ids.len())).collect()
     }
 
     /// Publishes the sealed prefix of `data` as a new epoch.
     ///
-    /// Only segments whose id is not yet cached are masked (O(delta));
-    /// every previously published segment's image is reused verbatim, so
-    /// republication never perturbs already-released records.
+    /// Segments whose id is not yet cached (the dirty delta — fresh
+    /// seals, retractions, and compaction merges) are masked fresh, plus
+    /// the continuity churn set; both fan out across the `tdf-par`
+    /// executor and merge in segment order, so the release is
+    /// bit-identical at any thread count. Cache entries whose segment id
+    /// is no longer live (consumed by compaction) are pruned first.
     pub fn publish(&mut self, data: &SegmentedDataset) -> Result<EpochRelease> {
         let ids = data.segment_ids();
-        let mut reclustered = 0usize;
-        let mut reused = 0usize;
-        for (idx, &id) in ids.iter().enumerate() {
-            if self.cache.contains_key(&id) {
-                reused += 1;
-                continue;
-            }
-            let segment = data.pin(idx)?;
-            let masked = self.mask(id, &segment)?;
-            self.cache.insert(id, masked);
-            reclustered += 1;
+        let live: BTreeSet<u64> = ids.iter().copied().collect();
+        let cached_before = self.cache.len();
+        self.cache.retain(|id, _| live.contains(id));
+        let pruned = cached_before - self.cache.len();
+        if pruned > 0 {
+            obs::count("epoch.cache_pruned", pruned as u64);
         }
+
+        let salt = self.epoch + 1;
+        let churn = self.churn_set(&ids);
+        // (segment index, id, churn salt): everything that masks this
+        // epoch. `None` salt = fresh base mask for a dirty segment.
+        let work: Vec<(usize, u64, Option<u64>)> = ids
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, &id)| {
+                if !self.cache.contains_key(&id) {
+                    Some((idx, id, None))
+                } else if churn.contains(&id) {
+                    Some((idx, id, Some(salt)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let masked: Vec<Result<Dataset>> = par::par_map_heavy(&work, |&(idx, id, churn_salt)| {
+            let segment = data.pin(idx)?;
+            match churn_salt {
+                None => self.mask(id, &segment),
+                Some(salt) => self.mask_churned(id, &segment, salt),
+            }
+        });
+        let mut reclustered = 0usize;
+        let mut rechurned = 0usize;
+        for (result, &(_, id, churn_salt)) in masked.into_iter().zip(&work) {
+            self.cache.insert(id, result?);
+            if churn_salt.is_some() {
+                rechurned += 1;
+            } else {
+                reclustered += 1;
+            }
+        }
+        let reused = ids.len() - reclustered - rechurned;
         self.epoch += 1;
         obs::count("epoch.published", 1);
         obs::count("epoch.segments_reclustered", reclustered as u64);
+        obs::count("epoch.segments_rechurned", rechurned as u64);
         obs::count("epoch.segments_reused", reused as u64);
         let mut out = Dataset::new(data.schema().clone());
         for id in &ids {
@@ -136,9 +312,51 @@ impl EpochPublisher {
             data: out,
             segment_ids: ids,
             reclustered,
+            rechurned,
             reused,
         })
     }
+}
+
+/// Adds one deterministic offset per `(group, column)` to a masked
+/// image: every member of a group moves by the same amount, so group
+/// sizes (k-anonymity) are preserved while the group's published values
+/// change. Offsets scale with the masked column's spread; a column with
+/// no spread (or no numeric cells) is left untouched.
+fn jitter_groups(img: &mut Dataset, cols: &[usize], id: u64, salt: u64) -> Result<()> {
+    if cols.is_empty() || img.num_rows() == 0 {
+        return Ok(());
+    }
+    let spreads: Vec<f64> = cols
+        .iter()
+        .map(|&c| std_dev(&img.numeric_column(c)).unwrap_or(0.0))
+        .collect();
+    // BTreeMap iteration order is deterministic, so group index `g` is a
+    // pure function of the masked image.
+    let groups: Vec<Vec<usize>> = img.group_indices_by(cols).into_values().collect();
+    for (g, members) in groups.iter().enumerate() {
+        for (ci, &c) in cols.iter().enumerate() {
+            let spread = spreads[ci];
+            if spread <= 0.0 || !spread.is_finite() {
+                continue;
+            }
+            let offset =
+                signed_unit([id, salt, g as u64, c as u64]) * CHURN_JITTER_FRACTION * spread;
+            let integer = matches!(img.schema().attribute(c).kind, AttributeKind::Integer);
+            for &row in members {
+                let Some(x) = img.f64_cells(c).and_then(|cells| cells.get(row)) else {
+                    continue; // missing cell: stays missing
+                };
+                let v = if integer {
+                    Value::Int((x + offset).round() as i64)
+                } else {
+                    Value::Float(x + offset)
+                };
+                img.set_value(row, c, v)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -251,5 +469,49 @@ mod tests {
         let r2 = publisher.publish(&seg).unwrap();
         assert_eq!(r1.data, r2.data);
         assert_eq!(r2.reused, 2);
+    }
+
+    #[test]
+    fn compaction_retires_cached_images_and_remasks_as_one_batch() {
+        let (_, mut seg) = segmented(120, 30);
+        let mut publisher = EpochPublisher::new(EpochMasker::Mdav {
+            cols: vec![0, 1],
+            k: 3,
+        });
+        let r1 = publisher.publish(&seg).unwrap();
+        assert_eq!(r1.reclustered, 4);
+        let report = seg.compact(120).unwrap();
+        assert_eq!(report.segments_after, 1);
+        // All four old ids are dead: their images are pruned, the merged
+        // segment is the only (dirty) one.
+        let r2 = publisher.publish(&seg).unwrap();
+        assert_eq!((r2.reclustered, r2.reused), (1, 0));
+        assert_eq!(r2.data.num_rows(), 120);
+        // And every masked group now forms over the full 120-row pool.
+        for members in r2.data.group_indices_by(&[0, 1]).values() {
+            assert!(members.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn rechurn_preserves_group_sizes_and_is_deterministic() {
+        let (_, seg) = segmented(120, 30);
+        let masker = EpochMasker::Mdav {
+            cols: vec![0, 1],
+            k: 3,
+        };
+        let run = || {
+            let mut p = EpochPublisher::new(masker.clone()).with_rechurn(1.0);
+            let _ = p.publish(&seg).unwrap();
+            p.publish(&seg).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.data, b.data, "churn is deterministic at fixed seed");
+        assert_eq!((a.reclustered, a.rechurned, a.reused), (0, 4, 0));
+        // Every churned group still satisfies k-anonymity.
+        for members in a.data.group_indices_by(&[0, 1]).values() {
+            assert!(members.len() >= 3, "group of {} < k", members.len());
+        }
     }
 }

@@ -18,11 +18,16 @@
 //! * [`coding`] — top/bottom coding and rounding;
 //! * [`tables`] — tabular protection: frequency tables with primary and
 //!   complementary cell suppression, audited by exact linear algebra.
+//! * [`epoch`] — incremental republication over sealed segments: cached
+//!   masked images for O(delta) epochs, segment-parallel masking, and
+//!   the `TDF_RECHURN` continuity knob trading republication cost
+//!   against cross-epoch linkability.
 //!
 //! Metrics:
 //!
 //! * [`risk`] — disclosure risk: distance-based record linkage, interval
-//!   disclosure, uniqueness;
+//!   disclosure, uniqueness (within one release) and
+//!   [`risk::cross_epoch_linkage_rate`] (trackability across releases);
 //! * [`utility`] — information loss: IL1s, moment/covariance preservation.
 //!
 //! The same masked release scores on *both* of the paper's first two

@@ -18,7 +18,8 @@
 //!   path;
 //! * [`batch`] — PIR batch admission: concurrent `PIR_FETCH` requests
 //!   from different connections coalesce into one fused database sweep;
-//! * [`server`] — accept loop, connection workers, draining shutdown,
+//! * [`server`] — accept loop, connection workers, the background
+//!   segment compactor (`TDF_COMPACT_MIN`), draining shutdown,
 //!   `tdf-obs` metrics;
 //! * [`client`] — a blocking client;
 //! * [`loadgen`] — the closed-loop Zipfian workload driver behind

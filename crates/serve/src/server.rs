@@ -83,6 +83,11 @@ pub struct ServerConfig {
     pub pir_batch_window_ms: u64,
     /// Maximum lanes per fused sweep.
     pub pir_batch_max: usize,
+    /// Row floor for background segment compaction: after each SEAL, a
+    /// compactor thread merges runs of adjacent sealed segments smaller
+    /// than this ([`SegmentedDataset::compact`]). `0` disables the
+    /// thread entirely. Defaults from `TDF_COMPACT_MIN` (unset = 0).
+    pub compact_min: usize,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +101,10 @@ impl Default for ServerConfig {
             pir_record_size: 32,
             pir_batch_window_ms: 1,
             pir_batch_max: 64,
+            compact_min: std::env::var("TDF_COMPACT_MIN")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .unwrap_or(0),
         }
     }
 }
@@ -133,6 +142,10 @@ struct Shared {
     users: [Mutex<HashMap<u64, Arc<Mutex<UserSession>>>>; USER_SHARDS],
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
+    /// Background-compaction row floor (0 = no compactor thread) and the
+    /// seal counter the compactor sleeps on.
+    compact_min: usize,
+    compact_signal: (Mutex<u64>, Condvar),
     draining: AtomicBool,
     /// Read-half clones of every connection currently being served, so
     /// shutdown can unblock workers parked in a blocking read.
@@ -175,6 +188,7 @@ pub struct Server {
     shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    compactor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -205,6 +219,8 @@ impl Server {
             users: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
+            compact_min: cfg.compact_min,
+            compact_signal: (Mutex::new(0), Condvar::new()),
             draining: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
@@ -230,11 +246,19 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &shared))
                 .expect("spawn tdf-serve accept loop")
         };
+        let compactor = (cfg.compact_min > 0).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tdf-serve-compactor".to_owned())
+                .spawn(move || compactor_loop(&shared))
+                .expect("spawn tdf-serve compactor")
+        });
         Ok(Server {
             addr,
             shared,
             accept: Some(accept),
             workers,
+            compactor,
         })
     }
 
@@ -267,6 +291,49 @@ impl Server {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // The compactor re-checks the draining flag whenever it wakes.
+        if let Some(compactor) = self.compactor.take() {
+            self.shared.compact_signal.1.notify_all();
+            let _ = compactor.join();
+        }
+    }
+}
+
+/// Background segment compaction: sleeps on the seal counter, and after
+/// each burst of SEALs merges runs of adjacent under-floor sealed
+/// segments under the data write lock. Clients never observe a row move
+/// — compaction preserves global row order and indices — only the
+/// segment count dropping. Failures (including the injected
+/// `segment.compact` crash) leave the dataset exactly as it was.
+fn compactor_loop(shared: &Shared) {
+    let (pending, cv) = &shared.compact_signal;
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut sealed = pending
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            while *sealed == seen && !shared.draining.load(Ordering::Acquire) {
+                sealed = cv
+                    .wait(sealed)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if shared.draining.load(Ordering::Acquire) {
+                return;
+            }
+            seen = *sealed;
+        }
+        let mut data = shared
+            .data
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match data.compact(shared.compact_min) {
+            Ok(report) if report.merged_any() => {
+                obs::count("serve.compactions", report.runs.len() as u64);
+            }
+            Ok(_) => {}
+            Err(_) => obs::count("serve.compact_failed", 1),
         }
     }
 }
@@ -486,7 +553,16 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                     // answer is the sealed-segment count either way.
                     data.seal();
                     obs::count("serve.seals", 1);
-                    Response::Exact(data.num_segments() as f64)
+                    let segments = data.num_segments() as f64;
+                    drop(data);
+                    if shared.compact_min > 0 {
+                        let (pending, cv) = &shared.compact_signal;
+                        *pending
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+                        cv.notify_one();
+                    }
+                    Response::Exact(segments)
                 };
                 match &response {
                     Response::Refused { reason, .. } => {

@@ -376,3 +376,73 @@ fn loadgen_drives_real_sockets_and_reports_latencies() {
     assert!(report.p50_ns > 0 && report.p50_ns <= report.p95_ns);
     assert!(report.p95_ns <= report.p99_ns);
 }
+
+#[test]
+fn background_compaction_is_transparent_to_clients() {
+    // Two identical servers, one with the background compactor on:
+    // identical APPEND/SEAL/QUERY scripts must yield identical responses
+    // — global row indices and query answers never shift while segments
+    // merge underneath the write lock.
+    let cfg = |compact_min: usize| ServerConfig {
+        rows: 64,
+        seed: 0x5EA1,
+        workers: 2,
+        session: SessionConfig {
+            epsilon_per_query: 1.0,
+            budget: 100.0,
+            seed: 0x5EA1,
+            min_query_set: 2,
+            max_overlap: usize::MAX,
+            max_rows: 0,
+        },
+        compact_min,
+        ..ServerConfig::default()
+    };
+    let run = |compact_min: usize| -> Vec<u64> {
+        let server = Server::start(cfg(compact_min)).expect("server starts");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let mut transcript = Vec::new();
+        for round in 0..6u64 {
+            // APPEND answers the new global row count — stable indices.
+            match client.append(1, 32).expect("append") {
+                Response::Exact(rows) => transcript.push(rows.to_bits()),
+                other => panic!("unexpected append response {other:?}"),
+            }
+            // SEAL answers the segment count, which legitimately races
+            // the compactor — issued but not compared.
+            client.seal(1).expect("seal");
+            // A fresh user per round: one deterministic noise draw each.
+            match client.query(100 + round, SQL).expect("query") {
+                Response::Perturbed(v) => transcript.push(v.to_bits()),
+                other => panic!("unexpected query response {other:?}"),
+            }
+        }
+        if compact_min > 0 {
+            // 64 + 6×32 = 256 rows in seven under-floor segments: once
+            // the compactor has caught up with the final seal, at most
+            // one merged run plus one straggler can remain.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            loop {
+                match client.seal(1).expect("probe seal") {
+                    Response::Exact(segments) if segments <= 2.0 => break,
+                    Response::Exact(_) => {}
+                    other => panic!("unexpected probe response {other:?}"),
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "compactor never caught up"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+        // Queries keep answering identically after compaction.
+        match client.query(50, SQL).expect("post query") {
+            Response::Perturbed(v) => transcript.push(v.to_bits()),
+            other => panic!("unexpected post response {other:?}"),
+        }
+        let _ = client.bye(1);
+        server.shutdown();
+        transcript
+    };
+    assert_eq!(run(0), run(200), "compaction must be client-invisible");
+}

@@ -70,6 +70,46 @@ fn segment_spill_invariants_hold_under_the_ambient_plan() {
 }
 
 #[test]
+fn compaction_and_eviction_invariants_hold_under_the_ambient_plan() {
+    silence_injected_panics();
+    let d = patients(&PatientConfig {
+        n: 160,
+        seed: 0xC0,
+        ..Default::default()
+    });
+    let mut seg = tdf_microdata::SegmentedDataset::from_dataset(&d, 20);
+    let before = seg.num_segments();
+    // Compaction is atomic: it either merges (fewer segments, same rows)
+    // or fails closed with the old segments untouched and queryable.
+    match seg.compact(60) {
+        Ok(report) => {
+            assert!(report.segments_after <= before);
+            assert_eq!(report.segments_before, before);
+        }
+        Err(_) => assert_eq!(
+            seg.num_segments(),
+            before,
+            "failed compaction mutates nothing"
+        ),
+    }
+    if let Ok(m) = seg.materialize() {
+        assert_eq!(m, d, "never wrong rows");
+    }
+    // Eviction under a shrinking budget may abort (fail open: cache stays
+    // over budget) but must never drop or corrupt a segment.
+    for budget in [d.heap_bytes() / 2, d.heap_bytes() / 8, 1] {
+        seg.set_cache_budget(budget);
+    }
+    for idx in 0..seg.num_segments() {
+        if let Ok(part) = seg.pin(idx) {
+            let meta = seg.segment_meta(idx);
+            let rows: Vec<usize> = (meta.start_row..meta.start_row + meta.rows).collect();
+            assert_eq!(*part, d.take(&rows), "segment {idx}");
+        }
+    }
+}
+
+#[test]
 fn pipeline_invariants_hold_under_the_ambient_plan() {
     silence_injected_panics();
 

@@ -1,0 +1,255 @@
+//! Incremental-anonymization battery for the compaction + parallel
+//! publication + continuity layer: compaction must preserve the row
+//! stream bit-for-bit and never lower the k-anonymity floor, parallel
+//! publication must be bit-identical to serial at any thread count,
+//! `TDF_RECHURN = 0` must reproduce the verbatim cached-image releases
+//! of the plain publisher, and the cross-epoch linkage rate must be
+//! monotone non-increasing in the re-churn fraction at fixed seed.
+
+use check::prelude::*;
+use dbpriv::microdata::synth::{patients, PatientConfig};
+use dbpriv::microdata::{Dataset, SegmentedDataset};
+use dbpriv::sdc::{cross_epoch_linkage_rate, EpochMasker, EpochPublisher};
+
+fn sample(n: usize, seed: u64) -> Dataset {
+    patients(&PatientConfig {
+        n,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Smallest masked-group size over `cols` (0 for an empty release).
+fn min_group(d: &Dataset, cols: &[usize]) -> usize {
+    d.group_indices_by(cols)
+        .values()
+        .map(Vec::len)
+        .min()
+        .unwrap_or(0)
+}
+
+props! {
+    #![cases(24)]
+
+    #[test]
+    fn compaction_preserves_rows_and_the_k_anonymity_floor(
+        n in 60usize..160, seg_rows in 2usize..10, k in 2usize..7,
+        min_rows in 30usize..80, seed in 0u64..30
+    ) {
+        let d = sample(n, seed);
+        let qi = d.schema().quasi_identifier_indices();
+        let mut seg = SegmentedDataset::from_dataset(&d, seg_rows);
+        // Mondrian (unlike MDAV) accepts fragments smaller than k, so
+        // under-k segments publish under-k groups — the quality loss
+        // compaction exists to repair.
+        let masker = EpochMasker::Mondrian { k };
+        let before = EpochPublisher::new(masker.clone())
+            .with_rechurn(0.0)
+            .publish(&seg)
+            .unwrap();
+        let floor_before = min_group(&before.data, &qi);
+
+        let report = seg.compact(min_rows).unwrap();
+        prop_assert!(report.segments_after <= report.segments_before);
+        // The row stream is untouched: same rows, same order, same bits.
+        prop_assert_eq!(&seg.materialize().unwrap(), &d);
+
+        let after = EpochPublisher::new(masker)
+            .with_rechurn(0.0)
+            .publish(&seg)
+            .unwrap();
+        prop_assert_eq!(after.data.num_rows(), before.data.num_rows());
+        // Merging segments can only grow the group-formation pool, so the
+        // k-anonymity floor never drops: once a release reaches k it
+        // stays >= k, and a fragment-limited floor can only rise.
+        let floor_after = min_group(&after.data, &qi);
+        prop_assert!(
+            floor_after >= floor_before.min(k),
+            "floor fell {floor_before} -> {floor_after} (k = {k})"
+        );
+    }
+
+    #[test]
+    fn parallel_publication_is_bit_identical_to_serial(
+        n in 160usize..300, seg_rows in 5usize..20, k in 2usize..5, seed in 0u64..20
+    ) {
+        let d = sample(n, seed);
+        let qi = d.schema().quasi_identifier_indices();
+        prop_assert!(n / seg_rows >= 8, "want >= 8 dirty segments");
+        for masker in [
+            EpochMasker::Mdav { cols: qi.clone(), k },
+            EpochMasker::Mondrian { k },
+        ] {
+            // Epoch 1 masks every segment fresh; epoch 2 re-churns half
+            // the cache — both fan out over the executor.
+            let run = || {
+                let seg = SegmentedDataset::from_dataset(&d, seg_rows);
+                let mut p = EpochPublisher::new(masker.clone()).with_rechurn(0.5);
+                let r1 = p.publish(&seg).unwrap();
+                let r2 = p.publish(&seg).unwrap();
+                (r1.data, r2.data)
+            };
+            // `with_cores` pretends a 4-core host so the pool really
+            // engages even on single-core CI.
+            let serial = par::with_cores(4, || par::with_threads(1, run));
+            let threaded = par::with_cores(4, || par::with_threads(4, run));
+            prop_assert_eq!(&serial, &threaded);
+        }
+    }
+
+    #[test]
+    fn zero_rechurn_reproduces_verbatim_cached_releases(
+        n in 60usize..180, seg_rows in 10usize..40, k in 2usize..5, seed in 0u64..30
+    ) {
+        let d = sample(n, seed);
+        let qi = d.schema().quasi_identifier_indices();
+        let seg = SegmentedDataset::from_dataset(&d, seg_rows);
+        let masker = EpochMasker::Mdav { cols: qi, k };
+        // The continuity knob at zero is the plain cached publisher: the
+        // same images verbatim, epoch after epoch.
+        let mut zero = EpochPublisher::new(masker.clone()).with_rechurn(0.0);
+        let mut plain = EpochPublisher::new(masker);
+        let (z1, p1) = (zero.publish(&seg).unwrap(), plain.publish(&seg).unwrap());
+        let (z2, p2) = (zero.publish(&seg).unwrap(), plain.publish(&seg).unwrap());
+        prop_assert_eq!(&z1.data, &p1.data);
+        prop_assert_eq!(&z2.data, &p2.data);
+        // Cached reuse is verbatim: the second epoch repeats the first.
+        prop_assert_eq!(&z2.data, &z1.data);
+        prop_assert_eq!((z2.reclustered, z2.rechurned), (0, 0));
+    }
+}
+
+/// The continuity frontier: at fixed seed, raising the re-churn fraction
+/// never raises the cross-epoch linkage rate, and full re-churn tracks
+/// strictly fewer respondents than verbatim reuse. The churn sets are
+/// nested in `f` (fixed pseudorandom ranking), so each step re-masks a
+/// superset of the previous step's segments.
+#[test]
+fn linkage_rate_is_monotone_non_increasing_in_rechurn() {
+    let d = sample(240, 0xF20);
+    let qi = d.schema().quasi_identifier_indices();
+    let seg = SegmentedDataset::from_dataset(&d, 30); // 8 sealed segments
+    let masker = EpochMasker::Mdav {
+        cols: qi.clone(),
+        k: 3,
+    };
+    let mut prev = f64::INFINITY;
+    let mut rates = Vec::new();
+    for f in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut p = EpochPublisher::new(masker.clone()).with_rechurn(f);
+        let a = p.publish(&seg).unwrap();
+        let b = p.publish(&seg).unwrap();
+        assert_eq!(
+            b.rechurned,
+            (f * 8.0).floor() as usize,
+            "nested churn set at f = {f}"
+        );
+        let rate = cross_epoch_linkage_rate(&d, &a.data, &b.data, &qi).unwrap();
+        eprintln!("rechurn frontier: f = {f:.2} linkage = {rate:.4}");
+        assert!(
+            rate <= prev + 0.05,
+            "linkage rose {prev:.4} -> {rate:.4} at f = {f}"
+        );
+        prev = rate;
+        rates.push(rate);
+    }
+    // Verbatim reuse sits at the k-anonymity ceiling: every repeated
+    // tuple links back to its own group, and the uniform tie split over
+    // a k-member group concedes exactly 1/k.
+    assert!(
+        (rates[0] - 1.0 / 3.0).abs() < 1e-9,
+        "verbatim reuse must link at the 1/k ceiling, got {}",
+        rates[0]
+    );
+    assert!(
+        rates[4] < rates[0],
+        "full re-churn must break some links: {} vs {}",
+        rates[4],
+        rates[0]
+    );
+}
+
+/// The acceptance scenario pinned at the default bench seed: eight
+/// 4-row fragments publish 4-member groups under Mondrian k = 5 (a
+/// fragment cannot reach k); compacting them into one sealed segment
+/// strictly raises the minimum group size to >= k and lowers the
+/// cross-epoch linkage rate relative to the verbatim cached re-release.
+#[test]
+fn compacting_eight_fragments_restores_batch_quality_and_cuts_linkage() {
+    let d = patients(&PatientConfig {
+        n: 32,
+        ..Default::default()
+    });
+    let qi = d.schema().quasi_identifier_indices();
+    let mut seg = SegmentedDataset::from_dataset(&d, 4);
+    assert_eq!(seg.num_segments(), 8);
+    let mut publisher = EpochPublisher::new(EpochMasker::Mondrian { k: 5 }).with_rechurn(0.0);
+
+    let fragmented = publisher.publish(&seg).unwrap();
+    let floor_before = min_group(&fragmented.data, &qi);
+    assert_eq!(floor_before, 4, "a 4-row fragment is one 4-member group");
+    // Without compaction the next epoch reuses every image verbatim.
+    let rerelease = publisher.publish(&seg).unwrap();
+    assert_eq!(rerelease.data, fragmented.data);
+    let linkage_uncompacted =
+        cross_epoch_linkage_rate(&d, &fragmented.data, &rerelease.data, &qi).unwrap();
+
+    let report = seg.compact(32).unwrap();
+    assert_eq!((report.segments_after, seg.num_segments()), (1, 1));
+    let compacted = publisher.publish(&seg).unwrap();
+    assert_eq!(
+        (compacted.reclustered, compacted.reused),
+        (1, 0),
+        "all eight cached images retired"
+    );
+    let floor_after = min_group(&compacted.data, &qi);
+    assert!(
+        floor_after > floor_before && floor_after >= 5,
+        "compaction must strictly raise the floor: {floor_before} -> {floor_after}"
+    );
+    let linkage_compacted =
+        cross_epoch_linkage_rate(&d, &fragmented.data, &compacted.data, &qi).unwrap();
+    eprintln!(
+        "compaction linkage: uncompacted = {linkage_uncompacted:.4} compacted = {linkage_compacted:.4}"
+    );
+    assert!(
+        linkage_compacted < linkage_uncompacted,
+        "re-grouping must break cross-epoch links: {linkage_compacted} vs {linkage_uncompacted}"
+    );
+}
+
+/// Retraction contract: invalidating a cached image forces exactly that
+/// segment through a fresh mask on the next publish (observable as
+/// `reclustered = 1` and the `epoch.invalidations` counter), and the
+/// deterministic masker rebuilds it bit-identically.
+#[test]
+fn invalidated_segment_republishes_freshly_masked_and_is_counted() {
+    let level_before = obs::level();
+    obs::set_level(1);
+    obs::reset();
+
+    let d = sample(120, 0x1217);
+    let qi = d.schema().quasi_identifier_indices();
+    let seg = SegmentedDataset::from_dataset(&d, 40);
+    let mut publisher = EpochPublisher::new(EpochMasker::Mdav { cols: qi, k: 3 }).with_rechurn(0.0);
+    let r1 = publisher.publish(&seg).unwrap();
+    let last = *seg.segment_ids().last().unwrap();
+    assert!(publisher.invalidate(last));
+    assert!(!publisher.invalidate(last), "image already dropped");
+    let r2 = publisher.publish(&seg).unwrap();
+    assert_eq!(
+        (r2.reclustered, r2.reused),
+        (1, 2),
+        "exactly the retracted segment is re-masked"
+    );
+    assert_eq!(r2.data, r1.data, "fresh mask of a sealed segment is stable");
+
+    let snap = obs::snapshot();
+    obs::set_level(level_before);
+    assert!(
+        snap.counter("epoch.invalidations") >= 1,
+        "retractions must be observable: {}",
+        snap.counter("epoch.invalidations")
+    );
+    assert!(snap.counter("epoch.segments_reclustered") >= 4);
+}
