@@ -115,10 +115,16 @@ step "fault matrix (TDF_FAULTS env path; see tests/fault_matrix.rs)"
 # end-to-end through the env parser), and live pir / par plans must
 # degrade the matrix pipeline to masked faults, refusals and typed
 # errors — never wrong answers.
-ZERO_RATE="pir.server_drop=4@0,pir.corrupt_word=4@0,par.worker_panic=2@0,querydb.deadline=5@0,smc.corrupt_word=3@0,segment.spill=4@0,segment.reload=4@0,segment.compact=4@0,segment.evict=4@0"
+ZERO_RATE="pir.server_drop=4@0,pir.corrupt_word=4@0,par.worker_panic=2@0,querydb.deadline=5@0,smc.corrupt_word=3@0,segment.spill=4@0,segment.reload=4@0,segment.compact=4@0,segment.evict=4@0,disguise.wal_append=4@0,disguise.apply=4@0,disguise.restore=4@0"
 PIR_FAULTS="pir.server_drop=0@0.3,pir.corrupt_word=0@0.2"
 PAR_FAULTS="par.worker_panic=0@0.05"
 SEG_FAULTS="segment.spill=0@0.4,segment.reload=0@0.25,segment.compact=0@0.3,segment.evict=0@0.3"
+# Budgets of 2 per disguise site: each WAL append and cell-image apply
+# retries up to 3 times, so a 2-fault budget is always absorbed — the
+# matrix leg proves crashes degrade to recovery replays, never to a
+# half-disguised ledger (tests/fault_matrix.rs holds under any plan;
+# unbounded-crash convergence is crash_matrix.rs territory).
+DISGUISE_FAULTS="disguise.wal_append=2@0.5,disguise.apply=2@0.4,disguise.restore=2@0.4"
 TDF_FAULTS="$ZERO_RATE" TDF_THREADS=4 TDF_CORES=4 "$CARGO" test --workspace -q --offline
 for threads in 1 4; do
   TDF_FAULTS="$PIR_FAULTS" TDF_THREADS="$threads" TDF_CORES="$threads" \
@@ -131,6 +137,11 @@ for threads in 1 4; do
   # leave the old segments queryable and crashed eviction rounds must
   # fail open — never wrong rows, never a dropped segment.
   TDF_FAULTS="$SEG_FAULTS" TDF_THREADS="$threads" TDF_CORES="$threads" \
+    "$CARGO" test -q --offline --test fault_matrix
+  # Live disguise faults: torn WAL appends and mid-transaction apply
+  # crashes must leave every disguise/restore all-or-nothing, with
+  # recovery replaying the committed prefix — never wrong cells.
+  TDF_FAULTS="$DISGUISE_FAULTS" TDF_THREADS="$threads" TDF_CORES="$threads" \
     "$CARGO" test -q --offline --test fault_matrix
 done
 echo "ok"
@@ -168,13 +179,18 @@ echo "ok"
 
 if [[ "$QUICK" -eq 0 ]]; then
   step "bench smoke run (tiny sample counts; validates BENCH_*.json)"
-  rm -f crates/bench/BENCH_*.json
+  # Artefacts land in $ARTIFACTS via TDF_RESULTS_DIR (and would default
+  # to the workspace root, never crates/bench/ — bench binaries run with
+  # the package directory as cwd; crates/bench/src/harness.rs).
   TDF_BENCH_SAMPLES=3 TDF_BENCH_SAMPLE_MS=2 TDF_BENCH_WARMUP_MS=5 \
     TDF_SERVE_CLIENTS=2 TDF_SERVE_USERS=100 TDF_SERVE_REQS=25 TDF_SERVE_ROWS=300 \
     TDF_PIR_SCALE_QUICK=1 TDF_PIR_SCALE_SAMPLES=2 \
+    TDF_DISGUISE_ROWS=200 TDF_DISGUISE_USERS=4 \
+    TDF_RESULTS_DIR="$ARTIFACTS" \
     "$CARGO" bench --offline -p tdf-bench >/dev/null
-  for suite in substrates ablations experiments par columnar obs faults serve pir_scale segments; do
-    json="crates/bench/BENCH_${suite}.json"
+  for suite in substrates ablations experiments par columnar obs faults serve \
+               pir_scale segments disguise; do
+    json="$ARTIFACTS/BENCH_${suite}.json"
     [[ -s "$json" ]] || { echo "missing $json" >&2; exit 1; }
     for field in median_ns p95_ns p99_ns; do
       grep -q "\"$field\"" "$json" || { echo "$json lacks $field" >&2; exit 1; }
@@ -182,22 +198,32 @@ if [[ "$QUICK" -eq 0 ]]; then
   done
   # The obs suite runs each workload at TDF_OBS=1/2 through bench_with_obs,
   # which embeds the counter snapshot alongside the timings; the serve
-  # suite embeds the load generator's run-level aggregates the same way.
-  grep -q '"counters"' crates/bench/BENCH_obs.json \
+  # suite embeds the load generator's run-level aggregates (including the
+  # keep-alive ratio) the same way.
+  grep -q '"counters"' "$ARTIFACTS/BENCH_obs.json" \
     || { echo "BENCH_obs.json lacks embedded counters" >&2; exit 1; }
-  grep -q '"throughput_rps"' crates/bench/BENCH_serve.json \
+  grep -q '"throughput_rps"' "$ARTIFACTS/BENCH_serve.json" \
     || { echo "BENCH_serve.json lacks throughput counters" >&2; exit 1; }
+  grep -q '"reqs_per_conn_x100"' "$ARTIFACTS/BENCH_serve.json" \
+    || { echo "BENCH_serve.json lacks keep-alive counters" >&2; exit 1; }
   # The segments suite embeds the delta-epoch, compaction and parallel-
   # publication series; keep the artefact so perf PRs can diff
   # republication economics against the run before theirs (the workflow
   # uploads it).
   for id in epoch_full_resident_s20 epoch_delta_s1 epoch_delta_s0 \
             compact_100x40_floor200 publish_par_s20_t1 publish_par_s20_t4; do
-    grep -q "\"id\":\"$id\"" crates/bench/BENCH_segments.json \
+    grep -q "\"id\":\"$id\"" "$ARTIFACTS/BENCH_segments.json" \
       || { echo "BENCH_segments.json lacks entry $id" >&2; exit 1; }
   done
-  cp crates/bench/BENCH_segments.json "$ARTIFACTS/BENCH_segments.json"
-  rm -f crates/bench/BENCH_*.json
+  # The disguise suite measures the WAL-durable round trip and the
+  # crash-recovery replay, with the per-transaction disguise.* counters
+  # embedded.
+  for id in txn/roundtrip_n200_u4 recover/replay_4txns_n200; do
+    grep -q "\"id\":\"$id\"" "$ARTIFACTS/BENCH_disguise.json" \
+      || { echo "BENCH_disguise.json lacks entry $id" >&2; exit 1; }
+  done
+  grep -q '"disguise.wal_entries"' "$ARTIFACTS/BENCH_disguise.json" \
+    || { echo "BENCH_disguise.json lacks disguise.* counters" >&2; exit 1; }
   echo "ok"
 
   step "serve smoke (scripted session vs golden transcript)"
@@ -214,6 +240,21 @@ if [[ "$QUICK" -eq 0 ]]; then
     > "$ARTIFACTS/serve_smoke.diff" \
     || { echo "serve transcript drifted from ci/golden/serve_smoke.txt:" >&2
          cat "$ARTIFACTS/serve_smoke.diff" >&2; exit 1; }
+  echo "ok"
+
+  step "disguise smoke (unsubscribe/resubscribe session vs golden transcript)"
+  # One scripted session over a real socket: a WAL-durable DISGUISE, the
+  # three typed wrong-state refusals, a query riding the same connection
+  # and the RESTORE handing the rows back. Deterministic in TDF_SEED;
+  # regenerate consciously:
+  #   TDF_SEED=2007 cargo run --release --offline -q -p tdf-serve \
+  #     --bin disguise_smoke > ci/golden/disguise_smoke.txt
+  TDF_SEED=2007 "$CARGO" run --release --offline -q -p tdf-serve --bin disguise_smoke \
+    > "$ARTIFACTS/disguise_smoke.txt"
+  diff "$ARTIFACTS/disguise_smoke.txt" ci/golden/disguise_smoke.txt \
+    > "$ARTIFACTS/disguise_smoke.diff" \
+    || { echo "disguise transcript drifted from ci/golden/disguise_smoke.txt:" >&2
+         cat "$ARTIFACTS/disguise_smoke.diff" >&2; exit 1; }
   echo "ok"
 
   step "scaling gate (pir batch economics + t4 median within 1.10x of t1)"

@@ -1,0 +1,110 @@
+//! Reversible-disguising bench: WAL-backed disguise/restore transaction
+//! latency and crash-recovery replay cost.
+//!
+//! The `txn/` series measures the full unsubscribe→resubscribe round
+//! trip on a live engine — two journal appends (each an fsync: the WAL
+//! is durable before any cell moves) plus the in-memory cell rewrites —
+//! via [`Harness::bench_with_obs`], so the `disguise.*` counters for one
+//! round trip ride along in the artefact. The `recover/` series measures
+//! [`DisguiseEngine::open`] over a journal holding committed disguise
+//! transactions: the cost a crashed process pays to replay its way back
+//! to the committed state.
+//!
+//! Environment knobs (all optional):
+//!
+//! | variable             | default | meaning                            |
+//! |----------------------|---------|------------------------------------|
+//! | `TDF_DISGUISE_ROWS`  | 400     | ledger rows                        |
+//! | `TDF_DISGUISE_USERS` | 8       | owners the rows round-robin over   |
+//!
+//! Emits `BENCH_disguise.json`.
+
+use tdf_bench::harness::Harness;
+use tdf_disguise::{owned_patients, DisguiseEngine, DisguisePolicy};
+use tdf_microdata::synth::PatientConfig;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn wal_path(tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "tdf_bench_disguise_{}_{tag}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn main() {
+    let mut h = Harness::new("disguise");
+    let rows = env_u64("TDF_DISGUISE_ROWS", 400) as usize;
+    let users = env_u64("TDF_DISGUISE_USERS", 8);
+    let seed = tdf_bench::seed_from_env(0xD15C);
+    let cfg = PatientConfig {
+        n: rows,
+        seed,
+        ..PatientConfig::default()
+    };
+    let base = owned_patients(&cfg, users);
+
+    // Round trip: disguise then restore one owner, WAL-durable at both
+    // commit points. The journal grows by two frames per iteration, but
+    // the fsyncs bound the iteration rate, so the file stays small.
+    {
+        let path = wal_path("txn");
+        let (mut engine, _) = DisguiseEngine::open(
+            &path,
+            base.clone(),
+            DisguisePolicy::patients_default(),
+            seed,
+        )
+        .expect("engine opens");
+        let mut user = 0u64;
+        // Counters on for the embedded capture; their increments are
+        // noise next to the two fsyncs per round trip.
+        obs::set_level(1);
+        h.bench_with_obs(&format!("txn/roundtrip_n{rows}_u{users}"), || {
+            user = user % users + 1;
+            let out = engine.disguise(user).expect("disguise");
+            engine.restore(user).expect("restore");
+            out.rows
+        });
+        obs::set_level(0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // Recovery: reopen a journal with every owner committed-disguised;
+    // open() replays all the cell images onto the pristine base.
+    {
+        let path = wal_path("recover");
+        let (mut engine, _) = DisguiseEngine::open(
+            &path,
+            base.clone(),
+            DisguisePolicy::patients_default(),
+            seed,
+        )
+        .expect("engine opens");
+        for user in 1..=users {
+            engine.disguise(user).expect("disguise");
+        }
+        drop(engine);
+        h.bench(&format!("recover/replay_{users}txns_n{rows}"), || {
+            let (engine, report) = DisguiseEngine::open(
+                &path,
+                base.clone(),
+                DisguisePolicy::patients_default(),
+                seed,
+            )
+            .expect("recovery opens");
+            assert_eq!(report.entries, users as usize);
+            engine.disguised_users().len()
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+
+    h.finish().expect("write BENCH_disguise.json");
+}

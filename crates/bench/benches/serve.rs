@@ -61,6 +61,13 @@ fn bench_load(h: &mut Harness, id: &str, budget: f64, load: &LoadConfig) {
             ("answered".into(), report.answered),
             ("refused".into(), report.refused),
             ("errors".into(), report.errors),
+            ("connections".into(), report.connections),
+            // Keep-alive ratio, fixed-point ×100: equals 100× the
+            // requests-per-client setting unless connections died early.
+            (
+                "reqs_per_conn_x100".into(),
+                (report.reqs_per_conn * 100.0).round() as u64,
+            ),
         ],
     );
 }

@@ -10,9 +10,12 @@
 //! [`Harness::record_latencies`] instead of the timed-sample loop.
 //!
 //! On [`Harness::finish`] a suite prints an aligned table to stdout and
-//! writes `BENCH_<suite>.json` (to `TDF_RESULTS_DIR` when set, else the
-//! working directory). The JSON is the baseline artefact future perf PRs
-//! diff against.
+//! writes `BENCH_<suite>.json` — to `TDF_RESULTS_DIR` when set, else to
+//! the *workspace root*. `cargo bench` runs bench binaries with the
+//! package directory (`crates/bench/`) as their cwd, so a cwd-relative
+//! default would scatter the artefacts under `crates/bench/` where
+//! nothing looks for them. The JSON is the baseline artefact future
+//! perf PRs diff against.
 //!
 //! Environment knobs (all optional):
 //!
@@ -26,8 +29,27 @@
 //! executions finish in seconds; local perf work uses the defaults.
 
 use std::hint::black_box;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Directory where `BENCH_<suite>.json` artefacts land: an explicit
+/// non-empty `TDF_RESULTS_DIR` wins; otherwise the workspace root,
+/// resolved from this crate's manifest directory so the answer does not
+/// depend on the process cwd (`cargo bench` sets it to `crates/bench/`).
+fn results_dir() -> PathBuf {
+    results_dir_from(std::env::var_os("TDF_RESULTS_DIR"))
+}
+
+fn results_dir_from(explicit: Option<std::ffi::OsString>) -> PathBuf {
+    match explicit {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/bench sits two levels below the workspace root")
+            .to_path_buf(),
+    }
+}
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -230,9 +252,7 @@ impl Harness {
         }
         println!("{out}");
 
-        let dir = std::env::var_os("TDF_RESULTS_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("."));
+        let dir = results_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("BENCH_{}.json", self.suite));
         std::fs::write(&path, self.to_json())?;
@@ -409,6 +429,34 @@ mod tests {
         let s = &h.results()[0];
         assert!(s.p95_ns <= s.p99_ns && s.p99_ns <= s.max_ns);
         assert!(h.to_json().contains("\"p99_ns\""));
+    }
+
+    #[test]
+    fn results_dir_honours_an_explicit_override() {
+        assert_eq!(
+            results_dir_from(Some("custom/results".into())),
+            PathBuf::from("custom/results")
+        );
+    }
+
+    #[test]
+    fn results_dir_defaults_to_the_workspace_root_not_the_cwd() {
+        // Regression: bench binaries run with crates/bench/ as cwd, so a
+        // "." default used to bury BENCH_*.json inside the package
+        // directory. The default must be the workspace root regardless
+        // of cwd, and an empty TDF_RESULTS_DIR counts as unset.
+        let dir = results_dir_from(None);
+        assert!(dir.join("Cargo.toml").is_file(), "{}", dir.display());
+        assert!(
+            dir.join("crates/bench/Cargo.toml").is_file(),
+            "not the workspace root: {}",
+            dir.display()
+        );
+        assert!(
+            !dir.ends_with("crates/bench"),
+            "artefacts must not land in the package directory"
+        );
+        assert_eq!(results_dir_from(Some("".into())), dir);
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! The disguise transaction engine: plan → journal → apply, with
+//! bounded retry, idempotent replay, and crash-stop poisoning.
+//!
+//! Ordering is the whole correctness argument. A transaction is planned
+//! against the current state (absolute before/after cell images), then
+//! journalled — the durable append *is* the commit point — and only then
+//! applied to the in-memory dataset. A crash before the commit leaves an
+//! uncommitted tail the next [`DisguiseEngine::open`] truncates (the
+//! transaction never happened); a crash after it leaves a committed
+//! record that recovery replays to completion (the transaction always
+//! happened). Because cell ops carry absolute values, replaying a
+//! half-applied transaction from the start is idempotent.
+//!
+//! Crashes are injected at three sites: `disguise.wal_append` (inside
+//! [`crate::wal::Journal::append`]), `disguise.apply` (applying a
+//! disguise's cell ops) and `disguise.restore` (applying a restore's).
+//! Each apply gets three attempts; when the budget is exhausted the
+//! engine *poisons itself* — crash-stop — and every later operation
+//! returns [`Error::Poisoned`] until a re-open runs recovery. Recovery
+//! replays through the same apply path, so the crash matrix's "crash
+//! during recover" leg exercises exactly the code that heals it.
+
+use crate::policy::{DisguisePolicy, EdgeAction};
+use crate::wal::{CellOp, Journal, OpKind, RecoveryReport, TxnRecord};
+use crate::{Error, Result};
+use std::collections::BTreeMap;
+use std::path::Path;
+use tdf_microdata::{Dataset, Value};
+
+/// What a committed disguise or restore did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisguiseOutcome {
+    /// Journal transaction id.
+    pub txn_id: u64,
+    /// The user acted for.
+    pub user: u64,
+    /// Rows re-owned or returned.
+    pub rows: usize,
+    /// Cells rewritten.
+    pub cells: usize,
+}
+
+/// A per-user reversible disguise/restore engine over one dataset.
+pub struct DisguiseEngine {
+    data: Dataset,
+    policy: DisguisePolicy,
+    journal: Journal,
+    seed: u64,
+    owner_col: usize,
+    /// Active disguises: user → the committed disguise record, kept so a
+    /// restore can invert it without trusting the (mutated) dataset.
+    disguised: BTreeMap<u64, TxnRecord>,
+    next_txn: u64,
+    poisoned: bool,
+}
+
+/// Applies `ops` to `data`, crashing at the midpoint when `site` fires.
+/// Absolute after-images make a re-run from op 0 idempotent.
+fn try_apply(data: &mut Dataset, ops: &[CellOp], site: &'static str) -> Result<()> {
+    let crash_at = ops.len() / 2;
+    for (i, op) in ops.iter().enumerate() {
+        if i == crash_at && faultkit::fire(site) {
+            return Err(Error::Crashed(site));
+        }
+        data.set_value(op.row as usize, op.col as usize, op.after.clone())?;
+    }
+    Ok(())
+}
+
+/// Bounded retry around [`try_apply`]: three attempts, then crash-stop.
+fn apply_ops(data: &mut Dataset, ops: &[CellOp], site: &'static str) -> Result<()> {
+    let mut last = Error::Crashed(site);
+    for attempt in 0..3 {
+        if attempt > 0 {
+            obs::count("disguise.apply_retry", 1);
+        }
+        match try_apply(data, ops, site) {
+            Ok(()) => return Ok(()),
+            Err(e @ Error::Data(_)) => return Err(e),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+fn replay_site(kind: OpKind) -> &'static str {
+    match kind {
+        OpKind::Disguise => "disguise.apply",
+        OpKind::Restore => "disguise.restore",
+    }
+}
+
+impl DisguiseEngine {
+    /// Opens the engine over `base` — the dataset in its *original*
+    /// (never-disguised) state — replaying the journal at `wal_path` so
+    /// the in-memory state matches what was committed before a crash.
+    ///
+    /// Recovery replays through the live apply path, fault sites
+    /// included; a crash here surfaces as `Err(Crashed(..))` and the
+    /// caller re-opens with a fresh `base` (the journal is intact).
+    pub fn open(
+        wal_path: &Path,
+        base: Dataset,
+        policy: DisguisePolicy,
+        seed: u64,
+    ) -> Result<(Self, RecoveryReport)> {
+        let _t = obs::span("disguise.open");
+        let owner_col = base
+            .schema()
+            .index_of(&policy.owner_attr)
+            .map_err(|e| Error::Data(e.to_string()))?;
+        let (journal, records, report) = Journal::open(wal_path)?;
+        let mut engine = DisguiseEngine {
+            data: base,
+            policy,
+            journal,
+            seed,
+            owner_col,
+            disguised: BTreeMap::new(),
+            next_txn: 0,
+            poisoned: false,
+        };
+        for rec in records {
+            apply_ops(&mut engine.data, &rec.ops, replay_site(rec.kind))?;
+            obs::count("disguise.replayed_ops", rec.ops.len() as u64);
+            engine.next_txn = engine.next_txn.max(rec.txn_id + 1);
+            match rec.kind {
+                OpKind::Disguise => {
+                    engine.disguised.insert(rec.user, rec);
+                }
+                OpKind::Restore => {
+                    engine.disguised.remove(&rec.user);
+                }
+            }
+        }
+        obs::count("disguise.recovered_txns", report.entries as u64);
+        Ok((engine, report))
+    }
+
+    fn ensure_live(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::Poisoned);
+        }
+        Ok(())
+    }
+
+    /// Rows currently owned by `user` (ghost-owned rows do not match).
+    pub fn user_rows(&self, user: u64) -> Vec<usize> {
+        let want = Value::Int(user as i64);
+        (0..self.data.num_rows())
+            .filter(|&i| self.data.value(i, self.owner_col) == want)
+            .collect()
+    }
+
+    /// Disguises every row `user` owns: the ownership edge is re-pointed
+    /// at deterministic ghosts and payload attributes are redacted or
+    /// retained per the policy. Atomic across crashes.
+    pub fn disguise(&mut self, user: u64) -> Result<DisguiseOutcome> {
+        let _t = obs::span("disguise.txn");
+        self.ensure_live()?;
+        if self.disguised.contains_key(&user) {
+            return Err(Error::AlreadyDisguised(user));
+        }
+        let rows = self.user_rows(user);
+        if rows.is_empty() {
+            return Err(Error::NoRows(user));
+        }
+        let attrs = self.data.schema().attributes().to_vec();
+        let mut ops = Vec::new();
+        for &row in &rows {
+            for (col, attr) in attrs.iter().enumerate() {
+                let before = self.data.value(row, col);
+                let after = match self.policy.action_for(&attr.name) {
+                    EdgeAction::Decorrelate => {
+                        Value::Int(self.policy.ghost_id(self.seed, user, row as u64))
+                    }
+                    EdgeAction::Redact => Value::Missing,
+                    EdgeAction::Retain => continue,
+                };
+                if before == after {
+                    continue;
+                }
+                ops.push(CellOp {
+                    row: row as u64,
+                    col: col as u32,
+                    before,
+                    after,
+                });
+            }
+        }
+        let rec = TxnRecord {
+            txn_id: self.next_txn,
+            kind: OpKind::Disguise,
+            user,
+            ops,
+        };
+        self.commit(rec, rows.len())
+    }
+
+    /// Restores every cell of `user`'s active disguise to its original
+    /// value — the exact inverse of the journalled disguise record, so
+    /// `restore ∘ disguise` is the identity on the row stream.
+    pub fn restore(&mut self, user: u64) -> Result<DisguiseOutcome> {
+        let _t = obs::span("disguise.txn");
+        self.ensure_live()?;
+        let Some(disguise_rec) = self.disguised.get(&user) else {
+            return Err(Error::NotDisguised(user));
+        };
+        let rows = disguise_rec
+            .ops
+            .iter()
+            .map(|op| op.row)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        let ops = disguise_rec
+            .ops
+            .iter()
+            .map(|op| CellOp {
+                row: op.row,
+                col: op.col,
+                before: op.after.clone(),
+                after: op.before.clone(),
+            })
+            .collect();
+        let rec = TxnRecord {
+            txn_id: self.next_txn,
+            kind: OpKind::Restore,
+            user,
+            ops,
+        };
+        self.commit(rec, rows)
+    }
+
+    /// Journal (the commit point), then apply. Any exhausted fault
+    /// budget poisons the engine: its in-memory state may be torn, the
+    /// journal is authoritative, and only a re-open may serve again.
+    fn commit(&mut self, rec: TxnRecord, rows: usize) -> Result<DisguiseOutcome> {
+        if let Err(e) = self.journal.append(&rec) {
+            if matches!(e, Error::Crashed(_)) {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
+        if let Err(e) = apply_ops(&mut self.data, &rec.ops, replay_site(rec.kind)) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.next_txn = rec.txn_id + 1;
+        let outcome = DisguiseOutcome {
+            txn_id: rec.txn_id,
+            user: rec.user,
+            rows,
+            cells: rec.ops.len(),
+        };
+        match rec.kind {
+            OpKind::Disguise => {
+                obs::count("disguise.txns", 1);
+                obs::count("disguise.rows", rows as u64);
+                self.disguised.insert(rec.user, rec);
+            }
+            OpKind::Restore => {
+                obs::count("disguise.restores", 1);
+                self.disguised.remove(&rec.user);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// The current dataset (owner column included).
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The release view: identifiers (the ownership edge) dropped, as a
+    /// publication would ship it.
+    pub fn release(&self) -> Dataset {
+        self.data.drop_identifiers()
+    }
+
+    /// Row-stream fingerprint of the current state.
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint(&self.data)
+    }
+
+    /// Whether `user` has an active disguise.
+    pub fn is_disguised(&self, user: u64) -> bool {
+        self.disguised.contains_key(&user)
+    }
+
+    /// Users with an active disguise, ascending.
+    pub fn disguised_users(&self) -> Vec<u64> {
+        self.disguised.keys().copied().collect()
+    }
+
+    /// True after a crash-stop; re-open to recover.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The journal path (for re-opening after a crash-stop).
+    pub fn wal_path(&self) -> &Path {
+        self.journal.path()
+    }
+
+    /// The engine's decorrelation policy.
+    pub fn policy(&self) -> &DisguisePolicy {
+        &self.policy
+    }
+}
+
+impl std::fmt::Debug for DisguiseEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DisguiseEngine")
+            .field("rows", &self.data.num_rows())
+            .field("disguised", &self.disguised.len())
+            .field("next_txn", &self.next_txn)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{owned_patients, DisguisePolicy};
+    use crate::testsupport::{with_fault_plan, without_faults};
+    use std::path::PathBuf;
+    use tdf_microdata::synth::PatientConfig;
+
+    fn wal(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tdf_engine_{tag}_{}.wal", std::process::id()))
+    }
+
+    fn base() -> Dataset {
+        owned_patients(
+            &PatientConfig {
+                n: 60,
+                seed: 0xD15C,
+                ..Default::default()
+            },
+            6,
+        )
+    }
+
+    fn open(path: &Path) -> DisguiseEngine {
+        DisguiseEngine::open(path, base(), DisguisePolicy::patients_default(), 0xD15C)
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn restore_after_disguise_is_identity_on_the_fingerprint() {
+        let path = wal("identity");
+        let _ = std::fs::remove_file(&path);
+        without_faults(|| {
+            let mut e = open(&path);
+            let fp0 = e.fingerprint();
+            let out = e.disguise(3).unwrap();
+            assert_eq!(out.rows, 10, "60 rows round-robin over 6 users");
+            assert!(out.cells >= out.rows, "at least the ownership edge per row");
+            assert_ne!(e.fingerprint(), fp0, "disguise changes the stream");
+            assert!(e.is_disguised(3));
+            assert!(e.user_rows(3).is_empty(), "ghosts own the rows now");
+            let back = e.restore(3).unwrap();
+            assert_eq!(back.rows, 10);
+            assert_eq!(e.fingerprint(), fp0, "restore ∘ disguise ≡ identity");
+            assert!(!e.is_disguised(3));
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn typed_refusals_for_double_disguise_and_unknown_users() {
+        let path = wal("refusals");
+        let _ = std::fs::remove_file(&path);
+        without_faults(|| {
+            let mut e = open(&path);
+            assert_eq!(e.restore(2), Err(Error::NotDisguised(2)));
+            assert_eq!(e.disguise(999), Err(Error::NoRows(999)));
+            e.disguise(2).unwrap();
+            assert_eq!(e.disguise(2), Err(Error::AlreadyDisguised(2)));
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_resumes_committed_state_and_txn_ids() {
+        let path = wal("reopen");
+        let _ = std::fs::remove_file(&path);
+        without_faults(|| {
+            let mut e = open(&path);
+            e.disguise(1).unwrap();
+            e.disguise(4).unwrap();
+            e.restore(1).unwrap();
+            let fp = e.fingerprint();
+            drop(e);
+            let (mut e2, report) =
+                DisguiseEngine::open(&path, base(), DisguisePolicy::patients_default(), 0xD15C)
+                    .unwrap();
+            assert_eq!(report.entries, 3);
+            assert_eq!(e2.fingerprint(), fp, "replay lands on the committed state");
+            assert_eq!(e2.disguised_users(), vec![4]);
+            let out = e2.disguise(1).unwrap();
+            assert_eq!(out.txn_id, 3, "txn ids continue past the journal");
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn apply_crash_poisons_then_recovery_completes_the_committed_txn() {
+        let path = wal("poison");
+        let _ = std::fs::remove_file(&path);
+        let disguised_fp = without_faults(|| {
+            let mut probe = open(&path);
+            probe.disguise(5).unwrap();
+            let fp = probe.fingerprint();
+            std::fs::remove_file(&path).unwrap();
+            fp
+        });
+        with_fault_plan("disguise.apply=0", || {
+            let mut e = open(&path);
+            assert_eq!(e.disguise(5), Err(Error::Crashed("disguise.apply")));
+            assert!(e.is_poisoned());
+            assert_eq!(e.disguise(1), Err(Error::Poisoned), "crash-stop holds");
+            assert_eq!(e.restore(5), Err(Error::Poisoned));
+        });
+        without_faults(|| {
+            // The WAL committed before the apply crashed: recovery must
+            // finish the transaction, bit-identical to a clean disguise.
+            let e = open(&path);
+            assert_eq!(e.fingerprint(), disguised_fp);
+            assert!(e.is_disguised(5));
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bounded_retry_absorbs_single_faults_invisibly() {
+        let path = wal("retry");
+        let _ = std::fs::remove_file(&path);
+        let clean_fp = without_faults(|| {
+            let mut probe = open(&path);
+            probe.disguise(2).unwrap();
+            let fp = probe.fingerprint();
+            std::fs::remove_file(&path).unwrap();
+            fp
+        });
+        with_fault_plan("disguise.wal_append=1,disguise.apply=1", || {
+            let mut e = open(&path);
+            e.disguise(2).unwrap();
+            assert_eq!(e.fingerprint(), clean_fp, "retried run ≡ clean run");
+            assert!(!e.is_poisoned());
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-edge decorrelation policies and ghost identities.
+//!
+//! The model follows the `decor`/`edna` application policies: a table
+//! has one *ownership edge* — the attribute holding the id of the user
+//! each row belongs to — and a disguise severs that edge by re-owning
+//! the row to a **ghost**, a synthetic principal drawn from a reserved
+//! id range no real user can occupy. What happens to the rest of the
+//! row is declared per attribute ([`EdgeAction`]): linkable
+//! quasi-identifiers are usually *redacted* (they are exactly what a
+//! re-publication attacker links on), while payload useful in
+//! aggregate form can be *retained* under the ghost.
+//!
+//! Ghost identities are deterministic in `(seed, user, row)`, so a
+//! crashed disguise replayed from the journal — or re-planned after a
+//! restore — lands on the same ghost ids, which is what makes recovered
+//! states bit-identical to clean runs.
+
+use tdf_microdata::synth::{patients, PatientConfig};
+use tdf_microdata::{
+    AttributeDef, AttributeKind, AttributeRole, Bitmap, Column, Dataset, IntCol, Schema,
+};
+
+/// Ghost ids live at and above this base — far outside any realistic
+/// user-id population, so `owner >= GHOST_BASE` identifies a ghost row.
+pub const GHOST_BASE: u64 = 1 << 48;
+
+/// Name of the ownership-edge attribute in the owned patient table.
+pub const OWNER: &str = "owner";
+
+/// What a disguise does to one attribute of an owned row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeAction {
+    /// Replace the value with the ghost identity (only meaningful for
+    /// the ownership edge — the user→record foreign key).
+    Decorrelate,
+    /// Suppress the value (a `Missing` cell) until restore.
+    Redact,
+    /// Keep the value under the ghost — it stays useful in aggregates
+    /// but no longer leads back to the user.
+    Retain,
+}
+
+/// One attribute's disguise rule.
+#[derive(Debug, Clone)]
+pub struct EdgePolicy {
+    /// Attribute name in the table schema.
+    pub attr: String,
+    /// What the disguise does to it.
+    pub action: EdgeAction,
+}
+
+/// A table's disguise policy: the ownership edge plus per-attribute
+/// actions. Attributes not listed are retained.
+#[derive(Debug, Clone)]
+pub struct DisguisePolicy {
+    /// Attribute holding the owning user's id (decorrelated to a ghost).
+    pub owner_attr: String,
+    /// Per-attribute actions for the owned rows.
+    pub edges: Vec<EdgePolicy>,
+    /// Base of the reserved ghost-id range.
+    pub ghost_base: u64,
+}
+
+impl DisguisePolicy {
+    /// The default policy for the owned patient table: the ownership
+    /// edge is decorrelated; the linkable quasi-identifiers (height,
+    /// weight) and the boolean diagnosis are redacted; blood pressure is
+    /// retained under the ghost so population aggregates survive the
+    /// unsubscribe.
+    pub fn patients_default() -> Self {
+        DisguisePolicy {
+            owner_attr: OWNER.to_owned(),
+            edges: vec![
+                EdgePolicy {
+                    attr: "height".to_owned(),
+                    action: EdgeAction::Redact,
+                },
+                EdgePolicy {
+                    attr: "weight".to_owned(),
+                    action: EdgeAction::Redact,
+                },
+                EdgePolicy {
+                    attr: "blood_pressure".to_owned(),
+                    action: EdgeAction::Retain,
+                },
+                EdgePolicy {
+                    attr: "aids".to_owned(),
+                    action: EdgeAction::Redact,
+                },
+            ],
+            ghost_base: GHOST_BASE,
+        }
+    }
+
+    /// The action applied to `attr` for a disguised row. The ownership
+    /// edge is always decorrelated; unlisted attributes are retained.
+    pub fn action_for(&self, attr: &str) -> EdgeAction {
+        if attr == self.owner_attr {
+            return EdgeAction::Decorrelate;
+        }
+        self.edges
+            .iter()
+            .find(|e| e.attr == attr)
+            .map_or(EdgeAction::Retain, |e| e.action)
+    }
+
+    /// The ghost identity for `(user, row)` under `seed`: deterministic,
+    /// inside the reserved range, distinct per row so ghost rows do not
+    /// trivially re-correlate with each other either.
+    pub fn ghost_id(&self, seed: u64, user: u64, row: u64) -> i64 {
+        let mut state = seed ^ user.rotate_left(17) ^ row.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h = rngkit::splitmix64(&mut state);
+        (self.ghost_base.wrapping_add(h & (self.ghost_base - 1))) as i64
+    }
+
+    /// True when an owner-cell value is inside the ghost range.
+    pub fn is_ghost(&self, owner: i64) -> bool {
+        owner >= 0 && (owner as u64) >= self.ghost_base
+    }
+}
+
+/// The patient schema extended with the ownership edge: an integer
+/// identifier column, dropped from releases by `drop_identifiers`.
+pub fn owner_schema() -> Schema {
+    let mut attrs: Vec<AttributeDef> = tdf_microdata::patients::patient_schema()
+        .attributes()
+        .to_vec();
+    attrs.push(AttributeDef::new(
+        OWNER,
+        AttributeKind::Integer,
+        AttributeRole::Identifier,
+    ));
+    Schema::new(attrs).expect("owner column name is distinct")
+}
+
+/// The synthetic patient population with each row owned by one of
+/// `users` user ids (round-robin: row `i` belongs to `1 + i % users`).
+/// Built columnar — the patient columns are reused verbatim, only the
+/// owner column is synthesised — so the non-owner cells are bit-identical
+/// to `patients(cfg)`.
+pub fn owned_patients(cfg: &PatientConfig, users: u64) -> Dataset {
+    assert!(users >= 1, "need at least one owning user");
+    let base = patients(cfg);
+    let n = base.num_rows();
+    let owners: Vec<i64> = (0..n).map(|i| 1 + (i as u64 % users) as i64).collect();
+    let mut columns = base.columns().to_vec();
+    columns.push(Column::Int(IntCol::from_parts(owners, Bitmap::zeros(n))));
+    Dataset::from_columns(owner_schema(), columns).expect("columns match the owner schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdf_microdata::Value;
+
+    #[test]
+    fn owned_patients_round_robin_and_bit_identical_payload() {
+        let cfg = PatientConfig {
+            n: 10,
+            seed: 0xD15C,
+            ..Default::default()
+        };
+        let owned = owned_patients(&cfg, 3);
+        let plain = patients(&cfg);
+        assert_eq!(owned.num_columns(), plain.num_columns() + 1);
+        let owner_col = owned.schema().index_of(OWNER).unwrap();
+        for i in 0..10 {
+            assert_eq!(
+                owned.value(i, owner_col),
+                Value::Int(1 + (i as i64 % 3)),
+                "row {i}"
+            );
+            for c in 0..plain.num_columns() {
+                assert_eq!(owned.value(i, c), plain.value(i, c), "row {i} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_ids_are_deterministic_reserved_and_per_row_distinct() {
+        let p = DisguisePolicy::patients_default();
+        let a = p.ghost_id(7, 3, 0);
+        let b = p.ghost_id(7, 3, 0);
+        assert_eq!(a, b, "deterministic in (seed, user, row)");
+        assert_ne!(p.ghost_id(7, 3, 1), a, "distinct per row");
+        assert_ne!(p.ghost_id(8, 3, 0), a, "distinct per seed");
+        for row in 0..64 {
+            let g = p.ghost_id(0xD15C, 5, row);
+            assert!(p.is_ghost(g), "ghost {g} must sit in the reserved range");
+        }
+        assert!(!p.is_ghost(5));
+        assert!(!p.is_ghost(-1));
+    }
+
+    #[test]
+    fn edge_actions_default_to_retain_and_owner_decorrelates() {
+        let p = DisguisePolicy::patients_default();
+        assert_eq!(p.action_for(OWNER), EdgeAction::Decorrelate);
+        assert_eq!(p.action_for("height"), EdgeAction::Redact);
+        assert_eq!(p.action_for("blood_pressure"), EdgeAction::Retain);
+        assert_eq!(p.action_for("no_such_attr"), EdgeAction::Retain);
+    }
+}

@@ -1,0 +1,252 @@
+//! The crash matrix: a crash injected at every `disguise.*` fault site,
+//! in every phase — mid-disguise, mid-restore, mid-recovery — followed
+//! by a restart, must land on a state bit-identical (row-stream
+//! fingerprint) to either the fully-original or the fully-disguised
+//! dataset. Never a mix. And `restore ∘ disguise` is the identity.
+//!
+//! Everything runs pinned at 1 and 4 worker threads: the engine itself
+//! is single-writer, but the surrounding stack (obs, faultkit budgets)
+//! is shared, and the acceptance criterion pins both widths.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use tdf_disguise::{DisguiseEngine, DisguisePolicy, Error};
+use tdf_microdata::synth::PatientConfig;
+use tdf_microdata::Dataset;
+
+/// Fault plans are process-global; every test in this binary serialises
+/// on this lock.
+static PLAN: Mutex<()> = Mutex::new(());
+
+fn with_plan<T>(text: Option<&str>, f: impl FnOnce() -> T) -> T {
+    let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    faultkit::set_plan(text.map(|t| faultkit::FaultPlan::parse(t).unwrap()));
+    let out = f();
+    faultkit::set_plan(None);
+    out
+}
+
+const SEED: u64 = 0xC4A5;
+const USERS: u64 = 8;
+const USER: u64 = 5;
+
+fn base() -> Dataset {
+    tdf_disguise::owned_patients(
+        &PatientConfig {
+            n: 120,
+            seed: SEED,
+            ..Default::default()
+        },
+        USERS,
+    )
+}
+
+fn wal(tag: &str, threads: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "tdf_matrix_{tag}_t{threads}_{}.wal",
+        std::process::id()
+    ))
+}
+
+fn open(path: &std::path::Path) -> DisguiseEngine {
+    DisguiseEngine::open(path, base(), DisguisePolicy::patients_default(), SEED)
+        .unwrap()
+        .0
+}
+
+/// Clean-run reference fingerprints: original, and disguised(USER).
+fn reference_fps(threads: usize) -> (u64, u64) {
+    let path = wal("ref", threads);
+    let _ = std::fs::remove_file(&path);
+    let mut e = open(&path);
+    let fp_original = e.fingerprint();
+    e.disguise(USER).unwrap();
+    let fp_disguised = e.fingerprint();
+    e.restore(USER).unwrap();
+    assert_eq!(
+        e.fingerprint(),
+        fp_original,
+        "restore ∘ disguise ≡ identity"
+    );
+    let _ = std::fs::remove_file(&path);
+    (fp_original, fp_disguised)
+}
+
+/// One matrix cell: crash `site` during `phase`, restart, and check the
+/// recovered fingerprint is exactly the all-or-nothing expectation.
+fn run_cell(site: &str, phase: &str, threads: usize) {
+    let (fp_original, fp_disguised) = reference_fps(threads);
+    let path = wal(&format!("{}_{phase}", site.replace('.', "_")), threads);
+    let _ = std::fs::remove_file(&path);
+    let plan = format!("{site}=0");
+
+    // Arrange the pre-crash state and fire the crash.
+    let expected = match phase {
+        "disguise" => {
+            let mut e = open(&path);
+            faultkit::set_plan(Some(faultkit::FaultPlan::parse(&plan).unwrap()));
+            let err = e.disguise(USER).unwrap_err();
+            faultkit::set_plan(None);
+            assert!(matches!(err, Error::Crashed(_)), "{site}/{phase}: {err}");
+            assert!(
+                e.is_poisoned(),
+                "{site}/{phase}: crash-stop after exhaustion"
+            );
+            assert_eq!(e.disguise(1), Err(Error::Poisoned));
+            // wal_append crashed before the commit point → nothing
+            // happened; an apply crash is after it → it fully happened.
+            if site == "disguise.wal_append" {
+                fp_original
+            } else {
+                fp_disguised
+            }
+        }
+        "restore" => {
+            let mut e = open(&path);
+            e.disguise(USER).unwrap();
+            faultkit::set_plan(Some(faultkit::FaultPlan::parse(&plan).unwrap()));
+            let err = e.restore(USER).unwrap_err();
+            faultkit::set_plan(None);
+            assert!(matches!(err, Error::Crashed(_)), "{site}/{phase}: {err}");
+            if site == "disguise.wal_append" {
+                fp_disguised
+            } else {
+                fp_original
+            }
+        }
+        "recover" => {
+            // Commit a disguise (and for the restore site, a restore),
+            // then crash the *replay* of that journal on restart.
+            let mut e = open(&path);
+            e.disguise(USER).unwrap();
+            let replay_crashes = if site == "disguise.restore" {
+                e.restore(USER).unwrap();
+                true
+            } else {
+                site == "disguise.apply"
+            };
+            drop(e);
+            faultkit::set_plan(Some(faultkit::FaultPlan::parse(&plan).unwrap()));
+            let crashed =
+                DisguiseEngine::open(&path, base(), DisguisePolicy::patients_default(), SEED);
+            faultkit::set_plan(None);
+            if replay_crashes {
+                assert!(
+                    matches!(crashed, Err(Error::Crashed(_))),
+                    "{site}/{phase}: recovery must crash-stop, not half-recover"
+                );
+            } else {
+                // wal_append never fires during replay; recovery is clean.
+                assert!(crashed.is_ok(), "{site}/{phase}: unexpected crash");
+            }
+            if site == "disguise.restore" {
+                fp_original
+            } else {
+                fp_disguised
+            }
+        }
+        other => unreachable!("unknown phase {other}"),
+    };
+
+    // Restart: recovery must land exactly on the all-or-nothing state.
+    let e = open(&path);
+    let got = e.fingerprint();
+    assert_eq!(
+        got, expected,
+        "{site}/{phase} at {threads} threads: recovered state is neither \
+         fully-original nor fully-disguised"
+    );
+    assert!(
+        got == fp_original || got == fp_disguised,
+        "{site}/{phase}: mixed state"
+    );
+    assert!(!e.is_poisoned());
+    let _ = std::fs::remove_file(&path);
+}
+
+fn full_matrix(threads: usize) {
+    par::with_threads(threads, || {
+        for site in ["disguise.wal_append", "disguise.apply"] {
+            run_cell(site, "disguise", threads);
+        }
+        for site in ["disguise.wal_append", "disguise.restore"] {
+            run_cell(site, "restore", threads);
+        }
+        for site in ["disguise.wal_append", "disguise.apply", "disguise.restore"] {
+            run_cell(site, "recover", threads);
+        }
+    });
+}
+
+#[test]
+fn crash_matrix_is_all_or_nothing_at_1_thread() {
+    with_plan(None, || full_matrix(1));
+}
+
+#[test]
+fn crash_matrix_is_all_or_nothing_at_4_threads() {
+    with_plan(None, || full_matrix(4));
+}
+
+#[test]
+fn restore_of_disguise_is_identity_for_every_user() {
+    with_plan(None, || {
+        let path = wal("identity_all", 0);
+        let _ = std::fs::remove_file(&path);
+        let mut e = open(&path);
+        let fp0 = e.fingerprint();
+        let d0 = base();
+        for user in 1..=USERS {
+            e.disguise(user).unwrap();
+        }
+        assert_eq!(e.disguised_users().len(), USERS as usize);
+        for user in 1..=USERS {
+            e.restore(user).unwrap();
+        }
+        assert_eq!(e.fingerprint(), fp0, "row stream restored bit-exactly");
+        // Belt and braces: cell-by-cell equality, not just the hash.
+        for r in 0..d0.num_rows() {
+            for c in 0..d0.num_columns() {
+                assert_eq!(e.data().value(r, c), d0.value(r, c), "row {r} col {c}");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    });
+}
+
+#[test]
+fn repeated_crashes_across_restarts_converge() {
+    with_plan(None, || {
+        let path = wal("churn", 0);
+        let _ = std::fs::remove_file(&path);
+        let (fp_original, fp_disguised) = reference_fps(0);
+        // Alternate crash-y disguises and restores across restarts; every
+        // intermediate recovery must be one of the two legal states.
+        for round in 0..4u32 {
+            let site = if round % 2 == 0 {
+                "disguise.apply"
+            } else {
+                "disguise.wal_append"
+            };
+            let mut e = open(&path);
+            let want_disguise = !e.is_disguised(USER);
+            faultkit::set_plan(Some(
+                faultkit::FaultPlan::parse(&format!("{site}=0")).unwrap(),
+            ));
+            let _ = if want_disguise {
+                e.disguise(USER)
+            } else {
+                e.restore(USER)
+            };
+            faultkit::set_plan(None);
+            drop(e);
+            let recovered = open(&path);
+            let got = recovered.fingerprint();
+            assert!(
+                got == fp_original || got == fp_disguised,
+                "round {round}: mixed state after crash at {site}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    });
+}

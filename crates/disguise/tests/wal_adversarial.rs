@@ -1,0 +1,189 @@
+//! Adversarial corpus over journal files — the WAL counterpart of the
+//! TSV mutation suite: byte flips at a stride, truncations at every
+//! interesting boundary, and garbage tails. The contract under attack:
+//!
+//! * the strict reader ([`tdf_disguise::wal::read_all`]) turns *any*
+//!   damage into a typed [`Error::Wal`], never wrong records and never
+//!   a panic;
+//! * recovery ([`Journal::open`]) keeps exactly the longest clean prefix
+//!   of committed transactions — so a disguise is replayed in full or
+//!   not at all, never partially.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use tdf_disguise::wal::{read_all, CellOp, Journal, OpKind, TxnRecord};
+use tdf_disguise::Error;
+use tdf_microdata::Value;
+
+static PLAN: Mutex<()> = Mutex::new(());
+
+fn quiesced<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    faultkit::set_plan(None);
+    f()
+}
+
+fn rec(txn_id: u64) -> TxnRecord {
+    TxnRecord {
+        txn_id,
+        kind: if txn_id % 2 == 0 {
+            OpKind::Disguise
+        } else {
+            OpKind::Restore
+        },
+        user: 10 + txn_id,
+        ops: (0..5)
+            .map(|i| CellOp {
+                row: txn_id * 16 + i,
+                col: (i % 5) as u32,
+                before: match i % 4 {
+                    0 => Value::Float(171.5 + i as f64),
+                    1 => Value::Int(7 + i as i64),
+                    2 => Value::Bool(i % 2 == 0),
+                    _ => Value::Str(format!("cell-{i}")),
+                },
+                after: if i % 2 == 0 {
+                    Value::Missing
+                } else {
+                    Value::Int((1i64 << 48) + i as i64)
+                },
+            })
+            .collect(),
+    }
+}
+
+/// A clean 3-entry journal plus the byte offsets where each frame ends.
+fn build(tag: &str) -> (PathBuf, Vec<u8>, Vec<usize>) {
+    let path = std::env::temp_dir().join(format!("tdf_adv_{tag}_{}.wal", std::process::id()));
+    let _ = fs::remove_file(&path);
+    let (mut j, _, _) = Journal::open(&path).unwrap();
+    let mut ends = Vec::new();
+    for t in 0..3 {
+        j.append(&rec(t)).unwrap();
+        ends.push(j.committed_len() as usize);
+    }
+    drop(j);
+    let bytes = fs::read(&path).unwrap();
+    assert_eq!(*ends.last().unwrap(), bytes.len());
+    (path, bytes, ends)
+}
+
+#[test]
+fn every_flipped_byte_fails_strictly_and_recovers_to_a_clean_prefix() {
+    quiesced(|| {
+        let (path, bytes, ends) = build("flip");
+        let magic = 8usize;
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x20;
+            fs::write(&path, &bad).unwrap();
+            if pos < magic {
+                assert!(
+                    matches!(read_all(&path), Err(Error::Wal(_))),
+                    "flip at {pos}: magic damage must fail closed"
+                );
+                assert!(Journal::open(&path).is_err(), "flip at {pos}");
+                continue;
+            }
+            // Any flip past the magic damages exactly one frame: the
+            // strict read refuses the file, recovery keeps the entries
+            // before that frame and drops it and everything after.
+            assert!(
+                matches!(read_all(&path), Err(Error::Wal(_))),
+                "flip at {pos} must not read back as clean"
+            );
+            let expect: Vec<TxnRecord> = (0..3)
+                .take_while(|&t| pos >= ends[t as usize])
+                .map(rec)
+                .collect();
+            let (_, got, report) = Journal::open(&path).unwrap();
+            assert_eq!(got, expect, "flip at {pos}: wrong recovered prefix");
+            assert!(report.repaired, "flip at {pos}: tail must be truncated");
+            // After repair, the strict reader agrees with recovery.
+            assert_eq!(read_all(&path).unwrap(), expect, "flip at {pos}");
+        }
+        let _ = fs::remove_file(&path);
+    });
+}
+
+#[test]
+fn every_truncation_keeps_exactly_the_committed_whole_entries() {
+    quiesced(|| {
+        let (path, bytes, ends) = build("trunc");
+        let mut cuts: Vec<usize> = (8..bytes.len()).step_by(11).collect();
+        // Frame boundaries and their neighbours are the interesting cuts.
+        for &e in &ends {
+            for d in [0usize, 1, 4, 12] {
+                cuts.push(e.saturating_sub(d));
+                cuts.push((e + d).min(bytes.len()));
+            }
+        }
+        for keep in cuts {
+            fs::write(&path, &bytes[..keep]).unwrap();
+            let full_entries = ends.iter().filter(|&&e| e <= keep).count();
+            let expect: Vec<TxnRecord> = (0..full_entries as u64).map(rec).collect();
+            // A cut exactly at the magic or a frame boundary leaves a
+            // clean (shorter) journal; anywhere else is a torn tail.
+            if keep == 8 || ends.contains(&keep) {
+                assert_eq!(read_all(&path).unwrap(), expect, "cut at {keep}");
+            } else {
+                assert!(
+                    matches!(read_all(&path), Err(Error::Wal(_))),
+                    "cut at {keep}: strict read of a torn file must fail"
+                );
+            }
+            let (_, got, _) = Journal::open(&path).unwrap();
+            assert_eq!(got, expect, "cut at {keep}: partial entry survived");
+        }
+        let _ = fs::remove_file(&path);
+    });
+}
+
+#[test]
+fn garbage_tails_and_foreign_files_never_parse() {
+    quiesced(|| {
+        let (path, bytes, _) = build("garbage");
+        // Random-looking garbage appended after clean entries.
+        let mut noisy = bytes.clone();
+        noisy.extend_from_slice(&[0xAB; 37]);
+        fs::write(&path, &noisy).unwrap();
+        assert!(matches!(read_all(&path), Err(Error::Wal(_))));
+        let (_, got, report) = Journal::open(&path).unwrap();
+        assert_eq!(got.len(), 3, "all committed entries survive");
+        assert_eq!(report.truncated_bytes, 37);
+        // A length prefix claiming more than the file holds.
+        let mut huge = bytes.clone();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, &huge).unwrap();
+        assert!(matches!(read_all(&path), Err(Error::Wal(_))));
+        let (_, got, _) = Journal::open(&path).unwrap();
+        assert_eq!(got.len(), 3);
+        // A file that simply is not a journal.
+        fs::write(&path, b"height\tweight\n171.5\t80.0\n").unwrap();
+        assert!(matches!(read_all(&path), Err(Error::Wal(_))));
+        assert!(matches!(Journal::open(&path), Err(Error::Wal(_))));
+        let _ = fs::remove_file(&path);
+    });
+}
+
+#[test]
+fn recovered_journal_keeps_accepting_appends() {
+    quiesced(|| {
+        let (path, bytes, ends) = build("resume");
+        // Tear the last entry in half, recover, then append two more.
+        fs::write(&path, &bytes[..(ends[1] + ends[2]) / 2]).unwrap();
+        let (mut j, got, report) = Journal::open(&path).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(report.repaired);
+        j.append(&rec(7)).unwrap();
+        j.append(&rec(8)).unwrap();
+        drop(j);
+        let all = read_all(&path).unwrap();
+        assert_eq!(
+            all.iter().map(|r| r.txn_id).collect::<Vec<_>>(),
+            vec![0, 1, 7, 8]
+        );
+        let _ = fs::remove_file(&path);
+    });
+}

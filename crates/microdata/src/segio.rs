@@ -43,8 +43,9 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"TDFSEG1\0";
 
-/// FNV-1a (64-bit) over `bytes` — the trailer checksum.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a (64-bit) over `bytes` — the trailer checksum. Public so sibling
+/// framed formats (the disguise journal) share one checksum definition.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -326,6 +327,32 @@ pub fn write_segment(path: &Path, data: &Dataset) -> Result<()> {
     Ok(())
 }
 
+/// Removes stale `*.tmp` files left in `dir` by crashed spill attempts,
+/// returning how many were swept (counted as `segment.tmp_swept`).
+///
+/// A crash between `File::create(tmp)` and the rename leaves the torn
+/// `.tmp` behind; it can never shadow a committed segment (readers only
+/// open the final name) but it wastes space and, worse, a later clean
+/// spill of the same segment would transiently reuse the torn file's
+/// name. Sweeping on directory open restores the invariant that every
+/// `.tmp` present belongs to an in-flight write.
+pub fn sweep_stale_tmp(dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "tmp") && fs::remove_file(&path).is_ok() {
+            swept += 1;
+        }
+    }
+    if swept > 0 {
+        obs::count("segment.tmp_swept", swept as u64);
+    }
+    swept
+}
+
 /// Reloads a spilled segment from `path`, verifying the checksum.
 ///
 /// The `segment.reload` fault site corrupts the in-memory read buffer
@@ -406,6 +433,48 @@ mod tests {
         for keep in [0, 4, 8, 40, image.len() / 2, image.len() - 1] {
             assert!(decode_segment(&image[..keep]).is_err(), "kept {keep}");
         }
+    }
+
+    #[test]
+    fn crashed_tmp_never_shadows_a_later_clean_write() {
+        let dir = std::env::temp_dir().join(format!("tdf_segio_shadow_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg_0.bin");
+        let d = sample();
+        // Simulate the crash image write_segment leaves behind: a torn
+        // .tmp next to the (absent) final path.
+        let torn = encode_segment(&d);
+        fs::write(path.with_extension("tmp"), &torn[..torn.len() / 2]).unwrap();
+        // A later clean write must land the full image under the final
+        // name regardless of the stale tmp.
+        write_segment(&path, &d).unwrap();
+        let back = read_segment(&path).unwrap();
+        assert_eq!(back.num_rows(), d.num_rows());
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "clean write consumed the tmp name"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_removes_stale_tmp_and_leaves_segments() {
+        let dir = std::env::temp_dir().join(format!("tdf_segio_sweep_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let d = sample();
+        write_segment(&dir.join("seg_0.bin"), &d).unwrap();
+        fs::write(dir.join("seg_1.tmp"), b"torn").unwrap();
+        fs::write(dir.join("seg_2.tmp"), b"").unwrap();
+        assert_eq!(sweep_stale_tmp(&dir), 2);
+        assert!(dir.join("seg_0.bin").exists(), "real segments survive");
+        assert!(!dir.join("seg_1.tmp").exists());
+        assert_eq!(sweep_stale_tmp(&dir), 0, "idempotent");
+        assert_eq!(
+            sweep_stale_tmp(&dir.join("no_such")),
+            0,
+            "missing dir is a no-op"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -160,6 +160,10 @@ impl Store {
                     std::fs::create_dir_all(&self.dir).map_err(|e| {
                         Error::Serial(format!("create {}: {e}", self.dir.display()))
                     })?;
+                    // A previous process may have crashed mid-spill into
+                    // this directory; drop its torn `.tmp` files before
+                    // the first write of this incarnation.
+                    segio::sweep_stale_tmp(&self.dir);
                     self.dir_created = true;
                 }
                 let p = self

@@ -57,6 +57,29 @@ impl Client {
         read_response(&mut self.stream)
     }
 
+    /// Unsubscribes `user`: atomically disguises every ledger row they
+    /// own. The server answers with the number of rows re-owned as
+    /// [`Response::Exact`]; a wrong-state request (already disguised, no
+    /// rows) is a typed policy refusal.
+    pub fn disguise(&mut self, user: u64) -> io::Result<Response> {
+        write_frame(
+            &mut self.stream,
+            &encode_request(&Request::Disguise { user }),
+        )?;
+        read_response(&mut self.stream)
+    }
+
+    /// Resubscribes `user`: atomically restores their disguised rows bit
+    /// for bit. The server answers with the number of rows returned as
+    /// [`Response::Exact`].
+    pub fn restore(&mut self, user: u64) -> io::Result<Response> {
+        write_frame(
+            &mut self.stream,
+            &encode_request(&Request::Restore { user }),
+        )?;
+        read_response(&mut self.stream)
+    }
+
     /// Ends the session cleanly; the server acknowledges with
     /// [`Response::Bye`].
     pub fn bye(&mut self, user: u64) -> io::Result<Response> {

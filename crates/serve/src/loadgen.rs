@@ -62,6 +62,13 @@ pub struct LoadReport {
     pub elapsed_ns: u64,
     /// Requests per second over the whole run.
     pub throughput_rps: f64,
+    /// Connections successfully opened (keep-alive: each client reuses
+    /// one connection for its whole request train).
+    pub connections: u64,
+    /// Mean requests served per connection — the keep-alive ratio. With
+    /// no mid-run evictions or transport errors this equals
+    /// `requests_per_client`; a drop means connections died early.
+    pub reqs_per_conn: f64,
     /// Median request latency.
     pub p50_ns: u64,
     /// 95th-percentile request latency.
@@ -137,12 +144,14 @@ pub fn run_with_latencies(
     let mut answered = 0u64;
     let mut refused = 0u64;
     let mut errors = 0u64;
+    let mut connections = 0u64;
     for h in handles {
         let outcome = h.join().expect("loadgen client panicked");
         latencies.extend(outcome.latencies_ns);
         answered += outcome.answered;
         refused += outcome.refused;
         errors += outcome.errors;
+        connections += u64::from(outcome.connected);
     }
     let elapsed_ns = started.elapsed().as_nanos() as u64;
     latencies.sort_unstable();
@@ -154,6 +163,12 @@ pub fn run_with_latencies(
         errors,
         elapsed_ns,
         throughput_rps: requests as f64 / (elapsed_ns as f64 / 1e9),
+        connections,
+        reqs_per_conn: if connections == 0 {
+            0.0
+        } else {
+            latencies.len() as f64 / connections as f64
+        },
         p50_ns: percentile(&latencies, 0.50),
         p95_ns: percentile(&latencies, 0.95),
         p99_ns: percentile(&latencies, 0.99),
@@ -166,6 +181,7 @@ struct ClientOutcome {
     answered: u64,
     refused: u64,
     errors: u64,
+    connected: bool,
 }
 
 fn client_run(addr: SocketAddr, cfg: &LoadConfig, client_id: u64) -> ClientOutcome {
@@ -174,6 +190,7 @@ fn client_run(addr: SocketAddr, cfg: &LoadConfig, client_id: u64) -> ClientOutco
         answered: 0,
         refused: 0,
         errors: 0,
+        connected: false,
     };
     let mut rng = StdRng::seed_from_u64({
         let mut state = cfg.seed ^ client_id;
@@ -187,6 +204,7 @@ fn client_run(addr: SocketAddr, cfg: &LoadConfig, client_id: u64) -> ClientOutco
             return outcome;
         }
     };
+    outcome.connected = true;
     for _ in 0..cfg.requests_per_client {
         let user = zipf.sample(&mut rng);
         let sql = QUERY_MIX[rng.gen_range(0..QUERY_MIX.len())];

@@ -14,6 +14,8 @@
 //!             opcode 3 = PIR_FETCH (len must be 8; payload is index:u64)
 //!             opcode 4 = APPEND    (len must be 4; payload is count:u32)
 //!             opcode 5 = SEAL      (len must be 0)
+//!             opcode 6 = DISGUISE  (len must be 0)
+//!             opcode 7 = RESTORE   (len must be 0)
 //!
 //! response := tag:u8  body
 //!             tag 0 = EXACT      body = value:f64
@@ -66,6 +68,18 @@ pub enum Request {
     /// Freeze the mutable tail into a sealed (spillable) segment.
     Seal {
         /// The session's user id.
+        user: u64,
+    },
+    /// Unsubscribe: atomically re-own every row of `user`'s ledger
+    /// records to ghost principals and redact the payload per policy.
+    Disguise {
+        /// The user unsubscribing (the rows disguised are theirs).
+        user: u64,
+    },
+    /// Resubscribe: atomically restore `user`'s disguised rows bit for
+    /// bit.
+    Restore {
+        /// The user resubscribing.
         user: u64,
     },
 }
@@ -229,6 +243,16 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(&user.to_le_bytes());
             out.extend_from_slice(&0u32.to_le_bytes());
         }
+        Request::Disguise { user } => {
+            out.push(6);
+            out.extend_from_slice(&user.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+        }
+        Request::Restore { user } => {
+            out.push(7);
+            out.extend_from_slice(&user.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+        }
     }
     out
 }
@@ -279,6 +303,20 @@ pub fn read_request(r: &mut impl Read) -> io::Result<Request> {
                 return Err(bad("SEAL carries no payload".to_owned()));
             }
             Ok(Request::Seal { user })
+        }
+        6 => {
+            let len = read_u32(r)?;
+            if len != 0 {
+                return Err(bad("DISGUISE carries no payload".to_owned()));
+            }
+            Ok(Request::Disguise { user })
+        }
+        7 => {
+            let len = read_u32(r)?;
+            if len != 0 {
+                return Err(bad("RESTORE carries no payload".to_owned()));
+            }
+            Ok(Request::Restore { user })
         }
         other => Err(bad(format!("unknown opcode {other}"))),
     }
@@ -392,6 +430,8 @@ mod tests {
             count: u32::MAX,
         });
         round_trip_request(Request::Seal { user: 11 });
+        round_trip_request(Request::Disguise { user: 6 });
+        round_trip_request(Request::Restore { user: u64::MAX });
     }
 
     #[test]
@@ -419,6 +459,24 @@ mod tests {
         assert!(read_request(&mut io::Cursor::new(bytes)).is_err());
         // Every proper prefix of a well-formed APPEND fails to parse.
         let frame = encode_request(&Request::Append { user: 9, count: 64 });
+        for cut in 0..frame.len() {
+            let mut cursor = io::Cursor::new(&frame[..cut]);
+            assert!(read_request(&mut cursor).is_err(), "prefix {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn disguise_and_restore_lengths_are_validated() {
+        for opcode in [6u8, 7u8] {
+            // Any payload is malformed.
+            let mut bytes = vec![opcode];
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.push(0);
+            assert!(read_request(&mut io::Cursor::new(bytes)).is_err());
+        }
+        // Every proper prefix of a well-formed DISGUISE fails to parse.
+        let frame = encode_request(&Request::Disguise { user: 9 });
         for cut in 0..frame.len() {
             let mut cursor = io::Cursor::new(&frame[..cut]);
             assert!(read_request(&mut cursor).is_err(), "prefix {cut} parsed");

@@ -88,6 +88,18 @@ pub struct ServerConfig {
     /// than this ([`SegmentedDataset::compact`]). `0` disables the
     /// thread entirely. Defaults from `TDF_COMPACT_MIN` (unset = 0).
     pub compact_min: usize,
+    /// Owners in the disguise ledger (rows round-robin across user ids
+    /// `1..=disguise_users`); DISGUISE/RESTORE act on this ledger.
+    pub disguise_users: u64,
+    /// Journal path for the disguise engine. `None` uses a per-instance
+    /// temp file removed on shutdown; point it at a real path to make
+    /// disguises survive a server restart.
+    pub disguise_wal: Option<std::path::PathBuf>,
+    /// Per-connection read deadline in milliseconds: a client that keeps
+    /// a worker parked in a read longer than this is evicted (counted as
+    /// `serve.slow_evictions`). `0` disables the deadline. Defaults from
+    /// `TDF_READ_DEADLINE_MS` (unset = 30 000).
+    pub read_deadline_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +117,12 @@ impl Default for ServerConfig {
                 .ok()
                 .and_then(|s| s.trim().parse::<usize>().ok())
                 .unwrap_or(0),
+            disguise_users: 16,
+            disguise_wal: None,
+            read_deadline_ms: std::env::var("TDF_READ_DEADLINE_MS")
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .unwrap_or(30_000),
         }
     }
 }
@@ -151,6 +169,15 @@ struct Shared {
     /// shutdown can unblock workers parked in a blocking read.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
+    /// The disguise ledger: per-user reversible disguise/restore
+    /// transactions, WAL-backed. Single-writer by design — disguises are
+    /// rare, whole-user mutations; queries never touch this lock.
+    disguise: Mutex<tdf_disguise::DisguiseEngine>,
+    /// Set when the journal lives in a per-instance temp file the server
+    /// owns (and removes on shutdown).
+    disguise_wal_owned: Option<std::path::PathBuf>,
+    /// Per-connection read deadline (0 = none).
+    read_deadline_ms: u64,
 }
 
 impl Shared {
@@ -208,6 +235,38 @@ impl Server {
             seed: cfg.seed,
             ..Default::default()
         });
+        // The disguise ledger: the same synthetic population, owner-
+        // labelled, with a WAL so disguises are atomic across crashes.
+        // A configured journal path makes them survive restarts; the
+        // default is a per-instance temp file removed on shutdown.
+        let (wal_path, wal_owned) = match &cfg.disguise_wal {
+            Some(p) => (p.clone(), None),
+            None => {
+                static WAL_SEQ: AtomicU64 = AtomicU64::new(0);
+                let p = std::env::temp_dir().join(format!(
+                    "tdf_serve_disguise_{}_{}.wal",
+                    std::process::id(),
+                    WAL_SEQ.fetch_add(1, Ordering::Relaxed),
+                ));
+                let _ = std::fs::remove_file(&p);
+                (p.clone(), Some(p))
+            }
+        };
+        let ledger = tdf_disguise::owned_patients(
+            &PatientConfig {
+                n: cfg.rows,
+                seed: cfg.seed,
+                ..Default::default()
+            },
+            cfg.disguise_users.max(1),
+        );
+        let (disguise, _recovery) = tdf_disguise::DisguiseEngine::open(
+            &wal_path,
+            ledger,
+            tdf_disguise::DisguisePolicy::patients_default(),
+            cfg.seed,
+        )
+        .map_err(|e| io::Error::other(format!("disguise journal {}: {e}", wal_path.display())))?;
         let shared = Arc::new(Shared {
             data: RwLock::new(SegmentedDataset::from_dataset(&initial, cfg.rows.max(1))),
             seed: cfg.seed,
@@ -224,6 +283,9 @@ impl Server {
             draining: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
+            disguise: Mutex::new(disguise),
+            disguise_wal_owned: wal_owned,
+            read_deadline_ms: cfg.read_deadline_ms,
         });
         let worker_count = if cfg.workers == 0 {
             par::measured_cores().max(2)
@@ -296,6 +358,11 @@ impl Server {
         if let Some(compactor) = self.compactor.take() {
             self.shared.compact_signal.1.notify_all();
             let _ = compactor.join();
+        }
+        // A per-instance temp journal dies with the server; a configured
+        // path is durable state and stays.
+        if let Some(path) = &self.shared.disguise_wal_owned {
+            let _ = std::fs::remove_file(path);
         }
     }
 }
@@ -387,6 +454,12 @@ fn worker_loop(shared: &Shared) {
                 // its (refusal) reads a deadline so a silent client can
                 // never stall the shutdown join.
                 let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            } else if shared.read_deadline_ms > 0 {
+                // Slow-client guard: a worker is a scarce resource, and a
+                // client holding a read open (idle keep-alive or a
+                // slowloris half-frame) past the deadline is evicted.
+                let _ =
+                    stream.set_read_timeout(Some(Duration::from_millis(shared.read_deadline_ms)));
             }
             shared
                 .conns
@@ -418,7 +491,13 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                return Ok(())
+                // During a drain this is the intended 200 ms unblock; in
+                // steady state it is the read deadline firing on a slow
+                // client, which costs the client its connection.
+                if !shared.draining.load(Ordering::Acquire) {
+                    obs::count("serve.slow_evictions", 1);
+                }
+                return Ok(());
             }
             Err(e) => {
                 obs::count("serve.protocol_errors", 1);
@@ -569,6 +648,64 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                         obs::count(&format!("serve.refused.{}", reason.label()), 1);
                     }
                     _ => obs::count("serve.answers", 1),
+                }
+                write_frame(&mut stream, &encode_response(&response))?;
+                obs::observe("serve.request_ns", started.elapsed().as_nanos() as u64);
+            }
+            Request::Disguise { user } | Request::Restore { user } => {
+                let is_disguise = matches!(request, Request::Disguise { .. });
+                obs::count("serve.requests", 1);
+                let response = if shared.draining.load(Ordering::Acquire) {
+                    Response::Refused {
+                        reason: RefusalReason::Draining,
+                        message: "server is draining for shutdown".to_owned(),
+                    }
+                } else {
+                    let mut engine = shared
+                        .disguise
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let result = if is_disguise {
+                        engine.disguise(user)
+                    } else {
+                        engine.restore(user)
+                    };
+                    match result {
+                        // The answer is the number of rows re-owned or
+                        // returned — the client's receipt.
+                        Ok(outcome) => Response::Exact(outcome.rows as f64),
+                        // Wrong-state requests are policy refusals, typed
+                        // on the wire like any other admission refusal.
+                        Err(
+                            e @ (tdf_disguise::Error::AlreadyDisguised(_)
+                            | tdf_disguise::Error::NotDisguised(_)
+                            | tdf_disguise::Error::NoRows(_)),
+                        ) => Response::Refused {
+                            reason: RefusalReason::Policy,
+                            message: e.to_string(),
+                        },
+                        // Crash-stop (exhausted fault budget) and journal
+                        // failures are server-side errors; the engine
+                        // refuses further transactions until recovery.
+                        Err(e) => Response::Error(format!("disguise engine: {e}")),
+                    }
+                };
+                match &response {
+                    Response::Refused { reason, .. } => {
+                        obs::count(&format!("serve.refused.{}", reason.label()), 1);
+                    }
+                    Response::Error(_) => obs::count("serve.disguise_errors", 1),
+                    _ => {
+                        obs::count(
+                            if is_disguise {
+                                "serve.disguises"
+                            } else {
+                                "serve.restores"
+                            },
+                            1,
+                        );
+                        obs::count("serve.answers", 1);
+                    }
                 }
                 write_frame(&mut stream, &encode_response(&response))?;
                 obs::observe("serve.request_ns", started.elapsed().as_nanos() as u64);

@@ -378,6 +378,139 @@ fn loadgen_drives_real_sockets_and_reports_latencies() {
 }
 
 #[test]
+fn disguise_and_restore_round_trip_over_the_wire() {
+    let server = server(2, 10.0);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // 300 ledger rows round-robined over 16 owners: owner 5 holds 19.
+    assert_eq!(client.disguise(5).unwrap(), Response::Exact(19.0));
+    // Double-disguise is a typed policy refusal, not a transport error.
+    match client.disguise(5).unwrap() {
+        Response::Refused { reason, message } => {
+            assert_eq!(reason, RefusalReason::Policy);
+            assert!(message.contains("already disguised"), "got {message:?}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Restore hands the same rows back, exactly once.
+    assert_eq!(client.restore(5).unwrap(), Response::Exact(19.0));
+    match client.restore(5).unwrap() {
+        Response::Refused { reason, .. } => assert_eq!(reason, RefusalReason::Policy),
+        other => panic!("unexpected {other:?}"),
+    }
+    // A user owning no ledger rows cannot unsubscribe from it.
+    match client.disguise(999).unwrap() {
+        Response::Refused { reason, .. } => assert_eq!(reason, RefusalReason::Policy),
+        other => panic!("unexpected {other:?}"),
+    }
+    // The query path is untouched by ledger traffic on the same socket.
+    assert!(matches!(
+        client.query(5, SQL).unwrap(),
+        Response::Perturbed(_)
+    ));
+    let _ = client.bye(5);
+    server.shutdown();
+}
+
+#[test]
+fn disguise_state_survives_a_server_restart_through_the_wal() {
+    let wal = std::env::temp_dir().join(format!(
+        "tdf_serve_restart_{}_{:x}.wal",
+        std::process::id(),
+        0xD15Cu32
+    ));
+    let _ = std::fs::remove_file(&wal);
+    let cfg = || ServerConfig {
+        rows: 300,
+        seed: 0xBEEF,
+        workers: 2,
+        disguise_wal: Some(wal.clone()),
+        session: SessionConfig {
+            epsilon_per_query: 1.0,
+            budget: 10.0,
+            seed: 0xBEEF,
+            min_query_set: 2,
+            max_overlap: usize::MAX,
+            max_rows: 0,
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg()).expect("first server starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    assert_eq!(client.disguise(3).unwrap(), Response::Exact(19.0));
+    let _ = client.bye(3);
+    server.shutdown();
+    // A new process image on the same WAL path recovers the committed
+    // disguise: user 3 is still unsubscribed, and their restore returns
+    // exactly the journalled rows.
+    let server = Server::start(cfg()).expect("second server starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    match client.disguise(3).unwrap() {
+        Response::Refused { reason, .. } => assert_eq!(reason, RefusalReason::Policy),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(client.restore(3).unwrap(), Response::Exact(19.0));
+    let _ = client.bye(3);
+    server.shutdown();
+    let _ = std::fs::remove_file(&wal);
+}
+
+#[test]
+fn slow_clients_are_evicted_at_the_read_deadline() {
+    let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    let before_level = obs::level();
+    obs::set_level(1);
+    obs::reset();
+    let server = Server::start(ServerConfig {
+        rows: 300,
+        seed: 0xBEEF,
+        workers: 2,
+        read_deadline_ms: 60,
+        session: SessionConfig {
+            epsilon_per_query: 1.0,
+            budget: 100.0,
+            seed: 0xBEEF,
+            min_query_set: 2,
+            max_overlap: usize::MAX,
+            max_rows: 0,
+        },
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut idler = Client::connect(server.addr()).expect("connect");
+    assert!(matches!(
+        idler.query(1, SQL).unwrap(),
+        Response::Perturbed(_)
+    ));
+    // Stop sending. The worker's read deadline fires and reclaims the
+    // connection; the idler's next round trip fails cleanly.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if idler.query(1, SQL).is_err() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slow client was never evicted"
+        );
+    }
+    // An actively-sending client on the same server is unaffected.
+    let mut active = Client::connect(server.addr()).expect("connect");
+    assert!(matches!(
+        active.query(2, SQL).unwrap(),
+        Response::Perturbed(_)
+    ));
+    let _ = active.bye(2);
+    server.shutdown();
+    let snap = obs::snapshot();
+    obs::set_level(before_level);
+    assert!(
+        snap.counter("serve.slow_evictions") >= 1,
+        "eviction must be observable"
+    );
+}
+
+#[test]
 fn background_compaction_is_transparent_to_clients() {
     // Two identical servers, one with the background compactor on:
     // identical APPEND/SEAL/QUERY scripts must yield identical responses

@@ -37,12 +37,21 @@
 //! wrapping [`querydb`]'s admission path — per-user ε-budgets, tracker
 //! detection, deadlines — with typed refusals on the wire and a
 //! closed-loop Zipfian load generator.
+//!
+//! Owner-initiated reversibility lives in [`disguise`]: crash-atomic
+//! unsubscribe/resubscribe transactions that re-own a user's rows to
+//! deterministic ghost principals and redact their quasi-identifiers,
+//! journalled through a checksummed write-ahead log so that a crash at
+//! any instruction leaves the ledger all-or-nothing — recovery replays
+//! committed transactions and discards torn tails, and
+//! restore ∘ disguise is the bit-exact identity.
 
 pub use faultkit;
 pub use obs;
 pub use par;
 pub use tdf_anonymity as anonymity;
 pub use tdf_core as core;
+pub use tdf_disguise as disguise;
 pub use tdf_hippocratic as hippocratic;
 pub use tdf_mathkit as mathkit;
 pub use tdf_microdata as microdata;

@@ -110,6 +110,77 @@ fn compaction_and_eviction_invariants_hold_under_the_ambient_plan() {
 }
 
 #[test]
+fn disguise_invariants_hold_under_the_ambient_plan() {
+    silence_injected_panics();
+    use tdf_disguise::{fingerprint, owned_patients, DisguiseEngine, DisguisePolicy, Error};
+    let cfg = PatientConfig {
+        n: 96,
+        seed: 0xD1,
+        ..Default::default()
+    };
+    let base = owned_patients(&cfg, 6);
+    let fp_original = fingerprint(&base);
+    let wal = std::env::temp_dir().join(format!(
+        "tdf_fault_matrix_disguise_{}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&wal);
+    // Crash-stop model: an exhausted retry budget poisons the engine;
+    // re-opening the WAL runs recovery, which replays every committed
+    // transaction and discards torn tails. Recovery itself runs through
+    // the fault sites, so it too may crash and be retried.
+    let reopen = |base: &tdf_microdata::Dataset| -> DisguiseEngine {
+        for _ in 0..50 {
+            if let Ok((engine, _)) =
+                DisguiseEngine::open(&wal, base.clone(), DisguisePolicy::patients_default(), 0xD1)
+            {
+                return engine;
+            }
+        }
+        panic!("recovery never succeeded under the ambient plan");
+    };
+    let mut engine = reopen(&base);
+    // Drive every owner to disguised, restarting on any crash: a
+    // committed transaction must replay to completion, an uncommitted
+    // one must vanish without a trace — so the loop always converges.
+    for user in 1..=6u64 {
+        loop {
+            match engine.disguise(user) {
+                Ok(_) | Err(Error::AlreadyDisguised(_)) => break,
+                Err(Error::Crashed(_)) | Err(Error::Poisoned) => engine = reopen(&base),
+                Err(other) => panic!("unexpected disguise outcome {other:?}"),
+            }
+        }
+    }
+    for user in 1..=6u64 {
+        assert!(engine.is_disguised(user), "user {user} must end disguised");
+    }
+    assert_ne!(
+        engine.fingerprint(),
+        fp_original,
+        "disguised release must differ from the original"
+    );
+    // And back: restore every owner the same way. The release must come
+    // back bit-identical to the original — all-or-nothing transactions
+    // under any plan, never a half-restored ledger.
+    for user in 1..=6u64 {
+        loop {
+            match engine.restore(user) {
+                Ok(_) | Err(Error::NotDisguised(_)) => break,
+                Err(Error::Crashed(_)) | Err(Error::Poisoned) => engine = reopen(&base),
+                Err(other) => panic!("unexpected restore outcome {other:?}"),
+            }
+        }
+    }
+    assert_eq!(
+        engine.fingerprint(),
+        fp_original,
+        "restore \u{2218} disguise must be the identity under any plan"
+    );
+    let _ = std::fs::remove_file(&wal);
+}
+
+#[test]
 fn pipeline_invariants_hold_under_the_ambient_plan() {
     silence_injected_panics();
 

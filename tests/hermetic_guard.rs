@@ -198,13 +198,35 @@ fn serve_crate_is_registered_and_its_dependencies_are_frozen() {
             "tdf-querydb",
             "tdf-microdata",
             "tdf-pir",
+            "tdf-disguise",
             "tdf-rngkit",
             "tdf-par",
             "tdf-obs",
             "tdf-faultkit"
         ],
         "crates/serve must depend only on the in-tree privacy, PIR, RNG, \
-         parallelism, observability and fault-injection crates"
+         disguise, parallelism, observability and fault-injection crates"
+    );
+}
+
+#[test]
+fn disguise_crate_is_registered_and_its_dependencies_are_frozen() {
+    // The disguise engine sits on the storage layer (datasets + the
+    // shared FNV-framed codec idioms), the in-tree RNG (ghost identity
+    // derivation), observability and fault injection — nothing else. In
+    // particular it must NOT depend on the serve crate (the dependency
+    // points the other way) or grow I/O frameworks: the WAL is std::fs.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let table = std::fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    assert!(
+        table.contains("tdf-disguise = { path = \"crates/disguise\" }"),
+        "tdf-disguise must be a [workspace.dependencies] path entry"
+    );
+    assert_eq!(
+        runtime_deps(&root.join("crates/disguise/Cargo.toml")),
+        ["tdf-microdata", "tdf-rngkit", "tdf-obs", "tdf-faultkit"],
+        "crates/disguise must depend only on the in-tree storage, RNG, \
+         observability and fault-injection crates"
     );
 }
 
